@@ -1,0 +1,43 @@
+// Ablation: the register soft constraint. The paper's model ignores
+// registers (spilling slows execution but never blocks residency); the
+// simulator derates spilling kernels. This bench shows (a) the derating
+// is visible for register-heavy workloads and (b) the analyzer's
+// decision is unchanged — registers are not in Eqs. 4-6.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+
+int main() {
+  const mc::NetSpec spec = mc::models::caffenet(64);  // 128x128 GEMM tiles, 127 regs
+  const auto tracked = mc::models::tracked_conv_layers("CaffeNet");
+
+  bench::print_header(
+      "Ablation: register soft-constraint derating (CaffeNet b=64, P100)");
+  bench::print_row({"config", "iteration(ms)", "conv2 fwd(ms)"}, {26, 15, 14});
+
+  bench::RunResult results[2];
+  for (int penalty = 0; penalty < 2; ++penalty) {
+    bench::RunConfig cfg;
+    cfg.mode = bench::Mode::kGlp4nn;
+    cfg.register_penalty = penalty == 1;
+    results[penalty] = bench::run_network(spec, tracked, cfg);
+    bench::print_row({penalty ? "spill derating ON (default)" : "derating OFF",
+                      glp::strformat("%.2f", results[penalty].iteration_ms),
+                      glp::strformat("%.3f",
+                                     results[penalty].layers.at("conv2").forward_ms)},
+                     {26, 15, 14});
+    std::fprintf(stderr, "  penalty=%d done\n", penalty);
+  }
+
+  const bool same_decisions =
+      results[0].stream_counts == results[1].stream_counts;
+  std::printf("\nanalyzer decisions identical with/without derating: %s\n",
+              same_decisions ? "yes" : "no");
+  std::printf(
+      "\nExpected shape: execution slows (or stays equal) with derating on,\n"
+      "but the analytical model's stream decisions never change — registers\n"
+      "are a soft constraint excluded from Eqs. 4-6 (paper §3.2).\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Prints the paper's Table 1 (GPU architecture feature overview) and
+// Table 3 (hardware profile) as encoded in the simulator's device table.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+
+int main() {
+  using gpusim::DeviceProps;
+  using gpusim::DeviceTable;
+
+  bench::print_header("Table 1: overview of GPU architecture features");
+  bench::print_row({"Architecture", "Streams", "DynPar", "MaxConcKernels", "UVM",
+                    "TensorCores"},
+                   {14, 9, 8, 16, 6, 12});
+  for (const char* name : {"Fermi", "Kepler", "Maxwell", "Pascal", "Volta"}) {
+    const auto d = DeviceTable::by_name(name);
+    bench::print_row({name, d->supports_streams ? "yes" : "no",
+                      d->dynamic_parallelism ? "yes" : "no",
+                      std::to_string(d->max_concurrent_kernels),
+                      d->unified_memory ? "yes" : "no",
+                      d->tensor_cores ? "yes" : "no"},
+                     {14, 9, 8, 16, 6, 12});
+  }
+
+  bench::print_header("Table 3: hardware profile (evaluation GPUs)");
+  bench::print_row({"GPU", "Gen", "Cores", "Clock(GHz)", "Mem(GB)", "BW(GB/s)",
+                    "Smem/SM", "T_launch(us)"},
+                   {10, 9, 10, 11, 9, 10, 9, 13});
+  for (const DeviceProps& d : bench::evaluation_gpus()) {
+    bench::print_row(
+        {d.name, gpusim::to_string(d.arch),
+         glp::strformat("%dx%d", d.sm_count, d.cores_per_sm),
+         glp::strformat("%.3f", d.clock_ghz),
+         std::to_string(d.mem_bytes >> 30),
+         glp::strformat("%.1f", d.mem_bandwidth_gbs),
+         glp::human_bytes(d.shared_mem_per_sm),
+         glp::strformat("%.1f", d.kernel_launch_overhead_us)},
+        {10, 9, 10, 11, 9, 10, 9, 13});
+  }
+  std::printf("\n");
+  return 0;
+}

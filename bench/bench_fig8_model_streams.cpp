@@ -1,0 +1,46 @@
+// Fig. 8: the number of streams configured by the analytical model for
+// each convolution layer of each network, per GPU (the kernel analyzer's
+// Eq. 9 output after the profiling iteration).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+
+int main() {
+  bench::print_header(
+      "Fig. 8: #streams chosen by the analytical model (forward / backward "
+      "scopes)");
+
+  for (const auto& device : bench::evaluation_gpus()) {
+    std::printf("\n-- %s (C = %d) --\n", device.name.c_str(),
+                device.max_concurrent_kernels);
+    bench::print_row({"net", "layer", "fwd streams", "bwd streams"},
+                     {11, 26, 12, 12});
+    for (const auto& [name, spec] : mc::models::paper_networks()) {
+      const auto tracked = mc::models::tracked_conv_layers(name);
+      bench::RunConfig cfg;
+      cfg.device = device;
+      cfg.mode = bench::Mode::kGlp4nn;
+      cfg.warmup_iterations = 1;  // the profiling pass
+      cfg.measured_iterations = 1;
+      const bench::RunResult r = bench::run_network(spec, tracked, cfg);
+      for (const auto& layer : tracked) {
+        auto count_of = [&](const std::string& scope) {
+          auto it = r.stream_counts.find(scope);
+          return it == r.stream_counts.end() ? std::string("-")
+                                             : std::to_string(it->second);
+        };
+        bench::print_row({name, layer, count_of(layer + "/fwd"),
+                          count_of(layer + "/bwd")},
+                         {11, 26, 12, 12});
+      }
+      std::fprintf(stderr, "  %s/%s done\n", device.name.c_str(), name.c_str());
+    }
+  }
+  std::printf(
+      "\nExpected shape: counts stay within the device concurrency degree\n"
+      "and differ per layer and per GPU; short kernels (fast GPUs) get\n"
+      "fewer streams (the Eq. 7 launch-rate bound).\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Inference serving under GLP4NN. The paper notes the framework applies
+// to "the training or inference of neural networks" (§3.3.1); this
+// example trains briefly, snapshots the weights, then serves forward-only
+// batches in the TEST phase (dropout off) under both schedulers and
+// compares throughput and accuracy.
+
+#include <cstdio>
+
+#include "core/glp4nn.hpp"
+#include "minicaffe/evaluator.hpp"
+#include "minicaffe/models.hpp"
+#include "minicaffe/net_parser.hpp"
+#include "minicaffe/serialization.hpp"
+#include "minicaffe/solver.hpp"
+
+namespace {
+
+// LeNet with an added Accuracy head for evaluation.
+mc::NetSpec lenet_with_accuracy(int batch) {
+  mc::NetSpec s = mc::models::lenet(batch);
+  mc::LayerSpec acc;
+  acc.type = "Accuracy";
+  acc.name = "accuracy";
+  acc.bottoms = {"ip2", "label"};
+  acc.tops = {"accuracy"};
+  s.layers.push_back(acc);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const std::string snapshot = "/tmp/glp4nn_inference_example.glpw";
+  std::printf("== inference serving under GLP4NN (P100) ==\n\n");
+
+  // 1. Train briefly and snapshot.
+  {
+    scuda::Context gpu(gpusim::DeviceTable::p100());
+    kern::SerialDispatcher serial(gpu);
+    mc::ExecContext ec;
+    ec.ctx = &gpu;
+    ec.dispatcher = &serial;
+    mc::Net net(lenet_with_accuracy(32), ec);
+    mc::SolverParams p;
+    p.base_lr = 0.01f;
+    p.momentum = 0.9f;
+    mc::SgdSolver solver(net, p);
+    solver.step(30);
+    mc::save_weights(net, snapshot);
+    std::printf("trained 30 iterations (final loss %.3f), snapshot saved\n\n",
+                solver.last_loss());
+  }
+
+  // 2. Serve with each scheduler from the same snapshot.
+  for (int use_glp = 0; use_glp < 2; ++use_glp) {
+    scuda::Context gpu(gpusim::DeviceTable::p100());
+    std::unique_ptr<kern::SerialDispatcher> serial;
+    std::unique_ptr<glp4nn::Glp4nnEngine> engine;
+    mc::ExecContext ec;
+    ec.ctx = &gpu;
+    if (use_glp) {
+      engine = std::make_unique<glp4nn::Glp4nnEngine>();
+      ec.dispatcher = &engine->scheduler_for(gpu);
+    } else {
+      serial = std::make_unique<kern::SerialDispatcher>(gpu);
+      ec.dispatcher = serial.get();
+    }
+    mc::Net net(lenet_with_accuracy(32), ec);
+    const auto report = mc::load_weights(net, snapshot);
+
+    // Warm-up pass (contains GLP4NN's one-time profiling).
+    mc::evaluate(net, 1);
+    const mc::EvalResult eval = mc::evaluate(net, 20);
+
+    const double images_per_s =
+        20.0 * 32.0 / (eval.total_ms / 1e3);
+    std::printf("%-12s restored %d params; accuracy %.3f, loss %.3f, "
+                "%.1f images/simulated-second\n",
+                use_glp ? "GLP4NN:" : "serial:", report.restored,
+                eval.mean_or("accuracy", -1.0f), eval.mean_or("loss", -1.0f),
+                images_per_s);
+  }
+  std::printf("\nBoth schedulers serve identical predictions from the same\n"
+              "snapshot; GLP4NN simply overlaps the per-sample conv chains.\n");
+  return 0;
+}

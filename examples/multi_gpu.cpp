@@ -1,0 +1,78 @@
+// Multi-GPU data parallelism over one GLP4NN engine (Fig. 5's layout:
+// shared resource tracker + stream manager, a private kernel analyzer and
+// runtime scheduler per device). Two replicas train on different halves
+// of each batch; gradients are averaged on the host and the averaged
+// update is applied to both replicas, keeping them in lock-step.
+//
+// The devices are deliberately *different* (P100 + K40C) to show the
+// analyzers reaching device-specific stream decisions for the same net.
+//
+// Lifetime rule: device contexts must outlive the engine (it owns their
+// stream pools and profiling sessions), so they are declared first.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/glp4nn.hpp"
+#include "kernels/cpu_math.hpp"
+#include "minicaffe/models.hpp"
+#include "minicaffe/solver.hpp"
+
+int main() {
+  constexpr int kIterations = 8;
+  constexpr float kLr = 0.01f;
+
+  std::printf("== data-parallel LeNet on two simulated GPUs ==\n\n");
+
+  scuda::Context gpu_a(gpusim::DeviceTable::p100());
+  scuda::Context gpu_b(gpusim::DeviceTable::k40c());
+  glp4nn::Glp4nnEngine engine;
+
+  mc::ExecContext ec_a, ec_b;
+  ec_a.ctx = &gpu_a;
+  ec_a.dispatcher = &engine.scheduler_for(gpu_a);
+  ec_b.ctx = &gpu_b;
+  ec_b.dispatcher = &engine.scheduler_for(gpu_b);
+
+  mc::Net net_a(mc::models::lenet(/*batch=*/16), ec_a);
+  mc::Net net_b(mc::models::lenet(/*batch=*/16), ec_b);
+
+  const auto& params_a = net_a.learnable_params();
+  const auto& params_b = net_b.learnable_params();
+
+  for (int iter = 1; iter <= kIterations; ++iter) {
+    for (mc::Net* net : {&net_a, &net_b}) {
+      net->zero_param_diffs();
+      net->forward();
+      net->backward();
+    }
+    // Join both devices, then all-reduce (average) gradients on the host.
+    const float loss_a = net_a.total_loss();
+    const float loss_b = net_b.total_loss();
+    for (std::size_t p = 0; p < params_a.size(); ++p) {
+      float* ga = params_a[p]->mutable_diff();
+      float* gb = params_b[p]->mutable_diff();
+      float* wa = params_a[p]->mutable_data();
+      float* wb = params_b[p]->mutable_data();
+      for (std::size_t i = 0; i < params_a[p]->count(); ++i) {
+        const float avg = 0.5f * (ga[i] + gb[i]);
+        // Apply the same SGD update to both replicas (host-side for
+        // clarity; a production loop would launch sgd_update per device).
+        wa[i] -= kLr * avg;
+        wb[i] -= kLr * avg;
+      }
+    }
+    std::printf("iter %d: loss P100=%.4f K40C=%.4f\n", iter, loss_a, loss_b);
+  }
+
+  std::printf("\nper-device stream decisions for the SAME network:\n");
+  for (scuda::Context* gpu : {&gpu_a, &gpu_b}) {
+    std::printf("  %s:\n", gpu->props().name.c_str());
+    for (const auto& [scope, d] : engine.analyzer_for(*gpu)->decisions()) {
+      std::printf("    %-12s -> %d streams\n", scope.c_str(), d.stream_count);
+    }
+  }
+  std::printf("\n(shared tracker collected %llu kernel records across both GPUs)\n",
+              static_cast<unsigned long long>(engine.tracker().records_collected()));
+  return 0;
+}

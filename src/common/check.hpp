@@ -1,0 +1,69 @@
+#pragma once
+// Invariant checking. GLP_CHECK* throw glp::Error so callers (and tests)
+// can observe contract violations without aborting the process.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace glp {
+
+/// Base error type for all failures raised by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid argument / precondition violation.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Internal invariant violation (a bug in this library).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (kind[0] == 'G') throw InternalError(os.str());  // GLP_CHECK
+  throw InvalidArgument(os.str());
+}
+}  // namespace detail
+
+}  // namespace glp
+
+/// Internal invariant: failure indicates a library bug.
+#define GLP_CHECK(cond)                                                        \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::glp::detail::check_failed("GLP_CHECK", #cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define GLP_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream glp_os_;                                         \
+      glp_os_ << msg;                                                     \
+      ::glp::detail::check_failed("GLP_CHECK", #cond, __FILE__, __LINE__, \
+                                  glp_os_.str());                         \
+    }                                                                     \
+  } while (0)
+
+/// Precondition on caller-supplied arguments.
+#define GLP_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream glp_os_;                                           \
+      glp_os_ << msg;                                                       \
+      ::glp::detail::check_failed("REQUIRE", #cond, __FILE__, __LINE__,     \
+                                  glp_os_.str());                           \
+    }                                                                       \
+  } while (0)

@@ -1,0 +1,48 @@
+#pragma once
+// Minimal leveled logger. Thread-safe: each emit formats into a local
+// buffer and writes with a single mutex-guarded call (CP.43: keep the
+// critical section to the write itself).
+
+#include <sstream>
+#include <string>
+
+namespace glp {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped at emit time.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const char* file, int line, const std::string& msg);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_emit(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace glp
+
+#define GLP_LOG(level)                                                      \
+  if (static_cast<int>(level) < static_cast<int>(::glp::log_level())) {     \
+  } else                                                                    \
+    ::glp::detail::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define GLP_DEBUG GLP_LOG(::glp::LogLevel::kDebug)
+#define GLP_INFO GLP_LOG(::glp::LogLevel::kInfo)
+#define GLP_WARN GLP_LOG(::glp::LogLevel::kWarn)
+#define GLP_ERROR GLP_LOG(::glp::LogLevel::kError)

@@ -1,0 +1,132 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace glp {
+
+namespace {
+
+// A fixed pool of workers woken per parallel_for call. Threads are
+// created on first use and joined at process exit (CP.25-style ownership:
+// the pool object owns and joins its threads). Worker i only ever runs
+// partition i of the current generation, so no partition can run twice;
+// a generation cannot complete until every counted partition ran, so no
+// worker can sleep through a generation it participates in.
+class Pool {
+ public:
+  Pool() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    worker_count_ = static_cast<int>(hw > 1 ? hw : 1);
+    const int spawn = worker_count_ - 1;  // caller participates as worker 0
+    threads_.reserve(static_cast<std::size_t>(spawn));
+    for (int i = 0; i < spawn; ++i) {
+      threads_.emplace_back([this, i] { worker_loop(i + 1); });
+    }
+  }
+
+  ~Pool() {
+    {
+      const std::scoped_lock lock(mutex_);
+      shutdown_ = true;
+      ++generation_;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  int workers() const { return worker_count_; }
+
+  void run(std::size_t begin, std::size_t end,
+           const std::function<void(std::size_t, std::size_t)>& fn) {
+    const std::size_t total = end - begin;
+    const int parts = std::min<int>(worker_count_, static_cast<int>(total));
+    Task task{&fn, begin, end, parts};
+    {
+      const std::scoped_lock lock(mutex_);
+      task_ = task;
+      remaining_.store(parts, std::memory_order_relaxed);
+      ++generation_;
+    }
+    cv_.notify_all();
+    run_part(task, 0);  // the caller works too
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [this] { return remaining_.load(std::memory_order_acquire) == 0; });
+  }
+
+ private:
+  struct Task {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    int parts = 0;
+  };
+
+  void run_part(const Task& task, int part) {
+    if (part >= task.parts) return;
+    const std::size_t total = task.end - task.begin;
+    const std::size_t chunk = total / static_cast<std::size_t>(task.parts);
+    const std::size_t extra = total % static_cast<std::size_t>(task.parts);
+    const std::size_t p = static_cast<std::size_t>(part);
+    const std::size_t lo = task.begin + p * chunk + std::min<std::size_t>(p, extra);
+    const std::size_t hi = lo + chunk + (p < extra ? 1 : 0);
+    if (hi > lo) (*task.fn)(lo, hi);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      const std::scoped_lock lock(mutex_);
+      done_cv_.notify_one();
+    }
+  }
+
+  void worker_loop(int worker_index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      Task task;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this, seen] { return generation_ != seen || shutdown_; });
+        if (shutdown_) return;
+        seen = generation_;
+        task = task_;  // copy under the lock; never touch task_ unlocked
+      }
+      run_part(task, worker_index);
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+  int worker_count_ = 1;
+
+  Task task_;
+  std::atomic<int> remaining_{0};
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+Pool& pool() {
+  static Pool p;
+  return p;
+}
+
+}  // namespace
+
+int parallel_workers() { return pool().workers(); }
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t grain) {
+  if (end <= begin) return;
+  if (end - begin <= grain || parallel_workers() == 1) {
+    fn(begin, end);
+    return;
+  }
+  pool().run(begin, end, fn);
+}
+
+}  // namespace glp

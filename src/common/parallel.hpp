@@ -1,0 +1,24 @@
+#pragma once
+// Persistent thread pool with a deterministic static-partition
+// parallel_for. Used by the host math kernels (gemm, im2col, ...) so the
+// *numeric* experiments run at useful speed. Determinism note: each index
+// range writes disjoint outputs and partitioning depends only on
+// (range, worker count), so results are bit-identical run to run.
+
+#include <cstddef>
+#include <functional>
+
+namespace glp {
+
+/// Number of workers in the global pool (hardware concurrency, ≥ 1).
+int parallel_workers();
+
+/// Invoke fn(begin, end) on worker threads over a static partition of
+/// [begin, end). Falls back to inline execution for small ranges.
+/// fn must not throw (violations terminate) and must only touch disjoint
+/// state per partition (CP.2: avoid data races by construction).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t grain = 1024);
+
+}  // namespace glp

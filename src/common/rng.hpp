@@ -1,0 +1,94 @@
+#pragma once
+// Deterministic, seedable RNG (xoshiro256**) used everywhere instead of
+// std::mt19937 so results are identical across standard libraries.
+// Determinism underpins the convergence-invariance tests: serial and
+// GLP4NN runs must consume identical weight initialisations and data.
+
+#include <cstdint>
+#include <cmath>
+
+namespace glp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+    has_gauss_ = false;
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t next_below(std::uint64_t n) {
+    // Lemire's nearly-divisionless method would be overkill; modulo bias
+    // is irrelevant for our n << 2^64 uses, but reject to stay exact.
+    const std::uint64_t threshold = (~n + 1) % n;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Standard normal via Box–Muller (cached second value).
+  double next_gaussian() {
+    if (has_gauss_) {
+      has_gauss_ = false;
+      return gauss_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = next_double();
+    } while (u1 <= 1e-300);
+    const double u2 = next_double();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    gauss_ = r * std::sin(theta);
+    has_gauss_ = true;
+    return r * std::cos(theta);
+  }
+
+  float gaussian(float mean, float stddev) {
+    return mean + stddev * static_cast<float>(next_gaussian());
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  bool has_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+}  // namespace glp

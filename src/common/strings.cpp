@@ -1,0 +1,57 @@
+#include "common/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace glp {
+
+std::vector<std::string> split(std::string_view text, std::string_view delims) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t pos = text.find_first_of(delims, start);
+    const std::size_t end = (pos == std::string_view::npos) ? text.size() : pos;
+    if (end > start) out.emplace_back(text.substr(start, end - start));
+    if (pos == std::string_view::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  const char* ws = " \t\r\n";
+  const std::size_t first = text.find_first_not_of(ws);
+  if (first == std::string_view::npos) return {};
+  const std::size_t last = text.find_last_not_of(ws);
+  return text.substr(first, last - first + 1);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string strformat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(needed > 0 ? static_cast<std::size_t>(needed) : 0, '\0');
+  if (needed > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string human_bytes(std::size_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 3) {
+    value /= 1024.0;
+    ++unit;
+  }
+  return strformat("%.1f %s", value, units[unit]);
+}
+
+}  // namespace glp

@@ -1,0 +1,25 @@
+#pragma once
+// Small string utilities shared by the net-text parser and report printers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace glp {
+
+/// Split on any of the characters in `delims`, dropping empty pieces.
+std::vector<std::string> split(std::string_view text, std::string_view delims);
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Render a byte count as a human-readable string ("12.0 KiB").
+std::string human_bytes(std::size_t bytes);
+
+}  // namespace glp

@@ -1,0 +1,29 @@
+#pragma once
+// Wall-clock timer for measuring *host* costs (T_p, T_a in the paper's
+// Table 6). Simulated GPU time lives in gpusim and is unrelated.
+
+#include <chrono>
+
+namespace glp {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed milliseconds since construction or last reset().
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace glp

@@ -1,0 +1,59 @@
+#pragma once
+// Public facade of the GLP4NN framework, wired per Fig. 5: a *shared*
+// resource tracker and stream manager, plus a *private* kernel analyzer
+// and runtime scheduler per GPU. Typical use:
+//
+//   scuda::Context gpu(gpusim::DeviceTable::p100());
+//   glp4nn::Glp4nnEngine engine;
+//   mc::ExecContext ec;
+//   ec.ctx = &gpu;
+//   ec.dispatcher = &engine.scheduler_for(gpu);   // instead of Serial
+//   mc::Net net(mc::models::cifar10_quick(), ec);
+//   ...train as usual — first iteration profiles, the rest fly.
+//
+// Lifetime: every scuda::Context handed to scheduler_for() must outlive
+// the engine — the engine owns stream pools and profiling sessions tied
+// to those devices. Declare contexts before the engine.
+
+#include <map>
+#include <memory>
+
+#include "core/runtime_scheduler.hpp"
+
+namespace glp4nn {
+
+class Glp4nnEngine {
+ public:
+  explicit Glp4nnEngine(SchedulerOptions options = {}) : options_(options) {}
+  Glp4nnEngine(const Glp4nnEngine&) = delete;
+  Glp4nnEngine& operator=(const Glp4nnEngine&) = delete;
+
+  /// The per-device runtime scheduler (created on first use, together
+  /// with the device's private kernel analyzer).
+  RuntimeScheduler& scheduler_for(scuda::Context& ctx);
+
+  /// The shared resource tracker / stream manager (Fig. 5).
+  ResourceTracker& tracker() { return tracker_; }
+  StreamManager& stream_manager() { return streams_; }
+
+  /// The device's private analyzer (nullptr before first scheduler_for).
+  KernelAnalyzer* analyzer_for(const scuda::Context& ctx);
+
+  /// Aggregate one-time overheads and memory footprint (Table 6, Fig. 10).
+  FrameworkCosts costs() const;
+
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  struct PerDevice {
+    std::unique_ptr<KernelAnalyzer> analyzer;
+    std::unique_ptr<RuntimeScheduler> scheduler;
+  };
+
+  SchedulerOptions options_;
+  ResourceTracker tracker_;
+  StreamManager streams_;
+  std::map<scuda::Context*, PerDevice> devices_;
+};
+
+}  // namespace glp4nn

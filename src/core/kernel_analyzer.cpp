@@ -1,0 +1,20 @@
+#include "core/kernel_analyzer.hpp"
+
+#include "common/check.hpp"
+
+namespace glp4nn {
+
+const ConcurrencyDecision& KernelAnalyzer::decide(const ScopeProfile& profile) {
+  auto it = decisions_.find(profile.scope);
+  if (it != decisions_.end()) return it->second;
+
+  ConcurrencyDecision decision =
+      custom_model_ ? custom_model_(model_.props(), profile.scope, profile.kernels)
+                    : model_.analyze(profile.scope, profile.kernels);
+  total_analysis_ms_ += decision.analysis_ms;
+  auto [inserted, ok] = decisions_.emplace(profile.scope, std::move(decision));
+  GLP_CHECK(ok);
+  return inserted->second;
+}
+
+}  // namespace glp4nn

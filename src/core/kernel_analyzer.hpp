@@ -1,0 +1,52 @@
+#pragma once
+// Kernel analyzer module (Fig. 5): the *concurrency analyzer* runs the
+// analytical model (customisable via set_model, as the paper's module
+// description allows), and the *concurrency maintainer* caches decisions
+// per scope so each layer is analysed exactly once per device.
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "core/analytical_model.hpp"
+
+namespace glp4nn {
+
+class KernelAnalyzer {
+ public:
+  using ModelFn = std::function<ConcurrencyDecision(
+      const gpusim::DeviceProps&, const std::string&,
+      const std::vector<KernelStats>&)>;
+
+  explicit KernelAnalyzer(gpusim::DeviceProps props) : model_(std::move(props)) {}
+
+  /// Analyze (or fetch the cached decision for) a profiled scope.
+  const ConcurrencyDecision& decide(const ScopeProfile& profile);
+
+  bool has_decision(const std::string& scope) const {
+    return decisions_.count(scope) != 0;
+  }
+  const ConcurrencyDecision* decision(const std::string& scope) const {
+    auto it = decisions_.find(scope);
+    return it == decisions_.end() ? nullptr : &it->second;
+  }
+  const std::map<std::string, ConcurrencyDecision>& decisions() const {
+    return decisions_;
+  }
+  /// Drop all cached decisions (forces re-profiling).
+  void invalidate() { decisions_.clear(); }
+
+  /// Replace the analytical model (ablations, custom models).
+  void set_model(ModelFn model) { custom_model_ = std::move(model); }
+
+  const AnalyticalModel& model() const { return model_; }
+  double total_analysis_ms() const { return total_analysis_ms_; }
+
+ private:
+  AnalyticalModel model_;
+  ModelFn custom_model_;
+  std::map<std::string, ConcurrencyDecision> decisions_;
+  double total_analysis_ms_ = 0.0;
+};
+
+}  // namespace glp4nn

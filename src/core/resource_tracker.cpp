@@ -1,0 +1,127 @@
+#include "core/resource_tracker.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+
+namespace glp4nn {
+
+ResourceTracker::Session& ResourceTracker::session_for(scuda::Context& ctx) {
+  auto it = sessions_.find(&ctx);
+  if (it == sessions_.end()) {
+    Session session;
+    session.api = std::make_unique<scupti::ActivityApi>(ctx);
+    it = sessions_.emplace(&ctx, std::move(session)).first;
+    Session& s = it->second;
+    s.api->register_callbacks(
+        [this, &s](std::uint8_t** buffer, std::size_t* size) {
+          if (s.free_buffers.empty()) {
+            s.free_buffers.push_back(
+                std::make_unique<std::uint8_t[]>(kActivityBufferBytes));
+          }
+          *buffer = s.free_buffers.back().get();
+          *size = kActivityBufferBytes;
+          s.full.emplace_back(std::move(s.free_buffers.back()), 0);
+          s.free_buffers.pop_back();
+        },
+        [&s](std::uint8_t* buffer, std::size_t /*size*/, std::size_t valid) {
+          // Find the owning entry (always the most recent unfinalised one).
+          for (auto& [owned, valid_bytes] : s.full) {
+            if (owned.get() == buffer) {
+              valid_bytes = valid;
+              return;
+            }
+          }
+          throw glp::InternalError("glp4nn: completed buffer not owned by pool");
+        });
+  }
+  return it->second;
+}
+
+void ResourceTracker::begin_profiling(scuda::Context& ctx) {
+  Session& s = session_for(ctx);
+  GLP_REQUIRE(!s.active, "profiling already active on this device");
+  s.active = true;
+  s.min_correlation = ctx.device().last_correlation() + 1;
+  s.api->enable(scupti::ActivityKind::kKernel);
+}
+
+bool ResourceTracker::profiling_active(const scuda::Context& ctx) const {
+  auto it = sessions_.find(const_cast<scuda::Context*>(&ctx));
+  return it != sessions_.end() && it->second.active;
+}
+
+ScopeProfile ResourceTracker::end_profiling(scuda::Context& ctx,
+                                            const std::string& scope) {
+  Session& s = session_for(ctx);
+  GLP_REQUIRE(s.active, "end_profiling without begin_profiling");
+  glp::WallTimer timer;
+
+  s.api->flush_all();
+  s.api->disable(scupti::ActivityKind::kKernel);
+  s.active = false;
+
+  ScopeProfile profile;
+  profile.scope = scope;
+
+  // Kernel parser: aggregate records by kernel name, preserving
+  // first-seen (submission) order for determinism.
+  std::map<std::string, std::size_t> index;
+  for (auto& [buffer, valid] : s.full) {
+    const auto records = scupti::ActivityApi::parse(buffer.get(), valid);
+    for (const auto& view : records) {
+      if (view.kind != scupti::ActivityKind::kKernel) continue;
+      const scupti::ActivityKernel& k = view.kernel;
+      if (k.correlation_id < s.min_correlation) continue;
+
+      ++records_collected_;
+      mem_tt_bytes_ += kTimestampBytesPerRecord;
+
+      auto [it, inserted] = index.emplace(k.name, profile.kernels.size());
+      if (inserted) {
+        KernelStats stats;
+        stats.name = k.name;
+        stats.config.grid = {k.grid_x, k.grid_y, k.grid_z};
+        stats.config.block = {k.block_x, k.block_y, k.block_z};
+        stats.config.regs_per_thread = k.registers_per_thread;
+        stats.config.smem_static_bytes = k.static_shared_memory;
+        stats.config.smem_dynamic_bytes = k.dynamic_shared_memory;
+        profile.kernels.push_back(std::move(stats));
+        mem_k_bytes_ += sizeof(gpusim::LaunchConfig) + it->first.size();
+      }
+      KernelStats& stats = profile.kernels[it->second];
+      ++stats.launches;
+      ++profile.total_launches;
+      stats.total_duration_us +=
+          static_cast<double>(k.end_ns - k.start_ns) / 1000.0;
+    }
+    // Record storage is released after parsing (paper §3.3.2); the buffer
+    // returns to the pool for reuse.
+    s.free_buffers.push_back(std::move(buffer));
+  }
+  s.full.clear();
+
+  for (KernelStats& stats : profile.kernels) {
+    stats.avg_duration_us = stats.total_duration_us / std::max(stats.launches, 1);
+  }
+  profile.mem_tt_bytes =
+      static_cast<std::size_t>(profile.total_launches) * kTimestampBytesPerRecord;
+  profile.mem_k_bytes = profile.kernels.size() * sizeof(gpusim::LaunchConfig);
+
+  profile.profiling_ms = timer.elapsed_ms();
+  total_profiling_ms_ += profile.profiling_ms;
+  return profile;
+}
+
+std::size_t ResourceTracker::mem_cupti_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [ctx, session] : sessions_) {
+    total += session.api->runtime_memory_bytes();
+    total += session.free_buffers.size() * kActivityBufferBytes;
+    total += session.full.size() * kActivityBufferBytes;
+  }
+  return total;
+}
+
+}  // namespace glp4nn

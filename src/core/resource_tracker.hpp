@@ -1,0 +1,75 @@
+#pragma once
+// Resource tracker (paper §3.1): the compact CUPTI-based *kernel
+// profiler* plus the *kernel parser*. Shared across all devices (Fig. 5);
+// each device gets a lazily-created profiling session holding its
+// ActivityApi and buffer pool. Profiling a scope means: enable kernel
+// activity, run the scope, drain the device, parse the records into
+// per-kernel-type statistics.
+//
+// Memory accounting matches the paper's model (Eq. 10–11): mem_tt counts
+// the timestamps retained per record, mem_K the launch configurations,
+// mem_cupti the profiling runtime's own footprint. Record storage is
+// released after parsing ("safe to be released after kernel analysis
+// finished", §3.3.2) — the accounting keeps the high-water totals that
+// Fig. 10 reports.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "core/types.hpp"
+#include "simcupti/activity.hpp"
+
+namespace glp4nn {
+
+class ResourceTracker {
+ public:
+  ResourceTracker() = default;
+  ResourceTracker(const ResourceTracker&) = delete;
+  ResourceTracker& operator=(const ResourceTracker&) = delete;
+
+  /// Start capturing kernel activity on `ctx`. Records with correlation
+  /// ids below the current launch count are ignored at parse time, so
+  /// kernels launched before this call never pollute the scope.
+  void begin_profiling(scuda::Context& ctx);
+
+  /// Stop capturing and parse what was collected into a ScopeProfile.
+  /// The caller must have drained the device (the runtime scheduler
+  /// synchronises before calling this).
+  ScopeProfile end_profiling(scuda::Context& ctx, const std::string& scope);
+
+  bool profiling_active(const scuda::Context& ctx) const;
+
+  // --- lifetime accounting (Fig. 10 / Table 6) -----------------------------
+  double total_profiling_ms() const { return total_profiling_ms_; }
+  std::size_t mem_tt_bytes() const { return mem_tt_bytes_; }
+  std::size_t mem_k_bytes() const { return mem_k_bytes_; }
+  /// Current CUPTI-runtime footprint across live sessions.
+  std::size_t mem_cupti_bytes() const;
+  std::uint64_t records_collected() const { return records_collected_; }
+
+  /// Size of the fixed activity buffers handed to the profiling runtime.
+  static constexpr std::size_t kActivityBufferBytes = 64 * 1024;
+  /// Bytes of timestamp data retained per kernel record (start + end).
+  static constexpr std::size_t kTimestampBytesPerRecord = 2 * sizeof(std::uint64_t);
+
+ private:
+  struct Session {
+    std::unique_ptr<scupti::ActivityApi> api;
+    std::vector<std::unique_ptr<std::uint8_t[]>> free_buffers;
+    /// (buffer, valid bytes) pairs completed by the runtime.
+    std::vector<std::pair<std::unique_ptr<std::uint8_t[]>, std::size_t>> full;
+    bool active = false;
+    std::uint64_t min_correlation = 0;
+  };
+
+  Session& session_for(scuda::Context& ctx);
+
+  std::map<scuda::Context*, Session> sessions_;
+  double total_profiling_ms_ = 0.0;
+  std::size_t mem_tt_bytes_ = 0;
+  std::size_t mem_k_bytes_ = 0;
+  std::uint64_t records_collected_ = 0;
+};
+
+}  // namespace glp4nn

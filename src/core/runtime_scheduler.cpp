@@ -1,0 +1,116 @@
+#include "core/runtime_scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+
+namespace glp4nn {
+
+RuntimeScheduler::RuntimeScheduler(scuda::Context& ctx, ResourceTracker& tracker,
+                                   KernelAnalyzer& analyzer,
+                                   StreamManager& streams,
+                                   SchedulerOptions options)
+    : ctx_(&ctx),
+      tracker_(&tracker),
+      analyzer_(&analyzer),
+      streams_(&streams),
+      options_(options) {
+  GLP_REQUIRE(options_.max_streams >= 0 && options_.fixed_streams >= 0,
+              "stream limits must be non-negative");
+}
+
+int RuntimeScheduler::clamp_streams(int requested) const {
+  int s = requested;
+  const int device_cap = ctx_->props().max_concurrent_kernels;
+  s = std::min(s, device_cap);
+  if (options_.max_streams > 0) s = std::min(s, options_.max_streams);
+  if (options_.strict_repro) {
+    // Largest power of two ≤ s that divides 32 (1, 2, 4, 8, 16, 32).
+    int p = 1;
+    while (p * 2 <= s && p * 2 <= 32) p *= 2;
+    s = p;
+  }
+  return std::max(s, 1);
+}
+
+void RuntimeScheduler::begin_scope(const std::string& scope,
+                                   std::size_t num_tasks) {
+  GLP_REQUIRE(mode_ == Mode::kIdle, "dispatch scopes must not nest");
+  current_scope_ = scope;
+  current_tasks_ = num_tasks;
+
+  if (options_.fixed_streams > 0) {
+    pool_ = streams_->acquire(*ctx_, clamp_streams(options_.fixed_streams));
+    mode_ = Mode::kSteady;
+    return;
+  }
+
+  const ConcurrencyDecision* decision = analyzer_->decision(scope);
+  if (decision != nullptr) {
+    pool_ = streams_->acquire(*ctx_, clamp_streams(decision->stream_count));
+    mode_ = Mode::kSteady;
+  } else {
+    tracker_->begin_profiling(*ctx_);
+    mode_ = Mode::kProfiling;
+  }
+}
+
+kern::Lane RuntimeScheduler::task_lane(std::size_t index) {
+  GLP_REQUIRE(mode_ != Mode::kIdle, "task_lane outside a scope");
+  if (mode_ == Mode::kProfiling) {
+    return kern::Lane{gpusim::kDefaultStream, 0};
+  }
+  glp::WallTimer timer;
+  std::size_t lane = 0;
+  const std::size_t pool_size = pool_.size();
+  switch (options_.policy) {
+    case DispatchPolicy::kRoundRobin:
+      lane = index % pool_size;
+      break;
+    case DispatchPolicy::kBlockCyclic: {
+      const std::size_t block =
+          (current_tasks_ + pool_size - 1) / pool_size;  // ceil
+      lane = std::min(index / std::max<std::size_t>(block, 1), pool_size - 1);
+      break;
+    }
+  }
+  scheduling_ms_ += timer.elapsed_ms();
+  return kern::Lane{pool_[lane], static_cast<int>(lane)};
+}
+
+int RuntimeScheduler::max_lanes() const {
+  return clamp_streams(ctx_->props().max_concurrent_kernels);
+}
+
+void RuntimeScheduler::end_scope() {
+  GLP_REQUIRE(mode_ != Mode::kIdle, "end_scope without begin_scope");
+  if (mode_ == Mode::kProfiling) {
+    // Drain so every record of this scope is collected, then analyse.
+    ctx_->device().synchronize();
+    const ScopeProfile profile =
+        tracker_->end_profiling(*ctx_, current_scope_);
+    if (!profile.kernels.empty()) {
+      const ConcurrencyDecision& decision = analyzer_->decide(profile);
+      // Charge the one-time overhead to the simulated host clock so
+      // end-to-end timings include it (Table 6).
+      ctx_->device().host_advance(
+          (profile.profiling_ms + decision.analysis_ms) * gpusim::kMs);
+    }
+    // An empty scope (zero tasks) yields no decision; it will profile
+    // again next time it runs non-empty.
+  } else {
+    // Asynchronous barrier: later work on any stream observes the scope.
+    ctx_->device().record_event(gpusim::kDefaultStream);
+  }
+  mode_ = Mode::kIdle;
+  current_scope_.clear();
+}
+
+int RuntimeScheduler::stream_count(const std::string& scope) const {
+  if (options_.fixed_streams > 0) return clamp_streams(options_.fixed_streams);
+  const ConcurrencyDecision* decision = analyzer_->decision(scope);
+  return decision == nullptr ? 0 : clamp_streams(decision->stream_count);
+}
+
+}  // namespace glp4nn

@@ -1,0 +1,90 @@
+#pragma once
+// Runtime scheduler (paper §3.1, workflow in Fig. 6): the per-device
+// module that drives everything. Implements kern::KernelDispatcher so a
+// Net can be switched from naive-Caffe to GLP4NN by swapping the
+// dispatcher.
+//
+// Per scope (e.g. "conv1/fwd"):
+//   first encounter — PROFILE: route every task to the default stream with
+//     the resource tracker capturing kernel activity; at end_scope, drain
+//     the device, parse, run the kernel analyzer (analytical model), cache
+//     the decision, and size the stream pool. The one-time T_p + T_a wall
+//     cost is charged to the simulated host clock, so end-to-end timings
+//     include GLP4NN's overhead (Table 6 honesty).
+//   afterwards — STEADY: round-robin tasks over the scope's stream pool;
+//     end_scope posts an asynchronous default-stream barrier.
+//
+// Options cover the ablations DESIGN.md lists: dispatch policy, a stream
+// cap, strict-repro pool rounding (bit-identical training), and a fixed
+// pool size that bypasses the model (the Fig. 2/4 manual baseline).
+
+#include <string>
+
+#include "core/kernel_analyzer.hpp"
+#include "core/resource_tracker.hpp"
+#include "core/stream_manager.hpp"
+#include "kernels/dispatch.hpp"
+
+namespace glp4nn {
+
+enum class DispatchPolicy {
+  kRoundRobin,  ///< task i → stream (i mod S) — the paper's policy
+  kBlockCyclic, ///< contiguous blocks of tasks per stream (ablation)
+};
+
+struct SchedulerOptions {
+  DispatchPolicy policy = DispatchPolicy::kRoundRobin;
+  /// Cap on the analyzer's stream count (0 = device concurrency degree).
+  int max_streams = 0;
+  /// Round pool sizes down to a divisor of 32 so gradient-slot order is
+  /// stream-stable → bit-identical training vs the serial baseline
+  /// (extension; see ConvolutionLayer docs).
+  bool strict_repro = false;
+  /// Skip profiling/analysis and always use this many streams (manual
+  /// baseline for Figs. 2 and 4; 0 = disabled).
+  int fixed_streams = 0;
+};
+
+class RuntimeScheduler final : public kern::KernelDispatcher {
+ public:
+  RuntimeScheduler(scuda::Context& ctx, ResourceTracker& tracker,
+                   KernelAnalyzer& analyzer, StreamManager& streams,
+                   SchedulerOptions options = {});
+
+  // --- kern::KernelDispatcher ------------------------------------------------
+  void begin_scope(const std::string& scope, std::size_t num_tasks) override;
+  kern::Lane task_lane(std::size_t index) override;
+  int max_lanes() const override;
+  void end_scope() override;
+
+  // --- introspection -----------------------------------------------------------
+  /// Stream count the scheduler uses for a scope (0 if not yet decided).
+  int stream_count(const std::string& scope) const;
+  const KernelAnalyzer& analyzer() const { return *analyzer_; }
+  KernelAnalyzer& analyzer() { return *analyzer_; }
+  const SchedulerOptions& options() const { return options_; }
+  scuda::Context& context() { return *ctx_; }
+
+  /// Wall-clock scheduling cost accumulated in task_lane (the paper's
+  /// T_s — negligible for the static policy, measured anyway).
+  double scheduling_ms() const { return scheduling_ms_; }
+
+  /// Effective pool size after the option clamps (exposed for tests).
+  int clamp_streams(int requested) const;
+
+ private:
+  scuda::Context* ctx_;
+  ResourceTracker* tracker_;
+  KernelAnalyzer* analyzer_;
+  StreamManager* streams_;
+  SchedulerOptions options_;
+
+  enum class Mode { kIdle, kProfiling, kSteady };
+  Mode mode_ = Mode::kIdle;
+  std::string current_scope_;
+  std::size_t current_tasks_ = 0;
+  std::vector<gpusim::StreamId> pool_;
+  double scheduling_ms_ = 0.0;
+};
+
+}  // namespace glp4nn

@@ -1,0 +1,41 @@
+#include "core/stream_manager.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace glp4nn {
+
+std::vector<gpusim::StreamId> StreamManager::acquire(scuda::Context& ctx,
+                                                     int count) {
+  GLP_REQUIRE(count >= 1, "stream pool request must be positive");
+  GLP_REQUIRE(count <= ctx.props().max_concurrent_kernels,
+              "requesting " << count
+                            << " streams exceeds the device concurrency degree "
+                            << ctx.props().max_concurrent_kernels);
+  std::vector<scuda::Stream>& pool = pools_[&ctx];
+  while (static_cast<int>(pool.size()) < count) {
+    pool.push_back(scuda::Stream::create(ctx));
+  }
+  std::vector<gpusim::StreamId> ids;
+  ids.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    ids.push_back(pool[static_cast<std::size_t>(i)].id());
+  }
+  return ids;
+}
+
+int StreamManager::pool_size(const scuda::Context& ctx) const {
+  auto it = pools_.find(const_cast<scuda::Context*>(&ctx));
+  return it == pools_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+int StreamManager::max_pool_size() const {
+  int best = 0;
+  for (const auto& [ctx, pool] : pools_) {
+    best = std::max(best, static_cast<int>(pool.size()));
+  }
+  return best;
+}
+
+}  // namespace glp4nn

@@ -1,0 +1,35 @@
+#pragma once
+// Stream manager (paper §3.1): owns the *concurrent stream pool* per
+// device plus access to the default stream used for synchronisation.
+// Pools grow on demand and streams are reused across scopes, so GLP4NN
+// never consumes extra host threads or processes — the property the
+// paper contrasts against OpenMP-based schemes.
+
+#include <map>
+#include <vector>
+
+#include "simcuda/context.hpp"
+
+namespace glp4nn {
+
+class StreamManager {
+ public:
+  StreamManager() = default;
+  StreamManager(const StreamManager&) = delete;
+  StreamManager& operator=(const StreamManager&) = delete;
+
+  /// Return `count` stream ids from the device's pool, growing it if
+  /// needed. The returned span stays valid until the manager dies.
+  std::vector<gpusim::StreamId> acquire(scuda::Context& ctx, int count);
+
+  /// Current pool size for a device (0 before first acquire).
+  int pool_size(const scuda::Context& ctx) const;
+
+  /// High-water pool size across all devices.
+  int max_pool_size() const;
+
+ private:
+  std::map<scuda::Context*, std::vector<scuda::Stream>> pools_;
+};
+
+}  // namespace glp4nn

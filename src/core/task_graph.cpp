@@ -1,0 +1,82 @@
+#include "core/task_graph.hpp"
+
+#include <map>
+
+#include "common/check.hpp"
+
+namespace glp4nn {
+
+int TaskGraph::add_task(std::string name, TaskFn fn, std::vector<int> deps) {
+  const int id = static_cast<int>(tasks_.size());
+  for (int dep : deps) {
+    GLP_REQUIRE(dep >= 0 && dep < id,
+                "task '" << name << "' depends on unknown/later task " << dep);
+  }
+  Task task;
+  task.name = std::move(name);
+  task.fn = std::move(fn);
+  task.deps = std::move(deps);
+  tasks_.push_back(std::move(task));
+  return id;
+}
+
+const std::string& TaskGraph::name(int task) const {
+  GLP_REQUIRE(task >= 0 && task < size(), "unknown task " << task);
+  return tasks_[static_cast<std::size_t>(task)].name;
+}
+
+const std::vector<int>& TaskGraph::deps(int task) const {
+  GLP_REQUIRE(task >= 0 && task < size(), "unknown task " << task);
+  return tasks_[static_cast<std::size_t>(task)].deps;
+}
+
+std::vector<gpusim::StreamId> TaskGraph::run(
+    scuda::Context& ctx, const std::vector<gpusim::StreamId>& pool,
+    kern::ComputeMode mode) {
+  GLP_REQUIRE(!pool.empty(), "task graph needs at least one stream");
+  std::vector<gpusim::StreamId> placement(tasks_.size(), pool[0]);
+  // Event recorded after each task, created lazily on first cross-stream use.
+  std::vector<gpusim::EventId> done_event(tasks_.size(), 0);
+  std::vector<bool> has_event(tasks_.size(), false);
+  std::size_t next_rr = 0;
+
+  for (std::size_t id = 0; id < tasks_.size(); ++id) {
+    Task& task = tasks_[id];
+
+    // Placement: inherit the stream of the last dependency (free FIFO
+    // ordering); independent tasks round-robin across the pool.
+    gpusim::StreamId stream;
+    if (task.deps.empty()) {
+      stream = pool[next_rr++ % pool.size()];
+    } else {
+      stream = placement[static_cast<std::size_t>(task.deps.back())];
+    }
+    placement[id] = stream;
+
+    // Cross-stream edges: wait on the producer's completion event.
+    for (int dep : task.deps) {
+      const auto d = static_cast<std::size_t>(dep);
+      if (placement[d] == stream) continue;  // FIFO covers it
+      GLP_CHECK_MSG(has_event[d],
+                    "producer '" << tasks_[d].name << "' has no event");
+      ctx.device().wait_event(stream, done_event[d]);
+    }
+
+    kern::Launcher launcher;
+    launcher.ctx = &ctx;
+    launcher.stream = stream;
+    launcher.mode = mode;
+    launcher.name_prefix = task.name;
+    task.fn(launcher);
+
+    // Record a completion event only if a later task on another stream
+    // might need it. We cannot know yet, so record for every task that has
+    // at least one consumer... consumers are not known either (edges point
+    // backwards). Record unconditionally — event records are cheap ops.
+    done_event[id] = ctx.device().record_event(stream);
+    has_event[id] = true;
+  }
+  return placement;
+}
+
+}  // namespace glp4nn

@@ -1,0 +1,53 @@
+#pragma once
+// Dependency-aware scheduling — the first item of the paper's future work
+// (§6: "complex kernel dependencies, such as the dataflow-like dependency
+// model in Tensorflow"). A TaskGraph holds tasks with explicit edges;
+// run() executes them over a stream pool, preserving every edge with CUDA
+// events while letting independent tasks overlap.
+//
+// Placement policy: a task prefers the stream of its highest-indexed
+// dependency (same-stream edges are free — FIFO order covers them);
+// otherwise round-robin. Cross-stream edges get a recorded event on the
+// producer's stream and a wait on the consumer's.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernels/launcher.hpp"
+#include "simcuda/context.hpp"
+
+namespace glp4nn {
+
+class TaskGraph {
+ public:
+  /// A task launches its kernels through the provided launcher.
+  using TaskFn = std::function<void(const kern::Launcher&)>;
+
+  /// Add a task depending on previously added tasks. Returns its id.
+  /// Dependencies must reference earlier tasks (the graph is built in
+  /// topological order by construction — cycles are unrepresentable).
+  int add_task(std::string name, TaskFn fn, std::vector<int> deps = {});
+
+  int size() const { return static_cast<int>(tasks_.size()); }
+  const std::string& name(int task) const;
+  const std::vector<int>& deps(int task) const;
+
+  /// Execute the graph over `pool` (stream ids on `ctx`). Tasks are issued
+  /// in id order; edges are enforced with events. Returns the stream each
+  /// task was placed on. Does not synchronise — follow with an
+  /// end-of-graph barrier or a device sync as needed.
+  std::vector<gpusim::StreamId> run(scuda::Context& ctx,
+                                    const std::vector<gpusim::StreamId>& pool,
+                                    kern::ComputeMode mode);
+
+ private:
+  struct Task {
+    std::string name;
+    TaskFn fn;
+    std::vector<int> deps;
+  };
+  std::vector<Task> tasks_;
+};
+
+}  // namespace glp4nn

@@ -1,0 +1,185 @@
+#include "gpusim/device_props.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace gpusim {
+
+const char* to_string(Architecture arch) {
+  switch (arch) {
+    case Architecture::kTesla: return "Tesla";
+    case Architecture::kFermi: return "Fermi";
+    case Architecture::kKepler: return "Kepler";
+    case Architecture::kMaxwell: return "Maxwell";
+    case Architecture::kPascal: return "Pascal";
+    case Architecture::kVolta: return "Volta";
+  }
+  return "?";
+}
+
+DeviceProps DeviceTable::k40c() {
+  DeviceProps d;
+  d.name = "K40C";
+  d.arch = Architecture::kKepler;
+  d.sm_count = 15;
+  d.cores_per_sm = 192;
+  d.clock_ghz = 0.745;
+  d.max_threads_per_sm = 2048;
+  d.max_blocks_per_sm = 16;
+  d.shared_mem_per_sm = 48 * 1024;
+  d.registers_per_sm = 64 * 1024;
+  d.max_concurrent_kernels = 32;
+  d.mem_bandwidth_gbs = 288.0;
+  d.mem_bytes = 12ull << 30;
+  d.pcie_bandwidth_gbs = 10.0;
+  d.kernel_launch_overhead_us = 7.0;   // older driver path, slower host
+  d.kernel_start_latency_us = 6.0;     // Kepler's slower grid dispatch
+  d.unified_memory = false;
+  d.tensor_cores = false;
+  return d;
+}
+
+DeviceProps DeviceTable::p100() {
+  DeviceProps d;
+  d.name = "P100";
+  d.arch = Architecture::kPascal;
+  d.sm_count = 56;
+  d.cores_per_sm = 64;
+  d.clock_ghz = 1.189;
+  d.max_threads_per_sm = 2048;
+  d.max_blocks_per_sm = 32;
+  d.shared_mem_per_sm = 64 * 1024;
+  d.registers_per_sm = 64 * 1024;
+  d.max_concurrent_kernels = 128;
+  d.mem_bandwidth_gbs = 549.0;
+  d.mem_bytes = 12ull << 30;  // 12 GB variant per Table 3
+  d.pcie_bandwidth_gbs = 12.0;
+  d.kernel_launch_overhead_us = 5.0;
+  d.kernel_start_latency_us = 2.0;
+  d.unified_memory = true;
+  d.tensor_cores = false;
+  return d;
+}
+
+DeviceProps DeviceTable::titan_xp() {
+  DeviceProps d;
+  d.name = "TitanXP";
+  d.arch = Architecture::kPascal;
+  d.sm_count = 30;
+  d.cores_per_sm = 128;
+  d.clock_ghz = 1.455;
+  d.max_threads_per_sm = 2048;
+  d.max_blocks_per_sm = 32;
+  d.shared_mem_per_sm = 48 * 1024;  // per Table 3 (L1/shared split)
+  d.registers_per_sm = 64 * 1024;
+  d.max_concurrent_kernels = 128;
+  d.mem_bandwidth_gbs = 547.7;
+  d.mem_bytes = 12ull << 30;
+  d.pcie_bandwidth_gbs = 12.0;
+  d.kernel_launch_overhead_us = 5.0;
+  d.kernel_start_latency_us = 2.0;
+  d.unified_memory = true;
+  d.tensor_cores = false;
+  return d;
+}
+
+DeviceProps DeviceTable::fermi_generic() {
+  DeviceProps d;
+  d.name = "Fermi";
+  d.arch = Architecture::kFermi;
+  d.sm_count = 16;
+  d.cores_per_sm = 32;
+  d.clock_ghz = 1.15;
+  d.max_threads_per_sm = 1536;
+  d.max_blocks_per_sm = 8;
+  d.shared_mem_per_sm = 48 * 1024;
+  d.registers_per_sm = 32 * 1024;
+  d.max_concurrent_kernels = 16;
+  d.mem_bandwidth_gbs = 144.0;
+  d.mem_bytes = 3ull << 30;
+  d.pcie_bandwidth_gbs = 6.0;
+  d.kernel_launch_overhead_us = 9.0;
+  d.kernel_start_latency_us = 4.0;
+  d.dynamic_parallelism = false;
+  return d;
+}
+
+DeviceProps DeviceTable::kepler_generic() {
+  DeviceProps d = k40c();
+  d.name = "Kepler";
+  return d;
+}
+
+DeviceProps DeviceTable::maxwell_generic() {
+  DeviceProps d;
+  d.name = "Maxwell";
+  d.arch = Architecture::kMaxwell;
+  d.sm_count = 24;
+  d.cores_per_sm = 128;
+  d.clock_ghz = 1.0;
+  d.max_threads_per_sm = 2048;
+  d.max_blocks_per_sm = 32;
+  d.shared_mem_per_sm = 96 * 1024;
+  d.registers_per_sm = 64 * 1024;
+  d.max_concurrent_kernels = 16;  // per Table 1
+  d.mem_bandwidth_gbs = 336.0;
+  d.mem_bytes = 12ull << 30;
+  d.pcie_bandwidth_gbs = 10.0;
+  d.kernel_launch_overhead_us = 6.0;
+  d.kernel_start_latency_us = 2.5;
+  return d;
+}
+
+DeviceProps DeviceTable::pascal_generic() {
+  DeviceProps d = p100();
+  d.name = "Pascal";
+  return d;
+}
+
+DeviceProps DeviceTable::volta_generic() {
+  DeviceProps d;
+  d.name = "Volta";
+  d.arch = Architecture::kVolta;
+  d.sm_count = 80;
+  d.cores_per_sm = 64;
+  d.clock_ghz = 1.38;
+  d.max_threads_per_sm = 2048;
+  d.max_blocks_per_sm = 32;
+  d.shared_mem_per_sm = 96 * 1024;
+  d.registers_per_sm = 64 * 1024;
+  d.max_concurrent_kernels = 128;
+  d.mem_bandwidth_gbs = 900.0;
+  d.mem_bytes = 16ull << 30;
+  d.pcie_bandwidth_gbs = 14.0;
+  d.kernel_launch_overhead_us = 4.0;
+  d.kernel_start_latency_us = 1.5;
+  d.unified_memory = true;
+  d.tensor_cores = true;
+  return d;
+}
+
+std::vector<DeviceProps> DeviceTable::all() {
+  return {k40c(),           p100(),           titan_xp(),
+          fermi_generic(),  maxwell_generic(), volta_generic()};
+}
+
+std::optional<DeviceProps> DeviceTable::by_name(const std::string& name) {
+  std::string key;
+  key.reserve(name.size());
+  for (char c : name) {
+    if (c == '_' || c == '-' || c == ' ') continue;
+    key.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  for (const DeviceProps& d : all()) {
+    std::string dn;
+    for (char c : d.name) {
+      dn.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+    if (dn == key) return d;
+  }
+  if (key == "kepler") return kepler_generic();
+  if (key == "pascal") return pascal_generic();
+  return std::nullopt;
+}
+
+}  // namespace gpusim

@@ -1,0 +1,81 @@
+#pragma once
+// Per-device property tables. Encodes the paper's Table 1 (architecture
+// feature overview) and Table 3 (hardware profile of the three
+// evaluation GPUs) plus the derived microarchitectural limits the
+// analytical model needs (τ_max, sm_max, β_max, C, warp size).
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gpusim {
+
+enum class Architecture { kTesla, kFermi, kKepler, kMaxwell, kPascal, kVolta };
+
+const char* to_string(Architecture arch);
+
+struct DeviceProps {
+  std::string name;
+  Architecture arch = Architecture::kPascal;
+
+  // --- compute resources -------------------------------------------------
+  int sm_count = 1;             ///< #SM
+  int cores_per_sm = 64;        ///< scalar lanes per SM
+  double clock_ghz = 1.0;       ///< core clock (cycles per ns)
+  int warp_size = 32;           ///< θ
+
+  // --- per-SM residency limits (the analytical model's hard constraints) -
+  int max_threads_per_sm = 2048;       ///< τ_max
+  int max_blocks_per_sm = 32;          ///< β_max (resident blocks)
+  std::size_t shared_mem_per_sm = 64 * 1024;  ///< sm_max
+  int registers_per_sm = 64 * 1024;    ///< soft constraint (spilling)
+
+  // --- concurrency / memory ----------------------------------------------
+  int max_concurrent_kernels = 128;    ///< C (HW work-queue limit)
+  double mem_bandwidth_gbs = 500.0;    ///< DRAM bandwidth, bytes per ns
+  std::size_t mem_bytes = 12ull << 30;
+  double pcie_bandwidth_gbs = 12.0;    ///< H2D/D2H copy engine bandwidth
+
+  // --- latency model -----------------------------------------------------
+  double kernel_launch_overhead_us = 5.0;  ///< T_launch: host-side per-launch cost
+  double kernel_start_latency_us = 2.0;    ///< device-side pipeline fill
+
+  // --- Table 1 feature flags ----------------------------------------------
+  bool supports_streams = true;
+  bool dynamic_parallelism = true;
+  bool unified_memory = false;
+  bool tensor_cores = false;
+
+  /// Peak device FLOP rate (FMA counted as 2 flops), in flops per ns.
+  double peak_flops_per_ns() const {
+    return static_cast<double>(sm_count) * cores_per_sm * clock_ghz * 2.0;
+  }
+  /// Total scalar lanes on the device.
+  int total_lanes() const { return sm_count * cores_per_sm; }
+  /// Maximum active warps per SM (ω_SM in Eq. 1).
+  int max_warps_per_sm() const { return max_threads_per_sm / warp_size; }
+};
+
+/// Catalogue of known devices: the paper's three evaluation GPUs (Table 3)
+/// plus one representative per Table-1 generation.
+class DeviceTable {
+ public:
+  static DeviceProps k40c();      ///< Tesla K40C (Kepler) — Table 3
+  static DeviceProps p100();      ///< Tesla P100 (Pascal) — Table 3
+  static DeviceProps titan_xp();  ///< Titan XP (Pascal) — Table 3
+
+  static DeviceProps fermi_generic();
+  static DeviceProps kepler_generic();
+  static DeviceProps maxwell_generic();
+  static DeviceProps pascal_generic();
+  static DeviceProps volta_generic();
+
+  /// All catalogued devices (evaluation GPUs first).
+  static std::vector<DeviceProps> all();
+
+  /// Case-insensitive lookup by name ("k40c", "P100", "titanxp", ...).
+  static std::optional<DeviceProps> by_name(const std::string& name);
+};
+
+}  // namespace gpusim

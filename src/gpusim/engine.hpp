@@ -1,0 +1,227 @@
+#pragma once
+// Discrete-event simulator of one GPU device.
+//
+// Execution model ("fluid occupancy" model):
+//  * Kernels are admitted from per-stream FIFO queues, at most
+//    `max_concurrent_kernels` (the paper's concurrency degree C) resident
+//    at once.
+//  * Resident kernels are packed onto SMs by `pack_residency` under the
+//    hard per-SM limits (threads, shared memory, resident blocks). A
+//    kernel's execution rate is the number of scalar lanes its resident
+//    blocks can occupy; when resident kernels together demand more lanes
+//    than the device has, rates scale proportionally (saturation).
+//  * A kernel's total work is derived from its analytic cost (flops,
+//    bytes) through a per-device roofline, so the same launch is
+//    compute-bound on a K40C and bandwidth-bound on a P100.
+//  * Per-launch host overhead (T_launch) and device-side start latency
+//    model why very short kernels never overlap — the paper's observed
+//    regression on ~2 ms layers (§4.2.1) and the T_K/T_launch bound in
+//    Eq. 7.
+//
+// The host thread drives the simulation: launches enqueue work and
+// advance the host clock; synchronisation calls run the event loop until
+// the awaited condition holds. Host functors attached to kernels execute
+// real math (the DNN layers' arithmetic) at kernel-completion time in
+// simulated order, so stream-dependency bugs corrupt real numerics and
+// are caught by the convergence-invariance tests.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gpusim/device_props.hpp"
+#include "gpusim/occupancy.hpp"
+#include "gpusim/timeline.hpp"
+#include "gpusim/types.hpp"
+
+namespace gpusim {
+
+/// Aggregate utilisation counters, cheap enough to keep always-on.
+struct DeviceStats {
+  std::uint64_t kernels_launched = 0;
+  std::uint64_t copies_issued = 0;
+  double busy_lane_ns = 0.0;   ///< ∫ (occupied lanes) dt
+  double active_ns = 0.0;      ///< time with ≥1 resident kernel
+  double sim_span_ns = 0.0;    ///< total simulated time elapsed
+
+  /// Mean fraction of lanes busy while the device was active.
+  double mean_utilization(int total_lanes) const {
+    return active_ns > 0.0 ? busy_lane_ns / (active_ns * total_lanes) : 0.0;
+  }
+};
+
+class SimDevice {
+ public:
+  using WorkFn = std::function<void()>;
+  using KernelCallback = std::function<void(const KernelRecord&)>;
+  using CopyCallback = std::function<void(const CopyRecord&)>;
+
+  explicit SimDevice(DeviceProps props);
+  SimDevice(const SimDevice&) = delete;
+  SimDevice& operator=(const SimDevice&) = delete;
+
+  const DeviceProps& props() const { return props_; }
+
+  // --- streams ------------------------------------------------------------
+  /// Create a new asynchronous stream (never returns kDefaultStream).
+  /// Higher `priority` wins ties for admission when the concurrency
+  /// degree is saturated (CUDA's cudaStreamCreateWithPriority; CUDA uses
+  /// lower-is-higher, we use higher-is-higher for readability).
+  StreamId create_stream(int priority = 0);
+  /// Priority a stream was created with (0 for the default stream).
+  int stream_priority(StreamId stream) const;
+  /// Destroy a stream; pending work must have completed.
+  void destroy_stream(StreamId stream);
+  /// Number of live streams, including the default stream.
+  int stream_count() const { return static_cast<int>(queues_.size()); }
+
+  // --- work submission (host side; advances the host clock) ---------------
+  /// Enqueue a kernel. `work` runs on the host at simulated completion
+  /// time, in completion order. Returns a correlation id.
+  std::uint64_t launch_kernel(StreamId stream, std::string name,
+                              const LaunchConfig& config, const KernelCost& cost,
+                              WorkFn work);
+  /// Enqueue an async copy over the PCIe copy engine for `dir`.
+  std::uint64_t memcpy_async(StreamId stream, std::size_t bytes,
+                             bool host_to_device, WorkFn work = {});
+  /// Record an event in `stream`; completes when prior work in the stream
+  /// has finished.
+  EventId record_event(StreamId stream);
+  /// Make `stream` wait until `event` has been recorded.
+  void wait_event(StreamId stream, EventId event);
+  /// Run a host function inside the stream's FIFO order.
+  void host_callback(StreamId stream, WorkFn fn);
+
+  // --- synchronisation (runs the event loop) ------------------------------
+  void synchronize_stream(StreamId stream);
+  void synchronize_event(EventId event);
+  void synchronize();
+  /// Non-blocking: has the event been reached? (Does not advance time.)
+  bool event_complete(EventId event) const;
+  /// Simulated timestamp at which the event was reached (it must be
+  /// complete — check event_complete or synchronise first).
+  SimTime event_time(EventId event) const;
+  /// Non-blocking: does the stream have pending work?
+  bool stream_idle(StreamId stream) const;
+
+  // --- clocks --------------------------------------------------------------
+  /// Host-visible clock: advanced by launch overheads and by joining the
+  /// device at synchronisation points.
+  SimTime host_now() const { return host_time_; }
+  /// Device simulation clock (may trail the host clock while work queues).
+  SimTime device_now() const { return now_; }
+  /// Model host-side work (e.g. GLP4NN's analysis phase) occupying the
+  /// dispatch thread for `ns`.
+  void host_advance(SimTime ns) { host_time_ += ns; }
+
+  // --- introspection --------------------------------------------------------
+  Timeline& timeline() { return timeline_; }
+  const Timeline& timeline() const { return timeline_; }
+  /// Correlation id of the most recently submitted kernel or copy
+  /// (profilers snapshot this to scope their record windows).
+  std::uint64_t last_correlation() const { return next_correlation_ - 1; }
+  const DeviceStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = DeviceStats{}; }
+
+  /// Completion hooks (used by simcupti). Called for every kernel/copy
+  /// regardless of whether the timeline recorder is enabled.
+  void set_kernel_callback(KernelCallback cb) { kernel_cb_ = std::move(cb); }
+  void set_copy_callback(CopyCallback cb) { copy_cb_ = std::move(cb); }
+
+  /// Ablation knob: when false, the register soft-constraint derating is
+  /// skipped entirely.
+  void set_register_penalty_enabled(bool enabled) { register_penalty_ = enabled; }
+
+  /// Convert an analytic cost into total work in thread-cycles via the
+  /// device roofline (exposed for tests and the analyzer).
+  double work_thread_cycles(const LaunchConfig& config, const KernelCost& cost) const;
+
+ private:
+  enum class OpKind { kKernel, kCopy, kEventRecord, kWaitEvent, kHostFn };
+
+  struct Op {
+    OpKind kind = OpKind::kKernel;
+    std::uint64_t seq = 0;
+    StreamId stream = kDefaultStream;
+    SimTime release = 0.0;       ///< host time the op became visible
+    std::uint64_t default_dep = 0;  ///< last default-stream op before us
+    std::uint64_t stream_dep = 0;   ///< previous op in the same stream
+    bool barrier = false;        ///< default-stream op: waits for ALL prior
+
+    // kKernel
+    std::string name;
+    LaunchConfig config;
+    KernelCost cost;
+    WorkFn work;
+    std::uint64_t correlation = 0;
+
+    // kCopy
+    std::size_t bytes = 0;
+    bool host_to_device = true;
+
+    // kEventRecord / kWaitEvent
+    EventId event = 0;
+  };
+
+  struct ActiveKernel {
+    Op op;
+    SimTime admit_ns = 0.0;
+    SimTime latency_left = 0.0;  ///< device-side start latency to consume
+    double work_left = 0.0;      ///< thread-cycles
+    double work_per_block = 0.0;
+    double rate = 0.0;           ///< thread-cycles per ns (current share)
+    double lanes = 0.0;          ///< lanes occupied (for utilisation stats)
+  };
+
+  struct ActiveCopy {
+    Op op;
+    SimTime start_ns = 0.0;
+    SimTime end_ns = 0.0;
+  };
+
+  void submit(Op op, SimTime host_cost_ns);
+  void run_until(const std::function<bool()>& pred);
+  /// Start every op that can start at the current sim time. Returns true
+  /// if anything changed.
+  bool start_ready_ops();
+  bool op_ready(const Op& op) const;
+  void complete_op_bookkeeping(std::uint64_t seq);
+  void recompute_rates();
+  SimTime next_event_time() const;
+  void advance_to(SimTime t);
+  void finish_kernel(std::size_t idx);
+  void validate_launch(const LaunchConfig& config) const;
+
+  DeviceProps props_;
+  Timeline timeline_;
+  DeviceStats stats_;
+  KernelCallback kernel_cb_;
+  CopyCallback copy_cb_;
+  bool register_penalty_ = true;
+
+  SimTime now_ = 0.0;
+  SimTime host_time_ = 0.0;
+
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_correlation_ = 1;
+  EventId next_event_ = 1;
+  StreamId next_stream_ = 1;
+
+  std::map<StreamId, std::deque<Op>> queues_;
+  std::map<StreamId, int> stream_priority_;
+  std::map<StreamId, std::uint64_t> last_seq_in_stream_;
+  std::set<std::uint64_t> incomplete_;     ///< seqs of submitted-not-finished ops
+  std::uint64_t last_default_seq_ = 0;     ///< most recent default-stream op
+  std::map<EventId, SimTime> event_times_; ///< recorded events
+  std::set<EventId> events_pending_;       ///< created but not yet recorded
+
+  std::vector<ActiveKernel> resident_;
+  std::vector<ActiveCopy> copies_;
+  SimTime copy_engine_free_[2] = {0.0, 0.0};  ///< [h2d, d2h] availability
+};
+
+}  // namespace gpusim

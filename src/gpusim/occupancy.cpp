@@ -1,0 +1,97 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace gpusim {
+
+int max_blocks_per_sm_single(const DeviceProps& dev, const LaunchConfig& cfg) {
+  const std::uint64_t threads = cfg.threads_per_block();
+  GLP_REQUIRE(threads > 0, "kernel block must have at least one thread");
+
+  int limit = dev.max_blocks_per_sm;
+  limit = std::min<int>(limit, static_cast<int>(dev.max_threads_per_sm / threads));
+  const std::size_t smem = cfg.smem_per_block();
+  if (smem > 0) {
+    if (smem > dev.shared_mem_per_sm) return 0;
+    limit = std::min<int>(limit, static_cast<int>(dev.shared_mem_per_sm / smem));
+  }
+  return std::max(limit, 0);
+}
+
+double single_kernel_occupancy(const DeviceProps& dev, const LaunchConfig& cfg) {
+  const int blocks = max_blocks_per_sm_single(dev, cfg);
+  const double active_threads =
+      static_cast<double>(blocks) * static_cast<double>(cfg.threads_per_block());
+  const double active_warps = active_threads / dev.warp_size;
+  return std::min(1.0, active_warps / dev.max_warps_per_sm());
+}
+
+std::vector<ResidencySlot> pack_residency(const DeviceProps& dev,
+                                          const std::vector<ResidencyRequest>& reqs) {
+  std::vector<ResidencySlot> out(reqs.size());
+
+  // Aggregate per-SM budgets; SMs are homogeneous and the packer assumes
+  // even spreading, so one budget triple models every SM.
+  std::int64_t threads_left = dev.max_threads_per_sm;
+  std::int64_t smem_left = static_cast<std::int64_t>(dev.shared_mem_per_sm);
+  std::int64_t blocks_left = dev.max_blocks_per_sm;
+
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const ResidencyRequest& r = reqs[i];
+    if (r.blocks_wanted == 0) continue;
+    const std::int64_t threads = static_cast<std::int64_t>(r.config.threads_per_block());
+    const std::int64_t smem = static_cast<std::int64_t>(r.config.smem_per_block());
+
+    // Even spreading: a kernel with fewer blocks than SMs wants at most one
+    // block per SM.
+    const std::int64_t want_per_sm = static_cast<std::int64_t>(
+        (r.blocks_wanted + dev.sm_count - 1) / dev.sm_count);
+
+    std::int64_t fit = std::min<std::int64_t>(want_per_sm, blocks_left);
+    if (threads > 0) fit = std::min(fit, threads_left / threads);
+    if (smem > 0) fit = std::min(fit, smem_left / smem);
+    fit = std::max<std::int64_t>(fit, 0);
+
+    out[i].blocks_per_sm = static_cast<int>(fit);
+    out[i].resident_blocks = std::min<std::uint64_t>(
+        r.blocks_wanted, static_cast<std::uint64_t>(fit) * dev.sm_count);
+
+    // Charge the budget with the *average* per-SM footprint so kernels with
+    // fewer blocks than SMs do not over-reserve capacity they cannot use.
+    const double avg_per_sm =
+        static_cast<double>(out[i].resident_blocks) / dev.sm_count;
+    threads_left -= static_cast<std::int64_t>(std::ceil(avg_per_sm * threads));
+    smem_left -= static_cast<std::int64_t>(std::ceil(avg_per_sm * smem));
+    blocks_left -= static_cast<std::int64_t>(std::ceil(avg_per_sm));
+    threads_left = std::max<std::int64_t>(threads_left, 0);
+    smem_left = std::max<std::int64_t>(smem_left, 0);
+    blocks_left = std::max<std::int64_t>(blocks_left, 0);
+  }
+  return out;
+}
+
+double register_pressure(const DeviceProps& dev,
+                         const std::vector<ResidencyRequest>& reqs,
+                         const std::vector<ResidencySlot>& slots) {
+  GLP_CHECK(reqs.size() == slots.size());
+  double regs = 0.0;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const double avg_per_sm =
+        static_cast<double>(slots[i].resident_blocks) / dev.sm_count;
+    regs += avg_per_sm * static_cast<double>(reqs[i].config.threads_per_block()) *
+            reqs[i].config.regs_per_thread;
+  }
+  return regs / static_cast<double>(dev.registers_per_sm);
+}
+
+double register_slowdown(double pressure) {
+  if (pressure <= 1.0) return 1.0;
+  // Spilled accesses hit local memory; model a hyperbolic derating with a
+  // floor — registers stay a soft constraint as in the paper (§3.2).
+  return std::max(0.25, 1.0 / pressure);
+}
+
+}  // namespace gpusim

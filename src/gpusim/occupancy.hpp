@@ -1,0 +1,59 @@
+#pragma once
+// Occupancy arithmetic shared by the simulator's block packer and the
+// GLP4NN kernel analyzer. Implements the residency limits of the paper's
+// Eqs. 4–5 and 8: threads per SM (τ_max), shared memory per SM (sm_max)
+// and resident blocks per SM (β_max) are *hard* constraints; registers
+// are a *soft* constraint (spilling slows execution but does not limit
+// residency).
+
+#include <vector>
+
+#include "gpusim/device_props.hpp"
+#include "gpusim/types.hpp"
+
+namespace gpusim {
+
+/// Residency demand of one kernel instance during packing.
+struct ResidencyRequest {
+  LaunchConfig config;
+  std::uint64_t blocks_wanted = 0;  ///< blocks still to run (≤ grid size)
+};
+
+/// Result of packing one kernel onto an SM population.
+struct ResidencySlot {
+  int blocks_per_sm = 0;            ///< β_K: blocks co-resident per SM
+  std::uint64_t resident_blocks = 0;  ///< total blocks resident device-wide
+};
+
+/// Maximum blocks of a *single* kernel that can be co-resident on one SM,
+/// considering hard constraints only (Eq. 4, Eq. 5, β_max).
+int max_blocks_per_sm_single(const DeviceProps& dev, const LaunchConfig& cfg);
+
+/// Theoretical occupancy (Eq. 1) of running `cfg` alone at full residency:
+/// active warps per SM / max warps per SM.
+double single_kernel_occupancy(const DeviceProps& dev, const LaunchConfig& cfg);
+
+/// Greedy multi-kernel packer. Requests are served in order (admission
+/// order in the engine; the fairness policy lives in the caller). Each
+/// request receives as many blocks per SM as both its demand and the
+/// remaining per-SM thread/smem/block budgets allow.
+///
+/// Mirrors the paper's assumption that "thread blocks are assigned evenly
+/// among all SMs" and that "blocks from different kernels can be placed on
+/// the same SM if there are enough resources".
+std::vector<ResidencySlot> pack_residency(const DeviceProps& dev,
+                                          const std::vector<ResidencyRequest>& reqs);
+
+/// Register pressure of a packing: total registers demanded per SM divided
+/// by the register file size. Values > 1 indicate spilling; the engine
+/// derates execution speed by `register_slowdown`.
+double register_pressure(const DeviceProps& dev,
+                         const std::vector<ResidencyRequest>& reqs,
+                         const std::vector<ResidencySlot>& slots);
+
+/// Execution-rate derating applied when registers oversubscribe
+/// (soft constraint): 1.0 when pressure ≤ 1, smoothly degrading to a
+/// floor of 0.25 under extreme spilling.
+double register_slowdown(double pressure);
+
+}  // namespace gpusim

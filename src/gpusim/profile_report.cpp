@@ -1,0 +1,57 @@
+#include "gpusim/profile_report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace gpusim {
+
+std::vector<KernelSummary> summarize_kernels(const Timeline& timeline) {
+  std::map<std::string, KernelSummary> by_name;
+  for (const KernelRecord& rec : timeline.kernels()) {
+    const double us = (rec.end_ns - rec.start_ns) / 1000.0;
+    KernelSummary& s = by_name[rec.name];
+    if (s.calls == 0) {
+      s.name = rec.name;
+      s.min_us = us;
+      s.max_us = us;
+    }
+    ++s.calls;
+    s.total_us += us;
+    s.min_us = std::min(s.min_us, us);
+    s.max_us = std::max(s.max_us, us);
+  }
+  std::vector<KernelSummary> out;
+  out.reserve(by_name.size());
+  for (auto& [name, summary] : by_name) out.push_back(std::move(summary));
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.total_us > b.total_us;
+  });
+  return out;
+}
+
+std::string profile_report(const Timeline& timeline, int top) {
+  const auto summaries = summarize_kernels(timeline);
+  double grand_total = 0.0;
+  for (const auto& s : summaries) grand_total += s.total_us;
+
+  std::ostringstream os;
+  os << glp::strformat("%7s %6s %10s %9s %9s %9s  %s\n", "time%", "calls",
+                       "total(us)", "avg(us)", "min(us)", "max(us)", "name");
+  int rows = 0;
+  for (const auto& s : summaries) {
+    if (top > 0 && rows++ >= top) break;
+    os << glp::strformat("%6.2f%% %6d %10.1f %9.2f %9.2f %9.2f  %s\n",
+                         grand_total > 0.0 ? 100.0 * s.total_us / grand_total : 0.0,
+                         s.calls, s.total_us, s.avg_us(), s.min_us, s.max_us,
+                         s.name.c_str());
+  }
+  os << glp::strformat("total: %.1f us across %zu kernel names, %zu launches\n",
+                       grand_total, summaries.size(),
+                       timeline.kernels().size());
+  return os.str();
+}
+
+}  // namespace gpusim

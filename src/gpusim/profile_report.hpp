@@ -1,0 +1,30 @@
+#pragma once
+// nvprof-style summary of a recorded timeline: per-kernel-name call
+// counts, total/average/min/max durations and time share, sorted by total
+// time. The developer-facing view of the same data the GLP4NN resource
+// tracker consumes programmatically.
+
+#include <string>
+#include <vector>
+
+#include "gpusim/timeline.hpp"
+
+namespace gpusim {
+
+struct KernelSummary {
+  std::string name;
+  int calls = 0;
+  double total_us = 0.0;
+  double min_us = 0.0;
+  double max_us = 0.0;
+  double avg_us() const { return calls > 0 ? total_us / calls : 0.0; }
+};
+
+/// Aggregate kernel records by name, sorted by descending total time.
+std::vector<KernelSummary> summarize_kernels(const Timeline& timeline);
+
+/// Render the summary as an nvprof-like text table. `top` limits the row
+/// count (0 = all).
+std::string profile_report(const Timeline& timeline, int top = 0);
+
+}  // namespace gpusim

@@ -1,0 +1,80 @@
+#include "gpusim/trace_export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace gpusim {
+
+namespace {
+// Minimal JSON string escaping (kernel names are identifiers, but stay safe).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_chrome_trace(const Timeline& timeline) {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  auto emit = [&](const std::string& name, const std::string& category,
+                  StreamId stream, SimTime start_ns, SimTime end_ns,
+                  const std::string& args) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\":\"" << escape(name) << "\",\"cat\":\"" << category
+       << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << stream
+       << ",\"ts\":" << start_ns / 1000.0
+       << ",\"dur\":" << (end_ns - start_ns) / 1000.0;
+    if (!args.empty()) os << ",\"args\":{" << args << "}";
+    os << "}";
+  };
+
+  for (const KernelRecord& k : timeline.kernels()) {
+    std::ostringstream args;
+    args << "\"grid\":\"" << k.config.grid.x << "x" << k.config.grid.y << "x"
+         << k.config.grid.z << "\",\"block\":\"" << k.config.block.x << "x"
+         << k.config.block.y << "x" << k.config.block.z
+         << "\",\"regs\":" << k.config.regs_per_thread
+         << ",\"smem\":" << k.config.smem_per_block()
+         << ",\"correlation\":" << k.correlation_id;
+    emit(k.name, "kernel", k.stream, k.start_ns, k.end_ns, args.str());
+  }
+  for (const CopyRecord& c : timeline.copies()) {
+    std::ostringstream args;
+    args << "\"bytes\":" << c.bytes << ",\"dir\":\""
+         << (c.host_to_device ? "H2D" : "D2H") << "\"";
+    emit(c.host_to_device ? "memcpy H2D" : "memcpy D2H", "memcpy", c.stream,
+         c.start_ns, c.end_ns, args.str());
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+void write_chrome_trace(const Timeline& timeline, const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  GLP_REQUIRE(file.good(), "cannot open trace file '" << path << "'");
+  file << to_chrome_trace(timeline);
+  GLP_REQUIRE(file.good(), "writing trace file '" << path << "' failed");
+}
+
+}  // namespace gpusim

@@ -1,0 +1,20 @@
+#pragma once
+// Chrome-trace (chrome://tracing / Perfetto) export of a simulated
+// timeline: every kernel and copy becomes a complete event ("ph":"X") on
+// its stream's row. This is the tooling counterpart of the paper's Fig. 3
+// profiler screenshots.
+
+#include <string>
+
+#include "gpusim/timeline.hpp"
+
+namespace gpusim {
+
+/// Serialise the timeline to Chrome trace JSON (trace-event format,
+/// JSON-array flavour). Timestamps are microseconds as the format expects.
+std::string to_chrome_trace(const Timeline& timeline);
+
+/// Write the trace to a file. Throws on I/O failure.
+void write_chrome_trace(const Timeline& timeline, const std::string& path);
+
+}  // namespace gpusim

@@ -1,0 +1,86 @@
+#pragma once
+// Fundamental value types shared across the GPU simulator and everything
+// layered on top of it (simcuda, simcupti, the GLP4NN analyzer).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gpusim {
+
+/// Simulated time in nanoseconds (double so fluid-rate completion times
+/// need no rounding).
+using SimTime = double;
+
+inline constexpr SimTime kUs = 1000.0;
+inline constexpr SimTime kMs = 1000.0 * 1000.0;
+
+/// CUDA-like 3-component launch dimension.
+struct Dim3 {
+  unsigned x = 1;
+  unsigned y = 1;
+  unsigned z = 1;
+
+  constexpr std::uint64_t count() const {
+    return static_cast<std::uint64_t>(x) * y * z;
+  }
+  friend bool operator==(const Dim3&, const Dim3&) = default;
+};
+
+/// Static launch configuration of a kernel — exactly the fields the
+/// paper's resource tracker collects via CUPTI (grid, block, registers
+/// per thread, static + dynamic shared memory).
+struct LaunchConfig {
+  Dim3 grid;
+  Dim3 block;
+  int regs_per_thread = 32;
+  std::size_t smem_static_bytes = 0;
+  std::size_t smem_dynamic_bytes = 0;
+
+  std::uint64_t total_blocks() const { return grid.count(); }
+  std::uint64_t threads_per_block() const { return block.count(); }
+  std::uint64_t total_threads() const { return grid.count() * block.count(); }
+  std::size_t smem_per_block() const {
+    return smem_static_bytes + smem_dynamic_bytes;
+  }
+};
+
+/// Analytic cost of a kernel: total floating-point work and total DRAM
+/// traffic. The engine converts this into "thread-cycles" with a roofline
+/// against the target device (see SimDevice::work_thread_cycles), so the
+/// same kernel is compute-bound on one GPU and memory-bound on another.
+struct KernelCost {
+  double flops = 0.0;
+  double bytes = 0.0;
+};
+
+/// Identifier of a simulated stream. Stream 0 is the CUDA *legacy default
+/// stream*: it synchronises with every other stream on the device.
+using StreamId = int;
+inline constexpr StreamId kDefaultStream = 0;
+
+using EventId = std::uint64_t;
+
+/// A completed kernel's execution record, as captured by the timeline
+/// recorder and surfaced through simcupti.
+struct KernelRecord {
+  std::uint64_t correlation_id = 0;
+  std::string name;
+  StreamId stream = kDefaultStream;
+  LaunchConfig config;
+  SimTime submit_ns = 0.0;  ///< host launch call returned
+  SimTime start_ns = 0.0;   ///< first block began executing
+  SimTime end_ns = 0.0;     ///< last block finished
+};
+
+/// A completed memcpy's execution record.
+struct CopyRecord {
+  std::uint64_t correlation_id = 0;
+  StreamId stream = kDefaultStream;
+  std::size_t bytes = 0;
+  bool host_to_device = true;
+  SimTime start_ns = 0.0;
+  SimTime end_ns = 0.0;
+};
+
+}  // namespace gpusim

@@ -1,0 +1,187 @@
+#include "kernels/blas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+#include "kernels/cpu_math.hpp"
+
+namespace kern {
+
+using gpusim::Dim3;
+using gpusim::KernelCost;
+using gpusim::LaunchConfig;
+
+GemmTile select_gemm_tile(int m, int n) {
+  if (m >= 128 && n >= 128) {
+    return GemmTile{128, 128, 256, 127, 16 * 1024, "128x128"};
+  }
+  if (m >= 64 && n >= 64) {
+    return GemmTile{64, 64, 128, 90, 8 * 1024, "64x64"};
+  }
+  return GemmTile{32, 32, 64, 55, 4 * 1024, "32x32"};
+}
+
+std::uint64_t sgemm(const Launcher& launcher, bool trans_a, bool trans_b, int m,
+                    int n, int k, float alpha, const float* a, int lda,
+                    const float* b, int ldb, float beta, float* c, int ldc) {
+  const GemmTile tile = select_gemm_tile(m, n);
+  LaunchConfig cfg;
+  cfg.grid = Dim3{blocks_for(static_cast<std::uint64_t>(n), static_cast<unsigned>(tile.tile_n)),
+                  blocks_for(static_cast<std::uint64_t>(m), static_cast<unsigned>(tile.tile_m)), 1};
+  cfg.block = Dim3{tile.threads, 1, 1};
+  cfg.regs_per_thread = tile.regs;
+  cfg.smem_static_bytes = tile.smem;
+
+  KernelCost cost;
+  cost.flops = 2.0 * m * n * k;
+  cost.bytes = 4.0 * (static_cast<double>(m) * k + static_cast<double>(k) * n +
+                      2.0 * static_cast<double>(m) * n);
+
+  const std::string name = glp::strformat(
+      "sgemm_%s_%c%c", tile.tag, trans_a ? 't' : 'n', trans_b ? 't' : 'n');
+  return launcher.launch(name, cfg, cost,
+                         [=] { cpu::gemm(trans_a, trans_b, m, n, k, alpha, a, lda,
+                                         b, ldb, beta, c, ldc); });
+}
+
+std::uint64_t sgemm_bias_fused(const Launcher& launcher, int m, int n, int k,
+                               const float* a, int lda, const float* b, int ldb,
+                               const float* bias, float* c, int ldc) {
+  const GemmTile tile = select_gemm_tile(m, n);
+  LaunchConfig cfg;
+  cfg.grid = Dim3{blocks_for(static_cast<std::uint64_t>(n), static_cast<unsigned>(tile.tile_n)),
+                  blocks_for(static_cast<std::uint64_t>(m), static_cast<unsigned>(tile.tile_m)), 1};
+  cfg.block = Dim3{tile.threads, 1, 1};
+  cfg.regs_per_thread = tile.regs + 4;  // the epilogue costs a few registers
+  cfg.smem_static_bytes = tile.smem;
+
+  KernelCost cost;
+  cost.flops = 2.0 * m * n * k + static_cast<double>(m) * n;
+  cost.bytes = 4.0 * (static_cast<double>(m) * k + static_cast<double>(k) * n +
+                      static_cast<double>(m) + 2.0 * static_cast<double>(m) * n);
+
+  const std::string name = glp::strformat("sgemm_bias_fused_%s_nn", tile.tag);
+  return launcher.launch(name, cfg, cost, [=] {
+    cpu::gemm(false, false, m, n, k, 1.0f, a, lda, b, ldb, 0.0f, c, ldc);
+    cpu::add_bias(m, n, bias, c);
+  });
+}
+
+std::uint64_t sgemv(const Launcher& launcher, bool trans_a, int m, int n,
+                    float alpha, const float* a, int lda, const float* x,
+                    float beta, float* y) {
+  // cuBLAS-style gemv: one block of 128 threads per 4 output rows.
+  const int out_rows = trans_a ? n : m;
+  LaunchConfig cfg;
+  cfg.block = Dim3{128, 1, 1};
+  cfg.grid = Dim3{std::max(1u, blocks_for(static_cast<std::uint64_t>(out_rows), 4)), 1, 1};
+  cfg.regs_per_thread = 40;
+  cfg.smem_static_bytes = 2 * 1024;
+  KernelCost cost{2.0 * m * n,
+                  4.0 * (static_cast<double>(m) * n + m + 2.0 * n)};
+  return launcher.launch(
+      glp::strformat("sgemv_%c", trans_a ? 't' : 'n'), cfg, cost, [=] {
+        // y [out_rows] via the gemm kernel's math (vector = 1-column matrix).
+        cpu::gemm(trans_a, false, out_rows, 1, trans_a ? m : n, alpha, a, lda,
+                  x, 1, beta, y, 1);
+      });
+}
+
+namespace {
+LaunchConfig elementwise_config(std::uint64_t count, int regs) {
+  LaunchConfig cfg;
+  cfg.block = Dim3{256, 1, 1};
+  cfg.grid = Dim3{std::max(1u, blocks_for(count, 256)), 1, 1};
+  cfg.regs_per_thread = regs;
+  return cfg;
+}
+}  // namespace
+
+std::uint64_t saxpy(const Launcher& launcher, std::size_t count, float alpha,
+                    const float* x, float* y) {
+  KernelCost cost{static_cast<double>(count) * 2.0,
+                  static_cast<double>(count) * 12.0};
+  return launcher.launch("axpy_kernel", elementwise_config(count, 14), cost,
+                         [=] { cpu::axpy(count, alpha, x, y); });
+}
+
+std::uint64_t sscal(const Launcher& launcher, std::size_t count, float alpha,
+                    float* x) {
+  KernelCost cost{static_cast<double>(count),
+                  static_cast<double>(count) * 8.0};
+  return launcher.launch("scal_kernel", elementwise_config(count, 10), cost,
+                         [=] { cpu::scal(count, alpha, x); });
+}
+
+std::uint64_t sfill(const Launcher& launcher, std::size_t count, float value,
+                    float* x) {
+  KernelCost cost{0.0, static_cast<double>(count) * 4.0};
+  return launcher.launch("fill_kernel", elementwise_config(count, 8), cost,
+                         [=] { cpu::fill(count, value, x); });
+}
+
+std::uint64_t add_bias(const Launcher& launcher, int channels, int spatial,
+                       const float* bias, float* out) {
+  const std::uint64_t count =
+      static_cast<std::uint64_t>(channels) * static_cast<std::uint64_t>(spatial);
+  KernelCost cost{static_cast<double>(count),
+                  static_cast<double>(count) * 8.0};
+  return launcher.launch("add_bias_kernel", elementwise_config(count, 16), cost,
+                         [=] { cpu::add_bias(channels, spatial, bias, out); });
+}
+
+std::uint64_t sgd_update(const Launcher& launcher, std::size_t count, float lr,
+                         float momentum, const float* grad, float* history,
+                         float* param) {
+  KernelCost cost{static_cast<double>(count) * 4.0,
+                  static_cast<double>(count) * 20.0};
+  return launcher.launch("sgd_update_kernel", elementwise_config(count, 20), cost,
+                         [=] {
+                           for (std::size_t i = 0; i < count; ++i) {
+                             history[i] = momentum * history[i] + lr * grad[i];
+                             param[i] -= history[i];
+                           }
+                         });
+}
+
+std::uint64_t nesterov_update(const Launcher& launcher, std::size_t count,
+                              float lr, float momentum, const float* grad,
+                              float* history, float* param) {
+  KernelCost cost{static_cast<double>(count) * 6.0,
+                  static_cast<double>(count) * 20.0};
+  return launcher.launch("nesterov_update_kernel",
+                         elementwise_config(count, 22), cost, [=] {
+                           for (std::size_t i = 0; i < count; ++i) {
+                             const float h_prev = history[i];
+                             const float h = momentum * h_prev + lr * grad[i];
+                             history[i] = h;
+                             param[i] -= (1.0f + momentum) * h - momentum * h_prev;
+                           }
+                         });
+}
+
+std::uint64_t adagrad_update(const Launcher& launcher, std::size_t count,
+                             float lr, float eps, const float* grad,
+                             float* history, float* param) {
+  KernelCost cost{static_cast<double>(count) * 8.0,
+                  static_cast<double>(count) * 20.0};
+  return launcher.launch("adagrad_update_kernel",
+                         elementwise_config(count, 24), cost, [=] {
+                           for (std::size_t i = 0; i < count; ++i) {
+                             history[i] += grad[i] * grad[i];
+                             param[i] -= lr * grad[i] /
+                                         (std::sqrt(history[i]) + eps);
+                           }
+                         });
+}
+
+std::uint64_t reduce_lanes(const Launcher& launcher, int lanes,
+                           std::size_t count, const float* src, float* dst) {
+  KernelCost cost{static_cast<double>(count) * lanes,
+                  static_cast<double>(count) * (lanes + 2) * 4.0};
+  return launcher.launch("reduce_lanes_kernel", elementwise_config(count, 24),
+                         cost, [=] { cpu::reduce_lanes(lanes, count, src, dst); });
+}
+
+}  // namespace kern

@@ -1,0 +1,79 @@
+#pragma once
+// Simulated cuBLAS-like kernels. Each wrapper picks a launch
+// configuration the way the real library's heuristics would (tile size by
+// problem shape, register/shared-memory footprint per tile), attaches an
+// analytic cost, and launches on the given stream. The host math runs at
+// simulated completion time in numeric mode.
+
+#include "kernels/launcher.hpp"
+
+namespace kern {
+
+/// Tile variants the sgemm heuristic chooses between. Exposed so tests can
+/// pin expectations on the selection logic.
+struct GemmTile {
+  int tile_m = 32;
+  int tile_n = 32;
+  unsigned threads = 64;
+  int regs = 55;
+  std::size_t smem = 4 * 1024;
+  const char* tag = "32x32";
+};
+
+/// cuBLAS-like tile selection by output shape.
+GemmTile select_gemm_tile(int m, int n);
+
+/// C = alpha * op(A) * op(B) + beta * C (row-major).
+std::uint64_t sgemm(const Launcher& launcher, bool trans_a, bool trans_b, int m,
+                    int n, int k, float alpha, const float* a, int lda,
+                    const float* b, int ldb, float beta, float* c, int ldc);
+
+/// y = alpha · op(A)·x + beta · y (row-major A [m x n]).
+std::uint64_t sgemv(const Launcher& launcher, bool trans_a, int m, int n,
+                    float alpha, const float* a, int lda, const float* x,
+                    float beta, float* y);
+
+/// y += alpha * x
+std::uint64_t saxpy(const Launcher& launcher, std::size_t count, float alpha,
+                    const float* x, float* y);
+
+/// x *= alpha
+std::uint64_t sscal(const Launcher& launcher, std::size_t count, float alpha,
+                    float* x);
+
+/// x[i] = value
+std::uint64_t sfill(const Launcher& launcher, std::size_t count, float value,
+                    float* x);
+
+/// out[c, :] += bias[c] over a [channels x spatial] map.
+std::uint64_t add_bias(const Launcher& launcher, int channels, int spatial,
+                       const float* bias, float* out);
+
+/// Fused C = A·B then C[i, :] += bias[i] — one launch instead of two
+/// (kernel-fusion extension; paper §6 future work). Row i of C is an
+/// output channel, so bias is indexed by row.
+std::uint64_t sgemm_bias_fused(const Launcher& launcher, int m, int n, int k,
+                               const float* a, int lda, const float* b, int ldb,
+                               const float* bias, float* c, int ldc);
+
+/// SGD with momentum: h = momentum*h + lr*grad; param -= h.
+std::uint64_t sgd_update(const Launcher& launcher, std::size_t count, float lr,
+                         float momentum, const float* grad, float* history,
+                         float* param);
+
+/// Nesterov accelerated gradient (Caffe formulation):
+/// h' = momentum*h + lr*grad; param -= (1+momentum)*h' − momentum*h.
+std::uint64_t nesterov_update(const Launcher& launcher, std::size_t count,
+                              float lr, float momentum, const float* grad,
+                              float* history, float* param);
+
+/// AdaGrad: h += grad²; param -= lr*grad / (sqrt(h) + eps).
+std::uint64_t adagrad_update(const Launcher& launcher, std::size_t count,
+                             float lr, float eps, const float* grad,
+                             float* history, float* param);
+
+/// dst[i] += Σ_lanes src[lane*count + i] (canonical ascending-lane order).
+std::uint64_t reduce_lanes(const Launcher& launcher, int lanes,
+                           std::size_t count, const float* src, float* dst);
+
+}  // namespace kern

@@ -1,0 +1,550 @@
+#include "kernels/cpu_math.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+
+namespace kern::cpu {
+
+namespace {
+// Below this many multiply-adds a parallel dispatch costs more than it saves.
+constexpr std::size_t kGemmParallelThreshold = 1u << 18;
+}  // namespace
+
+void gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+          const float* a, int lda, const float* b, int ldb, float beta, float* c,
+          int ldc) {
+  GLP_REQUIRE(m >= 0 && n >= 0 && k >= 0, "gemm dims must be non-negative");
+
+  auto row_range = [&](std::size_t i0, std::size_t i1) {
+    // Scale / clear the C rows in this partition.
+    for (std::size_t i = i0; i < i1; ++i) {
+      float* crow = c + i * static_cast<std::size_t>(ldc);
+      if (beta == 0.0f) {
+        std::fill(crow, crow + n, 0.0f);
+      } else if (beta != 1.0f) {
+        for (int j = 0; j < n; ++j) crow[j] *= beta;
+      }
+    }
+    if (!trans_a && !trans_b) {
+      // C[i,j] += alpha * A[i,p] * B[p,j] — ikj order, contiguous B rows.
+      for (std::size_t i = i0; i < i1; ++i) {
+        const float* arow = a + i * static_cast<std::size_t>(lda);
+        float* crow = c + i * static_cast<std::size_t>(ldc);
+        for (int p = 0; p < k; ++p) {
+          const float av = alpha * arow[p];
+          if (av == 0.0f) continue;
+          const float* brow = b + static_cast<std::size_t>(p) * ldb;
+          for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    } else if (!trans_a && trans_b) {
+      // C[i,j] += alpha * A[i,p] * B[j,p] — dot products over contiguous rows.
+      for (std::size_t i = i0; i < i1; ++i) {
+        const float* arow = a + i * static_cast<std::size_t>(lda);
+        float* crow = c + i * static_cast<std::size_t>(ldc);
+        for (int j = 0; j < n; ++j) {
+          const float* brow = b + static_cast<std::size_t>(j) * ldb;
+          float acc = 0.0f;
+          for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+          crow[j] += alpha * acc;
+        }
+      }
+    } else if (trans_a && !trans_b) {
+      // C[i,j] += alpha * A[p,i] * B[p,j]
+      for (int p = 0; p < k; ++p) {
+        const float* arow = a + static_cast<std::size_t>(p) * lda;
+        const float* brow = b + static_cast<std::size_t>(p) * ldb;
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float av = alpha * arow[i];
+          if (av == 0.0f) continue;
+          float* crow = c + i * static_cast<std::size_t>(ldc);
+          for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    } else {
+      // C[i,j] += alpha * A[p,i] * B[j,p]
+      for (std::size_t i = i0; i < i1; ++i) {
+        float* crow = c + i * static_cast<std::size_t>(ldc);
+        for (int j = 0; j < n; ++j) {
+          const float* brow = b + static_cast<std::size_t>(j) * ldb;
+          float acc = 0.0f;
+          for (int p = 0; p < k; ++p) {
+            acc += a[static_cast<std::size_t>(p) * lda + i] * brow[p];
+          }
+          crow[j] += alpha * acc;
+        }
+      }
+    }
+  };
+
+  const std::size_t work = static_cast<std::size_t>(m) * static_cast<std::size_t>(n) *
+                           static_cast<std::size_t>(std::max(k, 1));
+  if (work >= kGemmParallelThreshold && m > 1) {
+    glp::parallel_for(0, static_cast<std::size_t>(m), row_range, /*grain=*/1);
+  } else {
+    row_range(0, static_cast<std::size_t>(m));
+  }
+}
+
+void axpy(std::size_t count, float alpha, const float* x, float* y) {
+  for (std::size_t i = 0; i < count; ++i) y[i] += alpha * x[i];
+}
+
+void scal(std::size_t count, float alpha, float* x) {
+  for (std::size_t i = 0; i < count; ++i) x[i] *= alpha;
+}
+
+void fill(std::size_t count, float value, float* x) {
+  std::fill(x, x + count, value);
+}
+
+int conv_out_size(int in_size, int kernel, int pad, int stride) {
+  return (in_size + 2 * pad - kernel) / stride + 1;
+}
+
+void im2col(const float* data_im, int channels, int height, int width,
+            int kernel_h, int kernel_w, int pad_h, int pad_w, int stride_h,
+            int stride_w, float* data_col) {
+  const int out_h = conv_out_size(height, kernel_h, pad_h, stride_h);
+  const int out_w = conv_out_size(width, kernel_w, pad_w, stride_w);
+  const int col_rows = channels * kernel_h * kernel_w;
+  for (int row = 0; row < col_rows; ++row) {
+    const int c = row / (kernel_h * kernel_w);
+    const int kh = (row / kernel_w) % kernel_h;
+    const int kw = row % kernel_w;
+    float* col_ptr = data_col + static_cast<std::size_t>(row) * out_h * out_w;
+    const float* im_ptr = data_im + static_cast<std::size_t>(c) * height * width;
+    for (int oh = 0; oh < out_h; ++oh) {
+      const int ih = oh * stride_h - pad_h + kh;
+      if (ih < 0 || ih >= height) {
+        std::fill(col_ptr, col_ptr + out_w, 0.0f);
+        col_ptr += out_w;
+        continue;
+      }
+      for (int ow = 0; ow < out_w; ++ow) {
+        const int iw = ow * stride_w - pad_w + kw;
+        *col_ptr++ = (iw >= 0 && iw < width)
+                         ? im_ptr[static_cast<std::size_t>(ih) * width + iw]
+                         : 0.0f;
+      }
+    }
+  }
+}
+
+void col2im(const float* data_col, int channels, int height, int width,
+            int kernel_h, int kernel_w, int pad_h, int pad_w, int stride_h,
+            int stride_w, float* data_im) {
+  const int out_h = conv_out_size(height, kernel_h, pad_h, stride_h);
+  const int out_w = conv_out_size(width, kernel_w, pad_w, stride_w);
+  const int col_rows = channels * kernel_h * kernel_w;
+  for (int row = 0; row < col_rows; ++row) {
+    const int c = row / (kernel_h * kernel_w);
+    const int kh = (row / kernel_w) % kernel_h;
+    const int kw = row % kernel_w;
+    const float* col_ptr = data_col + static_cast<std::size_t>(row) * out_h * out_w;
+    float* im_ptr = data_im + static_cast<std::size_t>(c) * height * width;
+    for (int oh = 0; oh < out_h; ++oh) {
+      const int ih = oh * stride_h - pad_h + kh;
+      if (ih < 0 || ih >= height) {
+        col_ptr += out_w;
+        continue;
+      }
+      for (int ow = 0; ow < out_w; ++ow) {
+        const int iw = ow * stride_w - pad_w + kw;
+        const float v = *col_ptr++;
+        if (iw >= 0 && iw < width) {
+          im_ptr[static_cast<std::size_t>(ih) * width + iw] += v;
+        }
+      }
+    }
+  }
+}
+
+void add_bias(int channels, int spatial, const float* bias, float* out) {
+  for (int c = 0; c < channels; ++c) {
+    float* row = out + static_cast<std::size_t>(c) * spatial;
+    const float b = bias[c];
+    for (int i = 0; i < spatial; ++i) row[i] += b;
+  }
+}
+
+void max_pool_forward(const float* in, int channels, int height, int width,
+                      int kernel, int stride, int pad, int out_h, int out_w,
+                      float* out, int* mask) {
+  for (int c = 0; c < channels; ++c) {
+    const float* im = in + static_cast<std::size_t>(c) * height * width;
+    float* o = out + static_cast<std::size_t>(c) * out_h * out_w;
+    int* m = mask == nullptr ? nullptr : mask + static_cast<std::size_t>(c) * out_h * out_w;
+    for (int oh = 0; oh < out_h; ++oh) {
+      for (int ow = 0; ow < out_w; ++ow) {
+        const int h0 = std::max(oh * stride - pad, 0);
+        const int w0 = std::max(ow * stride - pad, 0);
+        const int h1 = std::min(oh * stride - pad + kernel, height);
+        const int w1 = std::min(ow * stride - pad + kernel, width);
+        float best = -std::numeric_limits<float>::infinity();
+        int best_idx = h0 * width + w0;
+        for (int h = h0; h < h1; ++h) {
+          for (int w = w0; w < w1; ++w) {
+            const float v = im[static_cast<std::size_t>(h) * width + w];
+            if (v > best) {
+              best = v;
+              best_idx = h * width + w;
+            }
+          }
+        }
+        o[static_cast<std::size_t>(oh) * out_w + ow] = best;
+        if (m != nullptr) m[static_cast<std::size_t>(oh) * out_w + ow] = best_idx;
+      }
+    }
+  }
+}
+
+void max_pool_backward(const float* out_grad, const int* mask, int channels,
+                       int out_h, int out_w, int height, int width,
+                       float* in_grad) {
+  for (int c = 0; c < channels; ++c) {
+    const float* og = out_grad + static_cast<std::size_t>(c) * out_h * out_w;
+    const int* m = mask + static_cast<std::size_t>(c) * out_h * out_w;
+    float* ig = in_grad + static_cast<std::size_t>(c) * height * width;
+    for (int i = 0; i < out_h * out_w; ++i) {
+      ig[m[i]] += og[i];
+    }
+  }
+}
+
+void ave_pool_forward(const float* in, int channels, int height, int width,
+                      int kernel, int stride, int pad, int out_h, int out_w,
+                      float* out) {
+  for (int c = 0; c < channels; ++c) {
+    const float* im = in + static_cast<std::size_t>(c) * height * width;
+    float* o = out + static_cast<std::size_t>(c) * out_h * out_w;
+    for (int oh = 0; oh < out_h; ++oh) {
+      for (int ow = 0; ow < out_w; ++ow) {
+        const int h0 = std::max(oh * stride - pad, 0);
+        const int w0 = std::max(ow * stride - pad, 0);
+        const int h1 = std::min(oh * stride - pad + kernel, height);
+        const int w1 = std::min(ow * stride - pad + kernel, width);
+        // Caffe divides by the *padded* window size.
+        const int pool_size = (std::min(oh * stride - pad + kernel, height + pad) -
+                               std::max(oh * stride - pad, -pad)) *
+                              (std::min(ow * stride - pad + kernel, width + pad) -
+                               std::max(ow * stride - pad, -pad));
+        float acc = 0.0f;
+        for (int h = h0; h < h1; ++h) {
+          for (int w = w0; w < w1; ++w) {
+            acc += im[static_cast<std::size_t>(h) * width + w];
+          }
+        }
+        o[static_cast<std::size_t>(oh) * out_w + ow] =
+            acc / static_cast<float>(pool_size);
+      }
+    }
+  }
+}
+
+void ave_pool_backward(const float* out_grad, int channels, int height,
+                       int width, int kernel, int stride, int pad, int out_h,
+                       int out_w, float* in_grad) {
+  for (int c = 0; c < channels; ++c) {
+    const float* og = out_grad + static_cast<std::size_t>(c) * out_h * out_w;
+    float* ig = in_grad + static_cast<std::size_t>(c) * height * width;
+    for (int oh = 0; oh < out_h; ++oh) {
+      for (int ow = 0; ow < out_w; ++ow) {
+        const int h0 = std::max(oh * stride - pad, 0);
+        const int w0 = std::max(ow * stride - pad, 0);
+        const int h1 = std::min(oh * stride - pad + kernel, height);
+        const int w1 = std::min(ow * stride - pad + kernel, width);
+        const int pool_size = (std::min(oh * stride - pad + kernel, height + pad) -
+                               std::max(oh * stride - pad, -pad)) *
+                              (std::min(ow * stride - pad + kernel, width + pad) -
+                               std::max(ow * stride - pad, -pad));
+        const float g =
+            og[static_cast<std::size_t>(oh) * out_w + ow] / static_cast<float>(pool_size);
+        for (int h = h0; h < h1; ++h) {
+          for (int w = w0; w < w1; ++w) {
+            ig[static_cast<std::size_t>(h) * width + w] += g;
+          }
+        }
+      }
+    }
+  }
+}
+
+void relu_forward(std::size_t count, const float* in, float* out,
+                  float negative_slope) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = in[i] > 0.0f ? in[i] : negative_slope * in[i];
+  }
+}
+
+void relu_backward(std::size_t count, const float* in, const float* out_grad,
+                   float* in_grad, float negative_slope) {
+  for (std::size_t i = 0; i < count; ++i) {
+    in_grad[i] = out_grad[i] * (in[i] > 0.0f ? 1.0f : negative_slope);
+  }
+}
+
+void sigmoid_forward(std::size_t count, const float* in, float* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-in[i]));
+  }
+}
+
+void sigmoid_backward(std::size_t count, const float* out, const float* out_grad,
+                      float* in_grad) {
+  for (std::size_t i = 0; i < count; ++i) {
+    in_grad[i] = out_grad[i] * out[i] * (1.0f - out[i]);
+  }
+}
+
+void tanh_forward(std::size_t count, const float* in, float* out) {
+  for (std::size_t i = 0; i < count; ++i) out[i] = std::tanh(in[i]);
+}
+
+void tanh_backward(std::size_t count, const float* out, const float* out_grad,
+                   float* in_grad) {
+  for (std::size_t i = 0; i < count; ++i) {
+    in_grad[i] = out_grad[i] * (1.0f - out[i] * out[i]);
+  }
+}
+
+void lrn_forward(const float* in, int channels, int height, int width,
+                 int local_size, float alpha, float beta, float k, float* scale,
+                 float* out) {
+  const int spatial = height * width;
+  const int half = local_size / 2;
+  const float alpha_over_n = alpha / static_cast<float>(local_size);
+  for (int i = 0; i < spatial; ++i) {
+    for (int c = 0; c < channels; ++c) {
+      const int c0 = std::max(c - half, 0);
+      const int c1 = std::min(c + half, channels - 1);
+      float acc = 0.0f;
+      for (int cc = c0; cc <= c1; ++cc) {
+        const float v = in[static_cast<std::size_t>(cc) * spatial + i];
+        acc += v * v;
+      }
+      const float s = k + alpha_over_n * acc;
+      scale[static_cast<std::size_t>(c) * spatial + i] = s;
+      out[static_cast<std::size_t>(c) * spatial + i] =
+          in[static_cast<std::size_t>(c) * spatial + i] * std::pow(s, -beta);
+    }
+  }
+}
+
+void lrn_backward(const float* in, const float* out, const float* scale,
+                  const float* out_grad, int channels, int height, int width,
+                  int local_size, float alpha, float beta, float* in_grad) {
+  const int spatial = height * width;
+  const int half = local_size / 2;
+  const float alpha_over_n = alpha / static_cast<float>(local_size);
+  for (int i = 0; i < spatial; ++i) {
+    for (int c = 0; c < channels; ++c) {
+      const std::size_t idx = static_cast<std::size_t>(c) * spatial + i;
+      float g = out_grad[idx] * std::pow(scale[idx], -beta);
+      // Cross-channel term: −2αβ/n · x_c · Σ_j (dy_j · y_j / s_j)
+      const int c0 = std::max(c - half, 0);
+      const int c1 = std::min(c + half, channels - 1);
+      float cross = 0.0f;
+      for (int cc = c0; cc <= c1; ++cc) {
+        const std::size_t jdx = static_cast<std::size_t>(cc) * spatial + i;
+        cross += out_grad[jdx] * out[jdx] / scale[jdx];
+      }
+      g -= 2.0f * alpha_over_n * beta * in[idx] * cross;
+      in_grad[idx] += g;
+    }
+  }
+}
+
+void softmax_forward(int rows, int classes, const float* in, float* prob) {
+  for (int r = 0; r < rows; ++r) {
+    const float* x = in + static_cast<std::size_t>(r) * classes;
+    float* p = prob + static_cast<std::size_t>(r) * classes;
+    float mx = x[0];
+    for (int j = 1; j < classes; ++j) mx = std::max(mx, x[j]);
+    float denom = 0.0f;
+    for (int j = 0; j < classes; ++j) {
+      p[j] = std::exp(x[j] - mx);
+      denom += p[j];
+    }
+    for (int j = 0; j < classes; ++j) p[j] /= denom;
+  }
+}
+
+float softmax_loss(int rows, int classes, const float* prob, const float* labels) {
+  double loss = 0.0;
+  for (int r = 0; r < rows; ++r) {
+    const int label = static_cast<int>(labels[r]);
+    GLP_REQUIRE(label >= 0 && label < classes, "label " << label << " out of range");
+    const float p = prob[static_cast<std::size_t>(r) * classes + label];
+    loss -= std::log(std::max(p, 1e-20f));
+  }
+  return static_cast<float>(loss / std::max(rows, 1));
+}
+
+void softmax_loss_backward(int rows, int classes, const float* prob,
+                           const float* labels, float scale, float* in_grad) {
+  for (int r = 0; r < rows; ++r) {
+    const int label = static_cast<int>(labels[r]);
+    float* g = in_grad + static_cast<std::size_t>(r) * classes;
+    const float* p = prob + static_cast<std::size_t>(r) * classes;
+    for (int j = 0; j < classes; ++j) g[j] = scale * p[j];
+    g[label] -= scale;
+  }
+}
+
+void softmax_backward(int rows, int classes, const float* prob,
+                      const float* out_grad, float* in_grad) {
+  for (int r = 0; r < rows; ++r) {
+    const float* p = prob + static_cast<std::size_t>(r) * classes;
+    const float* dy = out_grad + static_cast<std::size_t>(r) * classes;
+    float* dx = in_grad + static_cast<std::size_t>(r) * classes;
+    double dot = 0.0;
+    for (int j = 0; j < classes; ++j) dot += static_cast<double>(dy[j]) * p[j];
+    for (int j = 0; j < classes; ++j) {
+      dx[j] = (dy[j] - static_cast<float>(dot)) * p[j];
+    }
+  }
+}
+
+void prelu_forward(int channels, int spatial, const float* in,
+                   const float* slopes, float* out) {
+  for (int c = 0; c < channels; ++c) {
+    const float a = slopes[c];
+    const float* x = in + static_cast<std::size_t>(c) * spatial;
+    float* y = out + static_cast<std::size_t>(c) * spatial;
+    for (int i = 0; i < spatial; ++i) y[i] = x[i] > 0.0f ? x[i] : a * x[i];
+  }
+}
+
+void prelu_backward(int channels, int spatial, const float* in,
+                    const float* out_grad, const float* slopes, float* in_grad,
+                    float* slope_grad) {
+  for (int c = 0; c < channels; ++c) {
+    const float a = slopes[c];
+    const float* x = in + static_cast<std::size_t>(c) * spatial;
+    const float* dy = out_grad + static_cast<std::size_t>(c) * spatial;
+    float* dx = in_grad + static_cast<std::size_t>(c) * spatial;
+    float acc = 0.0f;
+    for (int i = 0; i < spatial; ++i) {
+      dx[i] = dy[i] * (x[i] > 0.0f ? 1.0f : a);
+      if (x[i] <= 0.0f) acc += dy[i] * x[i];
+    }
+    slope_grad[c] += acc;
+  }
+}
+
+void channel_mean(int num, int channels, int spatial, const float* in,
+                  float* mean) {
+  const double norm = 1.0 / (static_cast<double>(num) * spatial);
+  for (int c = 0; c < channels; ++c) {
+    double acc = 0.0;
+    for (int n = 0; n < num; ++n) {
+      const float* x = in + (static_cast<std::size_t>(n) * channels + c) * spatial;
+      for (int i = 0; i < spatial; ++i) acc += x[i];
+    }
+    mean[c] = static_cast<float>(acc * norm);
+  }
+}
+
+void channel_variance(int num, int channels, int spatial, const float* in,
+                      const float* mean, float* variance) {
+  const double norm = 1.0 / (static_cast<double>(num) * spatial);
+  for (int c = 0; c < channels; ++c) {
+    double acc = 0.0;
+    for (int n = 0; n < num; ++n) {
+      const float* x = in + (static_cast<std::size_t>(n) * channels + c) * spatial;
+      for (int i = 0; i < spatial; ++i) {
+        const double d = static_cast<double>(x[i]) - mean[c];
+        acc += d * d;
+      }
+    }
+    variance[c] = static_cast<float>(acc * norm);
+  }
+}
+
+void batch_norm_forward(int num, int channels, int spatial, const float* in,
+                        const float* mean, const float* variance, float eps,
+                        float* out) {
+  for (int n = 0; n < num; ++n) {
+    for (int c = 0; c < channels; ++c) {
+      const float inv_std = 1.0f / std::sqrt(variance[c] + eps);
+      const std::size_t off = (static_cast<std::size_t>(n) * channels + c) * spatial;
+      for (int i = 0; i < spatial; ++i) {
+        out[off + i] = (in[off + i] - mean[c]) * inv_std;
+      }
+    }
+  }
+}
+
+void batch_norm_backward(int num, int channels, int spatial, const float* in,
+                         const float* out_grad, const float* mean,
+                         const float* variance, float eps, float* in_grad) {
+  const double m = static_cast<double>(num) * spatial;
+  for (int c = 0; c < channels; ++c) {
+    const double inv_std = 1.0 / std::sqrt(static_cast<double>(variance[c]) + eps);
+    // Accumulate Σ dy and Σ dy·x̂ over the channel.
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (int n = 0; n < num; ++n) {
+      const std::size_t off = (static_cast<std::size_t>(n) * channels + c) * spatial;
+      for (int i = 0; i < spatial; ++i) {
+        const double xhat = (in[off + i] - mean[c]) * inv_std;
+        sum_dy += out_grad[off + i];
+        sum_dy_xhat += out_grad[off + i] * xhat;
+      }
+    }
+    for (int n = 0; n < num; ++n) {
+      const std::size_t off = (static_cast<std::size_t>(n) * channels + c) * spatial;
+      for (int i = 0; i < spatial; ++i) {
+        const double xhat = (in[off + i] - mean[c]) * inv_std;
+        in_grad[off + i] += static_cast<float>(
+            inv_std * (out_grad[off + i] - sum_dy / m - xhat * sum_dy_xhat / m));
+      }
+    }
+  }
+}
+
+float accuracy(int rows, int classes, const float* prob, const float* labels) {
+  int hits = 0;
+  for (int r = 0; r < rows; ++r) {
+    const float* p = prob + static_cast<std::size_t>(r) * classes;
+    int arg = 0;
+    for (int j = 1; j < classes; ++j) {
+      if (p[j] > p[arg]) arg = j;
+    }
+    if (arg == static_cast<int>(labels[r])) ++hits;
+  }
+  return rows > 0 ? static_cast<float>(hits) / static_cast<float>(rows) : 0.0f;
+}
+
+void dropout_forward(std::size_t count, const float* in, const float* mask,
+                     float scale, float* out) {
+  for (std::size_t i = 0; i < count; ++i) out[i] = in[i] * mask[i] * scale;
+}
+
+void reduce_lanes(int lanes, std::size_t count, const float* src, float* dst) {
+  for (int lane = 0; lane < lanes; ++lane) {
+    const float* s = src + static_cast<std::size_t>(lane) * count;
+    for (std::size_t i = 0; i < count; ++i) dst[i] += s[i];
+  }
+}
+
+double sum(std::size_t count, const float* x) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < count; ++i) acc += x[i];
+  return acc;
+}
+
+double squared_distance(std::size_t count, const float* x, const float* y) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double d = static_cast<double>(x[i]) - y[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace kern::cpu

@@ -1,0 +1,131 @@
+#pragma once
+// Host float implementations backing the simulated kernels. Pure
+// functions over raw pointers; every routine writes a deterministic
+// result (parallelism, where used, partitions outputs disjointly).
+// All matrices are row-major.
+
+#include <cstddef>
+
+namespace kern::cpu {
+
+/// C = alpha * op(A)[M x K] * op(B)[K x N] + beta * C[M x N]
+void gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+          const float* a, int lda, const float* b, int ldb, float beta, float* c,
+          int ldc);
+
+/// y = alpha * x + y
+void axpy(std::size_t count, float alpha, const float* x, float* y);
+/// x *= alpha
+void scal(std::size_t count, float alpha, float* x);
+/// x[i] = value
+void fill(std::size_t count, float value, float* x);
+
+/// Caffe-style im2col for one image: input [C, H, W] →
+/// columns [C*kh*kw, out_h*out_w].
+void im2col(const float* data_im, int channels, int height, int width,
+            int kernel_h, int kernel_w, int pad_h, int pad_w, int stride_h,
+            int stride_w, float* data_col);
+
+/// Inverse scatter-add of im2col (gradient path). data_im must be
+/// pre-zeroed (or hold a partial sum to accumulate into).
+void col2im(const float* data_col, int channels, int height, int width,
+            int kernel_h, int kernel_w, int pad_h, int pad_w, int stride_h,
+            int stride_w, float* data_im);
+
+int conv_out_size(int in_size, int kernel, int pad, int stride);
+
+/// out[c, i] += bias[c] for an output laid out as [channels, spatial].
+void add_bias(int channels, int spatial, const float* bias, float* out);
+
+// --- pooling (one image, [C, H, W]) --------------------------------------
+void max_pool_forward(const float* in, int channels, int height, int width,
+                      int kernel, int stride, int pad, int out_h, int out_w,
+                      float* out, int* mask);
+/// Accumulates into in_grad ([channels, height, width], pre-zeroed or a
+/// partial sum) using the forward mask of plane-local argmax indices.
+void max_pool_backward(const float* out_grad, const int* mask, int channels,
+                       int out_h, int out_w, int height, int width,
+                       float* in_grad);
+void ave_pool_forward(const float* in, int channels, int height, int width,
+                      int kernel, int stride, int pad, int out_h, int out_w,
+                      float* out);
+void ave_pool_backward(const float* out_grad, int channels, int height,
+                       int width, int kernel, int stride, int pad, int out_h,
+                       int out_w, float* in_grad);
+
+// --- elementwise activations ---------------------------------------------
+void relu_forward(std::size_t count, const float* in, float* out,
+                  float negative_slope);
+void relu_backward(std::size_t count, const float* in, const float* out_grad,
+                   float* in_grad, float negative_slope);
+void sigmoid_forward(std::size_t count, const float* in, float* out);
+void sigmoid_backward(std::size_t count, const float* out, const float* out_grad,
+                      float* in_grad);
+void tanh_forward(std::size_t count, const float* in, float* out);
+void tanh_backward(std::size_t count, const float* out, const float* out_grad,
+                   float* in_grad);
+
+// --- LRN (cross-channel, one image [C, H, W]) -----------------------------
+void lrn_forward(const float* in, int channels, int height, int width,
+                 int local_size, float alpha, float beta, float k, float* scale,
+                 float* out);
+void lrn_backward(const float* in, const float* out, const float* scale,
+                  const float* out_grad, int channels, int height, int width,
+                  int local_size, float alpha, float beta, float* in_grad);
+
+// --- softmax / losses (whole batch) ----------------------------------------
+/// prob[n, :] = softmax(in[n, :]) over `classes`, independently per row.
+void softmax_forward(int rows, int classes, const float* in, float* prob);
+/// Cross-entropy loss of softmax probabilities vs integer labels;
+/// returns the mean loss over rows.
+float softmax_loss(int rows, int classes, const float* prob, const float* labels);
+/// d(in) for softmax+NLL: (prob − one_hot(label)) * scale.
+void softmax_loss_backward(int rows, int classes, const float* prob,
+                           const float* labels, float scale, float* in_grad);
+
+/// d(in) for a plain softmax: dx_i = (dy_i − Σ_j dy_j·y_j) · y_i per row.
+void softmax_backward(int rows, int classes, const float* prob,
+                      const float* out_grad, float* in_grad);
+
+/// Fraction of rows whose argmax equals the label.
+float accuracy(int rows, int classes, const float* prob, const float* labels);
+
+// --- PReLU (channel-shared negative slopes) ---------------------------------
+/// out = x > 0 ? x : a[c]·x over a [channels, spatial] map.
+void prelu_forward(int channels, int spatial, const float* in,
+                   const float* slopes, float* out);
+/// in_grad = dy·(x>0 ? 1 : a[c]); slope_grad[c] += Σ dy·x·(x≤0).
+void prelu_backward(int channels, int spatial, const float* in,
+                    const float* out_grad, const float* slopes, float* in_grad,
+                    float* slope_grad);
+
+// --- batch statistics (per channel over N and spatial) ------------------------
+void channel_mean(int num, int channels, int spatial, const float* in,
+                  float* mean);
+void channel_variance(int num, int channels, int spatial, const float* in,
+                      const float* mean, float* variance);
+/// out = (in − mean[c]) / sqrt(var[c] + eps)
+void batch_norm_forward(int num, int channels, int spatial, const float* in,
+                        const float* mean, const float* variance, float eps,
+                        float* out);
+/// Full BN backward through the batch statistics; accumulates into in_grad.
+void batch_norm_backward(int num, int channels, int spatial, const float* in,
+                         const float* out_grad, const float* mean,
+                         const float* variance, float eps, float* in_grad);
+
+// --- dropout ----------------------------------------------------------------
+/// out = in * mask * scale (mask is 0/1).
+void dropout_forward(std::size_t count, const float* in, const float* mask,
+                     float scale, float* out);
+
+// --- reductions --------------------------------------------------------------
+/// dst[i] += Σ_lane src[lane*count + i], lanes summed in ascending order
+/// (the canonical order that keeps training deterministic).
+void reduce_lanes(int lanes, std::size_t count, const float* src, float* dst);
+
+/// Σ x[i]
+double sum(std::size_t count, const float* x);
+/// Σ (x[i] - y[i])²
+double squared_distance(std::size_t count, const float* x, const float* y);
+
+}  // namespace kern::cpu

@@ -1,0 +1,89 @@
+#pragma once
+// Kernel-dispatch abstraction. A layer that exposes batch-level
+// parallelism (the per-sample loop of Algorithms 1 and 2 in the paper)
+// wraps each iteration's kernel chain in a *task* and asks the dispatcher
+// which stream to run it on:
+//
+//   dispatcher.begin_scope("conv1/fwd", batch_size);
+//   for n in batch: launch chain on dispatcher.task_lane(n).stream
+//   dispatcher.end_scope();   // async barrier on the default stream
+//
+// Implementations:
+//  * SerialDispatcher     — everything on the default stream (naive Caffe).
+//  * FixedStreamDispatcher — round-robin over a fixed pool (the manual
+//    multi-stream baseline of Figs. 2 and 4).
+//  * glp4nn::RuntimeScheduler (src/core) — the paper's contribution:
+//    profiles the scope once, sizes the pool with the analytical model,
+//    then round-robins.
+
+#include <string>
+
+#include "simcuda/context.hpp"
+
+namespace kern {
+
+/// Execution mode for kernel host functors.
+enum class ComputeMode {
+  kNumeric,     ///< run the real math (convergence experiments, tests)
+  kTimingOnly,  ///< skip math; only simulate timing (large-scale benches)
+};
+
+/// Where a task's kernels should run. `lane` indexes per-concurrency
+/// workspaces (two tasks with the same lane are guaranteed to execute in
+/// submission order, so they may share scratch buffers).
+struct Lane {
+  gpusim::StreamId stream = gpusim::kDefaultStream;
+  int lane = 0;
+};
+
+class KernelDispatcher {
+ public:
+  virtual ~KernelDispatcher() = default;
+
+  /// Open a parallelizable scope with `num_tasks` independent tasks.
+  /// Scopes must not nest.
+  virtual void begin_scope(const std::string& scope, std::size_t num_tasks) = 0;
+
+  /// Lane for task `index` (0-based) of the current scope.
+  virtual Lane task_lane(std::size_t index) = 0;
+
+  /// Upper bound on distinct lanes this dispatcher will ever return
+  /// (valid outside scopes; used to size per-lane workspaces).
+  virtual int max_lanes() const = 0;
+
+  /// Close the scope, enforcing that later work (on any stream) observes
+  /// all of the scope's kernels. Asynchronous — no host round trip.
+  virtual void end_scope() = 0;
+};
+
+/// Naive-Caffe baseline: a single in-order queue (the default stream).
+class SerialDispatcher final : public KernelDispatcher {
+ public:
+  explicit SerialDispatcher(scuda::Context& ctx) : ctx_(&ctx) {}
+
+  void begin_scope(const std::string&, std::size_t) override {}
+  Lane task_lane(std::size_t) override { return Lane{gpusim::kDefaultStream, 0}; }
+  int max_lanes() const override { return 1; }
+  void end_scope() override {}
+
+ private:
+  scuda::Context* ctx_;
+};
+
+/// Manual multi-stream baseline with a fixed, user-chosen pool size.
+class FixedStreamDispatcher final : public KernelDispatcher {
+ public:
+  FixedStreamDispatcher(scuda::Context& ctx, int num_streams);
+
+  void begin_scope(const std::string& scope, std::size_t num_tasks) override;
+  Lane task_lane(std::size_t index) override;
+  int max_lanes() const override { return static_cast<int>(streams_.size()); }
+  void end_scope() override;
+
+ private:
+  scuda::Context* ctx_;
+  std::vector<scuda::Stream> streams_;
+  bool in_scope_ = false;
+};
+
+}  // namespace kern

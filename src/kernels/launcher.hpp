@@ -1,0 +1,52 @@
+#pragma once
+// The handle every kernel wrapper takes: which device, which stream,
+// whether to run real math, and a name prefix that scopes kernels to the
+// layer that launched them ("conv1/fwd/im2col"). The prefix is how the
+// resource tracker and the benchmarks attribute kernels to layers —
+// the paper notes offline profilers cannot do this (§1, challenge 1).
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "kernels/dispatch.hpp"
+#include "simcuda/context.hpp"
+
+namespace kern {
+
+struct Launcher {
+  scuda::Context* ctx = nullptr;
+  gpusim::StreamId stream = gpusim::kDefaultStream;
+  ComputeMode mode = ComputeMode::kNumeric;
+  std::string name_prefix;
+
+  Launcher with_stream(gpusim::StreamId s) const {
+    Launcher l = *this;
+    l.stream = s;
+    return l;
+  }
+  Launcher with_prefix(std::string prefix) const {
+    Launcher l = *this;
+    l.name_prefix = std::move(prefix);
+    return l;
+  }
+
+  /// Launch a kernel; `work` is dropped in timing-only mode.
+  std::uint64_t launch(const std::string& kernel_name,
+                       const gpusim::LaunchConfig& config,
+                       const gpusim::KernelCost& cost,
+                       std::function<void()> work) const {
+    const std::string full =
+        name_prefix.empty() ? kernel_name : name_prefix + "/" + kernel_name;
+    return ctx->device().launch_kernel(
+        stream, full, config, cost,
+        mode == ComputeMode::kNumeric ? std::move(work) : nullptr);
+  }
+};
+
+/// ceil-div helper used by every launch-config heuristic.
+inline unsigned blocks_for(std::uint64_t work_items, unsigned block_size) {
+  return static_cast<unsigned>((work_items + block_size - 1) / block_size);
+}
+
+}  // namespace kern

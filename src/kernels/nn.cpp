@@ -1,0 +1,306 @@
+#include "kernels/nn.hpp"
+
+#include <algorithm>
+
+#include "kernels/cpu_math.hpp"
+
+namespace kern {
+
+using gpusim::Dim3;
+using gpusim::KernelCost;
+using gpusim::LaunchConfig;
+
+namespace {
+LaunchConfig one_thread_per_item(std::uint64_t count, unsigned block, int regs,
+                                 std::size_t smem = 0) {
+  LaunchConfig cfg;
+  cfg.block = Dim3{block, 1, 1};
+  cfg.grid = Dim3{std::max(1u, blocks_for(count, block)), 1, 1};
+  cfg.regs_per_thread = regs;
+  cfg.smem_static_bytes = smem;
+  return cfg;
+}
+}  // namespace
+
+std::uint64_t im2col(const Launcher& launcher, const float* data_im,
+                     int channels, int height, int width, int kernel_h,
+                     int kernel_w, int pad_h, int pad_w, int stride_h,
+                     int stride_w, float* data_col) {
+  const int out_h = cpu::conv_out_size(height, kernel_h, pad_h, stride_h);
+  const int out_w = cpu::conv_out_size(width, kernel_w, pad_w, stride_w);
+  // Caffe's im2col_gpu_kernel: one thread per (channel, output pixel).
+  const std::uint64_t threads =
+      static_cast<std::uint64_t>(channels) * out_h * out_w;
+  const double col_elems = static_cast<double>(threads) * kernel_h * kernel_w;
+  KernelCost cost{col_elems * 4.0, col_elems * 8.0};
+  return launcher.launch(
+      "im2col_gpu_kernel", one_thread_per_item(threads, 256, 33), cost, [=] {
+        cpu::im2col(data_im, channels, height, width, kernel_h, kernel_w, pad_h,
+                    pad_w, stride_h, stride_w, data_col);
+      });
+}
+
+std::uint64_t col2im(const Launcher& launcher, const float* data_col,
+                     int channels, int height, int width, int kernel_h,
+                     int kernel_w, int pad_h, int pad_w, int stride_h,
+                     int stride_w, float* data_im) {
+  // Caffe's col2im_gpu_kernel: one thread per input element.
+  const std::uint64_t threads =
+      static_cast<std::uint64_t>(channels) * height * width;
+  const double col_elems = static_cast<double>(channels) * kernel_h * kernel_w *
+                           cpu::conv_out_size(height, kernel_h, pad_h, stride_h) *
+                           cpu::conv_out_size(width, kernel_w, pad_w, stride_w);
+  KernelCost cost{col_elems * 6.0, col_elems * 8.0};
+  return launcher.launch(
+      "col2im_gpu_kernel", one_thread_per_item(threads, 256, 41), cost, [=] {
+        cpu::col2im(data_col, channels, height, width, kernel_h, kernel_w, pad_h,
+                    pad_w, stride_h, stride_w, data_im);
+      });
+}
+
+std::uint64_t max_pool_forward(const Launcher& launcher, const float* in,
+                               int channels, int height, int width, int kernel,
+                               int stride, int pad, int out_h, int out_w,
+                               float* out, int* mask) {
+  const std::uint64_t threads =
+      static_cast<std::uint64_t>(channels) * out_h * out_w;
+  const double window = static_cast<double>(kernel) * kernel;
+  KernelCost cost{static_cast<double>(threads) * window * 2.0,
+                  static_cast<double>(threads) * (window + 2.0) * 4.0};
+  return launcher.launch("max_pool_forward_kernel",
+                         one_thread_per_item(threads, 256, 28), cost, [=] {
+                           cpu::max_pool_forward(in, channels, height, width,
+                                                 kernel, stride, pad, out_h,
+                                                 out_w, out, mask);
+                         });
+}
+
+std::uint64_t max_pool_backward(const Launcher& launcher, const float* out_grad,
+                                const int* mask, int channels, int out_h,
+                                int out_w, int height, int width,
+                                float* in_grad) {
+  const std::uint64_t threads =
+      static_cast<std::uint64_t>(channels) * out_h * out_w;
+  KernelCost cost{static_cast<double>(threads) * 2.0,
+                  static_cast<double>(threads) * 16.0};
+  return launcher.launch("max_pool_backward_kernel",
+                         one_thread_per_item(threads, 256, 30), cost, [=] {
+                           cpu::max_pool_backward(out_grad, mask, channels, out_h,
+                                                  out_w, height, width, in_grad);
+                         });
+}
+
+std::uint64_t ave_pool_forward(const Launcher& launcher, const float* in,
+                               int channels, int height, int width, int kernel,
+                               int stride, int pad, int out_h, int out_w,
+                               float* out) {
+  const std::uint64_t threads =
+      static_cast<std::uint64_t>(channels) * out_h * out_w;
+  const double window = static_cast<double>(kernel) * kernel;
+  KernelCost cost{static_cast<double>(threads) * window,
+                  static_cast<double>(threads) * (window + 1.0) * 4.0};
+  return launcher.launch("ave_pool_forward_kernel",
+                         one_thread_per_item(threads, 256, 26), cost, [=] {
+                           cpu::ave_pool_forward(in, channels, height, width,
+                                                 kernel, stride, pad, out_h,
+                                                 out_w, out);
+                         });
+}
+
+std::uint64_t ave_pool_backward(const Launcher& launcher, const float* out_grad,
+                                int channels, int height, int width, int kernel,
+                                int stride, int pad, int out_h, int out_w,
+                                float* in_grad) {
+  const std::uint64_t threads =
+      static_cast<std::uint64_t>(channels) * height * width;
+  const double window = static_cast<double>(kernel) * kernel;
+  KernelCost cost{static_cast<double>(threads) * window,
+                  static_cast<double>(threads) * 12.0};
+  return launcher.launch("ave_pool_backward_kernel",
+                         one_thread_per_item(threads, 256, 30), cost, [=] {
+                           cpu::ave_pool_backward(out_grad, channels, height,
+                                                  width, kernel, stride, pad,
+                                                  out_h, out_w, in_grad);
+                         });
+}
+
+std::uint64_t relu_forward(const Launcher& launcher, std::size_t count,
+                           const float* in, float* out, float negative_slope) {
+  KernelCost cost{static_cast<double>(count),
+                  static_cast<double>(count) * 8.0};
+  return launcher.launch("relu_forward_kernel",
+                         one_thread_per_item(count, 256, 10), cost,
+                         [=] { cpu::relu_forward(count, in, out, negative_slope); });
+}
+
+std::uint64_t relu_backward(const Launcher& launcher, std::size_t count,
+                            const float* in, const float* out_grad,
+                            float* in_grad, float negative_slope) {
+  KernelCost cost{static_cast<double>(count),
+                  static_cast<double>(count) * 12.0};
+  return launcher.launch("relu_backward_kernel",
+                         one_thread_per_item(count, 256, 12), cost, [=] {
+                           cpu::relu_backward(count, in, out_grad, in_grad,
+                                              negative_slope);
+                         });
+}
+
+std::uint64_t sigmoid_forward(const Launcher& launcher, std::size_t count,
+                              const float* in, float* out) {
+  KernelCost cost{static_cast<double>(count) * 8.0,
+                  static_cast<double>(count) * 8.0};
+  return launcher.launch("sigmoid_forward_kernel",
+                         one_thread_per_item(count, 256, 14), cost,
+                         [=] { cpu::sigmoid_forward(count, in, out); });
+}
+
+std::uint64_t sigmoid_backward(const Launcher& launcher, std::size_t count,
+                               const float* out, const float* out_grad,
+                               float* in_grad) {
+  KernelCost cost{static_cast<double>(count) * 3.0,
+                  static_cast<double>(count) * 12.0};
+  return launcher.launch("sigmoid_backward_kernel",
+                         one_thread_per_item(count, 256, 14), cost,
+                         [=] { cpu::sigmoid_backward(count, out, out_grad, in_grad); });
+}
+
+std::uint64_t tanh_forward(const Launcher& launcher, std::size_t count,
+                           const float* in, float* out) {
+  KernelCost cost{static_cast<double>(count) * 10.0,
+                  static_cast<double>(count) * 8.0};
+  return launcher.launch("tanh_forward_kernel",
+                         one_thread_per_item(count, 256, 14), cost,
+                         [=] { cpu::tanh_forward(count, in, out); });
+}
+
+std::uint64_t tanh_backward(const Launcher& launcher, std::size_t count,
+                            const float* out, const float* out_grad,
+                            float* in_grad) {
+  KernelCost cost{static_cast<double>(count) * 3.0,
+                  static_cast<double>(count) * 12.0};
+  return launcher.launch("tanh_backward_kernel",
+                         one_thread_per_item(count, 256, 14), cost,
+                         [=] { cpu::tanh_backward(count, out, out_grad, in_grad); });
+}
+
+std::uint64_t lrn_forward(const Launcher& launcher, const float* in, int num,
+                          int channels, int height, int width, int local_size,
+                          float alpha, float beta, float k, float* scale,
+                          float* out) {
+  const std::uint64_t threads =
+      static_cast<std::uint64_t>(num) * channels * height * width;
+  KernelCost cost{static_cast<double>(threads) * (local_size * 2.0 + 8.0),
+                  static_cast<double>(threads) * 16.0};
+  const std::size_t plane = static_cast<std::size_t>(channels) * height * width;
+  return launcher.launch("lrn_fill_scale_kernel",
+                         one_thread_per_item(threads, 256, 42), cost, [=] {
+                           for (int n = 0; n < num; ++n) {
+                             cpu::lrn_forward(in + n * plane, channels, height,
+                                              width, local_size, alpha, beta, k,
+                                              scale + n * plane, out + n * plane);
+                           }
+                         });
+}
+
+std::uint64_t lrn_backward(const Launcher& launcher, const float* in,
+                           const float* out, const float* scale,
+                           const float* out_grad, int num, int channels,
+                           int height, int width, int local_size, float alpha,
+                           float beta, float* in_grad) {
+  const std::uint64_t threads =
+      static_cast<std::uint64_t>(num) * channels * height * width;
+  KernelCost cost{static_cast<double>(threads) * (local_size * 4.0 + 12.0),
+                  static_cast<double>(threads) * 24.0};
+  const std::size_t plane = static_cast<std::size_t>(channels) * height * width;
+  return launcher.launch("lrn_compute_diff_kernel",
+                         one_thread_per_item(threads, 256, 48), cost, [=] {
+                           for (int n = 0; n < num; ++n) {
+                             cpu::lrn_backward(in + n * plane, out + n * plane,
+                                               scale + n * plane,
+                                               out_grad + n * plane, channels,
+                                               height, width, local_size, alpha,
+                                               beta, in_grad + n * plane);
+                           }
+                         });
+}
+
+std::uint64_t softmax_forward(const Launcher& launcher, int rows, int classes,
+                              const float* in, float* prob) {
+  const std::uint64_t threads = static_cast<std::uint64_t>(rows);
+  KernelCost cost{static_cast<double>(rows) * classes * 10.0,
+                  static_cast<double>(rows) * classes * 8.0};
+  return launcher.launch("softmax_forward_kernel",
+                         one_thread_per_item(threads, 128, 32), cost,
+                         [=] { cpu::softmax_forward(rows, classes, in, prob); });
+}
+
+std::uint64_t softmax_loss(const Launcher& launcher, int rows, int classes,
+                           const float* prob, const float* labels,
+                           float* loss_out) {
+  const std::uint64_t threads = static_cast<std::uint64_t>(rows);
+  KernelCost cost{static_cast<double>(rows) * 8.0,
+                  static_cast<double>(rows) * 12.0};
+  return launcher.launch("softmax_loss_kernel",
+                         one_thread_per_item(threads, 128, 24), cost, [=] {
+                           *loss_out = cpu::softmax_loss(rows, classes, prob, labels);
+                         });
+}
+
+std::uint64_t softmax_loss_backward(const Launcher& launcher, int rows,
+                                    int classes, const float* prob,
+                                    const float* labels, float scale,
+                                    float* in_grad) {
+  const std::uint64_t threads =
+      static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(classes);
+  KernelCost cost{static_cast<double>(threads) * 2.0,
+                  static_cast<double>(threads) * 12.0};
+  return launcher.launch("softmax_loss_backward_kernel",
+                         one_thread_per_item(threads, 256, 20), cost, [=] {
+                           cpu::softmax_loss_backward(rows, classes, prob, labels,
+                                                      scale, in_grad);
+                         });
+}
+
+std::uint64_t dropout_forward(const Launcher& launcher, std::size_t count,
+                              const float* in, const float* mask, float scale,
+                              float* out) {
+  KernelCost cost{static_cast<double>(count) * 2.0,
+                  static_cast<double>(count) * 12.0};
+  return launcher.launch("dropout_forward_kernel",
+                         one_thread_per_item(count, 256, 16), cost,
+                         [=] { cpu::dropout_forward(count, in, mask, scale, out); });
+}
+
+std::uint64_t copy_slab(const Launcher& launcher, int rows, int cols,
+                        const float* src, int src_stride, float* dst,
+                        int dst_stride) {
+  const std::uint64_t count =
+      static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
+  KernelCost cost{0.0, static_cast<double>(count) * 8.0};
+  return launcher.launch("copy_slab_kernel", one_thread_per_item(count, 256, 12),
+                         cost, [=] {
+                           for (int r = 0; r < rows; ++r) {
+                             std::copy(src + static_cast<std::size_t>(r) * src_stride,
+                                       src + static_cast<std::size_t>(r) * src_stride + cols,
+                                       dst + static_cast<std::size_t>(r) * dst_stride);
+                           }
+                         });
+}
+
+std::uint64_t add_slab(const Launcher& launcher, int rows, int cols,
+                       const float* src, int src_stride, float* dst,
+                       int dst_stride) {
+  const std::uint64_t count =
+      static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
+  KernelCost cost{static_cast<double>(count), static_cast<double>(count) * 12.0};
+  return launcher.launch("add_slab_kernel", one_thread_per_item(count, 256, 14),
+                         cost, [=] {
+                           for (int r = 0; r < rows; ++r) {
+                             const float* s = src + static_cast<std::size_t>(r) * src_stride;
+                             float* d = dst + static_cast<std::size_t>(r) * dst_stride;
+                             for (int c = 0; c < cols; ++c) d[c] += s[c];
+                           }
+                         });
+}
+
+}  // namespace kern

@@ -1,0 +1,89 @@
+#pragma once
+// Simulated Caffe-style DNN kernels (im2col and friends). Shapes follow
+// Caffe's GPU implementations: im2col launches one thread per column
+// element with 33 registers (the exact configuration the paper's
+// workflow example quotes in §3.1), pooling/activation kernels launch one
+// thread per output element.
+
+#include "kernels/launcher.hpp"
+
+namespace kern {
+
+std::uint64_t im2col(const Launcher& launcher, const float* data_im,
+                     int channels, int height, int width, int kernel_h,
+                     int kernel_w, int pad_h, int pad_w, int stride_h,
+                     int stride_w, float* data_col);
+
+std::uint64_t col2im(const Launcher& launcher, const float* data_col,
+                     int channels, int height, int width, int kernel_h,
+                     int kernel_w, int pad_h, int pad_w, int stride_h,
+                     int stride_w, float* data_im);
+
+std::uint64_t max_pool_forward(const Launcher& launcher, const float* in,
+                               int channels, int height, int width, int kernel,
+                               int stride, int pad, int out_h, int out_w,
+                               float* out, int* mask);
+std::uint64_t max_pool_backward(const Launcher& launcher, const float* out_grad,
+                                const int* mask, int channels, int out_h,
+                                int out_w, int height, int width, float* in_grad);
+std::uint64_t ave_pool_forward(const Launcher& launcher, const float* in,
+                               int channels, int height, int width, int kernel,
+                               int stride, int pad, int out_h, int out_w,
+                               float* out);
+std::uint64_t ave_pool_backward(const Launcher& launcher, const float* out_grad,
+                                int channels, int height, int width, int kernel,
+                                int stride, int pad, int out_h, int out_w,
+                                float* in_grad);
+
+std::uint64_t relu_forward(const Launcher& launcher, std::size_t count,
+                           const float* in, float* out, float negative_slope);
+std::uint64_t relu_backward(const Launcher& launcher, std::size_t count,
+                            const float* in, const float* out_grad,
+                            float* in_grad, float negative_slope);
+std::uint64_t sigmoid_forward(const Launcher& launcher, std::size_t count,
+                              const float* in, float* out);
+std::uint64_t sigmoid_backward(const Launcher& launcher, std::size_t count,
+                               const float* out, const float* out_grad,
+                               float* in_grad);
+std::uint64_t tanh_forward(const Launcher& launcher, std::size_t count,
+                           const float* in, float* out);
+std::uint64_t tanh_backward(const Launcher& launcher, std::size_t count,
+                            const float* out, const float* out_grad,
+                            float* in_grad);
+
+std::uint64_t lrn_forward(const Launcher& launcher, const float* in, int num,
+                          int channels, int height, int width, int local_size,
+                          float alpha, float beta, float k, float* scale,
+                          float* out);
+std::uint64_t lrn_backward(const Launcher& launcher, const float* in,
+                           const float* out, const float* scale,
+                           const float* out_grad, int num, int channels,
+                           int height, int width, int local_size, float alpha,
+                           float beta, float* in_grad);
+
+std::uint64_t softmax_forward(const Launcher& launcher, int rows, int classes,
+                              const float* in, float* prob);
+/// Writes the mean cross-entropy into *loss_out.
+std::uint64_t softmax_loss(const Launcher& launcher, int rows, int classes,
+                           const float* prob, const float* labels,
+                           float* loss_out);
+std::uint64_t softmax_loss_backward(const Launcher& launcher, int rows,
+                                    int classes, const float* prob,
+                                    const float* labels, float scale,
+                                    float* in_grad);
+
+std::uint64_t dropout_forward(const Launcher& launcher, std::size_t count,
+                              const float* in, const float* mask, float scale,
+                              float* out);
+
+/// Strided copy used by the concat layer: copies a [rows x cols] slab from
+/// src (row stride src_stride) into dst (row stride dst_stride).
+std::uint64_t copy_slab(const Launcher& launcher, int rows, int cols,
+                        const float* src, int src_stride, float* dst,
+                        int dst_stride);
+/// Same but accumulating (+=), for concat's backward pass.
+std::uint64_t add_slab(const Launcher& launcher, int rows, int cols,
+                       const float* src, int src_stride, float* dst,
+                       int dst_stride);
+
+}  // namespace kern

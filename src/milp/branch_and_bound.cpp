@@ -1,0 +1,122 @@
+#include "milp/branch_and_bound.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace milp {
+
+namespace {
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+}  // namespace
+
+Solution BranchAndBoundSolver::solve(const Problem& problem) const {
+  const int n = problem.num_variables();
+  const double int_tol = options_.integer_tolerance;
+  const SimplexSolver lp(options_.lp);
+  last_nodes_ = 0;
+
+  Node root;
+  root.lower.reserve(static_cast<std::size_t>(n));
+  root.upper.reserve(static_cast<std::size_t>(n));
+  for (const Variable& v : problem.variables()) {
+    // Integer variables can be tightened to integral bounds immediately.
+    root.lower.push_back(v.integer ? std::ceil(v.lower - int_tol) : v.lower);
+    root.upper.push_back(v.integer && std::isfinite(v.upper)
+                             ? std::floor(v.upper + int_tol)
+                             : v.upper);
+  }
+
+  const double sign = problem.maximize() ? 1.0 : -1.0;
+  Solution incumbent;
+  incumbent.status = SolveStatus::kInfeasible;
+
+  std::vector<Node> stack;
+  stack.push_back(std::move(root));
+  bool hit_limit = false;
+
+  while (!stack.empty()) {
+    if (++last_nodes_ > options_.max_nodes) {
+      hit_limit = true;
+      break;
+    }
+    const Node node = std::move(stack.back());
+    stack.pop_back();
+
+    const Solution relax = lp.solve_with_bounds(problem, node.lower, node.upper);
+    if (relax.status == SolveStatus::kInfeasible) continue;
+    if (relax.status == SolveStatus::kUnbounded) {
+      // An unbounded relaxation at the root means the MILP itself is
+      // unbounded (all our integer models are box-bounded, so this only
+      // triggers on malformed input).
+      return {SolveStatus::kUnbounded, 0.0, {}};
+    }
+    if (relax.status == SolveStatus::kLimit) {
+      hit_limit = true;
+      continue;
+    }
+    if (incumbent.status == SolveStatus::kOptimal &&
+        sign * relax.objective <= sign * incumbent.objective + 1e-12) {
+      continue;  // bound: cannot beat the incumbent
+    }
+
+    // Find the most fractional integer variable.
+    int branch_var = -1;
+    double best_frac_dist = int_tol;
+    for (int i = 0; i < n; ++i) {
+      if (!problem.variables()[static_cast<std::size_t>(i)].integer) continue;
+      const double v = relax.values[static_cast<std::size_t>(i)];
+      const double frac = v - std::floor(v);
+      const double dist = std::min(frac, 1.0 - frac);
+      if (dist > best_frac_dist) {
+        best_frac_dist = dist;
+        branch_var = i;
+      }
+    }
+
+    if (branch_var < 0) {
+      // Integral (within tolerance): round and accept if feasible.
+      std::vector<double> candidate = relax.values;
+      for (int i = 0; i < n; ++i) {
+        if (problem.variables()[static_cast<std::size_t>(i)].integer) {
+          candidate[static_cast<std::size_t>(i)] =
+              std::round(candidate[static_cast<std::size_t>(i)]);
+        }
+      }
+      if (!problem.feasible(candidate, 1e-6)) continue;
+      const double obj = problem.objective_value(candidate);
+      if (incumbent.status != SolveStatus::kOptimal ||
+          sign * obj > sign * incumbent.objective) {
+        incumbent.status = SolveStatus::kOptimal;
+        incumbent.objective = obj;
+        incumbent.values = std::move(candidate);
+      }
+      continue;
+    }
+
+    const double v = relax.values[static_cast<std::size_t>(branch_var)];
+    Node down = node;
+    down.upper[static_cast<std::size_t>(branch_var)] = std::floor(v);
+    Node up = node;
+    up.lower[static_cast<std::size_t>(branch_var)] = std::ceil(v);
+    // DFS: explore the side nearer the relaxation first (pushed last).
+    if (v - std::floor(v) > 0.5) {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    } else {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    }
+  }
+
+  if (incumbent.status != SolveStatus::kOptimal) {
+    return {hit_limit ? SolveStatus::kLimit : SolveStatus::kInfeasible, 0.0, {}};
+  }
+  return incumbent;
+}
+
+}  // namespace milp

@@ -1,0 +1,33 @@
+#pragma once
+// Branch-and-bound MILP solver over the simplex LP relaxation. Depth-first
+// with best-incumbent pruning; branches on the most fractional integer
+// variable. Problems from the kernel analyzer have < 10 variables, so the
+// node limit is a safety net, not a tuning knob.
+
+#include "milp/problem.hpp"
+#include "milp/simplex.hpp"
+
+namespace milp {
+
+class BranchAndBoundSolver {
+ public:
+  struct Options {
+    int max_nodes = 200000;
+    double integer_tolerance = 1e-6;
+    SimplexSolver::Options lp;
+  };
+
+  BranchAndBoundSolver() = default;
+  explicit BranchAndBoundSolver(Options options) : options_(options) {}
+
+  Solution solve(const Problem& problem) const;
+
+  /// Nodes explored by the most recent solve (diagnostics / Table 6's T_a).
+  int last_node_count() const { return last_nodes_; }
+
+ private:
+  Options options_{};
+  mutable int last_nodes_ = 0;
+};
+
+}  // namespace milp

@@ -1,0 +1,70 @@
+#pragma once
+// Mixed-integer linear program description. The GLP4NN kernel analyzer
+// builds its Eq. 1–9 model with this API; the paper used GLPK, which we
+// replace with the in-repo solver (see DESIGN.md substitution table).
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace milp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+struct Variable {
+  std::string name;
+  double lower = 0.0;
+  double upper = kInfinity;
+  double objective = 0.0;
+  bool integer = false;
+};
+
+struct Constraint {
+  std::string name;
+  /// Sparse row: (variable index, coefficient).
+  std::vector<std::pair<int, double>> terms;
+  double lower = -kInfinity;
+  double upper = kInfinity;
+};
+
+class Problem {
+ public:
+  /// Returns the new variable's index.
+  int add_variable(double lower, double upper, double objective, bool integer,
+                   std::string name = {});
+
+  /// Adds `lower ≤ Σ coeff·x ≤ upper`. Returns the constraint's index.
+  int add_constraint(std::vector<std::pair<int, double>> terms, double lower,
+                     double upper, std::string name = {});
+
+  void set_maximize(bool maximize) { maximize_ = maximize; }
+  bool maximize() const { return maximize_; }
+
+  int num_variables() const { return static_cast<int>(variables_.size()); }
+  int num_constraints() const { return static_cast<int>(constraints_.size()); }
+  const std::vector<Variable>& variables() const { return variables_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  /// Objective value of a candidate point.
+  double objective_value(const std::vector<double>& x) const;
+  /// Feasibility check with tolerance (used by tests and B&B asserts).
+  bool feasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+ private:
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+  bool maximize_ = true;
+};
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kLimit };
+
+const char* to_string(SolveStatus status);
+
+struct Solution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;
+};
+
+}  // namespace milp

@@ -1,0 +1,258 @@
+#include "milp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace milp {
+
+namespace {
+
+// Row-major dense tableau. Columns: structural + slack + artificial, then
+// RHS last. Basis holds the column index basic in each row.
+struct Tableau {
+  int rows = 0;
+  int cols = 0;  // excluding RHS
+  std::vector<double> a;  // rows x (cols + 1)
+  std::vector<int> basis;
+
+  double& at(int r, int c) { return a[static_cast<std::size_t>(r) * (cols + 1) + c]; }
+  double at(int r, int c) const {
+    return a[static_cast<std::size_t>(r) * (cols + 1) + c];
+  }
+  double& rhs(int r) { return at(r, cols); }
+  double rhs_val(int r) const { return at(r, cols); }
+
+  void pivot(int pr, int pc) {
+    const double pv = at(pr, pc);
+    GLP_CHECK(std::abs(pv) > 1e-12);
+    const double inv = 1.0 / pv;
+    for (int c = 0; c <= cols; ++c) at(pr, c) *= inv;
+    for (int r = 0; r < rows; ++r) {
+      if (r == pr) continue;
+      const double factor = at(r, pc);
+      if (factor == 0.0) continue;
+      for (int c = 0; c <= cols; ++c) at(r, c) -= factor * at(pr, c);
+    }
+    basis[static_cast<std::size_t>(pr)] = pc;
+  }
+};
+
+// Price out: reduced cost vector z_j - c_j for objective c over current basis.
+std::vector<double> reduced_costs(const Tableau& t, const std::vector<double>& c) {
+  std::vector<double> rc(static_cast<std::size_t>(t.cols));
+  for (int j = 0; j < t.cols; ++j) {
+    double zj = 0.0;
+    for (int r = 0; r < t.rows; ++r) {
+      const int b = t.basis[static_cast<std::size_t>(r)];
+      zj += c[static_cast<std::size_t>(b)] * t.at(r, j);
+    }
+    rc[static_cast<std::size_t>(j)] = zj - c[static_cast<std::size_t>(j)];
+  }
+  return rc;
+}
+
+enum class PhaseResult { kOptimal, kUnbounded, kIterationLimit };
+
+// Maximize c·x over the tableau with Bland's rule. `allowed` marks columns
+// eligible to enter (used to keep artificials out in phase 2).
+PhaseResult run_phase(Tableau& t, const std::vector<double>& c,
+                      const std::vector<bool>& allowed, int max_iters, double tol) {
+  for (int iter = 0; iter < max_iters; ++iter) {
+    const std::vector<double> rc = reduced_costs(t, c);
+    // Bland: smallest-index column with negative reduced cost (improving
+    // direction for maximization).
+    int enter = -1;
+    for (int j = 0; j < t.cols; ++j) {
+      if (!allowed[static_cast<std::size_t>(j)]) continue;
+      if (rc[static_cast<std::size_t>(j)] < -tol) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter < 0) return PhaseResult::kOptimal;
+
+    // Ratio test; Bland tie-break on smallest basis column index.
+    int leave = -1;
+    double best_ratio = 0.0;
+    for (int r = 0; r < t.rows; ++r) {
+      const double col = t.at(r, enter);
+      if (col > tol) {
+        const double ratio = t.rhs_val(r) / col;
+        if (leave < 0 || ratio < best_ratio - tol ||
+            (std::abs(ratio - best_ratio) <= tol &&
+             t.basis[static_cast<std::size_t>(r)] <
+                 t.basis[static_cast<std::size_t>(leave)])) {
+          leave = r;
+          best_ratio = ratio;
+        }
+      }
+    }
+    if (leave < 0) return PhaseResult::kUnbounded;
+    t.pivot(leave, enter);
+  }
+  return PhaseResult::kIterationLimit;
+}
+
+}  // namespace
+
+Solution SimplexSolver::solve(const Problem& problem) const {
+  std::vector<double> lower, upper;
+  lower.reserve(static_cast<std::size_t>(problem.num_variables()));
+  upper.reserve(static_cast<std::size_t>(problem.num_variables()));
+  for (const Variable& v : problem.variables()) {
+    lower.push_back(v.lower);
+    upper.push_back(v.upper);
+  }
+  return solve_with_bounds(problem, lower, upper);
+}
+
+Solution SimplexSolver::solve_with_bounds(const Problem& problem,
+                                          const std::vector<double>& lower,
+                                          const std::vector<double>& upper) const {
+  const int n = problem.num_variables();
+  GLP_REQUIRE(static_cast<int>(lower.size()) == n &&
+                  static_cast<int>(upper.size()) == n,
+              "bound override arrays must match variable count");
+  const double tol = options_.tolerance;
+
+  for (int i = 0; i < n; ++i) {
+    if (lower[static_cast<std::size_t>(i)] > upper[static_cast<std::size_t>(i)] + tol) {
+      return {SolveStatus::kInfeasible, 0.0, {}};
+    }
+    GLP_REQUIRE(std::isfinite(lower[static_cast<std::size_t>(i)]),
+                "variables must have finite lower bounds");
+  }
+
+  // Shift to y = x - lower ≥ 0 and collect all rows as A y ≤ b.
+  struct Row {
+    std::vector<double> coeff;  // dense over n
+    double rhs;
+  };
+  std::vector<Row> rows;
+
+  auto add_leq = [&](const std::vector<double>& coeff, double rhs) {
+    rows.push_back({coeff, rhs});
+  };
+
+  for (int i = 0; i < n; ++i) {
+    const double range =
+        upper[static_cast<std::size_t>(i)] - lower[static_cast<std::size_t>(i)];
+    if (std::isfinite(range)) {
+      std::vector<double> coeff(static_cast<std::size_t>(n), 0.0);
+      coeff[static_cast<std::size_t>(i)] = 1.0;
+      add_leq(coeff, range);
+    }
+  }
+  for (const Constraint& c : problem.constraints()) {
+    std::vector<double> coeff(static_cast<std::size_t>(n), 0.0);
+    double shift = 0.0;
+    for (const auto& [idx, value] : c.terms) {
+      coeff[static_cast<std::size_t>(idx)] += value;
+      shift += value * lower[static_cast<std::size_t>(idx)];
+    }
+    if (std::isfinite(c.upper)) add_leq(coeff, c.upper - shift);
+    if (std::isfinite(c.lower)) {
+      std::vector<double> neg(coeff);
+      for (double& v : neg) v = -v;
+      add_leq(neg, -(c.lower - shift));
+    }
+  }
+
+  const int m = static_cast<int>(rows.size());
+
+  // Columns: n structural + m slack + (artificials for negative-RHS rows).
+  std::vector<int> artificial_of_row(static_cast<std::size_t>(m), -1);
+  int num_artificial = 0;
+  for (int r = 0; r < m; ++r) {
+    if (rows[static_cast<std::size_t>(r)].rhs < 0.0) {
+      artificial_of_row[static_cast<std::size_t>(r)] = num_artificial++;
+    }
+  }
+
+  Tableau t;
+  t.rows = m;
+  t.cols = n + m + num_artificial;
+  t.a.assign(static_cast<std::size_t>(m) * (t.cols + 1), 0.0);
+  t.basis.assign(static_cast<std::size_t>(m), -1);
+
+  for (int r = 0; r < m; ++r) {
+    const Row& row = rows[static_cast<std::size_t>(r)];
+    const bool flip = row.rhs < 0.0;
+    const double sign = flip ? -1.0 : 1.0;
+    for (int j = 0; j < n; ++j) {
+      t.at(r, j) = sign * row.coeff[static_cast<std::size_t>(j)];
+    }
+    t.at(r, n + r) = sign * 1.0;  // slack
+    t.rhs(r) = sign * row.rhs;
+    if (flip) {
+      const int acol = n + m + artificial_of_row[static_cast<std::size_t>(r)];
+      t.at(r, acol) = 1.0;
+      t.basis[static_cast<std::size_t>(r)] = acol;
+    } else {
+      t.basis[static_cast<std::size_t>(r)] = n + r;
+    }
+  }
+
+  std::vector<bool> allow_all(static_cast<std::size_t>(t.cols), true);
+
+  // Phase 1: drive artificials to zero (maximize -Σ artificials).
+  if (num_artificial > 0) {
+    std::vector<double> c1(static_cast<std::size_t>(t.cols), 0.0);
+    for (int k = 0; k < num_artificial; ++k) {
+      c1[static_cast<std::size_t>(n + m + k)] = -1.0;
+    }
+    const PhaseResult pr =
+        run_phase(t, c1, allow_all, options_.max_iterations, tol);
+    if (pr == PhaseResult::kIterationLimit) return {SolveStatus::kLimit, 0.0, {}};
+    double infeas = 0.0;
+    for (int r = 0; r < m; ++r) {
+      if (t.basis[static_cast<std::size_t>(r)] >= n + m) infeas += t.rhs_val(r);
+    }
+    if (infeas > 1e-7) return {SolveStatus::kInfeasible, 0.0, {}};
+    // Pivot any degenerate artificials out of the basis where possible.
+    for (int r = 0; r < m; ++r) {
+      if (t.basis[static_cast<std::size_t>(r)] >= n + m) {
+        for (int j = 0; j < n + m; ++j) {
+          if (std::abs(t.at(r, j)) > tol) {
+            t.pivot(r, j);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Phase 2: real objective, artificial columns barred from entering.
+  std::vector<double> c2(static_cast<std::size_t>(t.cols), 0.0);
+  const double obj_sign = problem.maximize() ? 1.0 : -1.0;
+  for (int j = 0; j < n; ++j) {
+    c2[static_cast<std::size_t>(j)] =
+        obj_sign * problem.variables()[static_cast<std::size_t>(j)].objective;
+  }
+  std::vector<bool> allowed(static_cast<std::size_t>(t.cols), true);
+  for (int k = 0; k < num_artificial; ++k) {
+    allowed[static_cast<std::size_t>(n + m + k)] = false;
+  }
+  const PhaseResult pr = run_phase(t, c2, allowed, options_.max_iterations, tol);
+  if (pr == PhaseResult::kIterationLimit) return {SolveStatus::kLimit, 0.0, {}};
+  if (pr == PhaseResult::kUnbounded) return {SolveStatus::kUnbounded, 0.0, {}};
+
+  Solution sol;
+  sol.status = SolveStatus::kOptimal;
+  sol.values.assign(static_cast<std::size_t>(n), 0.0);
+  for (int r = 0; r < m; ++r) {
+    const int b = t.basis[static_cast<std::size_t>(r)];
+    if (b < n) {
+      sol.values[static_cast<std::size_t>(b)] = t.rhs_val(r);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    sol.values[static_cast<std::size_t>(i)] += lower[static_cast<std::size_t>(i)];
+  }
+  sol.objective = problem.objective_value(sol.values);
+  return sol;
+}
+
+}  // namespace milp

@@ -1,0 +1,35 @@
+#pragma once
+// Dense two-phase primal simplex for the LP relaxations. Bland's rule
+// guarantees termination; problems here are tiny (a handful of kernels
+// per layer), so a dense tableau is the simple, robust choice.
+
+#include <vector>
+
+#include "milp/problem.hpp"
+
+namespace milp {
+
+class SimplexSolver {
+ public:
+  struct Options {
+    int max_iterations = 20000;
+    double tolerance = 1e-9;
+  };
+
+  SimplexSolver() = default;
+  explicit SimplexSolver(Options options) : options_(options) {}
+
+  /// Solve the continuous relaxation (integrality ignored).
+  Solution solve(const Problem& problem) const;
+
+  /// Solve with per-variable bound overrides (used by branch & bound).
+  /// `lower`/`upper` must have one entry per variable.
+  Solution solve_with_bounds(const Problem& problem,
+                             const std::vector<double>& lower,
+                             const std::vector<double>& upper) const;
+
+ private:
+  Options options_{};
+};
+
+}  // namespace milp

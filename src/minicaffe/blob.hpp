@@ -1,0 +1,91 @@
+#pragma once
+// Caffe-style Blob: an N-dimensional tensor (canonically NCHW) holding a
+// data array and a gradient (diff) array. Data and diff allocate lazily;
+// host pointer access is only safe when the device is synchronised (the
+// solver synchronises once per iteration).
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "minicaffe/buffer.hpp"
+
+namespace mc {
+
+class Blob {
+ public:
+  explicit Blob(scuda::Context& ctx) : ctx_(&ctx) {}
+  Blob(scuda::Context& ctx, std::vector<int> shape) : ctx_(&ctx) {
+    reshape(std::move(shape));
+  }
+
+  void reshape(std::vector<int> shape) {
+    std::size_t count = 1;
+    for (int d : shape) {
+      GLP_REQUIRE(d >= 0, "blob dimensions must be non-negative");
+      count *= static_cast<std::size_t>(d);
+    }
+    shape_ = std::move(shape);
+    count_ = count;
+    data_.ensure(*ctx_, count_);
+    // diff stays lazy: inference-only blobs never allocate gradients
+  }
+  void reshape_like(const Blob& other) { reshape(other.shape_); }
+
+  const std::vector<int>& shape() const { return shape_; }
+  int shape(int axis) const {
+    GLP_REQUIRE(axis >= 0 && axis < num_axes(), "axis " << axis << " out of range");
+    return shape_[static_cast<std::size_t>(axis)];
+  }
+  int num_axes() const { return static_cast<int>(shape_.size()); }
+  std::size_t count() const { return count_; }
+
+  /// Legacy NCHW accessors (missing trailing axes count as 1).
+  int num() const { return axis_or(0); }
+  int channels() const { return axis_or(1); }
+  int height() const { return axis_or(2); }
+  int width() const { return axis_or(3); }
+  /// Elements per sample (count / num).
+  std::size_t sample_size() const {
+    return num() > 0 ? count_ / static_cast<std::size_t>(num()) : 0;
+  }
+
+  float* mutable_data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* mutable_diff() {
+    diff_.ensure(*ctx_, count_);
+    return diff_.data();
+  }
+  /// Lazy like mutable_diff(): timing-only runs read diffs that were
+  /// never numerically written, so allocation must not require a write.
+  const float* diff() const {
+    diff_.ensure(*ctx_, count_);
+    return diff_.data();
+  }
+  bool has_diff() const { return !diff_.empty(); }
+
+  std::string shape_string() const {
+    std::string s;
+    for (std::size_t i = 0; i < shape_.size(); ++i) {
+      if (i != 0) s += "x";
+      s += std::to_string(shape_[i]);
+    }
+    s += " (" + std::to_string(count_) + ")";
+    return s;
+  }
+
+  scuda::Context& context() const { return *ctx_; }
+
+ private:
+  int axis_or(int axis) const {
+    return axis < num_axes() ? shape_[static_cast<std::size_t>(axis)] : 1;
+  }
+
+  scuda::Context* ctx_;
+  std::vector<int> shape_;
+  std::size_t count_ = 0;
+  DeviceBuffer<float> data_;
+  mutable DeviceBuffer<float> diff_;
+};
+
+}  // namespace mc

@@ -1,0 +1,102 @@
+#include "minicaffe/datasets.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace mc {
+
+DatasetSpec DatasetSpec::mnist() {
+  DatasetSpec s;
+  s.name = "mnist";
+  s.num_classes = 10;
+  s.channels = 1;
+  s.height = 28;
+  s.width = 28;
+  s.train_size = 60000;
+  return s;
+}
+
+DatasetSpec DatasetSpec::cifar10() {
+  DatasetSpec s;
+  s.name = "cifar10";
+  s.num_classes = 10;
+  s.channels = 3;
+  s.height = 32;
+  s.width = 32;
+  s.train_size = 50000;
+  return s;
+}
+
+DatasetSpec DatasetSpec::imagenet() {
+  DatasetSpec s;
+  s.name = "imagenet";
+  s.num_classes = 1000;
+  s.channels = 3;
+  s.height = 256;
+  s.width = 256;
+  s.train_size = 1200000;
+  return s;
+}
+
+DatasetSpec DatasetSpec::imagenet_crop227() {
+  DatasetSpec s = imagenet();
+  s.name = "imagenet-227";
+  s.height = 227;
+  s.width = 227;
+  return s;
+}
+
+SyntheticDataset::SyntheticDataset(DatasetSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed) {
+  GLP_REQUIRE(spec_.num_classes > 0 && spec_.train_size > 0,
+              "dataset must have classes and samples");
+  // Class prototypes: smooth-ish random images in [0, 1).
+  prototypes_.resize(static_cast<std::size_t>(spec_.num_classes) *
+                     spec_.sample_size());
+  glp::Rng rng(seed_ ^ 0xA5A5A5A5ULL);
+  for (float& v : prototypes_) v = rng.uniform(0.0f, 1.0f);
+}
+
+int SyntheticDataset::label_of(std::uint64_t index) const {
+  // Spread classes across the epoch deterministically but non-trivially.
+  glp::Rng rng(seed_ ^ (index * 0x9E3779B97F4A7C15ULL + 1));
+  return static_cast<int>(rng.next_below(static_cast<std::uint64_t>(spec_.num_classes)));
+}
+
+void SyntheticDataset::fill_sample(std::uint64_t index, float* out) const {
+  const int label = label_of(index);
+  const float* proto =
+      prototypes_.data() + static_cast<std::size_t>(label) * spec_.sample_size();
+  glp::Rng rng(seed_ ^ (index * 0xD1B54A32D192ED03ULL + 7));
+  const float keep = 1.0f - spec_.noise;
+  for (std::size_t i = 0; i < spec_.sample_size(); ++i) {
+    out[i] = keep * proto[i] + spec_.noise * rng.gaussian(0.0f, 0.25f);
+  }
+}
+
+std::uint64_t SyntheticDataset::index_at(std::uint64_t position) const {
+  const auto size = static_cast<std::uint64_t>(spec_.train_size);
+  const std::uint64_t epoch = position / size;
+  const std::uint64_t offset = position % size;
+  if (!spec_.shuffle) return offset;
+  // Affine permutation per epoch: index = (a·offset + b) mod size with a
+  // coprime to size. Deterministic, O(1), and different every epoch.
+  glp::Rng rng(seed_ ^ (epoch * 0x2545F4914F6CDD1DULL + 11));
+  std::uint64_t a = 1 + 2 * rng.next_below(size / 2 + 1);  // odd — but size may be even
+  while (std::gcd(a, size) != 1) a += 1;
+  const std::uint64_t b = rng.next_below(size);
+  return (a * offset + b) % size;
+}
+
+void SyntheticDataset::fill_batch(std::uint64_t cursor, int batch, float* images,
+                                  float* labels) const {
+  for (int n = 0; n < batch; ++n) {
+    const std::uint64_t index =
+        index_at(cursor + static_cast<std::uint64_t>(n));
+    fill_sample(index, images + static_cast<std::size_t>(n) * spec_.sample_size());
+    labels[n] = static_cast<float>(label_of(index));
+  }
+}
+
+}  // namespace mc

@@ -1,0 +1,37 @@
+#include "minicaffe/evaluator.hpp"
+
+#include "common/check.hpp"
+
+namespace mc {
+
+EvalResult evaluate(Net& net, int iterations) {
+  GLP_REQUIRE(iterations > 0, "evaluation needs at least one iteration");
+  ExecContext& ec = net.exec();
+  const bool was_train = ec.train;
+  ec.train = false;
+
+  EvalResult result;
+  result.iterations = iterations;
+  const double t0 = ec.ctx->device().host_now();
+  for (int it = 0; it < iterations; ++it) {
+    net.forward();
+    ec.ctx->device().synchronize();
+    if (ec.numeric()) {
+      for (const std::string& name : net.blob_names()) {
+        const Blob* blob = net.blob(name);
+        if (blob->count() == 1) {
+          result.means[name] += blob->data()[0];
+        }
+      }
+    }
+  }
+  result.total_ms = (ec.ctx->device().host_now() - t0) / 1e6;
+  for (auto& [name, sum] : result.means) {
+    sum /= static_cast<float>(iterations);
+  }
+
+  ec.train = was_train;
+  return result;
+}
+
+}  // namespace mc

@@ -1,0 +1,31 @@
+#pragma once
+// Test-phase evaluation, Caffe-style: run a network forward for a number
+// of iterations with the TEST phase active (dropout off, BatchNorm on
+// global statistics) and average the scalar outputs (loss, accuracy).
+
+#include <map>
+#include <string>
+
+#include "minicaffe/net.hpp"
+
+namespace mc {
+
+struct EvalResult {
+  int iterations = 0;
+  /// Mean of every scalar (count == 1) blob across the iterations,
+  /// keyed by blob name ("loss", "accuracy", ...).
+  std::map<std::string, float> means;
+  double total_ms = 0.0;  ///< simulated time for the whole evaluation
+
+  float mean_or(const std::string& blob, float fallback) const {
+    auto it = means.find(blob);
+    return it == means.end() ? fallback : it->second;
+  }
+};
+
+/// Evaluate `net` for `iterations` forward passes. Flips the ExecContext
+/// to the TEST phase for the duration (restores it afterwards) and
+/// synchronises the device each iteration to read scalar blobs.
+EvalResult evaluate(Net& net, int iterations);
+
+}  // namespace mc

@@ -1,0 +1,39 @@
+#pragma once
+// Execution environment a Net runs in: the simulated device, the kernel
+// dispatcher (serial baseline / fixed streams / GLP4NN scheduler), the
+// compute mode, and the deterministic RNG feeding fillers, dropout masks
+// and data shuffling. Swapping only the dispatcher is how the paper's
+// "GLP4NN-Caffe vs naive-Caffe" comparisons are run — everything else is
+// bit-identical.
+
+#include "common/rng.hpp"
+#include "kernels/dispatch.hpp"
+#include "kernels/launcher.hpp"
+#include "simcuda/context.hpp"
+
+namespace mc {
+
+struct ExecContext {
+  scuda::Context* ctx = nullptr;
+  kern::KernelDispatcher* dispatcher = nullptr;
+  kern::ComputeMode mode = kern::ComputeMode::kNumeric;
+  /// Kernel-fusion extension (paper §6 future work): fuse the per-sample
+  /// bias-add into the convolution GEMM, saving one launch per sample.
+  bool fuse_conv_bias = false;
+  /// Training phase: dropout active, BatchNorm uses batch statistics.
+  /// Flip to false for inference (Caffe's TEST phase).
+  bool train = true;
+  glp::Rng rng{0x5eedULL};
+
+  kern::Launcher launcher(gpusim::StreamId stream = gpusim::kDefaultStream) const {
+    kern::Launcher l;
+    l.ctx = ctx;
+    l.stream = stream;
+    l.mode = mode;
+    return l;
+  }
+
+  bool numeric() const { return mode == kern::ComputeMode::kNumeric; }
+};
+
+}  // namespace mc

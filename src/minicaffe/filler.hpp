@@ -1,0 +1,72 @@
+#pragma once
+// Weight initialisers (Caffe fillers). Host-side, deterministic through
+// the ExecContext RNG; only run in numeric mode (timing-only runs never
+// read weights).
+
+#include <cmath>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "minicaffe/blob.hpp"
+
+namespace mc {
+
+struct FillerSpec {
+  enum class Kind { kConstant, kUniform, kGaussian, kXavier };
+  Kind kind = Kind::kXavier;
+  float value = 0.0f;   ///< constant
+  float min = -1.0f;    ///< uniform
+  float max = 1.0f;
+  float std = 0.01f;    ///< gaussian
+  float mean = 0.0f;
+
+  static FillerSpec constant(float v) {
+    FillerSpec f;
+    f.kind = Kind::kConstant;
+    f.value = v;
+    return f;
+  }
+  static FillerSpec gaussian(float std, float mean = 0.0f) {
+    FillerSpec f;
+    f.kind = Kind::kGaussian;
+    f.std = std;
+    f.mean = mean;
+    return f;
+  }
+  static FillerSpec xavier() { return FillerSpec{}; }
+  static FillerSpec uniform(float lo, float hi) {
+    FillerSpec f;
+    f.kind = Kind::kUniform;
+    f.min = lo;
+    f.max = hi;
+    return f;
+  }
+};
+
+/// Fill `blob`'s data. For Xavier, fan_in = count / shape(0) as in Caffe.
+inline void fill_blob(const FillerSpec& spec, glp::Rng& rng, Blob& blob) {
+  float* data = blob.mutable_data();
+  const std::size_t count = blob.count();
+  switch (spec.kind) {
+    case FillerSpec::Kind::kConstant:
+      for (std::size_t i = 0; i < count; ++i) data[i] = spec.value;
+      break;
+    case FillerSpec::Kind::kUniform:
+      for (std::size_t i = 0; i < count; ++i) data[i] = rng.uniform(spec.min, spec.max);
+      break;
+    case FillerSpec::Kind::kGaussian:
+      for (std::size_t i = 0; i < count; ++i) data[i] = rng.gaussian(spec.mean, spec.std);
+      break;
+    case FillerSpec::Kind::kXavier: {
+      GLP_REQUIRE(blob.num_axes() >= 1 && blob.shape(0) > 0,
+                  "xavier filler needs a leading output axis");
+      const std::size_t fan_in = count / static_cast<std::size_t>(blob.shape(0));
+      const float scale = std::sqrt(3.0f / static_cast<float>(fan_in));
+      for (std::size_t i = 0; i < count; ++i) data[i] = rng.uniform(-scale, scale);
+      break;
+    }
+  }
+}
+
+}  // namespace mc

@@ -1,0 +1,157 @@
+#pragma once
+// Layer base class and layer specification, Caffe-style. A layer connects
+// bottom blobs to top blobs; setup() shapes the tops and creates
+// parameters, forward()/backward() launch simulated kernels.
+//
+// Gradient semantics (differs from Caffe, simpler and race-free):
+// backward() *accumulates* into bottom diffs and parameter diffs, which
+// the caller (Net/Solver) zeroes at the start of each backward pass.
+// In-place layers (top blob == bottom blob) overwrite instead. This
+// removes Caffe's auto-inserted Split layers: blobs consumed by several
+// layers just receive each consumer's contribution.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minicaffe/blob.hpp"
+#include "minicaffe/datasets.hpp"
+#include "minicaffe/exec_context.hpp"
+#include "minicaffe/filler.hpp"
+
+namespace mc {
+
+enum class PoolMethod { kMax, kAve };
+enum class EltwiseOp { kSum, kProd, kMax };
+
+/// Union-style parameter bag: each layer type reads the fields it needs.
+struct LayerParams {
+  // Convolution / InnerProduct
+  int num_output = 0;
+  int kernel_size = 0;
+  int stride = 1;
+  int pad = 0;
+  int group = 1;  ///< grouped convolution (AlexNet-style channel groups)
+  bool bias_term = true;
+  FillerSpec weight_filler = FillerSpec::xavier();
+  FillerSpec bias_filler = FillerSpec::constant(0.0f);
+
+  // Pooling
+  PoolMethod pool = PoolMethod::kMax;
+
+  // LRN
+  int local_size = 5;
+  float alpha = 1e-4f;
+  float beta = 0.75f;
+  float k = 1.0f;
+
+  // ReLU
+  float negative_slope = 0.0f;
+
+  // Dropout
+  float dropout_ratio = 0.5f;
+
+  // Losses
+  float loss_weight = 1.0f;
+  float margin = 1.0f;  // contrastive
+
+  // Concat / Slice
+  int axis = 1;
+  std::vector<int> slice_points;  ///< channel boundaries (Slice)
+
+  // Eltwise
+  EltwiseOp eltwise = EltwiseOp::kSum;
+  std::vector<float> eltwise_coeffs;  ///< SUM coefficients (default all 1)
+
+  // Power: y = (shift + scale·x)^power
+  float power = 1.0f;
+  float power_scale = 1.0f;
+  float power_shift = 0.0f;
+
+  // BatchNorm
+  float bn_eps = 1e-5f;
+  float bn_momentum = 0.9f;  ///< moving-average decay for global stats
+  bool use_global_stats = false;
+
+  // Scale
+  bool scale_bias_term = false;
+
+  // Reduction: mean over each sample when true, sum otherwise
+  bool reduction_mean = false;
+
+  // Data
+  DatasetSpec dataset;
+  int batch_size = 0;
+  bool pair_data = false;  ///< Siamese: emit (data, data_p, similarity)
+};
+
+struct LayerSpec {
+  std::string type;  ///< "Convolution", "Pooling", ...
+  std::string name;
+  std::vector<std::string> bottoms;
+  std::vector<std::string> tops;
+  LayerParams params;
+  /// Optional names for parameter sharing across layers (Siamese weights).
+  std::vector<std::string> param_names;
+};
+
+class Layer {
+ public:
+  Layer(LayerSpec spec, ExecContext& ec) : spec_(std::move(spec)), ec_(&ec) {}
+  virtual ~Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Shape the tops from the bottoms; create parameter blobs. Called once.
+  virtual void setup(const std::vector<Blob*>& bottom,
+                     const std::vector<Blob*>& top) = 0;
+  virtual void forward(const std::vector<Blob*>& bottom,
+                       const std::vector<Blob*>& top) = 0;
+  /// `propagate_down[i]`: whether bottom i needs a gradient.
+  virtual void backward(const std::vector<Blob*>& top,
+                        const std::vector<bool>& propagate_down,
+                        const std::vector<Blob*>& bottom) = 0;
+
+  virtual bool is_loss() const { return false; }
+  /// Layers with no backward pass (data layers).
+  virtual bool has_backward() const { return true; }
+  /// True when backward() *accumulates* (+=) into bottom diffs; such
+  /// layers may share a bottom blob with other consumers. Layers that
+  /// assign must be a blob's only non-in-place consumer (Net verifies).
+  virtual bool accumulates_bottom_diff() const { return false; }
+
+  const std::string& name() const { return spec_.name; }
+  const std::string& type() const { return spec_.type; }
+  const LayerSpec& spec() const { return spec_; }
+  const LayerParams& params() const { return spec_.params; }
+
+  std::vector<std::shared_ptr<Blob>>& param_blobs() { return param_blobs_; }
+  const std::vector<std::shared_ptr<Blob>>& param_blobs() const {
+    return param_blobs_;
+  }
+  /// Marks params adopted from the shared registry (gradients accumulate).
+  void share_param(std::size_t index, std::shared_ptr<Blob> blob) {
+    param_blobs_.at(index) = std::move(blob);
+  }
+
+ protected:
+  /// Launcher scoped to this layer and pass ("conv1/fwd").
+  kern::Launcher launcher(const char* pass,
+                          gpusim::StreamId stream = gpusim::kDefaultStream) const {
+    kern::Launcher l = ec_->launcher(stream);
+    l.name_prefix = spec_.name + "/" + pass;
+    return l;
+  }
+
+  LayerSpec spec_;
+  ExecContext* ec_;
+  std::vector<std::shared_ptr<Blob>> param_blobs_;
+};
+
+/// Create a layer by spec.type. Throws InvalidArgument on unknown types.
+std::unique_ptr<Layer> create_layer(const LayerSpec& spec, ExecContext& ec);
+
+/// All registered layer type names (for diagnostics and tests).
+std::vector<std::string> registered_layer_types();
+
+}  // namespace mc

@@ -1,0 +1,80 @@
+#include <functional>
+#include <map>
+
+#include "minicaffe/layer.hpp"
+#include "minicaffe/layers/activation_layers.hpp"
+#include "minicaffe/layers/concat_layer.hpp"
+#include "minicaffe/layers/conv_layer.hpp"
+#include "minicaffe/layers/data_layer.hpp"
+#include "minicaffe/layers/deconv_layer.hpp"
+#include "minicaffe/layers/elementwise_layers.hpp"
+#include "minicaffe/layers/ip_layer.hpp"
+#include "minicaffe/layers/loss_layers.hpp"
+#include "minicaffe/layers/lrn_layer.hpp"
+#include "minicaffe/layers/pool_layer.hpp"
+#include "minicaffe/layers/structure_layers.hpp"
+
+namespace mc {
+
+namespace {
+
+using Factory = std::function<std::unique_ptr<Layer>(const LayerSpec&, ExecContext&)>;
+
+template <typename T>
+std::unique_ptr<Layer> make(const LayerSpec& spec, ExecContext& ec) {
+  return std::make_unique<T>(spec, ec);
+}
+
+const std::map<std::string, Factory>& registry() {
+  static const std::map<std::string, Factory> r = {
+      {"Data", make<DataLayer>},
+      {"Convolution", make<ConvolutionLayer>},
+      {"Deconvolution", make<DeconvolutionLayer>},
+      {"InnerProduct", make<InnerProductLayer>},
+      {"Pooling", make<PoolingLayer>},
+      {"LRN", make<LRNLayer>},
+      {"ReLU", make<ReLULayer>},
+      {"Sigmoid", make<SigmoidLayer>},
+      {"TanH", make<TanHLayer>},
+      {"Dropout", make<DropoutLayer>},
+      {"Concat", make<ConcatLayer>},
+      {"SoftmaxWithLoss", make<SoftmaxWithLossLayer>},
+      {"Accuracy", make<AccuracyLayer>},
+      {"EuclideanLoss", make<EuclideanLossLayer>},
+      {"SigmoidCrossEntropyLoss", make<SigmoidCrossEntropyLossLayer>},
+      {"ContrastiveLoss", make<ContrastiveLossLayer>},
+      {"Softmax", make<SoftmaxLayer>},
+      {"Eltwise", make<EltwiseLayer>},
+      {"Power", make<PowerLayer>},
+      {"AbsVal", make<AbsValLayer>},
+      {"Exp", make<ExpLayer>},
+      {"PReLU", make<PReLULayer>},
+      {"Slice", make<SliceLayer>},
+      {"Flatten", make<FlattenLayer>},
+      {"Scale", make<ScaleLayer>},
+      {"BatchNorm", make<BatchNormLayer>},
+      {"ArgMax", make<ArgMaxLayer>},
+      {"Reduction", make<ReductionLayer>},
+  };
+  return r;
+}
+
+}  // namespace
+
+std::unique_ptr<Layer> create_layer(const LayerSpec& spec, ExecContext& ec) {
+  auto it = registry().find(spec.type);
+  if (it == registry().end()) {
+    throw glp::InvalidArgument("unknown layer type '" + spec.type + "' for layer '" +
+                               spec.name + "'");
+  }
+  return it->second(spec, ec);
+}
+
+std::vector<std::string> registered_layer_types() {
+  std::vector<std::string> out;
+  out.reserve(registry().size());
+  for (const auto& [name, factory] : registry()) out.push_back(name);
+  return out;
+}
+
+}  // namespace mc

@@ -1,0 +1,114 @@
+#include "minicaffe/layers/activation_layers.hpp"
+
+#include "kernels/cpu_math.hpp"
+#include "kernels/nn.hpp"
+
+namespace mc {
+
+namespace {
+void shape_like_bottom(const std::vector<Blob*>& bottom,
+                       const std::vector<Blob*>& top, const char* type) {
+  GLP_REQUIRE(bottom.size() == 1 && top.size() == 1,
+              type << " expects one bottom and one top");
+  if (top[0] != bottom[0]) top[0]->reshape_like(*bottom[0]);
+}
+}  // namespace
+
+void ReLULayer::setup(const std::vector<Blob*>& bottom,
+                      const std::vector<Blob*>& top) {
+  shape_like_bottom(bottom, top, "ReLU");
+}
+
+void ReLULayer::forward(const std::vector<Blob*>& bottom,
+                        const std::vector<Blob*>& top) {
+  kern::relu_forward(launcher("fwd"), bottom[0]->count(), bottom[0]->data(),
+                     top[0]->mutable_data(), spec_.params.negative_slope);
+}
+
+void ReLULayer::backward(const std::vector<Blob*>& top,
+                         const std::vector<bool>& propagate_down,
+                         const std::vector<Blob*>& bottom) {
+  if (!propagate_down[0]) return;
+  // In-place safe: with slope 0, sign(bottom data) survives the forward
+  // overwrite, so using bottom->data() is correct either way.
+  kern::relu_backward(launcher("bwd"), bottom[0]->count(), bottom[0]->data(),
+                      top[0]->diff(), bottom[0]->mutable_diff(),
+                      spec_.params.negative_slope);
+}
+
+void SigmoidLayer::setup(const std::vector<Blob*>& bottom,
+                         const std::vector<Blob*>& top) {
+  shape_like_bottom(bottom, top, "Sigmoid");
+}
+
+void SigmoidLayer::forward(const std::vector<Blob*>& bottom,
+                           const std::vector<Blob*>& top) {
+  kern::sigmoid_forward(launcher("fwd"), bottom[0]->count(), bottom[0]->data(),
+                        top[0]->mutable_data());
+}
+
+void SigmoidLayer::backward(const std::vector<Blob*>& top,
+                            const std::vector<bool>& propagate_down,
+                            const std::vector<Blob*>& bottom) {
+  if (!propagate_down[0]) return;
+  kern::sigmoid_backward(launcher("bwd"), bottom[0]->count(), top[0]->data(),
+                         top[0]->diff(), bottom[0]->mutable_diff());
+}
+
+void TanHLayer::setup(const std::vector<Blob*>& bottom,
+                      const std::vector<Blob*>& top) {
+  shape_like_bottom(bottom, top, "TanH");
+}
+
+void TanHLayer::forward(const std::vector<Blob*>& bottom,
+                        const std::vector<Blob*>& top) {
+  kern::tanh_forward(launcher("fwd"), bottom[0]->count(), bottom[0]->data(),
+                     top[0]->mutable_data());
+}
+
+void TanHLayer::backward(const std::vector<Blob*>& top,
+                         const std::vector<bool>& propagate_down,
+                         const std::vector<Blob*>& bottom) {
+  if (!propagate_down[0]) return;
+  kern::tanh_backward(launcher("bwd"), bottom[0]->count(), top[0]->data(),
+                      top[0]->diff(), bottom[0]->mutable_diff());
+}
+
+void DropoutLayer::setup(const std::vector<Blob*>& bottom,
+                         const std::vector<Blob*>& top) {
+  shape_like_bottom(bottom, top, "Dropout");
+  const float ratio = spec_.params.dropout_ratio;
+  GLP_REQUIRE(ratio >= 0.0f && ratio < 1.0f,
+              "dropout_ratio must be in [0, 1), got " << ratio);
+  mask_.allocate(*ec_->ctx, bottom[0]->count());
+}
+
+void DropoutLayer::forward(const std::vector<Blob*>& bottom,
+                           const std::vector<Blob*>& top) {
+  const float ratio = spec_.params.dropout_ratio;
+  const float scale = 1.0f / (1.0f - ratio);
+  const bool active = train_ && ec_->train;
+  if (ec_->numeric()) {
+    // Host-side Bernoulli mask, consumed by the simulated kernel later.
+    // Safe: the solver synchronises each iteration before re-entry.
+    float* m = mask_.data();
+    for (std::size_t i = 0; i < mask_.count(); ++i) {
+      m[i] = (!active || ec_->rng.next_double() >= ratio) ? 1.0f : 0.0f;
+    }
+  }
+  kern::dropout_forward(launcher("fwd"), bottom[0]->count(), bottom[0]->data(),
+                        mask_.data(), active ? scale : 1.0f,
+                        top[0]->mutable_data());
+}
+
+void DropoutLayer::backward(const std::vector<Blob*>& top,
+                            const std::vector<bool>& propagate_down,
+                            const std::vector<Blob*>& bottom) {
+  if (!propagate_down[0]) return;
+  const bool active = train_ && ec_->train;
+  const float scale = active ? 1.0f / (1.0f - spec_.params.dropout_ratio) : 1.0f;
+  kern::dropout_forward(launcher("bwd"), bottom[0]->count(), top[0]->diff(),
+                        mask_.data(), scale, bottom[0]->mutable_diff());
+}
+
+}  // namespace mc

@@ -1,0 +1,66 @@
+#pragma once
+// Elementwise activation layers (ReLU / Sigmoid / TanH) and Dropout.
+// All support in-place operation (top blob == bottom blob), the usual
+// Caffe configuration. Backward *assigns* the bottom diff, so these
+// layers must be a blob's only non-in-place consumer (Net verifies this).
+
+#include "minicaffe/layer.hpp"
+
+namespace mc {
+
+class ReLULayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+};
+
+class SigmoidLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+};
+
+class TanHLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+};
+
+class DropoutLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+
+  /// Inference mode: mask becomes identity.
+  void set_train(bool train) { train_ = train; }
+
+ private:
+  DeviceBuffer<float> mask_;
+  bool train_ = true;
+};
+
+}  // namespace mc

@@ -1,0 +1,57 @@
+#include "minicaffe/layers/concat_layer.hpp"
+
+#include "kernels/nn.hpp"
+
+namespace mc {
+
+void ConcatLayer::setup(const std::vector<Blob*>& bottom,
+                        const std::vector<Blob*>& top) {
+  GLP_REQUIRE(bottom.size() >= 1 && top.size() == 1,
+              "Concat expects >= 1 bottoms and one top");
+  GLP_REQUIRE(spec_.params.axis == 1, "Concat currently supports the channel axis");
+  const int num = bottom[0]->num();
+  const int h = bottom[0]->height();
+  const int w = bottom[0]->width();
+  offsets_.clear();
+  total_channels_ = 0;
+  for (const Blob* b : bottom) {
+    GLP_REQUIRE(b->num() == num && b->height() == h && b->width() == w,
+                "Concat bottoms must agree on every non-channel axis");
+    offsets_.push_back(total_channels_);
+    total_channels_ += b->channels();
+  }
+  top[0]->reshape({num, total_channels_, h, w});
+}
+
+void ConcatLayer::forward(const std::vector<Blob*>& bottom,
+                          const std::vector<Blob*>& top) {
+  const kern::Launcher L = launcher("fwd");
+  const int num = top[0]->num();
+  const int spatial = top[0]->height() * top[0]->width();
+  const int top_stride = total_channels_ * spatial;
+  for (std::size_t i = 0; i < bottom.size(); ++i) {
+    const int cols = bottom[i]->channels() * spatial;
+    kern::copy_slab(L, num, cols, bottom[i]->data(), cols,
+                    top[0]->mutable_data() +
+                        static_cast<std::size_t>(offsets_[i]) * spatial,
+                    top_stride);
+  }
+}
+
+void ConcatLayer::backward(const std::vector<Blob*>& top,
+                           const std::vector<bool>& propagate_down,
+                           const std::vector<Blob*>& bottom) {
+  const kern::Launcher L = launcher("bwd");
+  const int num = top[0]->num();
+  const int spatial = top[0]->height() * top[0]->width();
+  const int top_stride = total_channels_ * spatial;
+  for (std::size_t i = 0; i < bottom.size(); ++i) {
+    if (!propagate_down[i]) continue;
+    const int cols = bottom[i]->channels() * spatial;
+    kern::add_slab(L, num, cols,
+                   top[0]->diff() + static_cast<std::size_t>(offsets_[i]) * spatial,
+                   top_stride, bottom[i]->mutable_diff(), cols);
+  }
+}
+
+}  // namespace mc

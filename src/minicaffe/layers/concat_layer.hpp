@@ -1,0 +1,26 @@
+#pragma once
+// Channel-axis concatenation (GoogLeNet inception outputs). Backward
+// accumulates the sliced gradients into the bottoms.
+
+#include "minicaffe/layer.hpp"
+
+namespace mc {
+
+class ConcatLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+  bool accumulates_bottom_diff() const override { return true; }
+
+ private:
+  std::vector<int> offsets_;  // channel offsets per bottom
+  int total_channels_ = 0;
+};
+
+}  // namespace mc

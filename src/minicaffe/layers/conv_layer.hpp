@@ -1,0 +1,54 @@
+#pragma once
+// Convolution layer, Caffe-style: per-sample im2col + sgemm (+ bias).
+// This is the layer GLP4NN parallelises (paper §3.3.1: the batch loop of
+// Algorithms 1 and 2). Every sample's kernel chain is an independent
+// *task* handed to the dispatcher, which decides the stream.
+//
+// Deterministic parallel gradient accumulation: each sample's weight and
+// bias gradient GEMM accumulates into one of `accum_slots` partial
+// buffers (slot = n mod slots, slots = min(32, N)); a final reduction on
+// the default stream sums the slots in canonical ascending order. When
+// every sample of a slot runs on one stream (always true for the serial
+// baseline; true for GLP4NN whenever the pool size divides 32 — enforced
+// by the scheduler's strict-repro mode) training is bit-identical across
+// schedulers.
+
+#include "minicaffe/layer.hpp"
+
+namespace mc {
+
+class ConvolutionLayer final : public Layer {
+ public:
+  using Layer::Layer;
+
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+  bool accumulates_bottom_diff() const override { return true; }
+
+  int out_height() const { return out_h_; }
+  int out_width() const { return out_w_; }
+  int accum_slots() const { return accum_slots_; }
+
+  /// Maximum number of gradient accumulation slots (see header comment).
+  static constexpr int kMaxAccumSlots = 32;
+
+ private:
+  void ensure_col_lane(int lane);
+
+  int num_ = 0, channels_ = 0, height_ = 0, width_ = 0;
+  int out_h_ = 0, out_w_ = 0;
+  int kernel_dim_ = 0;  // Ci * kh * kw
+  int accum_slots_ = 1;
+
+  std::vector<DeviceBuffer<float>> col_lanes_;
+  DeviceBuffer<float> ones_;           // [out_h*out_w], bias gradient helper
+  DeviceBuffer<float> weight_partial_;  // [slots, Co, kernel_dim]
+  DeviceBuffer<float> bias_partial_;    // [slots, Co]
+};
+
+}  // namespace mc

@@ -1,0 +1,38 @@
+#pragma once
+// Synthetic data layer. Generates a deterministic batch on the host and
+// uploads it with simulated H2D copies (so iteration timelines include
+// the input transfer, as a real Caffe data layer's prefetch would).
+//
+// Regular mode tops: (data [N,C,H,W], label [N]).
+// Pair mode (Siamese): (data, data_p, similarity [N]) where ~50% of the
+// pairs share a class (similarity 1).
+
+#include "minicaffe/layer.hpp"
+
+namespace mc {
+
+class DataLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+  bool has_backward() const override { return false; }
+
+  std::uint64_t cursor() const { return cursor_; }
+  const SyntheticDataset& dataset() const { return *dataset_; }
+
+ private:
+  std::unique_ptr<SyntheticDataset> dataset_;
+  std::uint64_t cursor_ = 0;
+  // Host staging buffers; uploaded asynchronously each forward.
+  std::vector<float> staging_images_;
+  std::vector<float> staging_images_p_;
+  std::vector<float> staging_labels_;
+};
+
+}  // namespace mc

@@ -1,0 +1,373 @@
+#include "minicaffe/layers/elementwise_layers.hpp"
+
+#include <cmath>
+
+#include "kernels/cpu_math.hpp"
+#include "kernels/nn.hpp"
+
+namespace mc {
+
+namespace {
+gpusim::LaunchConfig ew_config(std::uint64_t count, int regs) {
+  gpusim::LaunchConfig cfg;
+  cfg.block = gpusim::Dim3{256, 1, 1};
+  cfg.grid = gpusim::Dim3{std::max(1u, kern::blocks_for(count, 256)), 1, 1};
+  cfg.regs_per_thread = regs;
+  return cfg;
+}
+
+gpusim::KernelCost ew_cost(std::uint64_t count, double flops_per,
+                           double bytes_per) {
+  return {static_cast<double>(count) * flops_per,
+          static_cast<double>(count) * bytes_per};
+}
+}  // namespace
+
+// --- Softmax -------------------------------------------------------------------
+
+void SoftmaxLayer::setup(const std::vector<Blob*>& bottom,
+                         const std::vector<Blob*>& top) {
+  GLP_REQUIRE(bottom.size() == 1 && top.size() == 1,
+              "Softmax expects one bottom and one top");
+  GLP_REQUIRE(top[0] != bottom[0], "Softmax backward needs its own output");
+  top[0]->reshape_like(*bottom[0]);
+}
+
+void SoftmaxLayer::forward(const std::vector<Blob*>& bottom,
+                           const std::vector<Blob*>& top) {
+  kern::softmax_forward(launcher("fwd"), bottom[0]->num(),
+                        static_cast<int>(bottom[0]->sample_size()),
+                        bottom[0]->data(), top[0]->mutable_data());
+}
+
+void SoftmaxLayer::backward(const std::vector<Blob*>& top,
+                            const std::vector<bool>& propagate_down,
+                            const std::vector<Blob*>& bottom) {
+  if (!propagate_down[0]) return;
+  const int rows = bottom[0]->num();
+  const int classes = static_cast<int>(bottom[0]->sample_size());
+  const float* prob = top[0]->data();
+  const float* dy = top[0]->diff();
+  float* dx = bottom[0]->mutable_diff();
+  launcher("bwd").launch(
+      "softmax_backward_kernel",
+      ew_config(static_cast<std::uint64_t>(rows) * classes, 28),
+      ew_cost(static_cast<std::uint64_t>(rows) * classes, 4.0, 16.0),
+      [=] { kern::cpu::softmax_backward(rows, classes, prob, dy, dx); });
+}
+
+// --- Eltwise --------------------------------------------------------------------
+
+void EltwiseLayer::setup(const std::vector<Blob*>& bottom,
+                         const std::vector<Blob*>& top) {
+  GLP_REQUIRE(bottom.size() >= 2 && top.size() == 1,
+              "Eltwise expects >= 2 bottoms and one top");
+  for (const Blob* b : bottom) {
+    GLP_REQUIRE(b->count() == bottom[0]->count(),
+                "Eltwise bottoms must have identical element counts");
+  }
+  top[0]->reshape_like(*bottom[0]);
+
+  coeffs_ = spec_.params.eltwise_coeffs;
+  if (coeffs_.empty()) coeffs_.assign(bottom.size(), 1.0f);
+  GLP_REQUIRE(coeffs_.size() == bottom.size(),
+              "Eltwise needs one coefficient per bottom");
+  GLP_REQUIRE(spec_.params.eltwise == EltwiseOp::kSum || coeffs_.size() == bottom.size(),
+              "coefficients only apply to SUM");
+  if (spec_.params.eltwise == EltwiseOp::kMax) {
+    max_arg_.allocate(*ec_->ctx, top[0]->count());
+  }
+}
+
+void EltwiseLayer::forward(const std::vector<Blob*>& bottom,
+                           const std::vector<Blob*>& top) {
+  const std::size_t count = top[0]->count();
+  const EltwiseOp op = spec_.params.eltwise;
+  std::vector<const float*> inputs;
+  inputs.reserve(bottom.size());
+  for (const Blob* b : bottom) inputs.push_back(b->data());
+  float* out = top[0]->mutable_data();
+  const std::vector<float> coeffs = coeffs_;
+  int* args = max_arg_.empty() ? nullptr : max_arg_.data();
+
+  launcher("fwd").launch(
+      "eltwise_forward_kernel", ew_config(count, 20),
+      ew_cost(count, 2.0 * static_cast<double>(bottom.size()),
+              4.0 * (static_cast<double>(bottom.size()) + 1.0)),
+      [=] {
+        switch (op) {
+          case EltwiseOp::kSum:
+            for (std::size_t i = 0; i < count; ++i) {
+              float acc = 0.0f;
+              for (std::size_t b = 0; b < inputs.size(); ++b) {
+                acc += coeffs[b] * inputs[b][i];
+              }
+              out[i] = acc;
+            }
+            break;
+          case EltwiseOp::kProd:
+            for (std::size_t i = 0; i < count; ++i) {
+              float acc = 1.0f;
+              for (const float* in : inputs) acc *= in[i];
+              out[i] = acc;
+            }
+            break;
+          case EltwiseOp::kMax:
+            for (std::size_t i = 0; i < count; ++i) {
+              float best = inputs[0][i];
+              int arg = 0;
+              for (std::size_t b = 1; b < inputs.size(); ++b) {
+                if (inputs[b][i] > best) {
+                  best = inputs[b][i];
+                  arg = static_cast<int>(b);
+                }
+              }
+              out[i] = best;
+              args[i] = arg;
+            }
+            break;
+        }
+      });
+}
+
+void EltwiseLayer::backward(const std::vector<Blob*>& top,
+                            const std::vector<bool>& propagate_down,
+                            const std::vector<Blob*>& bottom) {
+  const std::size_t count = top[0]->count();
+  const EltwiseOp op = spec_.params.eltwise;
+  const float* dy = top[0]->diff();
+  const int* args = max_arg_.empty() ? nullptr : max_arg_.data();
+
+  for (std::size_t b = 0; b < bottom.size(); ++b) {
+    if (!propagate_down[b]) continue;
+    float* dx = bottom[b]->mutable_diff();
+    const float coeff = coeffs_[b];
+    const int index = static_cast<int>(b);
+
+    // PROD needs the other inputs; capture everything by value.
+    std::vector<const float*> inputs;
+    for (const Blob* blob : bottom) inputs.push_back(blob->data());
+    const float* x = bottom[b]->data();
+
+    launcher("bwd").launch(
+        "eltwise_backward_kernel", ew_config(count, 24),
+        ew_cost(count, 2.0 * static_cast<double>(bottom.size()), 16.0), [=] {
+          switch (op) {
+            case EltwiseOp::kSum:
+              for (std::size_t i = 0; i < count; ++i) dx[i] += coeff * dy[i];
+              break;
+            case EltwiseOp::kProd:
+              for (std::size_t i = 0; i < count; ++i) {
+                float prod = 1.0f;
+                for (std::size_t o = 0; o < inputs.size(); ++o) {
+                  if (static_cast<int>(o) != index) prod *= inputs[o][i];
+                }
+                dx[i] += dy[i] * prod;
+              }
+              break;
+            case EltwiseOp::kMax:
+              for (std::size_t i = 0; i < count; ++i) {
+                if (args[i] == index) dx[i] += dy[i];
+              }
+              break;
+          }
+          (void)x;
+        });
+  }
+}
+
+// --- Power -----------------------------------------------------------------------
+
+void PowerLayer::setup(const std::vector<Blob*>& bottom,
+                       const std::vector<Blob*>& top) {
+  GLP_REQUIRE(bottom.size() == 1 && top.size() == 1,
+              "Power expects one bottom and one top");
+  if (top[0] != bottom[0]) top[0]->reshape_like(*bottom[0]);
+}
+
+void PowerLayer::forward(const std::vector<Blob*>& bottom,
+                         const std::vector<Blob*>& top) {
+  const std::size_t count = bottom[0]->count();
+  const float power = spec_.params.power;
+  const float scale = spec_.params.power_scale;
+  const float shift = spec_.params.power_shift;
+  const float* x = bottom[0]->data();
+  float* y = top[0]->mutable_data();
+  launcher("fwd").launch("power_forward_kernel", ew_config(count, 18),
+                         ew_cost(count, 12.0, 8.0), [=] {
+                           for (std::size_t i = 0; i < count; ++i) {
+                             y[i] = std::pow(shift + scale * x[i], power);
+                           }
+                         });
+}
+
+void PowerLayer::backward(const std::vector<Blob*>& top,
+                          const std::vector<bool>& propagate_down,
+                          const std::vector<Blob*>& bottom) {
+  if (!propagate_down[0]) return;
+  const std::size_t count = bottom[0]->count();
+  const float power = spec_.params.power;
+  const float scale = spec_.params.power_scale;
+  const float shift = spec_.params.power_shift;
+  const float* x = bottom[0]->data();
+  const float* dy = top[0]->diff();
+  float* dx = bottom[0]->mutable_diff();
+  launcher("bwd").launch("power_backward_kernel", ew_config(count, 22),
+                         ew_cost(count, 14.0, 12.0), [=] {
+                           // dy/dx = power·scale·(shift + scale·x)^(power−1)
+                           for (std::size_t i = 0; i < count; ++i) {
+                             dx[i] = dy[i] * power * scale *
+                                     std::pow(shift + scale * x[i], power - 1.0f);
+                           }
+                         });
+}
+
+// --- AbsVal -----------------------------------------------------------------------
+
+void AbsValLayer::setup(const std::vector<Blob*>& bottom,
+                        const std::vector<Blob*>& top) {
+  GLP_REQUIRE(bottom.size() == 1 && top.size() == 1,
+              "AbsVal expects one bottom and one top");
+  if (top[0] != bottom[0]) top[0]->reshape_like(*bottom[0]);
+}
+
+void AbsValLayer::forward(const std::vector<Blob*>& bottom,
+                          const std::vector<Blob*>& top) {
+  const std::size_t count = bottom[0]->count();
+  const float* x = bottom[0]->data();
+  float* y = top[0]->mutable_data();
+  launcher("fwd").launch("absval_forward_kernel", ew_config(count, 10),
+                         ew_cost(count, 1.0, 8.0), [=] {
+                           for (std::size_t i = 0; i < count; ++i) {
+                             y[i] = std::abs(x[i]);
+                           }
+                         });
+}
+
+void AbsValLayer::backward(const std::vector<Blob*>& top,
+                           const std::vector<bool>& propagate_down,
+                           const std::vector<Blob*>& bottom) {
+  if (!propagate_down[0]) return;
+  const std::size_t count = bottom[0]->count();
+  const float* x = bottom[0]->data();
+  const float* dy = top[0]->diff();
+  float* dx = bottom[0]->mutable_diff();
+  launcher("bwd").launch("absval_backward_kernel", ew_config(count, 12),
+                         ew_cost(count, 1.0, 12.0), [=] {
+                           for (std::size_t i = 0; i < count; ++i) {
+                             dx[i] = x[i] >= 0.0f ? dy[i] : -dy[i];
+                           }
+                         });
+}
+
+// --- Exp --------------------------------------------------------------------------
+
+void ExpLayer::setup(const std::vector<Blob*>& bottom,
+                     const std::vector<Blob*>& top) {
+  GLP_REQUIRE(bottom.size() == 1 && top.size() == 1,
+              "Exp expects one bottom and one top");
+  GLP_REQUIRE(top[0] != bottom[0], "Exp backward reads its own output");
+  top[0]->reshape_like(*bottom[0]);
+}
+
+void ExpLayer::forward(const std::vector<Blob*>& bottom,
+                       const std::vector<Blob*>& top) {
+  const std::size_t count = bottom[0]->count();
+  const float* x = bottom[0]->data();
+  float* y = top[0]->mutable_data();
+  launcher("fwd").launch("exp_forward_kernel", ew_config(count, 14),
+                         ew_cost(count, 10.0, 8.0), [=] {
+                           for (std::size_t i = 0; i < count; ++i) {
+                             y[i] = std::exp(x[i]);
+                           }
+                         });
+}
+
+void ExpLayer::backward(const std::vector<Blob*>& top,
+                        const std::vector<bool>& propagate_down,
+                        const std::vector<Blob*>& bottom) {
+  if (!propagate_down[0]) return;
+  const std::size_t count = bottom[0]->count();
+  const float* y = top[0]->data();
+  const float* dy = top[0]->diff();
+  float* dx = bottom[0]->mutable_diff();
+  launcher("bwd").launch("exp_backward_kernel", ew_config(count, 12),
+                         ew_cost(count, 1.0, 12.0), [=] {
+                           for (std::size_t i = 0; i < count; ++i) {
+                             dx[i] = dy[i] * y[i];
+                           }
+                         });
+}
+
+// --- PReLU ------------------------------------------------------------------------
+
+void PReLULayer::setup(const std::vector<Blob*>& bottom,
+                       const std::vector<Blob*>& top) {
+  GLP_REQUIRE(bottom.size() == 1 && top.size() == 1,
+              "PReLU expects one bottom and one top");
+  GLP_REQUIRE(top[0] != bottom[0],
+              "PReLU backward reads its input; run it out of place");
+  top[0]->reshape_like(*bottom[0]);
+  if (param_blobs_.empty()) {
+    param_blobs_.push_back(
+        std::make_shared<Blob>(*ec_->ctx, std::vector<int>{bottom[0]->channels()}));
+    if (ec_->numeric()) {
+      // Caffe default: slopes start at 0.25.
+      kern::cpu::fill(param_blobs_[0]->count(), 0.25f,
+                      param_blobs_[0]->mutable_data());
+    }
+  }
+}
+
+void PReLULayer::forward(const std::vector<Blob*>& bottom,
+                         const std::vector<Blob*>& top) {
+  const int num = bottom[0]->num();
+  const int channels = bottom[0]->channels();
+  const int spatial = static_cast<int>(bottom[0]->count()) / (num * channels);
+  const float* x = bottom[0]->data();
+  const float* slopes = param_blobs_[0]->data();
+  float* y = top[0]->mutable_data();
+  launcher("fwd").launch(
+      "prelu_forward_kernel", ew_config(bottom[0]->count(), 16),
+      ew_cost(bottom[0]->count(), 2.0, 12.0), [=] {
+        for (int n = 0; n < num; ++n) {
+          const std::size_t off =
+              static_cast<std::size_t>(n) * channels * spatial;
+          kern::cpu::prelu_forward(channels, spatial, x + off, slopes, y + off);
+        }
+      });
+}
+
+void PReLULayer::backward(const std::vector<Blob*>& top,
+                          const std::vector<bool>& propagate_down,
+                          const std::vector<Blob*>& bottom) {
+  const int num = bottom[0]->num();
+  const int channels = bottom[0]->channels();
+  const int spatial = static_cast<int>(bottom[0]->count()) / (num * channels);
+  const float* x = bottom[0]->data();
+  const float* dy = top[0]->diff();
+  const float* slopes = param_blobs_[0]->data();
+  float* slope_grad = param_blobs_[0]->mutable_diff();
+  float* dx = propagate_down[0] ? bottom[0]->mutable_diff() : nullptr;
+  // Scratch for the unused in_grad when propagate_down is false.
+  launcher("bwd").launch(
+      "prelu_backward_kernel", ew_config(bottom[0]->count(), 24),
+      ew_cost(bottom[0]->count(), 4.0, 20.0), [=] {
+        std::vector<float> scratch;
+        float* grad_target = dx;
+        if (grad_target == nullptr) {
+          scratch.resize(static_cast<std::size_t>(channels) * spatial);
+          grad_target = scratch.data();
+        }
+        for (int n = 0; n < num; ++n) {
+          const std::size_t off =
+              static_cast<std::size_t>(n) * channels * spatial;
+          kern::cpu::prelu_backward(channels, spatial, x + off, dy + off, slopes,
+                                    dx != nullptr ? grad_target + off
+                                                  : grad_target,
+                                    slope_grad);
+        }
+      });
+}
+
+}  // namespace mc

@@ -1,0 +1,98 @@
+#pragma once
+// Additional elementwise layers rounding out Caffe parity: plain Softmax,
+// Eltwise (SUM / PROD / MAX over multiple bottoms), Power, AbsVal, Exp,
+// and PReLU (learnable per-channel negative slopes).
+//
+// Gradient semantics follow the repo convention (see Layer docs):
+// Eltwise accumulates into its bottoms (it legitimately fans in);
+// the single-bottom layers assign.
+
+#include "minicaffe/layer.hpp"
+
+namespace mc {
+
+/// Plain softmax over the per-sample feature axis (no loss attached).
+class SoftmaxLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+};
+
+/// Elementwise combination of N equally-shaped bottoms.
+/// SUM supports per-bottom coefficients (LayerParams::eltwise_coeffs).
+class EltwiseLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+  bool accumulates_bottom_diff() const override { return true; }
+
+ private:
+  std::vector<float> coeffs_;
+  DeviceBuffer<int> max_arg_;  // winning bottom per element (MAX backward)
+};
+
+/// y = (shift + scale·x)^power, Caffe's PowerLayer.
+class PowerLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+};
+
+/// y = |x|.
+class AbsValLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+};
+
+/// y = exp(x) (natural base; in-place unsafe for backward → not in place).
+class ExpLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+};
+
+/// PReLU with channel-wise learnable negative slopes (one param blob).
+class PReLULayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+};
+
+}  // namespace mc

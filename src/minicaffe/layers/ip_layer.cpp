@@ -1,0 +1,74 @@
+#include "minicaffe/layers/ip_layer.hpp"
+
+#include "kernels/blas.hpp"
+#include "kernels/cpu_math.hpp"
+
+namespace mc {
+
+void InnerProductLayer::setup(const std::vector<Blob*>& bottom,
+                              const std::vector<Blob*>& top) {
+  GLP_REQUIRE(bottom.size() == 1 && top.size() == 1,
+              "InnerProduct expects one bottom and one top");
+  const LayerParams& p = spec_.params;
+  GLP_REQUIRE(p.num_output > 0, "InnerProduct needs num_output");
+
+  num_ = bottom[0]->num();
+  dim_ = static_cast<int>(bottom[0]->sample_size());
+  top[0]->reshape({num_, p.num_output});
+
+  if (param_blobs_.empty()) {
+    param_blobs_.push_back(
+        std::make_shared<Blob>(*ec_->ctx, std::vector<int>{p.num_output, dim_}));
+    param_blobs_.push_back(
+        std::make_shared<Blob>(*ec_->ctx, std::vector<int>{p.num_output}));
+    if (ec_->numeric()) {
+      fill_blob(p.weight_filler, ec_->rng, *param_blobs_[0]);
+      fill_blob(p.bias_filler, ec_->rng, *param_blobs_[1]);
+    }
+  }
+
+  ones_.allocate(*ec_->ctx, static_cast<std::size_t>(num_));
+  if (ec_->numeric()) kern::cpu::fill(static_cast<std::size_t>(num_), 1.0f, ones_.data());
+}
+
+void InnerProductLayer::forward(const std::vector<Blob*>& bottom,
+                                const std::vector<Blob*>& top) {
+  const LayerParams& p = spec_.params;
+  const kern::Launcher L = launcher("fwd");
+  // top [N x Co] = bottom [N x dim] * W^T ([Co x dim] transposed)
+  kern::sgemm(L, false, true, num_, p.num_output, dim_, 1.0f, bottom[0]->data(),
+              dim_, param_blobs_[0]->data(), dim_, 0.0f, top[0]->mutable_data(),
+              p.num_output);
+  if (p.bias_term) {
+    // top += ones [N x 1] * bias [1 x Co]
+    kern::sgemm(L, false, false, num_, p.num_output, 1, 1.0f, ones_.data(), 1,
+                param_blobs_[1]->data(), p.num_output, 1.0f,
+                top[0]->mutable_data(), p.num_output);
+  }
+}
+
+void InnerProductLayer::backward(const std::vector<Blob*>& top,
+                                 const std::vector<bool>& propagate_down,
+                                 const std::vector<Blob*>& bottom) {
+  const LayerParams& p = spec_.params;
+  const kern::Launcher L = launcher("bwd");
+  const float* top_diff = top[0]->diff();
+  // dW [Co x dim] += top_diff^T [Co x N] * bottom [N x dim]
+  kern::sgemm(L, true, false, p.num_output, dim_, num_, 1.0f, top_diff,
+              p.num_output, bottom[0]->data(), dim_, 1.0f,
+              param_blobs_[0]->mutable_diff(), dim_);
+  if (p.bias_term) {
+    // db [Co] += top_diff^T * ones
+    kern::sgemm(L, true, false, p.num_output, 1, num_, 1.0f, top_diff,
+                p.num_output, ones_.data(), 1, 1.0f,
+                param_blobs_[1]->mutable_diff(), 1);
+  }
+  if (propagate_down[0]) {
+    // dbottom [N x dim] += top_diff [N x Co] * W [Co x dim]
+    kern::sgemm(L, false, false, num_, dim_, p.num_output, 1.0f, top_diff,
+                p.num_output, param_blobs_[0]->data(), dim_, 1.0f,
+                bottom[0]->mutable_diff(), dim_);
+  }
+}
+
+}  // namespace mc

@@ -1,0 +1,29 @@
+#pragma once
+// InnerProduct (fully connected) layer. Batched single-GEMM formulation
+// as in Caffe — not a per-sample loop, so it is not a GLP4NN dispatch
+// scope (the paper applies GLP4NN to convolution layers).
+
+#include "minicaffe/layer.hpp"
+
+namespace mc {
+
+class InnerProductLayer final : public Layer {
+ public:
+  using Layer::Layer;
+
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+  bool accumulates_bottom_diff() const override { return true; }
+
+ private:
+  int num_ = 0;
+  int dim_ = 0;  // flattened input features per sample
+  DeviceBuffer<float> ones_;  // [num], bias multiplier
+};
+
+}  // namespace mc

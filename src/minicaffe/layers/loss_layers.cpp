@@ -1,0 +1,289 @@
+#include "minicaffe/layers/loss_layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "kernels/cpu_math.hpp"
+#include "kernels/nn.hpp"
+
+namespace mc {
+
+namespace {
+gpusim::LaunchConfig rows_config(int rows, int regs) {
+  gpusim::LaunchConfig cfg;
+  cfg.block = gpusim::Dim3{128, 1, 1};
+  cfg.grid = gpusim::Dim3{kern::blocks_for(static_cast<std::uint64_t>(rows), 128), 1, 1};
+  cfg.regs_per_thread = regs;
+  return cfg;
+}
+}  // namespace
+
+// --- SoftmaxWithLoss ---------------------------------------------------------
+
+void SoftmaxWithLossLayer::setup(const std::vector<Blob*>& bottom,
+                                 const std::vector<Blob*>& top) {
+  GLP_REQUIRE(bottom.size() == 2 && top.size() == 1,
+              "SoftmaxWithLoss expects (scores, labels) -> loss");
+  GLP_REQUIRE(bottom[0]->num() == bottom[1]->num(),
+              "scores and labels disagree on batch size");
+  prob_ = std::make_unique<Blob>(*ec_->ctx);
+  prob_->reshape_like(*bottom[0]);
+  top[0]->reshape({1});
+}
+
+void SoftmaxWithLossLayer::forward(const std::vector<Blob*>& bottom,
+                                   const std::vector<Blob*>& top) {
+  const int rows = bottom[0]->num();
+  const int classes = static_cast<int>(bottom[0]->sample_size());
+  const kern::Launcher L = launcher("fwd");
+  kern::softmax_forward(L, rows, classes, bottom[0]->data(),
+                        prob_->mutable_data());
+  kern::softmax_loss(L, rows, classes, prob_->data(), bottom[1]->data(),
+                     top[0]->mutable_data());
+}
+
+void SoftmaxWithLossLayer::backward(const std::vector<Blob*>& top,
+                                    const std::vector<bool>& propagate_down,
+                                    const std::vector<Blob*>& bottom) {
+  GLP_REQUIRE(!propagate_down[1], "labels are not differentiable");
+  if (!propagate_down[0]) return;
+  (void)top;
+  const int rows = bottom[0]->num();
+  const int classes = static_cast<int>(bottom[0]->sample_size());
+  const float scale = spec_.params.loss_weight / static_cast<float>(rows);
+  kern::softmax_loss_backward(launcher("bwd"), rows, classes, prob_->data(),
+                              bottom[1]->data(), scale,
+                              bottom[0]->mutable_diff());
+}
+
+// --- Accuracy ----------------------------------------------------------------
+
+void AccuracyLayer::setup(const std::vector<Blob*>& bottom,
+                          const std::vector<Blob*>& top) {
+  GLP_REQUIRE(bottom.size() == 2 && top.size() == 1,
+              "Accuracy expects (scores, labels) -> accuracy");
+  top[0]->reshape({1});
+}
+
+void AccuracyLayer::forward(const std::vector<Blob*>& bottom,
+                            const std::vector<Blob*>& top) {
+  const int rows = bottom[0]->num();
+  const int classes = static_cast<int>(bottom[0]->sample_size());
+  const float* scores = bottom[0]->data();
+  const float* labels = bottom[1]->data();
+  float* out = top[0]->mutable_data();
+  gpusim::KernelCost cost{static_cast<double>(rows) * classes,
+                          static_cast<double>(rows) * classes * 4.0};
+  launcher("fwd").launch("accuracy_kernel", rows_config(rows, 20), cost, [=] {
+    *out = kern::cpu::accuracy(rows, classes, scores, labels);
+  });
+}
+
+void AccuracyLayer::backward(const std::vector<Blob*>&,
+                             const std::vector<bool>&,
+                             const std::vector<Blob*>&) {}
+
+// --- EuclideanLoss -----------------------------------------------------------
+
+void EuclideanLossLayer::setup(const std::vector<Blob*>& bottom,
+                               const std::vector<Blob*>& top) {
+  GLP_REQUIRE(bottom.size() == 2 && top.size() == 1,
+              "EuclideanLoss expects two bottoms -> loss");
+  GLP_REQUIRE(bottom[0]->count() == bottom[1]->count(),
+              "EuclideanLoss bottoms must match in size");
+  diff_ = std::make_unique<Blob>(*ec_->ctx);
+  diff_->reshape_like(*bottom[0]);
+  top[0]->reshape({1});
+}
+
+void EuclideanLossLayer::forward(const std::vector<Blob*>& bottom,
+                                 const std::vector<Blob*>& top) {
+  const std::size_t count = bottom[0]->count();
+  const int num = bottom[0]->num();
+  const float* a = bottom[0]->data();
+  const float* b = bottom[1]->data();
+  float* d = diff_->mutable_data();
+  float* out = top[0]->mutable_data();
+  gpusim::KernelCost cost{static_cast<double>(count) * 3.0,
+                          static_cast<double>(count) * 12.0};
+  launcher("fwd").launch("euclidean_loss_kernel", rows_config(num, 24), cost,
+                         [=] {
+                           double acc = 0.0;
+                           for (std::size_t i = 0; i < count; ++i) {
+                             d[i] = a[i] - b[i];
+                             acc += static_cast<double>(d[i]) * d[i];
+                           }
+                           *out = static_cast<float>(acc / (2.0 * num));
+                         });
+}
+
+void EuclideanLossLayer::backward(const std::vector<Blob*>& top,
+                                  const std::vector<bool>& propagate_down,
+                                  const std::vector<Blob*>& bottom) {
+  (void)top;
+  const std::size_t count = bottom[0]->count();
+  const int num = bottom[0]->num();
+  const float scale = spec_.params.loss_weight / static_cast<float>(num);
+  const float* d = diff_->data();
+  for (int i = 0; i < 2; ++i) {
+    if (!propagate_down[static_cast<std::size_t>(i)]) continue;
+    const float sign = i == 0 ? scale : -scale;
+    float* g = bottom[static_cast<std::size_t>(i)]->mutable_diff();
+    gpusim::KernelCost cost{static_cast<double>(count),
+                            static_cast<double>(count) * 8.0};
+    launcher("bwd").launch("euclidean_grad_kernel", rows_config(num, 18), cost,
+                           [=] {
+                             for (std::size_t j = 0; j < count; ++j) {
+                               g[j] = sign * d[j];
+                             }
+                           });
+  }
+}
+
+// --- SigmoidCrossEntropyLoss -------------------------------------------------
+
+void SigmoidCrossEntropyLossLayer::setup(const std::vector<Blob*>& bottom,
+                                         const std::vector<Blob*>& top) {
+  GLP_REQUIRE(bottom.size() == 2 && top.size() == 1,
+              "SigmoidCrossEntropyLoss expects (logits, targets) -> loss");
+  GLP_REQUIRE(bottom[0]->count() == bottom[1]->count(),
+              "logits and targets must match in size");
+  prob_ = std::make_unique<Blob>(*ec_->ctx);
+  prob_->reshape_like(*bottom[0]);
+  top[0]->reshape({1});
+}
+
+void SigmoidCrossEntropyLossLayer::forward(const std::vector<Blob*>& bottom,
+                                           const std::vector<Blob*>& top) {
+  const std::size_t count = bottom[0]->count();
+  const int num = bottom[0]->num();
+  const float* x = bottom[0]->data();
+  const float* t = bottom[1]->data();
+  float* prob = prob_->mutable_data();
+  float* out = top[0]->mutable_data();
+  gpusim::KernelCost cost{static_cast<double>(count) * 12.0,
+                          static_cast<double>(count) * 12.0};
+  launcher("fwd").launch(
+      "sigmoid_cross_entropy_loss_kernel", rows_config(num, 28), cost, [=] {
+        // Stable form: L = Σ [ max(x,0) − x·t + log(1 + e^{−|x|}) ] / N.
+        double loss = 0.0;
+        for (std::size_t i = 0; i < count; ++i) {
+          const float xi = x[i];
+          prob[i] = 1.0f / (1.0f + std::exp(-xi));
+          loss += std::max(xi, 0.0f) - xi * t[i] +
+                  std::log1p(std::exp(-std::abs(xi)));
+        }
+        *out = static_cast<float>(loss / num);
+      });
+}
+
+void SigmoidCrossEntropyLossLayer::backward(
+    const std::vector<Blob*>& top, const std::vector<bool>& propagate_down,
+    const std::vector<Blob*>& bottom) {
+  (void)top;
+  GLP_REQUIRE(!propagate_down[1], "targets are not differentiable");
+  if (!propagate_down[0]) return;
+  const std::size_t count = bottom[0]->count();
+  const int num = bottom[0]->num();
+  const float scale = spec_.params.loss_weight / static_cast<float>(num);
+  const float* prob = prob_->data();
+  const float* t = bottom[1]->data();
+  float* dx = bottom[0]->mutable_diff();
+  gpusim::KernelCost cost{static_cast<double>(count) * 2.0,
+                          static_cast<double>(count) * 12.0};
+  launcher("bwd").launch("sigmoid_cross_entropy_grad_kernel",
+                         rows_config(num, 20), cost, [=] {
+                           for (std::size_t i = 0; i < count; ++i) {
+                             dx[i] = scale * (prob[i] - t[i]);
+                           }
+                         });
+}
+
+// --- ContrastiveLoss ---------------------------------------------------------
+
+void ContrastiveLossLayer::setup(const std::vector<Blob*>& bottom,
+                                 const std::vector<Blob*>& top) {
+  GLP_REQUIRE(bottom.size() == 3 && top.size() == 1,
+              "ContrastiveLoss expects (feat_a, feat_b, similarity) -> loss");
+  GLP_REQUIRE(bottom[0]->count() == bottom[1]->count(),
+              "feature blobs must match in size");
+  GLP_REQUIRE(bottom[2]->num() == bottom[0]->num(),
+              "similarity labels must match the batch size");
+  diff_ = std::make_unique<Blob>(*ec_->ctx);
+  diff_->reshape_like(*bottom[0]);
+  dist_sq_ = std::make_unique<Blob>(*ec_->ctx, std::vector<int>{bottom[0]->num()});
+  top[0]->reshape({1});
+}
+
+void ContrastiveLossLayer::forward(const std::vector<Blob*>& bottom,
+                                   const std::vector<Blob*>& top) {
+  const int num = bottom[0]->num();
+  const int dim = static_cast<int>(bottom[0]->sample_size());
+  const float margin = spec_.params.margin;
+  const float* a = bottom[0]->data();
+  const float* b = bottom[1]->data();
+  const float* sim = bottom[2]->data();
+  float* d = diff_->mutable_data();
+  float* dist = dist_sq_->mutable_data();
+  float* out = top[0]->mutable_data();
+  gpusim::KernelCost cost{static_cast<double>(num) * dim * 3.0,
+                          static_cast<double>(num) * dim * 12.0};
+  launcher("fwd").launch("contrastive_loss_kernel", rows_config(num, 30), cost,
+                         [=] {
+                           double loss = 0.0;
+                           for (int n = 0; n < num; ++n) {
+                             float acc = 0.0f;
+                             for (int j = 0; j < dim; ++j) {
+                               const std::size_t idx =
+                                   static_cast<std::size_t>(n) * dim + j;
+                               d[idx] = a[idx] - b[idx];
+                               acc += d[idx] * d[idx];
+                             }
+                             dist[n] = acc;
+                             if (sim[n] > 0.5f) {
+                               loss += acc;
+                             } else {
+                               loss += std::max(margin - acc, 0.0f);
+                             }
+                           }
+                           *out = static_cast<float>(loss / (2.0 * num));
+                         });
+}
+
+void ContrastiveLossLayer::backward(const std::vector<Blob*>& top,
+                                    const std::vector<bool>& propagate_down,
+                                    const std::vector<Blob*>& bottom) {
+  (void)top;
+  GLP_REQUIRE(!propagate_down[2], "similarity labels are not differentiable");
+  const int num = bottom[0]->num();
+  const int dim = static_cast<int>(bottom[0]->sample_size());
+  const float margin = spec_.params.margin;
+  const float scale = spec_.params.loss_weight / static_cast<float>(num);
+  const float* d = diff_->data();
+  const float* dist = dist_sq_->data();
+  const float* sim = bottom[2]->data();
+  for (int i = 0; i < 2; ++i) {
+    if (!propagate_down[static_cast<std::size_t>(i)]) continue;
+    const float sign = i == 0 ? 1.0f : -1.0f;
+    float* g = bottom[static_cast<std::size_t>(i)]->mutable_diff();
+    gpusim::KernelCost cost{static_cast<double>(num) * dim * 2.0,
+                            static_cast<double>(num) * dim * 12.0};
+    launcher("bwd").launch(
+        "contrastive_grad_kernel", rows_config(num, 28), cost, [=] {
+          for (int n = 0; n < num; ++n) {
+            float* gn = g + static_cast<std::size_t>(n) * dim;
+            const float* dn = d + static_cast<std::size_t>(n) * dim;
+            if (sim[n] > 0.5f) {
+              for (int j = 0; j < dim; ++j) gn[j] = sign * scale * dn[j];
+            } else if (margin - dist[n] > 0.0f) {
+              for (int j = 0; j < dim; ++j) gn[j] = -sign * scale * dn[j];
+            } else {
+              for (int j = 0; j < dim; ++j) gn[j] = 0.0f;
+            }
+          }
+        });
+  }
+}
+
+}  // namespace mc

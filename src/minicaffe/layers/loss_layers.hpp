@@ -1,0 +1,95 @@
+#pragma once
+// Loss and evaluation layers. SoftmaxWithLoss fuses softmax + NLL exactly
+// like Caffe; ContrastiveLoss implements the (legacy) margin loss the
+// Caffe Siamese example trains with; EuclideanLoss supports regression
+// examples; Accuracy is evaluation-only (no backward).
+
+#include "minicaffe/layer.hpp"
+
+namespace mc {
+
+class SoftmaxWithLossLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+  bool is_loss() const override { return true; }
+
+  const Blob& prob() const { return *prob_; }
+
+ private:
+  std::unique_ptr<Blob> prob_;
+};
+
+class AccuracyLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+  bool has_backward() const override { return false; }
+};
+
+class EuclideanLossLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+  bool is_loss() const override { return true; }
+
+ private:
+  std::unique_ptr<Blob> diff_;  // a - b
+};
+
+/// Sigmoid + binary cross-entropy, fused for numerical stability
+/// (Caffe's SigmoidCrossEntropyLoss): bottoms (logits, targets∈[0,1]).
+class SigmoidCrossEntropyLossLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+  bool is_loss() const override { return true; }
+
+ private:
+  std::unique_ptr<Blob> prob_;  // sigmoid(logits), cached for backward
+};
+
+/// Legacy Caffe contrastive loss:
+///   L = 1/(2N) Σ_n [ y_n d_n² + (1-y_n) max(margin - d_n², 0) ]
+class ContrastiveLossLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+  bool is_loss() const override { return true; }
+
+ private:
+  std::unique_ptr<Blob> diff_;     // a - b, [N, D]
+  std::unique_ptr<Blob> dist_sq_;  // [N]
+};
+
+}  // namespace mc

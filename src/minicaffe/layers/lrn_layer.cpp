@@ -1,0 +1,38 @@
+#include "minicaffe/layers/lrn_layer.hpp"
+
+#include "kernels/nn.hpp"
+
+namespace mc {
+
+void LRNLayer::setup(const std::vector<Blob*>& bottom,
+                     const std::vector<Blob*>& top) {
+  GLP_REQUIRE(bottom.size() == 1 && top.size() == 1,
+              "LRN expects one bottom and one top");
+  GLP_REQUIRE(top[0] != bottom[0], "LRN does not support in-place operation");
+  GLP_REQUIRE(spec_.params.local_size % 2 == 1, "LRN local_size must be odd");
+  top[0]->reshape_like(*bottom[0]);
+  scale_.allocate(*ec_->ctx, bottom[0]->count());
+}
+
+void LRNLayer::forward(const std::vector<Blob*>& bottom,
+                       const std::vector<Blob*>& top) {
+  const LayerParams& p = spec_.params;
+  kern::lrn_forward(launcher("fwd"), bottom[0]->data(), bottom[0]->num(),
+                    bottom[0]->channels(), bottom[0]->height(),
+                    bottom[0]->width(), p.local_size, p.alpha, p.beta, p.k,
+                    scale_.data(), top[0]->mutable_data());
+}
+
+void LRNLayer::backward(const std::vector<Blob*>& top,
+                        const std::vector<bool>& propagate_down,
+                        const std::vector<Blob*>& bottom) {
+  if (!propagate_down[0]) return;
+  const LayerParams& p = spec_.params;
+  kern::lrn_backward(launcher("bwd"), bottom[0]->data(), top[0]->data(),
+                     scale_.data(), top[0]->diff(), bottom[0]->num(),
+                     bottom[0]->channels(), bottom[0]->height(),
+                     bottom[0]->width(), p.local_size, p.alpha, p.beta,
+                     bottom[0]->mutable_diff());
+}
+
+}  // namespace mc

@@ -1,0 +1,25 @@
+#pragma once
+// Local Response Normalisation (cross-channel), as used by CaffeNet and
+// GoogLeNet. Backward accumulates into the bottom diff.
+
+#include "minicaffe/layer.hpp"
+
+namespace mc {
+
+class LRNLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+  bool accumulates_bottom_diff() const override { return true; }
+
+ private:
+  DeviceBuffer<float> scale_;  // the per-element normaliser s = k + α/n Σx²
+};
+
+}  // namespace mc

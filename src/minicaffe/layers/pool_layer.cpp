@@ -1,0 +1,71 @@
+#include "minicaffe/layers/pool_layer.hpp"
+
+#include <cmath>
+
+#include "kernels/cpu_math.hpp"
+#include "kernels/nn.hpp"
+
+namespace mc {
+
+void PoolingLayer::setup(const std::vector<Blob*>& bottom,
+                         const std::vector<Blob*>& top) {
+  GLP_REQUIRE(bottom.size() == 1 && top.size() == 1,
+              "Pooling expects one bottom and one top");
+  const LayerParams& p = spec_.params;
+  GLP_REQUIRE(p.kernel_size > 0, "Pooling needs kernel_size");
+
+  // Caffe uses ceil for pooled output sizes.
+  const int h = bottom[0]->height();
+  const int w = bottom[0]->width();
+  out_h_ = static_cast<int>(
+      std::ceil(static_cast<double>(h + 2 * p.pad - p.kernel_size) / p.stride)) + 1;
+  out_w_ = static_cast<int>(
+      std::ceil(static_cast<double>(w + 2 * p.pad - p.kernel_size) / p.stride)) + 1;
+  if (p.pad > 0) {
+    // Clip the last pooling window to start inside the (padded) image.
+    if ((out_h_ - 1) * p.stride >= h + p.pad) --out_h_;
+    if ((out_w_ - 1) * p.stride >= w + p.pad) --out_w_;
+  }
+
+  top[0]->reshape({bottom[0]->num(), bottom[0]->channels(), out_h_, out_w_});
+  if (p.pool == PoolMethod::kMax) {
+    mask_.allocate(*ec_->ctx, top[0]->count());
+  }
+}
+
+void PoolingLayer::forward(const std::vector<Blob*>& bottom,
+                           const std::vector<Blob*>& top) {
+  const LayerParams& p = spec_.params;
+  const kern::Launcher L = launcher("fwd");
+  // Fold batch into channels: pooling planes are independent.
+  const int planes = bottom[0]->num() * bottom[0]->channels();
+  if (p.pool == PoolMethod::kMax) {
+    kern::max_pool_forward(L, bottom[0]->data(), planes, bottom[0]->height(),
+                           bottom[0]->width(), p.kernel_size, p.stride, p.pad,
+                           out_h_, out_w_, top[0]->mutable_data(), mask_.data());
+  } else {
+    kern::ave_pool_forward(L, bottom[0]->data(), planes, bottom[0]->height(),
+                           bottom[0]->width(), p.kernel_size, p.stride, p.pad,
+                           out_h_, out_w_, top[0]->mutable_data());
+  }
+}
+
+void PoolingLayer::backward(const std::vector<Blob*>& top,
+                            const std::vector<bool>& propagate_down,
+                            const std::vector<Blob*>& bottom) {
+  if (!propagate_down[0]) return;
+  const LayerParams& p = spec_.params;
+  const kern::Launcher L = launcher("bwd");
+  const int planes = bottom[0]->num() * bottom[0]->channels();
+  if (p.pool == PoolMethod::kMax) {
+    kern::max_pool_backward(L, top[0]->diff(), mask_.data(), planes, out_h_,
+                            out_w_, bottom[0]->height(), bottom[0]->width(),
+                            bottom[0]->mutable_diff());
+  } else {
+    kern::ave_pool_backward(L, top[0]->diff(), planes, bottom[0]->height(),
+                            bottom[0]->width(), p.kernel_size, p.stride, p.pad,
+                            out_h_, out_w_, bottom[0]->mutable_diff());
+  }
+}
+
+}  // namespace mc

@@ -1,0 +1,31 @@
+#pragma once
+// Max / average pooling. Launched as one batched kernel by folding the
+// batch into the channel axis (pooling is per-channel independent), as
+// Caffe's single PoolForward kernel does.
+
+#include "minicaffe/layer.hpp"
+
+namespace mc {
+
+class PoolingLayer final : public Layer {
+ public:
+  using Layer::Layer;
+
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+  bool accumulates_bottom_diff() const override { return true; }
+
+  int out_height() const { return out_h_; }
+  int out_width() const { return out_w_; }
+
+ private:
+  int out_h_ = 0, out_w_ = 0;
+  DeviceBuffer<int> mask_;  // max pooling argmax indices
+};
+
+}  // namespace mc

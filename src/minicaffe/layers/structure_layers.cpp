@@ -1,0 +1,386 @@
+#include "minicaffe/layers/structure_layers.hpp"
+
+#include <cmath>
+
+#include "kernels/cpu_math.hpp"
+#include "kernels/nn.hpp"
+
+namespace mc {
+
+namespace {
+gpusim::LaunchConfig ew_config(std::uint64_t count, int regs) {
+  gpusim::LaunchConfig cfg;
+  cfg.block = gpusim::Dim3{256, 1, 1};
+  cfg.grid = gpusim::Dim3{std::max(1u, kern::blocks_for(count, 256)), 1, 1};
+  cfg.regs_per_thread = regs;
+  return cfg;
+}
+
+gpusim::KernelCost ew_cost(std::uint64_t count, double flops_per,
+                           double bytes_per) {
+  return {static_cast<double>(count) * flops_per,
+          static_cast<double>(count) * bytes_per};
+}
+}  // namespace
+
+// --- Slice ----------------------------------------------------------------------
+
+void SliceLayer::setup(const std::vector<Blob*>& bottom,
+                       const std::vector<Blob*>& top) {
+  GLP_REQUIRE(bottom.size() == 1 && top.size() >= 2,
+              "Slice expects one bottom and >= 2 tops");
+  GLP_REQUIRE(spec_.params.axis == 1, "Slice currently supports the channel axis");
+  const int channels = bottom[0]->channels();
+
+  std::vector<int> points = spec_.params.slice_points;
+  if (points.empty()) {
+    GLP_REQUIRE(channels % static_cast<int>(top.size()) == 0,
+                "channels not divisible into " << top.size() << " equal slices");
+    const int step = channels / static_cast<int>(top.size());
+    for (std::size_t i = 1; i < top.size(); ++i) {
+      points.push_back(static_cast<int>(i) * step);
+    }
+  }
+  GLP_REQUIRE(points.size() + 1 == top.size(),
+              "need exactly tops-1 slice points");
+
+  offsets_.clear();
+  offsets_.push_back(0);
+  for (int p : points) {
+    GLP_REQUIRE(p > offsets_.back() && p < channels,
+                "slice points must be increasing and inside the channel axis");
+    offsets_.push_back(p);
+  }
+  offsets_.push_back(channels);
+
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    top[i]->reshape({bottom[0]->num(), offsets_[i + 1] - offsets_[i],
+                     bottom[0]->height(), bottom[0]->width()});
+  }
+}
+
+void SliceLayer::forward(const std::vector<Blob*>& bottom,
+                         const std::vector<Blob*>& top) {
+  const kern::Launcher L = launcher("fwd");
+  const int num = bottom[0]->num();
+  const int spatial = bottom[0]->height() * bottom[0]->width();
+  const int bottom_stride = bottom[0]->channels() * spatial;
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    const int cols = top[i]->channels() * spatial;
+    kern::copy_slab(L, num, cols,
+                    bottom[0]->data() +
+                        static_cast<std::size_t>(offsets_[i]) * spatial,
+                    bottom_stride, top[i]->mutable_data(), cols);
+  }
+}
+
+void SliceLayer::backward(const std::vector<Blob*>& top,
+                          const std::vector<bool>& propagate_down,
+                          const std::vector<Blob*>& bottom) {
+  if (!propagate_down[0]) return;
+  const kern::Launcher L = launcher("bwd");
+  const int num = bottom[0]->num();
+  const int spatial = bottom[0]->height() * bottom[0]->width();
+  const int bottom_stride = bottom[0]->channels() * spatial;
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    const int cols = top[i]->channels() * spatial;
+    kern::add_slab(L, num, cols, top[i]->diff(), cols,
+                   bottom[0]->mutable_diff() +
+                       static_cast<std::size_t>(offsets_[i]) * spatial,
+                   bottom_stride);
+  }
+}
+
+// --- Flatten --------------------------------------------------------------------
+
+void FlattenLayer::setup(const std::vector<Blob*>& bottom,
+                         const std::vector<Blob*>& top) {
+  GLP_REQUIRE(bottom.size() == 1 && top.size() == 1,
+              "Flatten expects one bottom and one top");
+  GLP_REQUIRE(top[0] != bottom[0], "Flatten must not run in place");
+  top[0]->reshape({bottom[0]->num(), static_cast<int>(bottom[0]->sample_size())});
+}
+
+void FlattenLayer::forward(const std::vector<Blob*>& bottom,
+                           const std::vector<Blob*>& top) {
+  const std::size_t count = bottom[0]->count();
+  kern::copy_slab(launcher("fwd"), 1, static_cast<int>(count), bottom[0]->data(),
+                  static_cast<int>(count), top[0]->mutable_data(),
+                  static_cast<int>(count));
+}
+
+void FlattenLayer::backward(const std::vector<Blob*>& top,
+                            const std::vector<bool>& propagate_down,
+                            const std::vector<Blob*>& bottom) {
+  if (!propagate_down[0]) return;
+  const std::size_t count = bottom[0]->count();
+  kern::add_slab(launcher("bwd"), 1, static_cast<int>(count), top[0]->diff(),
+                 static_cast<int>(count), bottom[0]->mutable_diff(),
+                 static_cast<int>(count));
+}
+
+// --- Scale ----------------------------------------------------------------------
+
+void ScaleLayer::setup(const std::vector<Blob*>& bottom,
+                       const std::vector<Blob*>& top) {
+  GLP_REQUIRE(bottom.size() == 1 && top.size() == 1,
+              "Scale expects one bottom and one top");
+  GLP_REQUIRE(top[0] != bottom[0], "Scale backward reads its input");
+  top[0]->reshape_like(*bottom[0]);
+  if (param_blobs_.empty()) {
+    param_blobs_.push_back(
+        std::make_shared<Blob>(*ec_->ctx, std::vector<int>{bottom[0]->channels()}));
+    if (ec_->numeric()) {
+      kern::cpu::fill(param_blobs_[0]->count(), 1.0f,
+                      param_blobs_[0]->mutable_data());
+    }
+    if (spec_.params.scale_bias_term) {
+      param_blobs_.push_back(std::make_shared<Blob>(
+          *ec_->ctx, std::vector<int>{bottom[0]->channels()}));
+      if (ec_->numeric()) {
+        kern::cpu::fill(param_blobs_[1]->count(), 0.0f,
+                        param_blobs_[1]->mutable_data());
+      }
+    }
+  }
+}
+
+void ScaleLayer::forward(const std::vector<Blob*>& bottom,
+                         const std::vector<Blob*>& top) {
+  const int num = bottom[0]->num();
+  const int channels = bottom[0]->channels();
+  const int spatial = static_cast<int>(bottom[0]->count()) / (num * channels);
+  const float* x = bottom[0]->data();
+  const float* s = param_blobs_[0]->data();
+  const float* b =
+      param_blobs_.size() > 1 ? param_blobs_[1]->data() : nullptr;
+  float* y = top[0]->mutable_data();
+  launcher("fwd").launch(
+      "scale_forward_kernel", ew_config(bottom[0]->count(), 16),
+      ew_cost(bottom[0]->count(), 2.0, 12.0), [=] {
+        for (int n = 0; n < num; ++n) {
+          for (int c = 0; c < channels; ++c) {
+            const std::size_t off =
+                (static_cast<std::size_t>(n) * channels + c) * spatial;
+            const float sc = s[c];
+            const float bc = b != nullptr ? b[c] : 0.0f;
+            for (int i = 0; i < spatial; ++i) y[off + i] = sc * x[off + i] + bc;
+          }
+        }
+      });
+}
+
+void ScaleLayer::backward(const std::vector<Blob*>& top,
+                          const std::vector<bool>& propagate_down,
+                          const std::vector<Blob*>& bottom) {
+  const int num = bottom[0]->num();
+  const int channels = bottom[0]->channels();
+  const int spatial = static_cast<int>(bottom[0]->count()) / (num * channels);
+  const float* x = bottom[0]->data();
+  const float* dy = top[0]->diff();
+  const float* s = param_blobs_[0]->data();
+  float* ds = param_blobs_[0]->mutable_diff();
+  float* db = param_blobs_.size() > 1 ? param_blobs_[1]->mutable_diff() : nullptr;
+  float* dx = propagate_down[0] ? bottom[0]->mutable_diff() : nullptr;
+  launcher("bwd").launch(
+      "scale_backward_kernel", ew_config(bottom[0]->count(), 24),
+      ew_cost(bottom[0]->count(), 4.0, 20.0), [=] {
+        for (int c = 0; c < channels; ++c) {
+          float acc_s = 0.0f, acc_b = 0.0f;
+          for (int n = 0; n < num; ++n) {
+            const std::size_t off =
+                (static_cast<std::size_t>(n) * channels + c) * spatial;
+            for (int i = 0; i < spatial; ++i) {
+              acc_s += dy[off + i] * x[off + i];
+              acc_b += dy[off + i];
+              if (dx != nullptr) dx[off + i] = dy[off + i] * s[c];
+            }
+          }
+          ds[c] += acc_s;
+          if (db != nullptr) db[c] += acc_b;
+        }
+      });
+}
+
+// --- BatchNorm -------------------------------------------------------------------
+
+void BatchNormLayer::setup(const std::vector<Blob*>& bottom,
+                           const std::vector<Blob*>& top) {
+  GLP_REQUIRE(bottom.size() == 1 && top.size() == 1,
+              "BatchNorm expects one bottom and one top");
+  GLP_REQUIRE(top[0] != bottom[0], "BatchNorm backward reads its input");
+  top[0]->reshape_like(*bottom[0]);
+  const int channels = bottom[0]->channels();
+  if (param_blobs_.empty()) {
+    // Caffe layout: moving mean, moving variance, scale count.
+    for (int i = 0; i < 3; ++i) {
+      param_blobs_.push_back(std::make_shared<Blob>(
+          *ec_->ctx, std::vector<int>{i == 2 ? 1 : channels}));
+      if (ec_->numeric()) {
+        kern::cpu::fill(param_blobs_.back()->count(), 0.0f,
+                        param_blobs_.back()->mutable_data());
+      }
+    }
+  }
+  batch_mean_.allocate(*ec_->ctx, static_cast<std::size_t>(channels));
+  batch_var_.allocate(*ec_->ctx, static_cast<std::size_t>(channels));
+}
+
+void BatchNormLayer::forward(const std::vector<Blob*>& bottom,
+                             const std::vector<Blob*>& top) {
+  const int num = bottom[0]->num();
+  const int channels = bottom[0]->channels();
+  const int spatial = static_cast<int>(bottom[0]->count()) / (num * channels);
+  const float eps = spec_.params.bn_eps;
+  const float momentum = spec_.params.bn_momentum;
+  const bool global = spec_.params.use_global_stats || !ec_->train;
+  const float* x = bottom[0]->data();
+  float* y = top[0]->mutable_data();
+  float* mean = batch_mean_.data();
+  float* var = batch_var_.data();
+  float* moving_mean = param_blobs_[0]->mutable_data();
+  float* moving_var = param_blobs_[1]->mutable_data();
+  float* count = param_blobs_[2]->mutable_data();
+
+  launcher("fwd").launch(
+      "batch_norm_forward_kernel", ew_config(bottom[0]->count(), 32),
+      ew_cost(bottom[0]->count(), 6.0, 16.0), [=] {
+        if (global) {
+          const float norm = count[0] > 0.0f ? 1.0f / count[0] : 1.0f;
+          for (int c = 0; c < channels; ++c) {
+            mean[c] = moving_mean[c] * norm;
+            var[c] = moving_var[c] * norm;
+          }
+        } else {
+          kern::cpu::channel_mean(num, channels, spatial, x, mean);
+          kern::cpu::channel_variance(num, channels, spatial, x, mean, var);
+          // Caffe-style moving sums with a scale count.
+          count[0] = count[0] * momentum + 1.0f;
+          for (int c = 0; c < channels; ++c) {
+            moving_mean[c] = moving_mean[c] * momentum + mean[c];
+            moving_var[c] = moving_var[c] * momentum + var[c];
+          }
+        }
+        kern::cpu::batch_norm_forward(num, channels, spatial, x, mean, var, eps, y);
+      });
+}
+
+void BatchNormLayer::backward(const std::vector<Blob*>& top,
+                              const std::vector<bool>& propagate_down,
+                              const std::vector<Blob*>& bottom) {
+  if (!propagate_down[0]) return;
+  const int num = bottom[0]->num();
+  const int channels = bottom[0]->channels();
+  const int spatial = static_cast<int>(bottom[0]->count()) / (num * channels);
+  const float eps = spec_.params.bn_eps;
+  const bool global = spec_.params.use_global_stats || !ec_->train;
+  const float* x = bottom[0]->data();
+  const float* dy = top[0]->diff();
+  const float* mean = batch_mean_.data();
+  const float* var = batch_var_.data();
+  float* dx = bottom[0]->mutable_diff();
+  launcher("bwd").launch(
+      "batch_norm_backward_kernel", ew_config(bottom[0]->count(), 40),
+      ew_cost(bottom[0]->count(), 10.0, 24.0), [=] {
+        if (global) {
+          // Global statistics are constants: dx = dy / sqrt(var + eps).
+          for (int c = 0; c < channels; ++c) {
+            const float inv_std = 1.0f / std::sqrt(var[c] + eps);
+            for (int n = 0; n < num; ++n) {
+              const std::size_t off =
+                  (static_cast<std::size_t>(n) * channels + c) * spatial;
+              for (int i = 0; i < spatial; ++i) {
+                dx[off + i] += dy[off + i] * inv_std;
+              }
+            }
+          }
+        } else {
+          kern::cpu::batch_norm_backward(num, channels, spatial, x, dy, mean,
+                                         var, eps, dx);
+        }
+      });
+}
+
+// --- ArgMax ---------------------------------------------------------------------
+
+void ArgMaxLayer::setup(const std::vector<Blob*>& bottom,
+                        const std::vector<Blob*>& top) {
+  GLP_REQUIRE(bottom.size() == 1 && top.size() == 1,
+              "ArgMax expects one bottom and one top");
+  top[0]->reshape({bottom[0]->num()});
+}
+
+void ArgMaxLayer::forward(const std::vector<Blob*>& bottom,
+                          const std::vector<Blob*>& top) {
+  const int rows = bottom[0]->num();
+  const int dim = static_cast<int>(bottom[0]->sample_size());
+  const float* x = bottom[0]->data();
+  float* y = top[0]->mutable_data();
+  launcher("fwd").launch("argmax_kernel",
+                         ew_config(static_cast<std::uint64_t>(rows), 20),
+                         ew_cost(static_cast<std::uint64_t>(rows) * dim, 1.0, 4.0),
+                         [=] {
+                           for (int r = 0; r < rows; ++r) {
+                             const float* row = x + static_cast<std::size_t>(r) * dim;
+                             int arg = 0;
+                             for (int j = 1; j < dim; ++j) {
+                               if (row[j] > row[arg]) arg = j;
+                             }
+                             y[r] = static_cast<float>(arg);
+                           }
+                         });
+}
+
+void ArgMaxLayer::backward(const std::vector<Blob*>&, const std::vector<bool>&,
+                           const std::vector<Blob*>&) {}
+
+// --- Reduction -------------------------------------------------------------------
+
+void ReductionLayer::setup(const std::vector<Blob*>& bottom,
+                           const std::vector<Blob*>& top) {
+  GLP_REQUIRE(bottom.size() == 1 && top.size() == 1,
+              "Reduction expects one bottom and one top");
+  top[0]->reshape({bottom[0]->num()});
+}
+
+void ReductionLayer::forward(const std::vector<Blob*>& bottom,
+                             const std::vector<Blob*>& top) {
+  const int rows = bottom[0]->num();
+  const int dim = static_cast<int>(bottom[0]->sample_size());
+  const bool mean = spec_.params.reduction_mean;
+  const float* x = bottom[0]->data();
+  float* y = top[0]->mutable_data();
+  launcher("fwd").launch("reduction_forward_kernel",
+                         ew_config(static_cast<std::uint64_t>(rows), 16),
+                         ew_cost(static_cast<std::uint64_t>(rows) * dim, 1.0, 4.0),
+                         [=] {
+                           for (int r = 0; r < rows; ++r) {
+                             const double s = kern::cpu::sum(
+                                 static_cast<std::size_t>(dim),
+                                 x + static_cast<std::size_t>(r) * dim);
+                             y[r] = static_cast<float>(mean ? s / dim : s);
+                           }
+                         });
+}
+
+void ReductionLayer::backward(const std::vector<Blob*>& top,
+                              const std::vector<bool>& propagate_down,
+                              const std::vector<Blob*>& bottom) {
+  if (!propagate_down[0]) return;
+  const int rows = bottom[0]->num();
+  const int dim = static_cast<int>(bottom[0]->sample_size());
+  const bool mean = spec_.params.reduction_mean;
+  const float* dy = top[0]->diff();
+  float* dx = bottom[0]->mutable_diff();
+  launcher("bwd").launch("reduction_backward_kernel",
+                         ew_config(bottom[0]->count(), 14),
+                         ew_cost(bottom[0]->count(), 1.0, 8.0), [=] {
+                           for (int r = 0; r < rows; ++r) {
+                             const float g = mean ? dy[r] / dim : dy[r];
+                             float* row = dx + static_cast<std::size_t>(r) * dim;
+                             for (int j = 0; j < dim; ++j) row[j] = g;
+                           }
+                         });
+}
+
+}  // namespace mc

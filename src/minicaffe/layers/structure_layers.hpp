@@ -1,0 +1,105 @@
+#pragma once
+// Structural / normalisation layers: Slice (channel split, the inverse
+// of Concat), Flatten, Scale (learnable per-channel affine), BatchNorm
+// (batch statistics with moving averages, Caffe-style parameter-free
+// normalisation — pair with Scale for the affine part), ArgMax and
+// Reduction.
+
+#include "minicaffe/layer.hpp"
+
+namespace mc {
+
+/// Split a blob along the channel axis at params.slice_points (or into
+/// equal parts when empty). Backward accumulates the top diffs back.
+class SliceLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+  bool accumulates_bottom_diff() const override { return true; }
+
+ private:
+  std::vector<int> offsets_;  // channel start per top
+};
+
+/// Reshape [N, C, H, W] → [N, C·H·W] (copy-based; see class comment).
+class FlattenLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+  bool accumulates_bottom_diff() const override { return true; }
+};
+
+/// y = s[c]·x (+ b[c] when scale_bias_term). One or two param blobs.
+class ScaleLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+};
+
+/// Per-channel batch normalisation. In training mode uses batch
+/// statistics and updates moving averages (params: mean, variance, count —
+/// Caffe's layout); with use_global_stats it normalises by the stored
+/// averages (inference). The affine part lives in a following ScaleLayer.
+class BatchNormLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+  bool accumulates_bottom_diff() const override { return true; }
+
+ private:
+  DeviceBuffer<float> batch_mean_;
+  DeviceBuffer<float> batch_var_;
+};
+
+/// argmax over each sample's features → [N] (evaluation only).
+class ArgMaxLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+  bool has_backward() const override { return false; }
+};
+
+/// Per-sample SUM (or MEAN with reduction_mean) over features → [N].
+class ReductionLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+};
+
+}  // namespace mc

@@ -1,0 +1,272 @@
+#include "minicaffe/models.hpp"
+
+namespace mc::models {
+
+namespace {
+
+LayerSpec layer(std::string type, std::string name,
+                std::vector<std::string> bottoms, std::vector<std::string> tops) {
+  LayerSpec l;
+  l.type = std::move(type);
+  l.name = std::move(name);
+  l.bottoms = std::move(bottoms);
+  l.tops = std::move(tops);
+  return l;
+}
+
+LayerSpec conv(std::string name, std::string bottom, std::string top,
+               int num_output, int kernel, int stride = 1, int pad = 0,
+               float weight_std = 0.0f) {
+  LayerSpec l = layer("Convolution", std::move(name), {std::move(bottom)},
+                      {std::move(top)});
+  l.params.num_output = num_output;
+  l.params.kernel_size = kernel;
+  l.params.stride = stride;
+  l.params.pad = pad;
+  if (weight_std > 0.0f) l.params.weight_filler = FillerSpec::gaussian(weight_std);
+  return l;
+}
+
+LayerSpec pool(std::string name, std::string bottom, std::string top,
+               PoolMethod method, int kernel, int stride, int pad = 0) {
+  LayerSpec l =
+      layer("Pooling", std::move(name), {std::move(bottom)}, {std::move(top)});
+  l.params.pool = method;
+  l.params.kernel_size = kernel;
+  l.params.stride = stride;
+  l.params.pad = pad;
+  return l;
+}
+
+LayerSpec relu(std::string name, std::string blob) {
+  return layer("ReLU", std::move(name), {blob}, {blob});  // in place
+}
+
+LayerSpec lrn(std::string name, std::string bottom, std::string top) {
+  LayerSpec l = layer("LRN", std::move(name), {std::move(bottom)}, {std::move(top)});
+  l.params.local_size = 5;
+  l.params.alpha = 1e-4f;
+  l.params.beta = 0.75f;
+  return l;
+}
+
+LayerSpec ip(std::string name, std::string bottom, std::string top,
+             int num_output, float weight_std = 0.0f) {
+  LayerSpec l = layer("InnerProduct", std::move(name), {std::move(bottom)},
+                      {std::move(top)});
+  l.params.num_output = num_output;
+  if (weight_std > 0.0f) l.params.weight_filler = FillerSpec::gaussian(weight_std);
+  return l;
+}
+
+LayerSpec dropout(std::string name, std::string blob, float ratio = 0.5f) {
+  LayerSpec l = layer("Dropout", std::move(name), {blob}, {blob});
+  l.params.dropout_ratio = ratio;
+  return l;
+}
+
+LayerSpec softmax_loss(std::string name, std::string scores, std::string labels) {
+  return layer("SoftmaxWithLoss", std::move(name),
+               {std::move(scores), std::move(labels)}, {"loss"});
+}
+
+LayerSpec data(DatasetSpec dataset, int batch, bool pair = false) {
+  LayerSpec l = pair ? layer("Data", "pair_data", {}, {"data", "data_p", "sim"})
+                     : layer("Data", "data", {}, {"data", "label"});
+  l.params.dataset = std::move(dataset);
+  l.params.batch_size = batch;
+  l.params.pair_data = pair;
+  return l;
+}
+
+}  // namespace
+
+NetSpec cifar10_quick(int batch) {
+  NetSpec s;
+  s.name = "CIFAR10";
+  s.layers.push_back(data(DatasetSpec::cifar10(), batch));
+  s.layers.push_back(conv("conv1", "data", "conv1", 32, 5, 1, 2, 1e-4f));
+  s.layers.push_back(pool("pool1", "conv1", "pool1", PoolMethod::kMax, 3, 2));
+  s.layers.push_back(relu("relu1", "pool1"));
+  s.layers.push_back(conv("conv2", "pool1", "conv2", 32, 5, 1, 2, 0.01f));
+  s.layers.push_back(relu("relu2", "conv2"));
+  s.layers.push_back(pool("pool2", "conv2", "pool2", PoolMethod::kAve, 3, 2));
+  s.layers.push_back(conv("conv3", "pool2", "conv3", 64, 5, 1, 2, 0.01f));
+  s.layers.push_back(relu("relu3", "conv3"));
+  s.layers.push_back(pool("pool3", "conv3", "pool3", PoolMethod::kAve, 3, 2));
+  s.layers.push_back(ip("ip1", "pool3", "ip1", 64, 0.1f));
+  s.layers.push_back(ip("ip2", "ip1", "ip2", 10, 0.1f));
+  s.layers.push_back(softmax_loss("loss", "ip2", "label"));
+  return s;
+}
+
+NetSpec siamese_mnist(int batch) {
+  NetSpec s;
+  s.name = "Siamese";
+  s.layers.push_back(data(DatasetSpec::mnist(), batch, /*pair=*/true));
+
+  const auto branch = [&s](const std::string& suffix, const std::string& input) {
+    auto share = [&suffix](LayerSpec l, const char* base) {
+      l.param_names = {std::string(base) + "_w", std::string(base) + "_b"};
+      (void)suffix;
+      return l;
+    };
+    s.layers.push_back(share(
+        conv("conv1" + suffix, input, "conv1" + suffix, 20, 5), "conv1"));
+    s.layers.push_back(pool("pool1" + suffix, "conv1" + suffix, "pool1" + suffix,
+                            PoolMethod::kMax, 2, 2));
+    s.layers.push_back(share(
+        conv("conv2" + suffix, "pool1" + suffix, "conv2" + suffix, 50, 5),
+        "conv2"));
+    s.layers.push_back(pool("pool2" + suffix, "conv2" + suffix, "pool2" + suffix,
+                            PoolMethod::kMax, 2, 2));
+    s.layers.push_back(
+        share(ip("ip1" + suffix, "pool2" + suffix, "ip1" + suffix, 500), "ip1"));
+    s.layers.push_back(relu("relu1" + suffix, "ip1" + suffix));
+    s.layers.push_back(
+        share(ip("ip2" + suffix, "ip1" + suffix, "ip2" + suffix, 10), "ip2"));
+    s.layers.push_back(
+        share(ip("feat" + suffix, "ip2" + suffix, "feat" + suffix, 2), "feat"));
+  };
+  branch("", "data");
+  branch("_p", "data_p");
+
+  LayerSpec loss = layer("ContrastiveLoss", "loss", {"feat", "feat_p", "sim"},
+                         {"loss"});
+  loss.params.margin = 1.0f;
+  s.layers.push_back(loss);
+  return s;
+}
+
+NetSpec caffenet(int batch) {
+  NetSpec s;
+  s.name = "CaffeNet";
+  s.layers.push_back(data(DatasetSpec::imagenet_crop227(), batch));
+  s.layers.push_back(conv("conv1", "data", "conv1", 96, 11, 4, 0, 0.01f));
+  s.layers.push_back(relu("relu1", "conv1"));
+  s.layers.push_back(pool("pool1", "conv1", "pool1", PoolMethod::kMax, 3, 2));
+  s.layers.push_back(lrn("norm1", "pool1", "norm1"));
+  s.layers.push_back(conv("conv2", "norm1", "conv2", 256, 5, 1, 2, 0.01f));
+  s.layers.push_back(relu("relu2", "conv2"));
+  s.layers.push_back(pool("pool2", "conv2", "pool2", PoolMethod::kMax, 3, 2));
+  s.layers.push_back(lrn("norm2", "pool2", "norm2"));
+  s.layers.push_back(conv("conv3", "norm2", "conv3", 384, 3, 1, 1, 0.01f));
+  s.layers.push_back(relu("relu3", "conv3"));
+  s.layers.push_back(conv("conv4", "conv3", "conv4", 384, 3, 1, 1, 0.01f));
+  s.layers.push_back(relu("relu4", "conv4"));
+  s.layers.push_back(conv("conv5", "conv4", "conv5", 256, 3, 1, 1, 0.01f));
+  s.layers.push_back(relu("relu5", "conv5"));
+  s.layers.push_back(pool("pool5", "conv5", "pool5", PoolMethod::kMax, 3, 2));
+  s.layers.push_back(ip("fc6", "pool5", "fc6", 4096, 0.005f));
+  s.layers.push_back(relu("relu6", "fc6"));
+  s.layers.push_back(dropout("drop6", "fc6"));
+  s.layers.push_back(ip("fc7", "fc6", "fc7", 4096, 0.005f));
+  s.layers.push_back(relu("relu7", "fc7"));
+  s.layers.push_back(dropout("drop7", "fc7"));
+  s.layers.push_back(ip("fc8", "fc7", "fc8", 1000, 0.01f));
+  s.layers.push_back(softmax_loss("loss", "fc8", "label"));
+  return s;
+}
+
+std::string append_inception(NetSpec& spec, const std::string& prefix,
+                             const std::string& bottom, int out_1x1,
+                             int reduce_3x3, int out_3x3, int reduce_5x5,
+                             int out_5x5, int pool_proj) {
+  auto named = [&prefix](const std::string& leaf) { return prefix + "/" + leaf; };
+
+  spec.layers.push_back(conv(named("1x1"), bottom, named("1x1"), out_1x1, 1));
+  spec.layers.push_back(relu(named("relu_1x1"), named("1x1")));
+
+  spec.layers.push_back(
+      conv(named("3x3_reduce"), bottom, named("3x3_reduce"), reduce_3x3, 1));
+  spec.layers.push_back(relu(named("relu_3x3_reduce"), named("3x3_reduce")));
+  spec.layers.push_back(
+      conv(named("3x3"), named("3x3_reduce"), named("3x3"), out_3x3, 3, 1, 1));
+  spec.layers.push_back(relu(named("relu_3x3"), named("3x3")));
+
+  spec.layers.push_back(
+      conv(named("5x5_reduce"), bottom, named("5x5_reduce"), reduce_5x5, 1));
+  spec.layers.push_back(relu(named("relu_5x5_reduce"), named("5x5_reduce")));
+  spec.layers.push_back(
+      conv(named("5x5"), named("5x5_reduce"), named("5x5"), out_5x5, 5, 1, 2));
+  spec.layers.push_back(relu(named("relu_5x5"), named("5x5")));
+
+  spec.layers.push_back(
+      pool(named("pool"), bottom, named("pool"), PoolMethod::kMax, 3, 1, 1));
+  spec.layers.push_back(
+      conv(named("pool_proj"), named("pool"), named("pool_proj"), pool_proj, 1));
+  spec.layers.push_back(relu(named("relu_pool_proj"), named("pool_proj")));
+
+  const std::string out = named("output");
+  spec.layers.push_back(layer("Concat", named("concat"),
+                              {named("1x1"), named("3x3"), named("5x5"),
+                               named("pool_proj")},
+                              {out}));
+  return out;
+}
+
+NetSpec googlenet_tail(int batch) {
+  // The inception_5a/5b tail of GoogLeNet operating on 7x7 maps of depth
+  // 832 — contains exactly the six convolution units of Table 5.
+  NetSpec s;
+  s.name = "GoogLeNet";
+  DatasetSpec d;
+  d.name = "googlenet-tail-features";
+  d.num_classes = 10;
+  d.channels = 832;
+  d.height = 7;
+  d.width = 7;
+  d.train_size = 50000;
+  s.layers.push_back(data(d, batch));
+
+  const std::string out5a =
+      append_inception(s, "inception_5a", "data", 256, 160, 320, 32, 128, 128);
+  const std::string out5b =
+      append_inception(s, "inception_5b", out5a, 384, 192, 384, 48, 128, 128);
+
+  s.layers.push_back(
+      pool("pool5", out5b, "pool5", PoolMethod::kAve, 7, 1));
+  s.layers.push_back(dropout("drop5", "pool5", 0.4f));
+  s.layers.push_back(ip("classifier", "pool5", "classifier", 10, 0.01f));
+  s.layers.push_back(softmax_loss("loss", "classifier", "label"));
+  return s;
+}
+
+NetSpec lenet(int batch) {
+  NetSpec s;
+  s.name = "LeNet";
+  s.layers.push_back(data(DatasetSpec::mnist(), batch));
+  s.layers.push_back(conv("conv1", "data", "conv1", 20, 5));
+  s.layers.push_back(pool("pool1", "conv1", "pool1", PoolMethod::kMax, 2, 2));
+  s.layers.push_back(conv("conv2", "pool1", "conv2", 50, 5));
+  s.layers.push_back(pool("pool2", "conv2", "pool2", PoolMethod::kMax, 2, 2));
+  s.layers.push_back(ip("ip1", "pool2", "ip1", 500));
+  s.layers.push_back(relu("relu1", "ip1"));
+  s.layers.push_back(ip("ip2", "ip1", "ip2", 10));
+  s.layers.push_back(softmax_loss("loss", "ip2", "label"));
+  return s;
+}
+
+std::vector<NamedNet> paper_networks() {
+  return {{"CIFAR10", cifar10_quick()},
+          {"Siamese", siamese_mnist()},
+          {"CaffeNet", caffenet()},
+          {"GoogLeNet", googlenet_tail()}};
+}
+
+std::vector<std::string> tracked_conv_layers(const std::string& net_name) {
+  if (net_name == "CIFAR10") return {"conv1", "conv2", "conv3"};
+  if (net_name == "Siamese") return {"conv1", "conv2", "conv1_p", "conv2_p"};
+  if (net_name == "CaffeNet") {
+    return {"conv1", "conv2", "conv3", "conv4", "conv5"};
+  }
+  if (net_name == "GoogLeNet") {
+    // Table 5's conv_1..conv_6 in paper order.
+    return {"inception_5a/3x3",        "inception_5a/5x5_reduce",
+            "inception_5b/1x1",        "inception_5b/3x3",
+            "inception_5b/3x3_reduce", "inception_5b/5x5_reduce"};
+  }
+  return {};
+}
+
+}  // namespace mc::models

@@ -1,0 +1,41 @@
+#pragma once
+// Model zoo: the paper's four evaluation networks (Table 5) plus LeNet.
+// All specs mirror the Caffe definitions the paper trained:
+//   CIFAR10  — cifar10_quick (batch 100)
+//   Siamese  — MNIST Siamese with shared weights + contrastive loss (64)
+//   CaffeNet — AlexNet variant on 227x227 crops (batch 256)
+//   GoogLeNet— the inception_5a/5b tail, containing exactly the six
+//              convolution units Table 5 evaluates (batch 32)
+
+#include "minicaffe/net.hpp"
+
+namespace mc::models {
+
+NetSpec cifar10_quick(int batch = 100);
+NetSpec siamese_mnist(int batch = 64);
+NetSpec caffenet(int batch = 256);
+NetSpec googlenet_tail(int batch = 32);
+NetSpec lenet(int batch = 64);
+
+/// Generic GoogLeNet inception module appended to `spec`:
+/// bottom -> {1x1, 3x3reduce->3x3, 5x5reduce->5x5, pool->proj} -> concat.
+/// Returns the concat output blob name.
+std::string append_inception(NetSpec& spec, const std::string& prefix,
+                             const std::string& bottom, int out_1x1,
+                             int reduce_3x3, int out_3x3, int reduce_5x5,
+                             int out_5x5, int pool_proj);
+
+struct NamedNet {
+  std::string name;
+  NetSpec spec;
+};
+
+/// The four networks of the paper's evaluation, with their Table 5 batch
+/// sizes, in the order of Fig. 7.
+std::vector<NamedNet> paper_networks();
+
+/// The Table 5 convolution-layer names of `net` (the layers Figs. 7–9
+/// report individually).
+std::vector<std::string> tracked_conv_layers(const std::string& net_name);
+
+}  // namespace mc::models

@@ -1,0 +1,240 @@
+#include "minicaffe/net.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <sstream>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "kernels/cpu_math.hpp"
+
+namespace mc {
+
+Net::Net(NetSpec spec, ExecContext& ec) : spec_(std::move(spec)), ec_(&ec) {
+  GLP_REQUIRE(ec_->ctx != nullptr && ec_->dispatcher != nullptr,
+              "ExecContext must provide a device context and a dispatcher");
+  build();
+}
+
+void Net::build() {
+  std::map<std::string, std::shared_ptr<Blob>> shared_params;
+
+  for (const LayerSpec& lspec : spec_.layers) {
+    GLP_REQUIRE(!lspec.name.empty(), "layers must be named");
+    GLP_REQUIRE(layer_by_name(lspec.name) == nullptr,
+                "duplicate layer name '" << lspec.name << "'");
+
+    std::vector<Blob*> bottoms;
+    for (const std::string& b : lspec.bottoms) {
+      auto it = blobs_.find(b);
+      GLP_REQUIRE(it != blobs_.end(), "layer '" << lspec.name
+                                                << "' consumes unknown blob '"
+                                                << b << "'");
+      bottoms.push_back(it->second.get());
+    }
+
+    std::vector<Blob*> tops;
+    for (const std::string& t : lspec.tops) {
+      auto it = blobs_.find(t);
+      if (it != blobs_.end()) {
+        // In-place: the top must also be one of this layer's bottoms.
+        const bool in_place =
+            std::find(lspec.bottoms.begin(), lspec.bottoms.end(), t) !=
+            lspec.bottoms.end();
+        GLP_REQUIRE(in_place, "layer '" << lspec.name << "' re-defines blob '"
+                                        << t << "' without using it in place");
+        tops.push_back(it->second.get());
+      } else {
+        auto blob = std::make_unique<Blob>(*ec_->ctx);
+        tops.push_back(blob.get());
+        blobs_.emplace(t, std::move(blob));
+      }
+    }
+
+    std::unique_ptr<Layer> layer = create_layer(lspec, *ec_);
+    layer->setup(bottoms, tops);
+
+    // Parameter sharing (Siamese weights): adopt the registry's blob.
+    for (std::size_t i = 0; i < lspec.param_names.size(); ++i) {
+      const std::string& pname = lspec.param_names[i];
+      if (pname.empty()) continue;
+      GLP_REQUIRE(i < layer->param_blobs().size(),
+                  "param name index " << i << " out of range for layer '"
+                                      << lspec.name << "'");
+      auto it = shared_params.find(pname);
+      if (it == shared_params.end()) {
+        shared_params.emplace(pname, layer->param_blobs()[i]);
+      } else {
+        GLP_REQUIRE(it->second->count() == layer->param_blobs()[i]->count(),
+                    "shared param '" << pname << "' shape mismatch at layer '"
+                                     << lspec.name << "'");
+        layer->share_param(i, it->second);
+      }
+    }
+
+    // Gradient-need propagation.
+    bool any_bottom_needs = false;
+    for (const std::string& b : lspec.bottoms) {
+      any_bottom_needs = any_bottom_needs || blob_needs_grad_[b];
+    }
+    const bool tops_need_grad =
+        layer->has_backward() &&
+        (!layer->param_blobs().empty() || any_bottom_needs);
+    for (const std::string& t : lspec.tops) {
+      blob_needs_grad_[t] = blob_needs_grad_[t] || tops_need_grad;
+    }
+
+    std::vector<bool> propagate;
+    for (const std::string& b : lspec.bottoms) {
+      propagate.push_back(blob_needs_grad_[b]);
+    }
+
+    if (layer->is_loss()) {
+      loss_layers_.emplace_back(layer.get(), lspec.params.loss_weight);
+    }
+
+    bottoms_.push_back(std::move(bottoms));
+    tops_.push_back(std::move(tops));
+    propagate_.push_back(std::move(propagate));
+    layers_.push_back(std::move(layer));
+  }
+
+  // Deduplicated learnable parameter list, in first-appearance order.
+  std::set<const Blob*> seen;
+  for (const auto& layer : layers_) {
+    for (const auto& p : layer->param_blobs()) {
+      if (seen.insert(p.get()).second) learnable_params_.push_back(p);
+    }
+  }
+
+  check_consumer_contract();
+  GLP_INFO << "net '" << spec_.name << "': " << layers_.size() << " layers, "
+           << blobs_.size() << " blobs, " << learnable_params_.size()
+           << " learnable params";
+}
+
+void Net::check_consumer_contract() const {
+  // A blob consumed (with gradient) by several layers requires every such
+  // consumer to accumulate; assigning consumers would clobber each other.
+  std::map<const Blob*, int> consumers;
+  std::map<const Blob*, int> assigners;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    if (!layers_[li]->has_backward()) continue;  // never writes gradients
+    for (std::size_t bi = 0; bi < bottoms_[li].size(); ++bi) {
+      if (!propagate_[li][bi]) continue;
+      const Blob* blob = bottoms_[li][bi];
+      // In-place consumers transform the diff in place and are exempt.
+      const bool in_place =
+          std::find(tops_[li].begin(), tops_[li].end(), blob) != tops_[li].end();
+      if (in_place) continue;
+      ++consumers[blob];
+      if (!layers_[li]->accumulates_bottom_diff()) ++assigners[blob];
+    }
+  }
+  for (const auto& [blob, count] : consumers) {
+    if (count > 1 && assigners[blob] > 0) {
+      throw glp::InvalidArgument(
+          "net '" + spec_.name +
+          "': a blob with multiple gradient consumers is consumed by an "
+          "assigning layer; route it through accumulate-safe layers instead");
+    }
+  }
+}
+
+void Net::forward() {
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    layers_[li]->forward(bottoms_[li], tops_[li]);
+  }
+}
+
+void Net::backward() {
+  // Join the device: host-side zeroing below must not race queued kernels.
+  ec_->ctx->device().synchronize();
+  if (ec_->numeric()) {
+    for (auto& [name, blob] : blobs_) {
+      if (blob_needs_grad_[name]) {
+        kern::cpu::fill(blob->count(), 0.0f, blob->mutable_diff());
+      }
+    }
+  }
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    if (!layers_[li]->has_backward()) continue;
+    layers_[li]->backward(tops_[li], propagate_[li], bottoms_[li]);
+  }
+}
+
+float Net::total_loss() {
+  ec_->ctx->device().synchronize();
+  float loss = 0.0f;
+  for (const auto& [layer, weight] : loss_layers_) {
+    // A loss layer's top is its first top blob's first element.
+    for (std::size_t li = 0; li < layers_.size(); ++li) {
+      if (layers_[li].get() == layer) {
+        loss += weight * tops_[li][0]->data()[0];
+        break;
+      }
+    }
+  }
+  return loss;
+}
+
+Blob* Net::blob(const std::string& name) {
+  auto it = blobs_.find(name);
+  GLP_REQUIRE(it != blobs_.end(), "unknown blob '" << name << "'");
+  return it->second.get();
+}
+
+bool Net::has_blob(const std::string& name) const {
+  return blobs_.count(name) != 0;
+}
+
+std::vector<std::string> Net::blob_names() const {
+  std::vector<std::string> out;
+  out.reserve(blobs_.size());
+  for (const auto& [name, blob] : blobs_) out.push_back(name);
+  return out;
+}
+
+Layer* Net::layer_by_name(const std::string& name) {
+  for (const auto& l : layers_) {
+    if (l->name() == name) return l.get();
+  }
+  return nullptr;
+}
+
+std::string Net::summary() const {
+  std::ostringstream os;
+  os << "net '" << spec_.name << "'\n";
+  std::size_t total_params = 0;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = *layers_[li];
+    std::size_t params = 0;
+    for (const auto& p : layer.param_blobs()) params += p->count();
+    total_params += params;
+    os << glp::strformat("  %-16s %-16s -> ", layer.name().c_str(),
+                         layer.type().c_str());
+    for (std::size_t t = 0; t < tops_[li].size(); ++t) {
+      if (t != 0) os << ", ";
+      os << layer.spec().tops[t] << " [" << tops_[li][t]->shape_string() << "]";
+    }
+    if (params > 0) os << "  (" << params << " params)";
+    os << "\n";
+  }
+  // Shared parameters are counted once in the learnable list.
+  std::size_t learnable = 0;
+  for (const auto& p : learnable_params_) learnable += p->count();
+  os << "  total: " << layers_.size() << " layers, " << learnable
+     << " learnable parameters\n";
+  (void)total_params;
+  return os.str();
+}
+
+void Net::zero_param_diffs() {
+  if (!ec_->numeric()) return;
+  for (const auto& p : learnable_params_) {
+    kern::cpu::fill(p->count(), 0.0f, p->mutable_diff());
+  }
+}
+
+}  // namespace mc

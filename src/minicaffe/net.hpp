@@ -1,0 +1,75 @@
+#pragma once
+// The network: a DAG of layers over named blobs, Caffe-style. Layers
+// execute in spec order for forward and reverse order for backward
+// (specs must therefore be topologically sorted, as Caffe prototxts are).
+//
+// Gradient bookkeeping: Net computes which blobs need gradients, zeroes
+// them at the start of backward (layers accumulate), and verifies the
+// accumulate/assign consumer contract (see Layer::accumulates_bottom_diff).
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minicaffe/layer.hpp"
+
+namespace mc {
+
+struct NetSpec {
+  std::string name;
+  std::vector<LayerSpec> layers;
+};
+
+class Net {
+ public:
+  Net(NetSpec spec, ExecContext& ec);
+  Net(const Net&) = delete;
+  Net& operator=(const Net&) = delete;
+
+  /// Launch the whole forward pass (asynchronous — no host sync).
+  void forward();
+  /// Launch the backward pass. Synchronises the device first so host-side
+  /// gradient zeroing cannot race pending kernels.
+  void backward();
+
+  /// Synchronises, then returns Σ loss_weight · loss over loss layers.
+  float total_loss();
+
+  Blob* blob(const std::string& name);
+  bool has_blob(const std::string& name) const;
+  std::vector<std::string> blob_names() const;
+  Layer* layer_by_name(const std::string& name);
+  const std::vector<std::unique_ptr<Layer>>& layers() const { return layers_; }
+
+  /// Learnable parameters, deduplicated (shared params appear once).
+  const std::vector<std::shared_ptr<Blob>>& learnable_params() const {
+    return learnable_params_;
+  }
+  /// Host-side zero of all parameter diffs (call only while synchronised).
+  void zero_param_diffs();
+
+  ExecContext& exec() { return *ec_; }
+  const NetSpec& spec() const { return spec_; }
+
+  /// Human-readable layer table: type, tops with shapes, parameter counts
+  /// (the startup log real Caffe prints).
+  std::string summary() const;
+
+ private:
+  void build();
+  void check_consumer_contract() const;
+
+  NetSpec spec_;
+  ExecContext* ec_;
+  std::map<std::string, std::unique_ptr<Blob>> blobs_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<std::vector<Blob*>> bottoms_;
+  std::vector<std::vector<Blob*>> tops_;
+  std::vector<std::vector<bool>> propagate_;
+  std::map<std::string, bool> blob_needs_grad_;
+  std::vector<std::shared_ptr<Blob>> learnable_params_;
+  std::vector<std::pair<Layer*, float>> loss_layers_;
+};
+
+}  // namespace mc

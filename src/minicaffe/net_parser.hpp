@@ -1,0 +1,33 @@
+#pragma once
+// Parser for a prototxt-like network description, demonstrating the
+// network-agnostic claim: any net expressible in this format runs under
+// GLP4NN unchanged. Format example:
+//
+//   name: "my_net"
+//   layer {
+//     name: "conv1"  type: "Convolution"
+//     bottom: "data" top: "conv1"
+//     num_output: 32 kernel_size: 5 pad: 2 stride: 1
+//     weight_filler { type: "gaussian" std: 0.01 }
+//   }
+//
+// Supported layer fields mirror mc::LayerParams; dataset presets are
+// chosen with `dataset: "mnist" | "cifar10" | "imagenet227" | "random"`.
+
+#include <string>
+
+#include "minicaffe/net.hpp"
+
+namespace mc {
+
+/// Parse a network description. Throws glp::InvalidArgument with a line
+/// number on malformed input.
+NetSpec parse_net_text(const std::string& text);
+
+/// Convenience: read a file and parse it.
+NetSpec parse_net_file(const std::string& path);
+
+/// Serialise a NetSpec back to the text format (round-trip tested).
+std::string net_to_text(const NetSpec& spec);
+
+}  // namespace mc

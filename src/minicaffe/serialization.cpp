@@ -1,0 +1,132 @@
+#include "minicaffe/serialization.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace mc {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'L', 'P', 'W'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  GLP_REQUIRE(is.good(), "truncated snapshot");
+  return v;
+}
+
+/// Stable key per parameter blob: first owning layer's name + index.
+/// Shared parameters therefore serialise once under the first owner.
+std::map<const Blob*, std::string> param_keys(const Net& net) {
+  std::map<const Blob*, std::string> keys;
+  for (const auto& layer : net.layers()) {
+    for (std::size_t i = 0; i < layer->param_blobs().size(); ++i) {
+      const Blob* blob = layer->param_blobs()[i].get();
+      if (keys.count(blob) == 0) {
+        keys[blob] = layer->name() + "#" + std::to_string(i);
+      }
+    }
+  }
+  return keys;
+}
+
+}  // namespace
+
+void save_weights(const Net& net, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  GLP_REQUIRE(os.good(), "cannot open '" << path << "' for writing");
+
+  const auto keys = param_keys(net);
+  os.write(kMagic, sizeof(kMagic));
+  write_u32(os, kVersion);
+  write_u32(os, static_cast<std::uint32_t>(keys.size()));
+
+  // Deterministic order: iterate layers, not the pointer-keyed map.
+  std::map<std::string, const Blob*> ordered;
+  for (const auto& [blob, key] : keys) ordered[key] = blob;
+  for (const auto& [key, blob] : ordered) {
+    write_u32(os, static_cast<std::uint32_t>(key.size()));
+    os.write(key.data(), static_cast<std::streamsize>(key.size()));
+    write_u32(os, static_cast<std::uint32_t>(blob->shape().size()));
+    for (int d : blob->shape()) {
+      os.write(reinterpret_cast<const char*>(&d), sizeof(d));
+    }
+    os.write(reinterpret_cast<const char*>(blob->data()),
+             static_cast<std::streamsize>(blob->count() * sizeof(float)));
+  }
+  GLP_REQUIRE(os.good(), "write to '" << path << "' failed");
+}
+
+RestoreReport load_weights(Net& net, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  GLP_REQUIRE(is.good(), "cannot open snapshot '" << path << "'");
+
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  GLP_REQUIRE(is.good() && std::memcmp(magic, kMagic, 4) == 0,
+              "'" << path << "' is not a GLP4NN weight snapshot");
+  const std::uint32_t version = read_u32(is);
+  GLP_REQUIRE(version == kVersion, "unsupported snapshot version " << version);
+  const std::uint32_t entries = read_u32(is);
+
+  // Index the net's parameters by key.
+  std::map<std::string, Blob*> by_key;
+  for (const auto& layer : net.layers()) {
+    for (std::size_t i = 0; i < layer->param_blobs().size(); ++i) {
+      Blob* blob = layer->param_blobs()[i].get();
+      const std::string key = layer->name() + "#" + std::to_string(i);
+      by_key.emplace(key, blob);  // first owner wins for shared params
+    }
+  }
+
+  RestoreReport report;
+  std::map<std::string, bool> seen;
+  for (std::uint32_t e = 0; e < entries; ++e) {
+    const std::uint32_t key_len = read_u32(is);
+    std::string key(key_len, '\0');
+    is.read(key.data(), key_len);
+    const std::uint32_t dims = read_u32(is);
+    std::vector<int> shape(dims);
+    std::size_t count = 1;
+    for (std::uint32_t d = 0; d < dims; ++d) {
+      is.read(reinterpret_cast<char*>(&shape[d]), sizeof(int));
+      count *= static_cast<std::size_t>(shape[d]);
+    }
+    GLP_REQUIRE(is.good(), "truncated snapshot entry '" << key << "'");
+
+    auto it = by_key.find(key);
+    if (it != by_key.end() && it->second->shape() == shape) {
+      is.read(reinterpret_cast<char*>(it->second->mutable_data()),
+              static_cast<std::streamsize>(count * sizeof(float)));
+      seen[key] = true;
+      ++report.restored;
+    } else {
+      is.seekg(static_cast<std::streamoff>(count * sizeof(float)), std::ios::cur);
+      ++report.skipped;
+    }
+    GLP_REQUIRE(is.good(), "truncated snapshot data for '" << key << "'");
+  }
+  for (const auto& [key, blob] : by_key) {
+    // Shared params map several keys to one blob; only the first owner's
+    // key is serialised, so count a parameter missing only if no alias of
+    // the blob was restored.
+    bool restored = false;
+    for (const auto& [k2, b2] : by_key) {
+      if (b2 == blob && seen.count(k2)) restored = true;
+    }
+    if (!restored) ++report.missing;
+  }
+  return report;
+}
+
+}  // namespace mc

@@ -1,0 +1,30 @@
+#pragma once
+// Binary weight snapshots. Parameters are keyed by "<layer name>#<index>"
+// so snapshots survive unrelated edits to the network definition: loading
+// matches by key and shape and reports what it restored.
+//
+// Format (little-endian host order):
+//   magic "GLPW" | u32 version | u32 entry count |
+//   per entry: u32 key length | key bytes | u32 dim count | i32 dims... |
+//              f32 data...
+
+#include <string>
+#include <vector>
+
+#include "minicaffe/net.hpp"
+
+namespace mc {
+
+/// Write every learnable parameter (and BatchNorm statistics) to `path`.
+void save_weights(const Net& net, const std::string& path);
+
+struct RestoreReport {
+  int restored = 0;  ///< parameters loaded
+  int skipped = 0;   ///< snapshot entries with no matching key/shape
+  int missing = 0;   ///< net parameters absent from the snapshot
+};
+
+/// Load a snapshot; the device must be synchronised (host-side writes).
+RestoreReport load_weights(Net& net, const std::string& path);
+
+}  // namespace mc

@@ -1,0 +1,134 @@
+#include "minicaffe/solver.hpp"
+
+#include <cmath>
+
+#include <fstream>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "kernels/blas.hpp"
+#include "kernels/cpu_math.hpp"
+#include "minicaffe/serialization.hpp"
+
+namespace mc {
+
+SgdSolver::SgdSolver(Net& net, SolverParams params)
+    : net_(&net), params_(params) {
+  scuda::Context& ctx = *net_->exec().ctx;
+  history_.reserve(net_->learnable_params().size());
+  for (const auto& p : net_->learnable_params()) {
+    history_.emplace_back(ctx, p->count());
+    if (net_->exec().numeric()) {
+      kern::cpu::fill(p->count(), 0.0f, history_.back().data());
+    }
+  }
+}
+
+float SgdSolver::current_lr() const {
+  switch (params_.policy) {
+    case LrPolicy::kFixed:
+      return params_.base_lr;
+    case LrPolicy::kStep:
+      return params_.base_lr *
+             std::pow(params_.gamma, static_cast<float>(iter_ / params_.stepsize));
+    case LrPolicy::kInv:
+      return params_.base_lr *
+             std::pow(1.0f + params_.gamma * static_cast<float>(iter_),
+                      -params_.power);
+  }
+  return params_.base_lr;
+}
+
+void SgdSolver::apply_update(float lr) {
+  ExecContext& ec = net_->exec();
+  const kern::Launcher L = [&] {
+    kern::Launcher l = ec.launcher();
+    l.name_prefix = "solver";
+    return l;
+  }();
+  const auto& params = net_->learnable_params();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Blob& p = *params[i];
+    if (params_.weight_decay > 0.0f) {
+      // L2 regularisation: grad += λ · param
+      kern::saxpy(L, p.count(), params_.weight_decay, p.data(), p.mutable_diff());
+    }
+    switch (params_.type) {
+      case SolverType::kSgd:
+        kern::sgd_update(L, p.count(), lr, params_.momentum, p.diff(),
+                         history_[i].data(), p.mutable_data());
+        break;
+      case SolverType::kNesterov:
+        kern::nesterov_update(L, p.count(), lr, params_.momentum, p.diff(),
+                              history_[i].data(), p.mutable_data());
+        break;
+      case SolverType::kAdaGrad:
+        kern::adagrad_update(L, p.count(), lr, params_.adagrad_eps, p.diff(),
+                             history_[i].data(), p.mutable_data());
+        break;
+    }
+  }
+}
+
+void SgdSolver::snapshot(const std::string& path) const {
+  net_->exec().ctx->device().synchronize();
+  save_weights(*net_, path);
+  std::ofstream os(path + ".state", std::ios::binary | std::ios::trunc);
+  GLP_REQUIRE(os.good(), "cannot open '" << path << ".state' for writing");
+  os.write(reinterpret_cast<const char*>(&iter_), sizeof(iter_));
+  const std::uint32_t blobs = static_cast<std::uint32_t>(history_.size());
+  os.write(reinterpret_cast<const char*>(&blobs), sizeof(blobs));
+  for (const auto& h : history_) {
+    const std::uint64_t count = h.count();
+    os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    os.write(reinterpret_cast<const char*>(h.data()),
+             static_cast<std::streamsize>(h.bytes()));
+  }
+  GLP_REQUIRE(os.good(), "write to '" << path << ".state' failed");
+}
+
+void SgdSolver::restore(const std::string& path) {
+  net_->exec().ctx->device().synchronize();
+  const RestoreReport report = load_weights(*net_, path);
+  GLP_REQUIRE(report.missing == 0 && report.skipped == 0,
+              "snapshot does not match the net: " << report.skipped
+                                                  << " skipped, "
+                                                  << report.missing
+                                                  << " missing");
+  std::ifstream is(path + ".state", std::ios::binary);
+  GLP_REQUIRE(is.good(), "cannot open '" << path << ".state'");
+  is.read(reinterpret_cast<char*>(&iter_), sizeof(iter_));
+  std::uint32_t blobs = 0;
+  is.read(reinterpret_cast<char*>(&blobs), sizeof(blobs));
+  GLP_REQUIRE(is.good() && blobs == history_.size(),
+              "solver state does not match the net");
+  for (auto& h : history_) {
+    std::uint64_t count = 0;
+    is.read(reinterpret_cast<char*>(&count), sizeof(count));
+    GLP_REQUIRE(is.good() && count == h.count(), "history size mismatch");
+    is.read(reinterpret_cast<char*>(h.data()),
+            static_cast<std::streamsize>(h.bytes()));
+  }
+  GLP_REQUIRE(is.good(), "truncated solver state");
+}
+
+void SgdSolver::step(int iterations,
+                     const std::function<void(int, float)>& on_iteration) {
+  for (int it = 0; it < iterations; ++it) {
+    const float lr = current_lr();
+    net_->zero_param_diffs();
+    net_->forward();
+    net_->backward();
+    apply_update(lr);
+    // Join the device: completes this iteration's simulated work and, in
+    // numeric mode, makes the loss value readable.
+    last_loss_ = net_->total_loss();
+    ++iter_;
+    if (params_.display > 0 && iter_ % params_.display == 0) {
+      GLP_INFO << "iter " << iter_ << " lr " << lr << " loss " << last_loss_;
+    }
+    if (on_iteration) on_iteration(iter_, last_loss_);
+  }
+}
+
+}  // namespace mc

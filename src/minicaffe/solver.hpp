@@ -1,0 +1,63 @@
+#pragma once
+// SGD solver with momentum, weight decay and Caffe's learning-rate
+// policies. One step() iteration = zero diffs → forward → backward →
+// regularise → update → synchronise → read loss. The end-of-iteration
+// synchronisation is where simulated GPU time becomes host-visible, so
+// per-iteration wall times (the paper's Fig. 7 metric) are measured
+// around step().
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "minicaffe/net.hpp"
+
+namespace mc {
+
+enum class LrPolicy { kFixed, kStep, kInv };
+enum class SolverType { kSgd, kNesterov, kAdaGrad };
+
+struct SolverParams {
+  SolverType type = SolverType::kSgd;
+  float base_lr = 0.01f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+  LrPolicy policy = LrPolicy::kFixed;
+  float gamma = 0.1f;    ///< step/inv decay factor
+  float power = 0.75f;   ///< inv policy exponent
+  int stepsize = 1000;   ///< step policy period
+  int display = 0;       ///< log loss every N iterations (0 = never)
+  float adagrad_eps = 1e-8f;
+};
+
+class SgdSolver {
+ public:
+  SgdSolver(Net& net, SolverParams params);
+
+  /// Run `iterations` training steps. `on_iteration(iter, loss)` fires
+  /// after each step when provided (used by the convergence benches).
+  void step(int iterations,
+            const std::function<void(int, float)>& on_iteration = {});
+
+  int iter() const { return iter_; }
+  float last_loss() const { return last_loss_; }
+  /// Learning rate the next step will use.
+  float current_lr() const;
+
+  /// Persist iteration counter, momentum history and net weights.
+  void snapshot(const std::string& path) const;
+  /// Restore a snapshot written by snapshot(); the net definition must
+  /// match (same parameters and shapes).
+  void restore(const std::string& path);
+
+ private:
+  void apply_update(float lr);
+
+  Net* net_;
+  SolverParams params_;
+  int iter_ = 0;
+  float last_loss_ = 0.0f;
+  std::vector<DeviceBuffer<float>> history_;  // momentum, one per param
+};
+
+}  // namespace mc

@@ -1,0 +1,46 @@
+#include "simcuda/context.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strings.hpp"
+
+namespace scuda {
+
+void* Context::malloc(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  if (bytes_allocated_ + bytes > props().mem_bytes) {
+    throw OutOfMemory(glp::strformat(
+        "device %s out of memory: requested %zu with %zu of %zu in use",
+        props().name.c_str(), bytes, bytes_allocated_, props().mem_bytes));
+  }
+  void* ptr = std::malloc(bytes);
+  GLP_CHECK_MSG(ptr != nullptr, "host allocation of " << bytes << " bytes failed");
+  allocations_[ptr] = bytes;
+  bytes_allocated_ += bytes;
+  peak_bytes_ = std::max(peak_bytes_, bytes_allocated_);
+  return ptr;
+}
+
+void Context::free(void* ptr) {
+  if (ptr == nullptr) return;
+  auto it = allocations_.find(ptr);
+  GLP_REQUIRE(it != allocations_.end(), "free of pointer not allocated here");
+  bytes_allocated_ -= it->second;
+  allocations_.erase(it);
+  std::free(ptr);
+}
+
+void Context::memcpy_async(void* dst, const void* src, std::size_t bytes,
+                           bool host_to_device, StreamId stream) {
+  device().memcpy_async(stream, bytes, host_to_device,
+                        [dst, src, bytes] { std::memcpy(dst, src, bytes); });
+}
+
+void Context::memcpy(void* dst, const void* src, std::size_t bytes,
+                     bool host_to_device) {
+  memcpy_async(dst, src, bytes, host_to_device, kDefaultStream);
+  device().synchronize_stream(kDefaultStream);
+}
+
+}  // namespace scuda

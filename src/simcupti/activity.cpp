@@ -1,0 +1,159 @@
+#include "simcupti/activity.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace scupti {
+
+namespace {
+constexpr std::size_t kKindTagBytes = sizeof(std::uint32_t);
+
+std::size_t record_footprint(std::size_t record_size) {
+  return kKindTagBytes + record_size;
+}
+}  // namespace
+
+ActivityApi::ActivityApi(scuda::Context& ctx) : ctx_(ctx) {
+  ctx_.device().set_kernel_callback(
+      [this](const gpusim::KernelRecord& rec) { on_kernel(rec); });
+  ctx_.device().set_copy_callback(
+      [this](const gpusim::CopyRecord& rec) { on_copy(rec); });
+}
+
+ActivityApi::~ActivityApi() {
+  flush_all();
+  ctx_.device().set_kernel_callback(nullptr);
+  ctx_.device().set_copy_callback(nullptr);
+}
+
+void ActivityApi::register_callbacks(BufferRequest request, BufferComplete complete) {
+  request_ = std::move(request);
+  complete_ = std::move(complete);
+}
+
+void ActivityApi::enable(ActivityKind kind) {
+  GLP_REQUIRE(request_ && complete_,
+              "register_callbacks must precede enabling activity collection");
+  if (kind == ActivityKind::kKernel) kernel_enabled_ = true;
+  if (kind == ActivityKind::kMemcpy) memcpy_enabled_ = true;
+}
+
+void ActivityApi::disable(ActivityKind kind) {
+  if (kind == ActivityKind::kKernel) kernel_enabled_ = false;
+  if (kind == ActivityKind::kMemcpy) memcpy_enabled_ = false;
+}
+
+bool ActivityApi::enabled(ActivityKind kind) const {
+  return kind == ActivityKind::kKernel ? kernel_enabled_ : memcpy_enabled_;
+}
+
+void ActivityApi::flush_all() {
+  if (buffer_ != nullptr && buffer_used_ > 0) deliver_current();
+}
+
+std::size_t ActivityApi::runtime_memory_bytes() const {
+  return kRuntimeArenaBytes + outstanding_buffer_bytes_;
+}
+
+void ActivityApi::on_kernel(const gpusim::KernelRecord& rec) {
+  if (!kernel_enabled_) return;
+  ActivityKernel a;
+  a.correlation_id = rec.correlation_id;
+  a.start_ns = static_cast<std::uint64_t>(rec.start_ns);
+  a.end_ns = static_cast<std::uint64_t>(rec.end_ns);
+  a.grid_x = rec.config.grid.x;
+  a.grid_y = rec.config.grid.y;
+  a.grid_z = rec.config.grid.z;
+  a.block_x = rec.config.block.x;
+  a.block_y = rec.config.block.y;
+  a.block_z = rec.config.block.z;
+  a.registers_per_thread = rec.config.regs_per_thread;
+  a.static_shared_memory = static_cast<std::uint32_t>(rec.config.smem_static_bytes);
+  a.dynamic_shared_memory = static_cast<std::uint32_t>(rec.config.smem_dynamic_bytes);
+  a.stream_id = rec.stream;
+  std::strncpy(a.name, rec.name.c_str(), sizeof(a.name) - 1);
+  append(ActivityKind::kKernel, &a, sizeof(a));
+}
+
+void ActivityApi::on_copy(const gpusim::CopyRecord& rec) {
+  if (!memcpy_enabled_) return;
+  ActivityMemcpy a;
+  a.correlation_id = rec.correlation_id;
+  a.start_ns = static_cast<std::uint64_t>(rec.start_ns);
+  a.end_ns = static_cast<std::uint64_t>(rec.end_ns);
+  a.bytes = rec.bytes;
+  a.stream_id = rec.stream;
+  a.host_to_device = rec.host_to_device ? 1 : 0;
+  append(ActivityKind::kMemcpy, &a, sizeof(a));
+}
+
+void ActivityApi::append(ActivityKind kind, const void* record,
+                         std::size_t record_size) {
+  const std::size_t need = record_footprint(record_size);
+  if (buffer_ == nullptr || buffer_used_ + need > buffer_size_) {
+    if (buffer_ != nullptr) deliver_current();
+    if (!acquire_buffer() || buffer_size_ < need) {
+      ++dropped_;
+      return;
+    }
+  }
+  const auto tag = static_cast<std::uint32_t>(kind);
+  std::memcpy(buffer_ + buffer_used_, &tag, kKindTagBytes);
+  std::memcpy(buffer_ + buffer_used_ + kKindTagBytes, record, record_size);
+  buffer_used_ += need;
+}
+
+bool ActivityApi::acquire_buffer() {
+  buffer_ = nullptr;
+  buffer_size_ = 0;
+  buffer_used_ = 0;
+  if (!request_) return false;
+  request_(&buffer_, &buffer_size_);
+  if (buffer_ == nullptr || buffer_size_ == 0) {
+    buffer_ = nullptr;
+    return false;
+  }
+  outstanding_buffer_bytes_ += buffer_size_;
+  return true;
+}
+
+void ActivityApi::deliver_current() {
+  GLP_CHECK(buffer_ != nullptr);
+  std::uint8_t* buf = buffer_;
+  const std::size_t size = buffer_size_;
+  const std::size_t valid = buffer_used_;
+  outstanding_buffer_bytes_ -= size;
+  buffer_ = nullptr;
+  buffer_size_ = 0;
+  buffer_used_ = 0;
+  complete_(buf, size, valid);
+}
+
+std::vector<ActivityRecordView> ActivityApi::parse(const std::uint8_t* buffer,
+                                                   std::size_t valid) {
+  std::vector<ActivityRecordView> out;
+  std::size_t off = 0;
+  while (off + kKindTagBytes <= valid) {
+    std::uint32_t tag = 0;
+    std::memcpy(&tag, buffer + off, kKindTagBytes);
+    off += kKindTagBytes;
+    ActivityRecordView view;
+    view.kind = static_cast<ActivityKind>(tag);
+    if (view.kind == ActivityKind::kKernel) {
+      GLP_CHECK(off + sizeof(ActivityKernel) <= valid);
+      std::memcpy(&view.kernel, buffer + off, sizeof(ActivityKernel));
+      off += sizeof(ActivityKernel);
+    } else if (view.kind == ActivityKind::kMemcpy) {
+      GLP_CHECK(off + sizeof(ActivityMemcpy) <= valid);
+      std::memcpy(&view.memcpy_, buffer + off, sizeof(ActivityMemcpy));
+      off += sizeof(ActivityMemcpy);
+    } else {
+      throw glp::InternalError("scupti: corrupt activity buffer");
+    }
+    out.push_back(view);
+  }
+  return out;
+}
+
+}  // namespace scupti

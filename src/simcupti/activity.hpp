@@ -1,0 +1,122 @@
+#pragma once
+// CUPTI-like activity API over the simulator. Mirrors the parts of
+// NVIDIA CUPTI the paper's resource tracker uses: asynchronous,
+// buffer-based collection of kernel and memcpy activity records carrying
+// each launch's configuration (grid, block, registers per thread, static
+// and dynamic shared memory) and timestamps.
+//
+// Memory accounting: the paper's Fig. 10 splits GLP4NN's footprint into
+// mem_tt (timestamps), mem_K (kernel configurations) and mem_cupti (the
+// CUPTI runtime itself, dominant). runtime_memory_bytes() reports this
+// library's counterpart of mem_cupti: a fixed runtime arena plus all
+// outstanding activity buffers.
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "simcuda/context.hpp"
+
+namespace scupti {
+
+enum class ActivityKind : std::uint32_t { kKernel = 1, kMemcpy = 2 };
+
+/// Fixed-layout kernel activity record (mirrors CUpti_ActivityKernel).
+struct ActivityKernel {
+  std::uint64_t correlation_id = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint32_t grid_x = 1, grid_y = 1, grid_z = 1;
+  std::uint32_t block_x = 1, block_y = 1, block_z = 1;
+  std::int32_t registers_per_thread = 0;
+  std::uint32_t static_shared_memory = 0;
+  std::uint32_t dynamic_shared_memory = 0;
+  std::int32_t stream_id = 0;
+  char name[64] = {};
+
+  double duration_us() const {
+    return static_cast<double>(end_ns - start_ns) / 1000.0;
+  }
+};
+
+/// Fixed-layout memcpy activity record (mirrors CUpti_ActivityMemcpy).
+struct ActivityMemcpy {
+  std::uint64_t correlation_id = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t bytes = 0;
+  std::int32_t stream_id = 0;
+  std::uint8_t host_to_device = 1;
+  std::uint8_t pad[3] = {};
+};
+
+/// Decoded view over a completed buffer.
+struct ActivityRecordView {
+  ActivityKind kind = ActivityKind::kKernel;
+  ActivityKernel kernel;   // valid when kind == kKernel
+  ActivityMemcpy memcpy_;  // valid when kind == kMemcpy
+};
+
+/// The activity collection interface. One ActivityApi may be attached to
+/// a Context at a time (it owns the device's completion hooks while
+/// alive — exactly like CUPTI owning the real driver's callbacks).
+class ActivityApi {
+ public:
+  /// Called when the library needs an empty buffer.
+  using BufferRequest = std::function<void(std::uint8_t** buffer, std::size_t* size)>;
+  /// Called when a buffer is full or flushed; `valid` bytes contain records.
+  using BufferComplete =
+      std::function<void(std::uint8_t* buffer, std::size_t size, std::size_t valid)>;
+
+  explicit ActivityApi(scuda::Context& ctx);
+  ~ActivityApi();
+  ActivityApi(const ActivityApi&) = delete;
+  ActivityApi& operator=(const ActivityApi&) = delete;
+
+  void register_callbacks(BufferRequest request, BufferComplete complete);
+
+  void enable(ActivityKind kind);
+  void disable(ActivityKind kind);
+  bool enabled(ActivityKind kind) const;
+
+  /// Deliver all partially filled buffers to the client.
+  void flush_all();
+
+  /// This library's share of host memory (the paper's mem_cupti):
+  /// fixed runtime arena + outstanding activity buffers.
+  std::size_t runtime_memory_bytes() const;
+
+  /// Total records dropped because no buffer was available.
+  std::uint64_t dropped_records() const { return dropped_; }
+
+  /// Decode the records in a completed buffer.
+  static std::vector<ActivityRecordView> parse(const std::uint8_t* buffer,
+                                               std::size_t valid);
+
+  /// Fixed arena the runtime keeps resident while attached (CUPTI's own
+  /// footprint dwarfs the tracker's record memory; see Fig. 10).
+  static constexpr std::size_t kRuntimeArenaBytes = 3u << 20;
+
+ private:
+  void on_kernel(const gpusim::KernelRecord& rec);
+  void on_copy(const gpusim::CopyRecord& rec);
+  void append(ActivityKind kind, const void* record, std::size_t record_size);
+  bool acquire_buffer();
+  void deliver_current();
+
+  scuda::Context& ctx_;
+  BufferRequest request_;
+  BufferComplete complete_;
+  bool kernel_enabled_ = false;
+  bool memcpy_enabled_ = false;
+
+  std::uint8_t* buffer_ = nullptr;
+  std::size_t buffer_size_ = 0;
+  std::size_t buffer_used_ = 0;
+  std::size_t outstanding_buffer_bytes_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace scupti

@@ -1,0 +1,211 @@
+#include <cmath>
+#include <set>
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include "minicaffe/blob.hpp"
+#include "minicaffe/datasets.hpp"
+#include "minicaffe/filler.hpp"
+
+namespace {
+
+using mc::Blob;
+
+struct BlobTest : ::testing::Test {
+  BlobTest() : ctx(gpusim::DeviceTable::p100()) {}
+  scuda::Context ctx;
+};
+
+TEST_F(BlobTest, ShapeAndCount) {
+  Blob b(ctx, {2, 3, 4, 5});
+  EXPECT_EQ(b.count(), 120u);
+  EXPECT_EQ(b.num(), 2);
+  EXPECT_EQ(b.channels(), 3);
+  EXPECT_EQ(b.height(), 4);
+  EXPECT_EQ(b.width(), 5);
+  EXPECT_EQ(b.sample_size(), 60u);
+  EXPECT_EQ(b.num_axes(), 4);
+}
+
+TEST_F(BlobTest, MissingAxesDefaultToOne) {
+  Blob b(ctx, {7, 9});
+  EXPECT_EQ(b.height(), 1);
+  EXPECT_EQ(b.width(), 1);
+  EXPECT_EQ(b.sample_size(), 9u);
+}
+
+TEST_F(BlobTest, ReshapeGrowsStorage) {
+  Blob b(ctx, {4});
+  b.mutable_data()[3] = 1.0f;
+  b.reshape({16});
+  EXPECT_EQ(b.count(), 16u);
+  b.mutable_data()[15] = 2.0f;  // must not crash
+}
+
+TEST_F(BlobTest, DiffIsLazy) {
+  Blob b(ctx, {1000});
+  const std::size_t before = ctx.bytes_allocated();
+  EXPECT_FALSE(b.has_diff());
+  b.mutable_diff();
+  EXPECT_TRUE(b.has_diff());
+  EXPECT_GT(ctx.bytes_allocated(), before);
+}
+
+TEST_F(BlobTest, ShapeAccessorValidatesAxis) {
+  Blob b(ctx, {2, 3});
+  EXPECT_EQ(b.shape(1), 3);
+  EXPECT_THROW(b.shape(5), glp::InvalidArgument);
+  EXPECT_THROW(b.shape(-1), glp::InvalidArgument);
+}
+
+TEST_F(BlobTest, RejectsNegativeDims) {
+  Blob b(ctx);
+  EXPECT_THROW(b.reshape({2, -1}), glp::InvalidArgument);
+}
+
+TEST_F(BlobTest, ShapeString) {
+  Blob b(ctx, {2, 3, 4, 4});
+  EXPECT_EQ(b.shape_string(), "2x3x4x4 (96)");
+}
+
+TEST_F(BlobTest, ReleasesMemoryOnDestruction) {
+  const std::size_t before = ctx.bytes_allocated();
+  {
+    Blob b(ctx, {1 << 16});
+    b.mutable_diff();
+    EXPECT_GT(ctx.bytes_allocated(), before);
+  }
+  EXPECT_EQ(ctx.bytes_allocated(), before);
+}
+
+// --- fillers ----------------------------------------------------------------------
+
+TEST_F(BlobTest, ConstantFiller) {
+  Blob b(ctx, {32});
+  glp::Rng rng(1);
+  mc::fill_blob(mc::FillerSpec::constant(2.5f), rng, b);
+  for (std::size_t i = 0; i < b.count(); ++i) EXPECT_EQ(b.data()[i], 2.5f);
+}
+
+TEST_F(BlobTest, UniformFillerRespectsBounds) {
+  Blob b(ctx, {1024});
+  glp::Rng rng(2);
+  mc::fill_blob(mc::FillerSpec::uniform(-0.25f, 0.75f), rng, b);
+  for (std::size_t i = 0; i < b.count(); ++i) {
+    EXPECT_GE(b.data()[i], -0.25f);
+    EXPECT_LT(b.data()[i], 0.75f);
+  }
+}
+
+TEST_F(BlobTest, XavierScalesWithFanIn) {
+  Blob small(ctx, {10, 4});
+  Blob large(ctx, {10, 400});
+  glp::Rng rng(3);
+  mc::fill_blob(mc::FillerSpec::xavier(), rng, small);
+  mc::fill_blob(mc::FillerSpec::xavier(), rng, large);
+  auto max_abs = [](const Blob& b) {
+    float m = 0;
+    for (std::size_t i = 0; i < b.count(); ++i) m = std::max(m, std::abs(b.data()[i]));
+    return m;
+  };
+  EXPECT_GT(max_abs(small), max_abs(large));
+  EXPECT_LE(max_abs(large), std::sqrt(3.0f / 400.0f));
+}
+
+TEST_F(BlobTest, GaussianFillerIsDeterministic) {
+  Blob a(ctx, {64}), b(ctx, {64});
+  glp::Rng r1(9), r2(9);
+  mc::fill_blob(mc::FillerSpec::gaussian(0.1f), r1, a);
+  mc::fill_blob(mc::FillerSpec::gaussian(0.1f), r2, b);
+  for (std::size_t i = 0; i < a.count(); ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+// --- datasets -------------------------------------------------------------------------
+
+TEST(Datasets, Table4Shapes) {
+  const auto mnist = mc::DatasetSpec::mnist();
+  EXPECT_EQ(mnist.train_size, 60000);
+  EXPECT_EQ(mnist.height, 28);
+  EXPECT_EQ(mnist.channels, 1);
+  EXPECT_EQ(mnist.num_classes, 10);
+
+  const auto cifar = mc::DatasetSpec::cifar10();
+  EXPECT_EQ(cifar.train_size, 50000);
+  EXPECT_EQ(cifar.height, 32);
+  EXPECT_EQ(cifar.channels, 3);
+
+  const auto imagenet = mc::DatasetSpec::imagenet();
+  EXPECT_EQ(imagenet.train_size, 1200000);
+  EXPECT_EQ(imagenet.height, 256);
+  EXPECT_EQ(imagenet.num_classes, 1000);
+
+  EXPECT_EQ(mc::DatasetSpec::imagenet_crop227().height, 227);
+}
+
+TEST(Datasets, SamplesAreDeterministic) {
+  mc::SyntheticDataset a(mc::DatasetSpec::mnist(), 42);
+  mc::SyntheticDataset b(mc::DatasetSpec::mnist(), 42);
+  std::vector<float> sa(a.spec().sample_size()), sb(sa.size());
+  a.fill_sample(1234, sa.data());
+  b.fill_sample(1234, sb.data());
+  EXPECT_EQ(sa, sb);
+  EXPECT_EQ(a.label_of(1234), b.label_of(1234));
+}
+
+TEST(Datasets, DifferentSeedsDiffer) {
+  mc::SyntheticDataset a(mc::DatasetSpec::mnist(), 1);
+  mc::SyntheticDataset b(mc::DatasetSpec::mnist(), 2);
+  std::vector<float> sa(a.spec().sample_size()), sb(sa.size());
+  a.fill_sample(0, sa.data());
+  b.fill_sample(0, sb.data());
+  EXPECT_NE(sa, sb);
+}
+
+TEST(Datasets, LabelsCoverAllClasses) {
+  mc::SyntheticDataset d(mc::DatasetSpec::cifar10(), 5);
+  std::set<int> seen;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const int l = d.label_of(i);
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, 10);
+    seen.insert(l);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Datasets, BatchWrapsAroundEpoch) {
+  mc::DatasetSpec spec = mc::DatasetSpec::mnist();
+  spec.train_size = 10;
+  mc::SyntheticDataset d(spec, 7);
+  std::vector<float> images(4 * spec.sample_size());
+  std::vector<float> labels(4);
+  d.fill_batch(8, 4, images.data(), labels.data());  // indices 8,9,0,1
+  std::vector<float> direct(spec.sample_size());
+  d.fill_sample(0, direct.data());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    ASSERT_EQ(images[2 * spec.sample_size() + i], direct[i]);
+  }
+}
+
+TEST(Datasets, SamplesOfSameClassCorrelate) {
+  // Prototype structure: same-class samples must be closer than
+  // cross-class samples on average — this is what makes the data learnable.
+  mc::SyntheticDataset d(mc::DatasetSpec::cifar10(), 3);
+  std::uint64_t i = 0, j = 1;
+  while (d.label_of(j) != d.label_of(i)) ++j;
+  std::uint64_t k = 1;
+  while (d.label_of(k) == d.label_of(i)) ++k;
+  std::vector<float> si(d.spec().sample_size()), sj(si.size()), sk(si.size());
+  d.fill_sample(i, si.data());
+  d.fill_sample(j, sj.data());
+  d.fill_sample(k, sk.data());
+  auto dist = [&](const std::vector<float>& a, const std::vector<float>& b) {
+    double s = 0;
+    for (std::size_t t = 0; t < a.size(); ++t) s += (a[t] - b[t]) * (a[t] - b[t]);
+    return s;
+  };
+  EXPECT_LT(dist(si, sj), dist(si, sk));
+}
+
+}  // namespace

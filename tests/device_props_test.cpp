@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/device_props.hpp"
+
+namespace {
+
+using gpusim::Architecture;
+using gpusim::DeviceProps;
+using gpusim::DeviceTable;
+
+// --- Table 3: hardware profile of the three evaluation GPUs -------------------
+
+TEST(Table3, K40C) {
+  const DeviceProps d = DeviceTable::k40c();
+  EXPECT_EQ(d.arch, Architecture::kKepler);
+  EXPECT_EQ(d.sm_count, 15);
+  EXPECT_EQ(d.cores_per_sm, 192);  // 15 x 192 cores
+  EXPECT_NEAR(d.clock_ghz, 0.745, 1e-9);
+  EXPECT_EQ(d.mem_bytes, 12ull << 30);
+  EXPECT_NEAR(d.mem_bandwidth_gbs, 288.0, 1e-9);
+  EXPECT_EQ(d.shared_mem_per_sm, 48u * 1024u);
+}
+
+TEST(Table3, P100) {
+  const DeviceProps d = DeviceTable::p100();
+  EXPECT_EQ(d.arch, Architecture::kPascal);
+  EXPECT_EQ(d.sm_count, 56);
+  EXPECT_EQ(d.cores_per_sm, 64);  // 56 x 64 cores
+  EXPECT_NEAR(d.clock_ghz, 1.189, 1e-9);
+  EXPECT_NEAR(d.mem_bandwidth_gbs, 549.0, 1e-9);
+  EXPECT_EQ(d.shared_mem_per_sm, 64u * 1024u);
+}
+
+TEST(Table3, TitanXP) {
+  const DeviceProps d = DeviceTable::titan_xp();
+  EXPECT_EQ(d.arch, Architecture::kPascal);
+  EXPECT_EQ(d.sm_count, 30);
+  EXPECT_EQ(d.cores_per_sm, 128);  // 30 x 128 cores
+  EXPECT_NEAR(d.clock_ghz, 1.455, 1e-9);
+  EXPECT_NEAR(d.mem_bandwidth_gbs, 547.7, 1e-9);
+  EXPECT_EQ(d.shared_mem_per_sm, 48u * 1024u);
+}
+
+// --- Table 1: architecture feature overview -----------------------------------
+
+struct Table1Row {
+  const char* name;
+  bool streams;
+  bool dynamic_parallelism;
+  int max_concurrent;
+  bool unified_memory;
+  bool tensor_cores;
+};
+
+class Table1 : public ::testing::TestWithParam<Table1Row> {};
+
+TEST_P(Table1, FeatureFlagsMatchPaper) {
+  const Table1Row& row = GetParam();
+  const auto props = DeviceTable::by_name(row.name);
+  ASSERT_TRUE(props.has_value()) << row.name;
+  EXPECT_EQ(props->supports_streams, row.streams);
+  EXPECT_EQ(props->dynamic_parallelism, row.dynamic_parallelism);
+  EXPECT_EQ(props->max_concurrent_kernels, row.max_concurrent);
+  EXPECT_EQ(props->unified_memory, row.unified_memory);
+  EXPECT_EQ(props->tensor_cores, row.tensor_cores);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table1,
+    ::testing::Values(Table1Row{"Fermi", true, false, 16, false, false},
+                      Table1Row{"Kepler", true, true, 32, false, false},
+                      Table1Row{"Maxwell", true, true, 16, false, false},
+                      Table1Row{"Pascal", true, true, 128, true, false},
+                      Table1Row{"Volta", true, true, 128, true, true}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// --- derived quantities ---------------------------------------------------------
+
+class AllDevices : public ::testing::TestWithParam<DeviceProps> {};
+
+TEST_P(AllDevices, DerivedQuantitiesConsistent) {
+  const DeviceProps& d = GetParam();
+  EXPECT_EQ(d.total_lanes(), d.sm_count * d.cores_per_sm);
+  EXPECT_NEAR(d.peak_flops_per_ns(),
+              d.total_lanes() * d.clock_ghz * 2.0, 1e-9);
+  EXPECT_EQ(d.max_warps_per_sm(), d.max_threads_per_sm / d.warp_size);
+  EXPECT_EQ(d.warp_size, 32);
+  EXPECT_GT(d.kernel_launch_overhead_us, 0.0);
+  EXPECT_GT(d.pcie_bandwidth_gbs, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalogue, AllDevices,
+                         ::testing::ValuesIn(DeviceTable::all()),
+                         [](const auto& info) { return info.param.name; });
+
+// --- lookup ----------------------------------------------------------------------
+
+TEST(DeviceLookup, CaseAndSeparatorInsensitive) {
+  EXPECT_TRUE(DeviceTable::by_name("k40c").has_value());
+  EXPECT_TRUE(DeviceTable::by_name("K40C").has_value());
+  EXPECT_TRUE(DeviceTable::by_name("Titan XP").has_value());
+  EXPECT_TRUE(DeviceTable::by_name("titan_xp").has_value());
+  EXPECT_TRUE(DeviceTable::by_name("p100").has_value());
+}
+
+TEST(DeviceLookup, UnknownReturnsNullopt) {
+  EXPECT_FALSE(DeviceTable::by_name("h100").has_value());
+  EXPECT_FALSE(DeviceTable::by_name("").has_value());
+}
+
+TEST(DeviceLookup, EvaluationGpusFirstInCatalogue) {
+  const auto all = DeviceTable::all();
+  ASSERT_GE(all.size(), 3u);
+  EXPECT_EQ(all[0].name, "K40C");
+  EXPECT_EQ(all[1].name, "P100");
+  EXPECT_EQ(all[2].name, "TitanXP");
+}
+
+TEST(ArchitectureNames, RoundTrip) {
+  EXPECT_STREQ(gpusim::to_string(Architecture::kKepler), "Kepler");
+  EXPECT_STREQ(gpusim::to_string(Architecture::kVolta), "Volta");
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Integration: one network touching (nearly) every layer type in the zoo,
+// trained under the serial baseline and under GLP4NN — outputs must agree
+// bit for bit (batch ≤ 32 ⇒ exact gradient-slot determinism). This is the
+// strongest network-agnosticism check in the suite: profiling, analysis
+// and concurrent dispatch must cope with a graph the framework authors
+// never anticipated.
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "minicaffe/net_parser.hpp"
+#include "minicaffe/solver.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+constexpr const char* kKitchenSink = R"(
+name: "kitchen_sink"
+layer { name: "data" type: "Data" top: "data" top: "label"
+        dataset: "cifar10" batch_size: 6 shuffle: true }
+
+# conv trunk with groups + batch norm + scale + prelu
+layer { name: "conv1" type: "Convolution" bottom: "data" top: "conv1"
+        num_output: 8 kernel_size: 3 pad: 1 group: 1
+        weight_filler { type: "gaussian" std: 0.1 } }
+layer { name: "bn1" type: "BatchNorm" bottom: "conv1" top: "bn1" }
+layer { name: "scale1" type: "Scale" bottom: "bn1" top: "scale1"
+        scale_bias_term: true }
+layer { name: "prelu1" type: "PReLU" bottom: "scale1" top: "act1" }
+layer { name: "pool1" type: "Pooling" bottom: "act1" top: "pool1"
+        pool: MAX kernel_size: 2 stride: 2 }
+
+# grouped conv + lrn
+layer { name: "conv2" type: "Convolution" bottom: "pool1" top: "conv2"
+        num_output: 8 kernel_size: 3 pad: 1 group: 2
+        weight_filler { type: "gaussian" std: 0.1 } }
+layer { name: "lrn2" type: "LRN" bottom: "conv2" top: "lrn2" local_size: 3 }
+
+# slice into two branches, different activations, eltwise-merge
+layer { name: "slice" type: "Slice" bottom: "lrn2" top: "sa" top: "sb" }
+layer { name: "act_a" type: "TanH" bottom: "sa" top: "sa" }
+layer { name: "act_b" type: "AbsVal" bottom: "sb" top: "ab" }
+layer { name: "merge" type: "Eltwise" bottom: "sa" bottom: "ab" top: "merged"
+        operation: SUM coeff: 0.7 coeff: 0.3 }
+
+# deconv upsample then pool back down, power + dropout
+layer { name: "up" type: "Deconvolution" bottom: "merged" top: "up"
+        num_output: 4 kernel_size: 2 stride: 2
+        weight_filler { type: "gaussian" std: 0.1 } }
+layer { name: "power" type: "Power" bottom: "up" top: "pw"
+        power: 1 power_scale: 0.5 power_shift: 0.1 }
+layer { name: "pool2" type: "Pooling" bottom: "pw" top: "pool2"
+        pool: AVE kernel_size: 4 stride: 4 }
+layer { name: "drop" type: "Dropout" bottom: "pool2" top: "pool2"
+        dropout_ratio: 0.2 }
+
+# concat with a parallel 1x1 path off the merge
+layer { name: "side" type: "Convolution" bottom: "merged" top: "side"
+        num_output: 2 kernel_size: 1
+        weight_filler { type: "xavier" } }
+layer { name: "relu_s" type: "ReLU" bottom: "side" top: "side" }
+layer { name: "pool_s" type: "Pooling" bottom: "side" top: "pool_s"
+        pool: MAX kernel_size: 2 stride: 2 }
+layer { name: "cat" type: "Concat" bottom: "pool2" bottom: "pool_s" top: "cat" }
+
+# heads: flatten -> ip -> softmax loss, plus sigmoid-CE on a reduction
+layer { name: "flat" type: "Flatten" bottom: "cat" top: "flat" }
+layer { name: "ip1" type: "InnerProduct" bottom: "flat" top: "ip1"
+        num_output: 12 weight_filler { type: "xavier" } }
+layer { name: "sig" type: "Sigmoid" bottom: "ip1" top: "sig" }
+layer { name: "ip2" type: "InnerProduct" bottom: "sig" top: "ip2"
+        num_output: 10 weight_filler { type: "xavier" } }
+layer { name: "loss" type: "SoftmaxWithLoss" bottom: "ip2" bottom: "label"
+        top: "loss" }
+layer { name: "acc" type: "Accuracy" bottom: "ip2" bottom: "label" top: "acc" }
+layer { name: "argmax" type: "ArgMax" bottom: "ip2" top: "argmax" }
+)";
+
+std::vector<float> train(bool use_glp4nn, int iters) {
+  std::unique_ptr<glptest::Env> env;
+  std::unique_ptr<glptest::GlpEnv> glp_env;
+  mc::ExecContext* ec = nullptr;
+  if (use_glp4nn) {
+    glp_env = std::make_unique<glptest::GlpEnv>();
+    ec = &glp_env->ec;
+  } else {
+    env = std::make_unique<glptest::Env>();
+    ec = &env->ec;
+  }
+  mc::Net net(mc::parse_net_text(kKitchenSink), *ec);
+  mc::SolverParams p;
+  p.base_lr = 0.002f;
+  p.momentum = 0.9f;
+  mc::SgdSolver solver(net, p);
+  std::vector<float> out;
+  solver.step(iters, [&](int, float loss) { out.push_back(loss); });
+  for (const auto& param : net.learnable_params()) {
+    out.insert(out.end(), param->data(), param->data() + param->count());
+  }
+  return out;
+}
+
+TEST(KitchenSink, ParsesBuildsAndTrains) {
+  glptest::Env env;
+  mc::Net net(mc::parse_net_text(kKitchenSink), env.ec);
+  EXPECT_GT(net.learnable_params().size(), 8u);  // convs, bn stats, scale, prelu, ips
+  net.forward();
+  const float loss = net.total_loss();
+  EXPECT_TRUE(std::isfinite(loss));
+  net.backward();
+  env.sync();
+}
+
+TEST(KitchenSink, SerialAndGlp4nnBitIdentical) {
+  const auto serial = train(false, 3);
+  const auto glp = train(true, 3);
+  ASSERT_EQ(serial.size(), glp.size());
+  EXPECT_EQ(glptest::max_abs_diff(serial, glp), 0.0);
+}
+
+TEST(KitchenSink, SurvivesSerializerRoundTrip) {
+  const mc::NetSpec original = mc::parse_net_text(kKitchenSink);
+  const mc::NetSpec reparsed = mc::parse_net_text(mc::net_to_text(original));
+  ASSERT_EQ(reparsed.layers.size(), original.layers.size());
+  // Spot-check the fields the extended serialiser must preserve.
+  auto find = [&](const std::string& name) -> const mc::LayerSpec& {
+    for (const auto& l : reparsed.layers) {
+      if (l.name == name) return l;
+    }
+    throw glp::InvalidArgument("missing layer " + name);
+  };
+  EXPECT_EQ(find("conv2").params.group, 2);
+  EXPECT_EQ(find("merge").params.eltwise, mc::EltwiseOp::kSum);
+  ASSERT_EQ(find("merge").params.eltwise_coeffs.size(), 2u);
+  EXPECT_FLOAT_EQ(find("merge").params.eltwise_coeffs[0], 0.7f);
+  EXPECT_FLOAT_EQ(find("power").params.power_scale, 0.5f);
+  EXPECT_TRUE(find("scale1").params.scale_bias_term);
+
+  // And the round-tripped net still trains identically.
+  glptest::Env a, b;
+  mc::Net net_a(original, a.ec);
+  mc::Net net_b(reparsed, b.ec);
+  mc::SgdSolver sa(net_a, {}), sb(net_b, {});
+  sa.step(2);
+  sb.step(2);
+  EXPECT_EQ(sa.last_loss(), sb.last_loss());
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// Whole-network gradient property test: random small architectures are
+// generated from a seed, and every learnable parameter's analytic
+// gradient (through the full forward/backward pipeline, including the
+// per-sample conv dispatch and slot accumulation) is checked against
+// central differences of the network loss.
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "minicaffe/net.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using glptest::Env;
+using mc::LayerSpec;
+using mc::Net;
+using mc::NetSpec;
+
+// Build a random conv/pool/activation stack ending in IP + SoftmaxWithLoss.
+NetSpec random_net(glp::Rng& rng) {
+  NetSpec s;
+  s.name = "fuzz";
+
+  LayerSpec data;
+  data.type = "Data";
+  data.name = "data";
+  data.tops = {"data", "label"};
+  data.params.dataset = mc::DatasetSpec{};  // 3x32x32, 10 classes
+  data.params.dataset.train_size = 64;
+  data.params.batch_size = 3;
+  s.layers.push_back(data);
+
+  std::string blob = "data";
+  const int stages = 1 + static_cast<int>(rng.next_below(3));
+  for (int i = 0; i < stages; ++i) {
+    const std::string name = "conv" + std::to_string(i);
+    LayerSpec conv;
+    conv.type = "Convolution";
+    conv.name = name;
+    conv.bottoms = {blob};
+    conv.tops = {name};
+    conv.params.num_output = 2 + static_cast<int>(rng.next_below(4));
+    conv.params.kernel_size = 3;
+    conv.params.pad = static_cast<int>(rng.next_below(2));
+    conv.params.stride = 1 + static_cast<int>(rng.next_below(2));
+    conv.params.weight_filler = mc::FillerSpec::gaussian(0.1f);
+    s.layers.push_back(conv);
+    blob = name;
+
+    switch (rng.next_below(4)) {
+      case 0: {
+        LayerSpec act;
+        act.type = "TanH";
+        act.name = "act" + std::to_string(i);
+        act.bottoms = {blob};
+        act.tops = {blob};  // in place
+        s.layers.push_back(act);
+        break;
+      }
+      case 1: {
+        LayerSpec act;
+        act.type = "Sigmoid";
+        act.name = "act" + std::to_string(i);
+        act.bottoms = {blob};
+        act.tops = {"s" + std::to_string(i)};
+        s.layers.push_back(act);
+        blob = "s" + std::to_string(i);
+        break;
+      }
+      case 2: {
+        LayerSpec pool;
+        pool.type = "Pooling";
+        pool.name = "pool" + std::to_string(i);
+        pool.bottoms = {blob};
+        pool.tops = {"p" + std::to_string(i)};
+        pool.params.pool = rng.next_below(2) ? mc::PoolMethod::kAve
+                                             : mc::PoolMethod::kMax;
+        pool.params.kernel_size = 2;
+        pool.params.stride = 2;
+        s.layers.push_back(pool);
+        blob = "p" + std::to_string(i);
+        break;
+      }
+      default:
+        break;  // bare conv
+    }
+  }
+
+  LayerSpec ip;
+  ip.type = "InnerProduct";
+  ip.name = "ip";
+  ip.bottoms = {blob};
+  ip.tops = {"ip"};
+  ip.params.num_output = 10;
+  ip.params.weight_filler = mc::FillerSpec::gaussian(0.1f);
+  s.layers.push_back(ip);
+
+  LayerSpec loss;
+  loss.type = "SoftmaxWithLoss";
+  loss.name = "loss";
+  loss.bottoms = {"ip", "label"};
+  loss.tops = {"loss"};
+  s.layers.push_back(loss);
+  return s;
+}
+
+class NetGradient : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetGradient, AnalyticMatchesNumericThroughWholeNet) {
+  glp::Rng rng(GetParam());
+  Env env;
+  Net net(random_net(rng), env.ec);
+
+  // One forward to lock in the batch (the data layer advances its cursor
+  // per forward; freeze it by rewinding: simplest is to re-feed the same
+  // cursor — instead, evaluate numerically with the NEXT batches matching
+  // because every objective() call below re-runs the data layer. To keep
+  // the loss a pure function of the weights we bypass Net::forward's data
+  // layer advance by comparing against the same forward sequence: run
+  // forward k times for the numeric +/- probes in lock-step pairs.)
+  //
+  // Simpler and exact: gradient-check layers AFTER data by re-running the
+  // full net but resetting the data cursor each time via a fresh Net is
+  // costly. Instead exploit determinism: the cursor advance is
+  // deterministic, so probe pairs (+eps, −eps) straddle the SAME two
+  // batches when we always run forward twice per probe and compare sums.
+  //
+  // In practice the clean approach: make the dataset a single batch so
+  // every epoch is identical (train_size == batch_size... train_size=64 vs
+  // batch 3 — not aligned). We instead set train_size == batch in
+  // random_net? It is 64. Align here by consuming forwards so the cursor
+  // position is irrelevant: train_size % batch != 0 rotates batches.
+  //
+  // Final approach: wrap the objective as "mean loss over one full epoch
+  // alignment cycle" is overkill for a test — simply rebuild the net per
+  // probe from the same seed (cheap at this size) so data, weights and
+  // cursor all reset identically.
+
+  // Analytic gradients at the initial state.
+  net.zero_param_diffs();
+  net.forward();
+  net.backward();
+  env.sync();
+
+  std::vector<std::vector<float>> analytic;
+  for (const auto& p : net.learnable_params()) {
+    analytic.push_back(glptest::snapshot(p->diff(), p->count()));
+  }
+  const std::size_t num_params = net.learnable_params().size();
+
+  const double eps = 1e-2;
+  for (std::size_t pi = 0; pi < num_params; ++pi) {
+    const std::size_t count = net.learnable_params()[pi]->count();
+    const std::size_t stride = std::max<std::size_t>(1, count / 8);
+    for (std::size_t i = 0; i < count; i += stride) {
+      auto probe = [&](double delta) {
+        glp::Rng probe_rng(GetParam());
+        Env probe_env;
+        Net probe_net(random_net(probe_rng), probe_env.ec);
+        probe_net.learnable_params()[pi]->mutable_data()[i] +=
+            static_cast<float>(delta);
+        probe_net.forward();
+        return static_cast<double>(probe_net.total_loss());
+      };
+      const double numeric = (probe(eps) - probe(-eps)) / (2.0 * eps);
+      const double a = analytic[pi][i];
+      const double scale = std::max({1.0, std::abs(a), std::abs(numeric)});
+      EXPECT_NEAR(a, numeric, 3e-2 * scale)
+          << "param " << pi << " elem " << i << " seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomArchitectures, NetGradient,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include "common/rng.hpp"
+#include "gpusim/occupancy.hpp"
+
+namespace {
+
+using gpusim::DeviceProps;
+using gpusim::DeviceTable;
+using gpusim::LaunchConfig;
+using gpusim::pack_residency;
+using gpusim::ResidencyRequest;
+using gpusim::ResidencySlot;
+
+LaunchConfig cfg(unsigned blocks, unsigned threads, std::size_t smem = 0,
+                 int regs = 32) {
+  LaunchConfig c;
+  c.grid = {blocks, 1, 1};
+  c.block = {threads, 1, 1};
+  c.smem_static_bytes = smem;
+  c.regs_per_thread = regs;
+  return c;
+}
+
+// --- single-kernel limits (Eqs. 4, 5, β_max) ------------------------------------
+
+TEST(MaxBlocksPerSm, ThreadLimited) {
+  const DeviceProps d = DeviceTable::p100();  // τ_max 2048
+  EXPECT_EQ(gpusim::max_blocks_per_sm_single(d, cfg(100, 512)), 4);
+  EXPECT_EQ(gpusim::max_blocks_per_sm_single(d, cfg(100, 1024)), 2);
+}
+
+TEST(MaxBlocksPerSm, BlockCountLimited) {
+  const DeviceProps d = DeviceTable::p100();  // β_max 32
+  EXPECT_EQ(gpusim::max_blocks_per_sm_single(d, cfg(100, 32)), 32);
+}
+
+TEST(MaxBlocksPerSm, SharedMemoryLimited) {
+  const DeviceProps d = DeviceTable::p100();  // 64 KiB per SM
+  EXPECT_EQ(gpusim::max_blocks_per_sm_single(d, cfg(100, 64, 16 * 1024)), 4);
+  EXPECT_EQ(gpusim::max_blocks_per_sm_single(d, cfg(100, 64, 65 * 1024)), 0);
+}
+
+TEST(MaxBlocksPerSm, KeplerHasSmallerBlockLimit) {
+  const DeviceProps d = DeviceTable::k40c();  // β_max 16
+  EXPECT_EQ(gpusim::max_blocks_per_sm_single(d, cfg(100, 32)), 16);
+}
+
+TEST(SingleKernelOccupancy, FullWithLargeBlocks) {
+  const DeviceProps d = DeviceTable::p100();
+  EXPECT_NEAR(gpusim::single_kernel_occupancy(d, cfg(1000, 1024)), 1.0, 1e-9);
+}
+
+TEST(SingleKernelOccupancy, LimitedBySmem) {
+  const DeviceProps d = DeviceTable::p100();
+  // One 256-thread block per SM (smem) → 256/2048 = 0.125 occupancy.
+  EXPECT_NEAR(gpusim::single_kernel_occupancy(d, cfg(1000, 256, 48 * 1024)),
+              0.125, 1e-9);
+}
+
+// --- multi-kernel packing -------------------------------------------------------
+
+TEST(PackResidency, SingleSmallKernelGetsOneBlockPerSm) {
+  const DeviceProps d = DeviceTable::p100();  // 56 SMs
+  const auto slots = pack_residency(d, {{cfg(3, 256), 3}});
+  ASSERT_EQ(slots.size(), 1u);
+  EXPECT_EQ(slots[0].blocks_per_sm, 1);
+  EXPECT_EQ(slots[0].resident_blocks, 3u);  // capped by demand
+}
+
+TEST(PackResidency, LargeKernelSaturatesThreads) {
+  const DeviceProps d = DeviceTable::p100();
+  // 1024-thread blocks: 2 per SM → 112 resident.
+  const auto slots = pack_residency(d, {{cfg(10000, 1024), 10000}});
+  EXPECT_EQ(slots[0].blocks_per_sm, 2);
+  EXPECT_EQ(slots[0].resident_blocks, 112u);
+}
+
+TEST(PackResidency, EarlierKernelHasPriority) {
+  const DeviceProps d = DeviceTable::p100();
+  // First kernel takes the whole thread budget; second gets nothing.
+  const auto slots = pack_residency(
+      d, {{cfg(10000, 1024), 10000}, {cfg(10000, 1024), 10000}});
+  EXPECT_EQ(slots[0].blocks_per_sm, 2);
+  EXPECT_EQ(slots[1].blocks_per_sm, 0);
+}
+
+TEST(PackResidency, SmallKernelsShareAnSm) {
+  const DeviceProps d = DeviceTable::p100();
+  const auto slots =
+      pack_residency(d, {{cfg(56, 256), 56}, {cfg(56, 256), 56}});
+  EXPECT_EQ(slots[0].resident_blocks, 56u);
+  EXPECT_EQ(slots[1].resident_blocks, 56u);
+}
+
+TEST(PackResidency, ZeroWantedBlocksYieldsZero) {
+  const DeviceProps d = DeviceTable::p100();
+  const auto slots = pack_residency(d, {{cfg(10, 256), 0}});
+  EXPECT_EQ(slots[0].resident_blocks, 0u);
+}
+
+// Property: no packing ever exceeds the per-SM hard budgets (Eqs. 4–5).
+class PackProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PackProperty, HardConstraintsHold) {
+  glp::Rng rng(GetParam());
+  const auto devices = DeviceTable::all();
+  const DeviceProps& d =
+      devices[rng.next_below(devices.size())];
+
+  std::vector<ResidencyRequest> reqs;
+  const int n = 1 + static_cast<int>(rng.next_below(6));
+  for (int i = 0; i < n; ++i) {
+    const unsigned threads = 32u << rng.next_below(6);       // 32..1024
+    const unsigned blocks = 1 + static_cast<unsigned>(rng.next_below(4000));
+    const std::size_t smem =
+        rng.next_below(3) == 0 ? (1u << (8 + rng.next_below(6))) : 0;  // ≤16K
+    ResidencyRequest r;
+    r.config = cfg(blocks, threads, smem);
+    r.blocks_wanted = rng.next_below(blocks + 1);
+    reqs.push_back(r);
+  }
+
+  const auto slots = pack_residency(d, reqs);
+  ASSERT_EQ(slots.size(), reqs.size());
+
+  double threads_used = 0, smem_used = 0, blocks_used = 0;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_LE(slots[i].resident_blocks, reqs[i].blocks_wanted);
+    const double avg_per_sm =
+        static_cast<double>(slots[i].resident_blocks) / d.sm_count;
+    threads_used += avg_per_sm * static_cast<double>(reqs[i].config.threads_per_block());
+    smem_used += avg_per_sm * static_cast<double>(reqs[i].config.smem_per_block());
+    blocks_used += avg_per_sm;
+  }
+  EXPECT_LE(threads_used, d.max_threads_per_sm + 1e-6);
+  EXPECT_LE(smem_used, static_cast<double>(d.shared_mem_per_sm) + 1e-6);
+  EXPECT_LE(blocks_used, d.max_blocks_per_sm + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PackProperty,
+                         ::testing::Range<std::uint64_t>(0, 50));
+
+// --- register soft constraint ---------------------------------------------------
+
+TEST(RegisterPressure, ComputedFromPacking) {
+  const DeviceProps d = DeviceTable::p100();  // 64K regs per SM
+  std::vector<ResidencyRequest> reqs = {{cfg(56, 1024, 0, 64), 56}};
+  const auto slots = pack_residency(d, reqs);
+  // 1 block/SM × 1024 threads × 64 regs = 64K = exactly full.
+  EXPECT_NEAR(gpusim::register_pressure(d, reqs, slots), 1.0, 1e-9);
+}
+
+TEST(RegisterSlowdown, NoPenaltyBelowCapacity) {
+  EXPECT_DOUBLE_EQ(gpusim::register_slowdown(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(gpusim::register_slowdown(1.0), 1.0);
+}
+
+TEST(RegisterSlowdown, HyperbolicWithFloor) {
+  EXPECT_NEAR(gpusim::register_slowdown(2.0), 0.5, 1e-9);
+  EXPECT_NEAR(gpusim::register_slowdown(100.0), 0.25, 1e-9);  // floored
+}
+
+TEST(Occupancy, RejectsZeroThreadBlocks) {
+  const DeviceProps d = DeviceTable::p100();
+  LaunchConfig bad = cfg(1, 1);
+  bad.block = {0, 1, 1};
+  EXPECT_THROW(gpusim::max_blocks_per_sm_single(d, bad), glp::InvalidArgument);
+}
+
+}  // namespace

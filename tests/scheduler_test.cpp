@@ -1,0 +1,251 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include "core/glp4nn.hpp"
+
+namespace {
+
+using glp4nn::DispatchPolicy;
+using glp4nn::Glp4nnEngine;
+using glp4nn::RuntimeScheduler;
+using glp4nn::SchedulerOptions;
+
+gpusim::LaunchConfig cfg(unsigned blocks, unsigned threads) {
+  gpusim::LaunchConfig c;
+  c.grid = {blocks, 1, 1};
+  c.block = {threads, 1, 1};
+  return c;
+}
+
+struct SchedulerTest : ::testing::Test {
+  SchedulerTest() : ctx(gpusim::DeviceTable::p100()) {}
+
+  RuntimeScheduler& scheduler(SchedulerOptions options = {}) {
+    engine = std::make_unique<Glp4nnEngine>(options);
+    return engine->scheduler_for(ctx);
+  }
+
+  // Run one scope of `tasks` tasks, each launching one kernel.
+  void run_scope(RuntimeScheduler& s, const std::string& scope, int tasks,
+                 double flops = 5e7) {
+    s.begin_scope(scope, static_cast<std::size_t>(tasks));
+    for (int i = 0; i < tasks; ++i) {
+      const kern::Lane lane = s.task_lane(static_cast<std::size_t>(i));
+      ctx.device().launch_kernel(lane.stream, scope + "/work", cfg(8, 256),
+                                 {flops, flops / 4}, {});
+    }
+    s.end_scope();
+    ctx.device().synchronize();
+  }
+
+  scuda::Context ctx;
+  std::unique_ptr<Glp4nnEngine> engine;
+};
+
+TEST_F(SchedulerTest, FirstEncounterProfilesOnDefaultStream) {
+  RuntimeScheduler& s = scheduler();
+  s.begin_scope("conv/fwd", 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(s.task_lane(static_cast<std::size_t>(i)).stream,
+              gpusim::kDefaultStream);
+  }
+  // Still undecided mid-profiling.
+  EXPECT_EQ(s.stream_count("conv/fwd"), 0);
+  for (int i = 0; i < 4; ++i) {
+    ctx.device().launch_kernel(gpusim::kDefaultStream, "conv/fwd/k",
+                               cfg(8, 256), {5e7, 1e7}, {});
+  }
+  s.end_scope();
+  EXPECT_GT(s.stream_count("conv/fwd"), 0);
+}
+
+TEST_F(SchedulerTest, SteadyStateUsesPoolStreams) {
+  RuntimeScheduler& s = scheduler();
+  run_scope(s, "conv/fwd", 8);  // profile
+  const int streams = s.stream_count("conv/fwd");
+  ASSERT_GT(streams, 1);
+
+  s.begin_scope("conv/fwd", 8);
+  std::set<gpusim::StreamId> used;
+  for (int i = 0; i < 8; ++i) {
+    const kern::Lane lane = s.task_lane(static_cast<std::size_t>(i));
+    EXPECT_NE(lane.stream, gpusim::kDefaultStream);
+    used.insert(lane.stream);
+    EXPECT_EQ(lane.lane, i % streams);
+  }
+  s.end_scope();
+  EXPECT_EQ(static_cast<int>(used.size()), std::min(streams, 8));
+}
+
+TEST_F(SchedulerTest, RoundRobinMapsModulo) {
+  SchedulerOptions opt;
+  opt.fixed_streams = 3;
+  RuntimeScheduler& s = scheduler(opt);
+  s.begin_scope("x", 9);
+  const auto l0 = s.task_lane(0);
+  const auto l3 = s.task_lane(3);
+  const auto l7 = s.task_lane(7);
+  EXPECT_EQ(l0.stream, l3.stream);
+  EXPECT_EQ(l7.lane, 1);
+  s.end_scope();
+}
+
+TEST_F(SchedulerTest, BlockCyclicPolicyGroupsContiguously) {
+  SchedulerOptions opt;
+  opt.fixed_streams = 2;
+  opt.policy = DispatchPolicy::kBlockCyclic;
+  RuntimeScheduler& s = scheduler(opt);
+  s.begin_scope("x", 8);
+  EXPECT_EQ(s.task_lane(0).lane, 0);
+  EXPECT_EQ(s.task_lane(3).lane, 0);
+  EXPECT_EQ(s.task_lane(4).lane, 1);
+  EXPECT_EQ(s.task_lane(7).lane, 1);
+  s.end_scope();
+}
+
+TEST_F(SchedulerTest, FixedStreamsBypassesProfiling) {
+  SchedulerOptions opt;
+  opt.fixed_streams = 4;
+  RuntimeScheduler& s = scheduler(opt);
+  s.begin_scope("never/profiled", 4);
+  EXPECT_NE(s.task_lane(0).stream, gpusim::kDefaultStream);
+  s.end_scope();
+  EXPECT_EQ(s.stream_count("never/profiled"), 4);
+  // No analyzer decision was created.
+  EXPECT_FALSE(engine->analyzer_for(ctx)->has_decision("never/profiled"));
+}
+
+TEST_F(SchedulerTest, MaxStreamsCapsDecision) {
+  SchedulerOptions opt;
+  opt.max_streams = 2;
+  RuntimeScheduler& s = scheduler(opt);
+  run_scope(s, "big", 16, 5e8);
+  EXPECT_LE(s.stream_count("big"), 2);
+}
+
+TEST_F(SchedulerTest, StrictReproRoundsToDivisorOf32) {
+  SchedulerOptions opt;
+  opt.strict_repro = true;
+  RuntimeScheduler& s = scheduler(opt);
+  for (int requested : {1, 2, 3, 5, 7, 8, 12, 31, 32, 100}) {
+    const int clamped = s.clamp_streams(requested);
+    EXPECT_EQ(32 % clamped, 0) << requested;
+    EXPECT_LE(clamped, std::max(requested, 1));
+  }
+  EXPECT_EQ(s.clamp_streams(7), 4);
+  EXPECT_EQ(s.clamp_streams(100), 32);
+}
+
+TEST_F(SchedulerTest, ScopesMustNotNest) {
+  RuntimeScheduler& s = scheduler();
+  s.begin_scope("a", 1);
+  EXPECT_THROW(s.begin_scope("b", 1), glp::InvalidArgument);
+  s.task_lane(0);
+  ctx.device().launch_kernel(gpusim::kDefaultStream, "a/k", cfg(2, 64),
+                             {1e5, 1e5}, {});
+  s.end_scope();
+  EXPECT_THROW(s.end_scope(), glp::InvalidArgument);
+  EXPECT_THROW(s.task_lane(0), glp::InvalidArgument);
+}
+
+TEST_F(SchedulerTest, EachScopeProfiledExactlyOnce) {
+  RuntimeScheduler& s = scheduler();
+  run_scope(s, "conv1/fwd", 4);
+  run_scope(s, "conv1/fwd", 4);
+  run_scope(s, "conv1/fwd", 4);
+  run_scope(s, "conv2/fwd", 4);
+  const auto& decisions = engine->analyzer_for(ctx)->decisions();
+  EXPECT_EQ(decisions.size(), 2u);
+}
+
+TEST_F(SchedulerTest, EmptyProfiledScopeRetriesNextTime) {
+  RuntimeScheduler& s = scheduler();
+  s.begin_scope("empty", 0);
+  s.end_scope();  // nothing launched → no decision
+  EXPECT_EQ(s.stream_count("empty"), 0);
+  run_scope(s, "empty", 4);  // profiles for real now
+  EXPECT_GT(s.stream_count("empty"), 0);
+}
+
+TEST_F(SchedulerTest, OverheadChargedToHostClock) {
+  RuntimeScheduler& s = scheduler();
+  const double host_before = ctx.device().host_now();
+  run_scope(s, "scope", 8);
+  const glp4nn::FrameworkCosts costs = engine->costs();
+  EXPECT_GT(costs.profiling_ms + costs.analysis_ms, 0.0);
+  // Host clock advanced by at least the charged overhead.
+  EXPECT_GT(ctx.device().host_now() - host_before,
+            (costs.profiling_ms + costs.analysis_ms) * 1e6);
+}
+
+TEST_F(SchedulerTest, SteadyStateIsFasterThanSerialForOverlappableWork) {
+  // Measure one steady-state scope vs the same work on the default stream.
+  RuntimeScheduler& s = scheduler();
+  run_scope(s, "w", 16);  // profiling pass
+  const double t0 = ctx.device().host_now();
+  run_scope(s, "w", 16);  // steady
+  const double glp_time = ctx.device().host_now() - t0;
+
+  scuda::Context serial_ctx(gpusim::DeviceTable::p100());
+  const double s0 = serial_ctx.device().host_now();
+  for (int i = 0; i < 16; ++i) {
+    serial_ctx.device().launch_kernel(gpusim::kDefaultStream, "w/work",
+                                      cfg(8, 256), {5e7, 5e7 / 4}, {});
+  }
+  serial_ctx.device().synchronize();
+  const double serial_time = serial_ctx.device().host_now() - s0;
+  EXPECT_LT(glp_time, serial_time);
+}
+
+TEST(StreamManager, PoolGrowsAndReuses) {
+  scuda::Context ctx(gpusim::DeviceTable::p100());
+  glp4nn::StreamManager manager;
+  EXPECT_EQ(manager.pool_size(ctx), 0);
+  const auto a = manager.acquire(ctx, 3);
+  EXPECT_EQ(manager.pool_size(ctx), 3);
+  const auto b = manager.acquire(ctx, 2);
+  EXPECT_EQ(manager.pool_size(ctx), 3);  // reused, not grown
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(a[1], b[1]);
+  const auto c = manager.acquire(ctx, 5);
+  EXPECT_EQ(manager.pool_size(ctx), 5);
+  EXPECT_EQ(c[0], a[0]);
+  EXPECT_EQ(manager.max_pool_size(), 5);
+}
+
+TEST(StreamManager, RejectsOverCapacityRequests) {
+  scuda::Context ctx(gpusim::DeviceTable::p100());
+  glp4nn::StreamManager manager;
+  EXPECT_THROW(manager.acquire(ctx, 0), glp::InvalidArgument);
+  EXPECT_THROW(manager.acquire(ctx, 129), glp::InvalidArgument);
+}
+
+TEST(StreamManager, PerDevicePools) {
+  scuda::Context a(gpusim::DeviceTable::p100());
+  scuda::Context b(gpusim::DeviceTable::k40c());
+  glp4nn::StreamManager manager;
+  manager.acquire(a, 4);
+  EXPECT_EQ(manager.pool_size(a), 4);
+  EXPECT_EQ(manager.pool_size(b), 0);
+  manager.acquire(b, 2);
+  EXPECT_EQ(manager.pool_size(b), 2);
+}
+
+TEST(Engine, SharedTrackerPrivateSchedulers) {
+  // Fig. 5's layout: one engine, two devices → two schedulers/analyzers,
+  // one tracker, one stream manager.
+  scuda::Context a(gpusim::DeviceTable::p100());
+  scuda::Context b(gpusim::DeviceTable::k40c());
+  Glp4nnEngine engine;
+  RuntimeScheduler& sa = engine.scheduler_for(a);
+  RuntimeScheduler& sb = engine.scheduler_for(b);
+  EXPECT_NE(&sa, &sb);
+  EXPECT_EQ(&engine.scheduler_for(a), &sa);  // cached
+  EXPECT_NE(engine.analyzer_for(a), nullptr);
+  EXPECT_NE(engine.analyzer_for(a), engine.analyzer_for(b));
+}
+
+}  // namespace

@@ -1,0 +1,256 @@
+// Tests for weight snapshots, solver state persistence, the extended
+// solvers (Nesterov / AdaGrad) and the train/test phase machinery.
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "minicaffe/models.hpp"
+#include "minicaffe/evaluator.hpp"
+#include "minicaffe/serialization.hpp"
+#include "minicaffe/solver.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using glptest::Env;
+using mc::Net;
+using mc::SgdSolver;
+using mc::SolverParams;
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("glp4nn_test_") + name))
+      .string();
+}
+
+std::vector<float> all_weights(const Net& net) {
+  std::vector<float> out;
+  for (const auto& p : net.learnable_params()) {
+    out.insert(out.end(), p->data(), p->data() + p->count());
+  }
+  return out;
+}
+
+TEST(Serialization, SaveLoadRoundTrip) {
+  const std::string path = temp_path("roundtrip.glpw");
+  Env a;
+  Net net_a(mc::models::lenet(4), a.ec);
+  SgdSolver(net_a, {}).step(2);
+  const auto trained = all_weights(net_a);
+  mc::save_weights(net_a, path);
+
+  Env b;
+  Net net_b(mc::models::lenet(4), b.ec);
+  EXPECT_NE(glptest::max_abs_diff(trained, all_weights(net_b)), 0.0);
+  const mc::RestoreReport report = mc::load_weights(net_b, path);
+  EXPECT_EQ(report.skipped, 0);
+  EXPECT_EQ(report.missing, 0);
+  EXPECT_GT(report.restored, 0);
+  EXPECT_EQ(glptest::max_abs_diff(trained, all_weights(net_b)), 0.0);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialization, SharedParamsSerialisedOnce) {
+  const std::string path = temp_path("siamese.glpw");
+  Env a;
+  Net net(mc::models::siamese_mnist(4), a.ec);
+  mc::save_weights(net, path);
+  Env b;
+  Net net2(mc::models::siamese_mnist(4), b.ec);
+  const auto report = mc::load_weights(net2, path);
+  EXPECT_EQ(report.missing, 0);  // aliases resolve to the restored blob
+  // The two branches still share after restore.
+  EXPECT_EQ(net2.layer_by_name("conv1")->param_blobs()[0].get(),
+            net2.layer_by_name("conv1_p")->param_blobs()[0].get());
+  std::filesystem::remove(path);
+}
+
+TEST(Serialization, MismatchedNetReportsSkips) {
+  const std::string path = temp_path("mismatch.glpw");
+  Env a;
+  Net lenet(mc::models::lenet(4), a.ec);
+  mc::save_weights(lenet, path);
+  Env b;
+  Net cifar(mc::models::cifar10_quick(4), b.ec);
+  const auto report = mc::load_weights(cifar, path);
+  EXPECT_GT(report.skipped, 0);
+  EXPECT_GT(report.missing, 0);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialization, RejectsGarbageFiles) {
+  const std::string path = temp_path("garbage.glpw");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a snapshot", f);
+    std::fclose(f);
+  }
+  Env env;
+  Net net(mc::models::lenet(4), env.ec);
+  EXPECT_THROW(mc::load_weights(net, path), glp::InvalidArgument);
+  EXPECT_THROW(mc::load_weights(net, temp_path("does_not_exist.glpw")),
+               glp::InvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(SolverSnapshot, RestorePreservesWeightsHistoryAndIteration) {
+  const std::string path = temp_path("resume.glpw");
+  Env b;
+  Net net_b(mc::models::lenet(8), b.ec);
+  SolverParams with_momentum;
+  with_momentum.momentum = 0.9f;
+  std::vector<float> at_snapshot;
+  {
+    SgdSolver first(net_b, with_momentum);
+    first.step(3);
+    first.snapshot(path);
+    at_snapshot = all_weights(net_b);
+  }
+
+  Env c;
+  Net net_c(mc::models::lenet(8), c.ec);
+  SgdSolver second(net_c, with_momentum);
+  second.restore(path);
+  EXPECT_EQ(second.iter(), 3);
+  EXPECT_EQ(glptest::max_abs_diff(at_snapshot, all_weights(net_c)), 0.0);
+
+  // The momentum history must round-trip too: one further step on both
+  // solvers (same weights, same next batch — both data cursors restart is
+  // NOT true for net_b, so drive net_c twice instead: restore into a
+  // second fresh net and compare the two restored runs).
+  Env d;
+  Net net_d(mc::models::lenet(8), d.ec);
+  SgdSolver third(net_d, with_momentum);
+  third.restore(path);
+  second.step(2);
+  third.step(2);
+  EXPECT_EQ(glptest::max_abs_diff(all_weights(net_c), all_weights(net_d)), 0.0)
+      << "two restored runs must agree bit for bit";
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".state");
+}
+
+TEST(Solvers, NesterovDiffersFromSgdButConverges) {
+  auto train = [](mc::SolverType type) {
+    Env env;
+    Net net(mc::models::lenet(16), env.ec);
+    SolverParams p;
+    p.type = type;
+    p.base_lr = 0.01f;
+    p.momentum = 0.9f;
+    SgdSolver solver(net, p);
+    std::vector<float> losses;
+    solver.step(10, [&](int, float l) { losses.push_back(l); });
+    return losses;
+  };
+  const auto sgd = train(mc::SolverType::kSgd);
+  const auto nesterov = train(mc::SolverType::kNesterov);
+  EXPECT_NE(sgd, nesterov);  // different trajectories...
+  EXPECT_LT(nesterov.back(), nesterov.front() + 0.5f);  // ...but it learns
+}
+
+TEST(Solvers, AdaGradAccumulatesSquaredGradients) {
+  Env env;
+  Net net(mc::models::lenet(8), env.ec);
+  SolverParams p;
+  p.type = mc::SolverType::kAdaGrad;
+  // AdaGrad's first step is ~lr·sign(g) per weight; keep lr conservative.
+  p.base_lr = 0.005f;
+  p.momentum = 0.0f;
+  SgdSolver solver(net, p);
+  std::vector<float> losses;
+  solver.step(12, [&](int, float l) { losses.push_back(l); });
+  EXPECT_LT(losses.back(), losses.front() + 0.5f);
+}
+
+TEST(Phase, DropoutInactiveAtTestTime) {
+  Env env;
+  Net net(mc::models::caffenet(2), env.ec);
+  (void)net;  // building CaffeNet in numeric mode is enough to be slow;
+  // use a small dedicated net instead:
+  Env env2;
+  mc::NetSpec s;
+  s.name = "d";
+  mc::LayerSpec data;
+  data.type = "Data";
+  data.name = "data";
+  data.tops = {"data", "label"};
+  data.params.dataset = mc::DatasetSpec::mnist();
+  data.params.batch_size = 4;
+  s.layers.push_back(data);
+  mc::LayerSpec drop;
+  drop.type = "Dropout";
+  drop.name = "drop";
+  drop.bottoms = {"data"};
+  drop.tops = {"dropped"};
+  s.layers.push_back(drop);
+  Net dnet(s, env2.ec);
+
+  env2.ec.train = false;  // TEST phase
+  dnet.forward();
+  env2.sync();
+  const mc::Blob* in = dnet.blob("data");
+  const mc::Blob* out = dnet.blob("dropped");
+  for (std::size_t i = 0; i < in->count(); ++i) {
+    ASSERT_EQ(in->data()[i], out->data()[i]);
+  }
+
+  env2.ec.train = true;  // back to TRAIN: some elements must drop
+  dnet.forward();
+  env2.sync();
+  int zeros = 0;
+  for (std::size_t i = 0; i < out->count(); ++i) {
+    if (out->data()[i] == 0.0f) ++zeros;
+  }
+  EXPECT_GT(zeros, 0);
+}
+
+TEST(Evaluator, AveragesScalarBlobsOverIterations) {
+  Env env;
+  mc::NetSpec spec = mc::models::lenet(8);
+  mc::LayerSpec acc;
+  acc.type = "Accuracy";
+  acc.name = "accuracy";
+  acc.bottoms = {"ip2", "label"};
+  acc.tops = {"accuracy"};
+  spec.layers.push_back(acc);
+  Net net(spec, env.ec);
+
+  const mc::EvalResult r = mc::evaluate(net, 4);
+  EXPECT_EQ(r.iterations, 4);
+  EXPECT_GT(r.mean_or("loss", -1.0f), 0.0f);
+  EXPECT_GE(r.mean_or("accuracy", -1.0f), 0.0f);
+  EXPECT_LE(r.mean_or("accuracy", 2.0f), 1.0f);
+  EXPECT_GT(r.total_ms, 0.0);
+  EXPECT_EQ(r.mean_or("missing", -7.0f), -7.0f);
+  // Phase restored.
+  EXPECT_TRUE(env.ec.train);
+}
+
+TEST(Evaluator, RejectsZeroIterations) {
+  Env env;
+  Net net(mc::models::lenet(4), env.ec);
+  EXPECT_THROW(mc::evaluate(net, 0), glp::InvalidArgument);
+}
+
+TEST(Evaluator, TestPhaseGivesDeterministicLoss) {
+  // With dropout disabled in TEST phase, two evaluations of the same
+  // batch positions give identical results only if data repeats; here we
+  // simply check evaluation is stable across schedulers.
+  auto run = [](bool glp) {
+    if (glp) {
+      glptest::GlpEnv env;
+      Net net(mc::models::lenet(8), env.ec);
+      return mc::evaluate(net, 3).mean_or("loss", -1.0f);
+    }
+    Env env;
+    Net net(mc::models::lenet(8), env.ec);
+    return mc::evaluate(net, 3).mean_or("loss", -1.0f);
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include "simcuda/context.hpp"
+
+namespace {
+
+using scuda::Context;
+using scuda::Event;
+using scuda::Stream;
+
+// --- memory -------------------------------------------------------------------
+
+TEST(Context, MallocTracksUsage) {
+  Context ctx(gpusim::DeviceTable::p100());
+  EXPECT_EQ(ctx.bytes_allocated(), 0u);
+  void* a = ctx.malloc(1000);
+  void* b = ctx.malloc(2000);
+  EXPECT_EQ(ctx.bytes_allocated(), 3000u);
+  ctx.free(a);
+  EXPECT_EQ(ctx.bytes_allocated(), 2000u);
+  ctx.free(b);
+  EXPECT_EQ(ctx.bytes_allocated(), 0u);
+  EXPECT_EQ(ctx.peak_bytes_allocated(), 3000u);
+}
+
+TEST(Context, ZeroByteAllocationIsValid) {
+  Context ctx(gpusim::DeviceTable::p100());
+  void* p = ctx.malloc(0);
+  EXPECT_NE(p, nullptr);
+  ctx.free(p);
+}
+
+TEST(Context, OutOfMemoryThrows) {
+  auto props = gpusim::DeviceTable::p100();
+  props.mem_bytes = 1 << 20;
+  Context ctx(std::move(props));
+  void* a = ctx.malloc(900 * 1024);
+  EXPECT_THROW(ctx.malloc(200 * 1024), scuda::OutOfMemory);
+  ctx.free(a);
+  EXPECT_NO_THROW(ctx.free(ctx.malloc(1000 * 1024)));
+}
+
+TEST(Context, FreeingForeignPointerThrows) {
+  Context ctx(gpusim::DeviceTable::p100());
+  int local = 0;
+  EXPECT_THROW(ctx.free(&local), glp::InvalidArgument);
+}
+
+TEST(Context, FreeNullptrIsNoop) {
+  Context ctx(gpusim::DeviceTable::p100());
+  EXPECT_NO_THROW(ctx.free(nullptr));
+}
+
+// --- memcpy -------------------------------------------------------------------
+
+TEST(Context, SynchronousMemcpyMovesBytes) {
+  Context ctx(gpusim::DeviceTable::p100());
+  std::vector<float> src(256, 3.5f);
+  float* dst = static_cast<float*>(ctx.malloc(256 * sizeof(float)));
+  ctx.memcpy(dst, src.data(), 256 * sizeof(float), true);
+  for (int i = 0; i < 256; ++i) ASSERT_EQ(dst[i], 3.5f);
+  ctx.free(dst);
+}
+
+TEST(Context, AsyncMemcpyCompletesAtSync) {
+  Context ctx(gpusim::DeviceTable::p100());
+  std::vector<char> src(64, 'x');
+  std::vector<char> dst(64, 0);
+  Stream s = Stream::create(ctx);
+  ctx.memcpy_async(dst.data(), src.data(), 64, true, s.id());
+  s.synchronize();
+  EXPECT_EQ(std::memcmp(dst.data(), src.data(), 64), 0);
+}
+
+TEST(Context, MemcpyAdvancesSimulatedTime) {
+  Context ctx(gpusim::DeviceTable::p100());
+  std::vector<char> buf(1 << 20);
+  const double before = ctx.device().device_now();
+  ctx.memcpy(buf.data(), buf.data(), buf.size(), true);
+  EXPECT_GT(ctx.device().device_now(), before);
+}
+
+// --- streams --------------------------------------------------------------------
+
+TEST(Stream, DefaultViewDoesNotOwn) {
+  Context ctx(gpusim::DeviceTable::p100());
+  {
+    Stream view(ctx);
+    EXPECT_TRUE(view.is_default());
+    EXPECT_EQ(view.id(), gpusim::kDefaultStream);
+  }
+  EXPECT_EQ(ctx.device().stream_count(), 1);
+}
+
+TEST(Stream, CreateAndDestroyViaRaii) {
+  Context ctx(gpusim::DeviceTable::p100());
+  {
+    Stream s = Stream::create(ctx);
+    EXPECT_FALSE(s.is_default());
+    EXPECT_EQ(ctx.device().stream_count(), 2);
+  }
+  EXPECT_EQ(ctx.device().stream_count(), 1);
+}
+
+TEST(Stream, MoveTransfersOwnership) {
+  Context ctx(gpusim::DeviceTable::p100());
+  Stream a = Stream::create(ctx);
+  const auto id = a.id();
+  Stream b = std::move(a);
+  EXPECT_EQ(b.id(), id);
+  EXPECT_EQ(ctx.device().stream_count(), 2);
+  Stream c(ctx);
+  c = std::move(b);
+  EXPECT_EQ(c.id(), id);
+  EXPECT_EQ(ctx.device().stream_count(), 2);
+}
+
+TEST(Stream, PriorityIsStored) {
+  Context ctx(gpusim::DeviceTable::p100());
+  Stream hi = Stream::create(ctx, 3);
+  Stream lo = Stream::create(ctx);
+  EXPECT_EQ(hi.priority(), 3);
+  EXPECT_EQ(lo.priority(), 0);
+}
+
+TEST(Stream, IdleAndSynchronize) {
+  Context ctx(gpusim::DeviceTable::p100());
+  Stream s = Stream::create(ctx);
+  EXPECT_TRUE(s.idle());
+  gpusim::LaunchConfig cfg;
+  cfg.grid = {4, 1, 1};
+  cfg.block = {128, 1, 1};
+  ctx.device().launch_kernel(s.id(), "k", cfg, {1e6, 1e6}, {});
+  EXPECT_FALSE(s.idle());
+  s.synchronize();
+  EXPECT_TRUE(s.idle());
+}
+
+// --- events ----------------------------------------------------------------------
+
+TEST(Event, RecordQuerySynchronize) {
+  Context ctx(gpusim::DeviceTable::p100());
+  Stream s = Stream::create(ctx);
+  gpusim::LaunchConfig cfg;
+  cfg.grid = {16, 1, 1};
+  cfg.block = {256, 1, 1};
+  ctx.device().launch_kernel(s.id(), "k", cfg, {1e8, 1e7}, {});
+  Event ev(ctx);
+  EXPECT_FALSE(ev.recorded());
+  ev.record(s);
+  EXPECT_TRUE(ev.recorded());
+  EXPECT_FALSE(ev.query());
+  ev.synchronize();
+  EXPECT_TRUE(ev.query());
+}
+
+TEST(Event, ElapsedMsMeasuresSimulatedInterval) {
+  Context ctx(gpusim::DeviceTable::p100());
+  Stream s = Stream::create(ctx);
+  gpusim::LaunchConfig cfg;
+  cfg.grid = {32, 1, 1};
+  cfg.block = {256, 1, 1};
+  Event start(ctx), end(ctx);
+  start.record(s);
+  ctx.device().launch_kernel(s.id(), "k", cfg, {5e8, 5e7}, {});
+  end.record(s);
+  end.synchronize();
+  const float ms = start.elapsed_ms(end);
+  EXPECT_GT(ms, 0.0f);
+  // The interval matches the device-now delta around the kernel.
+  EXPECT_LT(ms, static_cast<float>(ctx.device().device_now() / 1e6) + 1.0f);
+  // Unfinished events throw.
+  Event pending(ctx);
+  ctx.device().launch_kernel(s.id(), "k2", cfg, {5e8, 5e7}, {});
+  pending.record(s);
+  EXPECT_THROW(end.elapsed_ms(pending), glp::InvalidArgument);
+  pending.synchronize();
+  EXPECT_GT(end.elapsed_ms(pending), 0.0f);
+}
+
+TEST(Event, UsingUnrecordedEventThrows) {
+  Context ctx(gpusim::DeviceTable::p100());
+  Event ev(ctx);
+  EXPECT_THROW(ev.id(), glp::InvalidArgument);
+  EXPECT_FALSE(ev.query());
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include "minicaffe/models.hpp"
+#include "minicaffe/solver.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using glptest::Env;
+using mc::LrPolicy;
+using mc::Net;
+using mc::SgdSolver;
+using mc::SolverParams;
+
+TEST(Solver, LrPolicies) {
+  Env env;
+  Net net(mc::models::lenet(2), env.ec);
+
+  SolverParams fixed;
+  fixed.base_lr = 0.01f;
+  EXPECT_FLOAT_EQ(SgdSolver(net, fixed).current_lr(), 0.01f);
+
+  SolverParams step;
+  step.base_lr = 1.0f;
+  step.policy = LrPolicy::kStep;
+  step.gamma = 0.5f;
+  step.stepsize = 10;
+  SgdSolver s(net, step);
+  EXPECT_FLOAT_EQ(s.current_lr(), 1.0f);  // iter 0
+
+  SolverParams inv;
+  inv.base_lr = 1.0f;
+  inv.policy = LrPolicy::kInv;
+  inv.gamma = 1e-4f;
+  inv.power = 0.75f;
+  EXPECT_FLOAT_EQ(SgdSolver(net, inv).current_lr(), 1.0f);
+}
+
+TEST(Solver, StepLrDecaysOverTime) {
+  Env env;
+  Net net(mc::models::lenet(2), env.ec);
+  SolverParams p;
+  p.base_lr = 1.0f;
+  p.policy = LrPolicy::kStep;
+  p.gamma = 0.1f;
+  p.stepsize = 2;
+  SgdSolver solver(net, p);
+  solver.step(2);
+  EXPECT_NEAR(solver.current_lr(), 0.1f, 1e-6);
+  solver.step(2);
+  EXPECT_NEAR(solver.current_lr(), 0.01f, 1e-7);
+}
+
+TEST(Solver, LossDecreasesOnLeNet) {
+  Env env;
+  Net net(mc::models::lenet(16), env.ec);
+  SolverParams p;
+  p.base_lr = 0.01f;
+  p.momentum = 0.9f;
+  SgdSolver solver(net, p);
+
+  // Average the first and last few losses — batch noise is real.
+  std::vector<float> losses;
+  solver.step(20, [&](int, float loss) { losses.push_back(loss); });
+  const double early = (losses[0] + losses[1] + losses[2]) / 3.0;
+  const double late = (losses[17] + losses[18] + losses[19]) / 3.0;
+  EXPECT_LT(late, early);
+}
+
+TEST(Solver, IterationCounterAndCallback) {
+  Env env;
+  Net net(mc::models::lenet(4), env.ec);
+  SgdSolver solver(net, {});
+  int calls = 0;
+  solver.step(3, [&](int iter, float) {
+    ++calls;
+    EXPECT_EQ(iter, calls);
+  });
+  EXPECT_EQ(solver.iter(), 3);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Solver, UpdateMatchesManualSgdMath) {
+  // One step on a net with known gradient: check h = m*h + lr*g; w -= h.
+  Env env;
+  Net net(mc::models::lenet(4), env.ec);
+  SolverParams p;
+  p.base_lr = 0.1f;
+  p.momentum = 0.0f;
+  p.weight_decay = 0.0f;
+  SgdSolver solver(net, p);
+
+  mc::Blob& w = *net.learnable_params()[0];
+  const auto weights_before = glptest::snapshot(w.data(), w.count());
+  // After the step, w.diff() still holds the gradient the update consumed
+  // (weight decay off), so the SGD identity is directly checkable.
+  solver.step(1);
+  const auto grads = glptest::snapshot(w.diff(), w.count());
+  for (std::size_t i = 0; i < w.count(); i += 97) {
+    EXPECT_NEAR(w.data()[i], weights_before[i] - 0.1f * grads[i], 1e-6);
+  }
+}
+
+TEST(Solver, WeightDecayShrinksWeights) {
+  Env env1, env2;
+  Net net1(mc::models::lenet(4), env1.ec);
+  Net net2(mc::models::lenet(4), env2.ec);
+  SolverParams no_decay;
+  no_decay.base_lr = 0.01f;
+  SolverParams decay = no_decay;
+  decay.weight_decay = 0.1f;
+  SgdSolver s1(net1, no_decay), s2(net2, decay);
+  s1.step(5);
+  s2.step(5);
+  auto norm = [](const Net& net) {
+    double n = 0;
+    const mc::Blob& w = *net.learnable_params()[0];
+    for (std::size_t i = 0; i < w.count(); ++i) n += std::abs(w.data()[i]);
+    return n;
+  };
+  EXPECT_LT(norm(net2), norm(net1));
+}
+
+TEST(Solver, DeterministicAcrossRuns) {
+  auto run = [] {
+    Env env;
+    Net net(mc::models::cifar10_quick(8), env.ec);
+    SgdSolver solver(net, {});
+    solver.step(3);
+    return solver.last_loss();
+  };
+  const float a = run();
+  const float b = run();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Solver, MomentumAcceleratesDescentDirection) {
+  // With momentum, two identical-gradient steps move further than 2*lr*g.
+  Env env;
+  Net net(mc::models::lenet(4), env.ec);
+  SolverParams p;
+  p.base_lr = 0.05f;
+  p.momentum = 0.9f;
+  SgdSolver solver(net, p);
+  mc::Blob& w = *net.learnable_params()[0];
+  const auto before = glptest::snapshot(w.data(), w.count());
+  solver.step(4);
+  const auto after = glptest::snapshot(w.data(), w.count());
+  // Not a strict identity (gradient changes across steps) — just verify
+  // weights moved substantially.
+  EXPECT_GT(glptest::max_abs_diff(before, after), 0.0);
+}
+
+}  // namespace

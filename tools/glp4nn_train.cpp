@@ -1,0 +1,215 @@
+// glp4nn_train — command-line trainer in the spirit of the `caffe` binary.
+//
+//   glp4nn_train --model cifar10 --device P100 --iters 20
+//   glp4nn_train --net my_net.prototxt --mode serial --timing-only
+//   glp4nn_train --model lenet --mode fixed:8 --snapshot weights.glpw
+//
+// Flags:
+//   --net <file>        network definition in the text format
+//   --model <name>      built-in model: lenet | cifar10 | siamese |
+//                       caffenet | googlenet
+//   --device <name>     K40C | P100 | TitanXP | Fermi | Maxwell | Volta
+//   --mode <m>          glp4nn (default) | serial | fixed:<N> | strict
+//   --iters <n>         training iterations (default 10)
+//   --lr <f>            base learning rate (default 0.01)
+//   --momentum <f>      SGD momentum (default 0.9)
+//   --solver <s>        sgd | nesterov | adagrad
+//   --timing-only       skip numerics; simulate kernel timing only
+//   --snapshot <file>   write weights + solver state after training
+//   --restore <file>    load weights + solver state before training
+//   --display <n>       print loss every n iterations (default 1)
+//   --trace <file>      write a Chrome trace of the final iteration
+//   --summary           print the layer table before training
+//   --profile           print an nvprof-style kernel summary at the end
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/glp4nn.hpp"
+#include "gpusim/profile_report.hpp"
+#include "gpusim/trace_export.hpp"
+#include "minicaffe/models.hpp"
+#include "minicaffe/net_parser.hpp"
+#include "minicaffe/solver.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, const std::string& error = {}) {
+  if (!error.empty()) std::fprintf(stderr, "error: %s\n\n", error.c_str());
+  std::fprintf(stderr,
+               "usage: %s [--net FILE | --model NAME] [--device NAME]\n"
+               "          [--mode glp4nn|serial|fixed:N|strict] [--iters N]\n"
+               "          [--lr F] [--momentum F] [--solver sgd|nesterov|adagrad]\n"
+               "          [--timing-only] [--snapshot FILE] [--restore FILE]\n"
+               "          [--display N] [--trace FILE] [--summary] [--profile]\n",
+               argv0);
+  std::exit(error.empty() ? 0 : 2);
+}
+
+mc::NetSpec builtin_model(const std::string& name) {
+  if (name == "lenet") return mc::models::lenet();
+  if (name == "cifar10") return mc::models::cifar10_quick();
+  if (name == "siamese") return mc::models::siamese_mnist();
+  if (name == "caffenet") return mc::models::caffenet();
+  if (name == "googlenet") return mc::models::googlenet_tail();
+  throw glp::InvalidArgument("unknown built-in model '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string net_file, model = "lenet", device = "P100", mode = "glp4nn";
+  std::string snapshot_path, restore_path, solver_name = "sgd", trace_path;
+  int iters = 10, display = 1;
+  float lr = 0.01f, momentum = 0.9f;
+  bool timing_only = false, want_summary = false, want_profile = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0], arg + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--net") {
+        net_file = value();
+      } else if (arg == "--model") {
+        model = value();
+      } else if (arg == "--device") {
+        device = value();
+      } else if (arg == "--mode") {
+        mode = value();
+      } else if (arg == "--iters") {
+        iters = std::stoi(value());
+      } else if (arg == "--lr") {
+        lr = std::stof(value());
+      } else if (arg == "--momentum") {
+        momentum = std::stof(value());
+      } else if (arg == "--solver") {
+        solver_name = value();
+      } else if (arg == "--timing-only") {
+        timing_only = true;
+      } else if (arg == "--snapshot") {
+        snapshot_path = value();
+      } else if (arg == "--restore") {
+        restore_path = value();
+      } else if (arg == "--display") {
+        display = std::stoi(value());
+      } else if (arg == "--trace") {
+        trace_path = value();
+      } else if (arg == "--summary") {
+        want_summary = true;
+      } else if (arg == "--profile") {
+        want_profile = true;
+      } else if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+      } else {
+        usage(argv[0], "unknown flag '" + arg + "'");
+      }
+    }
+
+    const auto props = gpusim::DeviceTable::by_name(device);
+    if (!props) usage(argv[0], "unknown device '" + device + "'");
+
+    const mc::NetSpec spec =
+        net_file.empty() ? builtin_model(model) : mc::parse_net_file(net_file);
+
+    scuda::Context gpu(*props);
+    std::unique_ptr<kern::KernelDispatcher> fixed;
+    std::unique_ptr<glp4nn::Glp4nnEngine> engine;
+    mc::ExecContext ec;
+    ec.ctx = &gpu;
+    ec.mode = timing_only ? kern::ComputeMode::kTimingOnly
+                          : kern::ComputeMode::kNumeric;
+    if (mode == "serial") {
+      fixed = std::make_unique<kern::SerialDispatcher>(gpu);
+      ec.dispatcher = fixed.get();
+    } else if (mode.rfind("fixed:", 0) == 0) {
+      fixed = std::make_unique<kern::FixedStreamDispatcher>(
+          gpu, std::stoi(mode.substr(6)));
+      ec.dispatcher = fixed.get();
+    } else if (mode == "glp4nn" || mode == "strict") {
+      glp4nn::SchedulerOptions opts;
+      opts.strict_repro = mode == "strict";
+      engine = std::make_unique<glp4nn::Glp4nnEngine>(opts);
+      ec.dispatcher = &engine->scheduler_for(gpu);
+    } else {
+      usage(argv[0], "unknown mode '" + mode + "'");
+    }
+
+    mc::Net net(spec, ec);
+    std::printf("net '%s': %zu layers on %s, mode %s%s\n", spec.name.c_str(),
+                spec.layers.size(), props->name.c_str(), mode.c_str(),
+                timing_only ? " (timing only)" : "");
+    if (want_summary) std::printf("%s", net.summary().c_str());
+    if (want_profile) gpu.device().timeline().set_enabled(true);
+
+    mc::SolverParams sp;
+    sp.base_lr = lr;
+    sp.momentum = momentum;
+    if (solver_name == "nesterov") {
+      sp.type = mc::SolverType::kNesterov;
+    } else if (solver_name == "adagrad") {
+      sp.type = mc::SolverType::kAdaGrad;
+    } else if (solver_name != "sgd") {
+      usage(argv[0], "unknown solver '" + solver_name + "'");
+    }
+    mc::SgdSolver solver(net, sp);
+    if (!restore_path.empty()) {
+      solver.restore(restore_path);
+      std::printf("restored snapshot '%s' (iteration %d)\n",
+                  restore_path.c_str(), solver.iter());
+    }
+
+    const auto report_iteration = [&](int iter, float loss) {
+      if (display > 0 && iter % display == 0) {
+        if (timing_only) {
+          std::printf("iter %4d\n", iter);
+        } else {
+          std::printf("iter %4d  loss %.4f\n", iter, loss);
+        }
+      }
+    };
+
+    const double t0 = gpu.device().host_now();
+    if (trace_path.empty()) {
+      solver.step(iters, report_iteration);
+    } else {
+      // Train normally, recording a Chrome trace of the final iteration.
+      if (iters > 1) solver.step(iters - 1, report_iteration);
+      gpu.device().timeline().set_enabled(true);
+      solver.step(1, report_iteration);
+      gpusim::write_chrome_trace(gpu.device().timeline(), trace_path);
+      gpu.device().timeline().set_enabled(false);
+      std::printf("trace written to '%s'\n", trace_path.c_str());
+    }
+    const double ms = (gpu.device().host_now() - t0) / 1e6;
+    std::printf("trained %d iterations in %.2f simulated ms (%.2f ms/iter)\n",
+                iters, ms, ms / std::max(iters, 1));
+
+    if (engine != nullptr) {
+      const auto costs = engine->costs();
+      std::printf("GLP4NN overhead: T_p %.3f ms, T_a %.3f ms; streams:\n",
+                  costs.profiling_ms, costs.analysis_ms);
+      for (const auto& [scope, d] : engine->analyzer_for(gpu)->decisions()) {
+        std::printf("  %-20s -> %d\n", scope.c_str(),
+                    engine->scheduler_for(gpu).stream_count(scope));
+      }
+    }
+
+    if (want_profile) {
+      std::printf("\nkernel profile (simulated):\n%s",
+                  gpusim::profile_report(gpu.device().timeline(), 15).c_str());
+    }
+
+    if (!snapshot_path.empty()) {
+      solver.snapshot(snapshot_path);
+      std::printf("snapshot written to '%s'\n", snapshot_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
