@@ -74,6 +74,9 @@ ScopeProfile ResourceTracker::end_profiling(scuda::Context& ctx,
       if (view.kind != scupti::ActivityKind::kKernel) continue;
       const scupti::ActivityKernel& k = view.kernel;
       if (k.correlation_id < s.min_correlation) continue;
+      // Injected profiler-capture loss: the activity runtime silently
+      // dropped this record (real CUPTI does this when buffers overflow).
+      if (ctx.faults().should_drop_capture()) continue;
 
       ++records_collected_;
       mem_tt_bytes_ += kTimestampBytesPerRecord;

@@ -40,19 +40,38 @@ void RuntimeScheduler::begin_scope(const std::string& scope,
   current_scope_ = scope;
   current_tasks_ = num_tasks;
 
+  if (serial_scopes_.count(scope) != 0) {
+    // A fault degraded this scope to the serial baseline.
+    pool_.assign(1, gpusim::kDefaultStream);
+    mode_ = Mode::kSteady;
+    return;
+  }
+
   if (options_.fixed_streams > 0) {
-    pool_ = streams_->acquire(*ctx_, clamp_streams(options_.fixed_streams));
+    pool_ = acquire_pool(clamp_streams(options_.fixed_streams));
     mode_ = Mode::kSteady;
     return;
   }
 
   const ConcurrencyDecision* decision = analyzer_->decision(scope);
   if (decision != nullptr) {
-    pool_ = streams_->acquire(*ctx_, clamp_streams(decision->stream_count));
+    pool_ = acquire_pool(clamp_streams(decision->stream_count));
     mode_ = Mode::kSteady;
   } else {
     tracker_->begin_profiling(*ctx_);
     mode_ = Mode::kProfiling;
+  }
+}
+
+std::vector<gpusim::StreamId> RuntimeScheduler::acquire_pool(int count) {
+  try {
+    return streams_->acquire(*ctx_, count);
+  } catch (const scuda::StreamCreateFailed&) {
+    // Stream handles ran out (injected): degrade this scope to serial
+    // dispatch permanently. Already-created pool streams stay in the
+    // manager for scopes whose pools fit in them.
+    serial_scopes_.insert(current_scope_);
+    return std::vector<gpusim::StreamId>(1, gpusim::kDefaultStream);
   }
 }
 
@@ -96,6 +115,14 @@ void RuntimeScheduler::end_scope() {
       // end-to-end timings include it (Table 6).
       ctx_->device().host_advance(
           (profile.profiling_ms + decision.analysis_ms) * gpusim::kMs);
+    } else if (current_tasks_ > 0) {
+      // The scope ran tasks but the capture came back empty (profiler
+      // record loss). Retry on the next encounter a bounded number of
+      // times, then give up and serialise the scope — an undecided scope
+      // must never profile forever.
+      if (++profile_attempts_[current_scope_] >= kMaxProfileAttempts) {
+        serial_scopes_.insert(current_scope_);
+      }
     }
     // An empty scope (zero tasks) yields no decision; it will profile
     // again next time it runs non-empty.
@@ -108,6 +135,7 @@ void RuntimeScheduler::end_scope() {
 }
 
 int RuntimeScheduler::stream_count(const std::string& scope) const {
+  if (serial_scopes_.count(scope) != 0) return 1;
   if (options_.fixed_streams > 0) return clamp_streams(options_.fixed_streams);
   const ConcurrencyDecision* decision = analyzer_->decision(scope);
   return decision == nullptr ? 0 : clamp_streams(decision->stream_count);

@@ -18,6 +18,8 @@
 // cap, strict-repro pool rounding (bit-identical training), and a fixed
 // pool size that bypasses the model (the Fig. 2/4 manual baseline).
 
+#include <map>
+#include <set>
 #include <string>
 
 #include "core/kernel_analyzer.hpp"
@@ -72,7 +74,30 @@ class RuntimeScheduler final : public kern::KernelDispatcher {
   /// Effective pool size after the option clamps (exposed for tests).
   int clamp_streams(int requested) const;
 
+  // --- fault degradation ---------------------------------------------------
+  // Injected runtime faults never abort training; they shrink the scope
+  // back to the serial baseline:
+  //  * stream-creation failure while sizing a pool → the scope runs on
+  //    the default stream from then on;
+  //  * profiler-capture loss → the scope is re-profiled on its next run,
+  //    and after kMaxProfileAttempts empty captures it is serialised
+  //    instead of profiling forever.
+
+  /// True when a fault permanently degraded `scope` to serial dispatch.
+  bool scope_serialized(const std::string& scope) const {
+    return serial_scopes_.count(scope) != 0;
+  }
+  /// Number of scopes degraded to serial dispatch by injected faults.
+  std::size_t serial_fallback_count() const { return serial_scopes_.size(); }
+
+  /// Empty profiling captures tolerated before a scope is serialised.
+  static constexpr int kMaxProfileAttempts = 3;
+
  private:
+  /// Acquire a pool of `count` streams, degrading the current scope to
+  /// serial dispatch when stream creation fails (injected fault).
+  std::vector<gpusim::StreamId> acquire_pool(int count);
+
   scuda::Context* ctx_;
   ResourceTracker* tracker_;
   KernelAnalyzer* analyzer_;
@@ -85,6 +110,8 @@ class RuntimeScheduler final : public kern::KernelDispatcher {
   std::size_t current_tasks_ = 0;
   std::vector<gpusim::StreamId> pool_;
   double scheduling_ms_ = 0.0;
+  std::set<std::string> serial_scopes_;        ///< fault-degraded scopes
+  std::map<std::string, int> profile_attempts_;  ///< empty captures per scope
 };
 
 }  // namespace glp4nn

@@ -24,6 +24,9 @@ class Timeline {
   const std::vector<KernelRecord>& kernels() const { return kernels_; }
   const std::vector<CopyRecord>& copies() const { return copies_; }
 
+  std::size_t size() const { return kernels_.size() + copies_.size(); }
+  bool empty() const { return kernels_.empty() && copies_.empty(); }
+
   void clear() {
     kernels_.clear();
     copies_.clear();

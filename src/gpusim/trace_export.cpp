@@ -33,6 +33,11 @@ std::string escape(const std::string& s) {
 }  // namespace
 
 std::string to_chrome_trace(const Timeline& timeline) {
+  return to_chrome_trace(timeline, {});
+}
+
+std::string to_chrome_trace(const Timeline& timeline,
+                            const std::vector<TraceMarker>& markers) {
   std::ostringstream os;
   os << "[";
   bool first = true;
@@ -66,14 +71,27 @@ std::string to_chrome_trace(const Timeline& timeline) {
     emit(c.host_to_device ? "memcpy H2D" : "memcpy D2H", "memcpy", c.stream,
          c.start_ns, c.end_ns, args.str());
   }
+  for (const TraceMarker& m : markers) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\":\"" << escape(m.name)
+       << "\",\"cat\":\"marker\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":"
+       << m.stream << ",\"ts\":" << m.ts_ns / 1000.0 << "}";
+  }
   os << "\n]\n";
   return os.str();
 }
 
 void write_chrome_trace(const Timeline& timeline, const std::string& path) {
+  write_chrome_trace(timeline, {}, path);
+}
+
+void write_chrome_trace(const Timeline& timeline,
+                        const std::vector<TraceMarker>& markers,
+                        const std::string& path) {
   std::ofstream file(path, std::ios::trunc);
   GLP_REQUIRE(file.good(), "cannot open trace file '" << path << "'");
-  file << to_chrome_trace(timeline);
+  file << to_chrome_trace(timeline, markers);
   GLP_REQUIRE(file.good(), "writing trace file '" << path << "' failed");
 }
 

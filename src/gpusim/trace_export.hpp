@@ -5,16 +5,31 @@
 // profiler screenshots.
 
 #include <string>
+#include <vector>
 
 #include "gpusim/timeline.hpp"
 
 namespace gpusim {
 
+/// An annotation pinned to a point of the trace — rendered as a Chrome
+/// instant event ("ph":"i") on the stream's row. The race checker emits
+/// one per ordering violation so failures are visible in the viewer.
+struct TraceMarker {
+  std::string name;
+  SimTime ts_ns = 0.0;
+  StreamId stream = kDefaultStream;
+};
+
 /// Serialise the timeline to Chrome trace JSON (trace-event format,
 /// JSON-array flavour). Timestamps are microseconds as the format expects.
 std::string to_chrome_trace(const Timeline& timeline);
+std::string to_chrome_trace(const Timeline& timeline,
+                            const std::vector<TraceMarker>& markers);
 
 /// Write the trace to a file. Throws on I/O failure.
 void write_chrome_trace(const Timeline& timeline, const std::string& path);
+void write_chrome_trace(const Timeline& timeline,
+                        const std::vector<TraceMarker>& markers,
+                        const std::string& path);
 
 }  // namespace gpusim

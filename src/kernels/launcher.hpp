@@ -32,14 +32,24 @@ struct Launcher {
   }
 
   /// Launch a kernel; `work` is dropped in timing-only mode.
+  ///
+  /// Fault handling: when the context's injector fails the launch (the
+  /// simulated analogue of cudaLaunchKernel returning an error), the
+  /// launcher degrades to the serial path — it re-issues on the legacy
+  /// default stream. That stream is a two-sided barrier (everything
+  /// submitted before it completes first; everything submitted after
+  /// waits for it), so the re-routed kernel still executes in global
+  /// submission order and numerics stay identical to the fault-free run.
   std::uint64_t launch(const std::string& kernel_name,
                        const gpusim::LaunchConfig& config,
                        const gpusim::KernelCost& cost,
                        std::function<void()> work) const {
     const std::string full =
         name_prefix.empty() ? kernel_name : name_prefix + "/" + kernel_name;
+    const gpusim::StreamId target =
+        ctx->faults().should_fail_launch() ? gpusim::kDefaultStream : stream;
     return ctx->device().launch_kernel(
-        stream, full, config, cost,
+        target, full, config, cost,
         mode == ComputeMode::kNumeric ? std::move(work) : nullptr);
   }
 };

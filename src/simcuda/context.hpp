@@ -11,6 +11,7 @@
 #include "common/check.hpp"
 #include "gpusim/device_props.hpp"
 #include "gpusim/engine.hpp"
+#include "simcuda/fault_injection.hpp"
 
 namespace scuda {
 
@@ -49,8 +50,15 @@ class Context {
   /// Synchronous copy: issues on the default stream and synchronises it.
   void memcpy(void* dst, const void* src, std::size_t bytes, bool host_to_device);
 
+  /// Fault-injection hooks (disarmed by default; see fault_injection.hpp).
+  /// The launcher, Stream::create and the resource tracker consult this
+  /// before touching the device, mimicking runtime-API error returns.
+  FaultInjector& faults() { return faults_; }
+  const FaultInjector& faults() const { return faults_; }
+
  private:
   std::unique_ptr<gpusim::SimDevice> device_;
+  FaultInjector faults_;
   std::map<void*, std::size_t> allocations_;
   std::size_t bytes_allocated_ = 0;
   std::size_t peak_bytes_ = 0;
@@ -64,6 +72,10 @@ class Stream {
   explicit Stream(Context& ctx) : ctx_(&ctx), id_(kDefaultStream), owned_(false) {}
 
   static Stream create(Context& ctx, int priority = 0) {
+    if (ctx.faults().should_fail_stream_create()) {
+      throw StreamCreateFailed("injected stream-creation failure on device " +
+                               ctx.props().name);
+    }
     Stream s(ctx);
     s.id_ = ctx.device().create_stream(priority);
     s.owned_ = true;

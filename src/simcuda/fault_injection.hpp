@@ -1,0 +1,102 @@
+#pragma once
+// Deterministic fault injection for the simulated CUDA runtime. Real
+// deployments hit sporadic cudaLaunchKernel failures (driver resource
+// exhaustion), cudaStreamCreate failures (stream-handle limits) and CUPTI
+// record loss (activity buffers overflow); the schedule-correctness
+// harness injects those faults probabilistically so the scheduler's
+// degradation paths are exercised under test instead of in production.
+//
+// Every Context owns a FaultInjector, disarmed by default: a disarmed
+// injector consumes no randomness and adds one branch per fault site, so
+// fault-free runs stay bit-identical to a build without the hooks.
+// Injection decisions come from a private seeded Rng, making every
+// faulty run reproducible from (seed, rates) alone.
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace scuda {
+
+/// A kernel launch the simulated runtime refused (injected).
+class LaunchFailed : public glp::Error {
+ public:
+  explicit LaunchFailed(const std::string& what) : Error(what) {}
+};
+
+/// A stream creation the simulated runtime refused (injected).
+class StreamCreateFailed : public glp::Error {
+ public:
+  explicit StreamCreateFailed(const std::string& what) : Error(what) {}
+};
+
+/// Per-site failure probabilities in [0, 1].
+struct FaultConfig {
+  double launch_failure_rate = 0.0;         ///< kernel launches
+  double stream_create_failure_rate = 0.0;  ///< Stream::create
+  double capture_loss_rate = 0.0;           ///< profiler records dropped
+  std::uint64_t seed = 0xfa17ed5eedULL;
+};
+
+class FaultInjector {
+ public:
+  /// Arm the injector with the given rates. Re-arming reseeds the
+  /// deterministic decision stream.
+  void arm(const FaultConfig& config) {
+    GLP_REQUIRE(config.launch_failure_rate >= 0.0 &&
+                    config.launch_failure_rate <= 1.0 &&
+                    config.stream_create_failure_rate >= 0.0 &&
+                    config.stream_create_failure_rate <= 1.0 &&
+                    config.capture_loss_rate >= 0.0 &&
+                    config.capture_loss_rate <= 1.0,
+                "fault rates must be probabilities in [0, 1]");
+    config_ = config;
+    rng_.reseed(config.seed);
+    armed_ = config.launch_failure_rate > 0.0 ||
+             config.stream_create_failure_rate > 0.0 ||
+             config.capture_loss_rate > 0.0;
+  }
+  void disarm() { armed_ = false; }
+  bool armed() const { return armed_; }
+
+  // --- fault sites (each consumes one decision when armed) -----------------
+  bool should_fail_launch() {
+    if (!armed_ || config_.launch_failure_rate <= 0.0) return false;
+    if (rng_.next_double() >= config_.launch_failure_rate) return false;
+    ++launch_faults_;
+    return true;
+  }
+  bool should_fail_stream_create() {
+    if (!armed_ || config_.stream_create_failure_rate <= 0.0) return false;
+    if (rng_.next_double() >= config_.stream_create_failure_rate) return false;
+    ++stream_create_faults_;
+    return true;
+  }
+  bool should_drop_capture() {
+    if (!armed_ || config_.capture_loss_rate <= 0.0) return false;
+    if (rng_.next_double() >= config_.capture_loss_rate) return false;
+    ++capture_records_dropped_;
+    return true;
+  }
+
+  // --- bookkeeping (for tests and the fuzz driver's report) ----------------
+  std::uint64_t launch_faults() const { return launch_faults_; }
+  std::uint64_t stream_create_faults() const { return stream_create_faults_; }
+  std::uint64_t capture_records_dropped() const {
+    return capture_records_dropped_;
+  }
+  std::uint64_t total_faults() const {
+    return launch_faults_ + stream_create_faults_ + capture_records_dropped_;
+  }
+
+ private:
+  bool armed_ = false;
+  FaultConfig config_;
+  glp::Rng rng_;
+  std::uint64_t launch_faults_ = 0;
+  std::uint64_t stream_create_faults_ = 0;
+  std::uint64_t capture_records_dropped_ = 0;
+};
+
+}  // namespace scuda

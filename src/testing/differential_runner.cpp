@@ -1,0 +1,198 @@
+#include "testing/differential_runner.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "core/glp4nn.hpp"
+#include "kernels/dispatch.hpp"
+#include "minicaffe/net.hpp"
+#include "minicaffe/solver.hpp"
+#include "simcuda/context.hpp"
+
+namespace glpfuzz {
+
+namespace {
+
+/// Bit-pattern equality: distinguishes -0.0f from 0.0f and treats equal
+/// NaN payloads as equal — exactly "the same training run".
+bool same_bits(float a, float b) {
+  std::uint32_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+/// Tolerance equality that also accepts identically non-finite pairs
+/// (a net whose loss blows up must blow up the same way in both runs).
+bool close_enough(float a, float b, double rtol, double atol) {
+  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
+  if (std::isinf(a) || std::isinf(b)) return a == b;
+  return std::abs(static_cast<double>(a) - b) <=
+         atol + rtol * std::abs(static_cast<double>(a));
+}
+
+struct RunOutput {
+  std::vector<float> losses;
+  std::vector<float> params;
+};
+
+RunOutput train(mc::ExecContext& ec, const FuzzCase& c) {
+  RunOutput out;
+  mc::Net net(c.net, ec);
+  mc::SgdSolver solver(net, {});
+  solver.step(c.iters,
+              [&](int, float loss) { out.losses.push_back(loss); });
+  ec.ctx->device().synchronize();
+  for (const auto& p : net.learnable_params()) {
+    const float* d = p->data();
+    out.params.insert(out.params.end(), d, d + p->count());
+  }
+  return out;
+}
+
+int data_batch(const mc::NetSpec& net) {
+  for (const mc::LayerSpec& l : net.layers) {
+    if (l.type == "Data") return l.params.batch_size;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool bit_exact_contract(const mc::NetSpec& net,
+                        const glp4nn::SchedulerOptions& options) {
+  bool has_scope_parallel = false;
+  for (const mc::LayerSpec& l : net.layers) {
+    if (l.type == "Convolution" || l.type == "Deconvolution") {
+      has_scope_parallel = true;
+      break;
+    }
+  }
+  // Only conv/deconv fan per-sample work across streams; everything else
+  // runs whole-batch kernels on the default stream in program order.
+  if (!has_scope_parallel) return true;
+  // batch ≤ 32: every sample owns a private gradient-accumulation slot,
+  // so the summation order cannot depend on the stream layout.
+  if (data_batch(net) <= 32) return true;
+  // batch > 32: slots are shared between samples. Only strict-repro pools
+  // (divisors of 32) with round-robin assignment keep each slot's
+  // accumulation order identical to the serial baseline; block-cyclic
+  // assignment interleaves slot owners across streams.
+  return options.strict_repro &&
+         options.policy == glp4nn::DispatchPolicy::kRoundRobin;
+}
+
+DiffResult run_differential(const FuzzCase& c, const DiffOptions& opts) {
+  DiffResult r;
+  r.bit_exact_expected = bit_exact_contract(c.net, c.options);
+
+  // --- serial baseline (always fault-free) ------------------------------
+  RunOutput serial;
+  {
+    scuda::Context ctx(c.device);
+    kern::SerialDispatcher dispatcher(ctx);
+    mc::ExecContext ec;
+    ec.ctx = &ctx;
+    ec.dispatcher = &dispatcher;
+    serial = train(ec, c);
+  }
+
+  // --- GLP4NN run -------------------------------------------------------
+  RunOutput glp;
+  {
+    scuda::Context ctx(c.device);
+    scuda::FaultConfig faults = opts.faults;
+    if (faults.launch_failure_rate > 0.0 ||
+        faults.stream_create_failure_rate > 0.0 ||
+        faults.capture_loss_rate > 0.0) {
+      // Decorrelate fault draw sequences across cases.
+      faults.seed ^= c.seed * 0x9e3779b97f4a7c15ULL;
+      ctx.faults().arm(faults);
+    }
+    if (opts.check_timeline) ctx.device().timeline().set_enabled(true);
+
+    glp4nn::Glp4nnEngine engine(c.options);
+    mc::ExecContext ec;
+    ec.ctx = &ctx;
+    ec.dispatcher = &engine.scheduler_for(ctx);
+    glp = train(ec, c);
+
+    r.launch_faults = ctx.faults().launch_faults();
+    r.stream_faults = ctx.faults().stream_create_faults();
+    r.capture_drops = ctx.faults().capture_records_dropped();
+    r.serial_fallback_scopes =
+        engine.scheduler_for(ctx).serial_fallback_count();
+    if (opts.check_timeline) {
+      r.races = check_timeline(ctx.device().timeline(), c.device);
+    }
+  }
+
+  r.serial_losses = serial.losses;
+  r.glp_losses = glp.losses;
+
+  auto fail = [&](const std::string& what) {
+    if (r.ok) {
+      r.ok = false;
+      r.failure = what;
+    }
+  };
+
+  // --- compare ----------------------------------------------------------
+  if (serial.losses.size() != glp.losses.size() ||
+      serial.params.size() != glp.params.size()) {
+    std::ostringstream os;
+    os << "shape mismatch: " << serial.losses.size() << "/"
+       << glp.losses.size() << " losses, " << serial.params.size() << "/"
+       << glp.params.size() << " params";
+    fail(os.str());
+    return r;
+  }
+  r.params_compared = serial.params.size();
+
+  bool bits_match = true;
+  for (std::size_t i = 0; i < serial.losses.size(); ++i) {
+    const double diff =
+        std::abs(static_cast<double>(serial.losses[i]) - glp.losses[i]);
+    if (diff == diff) r.max_loss_diff = std::max(r.max_loss_diff, diff);
+    bits_match = bits_match && same_bits(serial.losses[i], glp.losses[i]);
+    if (!r.bit_exact_expected &&
+        !close_enough(serial.losses[i], glp.losses[i], opts.loss_rtol,
+                      opts.loss_atol)) {
+      std::ostringstream os;
+      os << "loss diverged at iter " << i << ": serial=" << serial.losses[i]
+         << " glp=" << glp.losses[i];
+      fail(os.str());
+    }
+  }
+  for (std::size_t i = 0; i < serial.params.size(); ++i) {
+    const double diff =
+        std::abs(static_cast<double>(serial.params[i]) - glp.params[i]);
+    if (diff == diff) r.max_param_diff = std::max(r.max_param_diff, diff);
+    bits_match = bits_match && same_bits(serial.params[i], glp.params[i]);
+  }
+  r.bit_exact_observed = bits_match;
+
+  if (r.bit_exact_expected && !bits_match) {
+    std::ostringstream os;
+    os << "bit-exact contract violated (max param diff " << r.max_param_diff
+       << ", max loss diff " << r.max_loss_diff << ")";
+    fail(os.str());
+  }
+  if (!r.bit_exact_expected && r.max_param_diff > opts.param_tol) {
+    std::ostringstream os;
+    os << "parameters diverged: max diff " << r.max_param_diff << " > "
+       << opts.param_tol;
+    fail(os.str());
+  }
+  if (!r.races.clean()) {
+    std::ostringstream os;
+    os << r.races.violations.size() << " timeline ordering violation(s); first: "
+       << "[" << kind_name(r.races.violations.front().kind) << "] "
+       << r.races.violations.front().detail;
+    fail(os.str());
+  }
+  return r;
+}
+
+}  // namespace glpfuzz

@@ -1,0 +1,73 @@
+#pragma once
+// Differential runner: trains one sampled net twice — once under plain
+// serial dispatch (the naive-Caffe baseline) and once under the GLP4NN
+// runtime scheduler — and compares the results under the contract the
+// paper and this reproduction promise:
+//
+//   * bit-identical losses and parameters whenever the strict-repro
+//     contract applies (every gradient-accumulation slot is owned by a
+//     single sample, or strict_repro pools + round-robin make slot order
+//     stream-stable);
+//   * loss-trajectory and parameter agreement within float-reassociation
+//     tolerance otherwise.
+//
+// The GLP run records its full gpusim timeline, which is then checked
+// against the stream-ordering invariants (see race_checker.hpp). Faults
+// can be armed on the GLP run only: correctness must survive injected
+// launch/stream/profiler failures via graceful degradation.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcuda/fault_injection.hpp"
+#include "testing/net_generator.hpp"
+#include "testing/race_checker.hpp"
+
+namespace glpfuzz {
+
+struct DiffOptions {
+  bool check_timeline = true;
+  /// Arm these fault rates on the GLP run's context (the serial baseline
+  /// always runs fault-free). All-zero rates leave the injector disarmed.
+  scuda::FaultConfig faults;
+  /// Tolerances for the non-bit-exact regime.
+  double loss_rtol = 1e-2;
+  double loss_atol = 1e-4;
+  double param_tol = 5e-2;
+};
+
+struct DiffResult {
+  bool ok = true;
+  std::string failure;  ///< first failure, human-readable ("" when ok)
+
+  bool bit_exact_expected = false;
+  bool bit_exact_observed = false;
+  double max_param_diff = 0.0;
+  double max_loss_diff = 0.0;
+  std::size_t params_compared = 0;
+  std::vector<float> serial_losses;
+  std::vector<float> glp_losses;
+
+  RaceReport races;
+
+  // Fault-injection accounting (GLP run only).
+  std::size_t launch_faults = 0;
+  std::size_t stream_faults = 0;
+  std::size_t capture_drops = 0;
+  std::size_t serial_fallback_scopes = 0;
+};
+
+/// Does the bit-exact branch of the contract apply to this combination?
+/// True when no scope-parallel layer shares gradient slots between
+/// samples (batch ≤ 32), or when strict_repro + round-robin pin the slot
+/// accumulation order regardless of pool size.
+bool bit_exact_contract(const mc::NetSpec& net,
+                        const glp4nn::SchedulerOptions& options);
+
+/// Train the case twice and compare. Never throws for a *failing*
+/// comparison (inspect `ok`/`failure`); propagates unexpected errors
+/// (bad net, simulator invariant breakage) as exceptions.
+DiffResult run_differential(const FuzzCase& c, const DiffOptions& opts = {});
+
+}  // namespace glpfuzz

@@ -1,0 +1,61 @@
+#pragma once
+// Seeded generators for the schedule-correctness harness: random layer
+// graphs, random devices (perturbations of the paper's Table-3 GPUs) and
+// random scheduler configurations. Everything is a pure function of the
+// seed, so any failing fuzz case replays from one integer.
+//
+// Generated nets always contain at least one Convolution layer — conv
+// and deconv are the scope-parallel layers, so a net without them never
+// exercises the stream scheduler.
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/runtime_scheduler.hpp"
+#include "gpusim/device_props.hpp"
+#include "minicaffe/net.hpp"
+
+namespace glpfuzz {
+
+/// Knobs for the random net generator (defaults give small, fast nets).
+struct NetGenOptions {
+  int min_body_layers = 2;   ///< conv/pool/act stages between data and head
+  int max_body_layers = 6;
+  bool allow_branches = true;  ///< inception-style branch + Concat/Eltwise
+  bool allow_deconv = true;
+  int max_batch = 64;
+};
+
+/// A random, valid, topologically-sorted training net: Data → random
+/// body (convs, pools, activations, LRN, dropout, optional branch) →
+/// InnerProduct → SoftmaxWithLoss. Batch sizes straddle the 32-slot
+/// boundary so both bit-exact regimes are sampled.
+mc::NetSpec random_net(glp::Rng& rng, const NetGenOptions& options = {});
+
+/// A random device: one of the catalogue GPUs with perturbed SM count,
+/// per-SM thread/smem/block limits, concurrency degree, bandwidths and
+/// launch latencies. Always satisfies the simulator's launch limits for
+/// the kernels the layer zoo emits.
+gpusim::DeviceProps random_device(glp::Rng& rng);
+
+/// A random scheduler configuration over DispatchPolicy × strict_repro ×
+/// fixed_streams × max_streams.
+glp4nn::SchedulerOptions random_scheduler_options(glp::Rng& rng);
+
+/// One fully-sampled differential-fuzz case.
+struct FuzzCase {
+  std::uint64_t seed = 0;
+  mc::NetSpec net;
+  gpusim::DeviceProps device;
+  glp4nn::SchedulerOptions options;
+  int iters = 2;  ///< training iterations per run
+
+  /// One-line human-readable description for logs.
+  std::string summary() const;
+};
+
+/// Sample a complete case from a seed (net, device, scheduler options).
+FuzzCase make_case(std::uint64_t seed, const NetGenOptions& options = {});
+
+}  // namespace glpfuzz

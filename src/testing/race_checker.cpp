@@ -1,0 +1,180 @@
+#include "testing/race_checker.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace glpfuzz {
+
+namespace {
+
+// Simulated timestamps are doubles; comparisons tolerate accumulated
+// floating-point noise well below any real event spacing.
+constexpr double kEpsNs = 1e-3;
+
+/// A kernel or copy record flattened to the fields the checker needs.
+struct Op {
+  std::uint64_t correlation_id = 0;
+  gpusim::StreamId stream = gpusim::kDefaultStream;
+  double submit_ns = 0.0;
+  double start_ns = 0.0;
+  double end_ns = 0.0;
+  bool is_kernel = false;
+  bool has_submit = false;  ///< CopyRecord does not record submit time
+  const std::string* name = nullptr;
+};
+
+}  // namespace
+
+const char* kind_name(RaceViolation::Kind kind) {
+  switch (kind) {
+    case RaceViolation::Kind::kDuplicateCorrelation: return "duplicate-correlation";
+    case RaceViolation::Kind::kNonMonotonic: return "non-monotonic";
+    case RaceViolation::Kind::kStreamFifo: return "stream-fifo";
+    case RaceViolation::Kind::kDefaultBarrierBefore: return "default-barrier-before";
+    case RaceViolation::Kind::kDefaultBarrierAfter: return "default-barrier-after";
+    case RaceViolation::Kind::kConcurrencyCap: return "concurrency-cap";
+  }
+  return "unknown";
+}
+
+std::string RaceReport::to_string() const {
+  std::ostringstream os;
+  for (const RaceViolation& v : violations) {
+    os << "[" << kind_name(v.kind) << "] corr=" << v.correlation_id
+       << " stream=" << v.stream << " t=" << v.ts_ns << "ns: " << v.detail
+       << "\n";
+  }
+  return os.str();
+}
+
+RaceReport check_timeline(const gpusim::Timeline& timeline,
+                          const gpusim::DeviceProps& props) {
+  RaceReport report;
+
+  static const std::string kCopyName = "memcpy";
+  std::vector<Op> ops;
+  ops.reserve(timeline.size());
+  for (const gpusim::KernelRecord& k : timeline.kernels()) {
+    ops.push_back(Op{k.correlation_id, k.stream, k.submit_ns, k.start_ns,
+                     k.end_ns, true, true, &k.name});
+  }
+  for (const gpusim::CopyRecord& c : timeline.copies()) {
+    ops.push_back(Op{c.correlation_id, c.stream, 0.0, c.start_ns, c.end_ns,
+                     false, false, &kCopyName});
+  }
+
+  // Correlation ids are assigned in host submission order, so sorting by
+  // them reconstructs the program order every barrier invariant is
+  // defined against.
+  std::sort(ops.begin(), ops.end(),
+            [](const Op& a, const Op& b) {
+              return a.correlation_id < b.correlation_id;
+            });
+  report.ops_checked = ops.size();
+
+  auto flag = [&](RaceViolation::Kind kind, const Op& op, double ts,
+                  const std::string& detail) {
+    report.violations.push_back(
+        RaceViolation{kind, op.correlation_id, op.stream, ts, detail});
+  };
+
+  // --- uniqueness + monotonicity ----------------------------------------
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    if (i > 0 && op.correlation_id == ops[i - 1].correlation_id) {
+      flag(RaceViolation::Kind::kDuplicateCorrelation, op, op.start_ns,
+           "correlation id appears more than once");
+    }
+    if (op.end_ns < op.start_ns - kEpsNs ||
+        (op.has_submit && op.start_ns < op.submit_ns - kEpsNs)) {
+      std::ostringstream d;
+      d << *op.name << ": submit=" << op.submit_ns << " start=" << op.start_ns
+        << " end=" << op.end_ns;
+      flag(RaceViolation::Kind::kNonMonotonic, op, op.start_ns, d.str());
+    }
+  }
+
+  // --- FIFO + default-stream barrier (one pass in program order) --------
+  std::unordered_map<gpusim::StreamId, const Op*> last_on_stream;
+  const Op* max_end_op = nullptr;    // op with the latest end so far
+  const Op* last_default = nullptr;  // last stream-0 op seen so far
+  for (const Op& op : ops) {
+    if (const Op* prev = last_on_stream[op.stream]) {
+      if (op.start_ns < prev->end_ns - kEpsNs) {
+        std::ostringstream d;
+        d << *op.name << " started at " << op.start_ns
+          << " before same-stream predecessor corr=" << prev->correlation_id
+          << " ended at " << prev->end_ns;
+        flag(RaceViolation::Kind::kStreamFifo, op, op.start_ns, d.str());
+      }
+    }
+    if (op.stream == gpusim::kDefaultStream) {
+      if (max_end_op && op.start_ns < max_end_op->end_ns - kEpsNs) {
+        std::ostringstream d;
+        d << *op.name << " on the default stream started at " << op.start_ns
+          << " before earlier corr=" << max_end_op->correlation_id
+          << " (stream " << max_end_op->stream << ") ended at "
+          << max_end_op->end_ns;
+        flag(RaceViolation::Kind::kDefaultBarrierBefore, op, op.start_ns,
+             d.str());
+      }
+      last_default = &op;
+    } else if (last_default && op.start_ns < last_default->end_ns - kEpsNs) {
+      std::ostringstream d;
+      d << *op.name << " started at " << op.start_ns
+        << " before preceding default-stream corr="
+        << last_default->correlation_id << " ended at "
+        << last_default->end_ns;
+      flag(RaceViolation::Kind::kDefaultBarrierAfter, op, op.start_ns,
+           d.str());
+    }
+    last_on_stream[op.stream] = &op;
+    if (!max_end_op || op.end_ns > max_end_op->end_ns) max_end_op = &op;
+  }
+
+  // --- concurrency cap (interval sweep over kernels only) ---------------
+  // At equal timestamps, process ends before starts: a kernel admitted
+  // exactly when another retires does not overlap it.
+  struct Event {
+    double ts;
+    int delta;
+    const Op* op;
+  };
+  std::vector<Event> events;
+  for (const Op& op : ops) {
+    if (!op.is_kernel) continue;
+    events.push_back(Event{op.start_ns, +1, &op});
+    events.push_back(Event{op.end_ns, -1, &op});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    return a.delta < b.delta;
+  });
+  int resident = 0;
+  for (const Event& e : events) {
+    resident += e.delta;
+    report.peak_concurrency = std::max(report.peak_concurrency, resident);
+    if (e.delta > 0 && resident > props.max_concurrent_kernels) {
+      std::ostringstream d;
+      d << resident << " kernels resident at t=" << e.ts << " but device '"
+        << props.name << "' allows " << props.max_concurrent_kernels;
+      flag(RaceViolation::Kind::kConcurrencyCap, *e.op, e.ts, d.str());
+    }
+  }
+
+  return report;
+}
+
+std::vector<gpusim::TraceMarker> violation_markers(const RaceReport& report) {
+  std::vector<gpusim::TraceMarker> markers;
+  markers.reserve(report.violations.size());
+  for (const RaceViolation& v : report.violations) {
+    markers.push_back(gpusim::TraceMarker{
+        std::string("RACE ") + kind_name(v.kind) + ": " + v.detail, v.ts_ns,
+        v.stream});
+  }
+  return markers;
+}
+
+}  // namespace glpfuzz

@@ -1,0 +1,69 @@
+#pragma once
+// Timeline race checker: replays a recorded gpusim timeline against the
+// simulator's ordering contract and reports every violation. The checked
+// invariants are exactly the guarantees the engine documents:
+//
+//   1. correlation ids are unique (one record per submitted op);
+//   2. timestamps are monotonic per op (submit ≤ start ≤ end);
+//   3. same-stream FIFO — an op is admitted only after its stream
+//      predecessor *completed*, so start ≥ previous op's end;
+//   4. the legacy default stream is a two-sided barrier: a default-stream
+//      op starts only after every earlier-submitted op (any stream) has
+//      finished, and no later-submitted op starts before the last
+//      default-stream op finished;
+//   5. at most `max_concurrent_kernels` kernels are resident at any
+//      instant (copies ride the copy engines and are exempt).
+//
+// Since per-sample task-lane work is serialised onto one stream by the
+// scheduler, invariant 3 subsumes "every kernel starts after its
+// same-sample predecessors".
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/device_props.hpp"
+#include "gpusim/timeline.hpp"
+#include "gpusim/trace_export.hpp"
+
+namespace glpfuzz {
+
+struct RaceViolation {
+  enum class Kind {
+    kDuplicateCorrelation,  ///< two records share a correlation id
+    kNonMonotonic,          ///< end < start or start < submit
+    kStreamFifo,            ///< started before same-stream predecessor ended
+    kDefaultBarrierBefore,  ///< stream-0 op started before earlier work ended
+    kDefaultBarrierAfter,   ///< op started before preceding stream-0 op ended
+    kConcurrencyCap,        ///< resident kernels exceeded the device limit
+  };
+
+  Kind kind;
+  std::uint64_t correlation_id = 0;
+  gpusim::StreamId stream = gpusim::kDefaultStream;
+  gpusim::SimTime ts_ns = 0.0;  ///< where in the trace it happened
+  std::string detail;           ///< human-readable explanation
+};
+
+const char* kind_name(RaceViolation::Kind kind);
+
+struct RaceReport {
+  std::vector<RaceViolation> violations;
+  std::size_t ops_checked = 0;
+  int peak_concurrency = 0;  ///< max simultaneously-resident kernels
+
+  bool clean() const { return violations.empty(); }
+  /// Multi-line dump of every violation (empty string when clean).
+  std::string to_string() const;
+};
+
+/// Check a recorded timeline against the ordering contract of `props`'
+/// device. The timeline must have been recorded with tracing enabled for
+/// the whole run; an empty timeline trivially passes.
+RaceReport check_timeline(const gpusim::Timeline& timeline,
+                          const gpusim::DeviceProps& props);
+
+/// One Chrome-trace instant marker per violation, for visual triage.
+std::vector<gpusim::TraceMarker> violation_markers(const RaceReport& report);
+
+}  // namespace glpfuzz

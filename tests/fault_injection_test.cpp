@@ -1,0 +1,199 @@
+// Fault-injection coverage: every fault site (kernel launch, stream
+// creation, profiler capture) has a targeted test proving the scheduler
+// degrades gracefully — training completes with correct results instead
+// of crashing or silently corrupting parameters.
+
+#include <gtest/gtest.h>
+
+#include "core/glp4nn.hpp"
+#include "minicaffe/models.hpp"
+#include "minicaffe/solver.hpp"
+#include "simcuda/fault_injection.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using glptest::Env;
+using glptest::GlpEnv;
+
+std::vector<float> train_params(mc::ExecContext& ec, mc::NetSpec spec,
+                                int iters) {
+  mc::Net net(std::move(spec), ec);
+  mc::SgdSolver solver(net, {});
+  solver.step(iters);
+  ec.ctx->device().synchronize();
+  std::vector<float> out;
+  for (const auto& p : net.learnable_params()) {
+    out.insert(out.end(), p->data(), p->data() + p->count());
+  }
+  return out;
+}
+
+// --- injector unit behaviour ----------------------------------------------
+
+TEST(FaultInjector, DisarmedByDefaultAndConsumesNothing) {
+  scuda::FaultInjector injector;
+  EXPECT_FALSE(injector.armed());
+  EXPECT_FALSE(injector.should_fail_launch());
+  EXPECT_FALSE(injector.should_fail_stream_create());
+  EXPECT_FALSE(injector.should_drop_capture());
+  EXPECT_EQ(injector.total_faults(), 0u);
+}
+
+TEST(FaultInjector, RejectsOutOfRangeRates) {
+  scuda::FaultInjector injector;
+  scuda::FaultConfig bad;
+  bad.launch_failure_rate = 1.5;
+  EXPECT_THROW(injector.arm(bad), glp::Error);
+  bad.launch_failure_rate = -0.1;
+  EXPECT_THROW(injector.arm(bad), glp::Error);
+}
+
+TEST(FaultInjector, CountersTrackEachSite) {
+  scuda::FaultInjector injector;
+  scuda::FaultConfig config;
+  config.launch_failure_rate = 1.0;
+  config.stream_create_failure_rate = 1.0;
+  config.capture_loss_rate = 1.0;
+  injector.arm(config);
+  EXPECT_TRUE(injector.should_fail_launch());
+  EXPECT_TRUE(injector.should_fail_launch());
+  EXPECT_TRUE(injector.should_fail_stream_create());
+  EXPECT_TRUE(injector.should_drop_capture());
+  EXPECT_EQ(injector.launch_faults(), 2u);
+  EXPECT_EQ(injector.stream_create_faults(), 1u);
+  EXPECT_EQ(injector.capture_records_dropped(), 1u);
+  EXPECT_EQ(injector.total_faults(), 4u);
+  injector.disarm();
+  EXPECT_FALSE(injector.should_fail_launch());
+}
+
+TEST(FaultInjector, DeterministicGivenSeed) {
+  scuda::FaultConfig config;
+  config.launch_failure_rate = 0.5;
+  config.seed = glptest::test_seed(77);
+  GLP_SCOPED_SEED(config.seed);
+  auto draw = [&config] {
+    scuda::FaultInjector injector;
+    injector.arm(config);
+    std::vector<bool> out;
+    for (int i = 0; i < 64; ++i) out.push_back(injector.should_fail_launch());
+    return out;
+  };
+  EXPECT_EQ(draw(), draw());
+}
+
+// --- stream-creation faults -----------------------------------------------
+
+TEST(FaultSites, StreamCreateThrowsWhenInjected) {
+  scuda::Context ctx(gpusim::DeviceTable::p100());
+  scuda::FaultConfig config;
+  config.stream_create_failure_rate = 1.0;
+  ctx.faults().arm(config);
+  EXPECT_THROW(scuda::Stream::create(ctx), scuda::StreamCreateFailed);
+  EXPECT_GE(ctx.faults().stream_create_faults(), 1u);
+}
+
+TEST(SchedulerDegradation, StreamCreateFailureFallsBackToSerial) {
+  // Every stream creation fails → the scheduler must pin each dispatch
+  // scope to the default stream and keep training, bit-identical to the
+  // serial baseline (batch 16 ≤ 32 → bit-exact contract applies).
+  Env serial;
+  const auto want = train_params(serial.ec, mc::models::lenet(16), 3);
+
+  glp4nn::SchedulerOptions opts;
+  opts.fixed_streams = 4;  // forces an acquire on the first scope
+  GlpEnv glp(gpusim::DeviceTable::p100(), opts);
+  scuda::FaultConfig config;
+  config.stream_create_failure_rate = 1.0;
+  glp.ctx.faults().arm(config);
+  const auto got = train_params(glp.ec, mc::models::lenet(16), 3);
+
+  glp4nn::RuntimeScheduler& sched = glp.engine.scheduler_for(glp.ctx);
+  EXPECT_GT(sched.serial_fallback_count(), 0u);
+  EXPECT_TRUE(sched.scope_serialized("conv1/fwd"));
+  EXPECT_EQ(sched.stream_count("conv1/fwd"), 1);
+  EXPECT_EQ(glptest::max_abs_diff(want, got), 0.0);
+}
+
+// --- kernel-launch faults -------------------------------------------------
+
+TEST(SchedulerDegradation, LaunchFailureReroutesToDefaultStream) {
+  glp4nn::SchedulerOptions opts;
+  opts.fixed_streams = 4;
+  GlpEnv glp(gpusim::DeviceTable::p100(), opts);
+  scuda::FaultConfig config;
+  config.launch_failure_rate = 1.0;  // every launch is refused
+  glp.ctx.faults().arm(config);
+  glp.ctx.device().timeline().set_enabled(true);
+  train_params(glp.ec, mc::models::lenet(8), 1);
+
+  EXPECT_GT(glp.ctx.faults().launch_faults(), 0u);
+  ASSERT_FALSE(glp.ctx.device().timeline().kernels().empty());
+  for (const gpusim::KernelRecord& k : glp.ctx.device().timeline().kernels()) {
+    EXPECT_EQ(k.stream, gpusim::kDefaultStream) << k.name;
+  }
+}
+
+TEST(SchedulerDegradation, LaunchFailurePreservesBitExactTraining) {
+  // Partial launch-failure rate: some per-sample kernels land on the
+  // default stream, the rest on their pool streams. The legacy default
+  // stream is a two-sided barrier, so global submission order — and
+  // therefore every float — is unchanged.
+  Env serial;
+  const auto want = train_params(serial.ec, mc::models::lenet(16), 3);
+
+  GlpEnv glp;
+  scuda::FaultConfig config;
+  config.launch_failure_rate = 0.3;
+  config.seed = glptest::test_seed(0xfa17);
+  GLP_SCOPED_SEED(config.seed);
+  glp.ctx.faults().arm(config);
+  const auto got = train_params(glp.ec, mc::models::lenet(16), 3);
+
+  EXPECT_GT(glp.ctx.faults().launch_faults(), 0u);
+  EXPECT_EQ(glptest::max_abs_diff(want, got), 0.0);
+}
+
+// --- profiler-capture faults ----------------------------------------------
+
+TEST(SchedulerDegradation, CaptureLossSerializesScopeAfterBoundedRetries) {
+  // Every profiler record is lost → scopes can never be decided. The
+  // scheduler must retry a bounded number of times and then serialise
+  // the scope rather than profile forever.
+  Env serial;
+  const int iters = glp4nn::RuntimeScheduler::kMaxProfileAttempts + 2;
+  const auto want = train_params(serial.ec, mc::models::lenet(16), iters);
+
+  GlpEnv glp;
+  scuda::FaultConfig config;
+  config.capture_loss_rate = 1.0;
+  glp.ctx.faults().arm(config);
+  const auto got = train_params(glp.ec, mc::models::lenet(16), iters);
+
+  glp4nn::RuntimeScheduler& sched = glp.engine.scheduler_for(glp.ctx);
+  EXPECT_GT(sched.serial_fallback_count(), 0u);
+  EXPECT_TRUE(sched.scope_serialized("conv1/fwd"));
+  EXPECT_GT(glp.ctx.faults().capture_records_dropped(), 0u);
+  EXPECT_EQ(glptest::max_abs_diff(want, got), 0.0);
+}
+
+TEST(SchedulerDegradation, PartialCaptureLossStillDecidesScopes) {
+  // Half the records drop; the remaining capture is enough to decide.
+  // Training must stay bit-identical (profiling only reads timings).
+  Env serial;
+  const auto want = train_params(serial.ec, mc::models::lenet(16), 3);
+
+  GlpEnv glp;
+  scuda::FaultConfig config;
+  config.capture_loss_rate = 0.5;
+  config.seed = glptest::test_seed(0xcafe);
+  GLP_SCOPED_SEED(config.seed);
+  glp.ctx.faults().arm(config);
+  const auto got = train_params(glp.ec, mc::models::lenet(16), 3);
+
+  EXPECT_GT(glp.ctx.faults().capture_records_dropped(), 0u);
+  EXPECT_EQ(glptest::max_abs_diff(want, got), 0.0);
+}
+
+}  // namespace

@@ -200,39 +200,7 @@ TEST_F(SchedulerTest, SteadyStateIsFasterThanSerialForOverlappableWork) {
   EXPECT_LT(glp_time, serial_time);
 }
 
-TEST(StreamManager, PoolGrowsAndReuses) {
-  scuda::Context ctx(gpusim::DeviceTable::p100());
-  glp4nn::StreamManager manager;
-  EXPECT_EQ(manager.pool_size(ctx), 0);
-  const auto a = manager.acquire(ctx, 3);
-  EXPECT_EQ(manager.pool_size(ctx), 3);
-  const auto b = manager.acquire(ctx, 2);
-  EXPECT_EQ(manager.pool_size(ctx), 3);  // reused, not grown
-  EXPECT_EQ(a[0], b[0]);
-  EXPECT_EQ(a[1], b[1]);
-  const auto c = manager.acquire(ctx, 5);
-  EXPECT_EQ(manager.pool_size(ctx), 5);
-  EXPECT_EQ(c[0], a[0]);
-  EXPECT_EQ(manager.max_pool_size(), 5);
-}
-
-TEST(StreamManager, RejectsOverCapacityRequests) {
-  scuda::Context ctx(gpusim::DeviceTable::p100());
-  glp4nn::StreamManager manager;
-  EXPECT_THROW(manager.acquire(ctx, 0), glp::InvalidArgument);
-  EXPECT_THROW(manager.acquire(ctx, 129), glp::InvalidArgument);
-}
-
-TEST(StreamManager, PerDevicePools) {
-  scuda::Context a(gpusim::DeviceTable::p100());
-  scuda::Context b(gpusim::DeviceTable::k40c());
-  glp4nn::StreamManager manager;
-  manager.acquire(a, 4);
-  EXPECT_EQ(manager.pool_size(a), 4);
-  EXPECT_EQ(manager.pool_size(b), 0);
-  manager.acquire(b, 2);
-  EXPECT_EQ(manager.pool_size(b), 2);
-}
+// StreamManager unit tests live in stream_manager_test.cpp.
 
 TEST(Engine, SharedTrackerPrivateSchedulers) {
   // Fig. 5's layout: one engine, two devices → two schedulers/analyzers,

@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -14,7 +16,26 @@
 #include "core/glp4nn.hpp"
 #include "minicaffe/net.hpp"
 
+/// Attach the effective seed to every assertion in the enclosing scope,
+/// so a failing randomized test prints how to replay it.
+#define GLP_SCOPED_SEED(seed) \
+  SCOPED_TRACE(::testing::Message() << "replay with GLP_TEST_SEED=" << (seed))
+
 namespace glptest {
+
+/// Seed for randomized tests. The GLP_TEST_SEED environment variable
+/// overrides the per-test default, letting a failure found by the fuzz
+/// driver replay inside any gtest binary:
+///
+///   GLP_TEST_SEED=1337 ./tests/fuzz_regression_test
+inline std::uint64_t test_seed(std::uint64_t default_seed) {
+  if (const char* env = std::getenv("GLP_TEST_SEED")) {
+    char* end = nullptr;
+    const std::uint64_t parsed = std::strtoull(env, &end, 10);
+    if (end != env) return parsed;
+  }
+  return default_seed;
+}
 
 /// Owns a simulated device plus a dispatcher and exposes an ExecContext.
 struct Env {

@@ -1,0 +1,200 @@
+// glp4nn_fuzz — differential fuzzer for the GLP4NN runtime scheduler.
+//
+// Samples random (net, device, scheduler-options) cases from consecutive
+// seeds, trains each under serial dispatch and under the scheduler, and
+// checks the convergence-invariance contract plus the stream-ordering
+// invariants of the recorded timeline. Optionally arms fault injection
+// on the scheduler run to exercise graceful degradation.
+//
+//   glp4nn_fuzz --cases 200 --seed 1
+//   glp4nn_fuzz --cases 200 --seed 1 --fault-rate 0.05
+//   glp4nn_fuzz --replay 1337 --trace /tmp/case1337.json
+//
+// Flags:
+//   --cases <n>          number of cases (default 50); seeds are
+//                        seed, seed+1, ..., seed+n-1
+//   --seed <s>           first seed (default 1)
+//   --replay <s>         run exactly one seed, verbosely
+//   --fault-rate <p>     injected kernel-launch failure probability
+//   --stream-fault-rate <p>   injected stream-creation failure probability
+//   --capture-loss-rate <p>   injected profiler record-loss probability
+//   --max-batch <n>      cap generated batch sizes (default 64)
+//   --no-branches        linear nets only
+//   --no-timeline        skip timeline recording + race checking
+//   --trace <file>       Chrome trace of the last failing (or replayed)
+//                        case, with one marker per race violation
+//   --verbose            one summary line per case
+//
+// Exit code: 0 when every case passes, 1 otherwise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/check.hpp"
+#include "core/glp4nn.hpp"
+#include "gpusim/trace_export.hpp"
+#include "minicaffe/solver.hpp"
+#include "testing/differential_runner.hpp"
+#include "testing/net_generator.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, const std::string& error = {}) {
+  if (!error.empty()) std::fprintf(stderr, "error: %s\n\n", error.c_str());
+  std::fprintf(stderr,
+               "usage: %s [--cases N] [--seed S] [--replay S]\n"
+               "          [--fault-rate P] [--stream-fault-rate P]\n"
+               "          [--capture-loss-rate P] [--max-batch N]\n"
+               "          [--no-branches] [--no-timeline] [--trace FILE]\n"
+               "          [--verbose]\n",
+               argv0);
+  std::exit(error.empty() ? 0 : 2);
+}
+
+struct Stats {
+  int passed = 0;
+  int failed = 0;
+  int bit_exact = 0;
+  int tolerance = 0;
+  std::size_t launch_faults = 0;
+  std::size_t stream_faults = 0;
+  std::size_t capture_drops = 0;
+  std::size_t fallback_scopes = 0;
+  int peak_concurrency = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int cases = 50;
+  std::uint64_t seed = 1;
+  bool replay = false;
+  bool verbose = false;
+  std::string trace_path;
+  glpfuzz::NetGenOptions gen;
+  glpfuzz::DiffOptions diff;
+
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0], std::string(argv[i]) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--cases") == 0) {
+      cases = std::atoi(need_value(i));
+    } else if (std::strcmp(a, "--seed") == 0) {
+      seed = std::strtoull(need_value(i), nullptr, 10);
+    } else if (std::strcmp(a, "--replay") == 0) {
+      seed = std::strtoull(need_value(i), nullptr, 10);
+      replay = true;
+      cases = 1;
+      verbose = true;
+    } else if (std::strcmp(a, "--fault-rate") == 0) {
+      diff.faults.launch_failure_rate = std::atof(need_value(i));
+    } else if (std::strcmp(a, "--stream-fault-rate") == 0) {
+      diff.faults.stream_create_failure_rate = std::atof(need_value(i));
+    } else if (std::strcmp(a, "--capture-loss-rate") == 0) {
+      diff.faults.capture_loss_rate = std::atof(need_value(i));
+    } else if (std::strcmp(a, "--max-batch") == 0) {
+      gen.max_batch = std::atoi(need_value(i));
+    } else if (std::strcmp(a, "--no-branches") == 0) {
+      gen.allow_branches = false;
+    } else if (std::strcmp(a, "--no-timeline") == 0) {
+      diff.check_timeline = false;
+    } else if (std::strcmp(a, "--trace") == 0) {
+      trace_path = need_value(i);
+    } else if (std::strcmp(a, "--verbose") == 0) {
+      verbose = true;
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      usage(argv[0]);
+    } else {
+      usage(argv[0], std::string("unknown flag '") + a + "'");
+    }
+  }
+  if (cases <= 0) usage(argv[0], "--cases must be positive");
+  for (double rate : {diff.faults.launch_failure_rate,
+                      diff.faults.stream_create_failure_rate,
+                      diff.faults.capture_loss_rate}) {
+    if (rate < 0.0 || rate > 1.0) {
+      usage(argv[0], "fault rates must be probabilities in [0, 1]");
+    }
+  }
+
+  Stats stats;
+  for (int i = 0; i < cases; ++i) {
+    const std::uint64_t case_seed = seed + static_cast<std::uint64_t>(i);
+    const glpfuzz::FuzzCase c = glpfuzz::make_case(case_seed, gen);
+    glpfuzz::DiffResult r;
+    std::string error;
+    try {
+      r = glpfuzz::run_differential(c, diff);
+    } catch (const std::exception& e) {
+      r.ok = false;
+      r.failure = std::string("exception: ") + e.what();
+    }
+
+    stats.launch_faults += r.launch_faults;
+    stats.stream_faults += r.stream_faults;
+    stats.capture_drops += r.capture_drops;
+    stats.fallback_scopes += r.serial_fallback_scopes;
+    stats.peak_concurrency =
+        std::max(stats.peak_concurrency, r.races.peak_concurrency);
+    (r.bit_exact_expected ? stats.bit_exact : stats.tolerance) += 1;
+
+    if (r.ok) {
+      ++stats.passed;
+      if (verbose) {
+        std::printf("PASS %s | %s, max param diff %.3g, %zu ops, peak C=%d\n",
+                    c.summary().c_str(),
+                    r.bit_exact_observed ? "bit-exact" : "tolerance",
+                    r.max_param_diff, r.races.ops_checked,
+                    r.races.peak_concurrency);
+      }
+    } else {
+      ++stats.failed;
+      std::printf("FAIL %s\n     %s\n", c.summary().c_str(),
+                  r.failure.c_str());
+      if (!r.races.clean()) {
+        std::fputs(r.races.to_string().c_str(), stdout);
+      }
+      std::printf("     replay: %s --replay %llu\n", argv[0],
+                  static_cast<unsigned long long>(case_seed));
+    }
+
+    // On request, dump a trace of the replayed (or any failing) case with
+    // race-violation markers for chrome://tracing triage.
+    if (!trace_path.empty() && (replay || !r.ok)) {
+      const glpfuzz::FuzzCase again = glpfuzz::make_case(case_seed, gen);
+      scuda::Context ctx(again.device);
+      ctx.device().timeline().set_enabled(true);
+      glp4nn::Glp4nnEngine engine(again.options);
+      mc::ExecContext ec;
+      ec.ctx = &ctx;
+      ec.dispatcher = &engine.scheduler_for(ctx);
+      mc::Net net(again.net, ec);
+      mc::SgdSolver solver(net, {});
+      solver.step(again.iters);
+      ctx.device().synchronize();
+      const glpfuzz::RaceReport report =
+          glpfuzz::check_timeline(ctx.device().timeline(), again.device);
+      gpusim::write_chrome_trace(ctx.device().timeline(),
+                                 glpfuzz::violation_markers(report),
+                                 trace_path);
+      std::printf("     trace written to %s\n", trace_path.c_str());
+    }
+  }
+
+  std::printf(
+      "\n%d/%d cases passed (%d bit-exact regime, %d tolerance regime)\n",
+      stats.passed, cases, stats.bit_exact, stats.tolerance);
+  if (stats.launch_faults + stats.stream_faults + stats.capture_drops > 0) {
+    std::printf(
+        "faults injected: %zu launch, %zu stream-create, %zu capture drops; "
+        "%zu scope(s) degraded to serial\n",
+        stats.launch_faults, stats.stream_faults, stats.capture_drops,
+        stats.fallback_scopes);
+  }
+  return stats.failed == 0 ? 0 : 1;
+}
