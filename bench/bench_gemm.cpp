@@ -1,0 +1,182 @@
+// GEMM microbenchmark: measures the packed-panel tiled kernel against
+// the frozen naive baseline, across sizes, transpose variants, and
+// thread counts. Emits BENCH_kernels.json-schema records and (with
+// --min-gflops) enforces a CI performance floor.
+//
+// Usage: bench_gemm [--quick] [--out FILE] [--min-gflops X] [--threads N,M,...]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_perf.hpp"
+#include "common/parallel.hpp"
+#include "kernels/cpu_math.hpp"
+
+namespace {
+
+struct Options {
+  bool quick = false;
+  std::string out;
+  double min_gflops = 0.0;
+  std::vector<int> threads{1};
+};
+
+std::vector<int> parse_int_list(const char* s) {
+  std::vector<int> out;
+  std::string tok;
+  for (const char* p = s;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!tok.empty()) out.push_back(std::atoi(tok.c_str()));
+      tok.clear();
+      if (*p == '\0') break;
+    } else {
+      tok.push_back(*p);
+    }
+  }
+  return out;
+}
+
+int reps_for(int size, bool quick) {
+  if (size >= 1024) return quick ? 2 : 3;
+  if (size >= 512) return quick ? 3 : 5;
+  return 10;
+}
+
+double gemm_gflops(int m, int n, int k, double ms) {
+  return 2.0 * m * n * k / (ms * 1e6);
+}
+
+/// Benchmark one (variant, m, n, k) point at `threads` workers;
+/// verifies the optimized result against the naive baseline first.
+bench::PerfRecord run_point(bool ta, bool tb, int m, int n, int k, int threads,
+                            bool quick, bool with_naive) {
+  const int lda = ta ? m : k;
+  const int ldb = tb ? k : n;
+  std::vector<float> a(static_cast<std::size_t>(ta ? k : m) * lda);
+  std::vector<float> b(static_cast<std::size_t>(tb ? n : k) * ldb);
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  bench::fill_pseudorandom(a, 1);
+  bench::fill_pseudorandom(b, 2);
+
+  glp::set_parallel_workers(threads);
+
+  double naive_ms = 0.0;
+  if (with_naive) {
+    std::vector<float> c_ref(c.size(), 0.0f);
+    // Single rep is enough: the baseline is only a yardstick and is
+    // 3-10x slower than the kernel under test.
+    naive_ms = bench::time_best_ms(std::max(1, reps_for(std::max({m, n, k}), quick) / 2), [&] {
+      bench::naive_gemm(ta, tb, m, n, k, 1.0f, a.data(), lda, b.data(), ldb,
+                        0.0f, c_ref.data(), n);
+    });
+    // Guard the bench itself: optimized and naive must agree.
+    kern::cpu::gemm(ta, tb, m, n, k, 1.0f, a.data(), lda, b.data(), ldb, 0.0f,
+                    c.data(), n);
+    double max_rel = 0.0;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      const double denom = std::max(1.0, std::abs(static_cast<double>(c_ref[i])));
+      max_rel = std::max(max_rel, std::abs(static_cast<double>(c[i]) - c_ref[i]) / denom);
+    }
+    if (max_rel > 1e-3) {
+      std::fprintf(stderr, "FATAL: gemm mismatch vs naive (max rel err %g)\n",
+                   max_rel);
+      std::exit(2);
+    }
+  }
+
+  const double ms =
+      bench::time_best_ms(reps_for(std::max({m, n, k}), quick), [&] {
+        kern::cpu::gemm(ta, tb, m, n, k, 1.0f, a.data(), lda, b.data(), ldb,
+                        0.0f, c.data(), n);
+      });
+
+  bench::PerfRecord rec;
+  rec.kernel = std::string("gemm_") + (ta ? "t" : "n") + (tb ? "t" : "n");
+  char cfg[64];
+  std::snprintf(cfg, sizeof(cfg), "m=%d,n=%d,k=%d", m, n, k);
+  rec.config = cfg;
+  rec.threads = threads;
+  rec.ms = ms;
+  rec.gflops = gemm_gflops(m, n, k, ms);
+  if (with_naive && naive_ms > 0.0) rec.speedup_vs_naive = naive_ms / ms;
+  return rec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opt.quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      opt.out = argv[++i];
+    } else if (std::strcmp(argv[i], "--min-gflops") == 0 && i + 1 < argc) {
+      opt.min_gflops = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      opt.threads = parse_int_list(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_gemm [--quick] [--out FILE] [--min-gflops X] "
+                   "[--threads N,M,...]\n");
+      return 1;
+    }
+  }
+  if (opt.threads.empty()) opt.threads = {1};
+
+  const std::vector<int> sizes =
+      opt.quick ? std::vector<int>{128, 256} : std::vector<int>{128, 256, 512, 1024};
+  std::vector<bench::PerfRecord> records;
+
+  // Square sizes, no-transpose, single thread: the headline series the
+  // CI floor and the >=3x-vs-seed acceptance check read.
+  for (int s : sizes) {
+    records.push_back(run_point(false, false, s, s, s, 1, opt.quick, true));
+  }
+  // All four transpose variants at one representative size.
+  const int vs = opt.quick ? 128 : 256;
+  records.push_back(run_point(false, true, vs, vs, vs, 1, opt.quick, true));
+  records.push_back(run_point(true, false, vs, vs, vs, 1, opt.quick, true));
+  records.push_back(run_point(true, true, vs, vs, vs, 1, opt.quick, true));
+  // Skinny shapes from the layers: m=1 FC row (parallelizes over n
+  // tiles) and a conv-ish tall-thin panel.
+  records.push_back(run_point(false, true, 1, 4096, 1024, 1, opt.quick, true));
+  records.push_back(run_point(false, false, 256, 1024, 64, 1, opt.quick, true));
+  // Thread sweep at a mid size (oversubscribed when cores are scarce).
+  const int ts = opt.quick ? 256 : 512;
+  for (int t : opt.threads) {
+    if (t == 1) continue;  // already covered
+    records.push_back(run_point(false, false, ts, ts, ts, t, opt.quick, false));
+  }
+  glp::set_parallel_workers(1);
+
+  double floor_gflops = 1e300;
+  for (const bench::PerfRecord& r : records) {
+    std::printf("%-10s %-22s threads=%-3d %9.3f ms %8.2f GFLOP/s", r.kernel.c_str(),
+                r.config.c_str(), r.threads, r.ms, r.gflops);
+    if (r.speedup_vs_naive > 0.0) {
+      std::printf("  %5.2fx vs naive", r.speedup_vs_naive);
+    }
+    std::printf("\n");
+    if (r.threads == 1 && r.kernel == "gemm_nn") {
+      floor_gflops = std::min(floor_gflops, r.gflops);
+    }
+  }
+
+  if (!opt.out.empty()) {
+    bench::write_json(opt.out, records);
+    std::printf("wrote %s (%zu records)\n", opt.out.c_str(), records.size());
+  }
+
+  if (opt.min_gflops > 0.0 && floor_gflops < opt.min_gflops) {
+    std::fprintf(stderr, "FAIL: single-thread gemm_nn floor %.2f GFLOP/s < %.2f\n",
+                 floor_gflops, opt.min_gflops);
+    return 1;
+  }
+  return 0;
+}

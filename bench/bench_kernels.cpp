@@ -1,0 +1,198 @@
+// Host-kernel microbenchmark suite: im2col/col2im, pooling, elementwise
+// activations, and a compact GEMM series. Writes the committed
+// BENCH_kernels.json baseline (schema in docs/PERFORMANCE.md).
+//
+// Usage: bench_kernels [--quick] [--out FILE] [--threads N,M,...]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_perf.hpp"
+#include "common/parallel.hpp"
+#include "kernels/cpu_math.hpp"
+
+namespace {
+
+bench::PerfRecord make_record(const char* kernel, const std::string& config,
+                              int threads, double ms, double flops,
+                              double bytes) {
+  bench::PerfRecord rec;
+  rec.kernel = kernel;
+  rec.config = config;
+  rec.threads = threads;
+  rec.ms = ms;
+  if (flops > 0.0) rec.gflops = flops / (ms * 1e6);
+  if (bytes > 0.0) rec.gbps = bytes / (ms * 1e6);
+  return rec;
+}
+
+void bench_im2col(std::vector<bench::PerfRecord>& records, int threads,
+                  int reps) {
+  // AlexNet conv2-like shape.
+  const int c = 96, h = 27, w = 27, kh = 5, kw = 5, pad = 2, stride = 1;
+  const int oh = kern::cpu::conv_out_size(h, kh, pad, stride);
+  const int ow = kern::cpu::conv_out_size(w, kw, pad, stride);
+  std::vector<float> im(static_cast<std::size_t>(c) * h * w);
+  std::vector<float> col(static_cast<std::size_t>(c) * kh * kw * oh * ow);
+  bench::fill_pseudorandom(im, 3);
+  const double bytes = (im.size() + col.size()) * sizeof(float);
+  char cfg[96];
+  std::snprintf(cfg, sizeof(cfg), "c=%d,h=%d,w=%d,k=%d,pad=%d,stride=%d", c, h,
+                w, kh, pad, stride);
+
+  double ms = bench::time_best_ms(reps, [&] {
+    kern::cpu::im2col(im.data(), c, h, w, kh, kw, pad, pad, stride, stride,
+                      col.data());
+  });
+  records.push_back(make_record("im2col", cfg, threads, ms, 0.0, bytes));
+
+  ms = bench::time_best_ms(reps, [&] {
+    kern::cpu::fill(im.size(), 0.0f, im.data());
+    kern::cpu::col2im(col.data(), c, h, w, kh, kw, pad, pad, stride, stride,
+                      im.data());
+  });
+  records.push_back(make_record("col2im", cfg, threads, ms, 0.0, bytes));
+}
+
+void bench_pool(std::vector<bench::PerfRecord>& records, int threads,
+                int reps) {
+  const int c = 256, h = 54, w = 54, kernel = 3, stride = 2, pad = 0;
+  const int oh = kern::cpu::conv_out_size(h, kernel, pad, stride);
+  const int ow = kern::cpu::conv_out_size(w, kernel, pad, stride);
+  std::vector<float> in(static_cast<std::size_t>(c) * h * w);
+  std::vector<float> out(static_cast<std::size_t>(c) * oh * ow);
+  std::vector<int> mask(out.size());
+  bench::fill_pseudorandom(in, 4);
+  const double bytes = (in.size() + 2.0 * out.size()) * sizeof(float);
+  char cfg[96];
+  std::snprintf(cfg, sizeof(cfg), "c=%d,h=%d,w=%d,k=%d,stride=%d", c, h, w,
+                kernel, stride);
+
+  double ms = bench::time_best_ms(reps, [&] {
+    kern::cpu::max_pool_forward(in.data(), c, h, w, kernel, stride, pad, oh, ow,
+                                out.data(), mask.data());
+  });
+  records.push_back(make_record("max_pool_forward", cfg, threads, ms, 0.0, bytes));
+
+  ms = bench::time_best_ms(reps, [&] {
+    kern::cpu::ave_pool_forward(in.data(), c, h, w, kernel, stride, pad, oh, ow,
+                                out.data());
+  });
+  records.push_back(make_record("ave_pool_forward", cfg, threads, ms, 0.0, bytes));
+}
+
+void bench_elementwise(std::vector<bench::PerfRecord>& records, int threads,
+                       int reps) {
+  const std::size_t count = 1u << 22;  // 16 MiB per tensor
+  std::vector<float> x(count), y(count), dy(count);
+  bench::fill_pseudorandom(x, 5);
+  bench::fill_pseudorandom(dy, 6);
+  char cfg[48];
+  std::snprintf(cfg, sizeof(cfg), "count=%zu", count);
+
+  double ms = bench::time_best_ms(reps, [&] {
+    kern::cpu::relu_forward(count, x.data(), y.data(), 0.0f);
+  });
+  records.push_back(make_record("relu_forward", cfg, threads, ms,
+                                static_cast<double>(count),
+                                2.0 * count * sizeof(float)));
+
+  ms = bench::time_best_ms(reps, [&] {
+    kern::cpu::sigmoid_forward(count, x.data(), y.data());
+  });
+  records.push_back(make_record("sigmoid_forward", cfg, threads, ms,
+                                4.0 * count, 2.0 * count * sizeof(float)));
+
+  ms = bench::time_best_ms(reps, [&] {
+    kern::cpu::tanh_backward(count, y.data(), dy.data(), x.data());
+  });
+  records.push_back(make_record("tanh_backward", cfg, threads, ms,
+                                3.0 * count, 3.0 * count * sizeof(float)));
+
+  ms = bench::time_best_ms(reps, [&] {
+    kern::cpu::axpy(count, 0.5f, x.data(), y.data());
+  });
+  records.push_back(make_record("axpy", cfg, threads, ms, 2.0 * count,
+                                3.0 * count * sizeof(float)));
+}
+
+void bench_gemm_compact(std::vector<bench::PerfRecord>& records, int threads,
+                        int reps) {
+  const int s = 256;
+  std::vector<float> a(static_cast<std::size_t>(s) * s);
+  std::vector<float> b(a.size()), c(a.size(), 0.0f);
+  bench::fill_pseudorandom(a, 7);
+  bench::fill_pseudorandom(b, 8);
+  const double flops = 2.0 * s * s * s;
+
+  double naive_ms = 0.0;
+  if (threads == 1) {
+    naive_ms = bench::time_best_ms(std::max(1, reps / 2), [&] {
+      bench::naive_gemm(false, false, s, s, s, 1.0f, a.data(), s, b.data(), s,
+                        0.0f, c.data(), s);
+    });
+  }
+  const double ms = bench::time_best_ms(reps, [&] {
+    kern::cpu::gemm(false, false, s, s, s, 1.0f, a.data(), s, b.data(), s, 0.0f,
+                    c.data(), s);
+  });
+  bench::PerfRecord rec =
+      make_record("gemm_nn", "m=256,n=256,k=256", threads, ms, flops, 0.0);
+  if (naive_ms > 0.0) rec.speedup_vs_naive = naive_ms / ms;
+  records.push_back(rec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_kernels.json";
+  std::vector<int> threads{1};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads.clear();
+      for (const char* p = argv[++i]; *p != '\0'; ++p) {
+        if (*p >= '0' && *p <= '9') {
+          threads.push_back(std::atoi(p));
+          while (p[1] != '\0' && p[1] != ',') ++p;
+        }
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_kernels [--quick] [--out FILE] [--threads N,M,...]\n");
+      return 1;
+    }
+  }
+  if (threads.empty()) threads = {1};
+  const int reps = quick ? 3 : 7;
+
+  std::vector<bench::PerfRecord> records;
+  for (int t : threads) {
+    glp::set_parallel_workers(t);
+    bench_gemm_compact(records, t, reps);
+    bench_im2col(records, t, reps);
+    bench_pool(records, t, reps);
+    bench_elementwise(records, t, reps);
+  }
+  glp::set_parallel_workers(1);
+
+  for (const bench::PerfRecord& r : records) {
+    std::printf("%-18s %-38s threads=%-3d %9.3f ms", r.kernel.c_str(),
+                r.config.c_str(), r.threads, r.ms);
+    if (r.gflops > 0.0) std::printf(" %8.2f GFLOP/s", r.gflops);
+    if (r.gbps > 0.0) std::printf(" %8.2f GB/s", r.gbps);
+    if (r.speedup_vs_naive > 0.0) std::printf("  %5.2fx vs naive", r.speedup_vs_naive);
+    std::printf("\n");
+  }
+
+  bench::write_json(out, records);
+  std::printf("wrote %s (%zu records)\n", out.c_str(), records.size());
+  return 0;
+}

@@ -1,0 +1,124 @@
+#include "bench_perf.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace bench {
+
+namespace {
+
+// Minimal JSON string escape; kernel/config strings are ASCII by
+// construction but a stray quote must not corrupt the file.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_json(const std::string& path, const std::vector<PerfRecord>& records) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"glp4nn-bench-kernels-v1\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const PerfRecord& r = records[i];
+    os << "    {\"kernel\": \"" << escape(r.kernel) << "\", \"config\": \""
+       << escape(r.config) << "\", \"threads\": " << r.threads
+       << ", \"ms\": " << r.ms;
+    if (r.gflops > 0.0) os << ", \"gflops\": " << r.gflops;
+    if (r.gbps > 0.0) os << ", \"gbps\": " << r.gbps;
+    if (r.speedup_vs_naive > 0.0) {
+      os << ", \"speedup_vs_naive\": " << r.speedup_vs_naive;
+    }
+    os << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+
+  std::ofstream f(path);
+  GLP_REQUIRE(f.good(), "cannot open " << path << " for writing");
+  f << os.str();
+  GLP_REQUIRE(f.good(), "write to " << path << " failed");
+}
+
+void naive_gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+                const float* a, int lda, const float* b, int ldb, float beta,
+                float* c, int ldc) {
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + static_cast<std::size_t>(i) * ldc;
+    if (beta == 0.0f) {
+      for (int j = 0; j < n; ++j) crow[j] = 0.0f;
+    } else if (beta != 1.0f) {
+      for (int j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+  if (!trans_a && !trans_b) {
+    for (int i = 0; i < m; ++i) {
+      const float* arow = a + static_cast<std::size_t>(i) * lda;
+      float* crow = c + static_cast<std::size_t>(i) * ldc;
+      for (int p = 0; p < k; ++p) {
+        const float av = alpha * arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b + static_cast<std::size_t>(p) * ldb;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (!trans_a && trans_b) {
+    for (int i = 0; i < m; ++i) {
+      const float* arow = a + static_cast<std::size_t>(i) * lda;
+      float* crow = c + static_cast<std::size_t>(i) * ldc;
+      for (int j = 0; j < n; ++j) {
+        const float* brow = b + static_cast<std::size_t>(j) * ldb;
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] += alpha * acc;
+      }
+    }
+  } else if (trans_a && !trans_b) {
+    for (int p = 0; p < k; ++p) {
+      const float* arow = a + static_cast<std::size_t>(p) * lda;
+      const float* brow = b + static_cast<std::size_t>(p) * ldb;
+      for (int i = 0; i < m; ++i) {
+        const float av = alpha * arow[i];
+        if (av == 0.0f) continue;
+        float* crow = c + static_cast<std::size_t>(i) * ldc;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else {
+    for (int i = 0; i < m; ++i) {
+      float* crow = c + static_cast<std::size_t>(i) * ldc;
+      for (int j = 0; j < n; ++j) {
+        const float* brow = b + static_cast<std::size_t>(j) * ldb;
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) {
+          acc += a[static_cast<std::size_t>(p) * lda + i] * brow[p];
+        }
+        crow[j] += alpha * acc;
+      }
+    }
+  }
+}
+
+void fill_pseudorandom(std::vector<float>& v, unsigned salt) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::uint64_t z = (static_cast<std::uint64_t>(i) + 1) * 0x9E3779B97F4A7C15ull +
+                      salt * 0xBF58476D1CE4E5B9ull;
+    z ^= z >> 30;
+    z *= 0xBF58476D1CE4E5B9ull;
+    z ^= z >> 27;
+    // Map to [-0.5, 0.5): nonzero mean-free data keeps the naive GEMM's
+    // `av == 0` skip from firing and the comparison honest.
+    v[i] = static_cast<float>(static_cast<double>(z >> 11) /
+                              static_cast<double>(1ull << 53)) -
+           0.5f;
+  }
+}
+
+}  // namespace bench

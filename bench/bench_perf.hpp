@@ -1,0 +1,59 @@
+#pragma once
+// Shared harness for the host-math microbenchmarks (bench_gemm,
+// bench_kernels): wall-clock timing loops, the frozen naive GEMM used as
+// the speedup baseline, and the BENCH_kernels.json record format
+// (documented in docs/PERFORMANCE.md).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+
+namespace bench {
+
+/// One timed kernel configuration. `gflops`/`gbps`/`speedup_vs_naive`
+/// are 0 when not applicable to the kernel.
+struct PerfRecord {
+  std::string kernel;  ///< e.g. "gemm_nn", "im2col", "relu_forward"
+  std::string config;  ///< e.g. "m=256,n=256,k=256"
+  int threads = 1;
+  double ms = 0.0;      ///< best wall time over the measured repetitions
+  double gflops = 0.0;  ///< useful flops / best time
+  double gbps = 0.0;    ///< bytes moved / best time
+  double speedup_vs_naive = 0.0;  ///< naive_ms / ms at the same thread count
+};
+
+/// Serialize records to the BENCH_kernels.json schema (pretty-printed,
+/// stable field order) at `path`. Throws on I/O failure.
+void write_json(const std::string& path, const std::vector<PerfRecord>& records);
+
+/// Best-of-`reps` wall time of `fn()` in milliseconds (after one
+/// untimed warmup call). Best-of is robust to scheduling noise on a
+/// shared machine, which is what CI runs on.
+template <typename F>
+double time_best_ms(int reps, const F& fn) {
+  fn();  // warmup: faults pages, warms caches, primes the thread pool
+  double best = 1e300;
+  glp::WallTimer timer;
+  for (int r = 0; r < reps; ++r) {
+    timer.reset();
+    fn();
+    const double ms = timer.elapsed_ms();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+/// The seed repository's serial GEMM, frozen here as the speedup
+/// baseline so `speedup_vs_naive` keeps meaning the same thing as the
+/// optimized library evolves.
+void naive_gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+                const float* a, int lda, const float* b, int ldb, float beta,
+                float* c, int ldc);
+
+/// Deterministic fill (splitmix-style hash of the index) so benches do
+/// not depend on a seeded RNG's library-specific stream.
+void fill_pseudorandom(std::vector<float>& v, unsigned salt);
+
+}  // namespace bench

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -12,25 +14,100 @@ namespace glp {
 
 namespace {
 
-// A fixed pool of workers woken per parallel_for call. Threads are
-// created on first use and joined at process exit (CP.25-style ownership:
-// the pool object owns and joins its threads). Worker i only ever runs
-// partition i of the current generation, so no partition can run twice;
-// a generation cannot complete until every counted partition ran, so no
-// worker can sleep through a generation it participates in.
+// True while this thread is executing a chunk; nested parallel_for calls
+// run inline instead of re-entering the (non-reentrant) pool.
+thread_local bool t_in_parallel = false;
+
+int env_workers() {
+  const char* s = std::getenv("GLP_NUM_THREADS");
+  if (s == nullptr || *s == '\0') return 0;
+  const long v = std::strtol(s, nullptr, 10);
+  if (v < 1) return 0;
+  return static_cast<int>(std::min(v, 256L));
+}
+
+int default_workers() {
+  const int env = env_workers();
+  if (env > 0) return env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(hw > 1 ? hw : 1);
+}
+
+// Everything one parallel_for dispatch needs. Heap-allocated and shared
+// so a worker that wakes late (or grabs its last ticket just as the call
+// completes) only ever touches an exhausted counter, never a stale or
+// dead task — which is what makes resetting per-call state safe without
+// a generation handshake.
+struct Run {
+  detail::RangeFn fn = nullptr;
+  void* ctx = nullptr;
+  std::size_t begin = 0;
+  std::size_t grain = 1;
+  std::size_t n_chunks = 0;
+  std::size_t end = 0;
+  std::atomic<std::size_t> next{0};       // ticket dispenser
+  std::atomic<std::size_t> remaining{0};  // chunks not yet finished
+};
+
+// Fixed pool of workers woken per parallel_for call. Threads are created
+// on first use (or by set_parallel_workers) and joined at shutdown
+// (CP.25-style ownership: the pool owns and joins its threads). Chunks
+// are handed out through an atomic ticket counter, so load imbalance
+// between chunks does not serialize the call the way the old fixed
+// partitioning did.
 class Pool {
  public:
-  Pool() {
-    const unsigned hw = std::thread::hardware_concurrency();
-    worker_count_ = static_cast<int>(hw > 1 ? hw : 1);
-    const int spawn = worker_count_ - 1;  // caller participates as worker 0
+  explicit Pool(int workers) { start(workers); }
+  ~Pool() { stop(); }
+
+  int workers() const { return worker_count_; }
+
+  void resize(int workers) {
+    workers = std::max(1, workers);
+    if (workers == worker_count_) return;
+    stop();
+    start(workers);
+  }
+
+  void run(std::size_t begin, std::size_t end, std::size_t grain,
+           detail::RangeFn fn, void* ctx) {
+    auto run = std::make_shared<Run>();
+    run->fn = fn;
+    run->ctx = ctx;
+    run->begin = begin;
+    run->end = end;
+    run->grain = grain;
+    run->n_chunks = (end - begin + grain - 1) / grain;
+    run->next.store(0, std::memory_order_relaxed);
+    run->remaining.store(run->n_chunks, std::memory_order_relaxed);
+    {
+      const std::scoped_lock lock(mutex_);
+      current_ = run;
+      ++generation_;
+    }
+    cv_.notify_all();
+    // The caller works too. If its own final ticket retired the last
+    // chunk, every chunk has finished and there is nothing to wait for —
+    // skip the mutex + condition variable round trip entirely.
+    if (drain(*run)) return;
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&run] {
+      return run->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+ private:
+  void start(int workers) {
+    worker_count_ = std::max(1, workers);
+    shutdown_ = false;
+    const int spawn = worker_count_ - 1;  // the caller participates
     threads_.reserve(static_cast<std::size_t>(spawn));
     for (int i = 0; i < spawn; ++i) {
-      threads_.emplace_back([this, i] { worker_loop(i + 1); });
+      threads_.emplace_back([this] { worker_loop(); });
     }
   }
 
-  ~Pool() {
+  void stop() {
     {
       const std::scoped_lock lock(mutex_);
       shutdown_ = true;
@@ -38,62 +115,46 @@ class Pool {
     }
     cv_.notify_all();
     for (std::thread& t : threads_) t.join();
+    threads_.clear();
+    current_.reset();
   }
 
-  int workers() const { return worker_count_; }
-
-  void run(std::size_t begin, std::size_t end,
-           const std::function<void(std::size_t, std::size_t)>& fn) {
-    const std::size_t total = end - begin;
-    const int parts = std::min<int>(worker_count_, static_cast<int>(total));
-    Task task{&fn, begin, end, parts};
-    {
-      const std::scoped_lock lock(mutex_);
-      task_ = task;
-      remaining_.store(parts, std::memory_order_relaxed);
-      ++generation_;
+  /// Execute tickets until the dispenser is exhausted. Returns true if
+  /// this thread retired the final outstanding chunk.
+  bool drain(Run& run) {
+    bool retired_last = false;
+    for (;;) {
+      const std::size_t c = run.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= run.n_chunks) break;
+      const std::size_t lo = run.begin + c * run.grain;
+      const std::size_t hi = std::min(run.end, lo + run.grain);
+      t_in_parallel = true;
+      run.fn(run.ctx, lo, hi);
+      t_in_parallel = false;
+      if (run.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        retired_last = true;
+      }
     }
-    cv_.notify_all();
-    run_part(task, 0);  // the caller works too
-    std::unique_lock lock(mutex_);
-    done_cv_.wait(lock, [this] { return remaining_.load(std::memory_order_acquire) == 0; });
+    return retired_last;
   }
 
- private:
-  struct Task {
-    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
-    std::size_t begin = 0;
-    std::size_t end = 0;
-    int parts = 0;
-  };
-
-  void run_part(const Task& task, int part) {
-    if (part >= task.parts) return;
-    const std::size_t total = task.end - task.begin;
-    const std::size_t chunk = total / static_cast<std::size_t>(task.parts);
-    const std::size_t extra = total % static_cast<std::size_t>(task.parts);
-    const std::size_t p = static_cast<std::size_t>(part);
-    const std::size_t lo = task.begin + p * chunk + std::min<std::size_t>(p, extra);
-    const std::size_t hi = lo + chunk + (p < extra ? 1 : 0);
-    if (hi > lo) (*task.fn)(lo, hi);
-    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      const std::scoped_lock lock(mutex_);
-      done_cv_.notify_one();
-    }
-  }
-
-  void worker_loop(int worker_index) {
+  void worker_loop() {
     std::uint64_t seen = 0;
     for (;;) {
-      Task task;
+      std::shared_ptr<Run> run;
       {
         std::unique_lock lock(mutex_);
         cv_.wait(lock, [this, seen] { return generation_ != seen || shutdown_; });
         if (shutdown_) return;
         seen = generation_;
-        task = task_;  // copy under the lock; never touch task_ unlocked
+        run = current_;  // shared ownership; safe after the caller returns
       }
-      run_part(task, worker_index);
+      if (run && drain(*run)) {
+        // Last chunk retired on a worker: wake the (possibly) waiting
+        // caller. The lock orders the notify against the caller's wait.
+        const std::scoped_lock lock(mutex_);
+        done_cv_.notify_one();
+      }
     }
   }
 
@@ -103,14 +164,13 @@ class Pool {
   std::vector<std::thread> threads_;
   int worker_count_ = 1;
 
-  Task task_;
-  std::atomic<int> remaining_{0};
+  std::shared_ptr<Run> current_;
   std::uint64_t generation_ = 0;
   bool shutdown_ = false;
 };
 
 Pool& pool() {
-  static Pool p;
+  static Pool p(default_workers());
   return p;
 }
 
@@ -118,15 +178,21 @@ Pool& pool() {
 
 int parallel_workers() { return pool().workers(); }
 
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t, std::size_t)>& fn,
-                  std::size_t grain) {
+void set_parallel_workers(int workers) { pool().resize(workers); }
+
+namespace detail {
+
+void parallel_for_impl(std::size_t begin, std::size_t end, std::size_t grain,
+                       RangeFn fn, void* ctx) {
   if (end <= begin) return;
-  if (end - begin <= grain || parallel_workers() == 1) {
-    fn(begin, end);
+  if (grain == 0) grain = 1;
+  if (end - begin <= grain || t_in_parallel || pool().workers() == 1) {
+    fn(ctx, begin, end);
     return;
   }
-  pool().run(begin, end, fn);
+  pool().run(begin, end, grain, fn, ctx);
 }
+
+}  // namespace detail
 
 }  // namespace glp

@@ -2,100 +2,54 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 
+#define GLP_RESTRICT __restrict__
+
 namespace kern::cpu {
 
+// gemm() lives in gemm.cpp (packed-panel tiled implementation).
+
 namespace {
-// Below this many multiply-adds a parallel dispatch costs more than it saves.
-constexpr std::size_t kGemmParallelThreshold = 1u << 18;
-}  // namespace
 
-void gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
-          const float* a, int lda, const float* b, int ldb, float beta, float* c,
-          int ldc) {
-  GLP_REQUIRE(m >= 0 && n >= 0 && k >= 0, "gemm dims must be non-negative");
+// Chunk size for elementwise kernels: large enough that the per-chunk
+// dispatch (two atomic ops) is noise, small enough to balance load.
+constexpr std::size_t kElemGrain = 1u << 15;
 
-  auto row_range = [&](std::size_t i0, std::size_t i1) {
-    // Scale / clear the C rows in this partition.
-    for (std::size_t i = i0; i < i1; ++i) {
-      float* crow = c + i * static_cast<std::size_t>(ldc);
-      if (beta == 0.0f) {
-        std::fill(crow, crow + n, 0.0f);
-      } else if (beta != 1.0f) {
-        for (int j = 0; j < n; ++j) crow[j] *= beta;
-      }
-    }
-    if (!trans_a && !trans_b) {
-      // C[i,j] += alpha * A[i,p] * B[p,j] — ikj order, contiguous B rows.
-      for (std::size_t i = i0; i < i1; ++i) {
-        const float* arow = a + i * static_cast<std::size_t>(lda);
-        float* crow = c + i * static_cast<std::size_t>(ldc);
-        for (int p = 0; p < k; ++p) {
-          const float av = alpha * arow[p];
-          if (av == 0.0f) continue;
-          const float* brow = b + static_cast<std::size_t>(p) * ldb;
-          for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      }
-    } else if (!trans_a && trans_b) {
-      // C[i,j] += alpha * A[i,p] * B[j,p] — dot products over contiguous rows.
-      for (std::size_t i = i0; i < i1; ++i) {
-        const float* arow = a + i * static_cast<std::size_t>(lda);
-        float* crow = c + i * static_cast<std::size_t>(ldc);
-        for (int j = 0; j < n; ++j) {
-          const float* brow = b + static_cast<std::size_t>(j) * ldb;
-          float acc = 0.0f;
-          for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-          crow[j] += alpha * acc;
-        }
-      }
-    } else if (trans_a && !trans_b) {
-      // C[i,j] += alpha * A[p,i] * B[p,j]
-      for (int p = 0; p < k; ++p) {
-        const float* arow = a + static_cast<std::size_t>(p) * lda;
-        const float* brow = b + static_cast<std::size_t>(p) * ldb;
-        for (std::size_t i = i0; i < i1; ++i) {
-          const float av = alpha * arow[i];
-          if (av == 0.0f) continue;
-          float* crow = c + i * static_cast<std::size_t>(ldc);
-          for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      }
-    } else {
-      // C[i,j] += alpha * A[p,i] * B[j,p]
-      for (std::size_t i = i0; i < i1; ++i) {
-        float* crow = c + i * static_cast<std::size_t>(ldc);
-        for (int j = 0; j < n; ++j) {
-          const float* brow = b + static_cast<std::size_t>(j) * ldb;
-          float acc = 0.0f;
-          for (int p = 0; p < k; ++p) {
-            acc += a[static_cast<std::size_t>(p) * lda + i] * brow[p];
-          }
-          crow[j] += alpha * acc;
-        }
-      }
-    }
-  };
+// Minimum per-call element count before a parallel dispatch pays off for
+// memory-bound kernels.
+constexpr std::size_t kElemParallel = 1u << 15;
 
-  const std::size_t work = static_cast<std::size_t>(m) * static_cast<std::size_t>(n) *
-                           static_cast<std::size_t>(std::max(k, 1));
-  if (work >= kGemmParallelThreshold && m > 1) {
-    glp::parallel_for(0, static_cast<std::size_t>(m), row_range, /*grain=*/1);
-  } else {
-    row_range(0, static_cast<std::size_t>(m));
-  }
+/// Deterministic chunk size for partitioning `count` outer items whose
+/// bodies each cost ~`per_item` elements: depends only on the shape.
+std::size_t grain_for(std::size_t per_item) {
+  return std::max<std::size_t>(1, kElemGrain / std::max<std::size_t>(1, per_item));
 }
 
+}  // namespace
+
 void axpy(std::size_t count, float alpha, const float* x, float* y) {
-  for (std::size_t i = 0; i < count; ++i) y[i] += alpha * x[i];
+  glp::parallel_for(
+      0, count,
+      [=](std::size_t lo, std::size_t hi) {
+        const float* GLP_RESTRICT xs = x;
+        float* GLP_RESTRICT ys = y;
+        for (std::size_t i = lo; i < hi; ++i) ys[i] += alpha * xs[i];
+      },
+      kElemGrain);
 }
 
 void scal(std::size_t count, float alpha, float* x) {
-  for (std::size_t i = 0; i < count; ++i) x[i] *= alpha;
+  glp::parallel_for(
+      0, count,
+      [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) x[i] *= alpha;
+      },
+      kElemGrain);
 }
 
 void fill(std::size_t count, float value, float* x) {
@@ -106,32 +60,68 @@ int conv_out_size(int in_size, int kernel, int pad, int stride) {
   return (in_size + 2 * pad - kernel) / stride + 1;
 }
 
+namespace {
+
+/// Output-x range [ow0, ow1) whose source column iw = ow*stride - pad + kq
+/// lies inside [0, width); everything outside is padding.
+inline void interior_ow_range(int out_w, int width, int pad_w, int stride_w,
+                              int kq, int* ow0, int* ow1) {
+  const int lo_num = pad_w - kq;  // smallest ow with iw >= 0
+  *ow0 = lo_num <= 0 ? 0 : (lo_num + stride_w - 1) / stride_w;
+  const int hi_num = width + pad_w - kq;  // smallest ow with iw >= width
+  *ow1 = hi_num <= 0 ? 0 : (hi_num + stride_w - 1) / stride_w;
+  *ow0 = std::min(*ow0, out_w);
+  *ow1 = std::max(std::min(*ow1, out_w), *ow0);
+}
+
+}  // namespace
+
 void im2col(const float* data_im, int channels, int height, int width,
             int kernel_h, int kernel_w, int pad_h, int pad_w, int stride_h,
             int stride_w, float* data_col) {
   const int out_h = conv_out_size(height, kernel_h, pad_h, stride_h);
   const int out_w = conv_out_size(width, kernel_w, pad_w, stride_w);
   const int col_rows = channels * kernel_h * kernel_w;
-  for (int row = 0; row < col_rows; ++row) {
-    const int c = row / (kernel_h * kernel_w);
-    const int kh = (row / kernel_w) % kernel_h;
-    const int kw = row % kernel_w;
-    float* col_ptr = data_col + static_cast<std::size_t>(row) * out_h * out_w;
-    const float* im_ptr = data_im + static_cast<std::size_t>(c) * height * width;
-    for (int oh = 0; oh < out_h; ++oh) {
-      const int ih = oh * stride_h - pad_h + kh;
-      if (ih < 0 || ih >= height) {
-        std::fill(col_ptr, col_ptr + out_w, 0.0f);
-        col_ptr += out_w;
-        continue;
-      }
-      for (int ow = 0; ow < out_w; ++ow) {
-        const int iw = ow * stride_w - pad_w + kw;
-        *col_ptr++ = (iw >= 0 && iw < width)
-                         ? im_ptr[static_cast<std::size_t>(ih) * width + iw]
-                         : 0.0f;
+  const std::size_t per_row = static_cast<std::size_t>(out_h) * out_w;
+  // Each col row (c, kh, kw) writes a disjoint out_h*out_w slab, so row
+  // partitioning is race-free and worker-count independent.
+  auto rows = [=](std::size_t r0, std::size_t r1) {
+    for (std::size_t row = r0; row < r1; ++row) {
+      const int c = static_cast<int>(row) / (kernel_h * kernel_w);
+      const int kh = (static_cast<int>(row) / kernel_w) % kernel_h;
+      const int kw = static_cast<int>(row) % kernel_w;
+      int ow0 = 0, ow1 = 0;
+      interior_ow_range(out_w, width, pad_w, stride_w, kw, &ow0, &ow1);
+      float* GLP_RESTRICT col_ptr = data_col + row * per_row;
+      const float* im_ptr = data_im + static_cast<std::size_t>(c) * height * width;
+      for (int oh = 0; oh < out_h; ++oh, col_ptr += out_w) {
+        const int ih = oh * stride_h - pad_h + kh;
+        if (ih < 0 || ih >= height) {
+          std::fill(col_ptr, col_ptr + out_w, 0.0f);
+          continue;
+        }
+        // Interior fast path: no per-element bounds checks; the unit
+        // stride case is a straight contiguous copy.
+        std::fill(col_ptr, col_ptr + ow0, 0.0f);
+        const float* GLP_RESTRICT im_row =
+            im_ptr + static_cast<std::size_t>(ih) * width;
+        if (stride_w == 1) {
+          std::memcpy(col_ptr + ow0, im_row + (ow0 - pad_w + kw),
+                      static_cast<std::size_t>(ow1 - ow0) * sizeof(float));
+        } else {
+          for (int ow = ow0; ow < ow1; ++ow) {
+            col_ptr[ow] = im_row[ow * stride_w - pad_w + kw];
+          }
+        }
+        std::fill(col_ptr + ow1, col_ptr + out_w, 0.0f);
       }
     }
+  };
+  if (static_cast<std::size_t>(col_rows) * per_row >= kElemParallel) {
+    glp::parallel_for(0, static_cast<std::size_t>(col_rows), rows,
+                      grain_for(per_row));
+  } else {
+    rows(0, static_cast<std::size_t>(col_rows));
   }
 }
 
@@ -140,176 +130,348 @@ void col2im(const float* data_col, int channels, int height, int width,
             int stride_w, float* data_im) {
   const int out_h = conv_out_size(height, kernel_h, pad_h, stride_h);
   const int out_w = conv_out_size(width, kernel_w, pad_w, stride_w);
-  const int col_rows = channels * kernel_h * kernel_w;
-  for (int row = 0; row < col_rows; ++row) {
-    const int c = row / (kernel_h * kernel_w);
-    const int kh = (row / kernel_w) % kernel_h;
-    const int kw = row % kernel_w;
-    const float* col_ptr = data_col + static_cast<std::size_t>(row) * out_h * out_w;
-    float* im_ptr = data_im + static_cast<std::size_t>(c) * height * width;
-    for (int oh = 0; oh < out_h; ++oh) {
-      const int ih = oh * stride_h - pad_h + kh;
-      if (ih < 0 || ih >= height) {
-        col_ptr += out_w;
-        continue;
-      }
-      for (int ow = 0; ow < out_w; ++ow) {
-        const int iw = ow * stride_w - pad_w + kw;
-        const float v = *col_ptr++;
-        if (iw >= 0 && iw < width) {
-          im_ptr[static_cast<std::size_t>(ih) * width + iw] += v;
+  const std::size_t per_row = static_cast<std::size_t>(out_h) * out_w;
+  // The scatter-add accumulates into per-channel image planes: partition
+  // over channels (disjoint planes) and keep the serial (kh, kw, oh)
+  // order inside each channel, so sums are bit-identical to a serial run.
+  auto chans = [=](std::size_t c0, std::size_t c1) {
+    for (std::size_t c = c0; c < c1; ++c) {
+      float* im_ptr = data_im + c * height * width;
+      for (int kh = 0; kh < kernel_h; ++kh) {
+        for (int kw = 0; kw < kernel_w; ++kw) {
+          const std::size_t row =
+              (c * kernel_h + kh) * kernel_w + static_cast<std::size_t>(kw);
+          const float* GLP_RESTRICT col_ptr = data_col + row * per_row;
+          int ow0 = 0, ow1 = 0;
+          interior_ow_range(out_w, width, pad_w, stride_w, kw, &ow0, &ow1);
+          for (int oh = 0; oh < out_h; ++oh, col_ptr += out_w) {
+            const int ih = oh * stride_h - pad_h + kh;
+            if (ih < 0 || ih >= height) continue;
+            float* GLP_RESTRICT im_row =
+                im_ptr + static_cast<std::size_t>(ih) * width;
+            if (stride_w == 1) {
+              float* GLP_RESTRICT dst = im_row + (ow0 - pad_w + kw);
+              for (int ow = ow0; ow < ow1; ++ow) dst[ow - ow0] += col_ptr[ow];
+            } else {
+              for (int ow = ow0; ow < ow1; ++ow) {
+                im_row[ow * stride_w - pad_w + kw] += col_ptr[ow];
+              }
+            }
+          }
         }
       }
     }
+  };
+  const std::size_t per_chan =
+      static_cast<std::size_t>(kernel_h) * kernel_w * per_row;
+  if (static_cast<std::size_t>(channels) * per_chan >= kElemParallel) {
+    glp::parallel_for(0, static_cast<std::size_t>(channels), chans,
+                      grain_for(per_chan));
+  } else {
+    chans(0, static_cast<std::size_t>(channels));
   }
 }
 
 void add_bias(int channels, int spatial, const float* bias, float* out) {
-  for (int c = 0; c < channels; ++c) {
-    float* row = out + static_cast<std::size_t>(c) * spatial;
-    const float b = bias[c];
-    for (int i = 0; i < spatial; ++i) row[i] += b;
-  }
+  glp::parallel_for(
+      0, static_cast<std::size_t>(channels),
+      [=](std::size_t c0, std::size_t c1) {
+        for (std::size_t c = c0; c < c1; ++c) {
+          float* GLP_RESTRICT row = out + c * spatial;
+          const float b = bias[c];
+          for (int i = 0; i < spatial; ++i) row[i] += b;
+        }
+      },
+      grain_for(static_cast<std::size_t>(spatial)));
 }
 
 void max_pool_forward(const float* in, int channels, int height, int width,
                       int kernel, int stride, int pad, int out_h, int out_w,
                       float* out, int* mask) {
-  for (int c = 0; c < channels; ++c) {
-    const float* im = in + static_cast<std::size_t>(c) * height * width;
-    float* o = out + static_cast<std::size_t>(c) * out_h * out_w;
-    int* m = mask == nullptr ? nullptr : mask + static_cast<std::size_t>(c) * out_h * out_w;
-    for (int oh = 0; oh < out_h; ++oh) {
-      for (int ow = 0; ow < out_w; ++ow) {
-        const int h0 = std::max(oh * stride - pad, 0);
-        const int w0 = std::max(ow * stride - pad, 0);
-        const int h1 = std::min(oh * stride - pad + kernel, height);
-        const int w1 = std::min(ow * stride - pad + kernel, width);
-        float best = -std::numeric_limits<float>::infinity();
-        int best_idx = h0 * width + w0;
-        for (int h = h0; h < h1; ++h) {
-          for (int w = w0; w < w1; ++w) {
-            const float v = im[static_cast<std::size_t>(h) * width + w];
-            if (v > best) {
-              best = v;
-              best_idx = h * width + w;
+  const std::size_t plane_in = static_cast<std::size_t>(height) * width;
+  const std::size_t plane_out = static_cast<std::size_t>(out_h) * out_w;
+  glp::parallel_for(
+      0, static_cast<std::size_t>(channels),
+      [=](std::size_t c0, std::size_t c1) {
+        for (std::size_t c = c0; c < c1; ++c) {
+          const float* im = in + c * plane_in;
+          float* o = out + c * plane_out;
+          int* m = mask == nullptr ? nullptr : mask + c * plane_out;
+          for (int oh = 0; oh < out_h; ++oh) {
+            const int h0 = std::max(oh * stride - pad, 0);
+            const int h1 = std::min(oh * stride - pad + kernel, height);
+            for (int ow = 0; ow < out_w; ++ow) {
+              const int w0 = std::max(ow * stride - pad, 0);
+              const int w1 = std::min(ow * stride - pad + kernel, width);
+              float best = -std::numeric_limits<float>::infinity();
+              int best_idx = h0 * width + w0;
+              for (int h = h0; h < h1; ++h) {
+                for (int w = w0; w < w1; ++w) {
+                  const float v = im[static_cast<std::size_t>(h) * width + w];
+                  if (v > best) {
+                    best = v;
+                    best_idx = h * width + w;
+                  }
+                }
+              }
+              o[static_cast<std::size_t>(oh) * out_w + ow] = best;
+              if (m != nullptr) {
+                m[static_cast<std::size_t>(oh) * out_w + ow] = best_idx;
+              }
             }
           }
         }
-        o[static_cast<std::size_t>(oh) * out_w + ow] = best;
-        if (m != nullptr) m[static_cast<std::size_t>(oh) * out_w + ow] = best_idx;
-      }
-    }
-  }
+      },
+      grain_for(plane_out * static_cast<std::size_t>(kernel) * kernel));
 }
 
 void max_pool_backward(const float* out_grad, const int* mask, int channels,
                        int out_h, int out_w, int height, int width,
                        float* in_grad) {
-  for (int c = 0; c < channels; ++c) {
-    const float* og = out_grad + static_cast<std::size_t>(c) * out_h * out_w;
-    const int* m = mask + static_cast<std::size_t>(c) * out_h * out_w;
-    float* ig = in_grad + static_cast<std::size_t>(c) * height * width;
-    for (int i = 0; i < out_h * out_w; ++i) {
-      ig[m[i]] += og[i];
-    }
-  }
+  const std::size_t plane_in = static_cast<std::size_t>(height) * width;
+  const std::size_t plane_out = static_cast<std::size_t>(out_h) * out_w;
+  glp::parallel_for(
+      0, static_cast<std::size_t>(channels),
+      [=](std::size_t c0, std::size_t c1) {
+        for (std::size_t c = c0; c < c1; ++c) {
+          const float* og = out_grad + c * plane_out;
+          const int* m = mask + c * plane_out;
+          float* ig = in_grad + c * plane_in;
+          for (std::size_t i = 0; i < plane_out; ++i) ig[m[i]] += og[i];
+        }
+      },
+      grain_for(plane_out));
 }
 
 void ave_pool_forward(const float* in, int channels, int height, int width,
                       int kernel, int stride, int pad, int out_h, int out_w,
                       float* out) {
-  for (int c = 0; c < channels; ++c) {
-    const float* im = in + static_cast<std::size_t>(c) * height * width;
-    float* o = out + static_cast<std::size_t>(c) * out_h * out_w;
-    for (int oh = 0; oh < out_h; ++oh) {
-      for (int ow = 0; ow < out_w; ++ow) {
-        const int h0 = std::max(oh * stride - pad, 0);
-        const int w0 = std::max(ow * stride - pad, 0);
-        const int h1 = std::min(oh * stride - pad + kernel, height);
-        const int w1 = std::min(ow * stride - pad + kernel, width);
-        // Caffe divides by the *padded* window size.
-        const int pool_size = (std::min(oh * stride - pad + kernel, height + pad) -
-                               std::max(oh * stride - pad, -pad)) *
-                              (std::min(ow * stride - pad + kernel, width + pad) -
-                               std::max(ow * stride - pad, -pad));
-        float acc = 0.0f;
-        for (int h = h0; h < h1; ++h) {
-          for (int w = w0; w < w1; ++w) {
-            acc += im[static_cast<std::size_t>(h) * width + w];
+  const std::size_t plane_in = static_cast<std::size_t>(height) * width;
+  const std::size_t plane_out = static_cast<std::size_t>(out_h) * out_w;
+  glp::parallel_for(
+      0, static_cast<std::size_t>(channels),
+      [=](std::size_t c0, std::size_t c1) {
+        for (std::size_t c = c0; c < c1; ++c) {
+          const float* im = in + c * plane_in;
+          float* o = out + c * plane_out;
+          for (int oh = 0; oh < out_h; ++oh) {
+            for (int ow = 0; ow < out_w; ++ow) {
+              const int h0 = std::max(oh * stride - pad, 0);
+              const int w0 = std::max(ow * stride - pad, 0);
+              const int h1 = std::min(oh * stride - pad + kernel, height);
+              const int w1 = std::min(ow * stride - pad + kernel, width);
+              // Caffe divides by the *padded* window size.
+              const int pool_size =
+                  (std::min(oh * stride - pad + kernel, height + pad) -
+                   std::max(oh * stride - pad, -pad)) *
+                  (std::min(ow * stride - pad + kernel, width + pad) -
+                   std::max(ow * stride - pad, -pad));
+              float acc = 0.0f;
+              for (int h = h0; h < h1; ++h) {
+                for (int w = w0; w < w1; ++w) {
+                  acc += im[static_cast<std::size_t>(h) * width + w];
+                }
+              }
+              o[static_cast<std::size_t>(oh) * out_w + ow] =
+                  acc / static_cast<float>(pool_size);
+            }
           }
         }
-        o[static_cast<std::size_t>(oh) * out_w + ow] =
-            acc / static_cast<float>(pool_size);
-      }
-    }
-  }
+      },
+      grain_for(plane_out * static_cast<std::size_t>(kernel) * kernel));
 }
 
 void ave_pool_backward(const float* out_grad, int channels, int height,
                        int width, int kernel, int stride, int pad, int out_h,
                        int out_w, float* in_grad) {
-  for (int c = 0; c < channels; ++c) {
-    const float* og = out_grad + static_cast<std::size_t>(c) * out_h * out_w;
-    float* ig = in_grad + static_cast<std::size_t>(c) * height * width;
-    for (int oh = 0; oh < out_h; ++oh) {
-      for (int ow = 0; ow < out_w; ++ow) {
-        const int h0 = std::max(oh * stride - pad, 0);
-        const int w0 = std::max(ow * stride - pad, 0);
-        const int h1 = std::min(oh * stride - pad + kernel, height);
-        const int w1 = std::min(ow * stride - pad + kernel, width);
-        const int pool_size = (std::min(oh * stride - pad + kernel, height + pad) -
-                               std::max(oh * stride - pad, -pad)) *
-                              (std::min(ow * stride - pad + kernel, width + pad) -
-                               std::max(ow * stride - pad, -pad));
-        const float g =
-            og[static_cast<std::size_t>(oh) * out_w + ow] / static_cast<float>(pool_size);
-        for (int h = h0; h < h1; ++h) {
-          for (int w = w0; w < w1; ++w) {
-            ig[static_cast<std::size_t>(h) * width + w] += g;
+  const std::size_t plane_in = static_cast<std::size_t>(height) * width;
+  const std::size_t plane_out = static_cast<std::size_t>(out_h) * out_w;
+  glp::parallel_for(
+      0, static_cast<std::size_t>(channels),
+      [=](std::size_t c0, std::size_t c1) {
+        for (std::size_t c = c0; c < c1; ++c) {
+          const float* og = out_grad + c * plane_out;
+          float* ig = in_grad + c * plane_in;
+          for (int oh = 0; oh < out_h; ++oh) {
+            for (int ow = 0; ow < out_w; ++ow) {
+              const int h0 = std::max(oh * stride - pad, 0);
+              const int w0 = std::max(ow * stride - pad, 0);
+              const int h1 = std::min(oh * stride - pad + kernel, height);
+              const int w1 = std::min(ow * stride - pad + kernel, width);
+              const int pool_size =
+                  (std::min(oh * stride - pad + kernel, height + pad) -
+                   std::max(oh * stride - pad, -pad)) *
+                  (std::min(ow * stride - pad + kernel, width + pad) -
+                   std::max(ow * stride - pad, -pad));
+              const float g = og[static_cast<std::size_t>(oh) * out_w + ow] /
+                              static_cast<float>(pool_size);
+              for (int h = h0; h < h1; ++h) {
+                for (int w = w0; w < w1; ++w) {
+                  ig[static_cast<std::size_t>(h) * width + w] += g;
+                }
+              }
+            }
           }
         }
-      }
-    }
-  }
+      },
+      grain_for(plane_out * static_cast<std::size_t>(kernel) * kernel));
 }
 
 void relu_forward(std::size_t count, const float* in, float* out,
                   float negative_slope) {
-  for (std::size_t i = 0; i < count; ++i) {
-    out[i] = in[i] > 0.0f ? in[i] : negative_slope * in[i];
-  }
+  glp::parallel_for(
+      0, count,
+      [=](std::size_t lo, std::size_t hi) {
+        const float* GLP_RESTRICT x = in;
+        float* GLP_RESTRICT y = out;
+        const float slope = negative_slope;
+        // Branch-free select form (max/min lower to vmaxps/vminps); a
+        // ternary here compiles to a data-dependent branch that
+        // mispredicts on every other activation.
+        for (std::size_t i = lo; i < hi; ++i) {
+          y[i] = std::max(x[i], 0.0f) + slope * std::min(x[i], 0.0f);
+        }
+      },
+      kElemGrain);
 }
 
 void relu_backward(std::size_t count, const float* in, const float* out_grad,
                    float* in_grad, float negative_slope) {
-  for (std::size_t i = 0; i < count; ++i) {
-    in_grad[i] = out_grad[i] * (in[i] > 0.0f ? 1.0f : negative_slope);
-  }
+  glp::parallel_for(
+      0, count,
+      [=](std::size_t lo, std::size_t hi) {
+        const float* GLP_RESTRICT x = in;
+        const float* GLP_RESTRICT dy = out_grad;
+        float* GLP_RESTRICT dx = in_grad;
+        const float slope = negative_slope;
+        for (std::size_t i = lo; i < hi; ++i) {
+          dx[i] = x[i] > 0.0f ? dy[i] : slope * dy[i];
+        }
+      },
+      kElemGrain);
 }
 
 void sigmoid_forward(std::size_t count, const float* in, float* out) {
-  for (std::size_t i = 0; i < count; ++i) {
-    out[i] = 1.0f / (1.0f + std::exp(-in[i]));
-  }
+  glp::parallel_for(
+      0, count,
+      [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] = 1.0f / (1.0f + std::exp(-in[i]));
+        }
+      },
+      kElemGrain);
 }
 
 void sigmoid_backward(std::size_t count, const float* out, const float* out_grad,
                       float* in_grad) {
-  for (std::size_t i = 0; i < count; ++i) {
-    in_grad[i] = out_grad[i] * out[i] * (1.0f - out[i]);
-  }
+  glp::parallel_for(
+      0, count,
+      [=](std::size_t lo, std::size_t hi) {
+        const float* GLP_RESTRICT y = out;
+        const float* GLP_RESTRICT dy = out_grad;
+        float* GLP_RESTRICT dx = in_grad;
+        for (std::size_t i = lo; i < hi; ++i) {
+          dx[i] = dy[i] * y[i] * (1.0f - y[i]);
+        }
+      },
+      kElemGrain);
 }
 
 void tanh_forward(std::size_t count, const float* in, float* out) {
-  for (std::size_t i = 0; i < count; ++i) out[i] = std::tanh(in[i]);
+  glp::parallel_for(
+      0, count,
+      [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) out[i] = std::tanh(in[i]);
+      },
+      kElemGrain);
 }
 
 void tanh_backward(std::size_t count, const float* out, const float* out_grad,
                    float* in_grad) {
-  for (std::size_t i = 0; i < count; ++i) {
-    in_grad[i] = out_grad[i] * (1.0f - out[i] * out[i]);
-  }
+  glp::parallel_for(
+      0, count,
+      [=](std::size_t lo, std::size_t hi) {
+        const float* GLP_RESTRICT y = out;
+        const float* GLP_RESTRICT dy = out_grad;
+        float* GLP_RESTRICT dx = in_grad;
+        for (std::size_t i = lo; i < hi; ++i) {
+          dx[i] = dy[i] * (1.0f - y[i] * y[i]);
+        }
+      },
+      kElemGrain);
+}
+
+void abs_forward(std::size_t count, const float* in, float* out) {
+  glp::parallel_for(
+      0, count,
+      [=](std::size_t lo, std::size_t hi) {
+        const float* GLP_RESTRICT x = in;
+        float* GLP_RESTRICT y = out;
+        for (std::size_t i = lo; i < hi; ++i) y[i] = std::abs(x[i]);
+      },
+      kElemGrain);
+}
+
+void abs_backward(std::size_t count, const float* in, const float* out_grad,
+                  float* in_grad) {
+  glp::parallel_for(
+      0, count,
+      [=](std::size_t lo, std::size_t hi) {
+        const float* GLP_RESTRICT x = in;
+        const float* GLP_RESTRICT dy = out_grad;
+        float* GLP_RESTRICT dx = in_grad;
+        for (std::size_t i = lo; i < hi; ++i) {
+          dx[i] = x[i] >= 0.0f ? dy[i] : -dy[i];
+        }
+      },
+      kElemGrain);
+}
+
+void exp_forward(std::size_t count, const float* in, float* out) {
+  glp::parallel_for(
+      0, count,
+      [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) out[i] = std::exp(in[i]);
+      },
+      kElemGrain);
+}
+
+void mul(std::size_t count, const float* a, const float* b, float* out) {
+  glp::parallel_for(
+      0, count,
+      [=](std::size_t lo, std::size_t hi) {
+        const float* GLP_RESTRICT xa = a;
+        const float* GLP_RESTRICT xb = b;
+        float* GLP_RESTRICT y = out;
+        for (std::size_t i = lo; i < hi; ++i) y[i] = xa[i] * xb[i];
+      },
+      kElemGrain);
+}
+
+void power_forward(std::size_t count, const float* in, float* out, float power,
+                   float scale, float shift) {
+  glp::parallel_for(
+      0, count,
+      [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] = std::pow(shift + scale * in[i], power);
+        }
+      },
+      kElemGrain);
+}
+
+void power_backward(std::size_t count, const float* in, const float* out_grad,
+                    float* in_grad, float power, float scale, float shift) {
+  glp::parallel_for(
+      0, count,
+      [=](std::size_t lo, std::size_t hi) {
+        // dy/dx = power·scale·(shift + scale·x)^(power−1)
+        for (std::size_t i = lo; i < hi; ++i) {
+          in_grad[i] = out_grad[i] * power * scale *
+                       std::pow(shift + scale * in[i], power - 1.0f);
+        }
+      },
+      kElemGrain);
 }
 
 void lrn_forward(const float* in, int channels, int height, int width,
@@ -318,21 +480,28 @@ void lrn_forward(const float* in, int channels, int height, int width,
   const int spatial = height * width;
   const int half = local_size / 2;
   const float alpha_over_n = alpha / static_cast<float>(local_size);
-  for (int i = 0; i < spatial; ++i) {
-    for (int c = 0; c < channels; ++c) {
-      const int c0 = std::max(c - half, 0);
-      const int c1 = std::min(c + half, channels - 1);
-      float acc = 0.0f;
-      for (int cc = c0; cc <= c1; ++cc) {
-        const float v = in[static_cast<std::size_t>(cc) * spatial + i];
-        acc += v * v;
-      }
-      const float s = k + alpha_over_n * acc;
-      scale[static_cast<std::size_t>(c) * spatial + i] = s;
-      out[static_cast<std::size_t>(c) * spatial + i] =
-          in[static_cast<std::size_t>(c) * spatial + i] * std::pow(s, -beta);
-    }
-  }
+  // Partition over pixels: each (c, i) output is written by the chunk
+  // owning pixel i, all channels — disjoint and order-free.
+  glp::parallel_for(
+      0, static_cast<std::size_t>(spatial),
+      [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          for (int c = 0; c < channels; ++c) {
+            const int c0 = std::max(c - half, 0);
+            const int c1 = std::min(c + half, channels - 1);
+            float acc = 0.0f;
+            for (int cc = c0; cc <= c1; ++cc) {
+              const float v = in[static_cast<std::size_t>(cc) * spatial + i];
+              acc += v * v;
+            }
+            const float s = k + alpha_over_n * acc;
+            scale[static_cast<std::size_t>(c) * spatial + i] = s;
+            out[static_cast<std::size_t>(c) * spatial + i] =
+                in[static_cast<std::size_t>(c) * spatial + i] * std::pow(s, -beta);
+          }
+        }
+      },
+      grain_for(static_cast<std::size_t>(channels) * local_size));
 }
 
 void lrn_backward(const float* in, const float* out, const float* scale,
@@ -341,37 +510,47 @@ void lrn_backward(const float* in, const float* out, const float* scale,
   const int spatial = height * width;
   const int half = local_size / 2;
   const float alpha_over_n = alpha / static_cast<float>(local_size);
-  for (int i = 0; i < spatial; ++i) {
-    for (int c = 0; c < channels; ++c) {
-      const std::size_t idx = static_cast<std::size_t>(c) * spatial + i;
-      float g = out_grad[idx] * std::pow(scale[idx], -beta);
-      // Cross-channel term: −2αβ/n · x_c · Σ_j (dy_j · y_j / s_j)
-      const int c0 = std::max(c - half, 0);
-      const int c1 = std::min(c + half, channels - 1);
-      float cross = 0.0f;
-      for (int cc = c0; cc <= c1; ++cc) {
-        const std::size_t jdx = static_cast<std::size_t>(cc) * spatial + i;
-        cross += out_grad[jdx] * out[jdx] / scale[jdx];
-      }
-      g -= 2.0f * alpha_over_n * beta * in[idx] * cross;
-      in_grad[idx] += g;
-    }
-  }
+  glp::parallel_for(
+      0, static_cast<std::size_t>(spatial),
+      [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          for (int c = 0; c < channels; ++c) {
+            const std::size_t idx = static_cast<std::size_t>(c) * spatial + i;
+            float g = out_grad[idx] * std::pow(scale[idx], -beta);
+            // Cross-channel term: −2αβ/n · x_c · Σ_j (dy_j · y_j / s_j)
+            const int c0 = std::max(c - half, 0);
+            const int c1 = std::min(c + half, channels - 1);
+            float cross = 0.0f;
+            for (int cc = c0; cc <= c1; ++cc) {
+              const std::size_t jdx = static_cast<std::size_t>(cc) * spatial + i;
+              cross += out_grad[jdx] * out[jdx] / scale[jdx];
+            }
+            g -= 2.0f * alpha_over_n * beta * in[idx] * cross;
+            in_grad[idx] += g;
+          }
+        }
+      },
+      grain_for(static_cast<std::size_t>(channels) * local_size * 2));
 }
 
 void softmax_forward(int rows, int classes, const float* in, float* prob) {
-  for (int r = 0; r < rows; ++r) {
-    const float* x = in + static_cast<std::size_t>(r) * classes;
-    float* p = prob + static_cast<std::size_t>(r) * classes;
-    float mx = x[0];
-    for (int j = 1; j < classes; ++j) mx = std::max(mx, x[j]);
-    float denom = 0.0f;
-    for (int j = 0; j < classes; ++j) {
-      p[j] = std::exp(x[j] - mx);
-      denom += p[j];
-    }
-    for (int j = 0; j < classes; ++j) p[j] /= denom;
-  }
+  glp::parallel_for(
+      0, static_cast<std::size_t>(rows),
+      [=](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          const float* x = in + r * classes;
+          float* p = prob + r * classes;
+          float mx = x[0];
+          for (int j = 1; j < classes; ++j) mx = std::max(mx, x[j]);
+          float denom = 0.0f;
+          for (int j = 0; j < classes; ++j) {
+            p[j] = std::exp(x[j] - mx);
+            denom += p[j];
+          }
+          for (int j = 0; j < classes; ++j) p[j] /= denom;
+        }
+      },
+      grain_for(static_cast<std::size_t>(classes) * 4));
 }
 
 float softmax_loss(int rows, int classes, const float* prob, const float* labels) {
@@ -387,124 +566,179 @@ float softmax_loss(int rows, int classes, const float* prob, const float* labels
 
 void softmax_loss_backward(int rows, int classes, const float* prob,
                            const float* labels, float scale, float* in_grad) {
-  for (int r = 0; r < rows; ++r) {
-    const int label = static_cast<int>(labels[r]);
-    float* g = in_grad + static_cast<std::size_t>(r) * classes;
-    const float* p = prob + static_cast<std::size_t>(r) * classes;
-    for (int j = 0; j < classes; ++j) g[j] = scale * p[j];
-    g[label] -= scale;
-  }
+  glp::parallel_for(
+      0, static_cast<std::size_t>(rows),
+      [=](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          const int label = static_cast<int>(labels[r]);
+          float* GLP_RESTRICT g = in_grad + r * classes;
+          const float* GLP_RESTRICT p = prob + r * classes;
+          for (int j = 0; j < classes; ++j) g[j] = scale * p[j];
+          g[label] -= scale;
+        }
+      },
+      grain_for(static_cast<std::size_t>(classes)));
 }
 
 void softmax_backward(int rows, int classes, const float* prob,
                       const float* out_grad, float* in_grad) {
-  for (int r = 0; r < rows; ++r) {
-    const float* p = prob + static_cast<std::size_t>(r) * classes;
-    const float* dy = out_grad + static_cast<std::size_t>(r) * classes;
-    float* dx = in_grad + static_cast<std::size_t>(r) * classes;
-    double dot = 0.0;
-    for (int j = 0; j < classes; ++j) dot += static_cast<double>(dy[j]) * p[j];
-    for (int j = 0; j < classes; ++j) {
-      dx[j] = (dy[j] - static_cast<float>(dot)) * p[j];
-    }
-  }
+  glp::parallel_for(
+      0, static_cast<std::size_t>(rows),
+      [=](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          const float* p = prob + r * classes;
+          const float* dy = out_grad + r * classes;
+          float* dx = in_grad + r * classes;
+          double dot = 0.0;
+          for (int j = 0; j < classes; ++j) dot += static_cast<double>(dy[j]) * p[j];
+          for (int j = 0; j < classes; ++j) {
+            dx[j] = (dy[j] - static_cast<float>(dot)) * p[j];
+          }
+        }
+      },
+      grain_for(static_cast<std::size_t>(classes) * 2));
 }
 
 void prelu_forward(int channels, int spatial, const float* in,
                    const float* slopes, float* out) {
-  for (int c = 0; c < channels; ++c) {
-    const float a = slopes[c];
-    const float* x = in + static_cast<std::size_t>(c) * spatial;
-    float* y = out + static_cast<std::size_t>(c) * spatial;
-    for (int i = 0; i < spatial; ++i) y[i] = x[i] > 0.0f ? x[i] : a * x[i];
-  }
+  glp::parallel_for(
+      0, static_cast<std::size_t>(channels),
+      [=](std::size_t c0, std::size_t c1) {
+        for (std::size_t c = c0; c < c1; ++c) {
+          const float a = slopes[c];
+          const float* GLP_RESTRICT x = in + c * spatial;
+          float* GLP_RESTRICT y = out + c * spatial;
+          for (int i = 0; i < spatial; ++i) y[i] = x[i] > 0.0f ? x[i] : a * x[i];
+        }
+      },
+      grain_for(static_cast<std::size_t>(spatial)));
 }
 
 void prelu_backward(int channels, int spatial, const float* in,
                     const float* out_grad, const float* slopes, float* in_grad,
                     float* slope_grad) {
-  for (int c = 0; c < channels; ++c) {
-    const float a = slopes[c];
-    const float* x = in + static_cast<std::size_t>(c) * spatial;
-    const float* dy = out_grad + static_cast<std::size_t>(c) * spatial;
-    float* dx = in_grad + static_cast<std::size_t>(c) * spatial;
-    float acc = 0.0f;
-    for (int i = 0; i < spatial; ++i) {
-      dx[i] = dy[i] * (x[i] > 0.0f ? 1.0f : a);
-      if (x[i] <= 0.0f) acc += dy[i] * x[i];
-    }
-    slope_grad[c] += acc;
-  }
+  // Per-channel slope gradients accumulate entirely inside one chunk, so
+  // the reduction order is the serial one regardless of worker count.
+  glp::parallel_for(
+      0, static_cast<std::size_t>(channels),
+      [=](std::size_t c0, std::size_t c1) {
+        for (std::size_t c = c0; c < c1; ++c) {
+          const float a = slopes[c];
+          const float* GLP_RESTRICT x = in + c * spatial;
+          const float* GLP_RESTRICT dy = out_grad + c * spatial;
+          float* GLP_RESTRICT dx = in_grad + c * spatial;
+          float acc = 0.0f;
+          for (int i = 0; i < spatial; ++i) {
+            dx[i] = dy[i] * (x[i] > 0.0f ? 1.0f : a);
+            if (x[i] <= 0.0f) acc += dy[i] * x[i];
+          }
+          slope_grad[c] += acc;
+        }
+      },
+      grain_for(static_cast<std::size_t>(spatial) * 2));
 }
 
 void channel_mean(int num, int channels, int spatial, const float* in,
                   float* mean) {
   const double norm = 1.0 / (static_cast<double>(num) * spatial);
-  for (int c = 0; c < channels; ++c) {
-    double acc = 0.0;
-    for (int n = 0; n < num; ++n) {
-      const float* x = in + (static_cast<std::size_t>(n) * channels + c) * spatial;
-      for (int i = 0; i < spatial; ++i) acc += x[i];
-    }
-    mean[c] = static_cast<float>(acc * norm);
-  }
+  // Channel c's statistic is reduced wholly within one chunk in sample
+  // order — identical to the serial reduction.
+  glp::parallel_for(
+      0, static_cast<std::size_t>(channels),
+      [=](std::size_t c0, std::size_t c1) {
+        for (std::size_t c = c0; c < c1; ++c) {
+          double acc = 0.0;
+          for (int n = 0; n < num; ++n) {
+            const float* x =
+                in + (static_cast<std::size_t>(n) * channels + c) * spatial;
+            for (int i = 0; i < spatial; ++i) acc += x[i];
+          }
+          mean[c] = static_cast<float>(acc * norm);
+        }
+      },
+      grain_for(static_cast<std::size_t>(num) * spatial));
 }
 
 void channel_variance(int num, int channels, int spatial, const float* in,
                       const float* mean, float* variance) {
   const double norm = 1.0 / (static_cast<double>(num) * spatial);
-  for (int c = 0; c < channels; ++c) {
-    double acc = 0.0;
-    for (int n = 0; n < num; ++n) {
-      const float* x = in + (static_cast<std::size_t>(n) * channels + c) * spatial;
-      for (int i = 0; i < spatial; ++i) {
-        const double d = static_cast<double>(x[i]) - mean[c];
-        acc += d * d;
-      }
-    }
-    variance[c] = static_cast<float>(acc * norm);
-  }
+  glp::parallel_for(
+      0, static_cast<std::size_t>(channels),
+      [=](std::size_t c0, std::size_t c1) {
+        for (std::size_t c = c0; c < c1; ++c) {
+          double acc = 0.0;
+          for (int n = 0; n < num; ++n) {
+            const float* x =
+                in + (static_cast<std::size_t>(n) * channels + c) * spatial;
+            for (int i = 0; i < spatial; ++i) {
+              const double d = static_cast<double>(x[i]) - mean[c];
+              acc += d * d;
+            }
+          }
+          variance[c] = static_cast<float>(acc * norm);
+        }
+      },
+      grain_for(static_cast<std::size_t>(num) * spatial * 2));
 }
 
 void batch_norm_forward(int num, int channels, int spatial, const float* in,
                         const float* mean, const float* variance, float eps,
                         float* out) {
-  for (int n = 0; n < num; ++n) {
-    for (int c = 0; c < channels; ++c) {
-      const float inv_std = 1.0f / std::sqrt(variance[c] + eps);
-      const std::size_t off = (static_cast<std::size_t>(n) * channels + c) * spatial;
-      for (int i = 0; i < spatial; ++i) {
-        out[off + i] = (in[off + i] - mean[c]) * inv_std;
-      }
-    }
-  }
+  // One (n, c) plane per item: disjoint writes, per-element math.
+  const std::size_t planes =
+      static_cast<std::size_t>(num) * static_cast<std::size_t>(channels);
+  glp::parallel_for(
+      0, planes,
+      [=](std::size_t p0, std::size_t p1) {
+        for (std::size_t pl = p0; pl < p1; ++pl) {
+          const int c = static_cast<int>(pl % channels);
+          const float inv_std = 1.0f / std::sqrt(variance[c] + eps);
+          const float mu = mean[c];
+          const std::size_t off = pl * spatial;
+          const float* GLP_RESTRICT x = in + off;
+          float* GLP_RESTRICT y = out + off;
+          for (int i = 0; i < spatial; ++i) y[i] = (x[i] - mu) * inv_std;
+        }
+      },
+      grain_for(static_cast<std::size_t>(spatial)));
 }
 
 void batch_norm_backward(int num, int channels, int spatial, const float* in,
                          const float* out_grad, const float* mean,
                          const float* variance, float eps, float* in_grad) {
   const double m = static_cast<double>(num) * spatial;
-  for (int c = 0; c < channels; ++c) {
-    const double inv_std = 1.0 / std::sqrt(static_cast<double>(variance[c]) + eps);
-    // Accumulate Σ dy and Σ dy·x̂ over the channel.
-    double sum_dy = 0.0, sum_dy_xhat = 0.0;
-    for (int n = 0; n < num; ++n) {
-      const std::size_t off = (static_cast<std::size_t>(n) * channels + c) * spatial;
-      for (int i = 0; i < spatial; ++i) {
-        const double xhat = (in[off + i] - mean[c]) * inv_std;
-        sum_dy += out_grad[off + i];
-        sum_dy_xhat += out_grad[off + i] * xhat;
-      }
-    }
-    for (int n = 0; n < num; ++n) {
-      const std::size_t off = (static_cast<std::size_t>(n) * channels + c) * spatial;
-      for (int i = 0; i < spatial; ++i) {
-        const double xhat = (in[off + i] - mean[c]) * inv_std;
-        in_grad[off + i] += static_cast<float>(
-            inv_std * (out_grad[off + i] - sum_dy / m - xhat * sum_dy_xhat / m));
-      }
-    }
-  }
+  // Per-channel: both reduction passes stay inside one chunk, keeping
+  // the serial accumulation order.
+  glp::parallel_for(
+      0, static_cast<std::size_t>(channels),
+      [=](std::size_t cc0, std::size_t cc1) {
+        for (std::size_t c = cc0; c < cc1; ++c) {
+          const double inv_std =
+              1.0 / std::sqrt(static_cast<double>(variance[c]) + eps);
+          // Accumulate Σ dy and Σ dy·x̂ over the channel.
+          double sum_dy = 0.0, sum_dy_xhat = 0.0;
+          for (int n = 0; n < num; ++n) {
+            const std::size_t off =
+                (static_cast<std::size_t>(n) * channels + c) * spatial;
+            for (int i = 0; i < spatial; ++i) {
+              const double xhat = (in[off + i] - mean[c]) * inv_std;
+              sum_dy += out_grad[off + i];
+              sum_dy_xhat += out_grad[off + i] * xhat;
+            }
+          }
+          for (int n = 0; n < num; ++n) {
+            const std::size_t off =
+                (static_cast<std::size_t>(n) * channels + c) * spatial;
+            for (int i = 0; i < spatial; ++i) {
+              const double xhat = (in[off + i] - mean[c]) * inv_std;
+              in_grad[off + i] += static_cast<float>(
+                  inv_std *
+                  (out_grad[off + i] - sum_dy / m - xhat * sum_dy_xhat / m));
+            }
+          }
+        }
+      },
+      grain_for(static_cast<std::size_t>(num) * spatial * 4));
 }
 
 float accuracy(int rows, int classes, const float* prob, const float* labels) {
@@ -522,14 +756,30 @@ float accuracy(int rows, int classes, const float* prob, const float* labels) {
 
 void dropout_forward(std::size_t count, const float* in, const float* mask,
                      float scale, float* out) {
-  for (std::size_t i = 0; i < count; ++i) out[i] = in[i] * mask[i] * scale;
+  glp::parallel_for(
+      0, count,
+      [=](std::size_t lo, std::size_t hi) {
+        const float* GLP_RESTRICT x = in;
+        const float* GLP_RESTRICT ms = mask;
+        float* GLP_RESTRICT y = out;
+        for (std::size_t i = lo; i < hi; ++i) y[i] = x[i] * ms[i] * scale;
+      },
+      kElemGrain);
 }
 
 void reduce_lanes(int lanes, std::size_t count, const float* src, float* dst) {
-  for (int lane = 0; lane < lanes; ++lane) {
-    const float* s = src + static_cast<std::size_t>(lane) * count;
-    for (std::size_t i = 0; i < count; ++i) dst[i] += s[i];
-  }
+  // Lanes are summed in ascending order per element; partitioning over
+  // elements keeps that order while spreading the bandwidth.
+  glp::parallel_for(
+      0, count,
+      [=](std::size_t lo, std::size_t hi) {
+        for (int lane = 0; lane < lanes; ++lane) {
+          const float* GLP_RESTRICT s = src + static_cast<std::size_t>(lane) * count;
+          float* GLP_RESTRICT d = dst;
+          for (std::size_t i = lo; i < hi; ++i) d[i] += s[i];
+        }
+      },
+      kElemGrain);
 }
 
 double sum(std::size_t count, const float* x) {

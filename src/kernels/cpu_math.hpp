@@ -65,6 +65,23 @@ void tanh_forward(std::size_t count, const float* in, float* out);
 void tanh_backward(std::size_t count, const float* out, const float* out_grad,
                    float* in_grad);
 
+// --- elementwise maps (shared by AbsVal/Exp/Power layers) -----------------
+/// out = |in|
+void abs_forward(std::size_t count, const float* in, float* out);
+/// in_grad = sign(in) · out_grad (sign(0) = +1, matching |x| forward).
+void abs_backward(std::size_t count, const float* in, const float* out_grad,
+                  float* in_grad);
+/// out = exp(in)
+void exp_forward(std::size_t count, const float* in, float* out);
+/// out = a · b elementwise
+void mul(std::size_t count, const float* a, const float* b, float* out);
+/// out = (shift + scale·in)^power
+void power_forward(std::size_t count, const float* in, float* out, float power,
+                   float scale, float shift);
+/// in_grad = out_grad · power·scale·(shift + scale·in)^(power−1)
+void power_backward(std::size_t count, const float* in, const float* out_grad,
+                    float* in_grad, float power, float scale, float shift);
+
 // --- LRN (cross-channel, one image [C, H, W]) -----------------------------
 void lrn_forward(const float* in, int channels, int height, int width,
                  int local_size, float alpha, float beta, float k, float* scale,

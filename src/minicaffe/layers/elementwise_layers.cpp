@@ -195,9 +195,8 @@ void PowerLayer::forward(const std::vector<Blob*>& bottom,
   float* y = top[0]->mutable_data();
   launcher("fwd").launch("power_forward_kernel", ew_config(count, 18),
                          ew_cost(count, 12.0, 8.0), [=] {
-                           for (std::size_t i = 0; i < count; ++i) {
-                             y[i] = std::pow(shift + scale * x[i], power);
-                           }
+                           kern::cpu::power_forward(count, x, y, power, scale,
+                                                    shift);
                          });
 }
 
@@ -214,11 +213,8 @@ void PowerLayer::backward(const std::vector<Blob*>& top,
   float* dx = bottom[0]->mutable_diff();
   launcher("bwd").launch("power_backward_kernel", ew_config(count, 22),
                          ew_cost(count, 14.0, 12.0), [=] {
-                           // dy/dx = power·scale·(shift + scale·x)^(power−1)
-                           for (std::size_t i = 0; i < count; ++i) {
-                             dx[i] = dy[i] * power * scale *
-                                     std::pow(shift + scale * x[i], power - 1.0f);
-                           }
+                           kern::cpu::power_backward(count, x, dy, dx, power,
+                                                     scale, shift);
                          });
 }
 
@@ -237,11 +233,8 @@ void AbsValLayer::forward(const std::vector<Blob*>& bottom,
   const float* x = bottom[0]->data();
   float* y = top[0]->mutable_data();
   launcher("fwd").launch("absval_forward_kernel", ew_config(count, 10),
-                         ew_cost(count, 1.0, 8.0), [=] {
-                           for (std::size_t i = 0; i < count; ++i) {
-                             y[i] = std::abs(x[i]);
-                           }
-                         });
+                         ew_cost(count, 1.0, 8.0),
+                         [=] { kern::cpu::abs_forward(count, x, y); });
 }
 
 void AbsValLayer::backward(const std::vector<Blob*>& top,
@@ -253,11 +246,8 @@ void AbsValLayer::backward(const std::vector<Blob*>& top,
   const float* dy = top[0]->diff();
   float* dx = bottom[0]->mutable_diff();
   launcher("bwd").launch("absval_backward_kernel", ew_config(count, 12),
-                         ew_cost(count, 1.0, 12.0), [=] {
-                           for (std::size_t i = 0; i < count; ++i) {
-                             dx[i] = x[i] >= 0.0f ? dy[i] : -dy[i];
-                           }
-                         });
+                         ew_cost(count, 1.0, 12.0),
+                         [=] { kern::cpu::abs_backward(count, x, dy, dx); });
 }
 
 // --- Exp --------------------------------------------------------------------------
@@ -276,11 +266,8 @@ void ExpLayer::forward(const std::vector<Blob*>& bottom,
   const float* x = bottom[0]->data();
   float* y = top[0]->mutable_data();
   launcher("fwd").launch("exp_forward_kernel", ew_config(count, 14),
-                         ew_cost(count, 10.0, 8.0), [=] {
-                           for (std::size_t i = 0; i < count; ++i) {
-                             y[i] = std::exp(x[i]);
-                           }
-                         });
+                         ew_cost(count, 10.0, 8.0),
+                         [=] { kern::cpu::exp_forward(count, x, y); });
 }
 
 void ExpLayer::backward(const std::vector<Blob*>& top,
@@ -292,11 +279,8 @@ void ExpLayer::backward(const std::vector<Blob*>& top,
   const float* dy = top[0]->diff();
   float* dx = bottom[0]->mutable_diff();
   launcher("bwd").launch("exp_backward_kernel", ew_config(count, 12),
-                         ew_cost(count, 1.0, 12.0), [=] {
-                           for (std::size_t i = 0; i < count; ++i) {
-                             dx[i] = dy[i] * y[i];
-                           }
-                         });
+                         ew_cost(count, 1.0, 12.0),
+                         [=] { kern::cpu::mul(count, dy, y, dx); });
 }
 
 // --- PReLU ------------------------------------------------------------------------

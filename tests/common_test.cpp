@@ -1,6 +1,9 @@
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -222,7 +225,72 @@ TEST(ParallelFor, ManySequentialDispatches) {
   EXPECT_EQ(total.load(), 2000L * 4096L);
 }
 
+TEST(ParallelFor, ChunkBoundariesFollowGrain) {
+  // The determinism contract: chunks start at multiples of the grain and
+  // never exceed it, independent of the worker count.
+  glp::set_parallel_workers(4);
+  const std::size_t n = 10000, grain = 128;
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  glp::parallel_for(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        const std::lock_guard<std::mutex> lock(mu);
+        chunks.emplace_back(lo, hi);
+      },
+      grain);
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_EQ(chunks.size(), (n + grain - 1) / grain);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].first, i * grain);
+    EXPECT_EQ(chunks[i].second, std::min(n, (i + 1) * grain));
+  }
+  glp::set_parallel_workers(1);
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  // The pool is not reentrant: an inner parallel_for from a worker must
+  // degrade to a single inline call instead of deadlocking.
+  glp::set_parallel_workers(4);
+  std::atomic<int> inner_calls{0};
+  glp::parallel_for(
+      0, 8,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          glp::parallel_for(
+              0, 100000,
+              [&](std::size_t ilo, std::size_t ihi) {
+                EXPECT_EQ(ilo, 0u);
+                EXPECT_EQ(ihi, 100000u);
+                inner_calls.fetch_add(1, std::memory_order_relaxed);
+              },
+              /*grain=*/1);
+        }
+      },
+      /*grain=*/1);
+  EXPECT_EQ(inner_calls.load(), 8);
+  glp::set_parallel_workers(1);
+}
+
 TEST(ParallelWorkers, AtLeastOne) { EXPECT_GE(glp::parallel_workers(), 1); }
+
+TEST(ParallelWorkers, SetRoundTrips) {
+  const int before = glp::parallel_workers();
+  glp::set_parallel_workers(3);
+  EXPECT_EQ(glp::parallel_workers(), 3);
+  // The resized pool must actually execute work.
+  std::atomic<long> total{0};
+  glp::parallel_for(
+      0, 4096,
+      [&](std::size_t lo, std::size_t hi) {
+        total.fetch_add(static_cast<long>(hi - lo), std::memory_order_relaxed);
+      },
+      1);
+  EXPECT_EQ(total.load(), 4096L);
+  glp::set_parallel_workers(0);  // clamps to 1
+  EXPECT_EQ(glp::parallel_workers(), 1);
+  glp::set_parallel_workers(before);
+}
 
 // --- timer ---------------------------------------------------------------------
 

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -74,6 +75,50 @@ INSTANTIATE_TEST_SUITE_P(
                       GemmCase{false, false, 128, 130, 64, 1.0f, 0.0f},
                       GemmCase{false, false, 0, 4, 4, 1.0f, 0.0f},
                       GemmCase{false, false, 4, 4, 0, 1.0f, 0.5f}));
+
+// Exhaustive sweep: every transpose combination crossed with edge and
+// non-trivial sizes (0, 1, prime, microtile-sized) and the alpha/beta
+// special cases the kernel dispatches on (0 skips the product / the C
+// read, 1 skips the scale).
+TEST(Gemm, ExhaustiveOracle) {
+  const int sizes[] = {0, 1, 3, 17, 64};
+  const float scales[] = {0.0f, 1.0f, 0.5f};
+  glp::Rng rng(1234);
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      for (int m : sizes) {
+        for (int n : sizes) {
+          for (int k : sizes) {
+            const int lda = std::max(1, ta ? m : k);
+            const int ldb = std::max(1, tb ? k : n);
+            const int ldc = std::max(1, n);
+            std::vector<float> a(static_cast<std::size_t>(std::max(1, ta ? k : m)) * lda);
+            std::vector<float> b(static_cast<std::size_t>(std::max(1, tb ? n : k)) * ldb);
+            std::vector<float> c0(static_cast<std::size_t>(std::max(1, m)) * ldc);
+            for (float& v : a) v = rng.uniform(-1, 1);
+            for (float& v : b) v = rng.uniform(-1, 1);
+            for (float& v : c0) v = rng.uniform(-1, 1);
+            for (float alpha : scales) {
+              for (float beta : scales) {
+                std::vector<float> c = c0, expect = c0;
+                cpu::gemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb,
+                          beta, c.data(), ldc);
+                ref_gemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb,
+                         beta, expect.data(), ldc);
+                for (std::size_t i = 0; i < c.size(); ++i) {
+                  ASSERT_NEAR(c[i], expect[i], 1e-3f * (std::abs(expect[i]) + 1.0f))
+                      << "ta=" << ta << " tb=" << tb << " m=" << m << " n=" << n
+                      << " k=" << k << " alpha=" << alpha << " beta=" << beta
+                      << " at " << i;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
 
 TEST(Gemm, ParallelPathMatchesSerial) {
   // Cross the parallel threshold and check determinism + correctness.
