@@ -1,0 +1,153 @@
+// Serving benchmark: latency/throughput vs. offered load for the
+// inference serving subsystem, sweeping scheduler-vs-serial dispatch and
+// dynamic-batcher on/off over an open-loop Poisson trace. Writes the
+// committed BENCH_serving.json baseline (schema documented in
+// docs/SERVING.md).
+//
+// Usage: bench_serving [--quick] [--out FILE] [--requests N]
+//
+// Replays are timing-only (the numerics are covered by the serving
+// differential corpus); all latencies are *simulated* device/host times,
+// so the baseline is stable across machines and CI runs.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "gpusim/device_props.hpp"
+#include "serving/model_zoo.hpp"
+#include "serving/server.hpp"
+
+namespace {
+
+struct ServingRecord {
+  std::string mode;  ///< "glp4nn" or "serial"
+  bool batcher = true;
+  double rate_rps = 0.0;
+  serving::ServingStats stats;
+};
+
+serving::ServingStats replay_once(const gpusim::DeviceProps& props,
+                                  const std::vector<serving::TenantModel>& models,
+                                  const serving::TraceSpec& ts,
+                                  bool use_scheduler, bool batcher) {
+  scuda::Context ctx(props);
+  serving::ServerOptions opts;
+  opts.use_scheduler = use_scheduler;
+  opts.batch.enabled = batcher;
+  opts.queue_capacity = 256;
+  opts.mode = kern::ComputeMode::kTimingOnly;
+  serving::InferenceServer server(ctx, models, opts);
+  std::vector<std::size_t> sizes;
+  for (int t = 0; t < server.tenants(); ++t) {
+    sizes.push_back(server.session(t).sample_input_size());
+  }
+  return serving::InferenceServer::summarize(
+      server.replay(serving::make_trace(ts, sizes)));
+}
+
+void write_json(const std::string& path,
+                const std::vector<ServingRecord>& records, int requests,
+                const std::string& device) {
+  std::ofstream os(path);
+  GLP_REQUIRE(os.good(), "cannot open '" << path << "' for writing");
+  os << "{\n"
+     << "  \"schema\": \"glp4nn-bench-serving-v1\",\n"
+     << "  \"device\": \"" << device << "\",\n"
+     << "  \"models\": [\"tiny_cnn\", \"small_cnn\"],\n"
+     << "  \"arrival\": \"poisson\",\n"
+     << "  \"requests\": " << requests << ",\n"
+     << "  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const ServingRecord& r = records[i];
+    const serving::ServingStats& s = r.stats;
+    os << "    {\"mode\": \"" << r.mode << "\", \"batcher\": "
+       << (r.batcher ? "true" : "false") << ", \"rate_rps\": " << r.rate_rps
+       << ", \"served\": " << s.served << ", \"rejected\": " << s.rejected
+       << ", \"expired\": " << s.expired << ", \"p50_ms\": " << s.p50_ms
+       << ", \"p95_ms\": " << s.p95_ms << ", \"p99_ms\": " << s.p99_ms
+       << ", \"mean_ms\": " << s.mean_ms
+       << ", \"throughput_rps\": " << s.throughput_rps
+       << ", \"batches\": " << s.batches
+       << ", \"mean_batch\": " << s.mean_batch << "}"
+       << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  GLP_REQUIRE(os.good(), "failed writing '" << path << "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  int requests = 1000;
+  std::string out = "BENCH_serving.json";
+
+  glp::Flags flags("bench_serving",
+                   "Serving latency/throughput vs. offered load: scheduler "
+                   "vs serial dispatch, dynamic batcher on/off.");
+  flags.flag("quick", &quick, "CI mode: fewer load points, shorter trace")
+      .opt("requests", &requests, "trace length per load point")
+      .opt("out", &out, "output JSON path");
+  switch (flags.parse(argc, argv)) {
+    case glp::Flags::Status::kHelp:
+      return 0;
+    case glp::Flags::Status::kError:
+      return 2;
+    case glp::Flags::Status::kOk:
+      break;
+  }
+
+  try {
+    const gpusim::DeviceProps props = gpusim::DeviceTable::p100();
+    std::vector<serving::TenantModel> models;
+    for (const char* name : {"tiny_cnn", "small_cnn"}) {
+      serving::TenantModel m;
+      m.name = name;
+      m.spec = serving::by_name(name);
+      models.push_back(std::move(m));
+    }
+
+    std::vector<double> rates{1000, 2000, 4000, 8000, 12000, 16000};
+    if (quick) {
+      rates = {2000, 12000};
+      requests = std::min(requests, 300);
+    }
+
+    std::vector<ServingRecord> records;
+    for (const double rate : rates) {
+      serving::TraceSpec ts;
+      ts.requests = requests;
+      ts.rate_rps = rate;
+      ts.tenants = static_cast<int>(models.size());
+      ts.seed = 42;
+      ts.fill_inputs = false;
+      for (const bool scheduler : {false, true}) {
+        for (const bool batcher : {true, false}) {
+          ServingRecord r;
+          r.mode = scheduler ? "glp4nn" : "serial";
+          r.batcher = batcher;
+          r.rate_rps = rate;
+          r.stats = replay_once(props, models, ts, scheduler, batcher);
+          std::printf(
+              "%-7s batcher=%-3s %6.0f req/s offered | served %4zu/%-4zu | "
+              "p50 %7.3f p99 %7.3f ms | %7.0f req/s\n",
+              r.mode.c_str(), batcher ? "on" : "off", rate, r.stats.served,
+              r.stats.offered, r.stats.p50_ms, r.stats.p99_ms,
+              r.stats.throughput_rps);
+          records.push_back(std::move(r));
+        }
+      }
+    }
+
+    write_json(out, records, requests, props.name);
+    std::printf("wrote %s (%zu records)\n", out.c_str(), records.size());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

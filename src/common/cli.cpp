@@ -1,0 +1,175 @@
+#include "common/cli.hpp"
+
+#include <iostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace glp {
+
+Flags::Flags(std::string prog, std::string summary)
+    : prog_(std::move(prog)), summary_(std::move(summary)) {}
+
+Flags& Flags::add(std::string name, Kind kind, void* target,
+                  std::string help) {
+  GLP_REQUIRE(name.rfind("--", 0) != 0, "register flags without the -- prefix");
+  GLP_REQUIRE(find(name) == nullptr, "duplicate flag --" << name);
+  specs_.push_back(Spec{std::move(name), kind, target, std::move(help)});
+  return *this;
+}
+
+Flags& Flags::flag(const std::string& name, bool* t, std::string help) {
+  return add(name, Kind::kBool, t, std::move(help));
+}
+Flags& Flags::opt(const std::string& name, int* t, std::string help) {
+  return add(name, Kind::kInt, t, std::move(help));
+}
+Flags& Flags::opt(const std::string& name, float* t, std::string help) {
+  return add(name, Kind::kFloat, t, std::move(help));
+}
+Flags& Flags::opt(const std::string& name, double* t, std::string help) {
+  return add(name, Kind::kDouble, t, std::move(help));
+}
+Flags& Flags::opt(const std::string& name, unsigned long long* t,
+                  std::string help) {
+  return add(name, Kind::kU64, t, std::move(help));
+}
+Flags& Flags::opt(const std::string& name, std::string* t, std::string help) {
+  return add(name, Kind::kString, t, std::move(help));
+}
+
+const Flags::Spec* Flags::find(const std::string& name) const {
+  for (const Spec& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+bool Flags::assign(const Spec& spec, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    switch (spec.kind) {
+      case Kind::kBool:
+        return false;  // switches never take a value
+      case Kind::kInt:
+        *static_cast<int*>(spec.target) = std::stoi(value, &pos);
+        break;
+      case Kind::kFloat:
+        *static_cast<float*>(spec.target) = std::stof(value, &pos);
+        break;
+      case Kind::kDouble:
+        *static_cast<double*>(spec.target) = std::stod(value, &pos);
+        break;
+      case Kind::kU64:
+        *static_cast<unsigned long long*>(spec.target) =
+            std::stoull(value, &pos);
+        break;
+      case Kind::kString:
+        *static_cast<std::string*>(spec.target) = value;
+        return true;
+    }
+    return pos == value.size() && !value.empty();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::string Flags::default_of(const Spec& spec) {
+  std::ostringstream os;
+  switch (spec.kind) {
+    case Kind::kBool:
+      return "";
+    case Kind::kInt:
+      os << *static_cast<const int*>(spec.target);
+      break;
+    case Kind::kFloat:
+      os << *static_cast<const float*>(spec.target);
+      break;
+    case Kind::kDouble:
+      os << *static_cast<const double*>(spec.target);
+      break;
+    case Kind::kU64:
+      os << *static_cast<const unsigned long long*>(spec.target);
+      break;
+    case Kind::kString: {
+      const auto& s = *static_cast<const std::string*>(spec.target);
+      if (s.empty()) return "";
+      os << s;
+      break;
+    }
+  }
+  return os.str();
+}
+
+std::string Flags::usage() const {
+  std::ostringstream os;
+  os << "usage: " << prog_ << " [flags]\n" << summary_ << "\n\nflags:\n";
+  for (const Spec& s : specs_) {
+    std::string head = "  --" + s.name;
+    if (s.kind != Kind::kBool) head += " <v>";
+    os << head;
+    for (std::size_t i = head.size(); i < 26; ++i) os << ' ';
+    os << s.help;
+    const std::string d = default_of(s);
+    if (!d.empty()) os << " (default " << d << ")";
+    os << "\n";
+  }
+  os << "  --help                  show this message\n";
+  return os.str();
+}
+
+Flags::Status Flags::parse(int argc, char* const* argv, std::ostream& out,
+                           std::ostream& err) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      out << usage();
+      return Status::kHelp;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      err << "error: unexpected argument '" << arg << "'\n\n" << usage();
+      return Status::kError;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const std::size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    const Spec* spec = find(name);
+    if (spec == nullptr) {
+      err << "error: unknown flag '--" << name << "'\n\n" << usage();
+      return Status::kError;
+    }
+    if (spec->kind == Kind::kBool) {
+      if (has_value) {
+        err << "error: --" << name << " takes no value\n\n" << usage();
+        return Status::kError;
+      }
+      *static_cast<bool*>(spec->target) = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        err << "error: --" << name << " needs a value\n\n" << usage();
+        return Status::kError;
+      }
+      value = argv[++i];
+    }
+    if (!assign(*spec, value)) {
+      err << "error: bad value '" << value << "' for --" << name << "\n\n"
+          << usage();
+      return Status::kError;
+    }
+  }
+  return Status::kOk;
+}
+
+Flags::Status Flags::parse(int argc, char* const* argv) {
+  return parse(argc, argv, std::cout, std::cerr);
+}
+
+}  // namespace glp

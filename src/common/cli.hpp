@@ -1,0 +1,62 @@
+#pragma once
+// Tiny declarative command-line parser shared by the glp4nn_* tools, so
+// every binary gets the same flag grammar: `--name value` or
+// `--name=value`, boolean switches, `--help`/`-h` (usage to stdout,
+// caller exits 0), and unknown-flag/bad-value errors (message + usage to
+// stderr, caller exits 2). Targets are plain pointers into the caller's
+// locals; defaults shown in the usage text are whatever the targets hold
+// when parse() runs.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace glp {
+
+class Flags {
+ public:
+  Flags(std::string prog, std::string summary);
+
+  /// Boolean switch: present → true. Takes no value.
+  Flags& flag(const std::string& name, bool* target, std::string help);
+  /// Valued options.
+  Flags& opt(const std::string& name, int* target, std::string help);
+  Flags& opt(const std::string& name, float* target, std::string help);
+  Flags& opt(const std::string& name, double* target, std::string help);
+  Flags& opt(const std::string& name, unsigned long long* target,
+             std::string help);
+  Flags& opt(const std::string& name, std::string* target, std::string help);
+
+  enum class Status {
+    kOk,    ///< all flags parsed
+    kHelp,  ///< --help/-h seen; usage printed to `out`
+    kError, ///< unknown flag / bad or missing value; details on `err`
+  };
+
+  Status parse(int argc, char* const* argv, std::ostream& out,
+               std::ostream& err);
+  /// stdout/stderr convenience overload.
+  Status parse(int argc, char* const* argv);
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { kBool, kInt, kFloat, kDouble, kU64, kString };
+  struct Spec {
+    std::string name;  // without leading "--"
+    Kind kind;
+    void* target;
+    std::string help;
+  };
+
+  Flags& add(std::string name, Kind kind, void* target, std::string help);
+  const Spec* find(const std::string& name) const;
+  static bool assign(const Spec& spec, const std::string& value);
+  static std::string default_of(const Spec& spec);
+
+  std::string prog_;
+  std::string summary_;
+  std::vector<Spec> specs_;
+};
+
+}  // namespace glp

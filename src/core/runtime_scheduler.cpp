@@ -34,6 +34,45 @@ int RuntimeScheduler::clamp_streams(int requested) const {
   return std::max(s, 1);
 }
 
+void RuntimeScheduler::set_tenant(const TenantContext& tenant) {
+  GLP_REQUIRE(mode_ == Mode::kIdle, "cannot switch tenants mid-scope");
+  GLP_REQUIRE(tenant.tenant >= 0, "tenant tags must be non-negative");
+  GLP_REQUIRE(tenant.slot >= 0 && tenant.num_slots >= 1 &&
+                  tenant.slot < tenant.num_slots,
+              "tenant slot " << tenant.slot << " outside [0, "
+                             << tenant.num_slots << ")");
+  tenant_ = tenant;
+  tenant_active_ = true;
+}
+
+void RuntimeScheduler::clear_tenant() {
+  GLP_REQUIRE(mode_ == Mode::kIdle, "cannot switch tenants mid-scope");
+  tenant_active_ = false;
+}
+
+gpusim::StreamId RuntimeScheduler::serial_stream() const {
+  // A degraded scope stays serial *within the batch*: running it on the
+  // tenant's home stream (instead of the device-wide default stream)
+  // keeps other tenants' batches overlapping with it.
+  return tenant_active_ ? tenant_.home_stream : gpusim::kDefaultStream;
+}
+
+void RuntimeScheduler::fork_from_home() {
+  // Tenant fork: the scope's streams must observe everything already
+  // queued on the batch's home stream (the producer of its inputs). With
+  // the default stream as home the legacy barrier already covers this.
+  if (!tenant_active_) return;
+  const gpusim::StreamId home = tenant_.home_stream;
+  if (home == gpusim::kDefaultStream) return;
+  bool cross_stream = false;
+  for (gpusim::StreamId s : pool_) cross_stream |= (s != home);
+  if (!cross_stream) return;
+  const gpusim::EventId ev = ctx_->device().record_event(home);
+  for (gpusim::StreamId s : pool_) {
+    if (s != home) ctx_->device().wait_event(s, ev);
+  }
+}
+
 void RuntimeScheduler::begin_scope(const std::string& scope,
                                    std::size_t num_tasks) {
   GLP_REQUIRE(mode_ == Mode::kIdle, "dispatch scopes must not nest");
@@ -42,21 +81,23 @@ void RuntimeScheduler::begin_scope(const std::string& scope,
 
   if (serial_scopes_.count(scope) != 0) {
     // A fault degraded this scope to the serial baseline.
-    pool_.assign(1, gpusim::kDefaultStream);
+    pool_.assign(1, serial_stream());
     mode_ = Mode::kSteady;
     return;
   }
 
   if (options_.fixed_streams > 0) {
-    pool_ = acquire_pool(clamp_streams(options_.fixed_streams));
+    pool_ = acquire_scope_pool(clamp_streams(options_.fixed_streams));
     mode_ = Mode::kSteady;
+    fork_from_home();
     return;
   }
 
   const ConcurrencyDecision* decision = analyzer_->decision(scope);
   if (decision != nullptr) {
-    pool_ = acquire_pool(clamp_streams(decision->stream_count));
+    pool_ = acquire_scope_pool(clamp_streams(decision->stream_count));
     mode_ = Mode::kSteady;
+    fork_from_home();
   } else {
     tracker_->begin_profiling(*ctx_);
     mode_ = Mode::kProfiling;
@@ -71,8 +112,26 @@ std::vector<gpusim::StreamId> RuntimeScheduler::acquire_pool(int count) {
     // dispatch permanently. Already-created pool streams stay in the
     // manager for scopes whose pools fit in them.
     serial_scopes_.insert(current_scope_);
-    return std::vector<gpusim::StreamId>(1, gpusim::kDefaultStream);
+    return std::vector<gpusim::StreamId>(1, serial_stream());
   }
+}
+
+std::vector<gpusim::StreamId> RuntimeScheduler::acquire_scope_pool(int count) {
+  if (options_.policy == DispatchPolicy::kTenantSliced && tenant_active_) {
+    // Divide the analyzer-decided pool between the concurrent batch
+    // slots; each slot owns a disjoint slice so in-flight batches never
+    // share a stream. A decision smaller than the slot count still gets
+    // one stream — the slice, not the tenant, is the unit of isolation.
+    const int width = std::max(1, count / std::max(1, tenant_.num_slots));
+    try {
+      return streams_->acquire_slice(*ctx_, tenant_.slot, width,
+                                     tenant_.priority);
+    } catch (const scuda::StreamCreateFailed&) {
+      serial_scopes_.insert(current_scope_);
+      return std::vector<gpusim::StreamId>(1, serial_stream());
+    }
+  }
+  return acquire_pool(count);
 }
 
 kern::Lane RuntimeScheduler::task_lane(std::size_t index) {
@@ -85,6 +144,7 @@ kern::Lane RuntimeScheduler::task_lane(std::size_t index) {
   const std::size_t pool_size = pool_.size();
   switch (options_.policy) {
     case DispatchPolicy::kRoundRobin:
+    case DispatchPolicy::kTenantSliced:  // round-robin within the slice
       lane = index % pool_size;
       break;
     case DispatchPolicy::kBlockCyclic: {
@@ -126,6 +186,17 @@ void RuntimeScheduler::end_scope() {
     }
     // An empty scope (zero tasks) yields no decision; it will profile
     // again next time it runs non-empty.
+  } else if (tenant_active_ &&
+             tenant_.home_stream != gpusim::kDefaultStream) {
+    // Tenant join: the batch's home stream waits for each slice stream,
+    // keeping the barrier local to this batch — a device-wide
+    // default-stream barrier would serialise concurrent tenants.
+    const gpusim::StreamId home = tenant_.home_stream;
+    for (gpusim::StreamId s : pool_) {
+      if (s == home) continue;
+      const gpusim::EventId ev = ctx_->device().record_event(s);
+      ctx_->device().wait_event(home, ev);
+    }
   } else {
     // Asynchronous barrier: later work on any stream observes the scope.
     ctx_->device().record_event(gpusim::kDefaultStream);

@@ -30,8 +30,25 @@
 namespace glp4nn {
 
 enum class DispatchPolicy {
-  kRoundRobin,  ///< task i → stream (i mod S) — the paper's policy
-  kBlockCyclic, ///< contiguous blocks of tasks per stream (ablation)
+  kRoundRobin,   ///< task i → stream (i mod S) — the paper's policy
+  kBlockCyclic,  ///< contiguous blocks of tasks per stream (ablation)
+  /// Multi-tenant serving: with a TenantContext set, each scope's decided
+  /// pool is divided by the number of in-flight batch slots and the scope
+  /// runs on its slot's disjoint slice, round-robin within the slice.
+  /// Without a tenant this behaves exactly like kRoundRobin.
+  kTenantSliced,
+};
+
+/// Ambient multi-tenant context for serving. While one is set on the
+/// scheduler, steady scopes run on the tenant's slice of the stream pool
+/// and fork/join against the batch's *home stream* instead of the
+/// device-wide default-stream barrier, so concurrent batches overlap.
+struct TenantContext {
+  int tenant = 0;     ///< tag for the simulated timeline (≥ 0)
+  int priority = 0;   ///< stream priority for the tenant's slice
+  int slot = 0;       ///< in-flight batch slot → stream-pool slice index
+  int num_slots = 1;  ///< concurrent slots the pool is divided between
+  gpusim::StreamId home_stream = gpusim::kDefaultStream;
 };
 
 struct SchedulerOptions {
@@ -74,6 +91,18 @@ class RuntimeScheduler final : public kern::KernelDispatcher {
   /// Effective pool size after the option clamps (exposed for tests).
   int clamp_streams(int requested) const;
 
+  // --- multi-tenant serving ------------------------------------------------
+  /// Set the tenant context for subsequently issued scopes (must not be
+  /// called mid-scope). Under DispatchPolicy::kTenantSliced this routes
+  /// the scope onto the tenant's stream-pool slice.
+  void set_tenant(const TenantContext& tenant);
+  /// Clear the tenant context (must not be called mid-scope).
+  void clear_tenant();
+  /// Active tenant context, or nullptr when none is set.
+  const TenantContext* tenant() const {
+    return tenant_active_ ? &tenant_ : nullptr;
+  }
+
   // --- fault degradation ---------------------------------------------------
   // Injected runtime faults never abort training; they shrink the scope
   // back to the serial baseline:
@@ -97,6 +126,15 @@ class RuntimeScheduler final : public kern::KernelDispatcher {
   /// Acquire a pool of `count` streams, degrading the current scope to
   /// serial dispatch when stream creation fails (injected fault).
   std::vector<gpusim::StreamId> acquire_pool(int count);
+  /// Pool for the current scope: the tenant's slice under kTenantSliced
+  /// with an active tenant, the shared pool otherwise.
+  std::vector<gpusim::StreamId> acquire_scope_pool(int count);
+  /// Stream a degraded (serial) scope runs on: the tenant's home stream
+  /// when one is active, else the default stream.
+  gpusim::StreamId serial_stream() const;
+  /// Make the scope's pool observe work already queued on the tenant's
+  /// home stream (begin_scope) — the fork half of the batch-local barrier.
+  void fork_from_home();
 
   scuda::Context* ctx_;
   ResourceTracker* tracker_;
@@ -112,6 +150,8 @@ class RuntimeScheduler final : public kern::KernelDispatcher {
   double scheduling_ms_ = 0.0;
   std::set<std::string> serial_scopes_;        ///< fault-degraded scopes
   std::map<std::string, int> profile_attempts_;  ///< empty captures per scope
+  TenantContext tenant_;
+  bool tenant_active_ = false;
 };
 
 }  // namespace glp4nn

@@ -25,6 +25,28 @@ std::vector<gpusim::StreamId> StreamManager::acquire(scuda::Context& ctx,
   return ids;
 }
 
+std::vector<gpusim::StreamId> StreamManager::acquire_slice(scuda::Context& ctx,
+                                                           int slice, int width,
+                                                           int priority) {
+  GLP_REQUIRE(slice >= 0, "slice index must be non-negative");
+  GLP_REQUIRE(width >= 1, "slice width must be positive");
+  GLP_REQUIRE(width <= ctx.props().max_concurrent_kernels,
+              "slice width " << width
+                             << " exceeds the device concurrency degree "
+                             << ctx.props().max_concurrent_kernels);
+  std::vector<scuda::Stream>& pool = pools_[&ctx];
+  const int total = (slice + 1) * width;
+  while (static_cast<int>(pool.size()) < total) {
+    pool.push_back(scuda::Stream::create(ctx, priority));
+  }
+  std::vector<gpusim::StreamId> ids;
+  ids.reserve(static_cast<std::size_t>(width));
+  for (int i = slice * width; i < total; ++i) {
+    ids.push_back(pool[static_cast<std::size_t>(i)].id());
+  }
+  return ids;
+}
+
 int StreamManager::pool_size(const scuda::Context& ctx) const {
   auto it = pools_.find(const_cast<scuda::Context*>(&ctx));
   return it == pools_.end() ? 0 : static_cast<int>(it->second.size());

@@ -22,6 +22,15 @@ class StreamManager {
   /// needed. The returned span stays valid until the manager dies.
   std::vector<gpusim::StreamId> acquire(scuda::Context& ctx, int count);
 
+  /// Return the `slice`-th disjoint window of `width` streams from the
+  /// pool — streams [slice*width, (slice+1)*width) — growing the pool on
+  /// demand. Multi-tenant serving maps each in-flight batch slot to its
+  /// own slice, so concurrent batches never share a stream. Streams this
+  /// call creates take `priority` (streams already in the pool keep the
+  /// priority they were created with).
+  std::vector<gpusim::StreamId> acquire_slice(scuda::Context& ctx, int slice,
+                                              int width, int priority = 0);
+
   /// Current pool size for a device (0 before first acquire).
   int pool_size(const scuda::Context& ctx) const;
 

@@ -6,7 +6,8 @@
 
 namespace glp4nn {
 
-int TaskGraph::add_task(std::string name, TaskFn fn, std::vector<int> deps) {
+int TaskGraph::add_task(std::string name, TaskFn fn, std::vector<int> deps,
+                        int tenant) {
   const int id = static_cast<int>(tasks_.size());
   for (int dep : deps) {
     GLP_REQUIRE(dep >= 0 && dep < id,
@@ -16,6 +17,7 @@ int TaskGraph::add_task(std::string name, TaskFn fn, std::vector<int> deps) {
   task.name = std::move(name);
   task.fn = std::move(fn);
   task.deps = std::move(deps);
+  task.tenant = tenant;
   tasks_.push_back(std::move(task));
   return id;
 }
@@ -30,6 +32,11 @@ const std::vector<int>& TaskGraph::deps(int task) const {
   return tasks_[static_cast<std::size_t>(task)].deps;
 }
 
+int TaskGraph::tenant(int task) const {
+  GLP_REQUIRE(task >= 0 && task < size(), "unknown task " << task);
+  return tasks_[static_cast<std::size_t>(task)].tenant;
+}
+
 std::vector<gpusim::StreamId> TaskGraph::run(
     scuda::Context& ctx, const std::vector<gpusim::StreamId>& pool,
     kern::ComputeMode mode) {
@@ -39,6 +46,7 @@ std::vector<gpusim::StreamId> TaskGraph::run(
   std::vector<gpusim::EventId> done_event(tasks_.size(), 0);
   std::vector<bool> has_event(tasks_.size(), false);
   std::size_t next_rr = 0;
+  const int ambient_tenant = ctx.device().current_tenant();
 
   for (std::size_t id = 0; id < tasks_.size(); ++id) {
     Task& task = tasks_[id];
@@ -67,7 +75,13 @@ std::vector<gpusim::StreamId> TaskGraph::run(
     launcher.stream = stream;
     launcher.mode = mode;
     launcher.name_prefix = task.name;
+    // Stamp the task's tenant on everything it launches, restoring the
+    // ambient tag afterwards (tasks from different tenants can share one
+    // graph).
+    ctx.device().set_current_tenant(task.tenant >= 0 ? task.tenant
+                                                     : ambient_tenant);
     task.fn(launcher);
+    ctx.device().set_current_tenant(ambient_tenant);
 
     // Record a completion event only if a later task on another stream
     // might need it. We cannot know yet, so record for every task that has

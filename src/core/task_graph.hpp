@@ -27,11 +27,16 @@ class TaskGraph {
   /// Add a task depending on previously added tasks. Returns its id.
   /// Dependencies must reference earlier tasks (the graph is built in
   /// topological order by construction — cycles are unrepresentable).
-  int add_task(std::string name, TaskFn fn, std::vector<int> deps = {});
+  /// `tenant` (≥ 0) tags the task's kernels/copies on the simulated
+  /// timeline for multi-tenant attribution; -1 leaves the ambient tag.
+  int add_task(std::string name, TaskFn fn, std::vector<int> deps = {},
+               int tenant = -1);
 
   int size() const { return static_cast<int>(tasks_.size()); }
   const std::string& name(int task) const;
   const std::vector<int>& deps(int task) const;
+  /// Tenant tag the task was added with (-1: untagged).
+  int tenant(int task) const;
 
   /// Execute the graph over `pool` (stream ids on `ctx`). Tasks are issued
   /// in id order; edges are enforced with events. Returns the stream each
@@ -46,6 +51,7 @@ class TaskGraph {
     std::string name;
     TaskFn fn;
     std::vector<int> deps;
+    int tenant = -1;
   };
   std::vector<Task> tasks_;
 };

@@ -139,6 +139,7 @@ void SimDevice::submit(Op op, SimTime host_cost_ns) {
   GLP_REQUIRE(it != queues_.end(), "submission to unknown stream " << op.stream);
   op.seq = next_seq_++;
   op.release = host_time_;
+  op.tenant = current_tenant_;
   host_time_ += host_cost_ns;
   // In-stream FIFO: each op waits for the completion of its predecessor
   // in the same stream (ops are admitted for execution the moment they
@@ -376,6 +377,7 @@ void SimDevice::advance_to(SimTime t) {
       rec.host_to_device = done.op.host_to_device;
       rec.start_ns = done.start_ns;
       rec.end_ns = done.end_ns;
+      rec.tenant = done.op.tenant;
       timeline_.add_copy(rec);
       if (copy_cb_) copy_cb_(rec);
       complete_op_bookkeeping(done.op.seq);
@@ -399,6 +401,7 @@ void SimDevice::finish_kernel(std::size_t idx) {
   rec.submit_ns = done.op.release;
   rec.start_ns = done.admit_ns;
   rec.end_ns = now_;
+  rec.tenant = done.op.tenant;
   timeline_.add_kernel(rec);
   if (kernel_cb_) kernel_cb_(rec);
 
@@ -456,6 +459,43 @@ void SimDevice::run_until(const std::function<bool()>& pred) {
     }
   }
   host_time_ = std::max(host_time_, now_);
+}
+
+void SimDevice::advance_device_to(SimTime t) {
+  // Lookahead for the serving event loop: drive the event loop until every
+  // device-side event at or before `t` has been processed. Intentionally
+  // leaves the host clock untouched (restored below) — peeking at the
+  // device is not a synchronisation point.
+  const SimTime saved_host = host_time_;
+  int spins = 0;
+  for (;;) {
+    if (start_ready_ops()) {
+      spins = 0;
+      continue;
+    }
+    const SimTime next = next_event_time();
+    if (next > t) break;
+    GLP_CHECK(next >= now_);
+    if (next > now_) spins = 0;
+    else if (++spins > 100000) {
+      throw glp::InternalError("gpusim: lookahead event loop is spinning");
+    }
+    advance_to(next);
+  }
+  // Burn partial work down to exactly `t` so a later lookahead (or sync)
+  // resumes from a consistent fluid state.
+  if (t > now_ && (!resident_.empty() || !copies_.empty())) advance_to(t);
+  host_time_ = saved_host;
+}
+
+SimTime SimDevice::peek_next_event() {
+  int spins = 0;
+  while (start_ready_ops()) {
+    if (++spins > 100000) {
+      throw glp::InternalError("gpusim: peek_next_event is spinning");
+    }
+  }
+  return next_event_time();
 }
 
 void SimDevice::synchronize_stream(StreamId stream) {

@@ -117,6 +117,18 @@ class SimDevice {
   /// Model host-side work (e.g. GLP4NN's analysis phase) occupying the
   /// dispatch thread for `ns`.
   void host_advance(SimTime ns) { host_time_ += ns; }
+  /// Lookahead: run the device event loop up to device time `t`, so every
+  /// completion (and event timestamp) at or before `t` becomes observable
+  /// via event_complete/event_time. Unlike the synchronize_* calls this
+  /// does NOT join the host clock to the device — observing the device is
+  /// not a synchronisation point. Used by the serving event loop to poll
+  /// in-flight batches without distorting host-side arrival timing.
+  void advance_device_to(SimTime t);
+  /// Settle any ops that can start right now, then return the device time
+  /// of the next pending event (+infinity when the device is idle). Lets
+  /// the serving event loop advance exactly event-by-event instead of
+  /// guessing a horizon.
+  SimTime peek_next_event();
 
   // --- introspection --------------------------------------------------------
   Timeline& timeline() { return timeline_; }
@@ -136,6 +148,12 @@ class SimDevice {
   /// skipped entirely.
   void set_register_penalty_enabled(bool enabled) { register_penalty_ = enabled; }
 
+  /// Ambient multi-tenant tag: every op submitted while a tenant is set is
+  /// stamped with it, and the tag is copied into the kernel/copy records
+  /// (timeline, simcupti, chrome traces). -1 means untagged.
+  void set_current_tenant(int tenant) { current_tenant_ = tenant; }
+  int current_tenant() const { return current_tenant_; }
+
   /// Convert an analytic cost into total work in thread-cycles via the
   /// device roofline (exposed for tests and the analyzer).
   double work_thread_cycles(const LaunchConfig& config, const KernelCost& cost) const;
@@ -151,6 +169,7 @@ class SimDevice {
     std::uint64_t default_dep = 0;  ///< last default-stream op before us
     std::uint64_t stream_dep = 0;   ///< previous op in the same stream
     bool barrier = false;        ///< default-stream op: waits for ALL prior
+    int tenant = -1;             ///< ambient tenant tag at submission
 
     // kKernel
     std::string name;
@@ -205,6 +224,7 @@ class SimDevice {
 
   SimTime now_ = 0.0;
   SimTime host_time_ = 0.0;
+  int current_tenant_ = -1;
 
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_correlation_ = 1;

@@ -62,12 +62,14 @@ std::string to_chrome_trace(const Timeline& timeline,
          << "\",\"regs\":" << k.config.regs_per_thread
          << ",\"smem\":" << k.config.smem_per_block()
          << ",\"correlation\":" << k.correlation_id;
+    if (k.tenant >= 0) args << ",\"tenant\":" << k.tenant;
     emit(k.name, "kernel", k.stream, k.start_ns, k.end_ns, args.str());
   }
   for (const CopyRecord& c : timeline.copies()) {
     std::ostringstream args;
     args << "\"bytes\":" << c.bytes << ",\"dir\":\""
          << (c.host_to_device ? "H2D" : "D2H") << "\"";
+    if (c.tenant >= 0) args << ",\"tenant\":" << c.tenant;
     emit(c.host_to_device ? "memcpy H2D" : "memcpy D2H", "memcpy", c.stream,
          c.start_ns, c.end_ns, args.str());
   }

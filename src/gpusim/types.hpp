@@ -71,6 +71,7 @@ struct KernelRecord {
   SimTime submit_ns = 0.0;  ///< host launch call returned
   SimTime start_ns = 0.0;   ///< first block began executing
   SimTime end_ns = 0.0;     ///< last block finished
+  int tenant = -1;          ///< serving tenant tag (-1: untagged)
 };
 
 /// A completed memcpy's execution record.
@@ -81,6 +82,7 @@ struct CopyRecord {
   bool host_to_device = true;
   SimTime start_ns = 0.0;
   SimTime end_ns = 0.0;
+  int tenant = -1;  ///< serving tenant tag (-1: untagged)
 };
 
 }  // namespace gpusim

@@ -23,9 +23,19 @@ struct ExecContext {
   /// Training phase: dropout active, BatchNorm uses batch statistics.
   /// Flip to false for inference (Caffe's TEST phase).
   bool train = true;
+  /// Forward-only serving mode: layers skip every gradient/solver scratch
+  /// allocation and Net::backward() is rejected. Orthogonal to `train`
+  /// (which controls phase behaviour, not memory).
+  bool inference = false;
+  /// Stream that non-scope kernels (whole-batch layers, data uploads) are
+  /// launched on. Serving gives each in-flight batch its own home stream
+  /// so batches overlap; training keeps the legacy default stream.
+  gpusim::StreamId home_stream = gpusim::kDefaultStream;
   glp::Rng rng{0x5eedULL};
 
-  kern::Launcher launcher(gpusim::StreamId stream = gpusim::kDefaultStream) const {
+  kern::Launcher launcher() const { return launcher(home_stream); }
+
+  kern::Launcher launcher(gpusim::StreamId stream) const {
     kern::Launcher l;
     l.ctx = ctx;
     l.stream = stream;

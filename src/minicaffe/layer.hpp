@@ -135,9 +135,12 @@ class Layer {
   }
 
  protected:
-  /// Launcher scoped to this layer and pass ("conv1/fwd").
-  kern::Launcher launcher(const char* pass,
-                          gpusim::StreamId stream = gpusim::kDefaultStream) const {
+  /// Launcher scoped to this layer and pass ("conv1/fwd"), on the
+  /// context's home stream (the default stream outside serving).
+  kern::Launcher launcher(const char* pass) const {
+    return launcher(pass, ec_->home_stream);
+  }
+  kern::Launcher launcher(const char* pass, gpusim::StreamId stream) const {
     kern::Launcher l = ec_->launcher(stream);
     l.name_prefix = spec_.name + "/" + pass;
     return l;

@@ -7,6 +7,7 @@
 #include "minicaffe/layers/conv_layer.hpp"
 #include "minicaffe/layers/data_layer.hpp"
 #include "minicaffe/layers/deconv_layer.hpp"
+#include "minicaffe/layers/input_layer.hpp"
 #include "minicaffe/layers/elementwise_layers.hpp"
 #include "minicaffe/layers/ip_layer.hpp"
 #include "minicaffe/layers/loss_layers.hpp"
@@ -28,6 +29,7 @@ std::unique_ptr<Layer> make(const LayerSpec& spec, ExecContext& ec) {
 const std::map<std::string, Factory>& registry() {
   static const std::map<std::string, Factory> r = {
       {"Data", make<DataLayer>},
+      {"Input", make<InputLayer>},
       {"Convolution", make<ConvolutionLayer>},
       {"Deconvolution", make<DeconvolutionLayer>},
       {"InnerProduct", make<InnerProductLayer>},

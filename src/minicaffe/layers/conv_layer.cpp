@@ -45,14 +45,18 @@ void ConvolutionLayer::setup(const std::vector<Blob*>& bottom,
     }
   }
 
-  const std::size_t spatial = static_cast<std::size_t>(out_h_) * out_w_;
-  ones_.allocate(*ec_->ctx, spatial);
-  if (ec_->numeric()) kern::cpu::fill(spatial, 1.0f, ones_.data());
+  // Gradient-accumulation scratch is backward-only; forward-only serving
+  // sessions never pay for it.
+  if (!ec_->inference) {
+    const std::size_t spatial = static_cast<std::size_t>(out_h_) * out_w_;
+    ones_.allocate(*ec_->ctx, spatial);
+    if (ec_->numeric()) kern::cpu::fill(spatial, 1.0f, ones_.data());
 
-  weight_partial_.allocate(*ec_->ctx, static_cast<std::size_t>(accum_slots_) *
-                                          p.num_output * kernel_dim_);
-  bias_partial_.allocate(*ec_->ctx,
-                         static_cast<std::size_t>(accum_slots_) * p.num_output);
+    weight_partial_.allocate(*ec_->ctx, static_cast<std::size_t>(accum_slots_) *
+                                            p.num_output * kernel_dim_);
+    bias_partial_.allocate(*ec_->ctx, static_cast<std::size_t>(accum_slots_) *
+                                          p.num_output);
+  }
 }
 
 void ConvolutionLayer::ensure_col_lane(int lane) {

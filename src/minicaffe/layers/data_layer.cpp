@@ -62,22 +62,23 @@ void DataLayer::forward(const std::vector<Blob*>& bottom,
   }
   cursor_ += static_cast<std::uint64_t>(batch);
 
-  // Upload through the simulated copy engine on the default stream.
+  // Upload through the simulated copy engine on the context's home
+  // stream (the default stream outside serving).
   scuda::Context& ctx = *ec_->ctx;
   ctx.memcpy_async(top[0]->mutable_data(), staging_images_.data(),
                    top[0]->count() * sizeof(float), /*h2d=*/true,
-                   gpusim::kDefaultStream);
+                   ec_->home_stream);
   if (p.pair_data) {
     ctx.memcpy_async(top[1]->mutable_data(), staging_images_p_.data(),
                      top[1]->count() * sizeof(float), true,
-                     gpusim::kDefaultStream);
+                     ec_->home_stream);
     ctx.memcpy_async(top[2]->mutable_data(), staging_labels_.data(),
                      staging_labels_.size() * sizeof(float), true,
-                     gpusim::kDefaultStream);
+                     ec_->home_stream);
   } else {
     ctx.memcpy_async(top[1]->mutable_data(), staging_labels_.data(),
                      staging_labels_.size() * sizeof(float), true,
-                     gpusim::kDefaultStream);
+                     ec_->home_stream);
   }
 }
 

@@ -1,0 +1,40 @@
+#pragma once
+// Input layer for serving: a shaped entry point whose data is supplied by
+// the caller (an InferenceSession) instead of a dataset. The caller fills
+// the host staging buffer before each forward; forward() uploads it with
+// one simulated H2D copy on the context's home stream, so request
+// latencies include the input transfer.
+//
+// Top: (data [N,C,H,W]) with N = params.batch_size and C/H/W from
+// params.dataset.
+
+#include "minicaffe/layer.hpp"
+
+namespace mc {
+
+class InputLayer final : public Layer {
+ public:
+  using Layer::Layer;
+  void setup(const std::vector<Blob*>& bottom,
+             const std::vector<Blob*>& top) override;
+  void forward(const std::vector<Blob*>& bottom,
+               const std::vector<Blob*>& top) override;
+  void backward(const std::vector<Blob*>& top,
+                const std::vector<bool>& propagate_down,
+                const std::vector<Blob*>& bottom) override;
+  bool has_backward() const override { return false; }
+
+  /// Host staging buffer the caller fills before forward() (size
+  /// batch_size * sample_size).
+  float* staging() { return staging_.data(); }
+  std::size_t staging_count() const { return staging_.size(); }
+  /// Elements per sample (C*H*W).
+  std::size_t sample_size() const { return sample_size_; }
+  int batch() const { return spec_.params.batch_size; }
+
+ private:
+  std::vector<float> staging_;
+  std::size_t sample_size_ = 0;
+};
+
+}  // namespace mc

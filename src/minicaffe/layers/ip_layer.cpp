@@ -27,13 +27,44 @@ void InnerProductLayer::setup(const std::vector<Blob*>& bottom,
     }
   }
 
-  ones_.allocate(*ec_->ctx, static_cast<std::size_t>(num_));
-  if (ec_->numeric()) kern::cpu::fill(static_cast<std::size_t>(num_), 1.0f, ones_.data());
+  // The bias multiplier feeds the batched formulation only; inference
+  // mode (per-sample path, no backward) never needs it.
+  if (!ec_->inference) {
+    ones_.allocate(*ec_->ctx, static_cast<std::size_t>(num_));
+    if (ec_->numeric()) {
+      kern::cpu::fill(static_cast<std::size_t>(num_), 1.0f, ones_.data());
+    }
+  }
 }
 
 void InnerProductLayer::forward(const std::vector<Blob*>& bottom,
                                 const std::vector<Blob*>& top) {
   const LayerParams& p = spec_.params;
+
+  if (ec_->inference) {
+    // Per-sample products (see header): each sample's result is computed
+    // exactly as a batch-1 forward pass would, independent of the batch
+    // composition, and the rows become a GLP4NN dispatch scope.
+    const float* weights = param_blobs_[0]->data();
+    const float* bias = param_blobs_[1]->data();
+    const std::size_t in_stride = bottom[0]->sample_size();
+    const std::size_t out_stride = top[0]->sample_size();
+    ec_->dispatcher->begin_scope(spec_.name + "/fwd",
+                                 static_cast<std::size_t>(num_));
+    for (int n = 0; n < num_; ++n) {
+      const kern::Lane lane =
+          ec_->dispatcher->task_lane(static_cast<std::size_t>(n));
+      const kern::Launcher L = launcher("fwd", lane.stream);
+      const float* x = bottom[0]->data() + static_cast<std::size_t>(n) * in_stride;
+      float* y = top[0]->mutable_data() + static_cast<std::size_t>(n) * out_stride;
+      // y = W [Co x dim] · x
+      kern::sgemv(L, false, p.num_output, dim_, 1.0f, weights, dim_, x, 0.0f, y);
+      if (p.bias_term) kern::saxpy(L, p.num_output, 1.0f, bias, y);
+    }
+    ec_->dispatcher->end_scope();
+    return;
+  }
+
   const kern::Launcher L = launcher("fwd");
   // top [N x Co] = bottom [N x dim] * W^T ([Co x dim] transposed)
   kern::sgemm(L, false, true, num_, p.num_output, dim_, 1.0f, bottom[0]->data(),

@@ -2,6 +2,13 @@
 // InnerProduct (fully connected) layer. Batched single-GEMM formulation
 // as in Caffe — not a per-sample loop, so it is not a GLP4NN dispatch
 // scope (the paper applies GLP4NN to convolution layers).
+//
+// Inference mode is the exception: the host GEMM picks its accumulation
+// strategy by shape, so a whole-batch product is not bitwise-identical to
+// batch-1 products. Serving's determinism contract ("a request's output
+// does not depend on its batch's composition") therefore computes each
+// sample independently — a per-sample GEMV dispatch scope, which also
+// lets GLP4NN overlap the rows across streams.
 
 #include "minicaffe/layer.hpp"
 

@@ -149,6 +149,9 @@ void Net::forward() {
 }
 
 void Net::backward() {
+  GLP_REQUIRE(!ec_->inference,
+              "Net::backward is unavailable in inference mode: the net was "
+              "built forward-only (no gradient buffers)");
   // Join the device: host-side zeroing below must not race queued kernels.
   ec_->ctx->device().synchronize();
   if (ec_->numeric()) {
@@ -235,6 +238,29 @@ void Net::zero_param_diffs() {
   for (const auto& p : learnable_params_) {
     kern::cpu::fill(p->count(), 0.0f, p->mutable_diff());
   }
+}
+
+void Net::share_params_from(Net& donor) {
+  GLP_REQUIRE(layers_.size() == donor.layers_.size(),
+              "share_params_from: nets have different layer counts");
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Layer* mine = layers_[l].get();
+    Layer* theirs = donor.layers_[l].get();
+    GLP_REQUIRE(mine->param_blobs().size() == theirs->param_blobs().size(),
+                "share_params_from: layer '" << mine->spec().name
+                                             << "' has mismatched param counts");
+    for (std::size_t i = 0; i < theirs->param_blobs().size(); ++i) {
+      const auto& donor_blob = theirs->param_blobs()[i];
+      GLP_REQUIRE(mine->param_blobs()[i]->count() == donor_blob->count(),
+                  "share_params_from: layer '" << mine->spec().name
+                                               << "' param " << i
+                                               << " shape mismatch");
+      mine->share_param(i, donor_blob);
+    }
+  }
+  // Re-point the dedup'd list too, or this net's original param storage
+  // stays pinned by learnable_params_ and the sharing saves nothing.
+  learnable_params_ = donor.learnable_params_;
 }
 
 }  // namespace mc

@@ -49,6 +49,12 @@ class Net {
   /// Host-side zero of all parameter diffs (call only while synchronised).
   void zero_param_diffs();
 
+  /// Adopt every parameter blob from `donor` (a net built from the same
+  /// spec): each layer's params are re-pointed at the donor's blobs and
+  /// this net's own copies are released. Serving replicas use this so N
+  /// batch-size variants of a model share one read-only weight set.
+  void share_params_from(Net& donor);
+
   ExecContext& exec() { return *ec_; }
   const NetSpec& spec() const { return spec_; }
 

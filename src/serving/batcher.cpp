@@ -1,0 +1,52 @@
+#include "serving/batcher.hpp"
+
+#include <limits>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace serving {
+
+DynamicBatcher::DynamicBatcher(BatchPolicy policy) : policy_(policy) {
+  GLP_REQUIRE(policy_.max_batch >= 1, "max_batch must be positive");
+  GLP_REQUIRE(policy_.max_delay_us >= 0.0, "max_delay_us must be non-negative");
+}
+
+std::optional<Batch> DynamicBatcher::try_form(
+    RequestQueue& queue, gpusim::SimTime now,
+    const std::function<bool(int)>& slot_free) {
+  const std::size_t width =
+      policy_.enabled ? static_cast<std::size_t>(policy_.max_batch) : 1;
+  // Walk the queue in arrival order; the first entry of each tenant is
+  // that tenant's oldest request, so the first *ready* tenant we meet is
+  // the one whose batch has waited longest.
+  std::set<int> seen;
+  for (const InferenceRequest& r : queue.pending()) {
+    if (!seen.insert(r.tenant).second) continue;  // not the tenant's oldest
+    if (slot_free && !slot_free(r.tenant)) continue;
+    const bool full = queue.count(r.tenant) >= width;
+    const bool timed_out =
+        !policy_.enabled || now >= r.arrival_ns + policy_.max_delay_ns();
+    if (!full && !timed_out) continue;
+    Batch batch;
+    batch.id = next_id_++;
+    batch.tenant = r.tenant;
+    batch.requests = queue.pop(r.tenant, width);
+    return batch;
+  }
+  return std::nullopt;
+}
+
+gpusim::SimTime DynamicBatcher::next_cut_ns(const RequestQueue& queue) const {
+  gpusim::SimTime t = std::numeric_limits<gpusim::SimTime>::infinity();
+  std::set<int> seen;
+  for (const InferenceRequest& r : queue.pending()) {
+    if (!seen.insert(r.tenant).second) continue;
+    const gpusim::SimTime cut =
+        policy_.enabled ? r.arrival_ns + policy_.max_delay_ns() : r.arrival_ns;
+    if (cut < t) t = cut;
+  }
+  return t;
+}
+
+}  // namespace serving

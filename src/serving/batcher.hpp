@@ -1,0 +1,64 @@
+#pragma once
+// Dynamic batcher: carves single-tenant batches out of the shared request
+// queue under a max_batch / max_delay_us policy.
+//
+// Cut rules for a tenant whose execution slot is free:
+//   * the tenant has max_batch queued requests (full batch), or
+//   * its oldest queued request has waited max_delay_us (timeout), or
+//   * batching is disabled (every request is its own batch, immediately).
+//
+// Requests are taken strictly in arrival order per tenant, and tenants
+// are considered in the arrival order of their oldest queued request, so
+// batching never reorders a tenant's stream of requests.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "serving/request_queue.hpp"
+
+namespace serving {
+
+struct BatchPolicy {
+  bool enabled = true;  ///< false → batch size 1, no artificial delay
+  int max_batch = 8;
+  double max_delay_us = 2000.0;  ///< max wait for a batch to fill
+
+  double max_delay_ns() const { return max_delay_us * gpusim::kUs; }
+};
+
+struct Batch {
+  std::uint64_t id = 0;
+  int tenant = 0;
+  std::vector<InferenceRequest> requests;
+
+  int size() const { return static_cast<int>(requests.size()); }
+};
+
+class DynamicBatcher {
+ public:
+  explicit DynamicBatcher(BatchPolicy policy);
+
+  const BatchPolicy& policy() const { return policy_; }
+
+  /// Cut the next ready batch at sim time `now`, or nullopt when nothing
+  /// is ready. `slot_free(tenant)` reports whether the tenant's execution
+  /// slot can take a batch right now; tenants with busy slots are skipped
+  /// (their requests keep queueing). Call repeatedly until nullopt.
+  std::optional<Batch> try_form(RequestQueue& queue, gpusim::SimTime now,
+                                const std::function<bool(int)>& slot_free);
+
+  /// Earliest future time at which the delay timeout could cut a batch
+  /// (+infinity when the queue is empty). Ignores slot availability — the
+  /// caller re-evaluates when slots free up.
+  gpusim::SimTime next_cut_ns(const RequestQueue& queue) const;
+
+  std::uint64_t batches_formed() const { return next_id_; }
+
+ private:
+  BatchPolicy policy_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace serving

@@ -1,0 +1,149 @@
+#include "serving/model_zoo.hpp"
+
+#include "common/check.hpp"
+
+namespace serving {
+namespace {
+
+mc::LayerSpec input(const char* top, int batch, int c, int h, int w) {
+  mc::LayerSpec s;
+  s.type = "Input";
+  s.name = "input";
+  s.tops = {top};
+  s.params.batch_size = batch;
+  s.params.dataset.channels = c;
+  s.params.dataset.height = h;
+  s.params.dataset.width = w;
+  return s;
+}
+
+mc::LayerSpec conv(const char* name, const char* bottom, const char* top,
+                   int num_output, int kernel, int pad = 0) {
+  mc::LayerSpec s;
+  s.type = "Convolution";
+  s.name = name;
+  s.bottoms = {bottom};
+  s.tops = {top};
+  s.params.num_output = num_output;
+  s.params.kernel_size = kernel;
+  s.params.pad = pad;
+  return s;
+}
+
+mc::LayerSpec relu(const char* name, const char* blob) {
+  mc::LayerSpec s;
+  s.type = "ReLU";
+  s.name = name;
+  s.bottoms = {blob};
+  s.tops = {blob};  // in place
+  return s;
+}
+
+mc::LayerSpec pool(const char* name, const char* bottom, const char* top,
+                   int kernel, int stride) {
+  mc::LayerSpec s;
+  s.type = "Pooling";
+  s.name = name;
+  s.bottoms = {bottom};
+  s.tops = {top};
+  s.params.kernel_size = kernel;
+  s.params.stride = stride;
+  return s;
+}
+
+mc::LayerSpec ip(const char* name, const char* bottom, const char* top,
+                 int num_output) {
+  mc::LayerSpec s;
+  s.type = "InnerProduct";
+  s.name = name;
+  s.bottoms = {bottom};
+  s.tops = {top};
+  s.params.num_output = num_output;
+  return s;
+}
+
+mc::LayerSpec softmax(const char* bottom, const char* top) {
+  mc::LayerSpec s;
+  s.type = "Softmax";
+  s.name = "prob";
+  s.bottoms = {bottom};
+  s.tops = {top};
+  return s;
+}
+
+}  // namespace
+
+// Channel widths are chosen against the simulator's GEMM cost model: a
+// 64x64-tiled sgemm runs for ~54ns x k (k = C_in * kh * kw) on a handful
+// of thread blocks, so deep-channel convs at small spatial sizes give
+// per-sample kernels whose device time (15-60us) dwarfs the ~5us launch
+// overhead while leaving most of the device free for concurrent sample
+// chains — the regime where stream-pool parallelization pays off.
+
+mc::NetSpec tiny_cnn(int batch_size) {
+  mc::NetSpec net;
+  net.name = "tiny_cnn";
+  net.layers = {
+      input("data", batch_size, 1, 16, 16),
+      conv("conv1", "data", "c1", 32, 3, 1),   // 32x16x16
+      relu("relu1", "c1"),
+      pool("pool1", "c1", "p1", 2, 2),         // 32x8x8
+      conv("conv2", "p1", "c2", 64, 3, 1),     // 64x8x8, k=288 -> ~16us
+      relu("relu2", "c2"),
+      ip("fc", "c2", "score", 10),
+      softmax("score", "prob"),
+  };
+  return net;
+}
+
+mc::NetSpec small_cnn(int batch_size) {
+  mc::NetSpec net;
+  net.name = "small_cnn";
+  net.layers = {
+      input("data", batch_size, 3, 16, 16),
+      conv("conv1", "data", "c1", 64, 5, 2),   // 64x16x16, k=75
+      relu("relu1", "c1"),
+      pool("pool1", "c1", "p1", 2, 2),         // 64x8x8
+      conv("conv2", "p1", "c2", 128, 3, 1),    // 128x8x8, k=576 -> ~31us
+      relu("relu2", "c2"),
+      conv("conv3", "c2", "c3", 128, 3, 1),    // 128x8x8, k=1152 -> ~62us
+      relu("relu3", "c3"),
+      conv("conv4", "c3", "c4", 128, 3, 1),    // 128x8x8, k=1152 -> ~62us
+      relu("relu4", "c4"),
+      pool("pool2", "c4", "p2", 2, 2),         // 128x4x4
+      ip("fc1", "p2", "f1", 256),
+      relu("relu5", "f1"),
+      ip("fc2", "f1", "score", 10),
+      softmax("score", "prob"),
+  };
+  return net;
+}
+
+mc::NetSpec mlp(int batch_size) {
+  mc::NetSpec net;
+  net.name = "mlp";
+  net.layers = {
+      input("data", batch_size, 1, 32, 32),
+      ip("fc1", "data", "f1", 512),
+      relu("relu1", "f1"),
+      ip("fc2", "f1", "f2", 256),
+      relu("relu2", "f2"),
+      ip("fc3", "f2", "score", 10),
+      softmax("score", "prob"),
+  };
+  return net;
+}
+
+mc::NetSpec by_name(const std::string& name, int batch_size) {
+  if (name == "tiny_cnn") return tiny_cnn(batch_size);
+  if (name == "small_cnn") return small_cnn(batch_size);
+  if (name == "mlp") return mlp(batch_size);
+  GLP_REQUIRE(false, "unknown zoo model '" << name << "'");
+  return {};
+}
+
+std::vector<std::string> zoo_names() {
+  return {"tiny_cnn", "small_cnn", "mlp"};
+}
+
+}  // namespace serving

@@ -1,0 +1,30 @@
+#pragma once
+// Servable model specs: forward-only nets that start with an Input layer
+// (caller-supplied samples, no dataset) and end in a Softmax over class
+// scores — no loss or accuracy layers. The batch size in the returned
+// spec is a placeholder; InferenceSession rewrites it per replica.
+
+#include <string>
+#include <vector>
+
+#include "minicaffe/net.hpp"
+
+namespace serving {
+
+/// 2-conv CNN over 1x16x16 inputs — the light, latency-sensitive tenant.
+mc::NetSpec tiny_cnn(int batch_size = 1);
+
+/// 4-conv VGG-style CNN over 3x16x16 inputs — the heavy tenant whose
+/// per-sample kernels carry enough device time for streams to overlap.
+mc::NetSpec small_cnn(int batch_size = 1);
+
+/// 3-layer MLP over 1x32x32 inputs — sgemv-bound, launch-dominated.
+mc::NetSpec mlp(int batch_size = 1);
+
+/// Lookup by name ("tiny_cnn", "small_cnn", "mlp"); throws
+/// glp::InvalidArgument for unknown names.
+mc::NetSpec by_name(const std::string& name, int batch_size = 1);
+
+std::vector<std::string> zoo_names();
+
+}  // namespace serving

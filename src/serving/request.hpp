@@ -1,0 +1,59 @@
+#pragma once
+// Value types of the inference serving subsystem: a client request, its
+// terminal outcome, and the per-request record the server returns for
+// latency/throughput analysis. All timestamps are simulated nanoseconds
+// relative to the start of the replayed trace.
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/types.hpp"
+
+namespace serving {
+
+struct InferenceRequest {
+  std::uint64_t id = 0;
+  int tenant = 0;
+  gpusim::SimTime arrival_ns = 0.0;
+  /// Absolute deadline; requests still queued past it are dropped.
+  /// 0 = no deadline.
+  gpusim::SimTime deadline_ns = 0.0;
+  /// One input sample in the tenant model's shape. May be empty in
+  /// timing-only replays.
+  std::vector<float> input;
+};
+
+enum class Outcome {
+  kServed,    ///< completed a forward pass
+  kRejected,  ///< bounced at admission (queue full)
+  kExpired,   ///< dropped from the queue at its deadline
+};
+
+inline const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kServed: return "served";
+    case Outcome::kRejected: return "rejected";
+    case Outcome::kExpired: return "expired";
+  }
+  return "?";
+}
+
+struct RequestRecord {
+  std::uint64_t id = 0;
+  int tenant = 0;
+  Outcome outcome = Outcome::kServed;
+  gpusim::SimTime arrival_ns = 0.0;
+  gpusim::SimTime issue_ns = 0.0;       ///< batch launch began (served only)
+  gpusim::SimTime completion_ns = 0.0;  ///< batch completion event (served only)
+  std::uint64_t batch_id = 0;
+  int batch_size = 0;
+  /// The request's output sample (numeric mode with keep_outputs only).
+  std::vector<float> output;
+
+  double latency_ms() const {
+    return (completion_ns - arrival_ns) / gpusim::kMs;
+  }
+  double queue_ms() const { return (issue_ns - arrival_ns) / gpusim::kMs; }
+};
+
+}  // namespace serving

@@ -1,0 +1,57 @@
+#include "serving/request_queue.hpp"
+
+#include "common/check.hpp"
+
+namespace serving {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  GLP_REQUIRE(capacity_ >= 1, "request queue capacity must be positive");
+}
+
+bool RequestQueue::push(InferenceRequest r) {
+  if (q_.size() >= capacity_) return false;
+  q_.push_back(std::move(r));
+  return true;
+}
+
+std::size_t RequestQueue::count(int tenant) const {
+  std::size_t n = 0;
+  for (const InferenceRequest& r : q_) n += (r.tenant == tenant) ? 1 : 0;
+  return n;
+}
+
+std::vector<InferenceRequest> RequestQueue::expire(gpusim::SimTime now) {
+  std::vector<InferenceRequest> dropped;
+  for (auto it = q_.begin(); it != q_.end();) {
+    if (it->deadline_ns > 0.0 && it->deadline_ns <= now) {
+      dropped.push_back(std::move(*it));
+      it = q_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+gpusim::SimTime RequestQueue::next_deadline() const {
+  gpusim::SimTime t = std::numeric_limits<gpusim::SimTime>::infinity();
+  for (const InferenceRequest& r : q_) {
+    if (r.deadline_ns > 0.0 && r.deadline_ns < t) t = r.deadline_ns;
+  }
+  return t;
+}
+
+std::vector<InferenceRequest> RequestQueue::pop(int tenant, std::size_t max_n) {
+  std::vector<InferenceRequest> out;
+  for (auto it = q_.begin(); it != q_.end() && out.size() < max_n;) {
+    if (it->tenant == tenant) {
+      out.push_back(std::move(*it));
+      it = q_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+}  // namespace serving

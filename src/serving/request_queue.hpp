@@ -1,0 +1,47 @@
+#pragma once
+// Bounded FIFO request queue with admission control and deadline expiry.
+// The queue holds requests from every tenant in arrival order — the
+// DynamicBatcher is what carves per-tenant batches out of it; the queue
+// itself never reorders anything.
+
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "serving/request.hpp"
+
+namespace serving {
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Admission control: enqueue, or return false when the queue is full
+  /// (the caller records the request as rejected).
+  bool push(InferenceRequest r);
+
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const std::deque<InferenceRequest>& pending() const { return q_; }
+
+  /// Queued requests of `tenant`.
+  std::size_t count(int tenant) const;
+
+  /// Remove and return (in arrival order) every request whose deadline
+  /// passed at `now`.
+  std::vector<InferenceRequest> expire(gpusim::SimTime now);
+
+  /// Earliest pending deadline, or +infinity when none.
+  gpusim::SimTime next_deadline() const;
+
+  /// Pop the oldest `max_n` requests of `tenant`, preserving their
+  /// relative order.
+  std::vector<InferenceRequest> pop(int tenant, std::size_t max_n);
+
+ private:
+  std::size_t capacity_;
+  std::deque<InferenceRequest> q_;
+};
+
+}  // namespace serving

@@ -1,0 +1,342 @@
+#include "serving/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace serving {
+
+namespace {
+constexpr gpusim::SimTime kInf = std::numeric_limits<gpusim::SimTime>::infinity();
+}  // namespace
+
+InferenceServer::InferenceServer(scuda::Context& ctx,
+                                 std::vector<TenantModel> models,
+                                 ServerOptions opts)
+    : ctx_(&ctx), opts_(std::move(opts)), models_(std::move(models)) {
+  GLP_REQUIRE(!models_.empty(), "server needs at least one tenant model");
+  GLP_REQUIRE(opts_.slots >= 1, "server needs at least one batch slot");
+  // Slot assignment is stable (tenant % slots) to preserve per-tenant
+  // FIFO, so slots beyond the tenant count can never be occupied — clamp
+  // them away or they would needlessly shrink every tenant's pool slice.
+  opts_.slots = std::min(opts_.slots, static_cast<int>(models_.size()));
+
+  if (opts_.use_scheduler) {
+    glp4nn::SchedulerOptions sopts = opts_.scheduler;
+    sopts.policy = glp4nn::DispatchPolicy::kTenantSliced;
+    engine_ = std::make_unique<glp4nn::Glp4nnEngine>(sopts);
+    sched_ = &engine_->scheduler_for(*ctx_);
+    dispatcher_ = sched_;
+  } else {
+    serial_ = std::make_unique<kern::SerialDispatcher>(*ctx_);
+    dispatcher_ = serial_.get();
+  }
+
+  // One home stream per in-flight slot. The serial baseline keeps every
+  // slot on the legacy default stream — that IS the baseline's bottleneck.
+  homes_.reserve(static_cast<std::size_t>(opts_.slots));
+  for (int s = 0; s < opts_.slots; ++s) {
+    homes_.push_back(opts_.use_scheduler ? scuda::Stream::create(*ctx_)
+                                         : scuda::Stream(*ctx_));
+  }
+  slot_busy_.assign(static_cast<std::size_t>(opts_.slots), false);
+
+  for (std::size_t t = 0; t < models_.size(); ++t) {
+    SessionOptions so;
+    so.mode = opts_.mode;
+    so.weights_path = models_[t].weights;
+    if (models_.size() > 1) so.name_prefix = "t" + std::to_string(t) + ":";
+    sessions_.push_back(std::make_unique<InferenceSession>(
+        *ctx_, *dispatcher_, models_[t].spec, so));
+  }
+
+  if (opts_.record_timeline) ctx_->device().timeline().set_enabled(true);
+}
+
+std::size_t InferenceServer::total_replicas() const {
+  std::size_t n = 0;
+  for (const auto& s : sessions_) n += s->replica_count();
+  return n;
+}
+
+void InferenceServer::warmup() {
+  std::vector<int> sizes{1};
+  if (opts_.batch.enabled) {
+    const int top = replica_batch_for(opts_.batch.max_batch);
+    for (int b = 2; b <= top; b <<= 1) sizes.push_back(b);
+  }
+  gpusim::SimDevice& dev = ctx_->device();
+  for (int t = 0; t < tenants(); ++t) {
+    const int slot = t % opts_.slots;
+    const gpusim::StreamId home = homes_[static_cast<std::size_t>(slot)].id();
+    for (int b : sizes) {
+      InferenceSession::Replica& r = sessions_[static_cast<std::size_t>(t)]
+                                         ->checkout(b);
+      if (sched_) {
+        sched_->set_tenant({t, models_[static_cast<std::size_t>(t)].priority,
+                            slot, opts_.slots, home});
+      }
+      dev.set_current_tenant(t);
+      sessions_[static_cast<std::size_t>(t)]->run_batch(r, {}, home);
+      dev.set_current_tenant(-1);
+      if (sched_) sched_->clear_tenant();
+      dev.synchronize();
+      sessions_[static_cast<std::size_t>(t)]->release(r);
+    }
+  }
+}
+
+void InferenceServer::issue(Batch batch, gpusim::SimTime now) {
+  const int tenant = batch.tenant;
+  GLP_CHECK(tenant >= 0 && tenant < tenants());
+  const int slot = tenant % opts_.slots;
+  GLP_CHECK(!slot_busy_[static_cast<std::size_t>(slot)]);
+
+  InferenceSession& sess = *sessions_[static_cast<std::size_t>(tenant)];
+  InferenceSession::Replica& r = sess.checkout(batch.size());
+
+  std::vector<const float*> samples;
+  if (!batch.requests.front().input.empty()) {
+    samples.reserve(batch.requests.size());
+    for (const InferenceRequest& req : batch.requests) {
+      GLP_REQUIRE(req.input.size() == sess.sample_input_size(),
+                  "request " << req.id << " input size " << req.input.size()
+                             << " != model sample size "
+                             << sess.sample_input_size());
+      samples.push_back(req.input.data());
+    }
+  }
+
+  gpusim::SimDevice& dev = ctx_->device();
+  const gpusim::StreamId home = homes_[static_cast<std::size_t>(slot)].id();
+  if (sched_) {
+    sched_->set_tenant({tenant, models_[static_cast<std::size_t>(tenant)].priority,
+                        slot, opts_.slots, home});
+  }
+  dev.set_current_tenant(tenant);
+  sess.run_batch(r, samples, home);
+  const gpusim::EventId done = dev.record_event(home);
+  dev.set_current_tenant(-1);
+  if (sched_) sched_->clear_tenant();
+
+  slot_busy_[static_cast<std::size_t>(slot)] = true;
+  InFlight f;
+  f.slot = slot;
+  f.batch = std::move(batch);
+  f.replica = &r;
+  f.done = done;
+  f.issue_ns = now;
+  inflight_.push_back(std::move(f));
+}
+
+bool InferenceServer::reap(std::vector<RequestRecord>& records) {
+  gpusim::SimDevice& dev = ctx_->device();
+  bool any = false;
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    if (!dev.event_complete(it->done)) {
+      ++it;
+      continue;
+    }
+    const gpusim::SimTime completion = dev.event_time(it->done);
+    InferenceSession& sess = *sessions_[static_cast<std::size_t>(it->batch.tenant)];
+    for (std::size_t i = 0; i < it->batch.requests.size(); ++i) {
+      const InferenceRequest& req = it->batch.requests[i];
+      RequestRecord rec;
+      rec.id = req.id;
+      rec.tenant = req.tenant;
+      rec.outcome = Outcome::kServed;
+      rec.arrival_ns = req.arrival_ns - t0_;
+      rec.issue_ns = it->issue_ns - t0_;
+      rec.completion_ns = completion - t0_;
+      rec.batch_id = it->batch.id;
+      rec.batch_size = it->batch.size();
+      if (opts_.keep_outputs && opts_.mode == kern::ComputeMode::kNumeric) {
+        const float* out = sess.output_of(*it->replica, static_cast<int>(i));
+        rec.output.assign(out, out + sess.sample_output_size());
+      }
+      records.push_back(std::move(rec));
+    }
+    sess.release(*it->replica);
+    slot_busy_[static_cast<std::size_t>(it->slot)] = false;
+    it = inflight_.erase(it);
+    any = true;
+  }
+  return any;
+}
+
+gpusim::SimTime InferenceServer::earliest_completion(gpusim::SimTime from,
+                                                     gpusim::SimTime cap) {
+  GLP_CHECK(!inflight_.empty());
+  (void)from;
+  gpusim::SimDevice& dev = ctx_->device();
+  // Step the device exactly event-by-event so it is never advanced past
+  // the completion we report — overshooting would delay the start of
+  // batches issued afterwards and distort the measured schedule.
+  for (int step = 0; step < (1 << 22); ++step) {
+    const gpusim::SimTime t = dev.peek_next_event();
+    if (t > cap || t == kInf) return kInf;
+    dev.advance_device_to(t);
+    gpusim::SimTime best = kInf;
+    for (const InFlight& f : inflight_) {
+      if (dev.event_complete(f.done)) best = std::min(best, dev.event_time(f.done));
+    }
+    if (best < kInf) return best;
+  }
+  throw glp::InternalError(
+      "serving: in-flight batch never completed within the lookahead horizon");
+}
+
+std::vector<RequestRecord> InferenceServer::replay(
+    std::vector<InferenceRequest> trace) {
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const InferenceRequest& a, const InferenceRequest& b) {
+                     return a.arrival_ns < b.arrival_ns;
+                   });
+  if (opts_.warmup) warmup();
+
+  gpusim::SimDevice& dev = ctx_->device();
+  t0_ = dev.host_now();
+  // Shift trace times onto the absolute sim clock.
+  for (InferenceRequest& r : trace) {
+    r.arrival_ns += t0_;
+    if (r.deadline_ns > 0.0) r.deadline_ns += t0_;
+  }
+
+  RequestQueue queue(opts_.queue_capacity);
+  DynamicBatcher batcher(opts_.batch);
+  const auto slot_free = [this](int tenant) {
+    return !slot_busy_[static_cast<std::size_t>(tenant % opts_.slots)];
+  };
+
+  std::vector<RequestRecord> records;
+  records.reserve(trace.size());
+  std::size_t next = 0;
+  int stalls = 0;
+
+  while (next < trace.size() || !queue.empty() || !inflight_.empty()) {
+    const gpusim::SimTime now = dev.host_now();
+    dev.advance_device_to(now);
+    bool progressed = reap(records);
+
+    while (next < trace.size() && trace[next].arrival_ns <= now) {
+      InferenceRequest& r = trace[next++];
+      progressed = true;
+      const std::uint64_t id = r.id;
+      const int tenant = r.tenant;
+      const gpusim::SimTime arrival = r.arrival_ns;
+      if (!queue.push(std::move(r))) {
+        RequestRecord rec;
+        rec.id = id;
+        rec.tenant = tenant;
+        rec.outcome = Outcome::kRejected;
+        rec.arrival_ns = arrival - t0_;
+        records.push_back(std::move(rec));
+      }
+    }
+
+    for (InferenceRequest& r : queue.expire(now)) {
+      progressed = true;
+      RequestRecord rec;
+      rec.id = r.id;
+      rec.tenant = r.tenant;
+      rec.outcome = Outcome::kExpired;
+      rec.arrival_ns = r.arrival_ns - t0_;
+      records.push_back(std::move(rec));
+    }
+
+    while (auto b = batcher.try_form(queue, now, slot_free)) {
+      progressed = true;
+      issue(std::move(*b), now);
+    }
+
+    if (progressed) {
+      stalls = 0;
+      continue;
+    }
+    if (next >= trace.size() && queue.empty() && inflight_.empty()) break;
+
+    // Next host wake-up: the earliest of (next arrival, next queue
+    // deadline, next batcher timeout, earliest in-flight completion).
+    gpusim::SimTime next_t = kInf;
+    if (next < trace.size()) next_t = std::min(next_t, trace[next].arrival_ns);
+    const gpusim::SimTime dl = queue.next_deadline();
+    if (dl > now) next_t = std::min(next_t, dl);
+    const gpusim::SimTime cut = batcher.next_cut_ns(queue);
+    if (cut > now) next_t = std::min(next_t, cut);
+
+    gpusim::SimTime wake = next_t;
+    if (!inflight_.empty()) {
+      const gpusim::SimTime comp = earliest_completion(now, next_t);
+      wake = std::min(wake, std::max(comp, now));
+    }
+    GLP_CHECK(wake < kInf);  // otherwise the queue can never drain
+    if (wake > now) {
+      dev.host_advance(wake - now);
+      stalls = 0;
+    } else if (++stalls > 10000) {
+      throw glp::InternalError("serving: replay event loop is stalled");
+    }
+  }
+  return records;
+}
+
+ServingStats InferenceServer::summarize(
+    const std::vector<RequestRecord>& records) {
+  ServingStats s;
+  s.offered = records.size();
+  std::vector<double> lat;
+  double sum = 0.0;
+  gpusim::SimTime first_arrival = kInf, last_completion = 0.0;
+  std::uint64_t max_batch_id_seen = 0;
+  bool any_batch = false;
+  std::size_t batched_requests = 0;
+  for (const RequestRecord& r : records) {
+    first_arrival = std::min(first_arrival, r.arrival_ns);
+    switch (r.outcome) {
+      case Outcome::kRejected:
+        ++s.rejected;
+        continue;
+      case Outcome::kExpired:
+        ++s.expired;
+        continue;
+      case Outcome::kServed:
+        break;
+    }
+    ++s.served;
+    ++batched_requests;
+    any_batch = true;
+    max_batch_id_seen = std::max(max_batch_id_seen, r.batch_id);
+    last_completion = std::max(last_completion, r.completion_ns);
+    const double ms = r.latency_ms();
+    lat.push_back(ms);
+    sum += ms;
+    s.max_ms = std::max(s.max_ms, ms);
+  }
+  if (!lat.empty()) {
+    std::sort(lat.begin(), lat.end());
+    const auto rank = [&](double q) {
+      const std::size_t i = static_cast<std::size_t>(
+          std::ceil(q * static_cast<double>(lat.size()))) ;
+      return lat[std::min(i == 0 ? 0 : i - 1, lat.size() - 1)];
+    };
+    s.p50_ms = rank(0.50);
+    s.p95_ms = rank(0.95);
+    s.p99_ms = rank(0.99);
+    s.mean_ms = sum / static_cast<double>(lat.size());
+  }
+  if (any_batch) {
+    s.batches = max_batch_id_seen + 1;
+    s.mean_batch =
+        static_cast<double>(batched_requests) / static_cast<double>(s.batches);
+  }
+  if (s.served > 0 && last_completion > first_arrival) {
+    s.makespan_ms = (last_completion - first_arrival) / gpusim::kMs;
+    s.throughput_rps =
+        static_cast<double>(s.served) / (s.makespan_ms / 1e3);
+  }
+  return s;
+}
+
+}  // namespace serving

@@ -1,0 +1,113 @@
+#pragma once
+// InferenceServer: the multi-tenant serving front end. Owns one
+// InferenceSession per tenant model, a shared bounded RequestQueue, a
+// DynamicBatcher, and `slots` concurrent in-flight batch slots — each
+// slot a dedicated home stream. Under the GLP4NN scheduler
+// (DispatchPolicy::kTenantSliced) every in-flight batch runs its
+// per-sample scopes on a disjoint slice of the stream pool and
+// forks/joins against its slot's home stream, so batches from different
+// tenants overlap on the device; the serial baseline funnels everything
+// through the default stream.
+//
+// replay() is a deterministic single-threaded discrete-event loop over
+// simulated time: it admits trace arrivals, expires deadlines, cuts
+// batches, and uses SimDevice::advance_device_to lookahead to find batch
+// completions without disturbing the host clock. Identical inputs give
+// identical schedules and bit-identical outputs.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/glp4nn.hpp"
+#include "serving/batcher.hpp"
+#include "serving/session.hpp"
+#include "serving/trace_gen.hpp"
+
+namespace serving {
+
+struct TenantModel {
+  std::string name;
+  mc::NetSpec spec;
+  int priority = 0;      ///< stream priority for the tenant's slice
+  std::string weights;   ///< optional checkpoint path
+};
+
+struct ServerOptions {
+  BatchPolicy batch;
+  int slots = 4;                    ///< concurrent in-flight batch slots
+  std::size_t queue_capacity = 64;  ///< admission-control bound
+  /// true: GLP4NN RuntimeScheduler (kTenantSliced); false: serial
+  /// baseline (every kernel on the default stream).
+  bool use_scheduler = true;
+  glp4nn::SchedulerOptions scheduler;  ///< policy is forced to kTenantSliced
+  kern::ComputeMode mode = kern::ComputeMode::kNumeric;
+  bool record_timeline = false;  ///< keep kernel/copy records (race checks)
+  bool keep_outputs = false;     ///< copy each request's output into its record
+  /// Run one forward per (tenant, replica batch size) before the trace so
+  /// every scope is profiled up front; warmup time is excluded from
+  /// request metrics.
+  bool warmup = true;
+};
+
+struct ServingStats {
+  std::size_t offered = 0;
+  std::size_t served = 0;
+  std::size_t rejected = 0;
+  std::size_t expired = 0;
+  std::size_t deadline_misses = 0;  ///< served, but past their deadline
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  double mean_ms = 0.0, max_ms = 0.0;
+  double makespan_ms = 0.0;       ///< first arrival → last completion
+  double throughput_rps = 0.0;    ///< served / makespan
+  std::uint64_t batches = 0;
+  double mean_batch = 0.0;
+};
+
+class InferenceServer {
+ public:
+  InferenceServer(scuda::Context& ctx, std::vector<TenantModel> models,
+                  ServerOptions opts = {});
+
+  /// Replay an open-loop trace (arrival_ns relative to replay start).
+  /// Returns one record per request, in completion/drop order.
+  std::vector<RequestRecord> replay(std::vector<InferenceRequest> trace);
+
+  InferenceSession& session(int tenant) { return *sessions_.at(tenant); }
+  int tenants() const { return static_cast<int>(sessions_.size()); }
+  const ServerOptions& options() const { return opts_; }
+  /// Activation arenas built across all tenants (replica high-water mark).
+  std::size_t total_replicas() const;
+
+  static ServingStats summarize(const std::vector<RequestRecord>& records);
+
+ private:
+  struct InFlight {
+    int slot = 0;
+    Batch batch;
+    InferenceSession::Replica* replica = nullptr;
+    gpusim::EventId done = 0;
+    gpusim::SimTime issue_ns = 0.0;
+  };
+
+  void warmup();
+  void issue(Batch batch, gpusim::SimTime now);
+  bool reap(std::vector<RequestRecord>& records);
+  gpusim::SimTime earliest_completion(gpusim::SimTime from, gpusim::SimTime cap);
+
+  scuda::Context* ctx_;
+  ServerOptions opts_;
+  std::vector<TenantModel> models_;
+  std::unique_ptr<glp4nn::Glp4nnEngine> engine_;       // scheduler mode
+  std::unique_ptr<kern::SerialDispatcher> serial_;     // baseline mode
+  glp4nn::RuntimeScheduler* sched_ = nullptr;
+  kern::KernelDispatcher* dispatcher_ = nullptr;
+  std::vector<std::unique_ptr<InferenceSession>> sessions_;
+  std::vector<scuda::Stream> homes_;  ///< one home stream per slot
+  std::vector<bool> slot_busy_;
+  std::vector<InFlight> inflight_;
+  gpusim::SimTime t0_ = 0.0;  ///< replay epoch (absolute sim time)
+};
+
+}  // namespace serving

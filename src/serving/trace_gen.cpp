@@ -1,0 +1,83 @@
+#include "serving/trace_gen.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace serving {
+namespace {
+
+/// Exponential gap at `rate` requests per second, in sim nanoseconds.
+double exp_gap_ns(glp::Rng& rng, double rate_rps) {
+  const double u = rng.next_double();  // [0,1)
+  return -std::log(1.0 - u) / rate_rps * 1e9;
+}
+
+/// Burst envelope: rate multiplier at absolute time t.
+double burst_rate(const TraceSpec& s, double t_ns) {
+  const double period = s.burst_period_ms * gpusim::kMs;
+  const double phase = std::fmod(t_ns, period) / period;
+  // Scale the off-phase so the time-averaged rate stays rate_rps:
+  //   duty*factor + (1-duty)*off = 1
+  const double off =
+      (1.0 - s.burst_duty * s.burst_factor) / (1.0 - s.burst_duty);
+  const double mult = (phase < s.burst_duty) ? s.burst_factor
+                                             : std::max(off, 0.05);
+  return s.rate_rps * mult;
+}
+
+}  // namespace
+
+std::vector<InferenceRequest> make_trace(
+    const TraceSpec& spec, const std::vector<std::size_t>& input_sizes) {
+  GLP_REQUIRE(spec.requests >= 1, "trace needs at least one request");
+  GLP_REQUIRE(spec.rate_rps > 0.0, "offered load must be positive");
+  GLP_REQUIRE(spec.tenants >= 1, "trace needs at least one tenant");
+  GLP_REQUIRE(static_cast<int>(input_sizes.size()) >= spec.tenants,
+              "input_sizes must cover every tenant");
+  if (spec.arrival == ArrivalProcess::kBursty) {
+    GLP_REQUIRE(spec.burst_duty > 0.0 && spec.burst_duty < 1.0,
+                "burst_duty must be in (0,1)");
+    GLP_REQUIRE(spec.burst_duty * spec.burst_factor < 1.0,
+                "burst envelope leaves no off-phase budget "
+                "(duty*factor must be < 1)");
+  }
+
+  glp::Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + 0xabcdefULL);
+  std::vector<InferenceRequest> trace;
+  trace.reserve(static_cast<std::size_t>(spec.requests));
+  double t = 0.0;
+  for (int i = 0; i < spec.requests; ++i) {
+    switch (spec.arrival) {
+      case ArrivalProcess::kPoisson:
+        t += exp_gap_ns(rng, spec.rate_rps);
+        break;
+      case ArrivalProcess::kBursty:
+        t += exp_gap_ns(rng, burst_rate(spec, t));
+        break;
+      case ArrivalProcess::kUniform:
+        t += 1e9 / spec.rate_rps;
+        break;
+    }
+    InferenceRequest r;
+    r.id = static_cast<std::uint64_t>(i);
+    r.tenant = (spec.tenants == 1)
+                   ? 0
+                   : static_cast<int>(rng.next_below(
+                         static_cast<std::uint64_t>(spec.tenants)));
+    r.arrival_ns = t;
+    if (spec.deadline_ms > 0.0) r.deadline_ns = t + spec.deadline_ms * gpusim::kMs;
+    if (spec.fill_inputs) {
+      const std::size_t n = input_sizes[static_cast<std::size_t>(r.tenant)];
+      r.input.resize(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        r.input[k] = static_cast<float>(rng.next_double() * 2.0 - 1.0);
+      }
+    }
+    trace.push_back(std::move(r));
+  }
+  return trace;
+}
+
+}  // namespace serving

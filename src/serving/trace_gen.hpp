@@ -1,0 +1,40 @@
+#pragma once
+// Synthetic open-loop traffic generation: Poisson, bursty (two-state
+// modulated Poisson), and uniform arrival processes over one or more
+// tenants. Deterministic for a given spec (seeded xoshiro), so replays
+// and differential tests are reproducible.
+
+#include <vector>
+
+#include "serving/request.hpp"
+
+namespace serving {
+
+enum class ArrivalProcess {
+  kPoisson,  ///< exponential inter-arrival gaps
+  kBursty,   ///< Poisson modulated by an on/off burst envelope
+  kUniform,  ///< fixed gaps at exactly rate_rps
+};
+
+struct TraceSpec {
+  int requests = 1000;
+  double rate_rps = 2000.0;  ///< mean offered load across all tenants
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+  /// Bursty: rate multiplier while a burst is on; off-phase rate is scaled
+  /// down to preserve the overall mean (so duty*factor must stay < 1).
+  double burst_factor = 3.0;
+  double burst_duty = 0.25;    ///< fraction of time spent bursting
+  double burst_period_ms = 20.0;
+  int tenants = 1;             ///< requests assigned round-robin-free (random)
+  double deadline_ms = 0.0;    ///< per-request deadline after arrival; 0 = none
+  std::uint64_t seed = 42;
+  bool fill_inputs = true;     ///< false for timing-only replays
+};
+
+/// Generate an arrival-ordered trace. `input_sizes[t]` is tenant t's
+/// per-sample element count (used to fill inputs with uniform [-1,1)
+/// values when fill_inputs is set).
+std::vector<InferenceRequest> make_trace(
+    const TraceSpec& spec, const std::vector<std::size_t>& input_sizes);
+
+}  // namespace serving

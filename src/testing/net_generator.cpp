@@ -239,6 +239,70 @@ mc::NetSpec random_net(glp::Rng& rng, const NetGenOptions& options) {
   return std::move(b.spec);
 }
 
+mc::NetSpec random_inference_net(glp::Rng& rng, const NetGenOptions& options) {
+  Builder b;
+  b.spec.name = "serve_fuzz";
+
+  mc::LayerSpec& in = b.add("Input", "input", {}, {"data"});
+  in.params.batch_size =
+      1 + static_cast<int>(rng.next_below(
+              static_cast<std::uint64_t>(std::min(8, options.max_batch))));
+  in.params.dataset.channels = pick(rng, {1, 3});
+  in.params.dataset.height = pick(rng, {6, 8, 10, 12});
+  in.params.dataset.width =
+      chance(rng, 0.8) ? in.params.dataset.height : pick(rng, {6, 8, 10, 12});
+
+  Shape shape{in.params.dataset.channels, in.params.dataset.height,
+              in.params.dataset.width};
+  std::string cur = "data";
+
+  // --- body: convs, pools, activations only — everything here must be
+  // deterministic at inference time (no Dropout) and forward-only.
+  const int span = options.max_body_layers - options.min_body_layers + 1;
+  const int stages =
+      options.min_body_layers + static_cast<int>(rng.next_below(
+                                    static_cast<std::uint64_t>(span)));
+  for (int stage = 0; stage < stages; ++stage) {
+    // The first stage is always a convolution so every net exercises the
+    // scope-parallel per-sample dispatch the serving scheduler slices.
+    const double r = stage == 0 ? 0.0 : rng.next_double();
+    if (r < 0.50) {
+      cur = add_conv(b, rng, cur, shape);
+    } else if (r < 0.65 && shape.h >= 4 && shape.w >= 4) {
+      const std::string name = b.fresh("pool");
+      mc::LayerSpec& layer = b.add("Pooling", name, {cur}, {name});
+      layer.params.pool =
+          chance(rng, 0.5) ? mc::PoolMethod::kMax : mc::PoolMethod::kAve;
+      layer.params.kernel_size = 2;
+      layer.params.stride = 2;
+      shape.h = (shape.h - 2 + 1) / 2 + 1;
+      shape.w = (shape.w - 2 + 1) / 2 + 1;
+      cur = name;
+    } else if (r < 0.72 && options.allow_deconv && shape.h <= 12 &&
+               shape.w <= 12) {
+      const std::string name = b.fresh("deconv");
+      mc::LayerSpec& layer = b.add("Deconvolution", name, {cur}, {name});
+      layer.params.num_output = pick(rng, {4, 8});
+      layer.params.kernel_size = 2;
+      layer.params.stride = 2;
+      layer.params.weight_filler = random_weight_filler(rng);
+      shape.c = layer.params.num_output;
+      shape.h = shape.h * 2;
+      shape.w = shape.w * 2;
+      cur = name;
+    } else {
+      cur = add_activation(b, rng, cur, true);
+    }
+  }
+
+  // --- head: class scores + Softmax, no loss or labels.
+  mc::LayerSpec& ip = b.add("InnerProduct", "ip_head", {cur}, {"ip_head"});
+  ip.params.num_output = pick(rng, {2, 5, 10});
+  ip.params.weight_filler = random_weight_filler(rng);
+  b.add("Softmax", "prob", {"ip_head"}, {"prob"});
+  return std::move(b.spec);
+}
+
 gpusim::DeviceProps random_device(glp::Rng& rng) {
   const std::vector<gpusim::DeviceProps> catalogue = gpusim::DeviceTable::all();
   gpusim::DeviceProps d =

@@ -33,6 +33,14 @@ struct NetGenOptions {
 /// boundary so both bit-exact regimes are sampled.
 mc::NetSpec random_net(glp::Rng& rng, const NetGenOptions& options = {});
 
+/// A random, valid, forward-only *serving* net: Input (caller-filled
+/// samples) → random conv body → InnerProduct → Softmax. No Data or loss
+/// layers, so an InferenceSession can host it directly. The Input batch
+/// size is a small ragged value in [1, 8] — the serving fuzzers rewrite
+/// it per replica anyway, but partial batches get exercised either way.
+mc::NetSpec random_inference_net(glp::Rng& rng,
+                                 const NetGenOptions& options = {});
+
 /// A random device: one of the catalogue GPUs with perturbed SM count,
 /// per-SM thread/smem/block limits, concurrency degree, bandwidths and
 /// launch latencies. Always satisfies the simulator's launch limits for

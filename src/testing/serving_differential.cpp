@@ -1,0 +1,213 @@
+#include "testing/serving_differential.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "serving/server.hpp"
+
+namespace glpfuzz {
+
+namespace {
+
+template <typename T>
+T pick(glp::Rng& rng, std::initializer_list<T> values) {
+  const auto* begin = values.begin();
+  return begin[rng.next_below(values.size())];
+}
+
+bool chance(glp::Rng& rng, double p) { return rng.next_double() < p; }
+
+std::size_t sample_size_of(const mc::NetSpec& net) {
+  GLP_REQUIRE(!net.layers.empty() && net.layers.front().type == "Input",
+              "serving case net must start with an Input layer");
+  const mc::LayerParams& p = net.layers.front().params;
+  return static_cast<std::size_t>(p.dataset.channels) * p.dataset.height *
+         p.dataset.width;
+}
+
+}  // namespace
+
+ServeCase make_serving_case(std::uint64_t seed, const NetGenOptions& options) {
+  // Decorrelate nearby seeds, and keep this stream independent from the
+  // training fuzzer's by a different additive constant.
+  glp::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x5e91feULL);
+  ServeCase c;
+  c.seed = seed;
+
+  const int tenants = chance(rng, 0.4) ? 2 : 1;
+  for (int t = 0; t < tenants; ++t) {
+    mc::NetSpec net = random_inference_net(rng, options);
+    net.name = "serve_fuzz_" + std::to_string(seed) + "_t" + std::to_string(t);
+    c.nets.push_back(std::move(net));
+  }
+  c.device = random_device(rng);
+
+  c.batch.enabled = true;
+  c.batch.max_batch = pick(rng, {2, 3, 4, 6, 8});
+  c.batch.max_delay_us = pick(rng, {200.0, 500.0, 1000.0, 2000.0});
+  c.slots = pick(rng, {1, 2, 4});
+
+  c.trace.requests = 16 + static_cast<int>(rng.next_below(33));  // 16..48
+  c.trace.rate_rps = pick(rng, {1000.0, 3000.0, 8000.0, 20000.0});
+  c.trace.arrival = pick(rng, {serving::ArrivalProcess::kPoisson,
+                               serving::ArrivalProcess::kBursty,
+                               serving::ArrivalProcess::kUniform});
+  c.trace.tenants = tenants;
+  c.trace.deadline_ms = 0.0;  // the contract compares *served* outputs
+  c.trace.seed = seed ^ 0xbadc0ffeULL;
+  c.trace.fill_inputs = true;
+  return c;
+}
+
+std::string ServeCase::summary() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " tenants=" << nets.size() << " (";
+  for (std::size_t t = 0; t < nets.size(); ++t) {
+    os << (t ? "+" : "") << nets[t].layers.size();
+  }
+  os << " layers) batch<=" << batch.max_batch << "/"
+     << static_cast<int>(batch.max_delay_us) << "us slots=" << slots
+     << " trace=" << trace.requests << "@"
+     << static_cast<int>(trace.rate_rps) << "rps device=" << device.name
+     << " (C=" << device.max_concurrent_kernels << ")";
+  return os.str();
+}
+
+ServeDiffResult run_serving_differential(const ServeCase& c,
+                                         bool check_timeline) {
+  ServeDiffResult r;
+  r.requests = static_cast<std::size_t>(c.trace.requests);
+
+  std::vector<std::size_t> sizes;
+  std::vector<serving::TenantModel> models;
+  for (std::size_t t = 0; t < c.nets.size(); ++t) {
+    sizes.push_back(sample_size_of(c.nets[t]));
+    serving::TenantModel m;
+    m.name = "t" + std::to_string(t);
+    m.spec = c.nets[t];
+    models.push_back(std::move(m));
+  }
+  const auto trace = serving::make_trace(c.trace, sizes);
+
+  // Both replays get an over-provisioned queue and no deadlines, so every
+  // request is served and the comparison covers the full trace.
+  serving::ServerOptions base;
+  base.slots = c.slots;
+  base.queue_capacity = trace.size() + 1;
+  base.keep_outputs = true;
+
+  // Reference: serial dispatch, batcher off — every request is its own
+  // batch-1 forward on the default stream.
+  std::vector<serving::RequestRecord> ref;
+  {
+    serving::ServerOptions opts = base;
+    opts.batch.enabled = false;
+    opts.use_scheduler = false;
+    scuda::Context ctx(c.device);
+    serving::InferenceServer server(ctx, models, opts);
+    ref = server.replay(trace);
+  }
+
+  // Subject: tenant-sliced scheduler with dynamic batching.
+  std::vector<serving::RequestRecord> sub;
+  {
+    serving::ServerOptions opts = base;
+    opts.batch = c.batch;
+    opts.use_scheduler = true;
+    opts.record_timeline = check_timeline;
+    scuda::Context ctx(c.device);
+    serving::InferenceServer server(ctx, models, opts);
+    sub = server.replay(trace);
+    ctx.device().synchronize();
+    if (check_timeline) {
+      r.races = glpfuzz::check_timeline(ctx.device().timeline(), c.device);
+    }
+    for (const serving::RequestRecord& rec : sub) {
+      r.subject_batches = std::max(r.subject_batches, rec.batch_id + 1);
+    }
+  }
+
+  const auto fail = [&](const std::string& why) {
+    if (r.ok) {
+      r.ok = false;
+      r.failure = why;
+    }
+  };
+
+  if (ref.size() != trace.size() || sub.size() != trace.size()) {
+    fail("record count mismatch: ref " + std::to_string(ref.size()) +
+         ", subject " + std::to_string(sub.size()) + ", trace " +
+         std::to_string(trace.size()));
+    return r;
+  }
+
+  std::map<std::uint64_t, const serving::RequestRecord*> ref_by_id;
+  for (const serving::RequestRecord& rec : ref) ref_by_id[rec.id] = &rec;
+
+  // Within a tenant, responses must complete in arrival order; `sub` is
+  // already in completion order, so arrivals must be non-decreasing.
+  std::map<int, gpusim::SimTime> last_arrival;
+
+  for (const serving::RequestRecord& s : sub) {
+    const auto it = ref_by_id.find(s.id);
+    if (it == ref_by_id.end()) {
+      fail("subject served unknown request id " + std::to_string(s.id));
+      break;
+    }
+    const serving::RequestRecord& b = *it->second;
+    if (s.outcome != b.outcome) {
+      fail("request " + std::to_string(s.id) + " outcome " +
+           std::string(serving::outcome_name(s.outcome)) + " vs reference " +
+           serving::outcome_name(b.outcome));
+      break;
+    }
+    if (s.outcome != serving::Outcome::kServed) continue;
+    ++r.served;
+
+    auto& last = last_arrival[s.tenant];
+    if (s.arrival_ns < last) {
+      fail("tenant " + std::to_string(s.tenant) +
+           " completions reordered: request " + std::to_string(s.id) +
+           " overtook a later arrival");
+      break;
+    }
+    last = s.arrival_ns;
+
+    if (s.output.size() != b.output.size()) {
+      fail("request " + std::to_string(s.id) + " output size " +
+           std::to_string(s.output.size()) + " vs reference " +
+           std::to_string(b.output.size()));
+      break;
+    }
+    for (std::size_t i = 0; i < s.output.size(); ++i) {
+      r.max_output_diff = std::max(
+          r.max_output_diff,
+          static_cast<double>(std::fabs(s.output[i] - b.output[i])));
+    }
+    if (!s.output.empty() &&
+        std::memcmp(s.output.data(), b.output.data(),
+                    s.output.size() * sizeof(float)) != 0) {
+      std::ostringstream os;
+      os << "request " << s.id << " output differs from serial batch-1 "
+         << "reference (max |diff| so far " << r.max_output_diff << ")";
+      fail(os.str());
+      break;
+    }
+  }
+
+  if (r.ok && r.served != trace.size()) {
+    fail("only " + std::to_string(r.served) + "/" +
+         std::to_string(trace.size()) +
+         " requests served despite ample queue and no deadlines");
+  }
+  if (r.ok && check_timeline && !r.races.clean()) {
+    fail("timeline race checks failed");
+  }
+  return r;
+}
+
+}  // namespace glpfuzz

@@ -1,0 +1,64 @@
+#pragma once
+// Serving differential runner: replays one sampled inference trace twice
+// against the same tenant models — once on the serial baseline with the
+// dynamic batcher disabled (every request a batch-1 forward on the
+// default stream) and once on the GLP4NN tenant-sliced scheduler with
+// batching enabled — and checks the serving contract:
+//
+//   * every request's output is bit-identical between the two replays
+//     (batching pads with copies of real samples and per-sample scopes
+//     are data-independent, so there is no tolerance regime here);
+//   * within a tenant, responses complete in arrival order (batches may
+//     interleave across tenants, never within one);
+//   * the scheduled replay's timeline passes the stream-ordering race
+//     checks from PR 1.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/device_props.hpp"
+#include "serving/batcher.hpp"
+#include "serving/trace_gen.hpp"
+#include "testing/net_generator.hpp"
+#include "testing/race_checker.hpp"
+
+namespace glpfuzz {
+
+/// One fully-sampled serving-differential case.
+struct ServeCase {
+  std::uint64_t seed = 0;
+  std::vector<mc::NetSpec> nets;  ///< one tenant per net (1 or 2)
+  gpusim::DeviceProps device;
+  serving::BatchPolicy batch;  ///< subject-side batching policy
+  int slots = 2;
+  serving::TraceSpec trace;
+
+  std::string summary() const;
+};
+
+/// Sample a complete serving case from a seed: random inference nets
+/// (see random_inference_net), a random device, a random batching policy
+/// and a short random open-loop trace.
+ServeCase make_serving_case(std::uint64_t seed,
+                            const NetGenOptions& options = {});
+
+struct ServeDiffResult {
+  bool ok = true;
+  std::string failure;  ///< first failure, human-readable ("" when ok)
+
+  std::size_t requests = 0;
+  std::size_t served = 0;
+  std::uint64_t subject_batches = 0;  ///< batches the scheduled replay formed
+  double max_output_diff = 0.0;       ///< 0.0 when bit-exact (the contract)
+
+  RaceReport races;  ///< scheduled replay's timeline checks
+};
+
+/// Replay the case twice and compare. Never throws for a *failing*
+/// comparison (inspect `ok`/`failure`); propagates unexpected errors as
+/// exceptions.
+ServeDiffResult run_serving_differential(const ServeCase& c,
+                                         bool check_timeline = true);
+
+}  // namespace glpfuzz

@@ -3,12 +3,14 @@
 #include <mutex>
 #include <numeric>
 #include <set>
+#include <sstream>
 #include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
+#include "common/cli.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
@@ -309,6 +311,93 @@ TEST(WallTimer, ResetRestarts) {
   const double before = t.elapsed_us();
   t.reset();
   EXPECT_LE(t.elapsed_us(), before + 1e6);
+}
+
+// --- Flags (the shared glp4nn_* CLI parser) ----------------------------------
+
+glp::Flags::Status parse_argv(glp::Flags& flags,
+                              std::vector<const char*> argv,
+                              std::ostringstream& out,
+                              std::ostringstream& err) {
+  argv.insert(argv.begin(), "prog");
+  return flags.parse(static_cast<int>(argv.size()),
+                     const_cast<char* const*>(argv.data()), out, err);
+}
+
+TEST(Flags, ParsesEveryKindAndBothValueForms) {
+  bool sw = false;
+  int i = 1;
+  double d = 2.0;
+  unsigned long long u = 3;
+  std::string s = "default";
+  glp::Flags flags("t", "test");
+  flags.flag("switch", &sw, "a switch")
+      .opt("int", &i, "an int")
+      .opt("double", &d, "a double")
+      .opt("u64", &u, "a u64")
+      .opt("str", &s, "a string");
+
+  std::ostringstream out, err;
+  const auto st = parse_argv(
+      flags, {"--switch", "--int", "42", "--double=2.5", "--u64", "9", "--str=x"},
+      out, err);
+  EXPECT_EQ(st, glp::Flags::Status::kOk);
+  EXPECT_TRUE(sw);
+  EXPECT_EQ(i, 42);
+  EXPECT_EQ(d, 2.5);
+  EXPECT_EQ(u, 9ull);
+  EXPECT_EQ(s, "x");
+  EXPECT_TRUE(err.str().empty());
+}
+
+TEST(Flags, UntouchedTargetsKeepTheirDefaults) {
+  int i = 7;
+  std::string s = "keep";
+  glp::Flags flags("t", "test");
+  flags.opt("int", &i, "an int").opt("str", &s, "a string");
+  std::ostringstream out, err;
+  EXPECT_EQ(parse_argv(flags, {"--int", "8"}, out, err),
+            glp::Flags::Status::kOk);
+  EXPECT_EQ(i, 8);
+  EXPECT_EQ(s, "keep");
+}
+
+TEST(Flags, HelpPrintsUsageWithDefaults) {
+  int i = 123;
+  glp::Flags flags("mytool", "does things");
+  flags.opt("iters", &i, "iteration count");
+  std::ostringstream out, err;
+  EXPECT_EQ(parse_argv(flags, {"--help"}, out, err),
+            glp::Flags::Status::kHelp);
+  EXPECT_NE(out.str().find("mytool"), std::string::npos);
+  EXPECT_NE(out.str().find("--iters"), std::string::npos);
+  EXPECT_NE(out.str().find("123"), std::string::npos);  // current default shown
+  EXPECT_TRUE(err.str().empty());
+}
+
+TEST(Flags, RejectsUnknownFlagWithUsageOnStderr) {
+  glp::Flags flags("t", "test");
+  std::ostringstream out, err;
+  EXPECT_EQ(parse_argv(flags, {"--bogus"}, out, err),
+            glp::Flags::Status::kError);
+  EXPECT_NE(err.str().find("--bogus"), std::string::npos);
+  EXPECT_NE(err.str().find("usage"), std::string::npos);
+}
+
+TEST(Flags, RejectsBadAndMissingValues) {
+  int i = 0;
+  glp::Flags flags("t", "test");
+  flags.opt("int", &i, "an int");
+  {
+    std::ostringstream out, err;
+    EXPECT_EQ(parse_argv(flags, {"--int", "12abc"}, out, err),
+              glp::Flags::Status::kError);  // trailing junk: full-consume check
+  }
+  {
+    std::ostringstream out, err;
+    EXPECT_EQ(parse_argv(flags, {"--int"}, out, err),
+              glp::Flags::Status::kError);  // value missing entirely
+  }
 }
 
 }  // namespace

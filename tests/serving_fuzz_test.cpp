@@ -1,0 +1,60 @@
+// Fixed-seed serving-differential corpus: random inference nets, devices,
+// batching policies and open-loop traces through run_serving_differential
+// on every CI run. Extends the PR-1 convergence-invariance contract to
+// the serving path — the batched, tenant-sliced scheduled replay must be
+// bit-identical to the serial batch-1 baseline, per-tenant FIFO, and
+// race-free. Failures print the seed; replay with
+//
+//   GLP_TEST_SEED=<seed> ./tests/serving_fuzz_test --gtest_filter='*EnvSeed*'
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "testing/serving_differential.hpp"
+
+namespace {
+
+class ServingCorpus : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ServingCorpus, ScheduledBatchedReplayMatchesSerialBatchOne) {
+  const std::uint64_t seed = GetParam();
+  GLP_SCOPED_SEED(seed);
+  const glpfuzz::ServeCase c = glpfuzz::make_serving_case(seed);
+  const glpfuzz::ServeDiffResult r = glpfuzz::run_serving_differential(c);
+  EXPECT_TRUE(r.ok) << c.summary() << "\n" << r.failure;
+  EXPECT_TRUE(r.races.clean()) << r.races.to_string();
+  EXPECT_EQ(r.max_output_diff, 0.0) << c.summary();
+  EXPECT_EQ(r.served, r.requests);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ServingCorpus,
+                         ::testing::Range<std::uint64_t>(1, 16),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(ServingFuzz, EnvSeedOverrideReplaysOneCase) {
+  const std::uint64_t seed = glptest::test_seed(5);
+  GLP_SCOPED_SEED(seed);
+  const glpfuzz::ServeCase c = glpfuzz::make_serving_case(seed);
+  const glpfuzz::ServeDiffResult r = glpfuzz::run_serving_differential(c);
+  EXPECT_TRUE(r.ok) << c.summary() << "\n" << r.failure;
+}
+
+TEST(ServingFuzz, CasesAreSeedDeterministic) {
+  const glpfuzz::ServeCase a = glpfuzz::make_serving_case(77);
+  const glpfuzz::ServeCase b = glpfuzz::make_serving_case(77);
+  EXPECT_EQ(a.summary(), b.summary());
+  ASSERT_EQ(a.nets.size(), b.nets.size());
+  for (std::size_t t = 0; t < a.nets.size(); ++t) {
+    ASSERT_EQ(a.nets[t].layers.size(), b.nets[t].layers.size());
+    for (std::size_t i = 0; i < a.nets[t].layers.size(); ++i) {
+      EXPECT_EQ(a.nets[t].layers[i].type, b.nets[t].layers[i].type);
+      EXPECT_EQ(a.nets[t].layers[i].name, b.nets[t].layers[i].name);
+    }
+  }
+  const glpfuzz::ServeCase c = glpfuzz::make_serving_case(78);
+  EXPECT_NE(a.summary(), c.summary());
+}
+
+}  // namespace

@@ -33,6 +33,7 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "common/cli.hpp"
 #include "core/glp4nn.hpp"
 #include "gpusim/trace_export.hpp"
 #include "minicaffe/solver.hpp"
@@ -41,16 +42,10 @@
 
 namespace {
 
-[[noreturn]] void usage(const char* argv0, const std::string& error = {}) {
-  if (!error.empty()) std::fprintf(stderr, "error: %s\n\n", error.c_str());
-  std::fprintf(stderr,
-               "usage: %s [--cases N] [--seed S] [--replay S]\n"
-               "          [--fault-rate P] [--stream-fault-rate P]\n"
-               "          [--capture-loss-rate P] [--max-batch N]\n"
-               "          [--no-branches] [--no-timeline] [--trace FILE]\n"
-               "          [--verbose]\n",
-               argv0);
-  std::exit(error.empty() ? 0 : 2);
+[[noreturn]] void fail(const glp::Flags& flags, const std::string& error) {
+  std::fprintf(stderr, "error: %s\n\n%s", error.c_str(),
+               flags.usage().c_str());
+  std::exit(2);
 }
 
 struct Stats {
@@ -76,49 +71,56 @@ int main(int argc, char** argv) {
   glpfuzz::NetGenOptions gen;
   glpfuzz::DiffOptions diff;
 
-  auto need_value = [&](int& i) -> const char* {
-    if (i + 1 >= argc) usage(argv[0], std::string(argv[i]) + " needs a value");
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const char* a = argv[i];
-    if (std::strcmp(a, "--cases") == 0) {
-      cases = std::atoi(need_value(i));
-    } else if (std::strcmp(a, "--seed") == 0) {
-      seed = std::strtoull(need_value(i), nullptr, 10);
-    } else if (std::strcmp(a, "--replay") == 0) {
-      seed = std::strtoull(need_value(i), nullptr, 10);
-      replay = true;
-      cases = 1;
-      verbose = true;
-    } else if (std::strcmp(a, "--fault-rate") == 0) {
-      diff.faults.launch_failure_rate = std::atof(need_value(i));
-    } else if (std::strcmp(a, "--stream-fault-rate") == 0) {
-      diff.faults.stream_create_failure_rate = std::atof(need_value(i));
-    } else if (std::strcmp(a, "--capture-loss-rate") == 0) {
-      diff.faults.capture_loss_rate = std::atof(need_value(i));
-    } else if (std::strcmp(a, "--max-batch") == 0) {
-      gen.max_batch = std::atoi(need_value(i));
-    } else if (std::strcmp(a, "--no-branches") == 0) {
-      gen.allow_branches = false;
-    } else if (std::strcmp(a, "--no-timeline") == 0) {
-      diff.check_timeline = false;
-    } else if (std::strcmp(a, "--trace") == 0) {
-      trace_path = need_value(i);
-    } else if (std::strcmp(a, "--verbose") == 0) {
-      verbose = true;
-    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
-      usage(argv[0]);
-    } else {
-      usage(argv[0], std::string("unknown flag '") + a + "'");
-    }
+  unsigned long long seed_arg = 1;
+  std::string replay_arg;
+  bool no_branches = false, no_timeline = false;
+
+  glp::Flags flags("glp4nn_fuzz",
+                   "Differential fuzzer for the GLP4NN runtime scheduler "
+                   "(exit 0 iff every case passes).");
+  flags.opt("cases", &cases, "number of cases; seeds are seed..seed+n-1")
+      .opt("seed", &seed_arg, "first seed")
+      .opt("replay", &replay_arg, "run exactly this one seed, verbosely")
+      .opt("fault-rate", &diff.faults.launch_failure_rate,
+           "injected kernel-launch failure probability")
+      .opt("stream-fault-rate", &diff.faults.stream_create_failure_rate,
+           "injected stream-creation failure probability")
+      .opt("capture-loss-rate", &diff.faults.capture_loss_rate,
+           "injected profiler record-loss probability")
+      .opt("max-batch", &gen.max_batch, "cap generated batch sizes")
+      .flag("no-branches", &no_branches, "linear nets only")
+      .flag("no-timeline", &no_timeline,
+            "skip timeline recording + race checking")
+      .opt("trace", &trace_path,
+           "Chrome trace of the last failing (or replayed) case")
+      .flag("verbose", &verbose, "one summary line per case");
+  switch (flags.parse(argc, argv)) {
+    case glp::Flags::Status::kHelp:
+      return 0;
+    case glp::Flags::Status::kError:
+      return 2;
+    case glp::Flags::Status::kOk:
+      break;
   }
-  if (cases <= 0) usage(argv[0], "--cases must be positive");
+  seed = seed_arg;
+  if (!replay_arg.empty()) {
+    try {
+      seed = std::stoull(replay_arg);
+    } catch (const std::exception&) {
+      fail(flags, "bad value '" + replay_arg + "' for --replay");
+    }
+    replay = true;
+    cases = 1;
+    verbose = true;
+  }
+  if (no_branches) gen.allow_branches = false;
+  if (no_timeline) diff.check_timeline = false;
+  if (cases <= 0) fail(flags, "--cases must be positive");
   for (double rate : {diff.faults.launch_failure_rate,
                       diff.faults.stream_create_failure_rate,
                       diff.faults.capture_loss_rate}) {
     if (rate < 0.0 || rate > 1.0) {
-      usage(argv[0], "fault rates must be probabilities in [0, 1]");
+      fail(flags, "fault rates must be probabilities in [0, 1]");
     }
   }
 

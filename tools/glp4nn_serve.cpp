@@ -1,0 +1,206 @@
+// glp4nn_serve — replay synthetic open-loop traffic against the inference
+// serving subsystem and report latency/throughput.
+//
+//   glp4nn_serve --requests 1000 --rate 2000
+//   glp4nn_serve --models tiny_cnn,small_cnn --arrival bursty --compare
+//   glp4nn_serve --mode serial --no-batching --deadline-ms 20
+//
+// With --compare the same trace is replayed twice — GLP4NN scheduler vs
+// serial baseline — and both result lines are printed for a side-by-side
+// read (the scheduler should win on p99 and throughput).
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/strings.hpp"
+#include "gpusim/device_props.hpp"
+#include "gpusim/trace_export.hpp"
+#include "serving/model_zoo.hpp"
+#include "serving/server.hpp"
+
+namespace {
+
+[[noreturn]] void fail(const glp::Flags& flags, const std::string& error) {
+  std::fprintf(stderr, "error: %s\n\n%s", error.c_str(),
+               flags.usage().c_str());
+  std::exit(2);
+}
+
+struct RunResult {
+  serving::ServingStats stats;
+  std::size_t replicas = 0;
+};
+
+void print_stats(const char* label, const RunResult& r) {
+  const serving::ServingStats& s = r.stats;
+  std::printf(
+      "%-8s served %zu/%zu (rej %zu, exp %zu, miss %zu) | "
+      "p50 %.3f p95 %.3f p99 %.3f ms | %.0f req/s | "
+      "%llu batches (mean %.2f) | %zu arenas\n",
+      label, s.served, s.offered, s.rejected, s.expired, s.deadline_misses,
+      s.p50_ms, s.p95_ms, s.p99_ms, s.throughput_rps,
+      static_cast<unsigned long long>(s.batches), s.mean_batch, r.replicas);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string models_csv = "tiny_cnn,small_cnn";
+  std::string device = "P100", mode = "glp4nn", arrival = "poisson";
+  std::string trace_path, json_path;
+  int requests = 1000, max_batch = 8, slots = 4, queue_cap = 64;
+  double rate = 2000.0, max_delay_us = 2000.0, deadline_ms = 0.0;
+  unsigned long long seed = 42;
+  bool no_batching = false, timing_only = false, compare = false;
+
+  glp::Flags flags("glp4nn_serve",
+                   "Replay synthetic open-loop inference traffic against "
+                   "the multi-tenant serving subsystem.");
+  flags
+      .opt("models", &models_csv,
+           "comma-separated tenant models: tiny_cnn|small_cnn|mlp")
+      .opt("device", &device, "K40C|P100|TitanXP|Fermi|Maxwell|Volta")
+      .opt("mode", &mode, "glp4nn|serial")
+      .opt("requests", &requests, "trace length")
+      .opt("rate", &rate, "offered load, requests/s")
+      .opt("arrival", &arrival, "poisson|bursty|uniform")
+      .opt("deadline-ms", &deadline_ms, "per-request deadline (0 = none)")
+      .opt("max-batch", &max_batch, "dynamic batcher size cap")
+      .opt("max-delay-us", &max_delay_us, "dynamic batcher delay cap")
+      .flag("no-batching", &no_batching, "disable the dynamic batcher")
+      .opt("slots", &slots, "concurrent in-flight batch slots")
+      .opt("queue", &queue_cap, "admission-control queue capacity")
+      .opt("seed", &seed, "trace seed")
+      .flag("timing-only", &timing_only, "skip numerics; timing simulation only")
+      .flag("compare", &compare, "replay under both glp4nn and serial")
+      .opt("trace", &trace_path, "Chrome trace of the (last) replay")
+      .opt("json", &json_path, "write stats as JSON");
+  switch (flags.parse(argc, argv)) {
+    case glp::Flags::Status::kHelp:
+      return 0;
+    case glp::Flags::Status::kError:
+      return 2;
+    case glp::Flags::Status::kOk:
+      break;
+  }
+
+  try {
+    const auto props = gpusim::DeviceTable::by_name(device);
+    if (!props) fail(flags, "unknown device '" + device + "'");
+    if (mode != "glp4nn" && mode != "serial") {
+      fail(flags, "unknown mode '" + mode + "'");
+    }
+    serving::TraceSpec ts;
+    ts.requests = requests;
+    ts.rate_rps = rate;
+    ts.tenants = 0;  // set below
+    ts.deadline_ms = deadline_ms;
+    ts.seed = seed;
+    ts.fill_inputs = !timing_only;
+    if (arrival == "poisson") {
+      ts.arrival = serving::ArrivalProcess::kPoisson;
+    } else if (arrival == "bursty") {
+      ts.arrival = serving::ArrivalProcess::kBursty;
+    } else if (arrival == "uniform") {
+      ts.arrival = serving::ArrivalProcess::kUniform;
+    } else {
+      fail(flags, "unknown arrival process '" + arrival + "'");
+    }
+
+    std::vector<serving::TenantModel> models;
+    for (const std::string& name : glp::split(models_csv, ",")) {
+      serving::TenantModel m;
+      m.name = std::string(glp::trim(name));
+      m.spec = serving::by_name(m.name);
+      models.push_back(std::move(m));
+    }
+    if (models.empty()) fail(flags, "--models named no tenants");
+    ts.tenants = static_cast<int>(models.size());
+
+    serving::ServerOptions base;
+    base.batch.enabled = !no_batching;
+    base.batch.max_batch = max_batch;
+    base.batch.max_delay_us = max_delay_us;
+    base.slots = slots;
+    base.queue_capacity = static_cast<std::size_t>(queue_cap);
+    base.mode = timing_only ? kern::ComputeMode::kTimingOnly
+                            : kern::ComputeMode::kNumeric;
+
+    std::printf("serving %zu tenant(s) [%s] on %s: %d requests @ %.0f req/s "
+                "(%s arrivals)\n",
+                models.size(), models_csv.c_str(), props->name.c_str(),
+                requests, rate, arrival.c_str());
+
+    const auto run = [&](bool use_scheduler) -> RunResult {
+      scuda::Context gpu(*props);
+      serving::ServerOptions opts = base;
+      opts.use_scheduler = use_scheduler;
+      if (!trace_path.empty()) opts.record_timeline = true;
+      serving::InferenceServer server(gpu, models, opts);
+      std::vector<std::size_t> sizes;
+      for (int t = 0; t < server.tenants(); ++t) {
+        sizes.push_back(server.session(t).sample_input_size());
+      }
+      const auto records = server.replay(serving::make_trace(ts, sizes));
+      if (!trace_path.empty()) {
+        gpusim::write_chrome_trace(gpu.device().timeline(), trace_path);
+      }
+      RunResult r;
+      r.stats = serving::InferenceServer::summarize(records);
+      r.replicas = server.total_replicas();
+      return r;
+    };
+
+    RunResult glp_result, serial_result;
+    const bool want_glp = compare || mode == "glp4nn";
+    const bool want_serial = compare || mode == "serial";
+    if (want_serial) {
+      serial_result = run(false);
+      print_stats("serial", serial_result);
+    }
+    if (want_glp) {
+      glp_result = run(true);
+      print_stats("glp4nn", glp_result);
+    }
+    if (compare) {
+      const auto& a = glp_result.stats;
+      const auto& b = serial_result.stats;
+      std::printf("glp4nn vs serial: p99 %.3f vs %.3f ms (%.2fx), "
+                  "throughput %.0f vs %.0f req/s (%.2fx)\n",
+                  a.p99_ms, b.p99_ms, b.p99_ms / std::max(a.p99_ms, 1e-9),
+                  a.throughput_rps, b.throughput_rps,
+                  a.throughput_rps / std::max(b.throughput_rps, 1e-9));
+    }
+    if (!trace_path.empty()) {
+      std::printf("trace written to '%s'\n", trace_path.c_str());
+    }
+
+    if (!json_path.empty()) {
+      std::ofstream os(json_path);
+      const auto dump = [&](const char* key, const RunResult& r, bool comma) {
+        const serving::ServingStats& s = r.stats;
+        os << "  \"" << key << "\": {\"served\": " << s.served
+           << ", \"rejected\": " << s.rejected
+           << ", \"expired\": " << s.expired
+           << ", \"deadline_misses\": " << s.deadline_misses
+           << ", \"p50_ms\": " << s.p50_ms << ", \"p95_ms\": " << s.p95_ms
+           << ", \"p99_ms\": " << s.p99_ms
+           << ", \"throughput_rps\": " << s.throughput_rps
+           << ", \"batches\": " << s.batches
+           << ", \"mean_batch\": " << s.mean_batch
+           << ", \"arenas\": " << r.replicas << "}" << (comma ? ",\n" : "\n");
+      };
+      os << "{\n";
+      if (want_glp) dump("glp4nn", glp_result, want_serial);
+      if (want_serial) dump("serial", serial_result, false);
+      os << "}\n";
+      std::printf("stats written to '%s'\n", json_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

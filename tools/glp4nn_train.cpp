@@ -26,6 +26,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/cli.hpp"
 #include "core/glp4nn.hpp"
 #include "gpusim/profile_report.hpp"
 #include "gpusim/trace_export.hpp"
@@ -35,16 +36,10 @@
 
 namespace {
 
-[[noreturn]] void usage(const char* argv0, const std::string& error = {}) {
-  if (!error.empty()) std::fprintf(stderr, "error: %s\n\n", error.c_str());
-  std::fprintf(stderr,
-               "usage: %s [--net FILE | --model NAME] [--device NAME]\n"
-               "          [--mode glp4nn|serial|fixed:N|strict] [--iters N]\n"
-               "          [--lr F] [--momentum F] [--solver sgd|nesterov|adagrad]\n"
-               "          [--timing-only] [--snapshot FILE] [--restore FILE]\n"
-               "          [--display N] [--trace FILE] [--summary] [--profile]\n",
-               argv0);
-  std::exit(error.empty() ? 0 : 2);
+[[noreturn]] void fail(const glp::Flags& flags, const std::string& error) {
+  std::fprintf(stderr, "error: %s\n\n%s", error.c_str(),
+               flags.usage().c_str());
+  std::exit(2);
 }
 
 mc::NetSpec builtin_model(const std::string& name) {
@@ -65,52 +60,38 @@ int main(int argc, char** argv) {
   float lr = 0.01f, momentum = 0.9f;
   bool timing_only = false, want_summary = false, want_profile = false;
 
-  try {
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      auto value = [&]() -> std::string {
-        if (i + 1 >= argc) usage(argv[0], arg + " needs a value");
-        return argv[++i];
-      };
-      if (arg == "--net") {
-        net_file = value();
-      } else if (arg == "--model") {
-        model = value();
-      } else if (arg == "--device") {
-        device = value();
-      } else if (arg == "--mode") {
-        mode = value();
-      } else if (arg == "--iters") {
-        iters = std::stoi(value());
-      } else if (arg == "--lr") {
-        lr = std::stof(value());
-      } else if (arg == "--momentum") {
-        momentum = std::stof(value());
-      } else if (arg == "--solver") {
-        solver_name = value();
-      } else if (arg == "--timing-only") {
-        timing_only = true;
-      } else if (arg == "--snapshot") {
-        snapshot_path = value();
-      } else if (arg == "--restore") {
-        restore_path = value();
-      } else if (arg == "--display") {
-        display = std::stoi(value());
-      } else if (arg == "--trace") {
-        trace_path = value();
-      } else if (arg == "--summary") {
-        want_summary = true;
-      } else if (arg == "--profile") {
-        want_profile = true;
-      } else if (arg == "--help" || arg == "-h") {
-        usage(argv[0]);
-      } else {
-        usage(argv[0], "unknown flag '" + arg + "'");
-      }
-    }
+  glp::Flags flags("glp4nn_train",
+                   "Train a network on the simulated GPU (the `caffe` "
+                   "binary of this repo).");
+  flags.opt("net", &net_file, "network definition file (text format)")
+      .opt("model", &model,
+           "built-in model: lenet|cifar10|siamese|caffenet|googlenet")
+      .opt("device", &device, "K40C|P100|TitanXP|Fermi|Maxwell|Volta")
+      .opt("mode", &mode, "glp4nn|serial|fixed:N|strict")
+      .opt("iters", &iters, "training iterations")
+      .opt("lr", &lr, "base learning rate")
+      .opt("momentum", &momentum, "SGD momentum")
+      .opt("solver", &solver_name, "sgd|nesterov|adagrad")
+      .flag("timing-only", &timing_only,
+            "skip numerics; simulate kernel timing only")
+      .opt("snapshot", &snapshot_path, "write weights + solver state after")
+      .opt("restore", &restore_path, "load weights + solver state before")
+      .opt("display", &display, "print loss every N iterations")
+      .opt("trace", &trace_path, "write Chrome trace of the final iteration")
+      .flag("summary", &want_summary, "print the layer table before training")
+      .flag("profile", &want_profile, "print a kernel summary at the end");
+  switch (flags.parse(argc, argv)) {
+    case glp::Flags::Status::kHelp:
+      return 0;
+    case glp::Flags::Status::kError:
+      return 2;
+    case glp::Flags::Status::kOk:
+      break;
+  }
 
+  try {
     const auto props = gpusim::DeviceTable::by_name(device);
-    if (!props) usage(argv[0], "unknown device '" + device + "'");
+    if (!props) fail(flags, "unknown device '" + device + "'");
 
     const mc::NetSpec spec =
         net_file.empty() ? builtin_model(model) : mc::parse_net_file(net_file);
@@ -135,7 +116,7 @@ int main(int argc, char** argv) {
       engine = std::make_unique<glp4nn::Glp4nnEngine>(opts);
       ec.dispatcher = &engine->scheduler_for(gpu);
     } else {
-      usage(argv[0], "unknown mode '" + mode + "'");
+      fail(flags, "unknown mode '" + mode + "'");
     }
 
     mc::Net net(spec, ec);
@@ -153,7 +134,7 @@ int main(int argc, char** argv) {
     } else if (solver_name == "adagrad") {
       sp.type = mc::SolverType::kAdaGrad;
     } else if (solver_name != "sgd") {
-      usage(argv[0], "unknown solver '" + solver_name + "'");
+      fail(flags, "unknown solver '" + solver_name + "'");
     }
     mc::SgdSolver solver(net, sp);
     if (!restore_path.empty()) {
