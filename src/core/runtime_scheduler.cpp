@@ -118,13 +118,18 @@ std::vector<gpusim::StreamId> RuntimeScheduler::acquire_pool(int count) {
 
 std::vector<gpusim::StreamId> RuntimeScheduler::acquire_scope_pool(int count) {
   if (options_.policy == DispatchPolicy::kTenantSliced && tenant_active_) {
-    // Divide the analyzer-decided pool between the concurrent batch
-    // slots; each slot owns a disjoint slice so in-flight batches never
-    // share a stream. A decision smaller than the slot count still gets
-    // one stream — the slice, not the tenant, is the unit of isolation.
-    const int width = std::max(1, count / std::max(1, tenant_.num_slots));
+    // Slice geometry is uniform across scopes: slot s always owns
+    // streams [s*W, (s+1)*W) with W = clamped device concurrency /
+    // num_slots — independent of this scope's analyzer decision.
+    // Analyzer decisions are per-scope (tenant- and batch-size-keyed),
+    // so deriving W from `count` would let concurrent slots compute
+    // different widths and hand out overlapping ranges; the decision
+    // only shrinks how many of the slice's streams this scope uses.
+    const int num_slots = std::max(1, tenant_.num_slots);
+    const int slice_width = std::max(1, max_lanes() / num_slots);
+    const int used = std::min(std::max(1, count), slice_width);
     try {
-      return streams_->acquire_slice(*ctx_, tenant_.slot, width,
+      return streams_->acquire_slice(*ctx_, tenant_.slot, slice_width, used,
                                      tenant_.priority);
     } catch (const scuda::StreamCreateFailed&) {
       serial_scopes_.insert(current_scope_);

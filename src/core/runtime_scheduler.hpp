@@ -32,10 +32,14 @@ namespace glp4nn {
 enum class DispatchPolicy {
   kRoundRobin,   ///< task i → stream (i mod S) — the paper's policy
   kBlockCyclic,  ///< contiguous blocks of tasks per stream (ablation)
-  /// Multi-tenant serving: with a TenantContext set, each scope's decided
-  /// pool is divided by the number of in-flight batch slots and the scope
-  /// runs on its slot's disjoint slice, round-robin within the slice.
-  /// Without a tenant this behaves exactly like kRoundRobin.
+  /// Multi-tenant serving: with a TenantContext set, the clamped device
+  /// concurrency degree is divided into one fixed-width slice per
+  /// in-flight batch slot and the scope runs on its slot's slice (the
+  /// analyzer's decision only shrinks the streams used *within* the
+  /// slice), round-robin within the slice. Slice boundaries are
+  /// independent of per-scope decisions, so concurrent slots can never
+  /// hand out overlapping stream ranges. Without a tenant this behaves
+  /// exactly like kRoundRobin.
   kTenantSliced,
 };
 

@@ -26,22 +26,34 @@ std::vector<gpusim::StreamId> StreamManager::acquire(scuda::Context& ctx,
 }
 
 std::vector<gpusim::StreamId> StreamManager::acquire_slice(scuda::Context& ctx,
-                                                           int slice, int width,
+                                                           int slice,
+                                                           int slice_width,
+                                                           int use_width,
                                                            int priority) {
   GLP_REQUIRE(slice >= 0, "slice index must be non-negative");
-  GLP_REQUIRE(width >= 1, "slice width must be positive");
-  GLP_REQUIRE(width <= ctx.props().max_concurrent_kernels,
-              "slice width " << width
+  GLP_REQUIRE(slice_width >= 1, "slice width must be positive");
+  GLP_REQUIRE(use_width >= 1 && use_width <= slice_width,
+              "used width " << use_width << " outside [1, slice width "
+                            << slice_width << "]");
+  GLP_REQUIRE(slice_width <= ctx.props().max_concurrent_kernels,
+              "slice width " << slice_width
                              << " exceeds the device concurrency degree "
                              << ctx.props().max_concurrent_kernels);
   std::vector<scuda::Stream>& pool = pools_[&ctx];
-  const int total = (slice + 1) * width;
+  const int base = slice * slice_width;
+  // Filler streams below this slice belong to other slots: create them
+  // with default priority so this caller's priority never sticks to a
+  // lower slot's slice (priority only applies at creation).
+  while (static_cast<int>(pool.size()) < base) {
+    pool.push_back(scuda::Stream::create(ctx));
+  }
+  const int total = base + use_width;
   while (static_cast<int>(pool.size()) < total) {
     pool.push_back(scuda::Stream::create(ctx, priority));
   }
   std::vector<gpusim::StreamId> ids;
-  ids.reserve(static_cast<std::size_t>(width));
-  for (int i = slice * width; i < total; ++i) {
+  ids.reserve(static_cast<std::size_t>(use_width));
+  for (int i = base; i < total; ++i) {
     ids.push_back(pool[static_cast<std::size_t>(i)].id());
   }
   return ids;

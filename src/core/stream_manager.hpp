@@ -22,14 +22,19 @@ class StreamManager {
   /// needed. The returned span stays valid until the manager dies.
   std::vector<gpusim::StreamId> acquire(scuda::Context& ctx, int count);
 
-  /// Return the `slice`-th disjoint window of `width` streams from the
-  /// pool — streams [slice*width, (slice+1)*width) — growing the pool on
-  /// demand. Multi-tenant serving maps each in-flight batch slot to its
-  /// own slice, so concurrent batches never share a stream. Streams this
-  /// call creates take `priority` (streams already in the pool keep the
-  /// priority they were created with).
+  /// Return the first `use_width` streams of the `slice`-th disjoint
+  /// window of `slice_width` streams — streams [slice*slice_width,
+  /// slice*slice_width + use_width) — growing the pool on demand.
+  /// Multi-tenant serving maps each in-flight batch slot to its own
+  /// slice with a *uniform* slice_width, so slices from concurrent slots
+  /// can never overlap even when callers use different use_widths.
+  /// Streams this call creates inside the slice take `priority`; filler
+  /// streams below the slice (they belong to other slots) are created
+  /// with default priority. Streams already in the pool keep the
+  /// priority they were created with.
   std::vector<gpusim::StreamId> acquire_slice(scuda::Context& ctx, int slice,
-                                              int width, int priority = 0);
+                                              int slice_width, int use_width,
+                                              int priority = 0);
 
   /// Current pool size for a device (0 before first acquire).
   int pool_size(const scuda::Context& ctx) const;

@@ -43,6 +43,7 @@ struct RequestRecord {
   int tenant = 0;
   Outcome outcome = Outcome::kServed;
   gpusim::SimTime arrival_ns = 0.0;
+  gpusim::SimTime deadline_ns = 0.0;    ///< request deadline (0 = none)
   gpusim::SimTime issue_ns = 0.0;       ///< batch launch began (served only)
   gpusim::SimTime completion_ns = 0.0;  ///< batch completion event (served only)
   std::uint64_t batch_id = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <set>
 
 #include "common/check.hpp"
 
@@ -148,6 +149,7 @@ bool InferenceServer::reap(std::vector<RequestRecord>& records) {
       rec.tenant = req.tenant;
       rec.outcome = Outcome::kServed;
       rec.arrival_ns = req.arrival_ns - t0_;
+      rec.deadline_ns = req.deadline_ns > 0.0 ? req.deadline_ns - t0_ : 0.0;
       rec.issue_ns = it->issue_ns - t0_;
       rec.completion_ns = completion - t0_;
       rec.batch_id = it->batch.id;
@@ -226,12 +228,14 @@ std::vector<RequestRecord> InferenceServer::replay(
       const std::uint64_t id = r.id;
       const int tenant = r.tenant;
       const gpusim::SimTime arrival = r.arrival_ns;
+      const gpusim::SimTime deadline = r.deadline_ns;
       if (!queue.push(std::move(r))) {
         RequestRecord rec;
         rec.id = id;
         rec.tenant = tenant;
         rec.outcome = Outcome::kRejected;
         rec.arrival_ns = arrival - t0_;
+        rec.deadline_ns = deadline > 0.0 ? deadline - t0_ : 0.0;
         records.push_back(std::move(rec));
       }
     }
@@ -243,6 +247,7 @@ std::vector<RequestRecord> InferenceServer::replay(
       rec.tenant = r.tenant;
       rec.outcome = Outcome::kExpired;
       rec.arrival_ns = r.arrival_ns - t0_;
+      rec.deadline_ns = r.deadline_ns > 0.0 ? r.deadline_ns - t0_ : 0.0;
       records.push_back(std::move(rec));
     }
 
@@ -289,8 +294,10 @@ ServingStats InferenceServer::summarize(
   std::vector<double> lat;
   double sum = 0.0;
   gpusim::SimTime first_arrival = kInf, last_completion = 0.0;
-  std::uint64_t max_batch_id_seen = 0;
-  bool any_batch = false;
+  // Distinct ids, not max+1: callers routinely summarize filtered record
+  // sets (e.g. one tenant's slice of a replay) whose batch ids are
+  // sparse.
+  std::set<std::uint64_t> batch_ids;
   std::size_t batched_requests = 0;
   for (const RequestRecord& r : records) {
     first_arrival = std::min(first_arrival, r.arrival_ns);
@@ -306,8 +313,10 @@ ServingStats InferenceServer::summarize(
     }
     ++s.served;
     ++batched_requests;
-    any_batch = true;
-    max_batch_id_seen = std::max(max_batch_id_seen, r.batch_id);
+    batch_ids.insert(r.batch_id);
+    if (r.deadline_ns > 0.0 && r.completion_ns > r.deadline_ns) {
+      ++s.deadline_misses;
+    }
     last_completion = std::max(last_completion, r.completion_ns);
     const double ms = r.latency_ms();
     lat.push_back(ms);
@@ -326,8 +335,8 @@ ServingStats InferenceServer::summarize(
     s.p99_ms = rank(0.99);
     s.mean_ms = sum / static_cast<double>(lat.size());
   }
-  if (any_batch) {
-    s.batches = max_batch_id_seen + 1;
+  if (!batch_ids.empty()) {
+    s.batches = batch_ids.size();
     s.mean_batch =
         static_cast<double>(batched_requests) / static_cast<double>(s.batches);
   }

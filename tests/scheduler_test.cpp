@@ -200,6 +200,55 @@ TEST_F(SchedulerTest, SteadyStateIsFasterThanSerialForOverlappableWork) {
   EXPECT_LT(glp_time, serial_time);
 }
 
+TEST_F(SchedulerTest, TenantSlicesDisjointAcrossDifferingDecisions) {
+  // Regression: slice geometry must be uniform per device, not derived
+  // from the scope's analyzer decision. Scopes are tenant/batch-size
+  // keyed, so two concurrent slots can be running scopes whose decided
+  // stream counts differ — if each slot computed its slice from its own
+  // decision, the ranges could overlap and in-flight batches would share
+  // streams (serialising supposedly isolated tenants).
+  SchedulerOptions opt;
+  opt.policy = DispatchPolicy::kTenantSliced;
+  RuntimeScheduler& s = scheduler(opt);
+  // Profile two scopes with very different concurrency appetites.
+  run_scope(s, "heavy", 16, 5e8);
+  run_scope(s, "light", 2, 1e5);
+  const int heavy_streams = s.stream_count("heavy");
+  const int light_streams = s.stream_count("light");
+  ASSERT_GT(heavy_streams, 0);
+  ASSERT_GT(light_streams, 0);
+  ASSERT_NE(heavy_streams, light_streams)
+      << "test needs scopes with differing decisions to exercise the bug";
+
+  const auto steady_pool = [&](const std::string& scope, int tasks,
+                               int slot) {
+    s.set_tenant({/*tenant=*/slot, /*priority=*/0, slot, /*num_slots=*/2,
+                  gpusim::kDefaultStream});
+    s.begin_scope(scope, static_cast<std::size_t>(tasks));
+    std::set<gpusim::StreamId> used;
+    for (int i = 0; i < tasks; ++i) {
+      used.insert(s.task_lane(static_cast<std::size_t>(i)).stream);
+    }
+    s.end_scope();
+    s.clear_tenant();
+    return used;
+  };
+
+  const auto slot0 = steady_pool("heavy", 16, 0);
+  const auto slot1 = steady_pool("light", 2, 1);
+  for (gpusim::StreamId a : slot0) {
+    EXPECT_EQ(slot1.count(a), 0u)
+        << "stream " << a << " shared between concurrent batch slots";
+  }
+  // Swapping which scope runs in which slot must also stay disjoint.
+  const auto slot0_light = steady_pool("light", 2, 0);
+  const auto slot1_heavy = steady_pool("heavy", 16, 1);
+  for (gpusim::StreamId a : slot0_light) {
+    EXPECT_EQ(slot1_heavy.count(a), 0u)
+        << "stream " << a << " shared between concurrent batch slots";
+  }
+}
+
 // StreamManager unit tests live in stream_manager_test.cpp.
 
 TEST(Engine, SharedTrackerPrivateSchedulers) {

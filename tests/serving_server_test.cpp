@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 
 #include "serving/model_zoo.hpp"
 #include "serving/server.hpp"
@@ -68,6 +69,22 @@ TEST(InferenceServer, ServesEveryAdmittedRequest) {
     EXPECT_GT(r.completion_ns, r.issue_ns);
     EXPECT_GE(r.batch_size, 1);
     EXPECT_FALSE(r.output.empty());
+  }
+
+  // summarize() on a filtered record set (per-tenant analysis) must count
+  // distinct batch ids, not assume dense ids from zero.
+  for (int tenant = 0; tenant < 2; ++tenant) {
+    std::vector<serving::RequestRecord> sub;
+    std::set<std::uint64_t> ids;
+    for (const auto& r : records) {
+      if (r.tenant != tenant) continue;
+      sub.push_back(r);
+      ids.insert(r.batch_id);
+    }
+    ASSERT_FALSE(sub.empty());
+    const auto ts = serving::InferenceServer::summarize(sub);
+    EXPECT_EQ(ts.batches, ids.size());
+    EXPECT_GE(ts.mean_batch, 1.0);
   }
 }
 
@@ -168,11 +185,17 @@ TEST(InferenceServer, DeadlinesExpireQueuedRequests) {
   EXPECT_GT(stats.expired, 0u);
   EXPECT_GT(stats.served, 0u);
   EXPECT_EQ(stats.served + stats.expired, static_cast<std::size_t>(ts.requests));
+  std::size_t late = 0;
   for (const auto& r : records) {
+    EXPECT_GT(r.deadline_ns, 0.0);  // the whole trace carries deadlines
     if (r.outcome == serving::Outcome::kExpired) {
       EXPECT_EQ(r.completion_ns, 0.0);  // never issued
+    } else if (r.completion_ns > r.deadline_ns) {
+      ++late;  // issued in time but finished past the deadline
     }
   }
+  EXPECT_EQ(stats.deadline_misses, late);
+  EXPECT_LE(stats.deadline_misses, stats.served);
 }
 
 TEST(InferenceServer, AdmissionControlBouncesOverload) {

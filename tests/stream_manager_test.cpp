@@ -74,6 +74,39 @@ TEST(StreamManager, MaxPoolSizeIsHighWaterAcrossDevices) {
   EXPECT_EQ(manager.max_pool_size(), 9);  // reuse doesn't lower it
 }
 
+TEST(StreamManager, SlicesWithUniformWidthNeverOverlap) {
+  // Slots requesting different *used* widths still get ranges laid out on
+  // the uniform slice_width grid, so concurrent slots can never share a
+  // stream (the multi-tenant isolation invariant).
+  scuda::Context ctx(gpusim::DeviceTable::p100());
+  glp4nn::StreamManager manager;
+  const auto slot0 = manager.acquire_slice(ctx, 0, 4, 4);
+  const auto slot1 = manager.acquire_slice(ctx, 1, 4, 2);
+  ASSERT_EQ(slot0.size(), 4u);
+  ASSERT_EQ(slot1.size(), 2u);
+  for (gpusim::StreamId a : slot0) {
+    for (gpusim::StreamId b : slot1) EXPECT_NE(a, b);
+  }
+  // Re-acquiring a slice returns the same streams (pool reuse).
+  EXPECT_EQ(manager.acquire_slice(ctx, 1, 4, 2), slot1);
+  EXPECT_EQ(manager.pool_size(ctx), 6);  // 4 (slot 0) + 2 used of slot 1
+}
+
+TEST(StreamManager, FillerStreamsBelowASliceKeepDefaultPriority) {
+  // A higher slot acquiring first must not imprint its tenant's priority
+  // on streams that belong to lower slots' future slices.
+  scuda::Context ctx(gpusim::DeviceTable::p100());
+  glp4nn::StreamManager manager;
+  const auto hi = manager.acquire_slice(ctx, 1, 4, 4, /*priority=*/-5);
+  for (gpusim::StreamId s : hi) {
+    EXPECT_EQ(ctx.device().stream_priority(s), -5);
+  }
+  const auto lo = manager.acquire_slice(ctx, 0, 4, 4, /*priority=*/3);
+  for (gpusim::StreamId s : lo) {
+    EXPECT_EQ(ctx.device().stream_priority(s), 0);  // created as filler
+  }
+}
+
 TEST(StreamManager, ReusedAcrossSchedulerScopes) {
   // Two dispatch scopes with the same stream demand must not allocate
   // new streams for the second scope — this is the "lightweight" claim.
