@@ -28,6 +28,9 @@ FrameworkCosts Glp4nnEngine::costs() const {
   for (const auto& [ctx, device] : devices_) {
     c.analysis_ms += device.analyzer->total_analysis_ms();
     c.scheduling_ms += device.scheduler->scheduling_ms();
+    c.solver_calls += device.analyzer->solver_calls();
+    c.solve_cache_hits += device.analyzer->solve_cache_hits();
+    c.milp_nodes += device.analyzer->total_milp_nodes();
   }
   return c;
 }

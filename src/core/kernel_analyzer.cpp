@@ -1,16 +1,97 @@
 #include "core/kernel_analyzer.hpp"
 
+#include <cstring>
+
 #include "common/check.hpp"
 
 namespace glp4nn {
+
+namespace {
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+std::uint64_t hash_str(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Kernel names are scope-qualified ("conv1/fwd/im2col_..."); strip the
+// scope prefix so replicated layers ("conv1/fwd" vs "conv3/fwd") with
+// identical kernels produce identical signatures.
+std::uint64_t name_signature(const std::string& scope,
+                             const std::string& name) {
+  if (name.size() > scope.size() + 1 &&
+      name.compare(0, scope.size(), scope) == 0 && name[scope.size()] == '/') {
+    return hash_str(name.substr(scope.size() + 1));
+  }
+  return hash_str(name);
+}
+
+// Every numeric input the analytical model reads, plus the
+// scope-relative kernel names. Duration fields use exact double bits:
+// the memo must only fire when the solve would be identical.
+std::vector<std::uint64_t> solve_signature(const ScopeProfile& profile) {
+  std::vector<std::uint64_t> key;
+  key.reserve(profile.kernels.size() * 12 + 1);
+  key.push_back(profile.kernels.size());
+  for (const KernelStats& k : profile.kernels) {
+    key.push_back(name_signature(profile.scope, k.name));
+    key.push_back(k.config.grid.x);
+    key.push_back(k.config.grid.y);
+    key.push_back(k.config.grid.z);
+    key.push_back(k.config.block.x);
+    key.push_back(k.config.block.y);
+    key.push_back(k.config.block.z);
+    key.push_back(static_cast<std::uint64_t>(k.config.regs_per_thread));
+    key.push_back(k.config.smem_static_bytes);
+    key.push_back(k.config.smem_dynamic_bytes);
+    key.push_back(static_cast<std::uint64_t>(k.launches));
+    key.push_back(bits_of(k.avg_duration_us));
+  }
+  return key;
+}
+
+}  // namespace
 
 const ConcurrencyDecision& KernelAnalyzer::decide(const ScopeProfile& profile) {
   auto it = decisions_.find(profile.scope);
   if (it != decisions_.end()) return it->second;
 
-  ConcurrencyDecision decision =
-      custom_model_ ? custom_model_(model_.props(), profile.scope, profile.kernels)
-                    : model_.analyze(profile.scope, profile.kernels);
+  ConcurrencyDecision decision;
+  if (custom_model_) {
+    decision = custom_model_(model_.props(), profile.scope, profile.kernels);
+    ++solver_calls_;
+    total_milp_nodes_ += static_cast<std::size_t>(decision.milp_nodes);
+  } else {
+    std::vector<std::uint64_t> key = solve_signature(profile);
+    auto memo = solve_memo_.find(key);
+    if (memo != solve_memo_.end()) {
+      // Relabel the memoized solve for this scope: the numeric inputs
+      // are identical, so the decision is too. No analysis ran, so no
+      // analysis time (and no B&B nodes) is charged.
+      decision = memo->second;
+      decision.scope = profile.scope;
+      GLP_CHECK(decision.per_kernel.size() == profile.kernels.size());
+      for (std::size_t i = 0; i < decision.per_kernel.size(); ++i) {
+        decision.per_kernel[i].name = profile.kernels[i].name;
+      }
+      decision.analysis_ms = 0.0;
+      ++solve_cache_hits_;
+    } else {
+      decision = model_.analyze(profile.scope, profile.kernels);
+      ++solver_calls_;
+      total_milp_nodes_ += static_cast<std::size_t>(decision.milp_nodes);
+      solve_memo_.emplace(std::move(key), decision);
+    }
+  }
   total_analysis_ms_ += decision.analysis_ms;
   auto [inserted, ok] = decisions_.emplace(profile.scope, std::move(decision));
   GLP_CHECK(ok);

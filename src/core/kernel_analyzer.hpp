@@ -3,10 +3,19 @@
 // analytical model (customisable via set_model, as the paper's module
 // description allows), and the *concurrency maintainer* caches decisions
 // per scope so each layer is analysed exactly once per device.
+//
+// On top of the per-scope decision cache, solves are memoized across
+// scopes: two scopes whose kernel-stat signatures match (same per-kernel
+// launch configs, launch counts and duration bits, scope-relative names)
+// share one analytical solve — the branch-and-bound runs once and the
+// decision is relabelled for the new scope. Replicated layers (conv
+// towers, stacked blocks) hit this constantly.
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "core/analytical_model.hpp"
 
@@ -42,11 +51,25 @@ class KernelAnalyzer {
   const AnalyticalModel& model() const { return model_; }
   double total_analysis_ms() const { return total_analysis_ms_; }
 
+  /// Fresh analytical-model (or custom-model) solves actually run.
+  std::size_t solver_calls() const { return solver_calls_; }
+  /// Scopes answered by relabelling a memoized solve instead.
+  std::size_t solve_cache_hits() const { return solve_cache_hits_; }
+  /// Branch-and-bound nodes explored across all fresh solves.
+  std::size_t total_milp_nodes() const { return total_milp_nodes_; }
+
  private:
   AnalyticalModel model_;
   ModelFn custom_model_;
   std::map<std::string, ConcurrencyDecision> decisions_;
+  /// Cross-scope solve memo: kernel-stat signature → solved decision.
+  /// Bypassed when a custom model is installed (it may be stateful or
+  /// scope-sensitive in ways the signature cannot capture).
+  std::map<std::vector<std::uint64_t>, ConcurrencyDecision> solve_memo_;
   double total_analysis_ms_ = 0.0;
+  std::size_t solver_calls_ = 0;
+  std::size_t solve_cache_hits_ = 0;
+  std::size_t total_milp_nodes_ = 0;
 };
 
 }  // namespace glp4nn

@@ -177,9 +177,13 @@ void RuntimeScheduler::end_scope() {
     if (!profile.kernels.empty()) {
       const ConcurrencyDecision& decision = analyzer_->decide(profile);
       // Charge the one-time overhead to the simulated host clock so
-      // end-to-end timings include it (Table 6).
-      ctx_->device().host_advance(
-          (profile.profiling_ms + decision.analysis_ms) * gpusim::kMs);
+      // end-to-end timings include it (Table 6). A non-negative option
+      // pins the charge for deterministic-timeline runs.
+      const double charge_ms =
+          options_.overhead_charge_ms >= 0.0
+              ? options_.overhead_charge_ms
+              : profile.profiling_ms + decision.analysis_ms;
+      ctx_->device().host_advance(charge_ms * gpusim::kMs);
     } else if (current_tasks_ > 0) {
       // The scope ran tasks but the capture came back empty (profiler
       // record loss). Retry on the next encounter a bounded number of

@@ -59,6 +59,12 @@ struct FrameworkCosts {
   std::size_t mem_k_bytes = 0;
   std::size_t mem_cupti_bytes = 0;
 
+  // Analyzer solve accounting: fresh analytical solves, scopes served by
+  // the cross-scope solve memo, and B&B nodes explored by fresh solves.
+  std::size_t solver_calls = 0;
+  std::size_t solve_cache_hits = 0;
+  std::size_t milp_nodes = 0;
+
   double total_ms() const { return profiling_ms + analysis_ms + scheduling_ms; }
   std::size_t total_bytes() const {
     return mem_tt_bytes + mem_k_bytes + mem_cupti_bytes;

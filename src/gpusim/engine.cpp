@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "gpusim/reference_engine.hpp"
 
 namespace gpusim {
 
@@ -12,38 +13,22 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kWorkEpsilon = 1e-6;  // thread-cycles considered "done"
 constexpr int kMaxThreadsPerBlock = 1024;
+// Residency memos are small (a key + two doubles per resident kernel) but
+// adversarial workloads could produce unbounded distinct signatures; flush
+// wholesale past this population rather than tracking LRU order.
+constexpr std::size_t kMaxRateMemoEntries = 4096;
 }  // namespace
 
-SimDevice::SimDevice(DeviceProps props) : props_(std::move(props)) {
+// ---------------------------------------------------------------------------
+// DeviceEngine — shared submission-side behaviour
+
+DeviceEngine::DeviceEngine(DeviceProps props) : props_(std::move(props)) {
   GLP_REQUIRE(props_.sm_count > 0 && props_.cores_per_sm > 0 &&
                   props_.clock_ghz > 0.0,
               "device must have positive compute resources");
-  queues_[kDefaultStream];  // the default stream always exists
 }
 
-StreamId SimDevice::create_stream(int priority) {
-  const StreamId id = next_stream_++;
-  queues_[id];
-  stream_priority_[id] = priority;
-  return id;
-}
-
-int SimDevice::stream_priority(StreamId stream) const {
-  auto it = stream_priority_.find(stream);
-  return it == stream_priority_.end() ? 0 : it->second;
-}
-
-void SimDevice::destroy_stream(StreamId stream) {
-  GLP_REQUIRE(stream != kDefaultStream, "cannot destroy the default stream");
-  auto it = queues_.find(stream);
-  GLP_REQUIRE(it != queues_.end(), "destroying unknown stream " << stream);
-  synchronize_stream(stream);
-  queues_.erase(it);
-  stream_priority_.erase(stream);
-  last_seq_in_stream_.erase(stream);
-}
-
-void SimDevice::validate_launch(const LaunchConfig& config) const {
+void DeviceEngine::validate_launch(const LaunchConfig& config) const {
   GLP_REQUIRE(config.total_blocks() > 0, "kernel grid must be non-empty");
   GLP_REQUIRE(config.threads_per_block() > 0 &&
                   config.threads_per_block() <= kMaxThreadsPerBlock,
@@ -55,8 +40,8 @@ void SimDevice::validate_launch(const LaunchConfig& config) const {
                                      << props_.shared_mem_per_sm);
 }
 
-double SimDevice::work_thread_cycles(const LaunchConfig& config,
-                                     const KernelCost& cost) const {
+double DeviceEngine::work_thread_cycles(const LaunchConfig& config,
+                                        const KernelCost& cost) const {
   // Roofline: the kernel's duration at full device occupancy is
   // max(compute time, memory time); convert that duration into
   // thread-cycles against the full lane count so the fluid scheduler can
@@ -69,6 +54,99 @@ double SimDevice::work_thread_cycles(const LaunchConfig& config,
   // no-op kernel (instruction fetch, prologue/epilogue).
   const double floor_cycles = static_cast<double>(config.total_threads()) * 8.0;
   return std::max({compute_cycles, mem_cycles, floor_cycles});
+}
+
+std::unique_ptr<DeviceEngine> make_device_engine(DeviceProps props,
+                                                 EngineKind kind) {
+  if (kind == EngineKind::kReference) {
+    return std::make_unique<ReferenceEngine>(std::move(props));
+  }
+  return std::make_unique<SimDevice>(std::move(props));
+}
+
+// ---------------------------------------------------------------------------
+// SeqWindow
+
+void SeqWindow::insert(std::uint64_t seq) {
+  GLP_CHECK(seq == end_);  // seqs are issued densely and monotonically
+  if (state_.empty() || end_ - base_ >= state_.size()) grow();
+  state_[seq & mask()] = 1;
+  ++end_;
+  ++count_;
+}
+
+void SeqWindow::complete(std::uint64_t seq) {
+  GLP_CHECK(seq >= base_ && seq < end_ && state_[seq & mask()] != 0);
+  state_[seq & mask()] = 0;
+  --count_;
+  while (base_ < end_ && state_[base_ & mask()] == 0) ++base_;
+}
+
+void SeqWindow::grow() {
+  const std::size_t new_size = state_.empty() ? 64 : state_.size() * 2;
+  std::vector<std::uint8_t> fresh(new_size, 0);
+  for (std::uint64_t s = base_; s < end_; ++s) {
+    fresh[s & (new_size - 1)] = state_[s & mask()];
+  }
+  state_ = std::move(fresh);
+}
+
+// ---------------------------------------------------------------------------
+// SimDevice — the optimized engine
+//
+// Bit-exactness ground rules (see reference_engine.cpp for the spec):
+//  * Kernel completion ETAs are recomputed with the reference's exact
+//    expression (now_ + latency_left + work_left / rate) rather than
+//    cached as absolute times — the fluid state evolves by successive
+//    subtraction, so a cached ETA would drift by an ulp.
+//  * min() over doubles is order-independent, so replacing scans with a
+//    cached minimum (copies) or an indexed subset (release heap) is safe.
+//  * The residency memo replays doubles produced by the identical
+//    computation on a prior event, so replay is bit-for-bit.
+
+SimDevice::SimDevice(DeviceProps props) : DeviceEngine(std::move(props)) {
+  StreamState def;
+  def.live = true;
+  streams_.push_back(std::move(def));  // the default stream always exists
+  admission_order_.push_back(kDefaultStream);
+  live_streams_ = 1;
+  events_.resize(1);  // EventIds start at 1; slot 0 stays kUnknown
+  copy_min_end_ = kInf;
+}
+
+StreamId SimDevice::create_stream(int priority) {
+  const StreamId id = next_stream_++;
+  GLP_CHECK(static_cast<std::size_t>(id) == streams_.size());
+  StreamState st;
+  st.priority = priority;
+  st.live = true;
+  streams_.push_back(std::move(st));
+  ++live_streams_;
+  // Keep the admission index ordered by (priority desc, id asc): the new
+  // stream has the largest id, so it goes after every live stream of
+  // equal-or-higher priority — exactly where the reference loop's
+  // stable_sort would place it.
+  auto pos = std::upper_bound(
+      admission_order_.begin(), admission_order_.end(), priority,
+      [this](int p, StreamId s) { return stream_state(s).priority < p; });
+  admission_order_.insert(pos, id);
+  return id;
+}
+
+int SimDevice::stream_priority(StreamId stream) const {
+  return stream_live(stream) ? stream_state(stream).priority : 0;
+}
+
+void SimDevice::destroy_stream(StreamId stream) {
+  GLP_REQUIRE(stream != kDefaultStream, "cannot destroy the default stream");
+  GLP_REQUIRE(stream_live(stream), "destroying unknown stream " << stream);
+  synchronize_stream(stream);
+  StreamState& st = stream_state(stream);
+  st.live = false;
+  st.queue = std::deque<Op>();  // release queue storage
+  --live_streams_;
+  admission_order_.erase(
+      std::find(admission_order_.begin(), admission_order_.end(), stream));
 }
 
 std::uint64_t SimDevice::launch_kernel(StreamId stream, std::string name,
@@ -111,13 +189,15 @@ EventId SimDevice::record_event(StreamId stream) {
   op.stream = stream;
   op.event = next_event_++;
   const EventId id = op.event;
-  events_pending_.insert(id);
+  GLP_CHECK(static_cast<std::size_t>(id) == events_.size());
+  events_.push_back(EventSlot{0.0, EventState::kPending});
   submit(std::move(op), 0.3 * kUs);
   return id;
 }
 
 void SimDevice::wait_event(StreamId stream, EventId event) {
-  GLP_REQUIRE(event_times_.count(event) != 0 || events_pending_.count(event) != 0,
+  GLP_REQUIRE(event < events_.size() &&
+                  events_[event].state != EventState::kUnknown,
               "waiting on unknown event " << event);
   Op op;
   op.kind = OpKind::kWaitEvent;
@@ -135,8 +215,9 @@ void SimDevice::host_callback(StreamId stream, WorkFn fn) {
 }
 
 void SimDevice::submit(Op op, SimTime host_cost_ns) {
-  auto it = queues_.find(op.stream);
-  GLP_REQUIRE(it != queues_.end(), "submission to unknown stream " << op.stream);
+  GLP_REQUIRE(stream_live(op.stream),
+              "submission to unknown stream " << op.stream);
+  StreamState& st = stream_state(op.stream);
   op.seq = next_seq_++;
   op.release = host_time_;
   op.tenant = current_tenant_;
@@ -145,8 +226,8 @@ void SimDevice::submit(Op op, SimTime host_cost_ns) {
   // in the same stream (ops are admitted for execution the moment they
   // reach the queue head, so this dependency is what serialises a
   // stream's kernels on the device).
-  op.stream_dep = last_seq_in_stream_[op.stream];
-  last_seq_in_stream_[op.stream] = op.seq;
+  op.stream_dep = st.last_seq;
+  st.last_seq = op.seq;
   if (op.stream == kDefaultStream) {
     // Legacy default-stream semantics: acts as a barrier against every
     // other stream, and later work in any stream waits for it.
@@ -157,7 +238,42 @@ void SimDevice::submit(Op op, SimTime host_cost_ns) {
     op.default_dep = last_default_seq_;
   }
   incomplete_.insert(op.seq);
-  it->second.push_back(std::move(op));
+  const bool becomes_head = st.queue.empty();
+  st.queue.push_back(std::move(op));
+  ++queued_ops_;
+  if (becomes_head && st.queue.front().release > now_) {
+    push_release(st.queue.front());
+  }
+}
+
+void SimDevice::push_release(const Op& head) {
+  release_heap_.push_back(
+      ReleaseEntry{head.release, head.stream, head.seq});
+  std::push_heap(release_heap_.begin(), release_heap_.end(),
+                 [](const ReleaseEntry& a, const ReleaseEntry& b) {
+                   return a.release > b.release;
+                 });
+}
+
+SimTime SimDevice::peek_release() const {
+  // Lazy min-heap: drop entries that are no longer a queue head (the op
+  // started) or whose release has passed (now_ is monotone, so they can
+  // never bound a future horizon either).
+  auto greater = [](const ReleaseEntry& a, const ReleaseEntry& b) {
+    return a.release > b.release;
+  };
+  while (!release_heap_.empty()) {
+    const ReleaseEntry& top = release_heap_.front();
+    if (top.release > now_) {
+      const StreamState& st = stream_state(top.stream);
+      if (st.live && !st.queue.empty() && st.queue.front().seq == top.seq) {
+        return top.release;
+      }
+    }
+    std::pop_heap(release_heap_.begin(), release_heap_.end(), greater);
+    release_heap_.pop_back();
+  }
+  return kInf;
 }
 
 bool SimDevice::op_ready(const Op& op) const {
@@ -165,13 +281,13 @@ bool SimDevice::op_ready(const Op& op) const {
   if (op.barrier) {
     // Ready only when every earlier-submitted op has completed.
     GLP_CHECK(!incomplete_.empty());
-    if (*incomplete_.begin() != op.seq) return false;
-  } else if (op.default_dep != 0 && incomplete_.count(op.default_dep) != 0) {
+    if (incomplete_.min_incomplete() != op.seq) return false;
+  } else if (op.default_dep != 0 && incomplete_.contains(op.default_dep)) {
     return false;
   }
-  if (op.stream_dep != 0 && incomplete_.count(op.stream_dep) != 0) return false;
+  if (op.stream_dep != 0 && incomplete_.contains(op.stream_dep)) return false;
   if (op.kind == OpKind::kWaitEvent) {
-    return event_times_.count(op.event) != 0;
+    return events_[op.event].state == EventState::kRecorded;
   }
   if (op.kind == OpKind::kKernel) {
     return static_cast<int>(resident_.size()) < props_.max_concurrent_kernels;
@@ -180,26 +296,24 @@ bool SimDevice::op_ready(const Op& op) const {
 }
 
 void SimDevice::complete_op_bookkeeping(std::uint64_t seq) {
-  const auto erased = incomplete_.erase(seq);
-  GLP_CHECK(erased == 1);
+  incomplete_.complete(seq);
 }
 
 bool SimDevice::start_ready_ops() {
+  if (queued_ops_ == 0) return false;
   bool progress = false;
   bool kernel_admitted = false;
-  // Visit streams by (priority desc, id): when the concurrency degree is
-  // saturated, high-priority streams claim the free slots first.
-  std::vector<std::pair<StreamId, std::deque<Op>*>> order;
-  order.reserve(queues_.size());
-  for (auto& [stream, queue] : queues_) order.emplace_back(stream, &queue);
-  std::stable_sort(order.begin(), order.end(),
-                   [this](const auto& a, const auto& b) {
-                     return stream_priority(a.first) > stream_priority(b.first);
-                   });
-  for (auto& [stream, queue_ptr] : order) {
-    std::deque<Op>& queue = *queue_ptr;
-    while (!queue.empty()) {
-      Op& head = queue.front();
+  // Drain a snapshot of the admission index (already (priority desc, id
+  // asc) — the order the reference loop re-derives by stable_sort every
+  // pass). A snapshot for two reasons: streams created by host functors
+  // executed below must not join this pass, and creation may reallocate
+  // the stream table.
+  drain_order_.assign(admission_order_.begin(), admission_order_.end());
+  for (StreamId sid : drain_order_) {
+    for (;;) {
+      StreamState& st = stream_state(sid);
+      if (!st.live || st.queue.empty()) break;
+      Op& head = st.queue.front();
       if (!op_ready(head)) break;
       switch (head.kind) {
         case OpKind::kKernel: {
@@ -212,7 +326,6 @@ bool SimDevice::start_ready_ops() {
               active.work_left / static_cast<double>(active.op.config.total_blocks());
           resident_.push_back(std::move(active));
           kernel_admitted = true;
-          queue.pop_front();
           break;
         }
         case OpKind::kCopy: {
@@ -223,28 +336,33 @@ bool SimDevice::start_ready_ops() {
           copy.end_ns = copy.start_ns +
                         static_cast<double>(copy.op.bytes) / props_.pcie_bandwidth_gbs;
           copy_engine_free_[dir] = copy.end_ns;
+          copy_min_end_ = std::min(copy_min_end_, copy.end_ns);
           copies_.push_back(std::move(copy));
-          queue.pop_front();
           break;
         }
         case OpKind::kEventRecord: {
-          event_times_[head.event] = now_;
-          events_pending_.erase(head.event);
+          events_[head.event] = EventSlot{now_, EventState::kRecorded};
           complete_op_bookkeeping(head.seq);
-          queue.pop_front();
           break;
         }
         case OpKind::kWaitEvent: {
           complete_op_bookkeeping(head.seq);
-          queue.pop_front();
           break;
         }
         case OpKind::kHostFn: {
           if (head.work) head.work();
           complete_op_bookkeeping(head.seq);
-          queue.pop_front();
           break;
         }
+      }
+      // Pop the consumed head. Re-fetch the stream slot: a host functor
+      // above may have created streams (reallocating the table) or
+      // submitted more work to this queue.
+      StreamState& cur = stream_state(sid);
+      cur.queue.pop_front();
+      --queued_ops_;
+      if (!cur.queue.empty() && cur.queue.front().release > now_) {
+        push_release(cur.queue.front());
       }
       progress = true;
     }
@@ -256,8 +374,8 @@ bool SimDevice::start_ready_ops() {
 void SimDevice::recompute_rates() {
   if (resident_.empty()) return;
 
-  std::vector<ResidencyRequest> reqs;
-  reqs.reserve(resident_.size());
+  std::vector<ResidencyRequest>& reqs = reqs_scratch_;
+  reqs.clear();
   for (const ActiveKernel& k : resident_) {
     ResidencyRequest r;
     r.config = k.op.config;
@@ -266,7 +384,38 @@ void SimDevice::recompute_rates() {
     r.blocks_wanted = static_cast<std::uint64_t>(std::max(1.0, std::ceil(blocks_left)));
     reqs.push_back(r);
   }
-  const std::vector<ResidencySlot> slots = pack_residency(props_, reqs);
+
+  // Resident-set signature: every input the packer, the register model and
+  // the lane allocator read (device props are fixed per engine).
+  std::vector<std::uint64_t>& key = memo_key_;
+  key.clear();
+  key.push_back(register_penalty_ ? 1u : 0u);
+  for (const ResidencyRequest& r : reqs) {
+    key.push_back(r.config.threads_per_block());
+    key.push_back(static_cast<std::uint64_t>(r.config.smem_per_block()));
+    key.push_back(static_cast<std::uint64_t>(r.config.regs_per_thread));
+    key.push_back(r.blocks_wanted);
+  }
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a over the words
+  for (const std::uint64_t w : key) {
+    hash ^= w;
+    hash *= 1099511628211ull;
+  }
+
+  auto [it, inserted] = rate_memo_.try_emplace(hash);
+  RateMemoEntry& entry = it->second;
+  if (!inserted && entry.key == key) {
+    // Replay the memoized outcome: the doubles were produced by the exact
+    // computation below on an earlier event, so this is bit-identical.
+    for (std::size_t i = 0; i < resident_.size(); ++i) {
+      resident_[i].lanes = entry.lanes_rates[i].first;
+      resident_[i].rate = entry.lanes_rates[i].second;
+    }
+    return;
+  }
+
+  pack_residency_into(props_, reqs, slots_scratch_);
+  const std::vector<ResidencySlot>& slots = slots_scratch_;
 
   double slowdown = 1.0;
   if (register_penalty_) {
@@ -277,7 +426,8 @@ void SimDevice::recompute_rates() {
   // threads rounded up to warps, cores per SM) lanes; when the aggregate
   // demand exceeds the device's lanes, everyone scales proportionally.
   double total_demand = 0.0;
-  std::vector<double> demand(resident_.size(), 0.0);
+  std::vector<double>& demand = demand_scratch_;
+  demand.assign(resident_.size(), 0.0);
   for (std::size_t i = 0; i < resident_.size(); ++i) {
     const auto threads = resident_[i].op.config.threads_per_block();
     const double warp_threads =
@@ -290,14 +440,20 @@ void SimDevice::recompute_rates() {
   const double capacity = static_cast<double>(props_.total_lanes());
   const double scale = (total_demand > capacity) ? capacity / total_demand : 1.0;
 
+  entry.key = key;
+  entry.lanes_rates.resize(resident_.size());
   for (std::size_t i = 0; i < resident_.size(); ++i) {
     resident_[i].lanes = demand[i] * scale;
     resident_[i].rate = resident_[i].lanes * props_.clock_ghz * slowdown;
+    entry.lanes_rates[i] = {resident_[i].lanes, resident_[i].rate};
   }
+  if (rate_memo_.size() > kMaxRateMemoEntries) rate_memo_.clear();
 }
 
 SimTime SimDevice::next_event_time() const {
   SimTime t = kInf;
+  // Kernel ETAs use the reference's exact expression; the resident set is
+  // bounded by max_concurrent_kernels, so this scan is O(C), not O(ops).
   for (const ActiveKernel& k : resident_) {
     if (k.rate > 0.0) {
       t = std::min(t, now_ + k.latency_left + k.work_left / k.rate);
@@ -305,12 +461,8 @@ SimTime SimDevice::next_event_time() const {
       t = std::min(t, now_ + k.latency_left);
     }
   }
-  for (const ActiveCopy& c : copies_) t = std::min(t, c.end_ns);
-  for (const auto& [stream, queue] : queues_) {
-    if (!queue.empty() && queue.front().release > now_) {
-      t = std::min(t, queue.front().release);
-    }
-  }
+  t = std::min(t, copy_min_end_);
+  t = std::min(t, peek_release());
   return t;
 }
 
@@ -365,24 +517,33 @@ void SimDevice::advance_to(SimTime t) {
     }
   }
 
-  for (std::size_t i = 0; i < copies_.size();) {
-    if (copies_[i].end_ns <= now_ + 1e-9) {
-      ActiveCopy done = std::move(copies_[i]);
-      copies_.erase(copies_.begin() + static_cast<std::ptrdiff_t>(i));
-      if (done.op.work) done.op.work();
-      CopyRecord rec;
-      rec.correlation_id = done.op.correlation;
-      rec.stream = done.op.stream;
-      rec.bytes = done.op.bytes;
-      rec.host_to_device = done.op.host_to_device;
-      rec.start_ns = done.start_ns;
-      rec.end_ns = done.end_ns;
-      rec.tenant = done.op.tenant;
-      timeline_.add_copy(rec);
-      if (copy_cb_) copy_cb_(rec);
-      complete_op_bookkeeping(done.op.seq);
-    } else {
-      ++i;
+  // The cached minimum tells us whether any copy can complete at all; the
+  // reference's per-element test (end_ns <= now_ + 1e-9) is false for
+  // every copy exactly when the minimum exceeds the threshold.
+  if (copy_min_end_ <= now_ + 1e-9) {
+    for (std::size_t i = 0; i < copies_.size();) {
+      if (copies_[i].end_ns <= now_ + 1e-9) {
+        ActiveCopy done = std::move(copies_[i]);
+        copies_.erase(copies_.begin() + static_cast<std::ptrdiff_t>(i));
+        if (done.op.work) done.op.work();
+        CopyRecord rec;
+        rec.correlation_id = done.op.correlation;
+        rec.stream = done.op.stream;
+        rec.bytes = done.op.bytes;
+        rec.host_to_device = done.op.host_to_device;
+        rec.start_ns = done.start_ns;
+        rec.end_ns = done.end_ns;
+        rec.tenant = done.op.tenant;
+        timeline_.add_copy(rec);
+        if (copy_cb_) copy_cb_(rec);
+        complete_op_bookkeeping(done.op.seq);
+      } else {
+        ++i;
+      }
+    }
+    copy_min_end_ = kInf;
+    for (const ActiveCopy& c : copies_) {
+      copy_min_end_ = std::min(copy_min_end_, c.end_ns);
     }
   }
 }
@@ -437,9 +598,11 @@ void SimDevice::run_until(const std::function<bool()>& pred) {
                           " next_event=" + std::to_string(next_event_time()) +
                           " resident=" + std::to_string(resident_.size()) +
                           " copies=" + std::to_string(copies_.size());
-      for (const auto& [stream, queue] : queues_) {
-        if (queue.empty()) continue;
-        const Op& head = queue.front();
+      for (StreamId stream = 0;
+           static_cast<std::size_t>(stream) < streams_.size(); ++stream) {
+        const StreamState& st = stream_state(stream);
+        if (!st.live || st.queue.empty()) continue;
+        const Op& head = st.queue.front();
         state += " q" + std::to_string(stream) + "[head seq=" +
                  std::to_string(head.seq) +
                  " kind=" + std::to_string(static_cast<int>(head.kind)) +
@@ -499,8 +662,7 @@ SimTime SimDevice::peek_next_event() {
 }
 
 void SimDevice::synchronize_stream(StreamId stream) {
-  auto it = queues_.find(stream);
-  GLP_REQUIRE(it != queues_.end(), "synchronize on unknown stream " << stream);
+  GLP_REQUIRE(stream_live(stream), "synchronize on unknown stream " << stream);
   // The queue drains when ops *start*; resident/active work from this
   // stream must also have completed. Track via a sentinel event.
   const EventId ev = record_event(stream);
@@ -508,9 +670,12 @@ void SimDevice::synchronize_stream(StreamId stream) {
 }
 
 void SimDevice::synchronize_event(EventId event) {
-  GLP_REQUIRE(event_times_.count(event) != 0 || events_pending_.count(event) != 0,
+  GLP_REQUIRE(event < events_.size() &&
+                  events_[event].state != EventState::kUnknown,
               "synchronize on unknown event " << event);
-  run_until([this, event] { return event_times_.count(event) != 0; });
+  run_until([this, event] {
+    return events_[event].state == EventState::kRecorded;
+  });
 }
 
 void SimDevice::synchronize() {
@@ -518,20 +683,20 @@ void SimDevice::synchronize() {
 }
 
 bool SimDevice::event_complete(EventId event) const {
-  return event_times_.count(event) != 0;
+  return event < events_.size() &&
+         events_[event].state == EventState::kRecorded;
 }
 
 SimTime SimDevice::event_time(EventId event) const {
-  auto it = event_times_.find(event);
-  GLP_REQUIRE(it != event_times_.end(),
+  GLP_REQUIRE(event < events_.size() &&
+                  events_[event].state == EventState::kRecorded,
               "event " << event << " has not completed");
-  return it->second;
+  return events_[event].time;
 }
 
 bool SimDevice::stream_idle(StreamId stream) const {
-  auto it = queues_.find(stream);
-  GLP_REQUIRE(it != queues_.end(), "query on unknown stream " << stream);
-  if (!it->second.empty()) return false;
+  GLP_REQUIRE(stream_live(stream), "query on unknown stream " << stream);
+  if (!stream_state(stream).queue.empty()) return false;
   for (const ActiveKernel& k : resident_) {
     if (k.op.stream == stream) return false;
   }

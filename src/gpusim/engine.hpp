@@ -24,16 +24,29 @@
 // real math (the DNN layers' arithmetic) at kernel-completion time in
 // simulated order, so stream-dependency bugs corrupt real numerics and
 // are caught by the convergence-invariance tests.
+//
+// Two implementations share the `DeviceEngine` interface:
+//  * `SimDevice` — the production engine. Flat indexed stream table, an
+//    O(1) sequence window instead of an ordered incomplete-set, a
+//    persistent priority-ordered admission index, an incrementally
+//    maintained event horizon (release min-heap + cached copy minimum),
+//    and a residency/rate memo keyed on the resident-set signature. See
+//    docs/PERFORMANCE.md ("Engine internals & hot path").
+//  * `ReferenceEngine` (reference_engine.hpp) — the original loop, kept
+//    verbatim as a testing seam. The two must stay event-for-event
+//    bit-identical; tests/engine_equivalence_test.cpp and the fuzz
+//    corpus's --engine-compare mode enforce it.
 
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
-#include <set>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "gpusim/device_props.hpp"
+#include "gpusim/inline_fn.hpp"
 #include "gpusim/occupancy.hpp"
 #include "gpusim/timeline.hpp"
 #include "gpusim/types.hpp"
@@ -54,15 +67,27 @@ struct DeviceStats {
   }
 };
 
-class SimDevice {
+/// Which event-loop implementation backs a device.
+enum class EngineKind {
+  kOptimized,  ///< SimDevice — the production hot-path engine
+  kReference,  ///< ReferenceEngine — the original loop, for equivalence
+};
+
+/// Abstract device interface: everything the CUDA-like layers (simcuda,
+/// simcupti, the scheduler, serving) need from a simulated GPU. The
+/// submission-side state and clocks live here so both engines stamp ops
+/// identically; the queueing containers and the event loop are the
+/// implementation's business.
+class DeviceEngine {
  public:
-  using WorkFn = std::function<void()>;
+  using WorkFn = InlineFn;
   using KernelCallback = std::function<void(const KernelRecord&)>;
   using CopyCallback = std::function<void(const CopyRecord&)>;
 
-  explicit SimDevice(DeviceProps props);
-  SimDevice(const SimDevice&) = delete;
-  SimDevice& operator=(const SimDevice&) = delete;
+  explicit DeviceEngine(DeviceProps props);
+  virtual ~DeviceEngine() = default;
+  DeviceEngine(const DeviceEngine&) = delete;
+  DeviceEngine& operator=(const DeviceEngine&) = delete;
 
   const DeviceProps& props() const { return props_; }
 
@@ -71,42 +96,54 @@ class SimDevice {
   /// Higher `priority` wins ties for admission when the concurrency
   /// degree is saturated (CUDA's cudaStreamCreateWithPriority; CUDA uses
   /// lower-is-higher, we use higher-is-higher for readability).
-  StreamId create_stream(int priority = 0);
+  virtual StreamId create_stream(int priority = 0) = 0;
   /// Priority a stream was created with (0 for the default stream).
-  int stream_priority(StreamId stream) const;
+  virtual int stream_priority(StreamId stream) const = 0;
   /// Destroy a stream; pending work must have completed.
-  void destroy_stream(StreamId stream);
+  virtual void destroy_stream(StreamId stream) = 0;
   /// Number of live streams, including the default stream.
-  int stream_count() const { return static_cast<int>(queues_.size()); }
+  virtual int stream_count() const = 0;
 
   // --- work submission (host side; advances the host clock) ---------------
   /// Enqueue a kernel. `work` runs on the host at simulated completion
   /// time, in completion order. Returns a correlation id.
-  std::uint64_t launch_kernel(StreamId stream, std::string name,
-                              const LaunchConfig& config, const KernelCost& cost,
-                              WorkFn work);
+  virtual std::uint64_t launch_kernel(StreamId stream, std::string name,
+                                      const LaunchConfig& config,
+                                      const KernelCost& cost, WorkFn work) = 0;
   /// Enqueue an async copy over the PCIe copy engine for `dir`.
-  std::uint64_t memcpy_async(StreamId stream, std::size_t bytes,
-                             bool host_to_device, WorkFn work = {});
+  virtual std::uint64_t memcpy_async(StreamId stream, std::size_t bytes,
+                                     bool host_to_device, WorkFn work = {}) = 0;
   /// Record an event in `stream`; completes when prior work in the stream
   /// has finished.
-  EventId record_event(StreamId stream);
+  virtual EventId record_event(StreamId stream) = 0;
   /// Make `stream` wait until `event` has been recorded.
-  void wait_event(StreamId stream, EventId event);
+  virtual void wait_event(StreamId stream, EventId event) = 0;
   /// Run a host function inside the stream's FIFO order.
-  void host_callback(StreamId stream, WorkFn fn);
+  virtual void host_callback(StreamId stream, WorkFn fn) = 0;
 
   // --- synchronisation (runs the event loop) ------------------------------
-  void synchronize_stream(StreamId stream);
-  void synchronize_event(EventId event);
-  void synchronize();
+  virtual void synchronize_stream(StreamId stream) = 0;
+  virtual void synchronize_event(EventId event) = 0;
+  virtual void synchronize() = 0;
   /// Non-blocking: has the event been reached? (Does not advance time.)
-  bool event_complete(EventId event) const;
+  virtual bool event_complete(EventId event) const = 0;
   /// Simulated timestamp at which the event was reached (it must be
   /// complete — check event_complete or synchronise first).
-  SimTime event_time(EventId event) const;
+  virtual SimTime event_time(EventId event) const = 0;
   /// Non-blocking: does the stream have pending work?
-  bool stream_idle(StreamId stream) const;
+  virtual bool stream_idle(StreamId stream) const = 0;
+  /// Lookahead: run the device event loop up to device time `t`, so every
+  /// completion (and event timestamp) at or before `t` becomes observable
+  /// via event_complete/event_time. Unlike the synchronize_* calls this
+  /// does NOT join the host clock to the device — observing the device is
+  /// not a synchronisation point. Used by the serving event loop to poll
+  /// in-flight batches without distorting host-side arrival timing.
+  virtual void advance_device_to(SimTime t) = 0;
+  /// Settle any ops that can start right now, then return the device time
+  /// of the next pending event (+infinity when the device is idle). Lets
+  /// the serving event loop advance exactly event-by-event instead of
+  /// guessing a horizon.
+  virtual SimTime peek_next_event() = 0;
 
   // --- clocks --------------------------------------------------------------
   /// Host-visible clock: advanced by launch overheads and by joining the
@@ -117,18 +154,6 @@ class SimDevice {
   /// Model host-side work (e.g. GLP4NN's analysis phase) occupying the
   /// dispatch thread for `ns`.
   void host_advance(SimTime ns) { host_time_ += ns; }
-  /// Lookahead: run the device event loop up to device time `t`, so every
-  /// completion (and event timestamp) at or before `t` becomes observable
-  /// via event_complete/event_time. Unlike the synchronize_* calls this
-  /// does NOT join the host clock to the device — observing the device is
-  /// not a synchronisation point. Used by the serving event loop to poll
-  /// in-flight batches without distorting host-side arrival timing.
-  void advance_device_to(SimTime t);
-  /// Settle any ops that can start right now, then return the device time
-  /// of the next pending event (+infinity when the device is idle). Lets
-  /// the serving event loop advance exactly event-by-event instead of
-  /// guessing a horizon.
-  SimTime peek_next_event();
 
   // --- introspection --------------------------------------------------------
   Timeline& timeline() { return timeline_; }
@@ -158,8 +183,105 @@ class SimDevice {
   /// device roofline (exposed for tests and the analyzer).
   double work_thread_cycles(const LaunchConfig& config, const KernelCost& cost) const;
 
+ protected:
+  void validate_launch(const LaunchConfig& config) const;
+
+  DeviceProps props_;
+  Timeline timeline_;
+  DeviceStats stats_;
+  KernelCallback kernel_cb_;
+  CopyCallback copy_cb_;
+  bool register_penalty_ = true;
+
+  SimTime now_ = 0.0;
+  SimTime host_time_ = 0.0;
+  int current_tenant_ = -1;
+
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_correlation_ = 1;
+  EventId next_event_ = 1;
+  StreamId next_stream_ = 1;
+  std::uint64_t last_default_seq_ = 0;  ///< most recent default-stream op
+
+  SimTime copy_engine_free_[2] = {0.0, 0.0};  ///< [h2d, d2h] availability
+};
+
+/// Construct an engine of the requested kind (the testing seam simcuda's
+/// Context exposes; production code always gets kOptimized).
+std::unique_ptr<DeviceEngine> make_device_engine(DeviceProps props,
+                                                 EngineKind kind);
+
+/// O(1) membership window over the dense, monotonically issued op
+/// sequence numbers. Replaces the reference engine's std::set: insertion
+/// is append-only, completion clears a flag, and the minimum incomplete
+/// seq (the default-stream barrier test) is the window base. Storage is a
+/// power-of-two ring sized to the widest in-flight window ever seen, so
+/// steady-state operation allocates nothing.
+class SeqWindow {
+ public:
+  /// Track `seq` as incomplete. Seqs must be inserted in increasing
+  /// order with no gaps (the engine issues them that way).
+  void insert(std::uint64_t seq);
+  /// Mark a tracked seq complete.
+  void complete(std::uint64_t seq);
+  /// Is `seq` tracked and still incomplete?
+  bool contains(std::uint64_t seq) const {
+    return seq >= base_ && seq < end_ && state_[seq & mask()] != 0;
+  }
+  /// Smallest incomplete seq; only valid when !empty().
+  std::uint64_t min_incomplete() const { return base_; }
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
  private:
-  enum class OpKind { kKernel, kCopy, kEventRecord, kWaitEvent, kHostFn };
+  std::size_t mask() const { return state_.size() - 1; }
+  void grow();
+
+  std::vector<std::uint8_t> state_;  ///< ring: 1 = incomplete
+  std::uint64_t base_ = 1;           ///< all seqs < base_ are complete
+  std::uint64_t end_ = 1;            ///< one past the highest inserted seq
+  std::size_t count_ = 0;            ///< incomplete seqs in [base_, end_)
+};
+
+/// The production engine. Public semantics are defined by ReferenceEngine
+/// (the original loop); this implementation must match it event-for-event
+/// and bit-for-bit while doing asymptotically and constant-factor less
+/// work per event.
+class SimDevice final : public DeviceEngine {
+ public:
+  explicit SimDevice(DeviceProps props);
+
+  StreamId create_stream(int priority = 0) override;
+  int stream_priority(StreamId stream) const override;
+  void destroy_stream(StreamId stream) override;
+  int stream_count() const override { return live_streams_; }
+
+  std::uint64_t launch_kernel(StreamId stream, std::string name,
+                              const LaunchConfig& config, const KernelCost& cost,
+                              WorkFn work) override;
+  std::uint64_t memcpy_async(StreamId stream, std::size_t bytes,
+                             bool host_to_device, WorkFn work = {}) override;
+  EventId record_event(StreamId stream) override;
+  void wait_event(StreamId stream, EventId event) override;
+  void host_callback(StreamId stream, WorkFn fn) override;
+
+  void synchronize_stream(StreamId stream) override;
+  void synchronize_event(EventId event) override;
+  void synchronize() override;
+  bool event_complete(EventId event) const override;
+  SimTime event_time(EventId event) const override;
+  bool stream_idle(StreamId stream) const override;
+  void advance_device_to(SimTime t) override;
+  SimTime peek_next_event() override;
+
+ private:
+  enum class OpKind : std::uint8_t {
+    kKernel,
+    kCopy,
+    kEventRecord,
+    kWaitEvent,
+    kHostFn
+  };
 
   struct Op {
     OpKind kind = OpKind::kKernel;
@@ -202,6 +324,40 @@ class SimDevice {
     SimTime end_ns = 0.0;
   };
 
+  /// One slot of the flat stream table, indexed directly by StreamId
+  /// (ids are dense and never reused).
+  struct StreamState {
+    std::deque<Op> queue;
+    std::uint64_t last_seq = 0;  ///< seq of the newest op ever submitted
+    int priority = 0;
+    bool live = false;
+  };
+
+  enum class EventState : std::uint8_t { kUnknown = 0, kPending, kRecorded };
+  struct EventSlot {
+    SimTime time = 0.0;
+    EventState state = EventState::kUnknown;
+  };
+
+  /// Lazy min-heap entry over stream-queue head release times: one entry
+  /// per op that becomes a queue head with a future release. Stale
+  /// entries (head changed, release passed) are dropped at peek time.
+  struct ReleaseEntry {
+    SimTime release = 0.0;
+    StreamId stream = kDefaultStream;
+    std::uint64_t seq = 0;
+  };
+
+  /// Memoized outcome of one residency repack + rate rescale, keyed by
+  /// the resident-set signature (per kernel: block shape, shared memory,
+  /// registers, blocks still wanted — everything the packer and the lane
+  /// allocator read). Values are the exact doubles the full computation
+  /// produced, so replaying from the memo is bit-identical.
+  struct RateMemoEntry {
+    std::vector<std::uint64_t> key;
+    std::vector<std::pair<double, double>> lanes_rates;  ///< per kernel
+  };
+
   void submit(Op op, SimTime host_cost_ns);
   void run_until(const std::function<bool()>& pred);
   /// Start every op that can start at the current sim time. Returns true
@@ -211,37 +367,44 @@ class SimDevice {
   void complete_op_bookkeeping(std::uint64_t seq);
   void recompute_rates();
   SimTime next_event_time() const;
+  SimTime peek_release() const;
+  void push_release(const Op& head);
   void advance_to(SimTime t);
   void finish_kernel(std::size_t idx);
-  void validate_launch(const LaunchConfig& config) const;
+  bool stream_live(StreamId stream) const {
+    return stream >= 0 && static_cast<std::size_t>(stream) < streams_.size() &&
+           streams_[static_cast<std::size_t>(stream)].live;
+  }
+  StreamState& stream_state(StreamId stream) {
+    return streams_[static_cast<std::size_t>(stream)];
+  }
+  const StreamState& stream_state(StreamId stream) const {
+    return streams_[static_cast<std::size_t>(stream)];
+  }
 
-  DeviceProps props_;
-  Timeline timeline_;
-  DeviceStats stats_;
-  KernelCallback kernel_cb_;
-  CopyCallback copy_cb_;
-  bool register_penalty_ = true;
+  // Deque, not vector: StreamState holds a move-only op queue (no copy
+  // fallback for vector reallocation), and deque growth keeps references
+  // stable across create_stream calls made from host functors.
+  std::deque<StreamState> streams_;    ///< indexed by StreamId
+  std::vector<StreamId> admission_order_;  ///< live streams, (prio desc, id asc)
+  std::vector<StreamId> drain_order_;  ///< scratch: admission snapshot per drain
+  int live_streams_ = 0;
+  std::size_t queued_ops_ = 0;         ///< total ops across all queues
 
-  SimTime now_ = 0.0;
-  SimTime host_time_ = 0.0;
-  int current_tenant_ = -1;
-
-  std::uint64_t next_seq_ = 1;
-  std::uint64_t next_correlation_ = 1;
-  EventId next_event_ = 1;
-  StreamId next_stream_ = 1;
-
-  std::map<StreamId, std::deque<Op>> queues_;
-  std::map<StreamId, int> stream_priority_;
-  std::map<StreamId, std::uint64_t> last_seq_in_stream_;
-  std::set<std::uint64_t> incomplete_;     ///< seqs of submitted-not-finished ops
-  std::uint64_t last_default_seq_ = 0;     ///< most recent default-stream op
-  std::map<EventId, SimTime> event_times_; ///< recorded events
-  std::set<EventId> events_pending_;       ///< created but not yet recorded
+  SeqWindow incomplete_;               ///< submitted-not-finished ops
+  std::vector<EventSlot> events_;      ///< indexed by EventId (slot 0 unused)
 
   std::vector<ActiveKernel> resident_;
   std::vector<ActiveCopy> copies_;
-  SimTime copy_engine_free_[2] = {0.0, 0.0};  ///< [h2d, d2h] availability
+  SimTime copy_min_end_;               ///< min end_ns over copies_ (+inf if none)
+  mutable std::vector<ReleaseEntry> release_heap_;
+
+  // Residency memo + reusable scratch (allocation-free steady state).
+  std::unordered_map<std::uint64_t, RateMemoEntry> rate_memo_;
+  std::vector<std::uint64_t> memo_key_;
+  std::vector<ResidencyRequest> reqs_scratch_;
+  std::vector<ResidencySlot> slots_scratch_;
+  std::vector<double> demand_scratch_;
 };
 
 }  // namespace gpusim

@@ -1,0 +1,113 @@
+#pragma once
+// Small-buffer move-only callable used for the engine's per-op work
+// functors. std::function heap-allocates once a capture exceeds its tiny
+// internal buffer (two pointers on libstdc++) and dispatches through a
+// type-erased manager on every call; the simulator issues one functor per
+// launched kernel/copy, so those allocations dominate the submission hot
+// path. InlineFn stores captures up to kInlineBytes in-place and calls
+// through a single direct function pointer — the "devirtualized" dispatch
+// for the monomorphic lambdas the layer wrappers produce. Oversized or
+// throwing-move callables transparently fall back to one heap cell.
+
+#include <cstddef>
+#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gpusim {
+
+class InlineFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineFn() = default;
+  InlineFn(std::nullptr_t) {}  // NOLINT: implicit, mirrors std::function
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFn(F&& f) {  // NOLINT: implicit, mirrors std::function
+    using Fn = std::decay_t<F>;
+    // Mirror std::function: wrapping an empty wrapper or a null function
+    // pointer produces an empty InlineFn, not a callable that throws.
+    if constexpr (std::is_same_v<Fn, std::function<void()>> ||
+                  std::is_pointer_v<Fn> ||
+                  std::is_member_pointer_v<Fn>) {
+      if (!f) return;
+    }
+    if constexpr (kStoreInline<Fn>) {
+      ::new (storage()) Fn(std::forward<F>(f));
+      invoke_ = [](void* s) { (*static_cast<Fn*>(s))(); };
+      manage_ = [](void* dst, void* src) {
+        if (src) {
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+          static_cast<Fn*>(src)->~Fn();
+        } else {
+          static_cast<Fn*>(dst)->~Fn();
+        }
+      };
+    } else {
+      *static_cast<Fn**>(storage()) = new Fn(std::forward<F>(f));
+      invoke_ = [](void* s) { (**static_cast<Fn**>(s))(); };
+      manage_ = [](void* dst, void* src) {
+        if (src) {
+          *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
+          *static_cast<Fn**>(src) = nullptr;
+        } else {
+          delete *static_cast<Fn**>(dst);
+        }
+      };
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFn& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+  void operator()() { invoke_(storage()); }
+
+ private:
+  template <typename Fn>
+  static constexpr bool kStoreInline =
+      sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  void* storage() { return buf_; }
+
+  void move_from(InlineFn& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_) manage_(storage(), other.storage());
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void reset() {
+    if (manage_) manage_(storage(), nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  void (*invoke_)(void*) = nullptr;
+  /// manage(dst, src): src != nullptr → move-construct dst from src and
+  /// destroy src; src == nullptr → destroy dst.
+  void (*manage_)(void*, void*) = nullptr;
+};
+
+}  // namespace gpusim

@@ -31,7 +31,15 @@ double single_kernel_occupancy(const DeviceProps& dev, const LaunchConfig& cfg) 
 
 std::vector<ResidencySlot> pack_residency(const DeviceProps& dev,
                                           const std::vector<ResidencyRequest>& reqs) {
-  std::vector<ResidencySlot> out(reqs.size());
+  std::vector<ResidencySlot> out;
+  pack_residency_into(dev, reqs, out);
+  return out;
+}
+
+void pack_residency_into(const DeviceProps& dev,
+                         const std::vector<ResidencyRequest>& reqs,
+                         std::vector<ResidencySlot>& out) {
+  out.assign(reqs.size(), ResidencySlot{});
 
   // Aggregate per-SM budgets; SMs are homogeneous and the packer assumes
   // even spreading, so one budget triple models every SM.
@@ -70,7 +78,6 @@ std::vector<ResidencySlot> pack_residency(const DeviceProps& dev,
     smem_left = std::max<std::int64_t>(smem_left, 0);
     blocks_left = std::max<std::int64_t>(blocks_left, 0);
   }
-  return out;
 }
 
 double register_pressure(const DeviceProps& dev,

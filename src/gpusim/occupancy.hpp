@@ -44,6 +44,13 @@ double single_kernel_occupancy(const DeviceProps& dev, const LaunchConfig& cfg);
 std::vector<ResidencySlot> pack_residency(const DeviceProps& dev,
                                           const std::vector<ResidencyRequest>& reqs);
 
+/// Allocation-free variant for hot paths: packs into `out` (resized to
+/// reqs.size(), prior contents discarded). `pack_residency` is a thin
+/// wrapper over this, so both produce bit-identical results.
+void pack_residency_into(const DeviceProps& dev,
+                         const std::vector<ResidencyRequest>& reqs,
+                         std::vector<ResidencySlot>& out);
+
 /// Register pressure of a packing: total registers demanded per SM divided
 /// by the register file size. Values > 1 indicate spilling; the engine
 /// derates execution speed by `register_slowdown`.

@@ -54,6 +54,17 @@ std::string to_chrome_trace(const Timeline& timeline,
     os << "}";
   };
 
+  // A bounded timeline that wrapped is a *window*, not the full run; mark
+  // the export so truncated traces are never mistaken for complete ones.
+  if (timeline.dropped_records() > 0) {
+    first = false;
+    os << "\n  {\"name\":\"trace_truncated\",\"cat\":\"metadata\",\"ph\":\"i\","
+       << "\"s\":\"g\",\"pid\":0,\"tid\":0,\"ts\":0,\"args\":{"
+       << "\"dropped_kernels\":" << timeline.dropped_kernels()
+       << ",\"dropped_copies\":" << timeline.dropped_copies()
+       << ",\"max_records\":" << timeline.max_records() << "}}";
+  }
+
   for (const KernelRecord& k : timeline.kernels()) {
     std::ostringstream args;
     args << "\"grid\":\"" << k.config.grid.x << "x" << k.config.grid.y << "x"

@@ -43,14 +43,15 @@ struct Launcher {
   std::uint64_t launch(const std::string& kernel_name,
                        const gpusim::LaunchConfig& config,
                        const gpusim::KernelCost& cost,
-                       std::function<void()> work) const {
+                       gpusim::DeviceEngine::WorkFn work) const {
     const std::string full =
         name_prefix.empty() ? kernel_name : name_prefix + "/" + kernel_name;
     const gpusim::StreamId target =
         ctx->faults().should_fail_launch() ? gpusim::kDefaultStream : stream;
     return ctx->device().launch_kernel(
         target, full, config, cost,
-        mode == ComputeMode::kNumeric ? std::move(work) : nullptr);
+        mode == ComputeMode::kNumeric ? std::move(work)
+                                      : gpusim::DeviceEngine::WorkFn());
   }
 };
 

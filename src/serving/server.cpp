@@ -68,7 +68,7 @@ void InferenceServer::warmup() {
     const int top = replica_batch_for(opts_.batch.max_batch);
     for (int b = 2; b <= top; b <<= 1) sizes.push_back(b);
   }
-  gpusim::SimDevice& dev = ctx_->device();
+  gpusim::DeviceEngine& dev = ctx_->device();
   for (int t = 0; t < tenants(); ++t) {
     const int slot = t % opts_.slots;
     const gpusim::StreamId home = homes_[static_cast<std::size_t>(slot)].id();
@@ -110,7 +110,7 @@ void InferenceServer::issue(Batch batch, gpusim::SimTime now) {
     }
   }
 
-  gpusim::SimDevice& dev = ctx_->device();
+  gpusim::DeviceEngine& dev = ctx_->device();
   const gpusim::StreamId home = homes_[static_cast<std::size_t>(slot)].id();
   if (sched_) {
     sched_->set_tenant({tenant, models_[static_cast<std::size_t>(tenant)].priority,
@@ -133,7 +133,7 @@ void InferenceServer::issue(Batch batch, gpusim::SimTime now) {
 }
 
 bool InferenceServer::reap(std::vector<RequestRecord>& records) {
-  gpusim::SimDevice& dev = ctx_->device();
+  gpusim::DeviceEngine& dev = ctx_->device();
   bool any = false;
   for (auto it = inflight_.begin(); it != inflight_.end();) {
     if (!dev.event_complete(it->done)) {
@@ -172,7 +172,7 @@ gpusim::SimTime InferenceServer::earliest_completion(gpusim::SimTime from,
                                                      gpusim::SimTime cap) {
   GLP_CHECK(!inflight_.empty());
   (void)from;
-  gpusim::SimDevice& dev = ctx_->device();
+  gpusim::DeviceEngine& dev = ctx_->device();
   // Step the device exactly event-by-event so it is never advanced past
   // the completion we report — overshooting would delay the start of
   // batches issued afterwards and distort the measured schedule.
@@ -198,7 +198,7 @@ std::vector<RequestRecord> InferenceServer::replay(
                    });
   if (opts_.warmup) warmup();
 
-  gpusim::SimDevice& dev = ctx_->device();
+  gpusim::DeviceEngine& dev = ctx_->device();
   t0_ = dev.host_now();
   // Shift trace times onto the absolute sim clock.
   for (InferenceRequest& r : trace) {

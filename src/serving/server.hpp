@@ -11,7 +11,7 @@
 //
 // replay() is a deterministic single-threaded discrete-event loop over
 // simulated time: it admits trace arrivals, expires deadlines, cuts
-// batches, and uses SimDevice::advance_device_to lookahead to find batch
+// batches, and uses DeviceEngine::advance_device_to lookahead to find batch
 // completions without disturbing the host clock. Identical inputs give
 // identical schedules and bit-identical outputs.
 

@@ -1,5 +1,5 @@
 #pragma once
-// CUDA-runtime-like context for one simulated device: owns the SimDevice,
+// CUDA-runtime-like context for one simulated device: owns the engine,
 // tracks "device" memory allocations against the device's capacity, and
 // offers the memcpy entry points. Allocations are ordinary host memory —
 // the simulator only times transfers; math runs in place.
@@ -25,14 +25,18 @@ class OutOfMemory : public glp::Error {
 
 class Context {
  public:
-  explicit Context(gpusim::DeviceProps props)
-      : device_(std::make_unique<gpusim::SimDevice>(std::move(props))) {}
+  /// `kind` selects the event-loop implementation: the optimized engine
+  /// (default, production) or the golden ReferenceEngine — the testing
+  /// seam the equivalence suite runs the whole stack through.
+  explicit Context(gpusim::DeviceProps props,
+                   gpusim::EngineKind kind = gpusim::EngineKind::kOptimized)
+      : device_(gpusim::make_device_engine(std::move(props), kind)) {}
 
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
 
-  gpusim::SimDevice& device() { return *device_; }
-  const gpusim::SimDevice& device() const { return *device_; }
+  gpusim::DeviceEngine& device() { return *device_; }
+  const gpusim::DeviceEngine& device() const { return *device_; }
   const gpusim::DeviceProps& props() const { return device_->props(); }
 
   /// Allocate `bytes` of device memory. Throws OutOfMemory when the
@@ -57,7 +61,7 @@ class Context {
   const FaultInjector& faults() const { return faults_; }
 
  private:
-  std::unique_ptr<gpusim::SimDevice> device_;
+  std::unique_ptr<gpusim::DeviceEngine> device_;
   FaultInjector faults_;
   std::map<void*, std::size_t> allocations_;
   std::size_t bytes_allocated_ = 0;

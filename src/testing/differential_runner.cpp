@@ -23,6 +23,23 @@ bool same_bits(float a, float b) {
   return ua == ub;
 }
 
+/// Bit-pattern equality for simulated timestamps: the engine-equivalence
+/// contract is *exact*, not "close" — an ulp of drift means the optimized
+/// loop changed the arithmetic.
+bool same_bits64(double a, double b) {
+  std::uint64_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+bool same_config(const gpusim::LaunchConfig& a, const gpusim::LaunchConfig& b) {
+  return a.grid == b.grid && a.block == b.block &&
+         a.regs_per_thread == b.regs_per_thread &&
+         a.smem_static_bytes == b.smem_static_bytes &&
+         a.smem_dynamic_bytes == b.smem_dynamic_bytes;
+}
+
 /// Tolerance equality that also accepts identically non-finite pairs
 /// (a net whose loss blows up must blow up the same way in both runs).
 bool close_enough(float a, float b, double rtol, double atol) {
@@ -192,6 +209,139 @@ DiffResult run_differential(const FuzzCase& c, const DiffOptions& opts) {
        << r.races.violations.front().detail;
     fail(os.str());
   }
+  return r;
+}
+
+std::string compare_timelines(const gpusim::Timeline& a,
+                              const gpusim::Timeline& b) {
+  std::ostringstream os;
+  if (a.kernels().size() != b.kernels().size()) {
+    os << "kernel record count " << a.kernels().size() << " vs "
+       << b.kernels().size();
+    return os.str();
+  }
+  if (a.copies().size() != b.copies().size()) {
+    os << "copy record count " << a.copies().size() << " vs "
+       << b.copies().size();
+    return os.str();
+  }
+  for (std::size_t i = 0; i < a.kernels().size(); ++i) {
+    const gpusim::KernelRecord& ka = a.kernels()[i];
+    const gpusim::KernelRecord& kb = b.kernels()[i];
+    const char* field = nullptr;
+    if (ka.correlation_id != kb.correlation_id) field = "correlation";
+    else if (ka.name != kb.name) field = "name";
+    else if (ka.stream != kb.stream) field = "stream";
+    else if (!same_config(ka.config, kb.config)) field = "config";
+    else if (!same_bits64(ka.submit_ns, kb.submit_ns)) field = "submit_ns";
+    else if (!same_bits64(ka.start_ns, kb.start_ns)) field = "start_ns";
+    else if (!same_bits64(ka.end_ns, kb.end_ns)) field = "end_ns";
+    else if (ka.tenant != kb.tenant) field = "tenant";
+    if (field != nullptr) {
+      os << "kernel record " << i << " (" << ka.name << " vs " << kb.name
+         << ") differs in " << field << " (e.g. end_ns " << ka.end_ns
+         << " vs " << kb.end_ns << ")";
+      return os.str();
+    }
+  }
+  for (std::size_t i = 0; i < a.copies().size(); ++i) {
+    const gpusim::CopyRecord& ca = a.copies()[i];
+    const gpusim::CopyRecord& cb = b.copies()[i];
+    const char* field = nullptr;
+    if (ca.correlation_id != cb.correlation_id) field = "correlation";
+    else if (ca.stream != cb.stream) field = "stream";
+    else if (ca.bytes != cb.bytes) field = "bytes";
+    else if (ca.host_to_device != cb.host_to_device) field = "direction";
+    else if (!same_bits64(ca.start_ns, cb.start_ns)) field = "start_ns";
+    else if (!same_bits64(ca.end_ns, cb.end_ns)) field = "end_ns";
+    else if (ca.tenant != cb.tenant) field = "tenant";
+    if (field != nullptr) {
+      os << "copy record " << i << " differs in " << field << " (start "
+         << ca.start_ns << " vs " << cb.start_ns << ", end " << ca.end_ns
+         << " vs " << cb.end_ns << ")";
+      return os.str();
+    }
+  }
+  return "";
+}
+
+EngineDiffResult run_engine_differential(const FuzzCase& c,
+                                         const DiffOptions& opts) {
+  EngineDiffResult r;
+  r.iters = static_cast<std::size_t>(c.iters);
+
+  RunOutput out[2];
+  gpusim::Timeline timelines[2];
+  const gpusim::EngineKind kinds[2] = {gpusim::EngineKind::kOptimized,
+                                       gpusim::EngineKind::kReference};
+  for (int run = 0; run < 2; ++run) {
+    scuda::Context ctx(c.device, kinds[run]);
+    scuda::FaultConfig faults = opts.faults;
+    if (faults.launch_failure_rate > 0.0 ||
+        faults.stream_create_failure_rate > 0.0 ||
+        faults.capture_loss_rate > 0.0) {
+      // Same derived seed for both runs: the fault draw sequence is part
+      // of the program being compared, so it must be identical.
+      faults.seed ^= c.seed * 0x9e3779b97f4a7c15ULL;
+      ctx.faults().arm(faults);
+    }
+    ctx.device().timeline().set_enabled(true);
+
+    // Pin the per-scope profiling/analysis charge: the default charges
+    // *measured* wall time to the simulated host clock, which would make
+    // the two timelines differ for reasons unrelated to the engines.
+    glp4nn::SchedulerOptions options = c.options;
+    options.overhead_charge_ms = 0.05;
+    glp4nn::Glp4nnEngine engine(options);
+    mc::ExecContext ec;
+    ec.ctx = &ctx;
+    ec.dispatcher = &engine.scheduler_for(ctx);
+    out[run] = train(ec, c);
+    timelines[run] = ctx.device().timeline();
+  }
+
+  const auto fail = [&](const std::string& why) {
+    if (r.ok) {
+      r.ok = false;
+      r.failure = why;
+    }
+  };
+
+  if (out[0].losses.size() != out[1].losses.size() ||
+      out[0].params.size() != out[1].params.size()) {
+    std::ostringstream os;
+    os << "shape mismatch: " << out[0].losses.size() << "/"
+       << out[1].losses.size() << " losses, " << out[0].params.size() << "/"
+       << out[1].params.size() << " params";
+    fail(os.str());
+    return r;
+  }
+  for (std::size_t i = 0; i < out[0].losses.size(); ++i) {
+    if (!same_bits(out[0].losses[i], out[1].losses[i])) {
+      std::ostringstream os;
+      os << "loss bits differ at iter " << i << ": optimized="
+         << out[0].losses[i] << " reference=" << out[1].losses[i];
+      fail(os.str());
+      return r;
+    }
+  }
+  for (std::size_t i = 0; i < out[0].params.size(); ++i) {
+    if (!same_bits(out[0].params[i], out[1].params[i])) {
+      std::ostringstream os;
+      os << "parameter bits differ at index " << i << ": optimized="
+         << out[0].params[i] << " reference=" << out[1].params[i];
+      fail(os.str());
+      return r;
+    }
+  }
+
+  const std::string timeline_diff =
+      compare_timelines(timelines[0], timelines[1]);
+  if (!timeline_diff.empty()) {
+    fail("timeline mismatch (optimized vs reference): " + timeline_diff);
+  }
+  r.kernels_compared = timelines[0].kernels().size();
+  r.copies_compared = timelines[0].copies().size();
   return r;
 }
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "gpusim/timeline.hpp"
 #include "simcuda/fault_injection.hpp"
 #include "testing/net_generator.hpp"
 #include "testing/race_checker.hpp"
@@ -69,5 +70,29 @@ bool bit_exact_contract(const mc::NetSpec& net,
 /// comparison (inspect `ok`/`failure`); propagates unexpected errors
 /// (bad net, simulator invariant breakage) as exceptions.
 DiffResult run_differential(const FuzzCase& c, const DiffOptions& opts = {});
+
+/// Field-for-field, bit-for-bit comparison of two recorded timelines
+/// (kernel and copy records, including every timestamp's exact double
+/// bits). Returns "" when identical, else a description of the first
+/// difference.
+std::string compare_timelines(const gpusim::Timeline& a,
+                              const gpusim::Timeline& b);
+
+struct EngineDiffResult {
+  bool ok = true;
+  std::string failure;  ///< first difference, human-readable ("" when ok)
+  std::size_t kernels_compared = 0;
+  std::size_t copies_compared = 0;
+  std::size_t iters = 0;
+};
+
+/// Engine-vs-reference mode: train the case through the full GLP4NN
+/// stack once on the optimized engine and once on ReferenceEngine, and
+/// require the two runs to be indistinguishable — bit-identical losses
+/// and parameters AND an event-for-event bit-identical device timeline.
+/// This is the enforcement of the hot-path overhaul's contract: the
+/// optimized loop must not change the simulation, only its wall-clock.
+EngineDiffResult run_engine_differential(const FuzzCase& c,
+                                         const DiffOptions& opts = {});
 
 }  // namespace glpfuzz

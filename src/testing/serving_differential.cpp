@@ -8,10 +8,18 @@
 
 #include "common/check.hpp"
 #include "serving/server.hpp"
+#include "testing/differential_runner.hpp"
 
 namespace glpfuzz {
 
 namespace {
+
+bool same_time_bits(gpusim::SimTime a, gpusim::SimTime b) {
+  std::uint64_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
 
 template <typename T>
 T pick(glp::Rng& rng, std::initializer_list<T> values) {
@@ -207,6 +215,96 @@ ServeDiffResult run_serving_differential(const ServeCase& c,
   if (r.ok && check_timeline && !r.races.clean()) {
     fail("timeline race checks failed");
   }
+  return r;
+}
+
+ServeEngineDiffResult run_serving_engine_differential(const ServeCase& c) {
+  ServeEngineDiffResult r;
+  r.requests = static_cast<std::size_t>(c.trace.requests);
+
+  std::vector<std::size_t> sizes;
+  std::vector<serving::TenantModel> models;
+  for (std::size_t t = 0; t < c.nets.size(); ++t) {
+    sizes.push_back(sample_size_of(c.nets[t]));
+    serving::TenantModel m;
+    m.name = "t" + std::to_string(t);
+    m.spec = c.nets[t];
+    models.push_back(std::move(m));
+  }
+  const auto trace = serving::make_trace(c.trace, sizes);
+
+  // The subject configuration only (scheduled + batched): it exercises
+  // priorities, tenant stream slices and the lookahead API — the paths
+  // the optimized engine most needs to reproduce exactly.
+  serving::ServerOptions opts;
+  opts.slots = c.slots;
+  opts.queue_capacity = trace.size() + 1;
+  opts.keep_outputs = true;
+  opts.batch = c.batch;
+  opts.use_scheduler = true;
+  opts.record_timeline = true;
+  // Pin the profiling/analysis charge so the simulated clock does not
+  // absorb run-to-run wall-time noise (see run_engine_differential).
+  opts.scheduler.overhead_charge_ms = 0.05;
+
+  std::vector<serving::RequestRecord> recs[2];
+  gpusim::Timeline timelines[2];
+  const gpusim::EngineKind kinds[2] = {gpusim::EngineKind::kOptimized,
+                                       gpusim::EngineKind::kReference};
+  for (int run = 0; run < 2; ++run) {
+    scuda::Context ctx(c.device, kinds[run]);
+    serving::InferenceServer server(ctx, models, opts);
+    recs[run] = server.replay(trace);
+    ctx.device().synchronize();
+    timelines[run] = ctx.device().timeline();
+  }
+
+  const auto fail = [&](const std::string& why) {
+    if (r.ok) {
+      r.ok = false;
+      r.failure = why;
+    }
+  };
+
+  if (recs[0].size() != recs[1].size()) {
+    fail("record count mismatch: optimized " + std::to_string(recs[0].size()) +
+         " vs reference " + std::to_string(recs[1].size()));
+    return r;
+  }
+  for (std::size_t i = 0; i < recs[0].size(); ++i) {
+    const serving::RequestRecord& a = recs[0][i];
+    const serving::RequestRecord& b = recs[1][i];
+    const char* field = nullptr;
+    if (a.id != b.id) field = "id";
+    else if (a.tenant != b.tenant) field = "tenant";
+    else if (a.outcome != b.outcome) field = "outcome";
+    else if (!same_time_bits(a.arrival_ns, b.arrival_ns)) field = "arrival_ns";
+    else if (!same_time_bits(a.issue_ns, b.issue_ns)) field = "issue_ns";
+    else if (!same_time_bits(a.completion_ns, b.completion_ns)) field = "completion_ns";
+    else if (a.batch_id != b.batch_id) field = "batch_id";
+    else if (a.batch_size != b.batch_size) field = "batch_size";
+    else if (a.output.size() != b.output.size()) field = "output size";
+    else if (!a.output.empty() &&
+             std::memcmp(a.output.data(), b.output.data(),
+                         a.output.size() * sizeof(float)) != 0) {
+      field = "output bits";
+    }
+    if (field != nullptr) {
+      std::ostringstream os;
+      os << "request record " << i << " (id " << a.id << ") differs in "
+         << field << " between optimized and reference engines";
+      fail(os.str());
+      return r;
+    }
+  }
+
+  const std::string timeline_diff =
+      compare_timelines(timelines[0], timelines[1]);
+  if (!timeline_diff.empty()) {
+    fail("timeline mismatch (optimized vs reference): " + timeline_diff);
+  }
+  r.kernels_compared = timelines[0].kernels().size();
+  r.copies_compared = timelines[0].copies().size();
   return r;
 }
 

@@ -61,4 +61,20 @@ struct ServeDiffResult {
 ServeDiffResult run_serving_differential(const ServeCase& c,
                                          bool check_timeline = true);
 
+struct ServeEngineDiffResult {
+  bool ok = true;
+  std::string failure;  ///< first difference, human-readable ("" when ok)
+  std::size_t requests = 0;
+  std::size_t kernels_compared = 0;
+  std::size_t copies_compared = 0;
+};
+
+/// Engine-vs-reference mode for serving: replay the scheduled, batched
+/// subject configuration once on the optimized engine and once on
+/// ReferenceEngine and require indistinguishable results — identical
+/// request outcomes, batch assignments, bit-identical arrival/issue/
+/// completion timestamps and outputs, and an event-for-event identical
+/// device timeline.
+ServeEngineDiffResult run_serving_engine_differential(const ServeCase& c);
+
 }  // namespace glpfuzz

@@ -1,0 +1,292 @@
+// Golden event-for-event equivalence suite for the engine hot-path
+// overhaul: the optimized SimDevice must be indistinguishable from the
+// ReferenceEngine seam — identical kernel/copy records (every timestamp
+// bit-for-bit), identical training results, identical serving replays —
+// on fuzzed programs, fault-injected programs, and targeted regressions
+// for the incremental structures (admission index, residency memo,
+// release horizon).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpusim/engine.hpp"
+#include "gpusim/timeline.hpp"
+#include "testing/differential_runner.hpp"
+#include "testing/net_generator.hpp"
+#include "testing/serving_differential.hpp"
+
+namespace {
+
+using gpusim::EngineKind;
+
+// --- full-stack differentials -----------------------------------------------
+
+TEST(EngineEquivalence, FuzzCorpusSubsetBitExact) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const glpfuzz::FuzzCase c = glpfuzz::make_case(seed, {});
+    const glpfuzz::EngineDiffResult r = glpfuzz::run_engine_differential(c);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.failure;
+    EXPECT_GT(r.kernels_compared, 0u) << "seed " << seed;
+  }
+}
+
+TEST(EngineEquivalence, FaultedCasesBitExact) {
+  glpfuzz::DiffOptions opts;
+  opts.faults.launch_failure_rate = 0.05;
+  opts.faults.stream_create_failure_rate = 0.02;
+  for (std::uint64_t seed = 40; seed <= 45; ++seed) {
+    const glpfuzz::FuzzCase c = glpfuzz::make_case(seed, {});
+    const glpfuzz::EngineDiffResult r = glpfuzz::run_engine_differential(c, opts);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.failure;
+  }
+}
+
+TEST(EngineEquivalence, ServingReplaysBitExact) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const glpfuzz::ServeCase c = glpfuzz::make_serving_case(seed);
+    const glpfuzz::ServeEngineDiffResult r =
+        glpfuzz::run_serving_engine_differential(c);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.failure;
+    EXPECT_GT(r.kernels_compared, 0u) << "seed " << seed;
+  }
+}
+
+// --- direct-API programs -----------------------------------------------------
+
+gpusim::LaunchConfig cfg(unsigned grid, unsigned block, int regs = 32,
+                         std::size_t smem = 0) {
+  gpusim::LaunchConfig c;
+  c.grid = {grid, 1, 1};
+  c.block = {block, 1, 1};
+  c.regs_per_thread = regs;
+  c.smem_static_bytes = smem;
+  return c;
+}
+
+gpusim::KernelCost cost(double flops) {
+  gpusim::KernelCost c;
+  c.flops = flops;
+  c.bytes = flops / 16.0;
+  return c;
+}
+
+/// Drive both engines with the same deterministic pseudo-random program
+/// and require bit-identical timelines.
+void expect_program_equivalent(
+    const std::function<void(gpusim::DeviceEngine&)>& program) {
+  gpusim::Timeline timelines[2];
+  const EngineKind kinds[2] = {EngineKind::kOptimized, EngineKind::kReference};
+  for (int i = 0; i < 2; ++i) {
+    auto dev = gpusim::make_device_engine(gpusim::DeviceTable::k40c(), kinds[i]);
+    dev->timeline().set_enabled(true);
+    program(*dev);
+    dev->synchronize();
+    timelines[i] = dev->timeline();
+  }
+  EXPECT_EQ(glpfuzz::compare_timelines(timelines[0], timelines[1]), "");
+  EXPECT_GT(timelines[0].kernels().size(), 0u);
+}
+
+TEST(EngineEquivalence, RandomDirectApiProgram) {
+  expect_program_equivalent([](gpusim::DeviceEngine& dev) {
+    // xorshift so the op mix is machine-independent.
+    std::uint64_t state = 0x243f6a8885a308d3ull;
+    const auto rnd = [&state](std::uint64_t bound) {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      return state % bound;
+    };
+    std::vector<gpusim::StreamId> streams{gpusim::kDefaultStream};
+    for (int s = 0; s < 5; ++s) {
+      streams.push_back(dev.create_stream(static_cast<int>(rnd(3))));
+    }
+    std::vector<gpusim::EventId> events;
+    for (int op = 0; op < 400; ++op) {
+      const gpusim::StreamId s = streams[rnd(streams.size())];
+      switch (rnd(6)) {
+        case 0:
+        case 1:
+        case 2:
+          dev.launch_kernel(s, "k", cfg(8 + rnd(64), 64u << rnd(3)),
+                            cost(1e5 + 1e4 * rnd(50)), {});
+          break;
+        case 3:
+          dev.memcpy_async(s, 1024 + rnd(1 << 16), rnd(2) == 0, {});
+          break;
+        case 4:
+          events.push_back(dev.record_event(s));
+          break;
+        default:
+          if (!events.empty()) {
+            dev.wait_event(s, events[rnd(events.size())]);
+          }
+          break;
+      }
+      if (rnd(50) == 0) dev.synchronize();
+      if (rnd(40) == 0 && !events.empty()) {
+        dev.synchronize_event(events[rnd(events.size())]);
+      }
+    }
+  });
+}
+
+// Regression: several streams sharing one priority level. The reference
+// drains by std::map order refined by a stable_sort on priority; the
+// optimized engine must reproduce that (priority desc, id asc) order from
+// its persistent admission index, including the equal-priority ties.
+TEST(EngineEquivalence, AdmissionOrderTiesUnderEqualPriorities) {
+  expect_program_equivalent([](gpusim::DeviceEngine& dev) {
+    std::vector<gpusim::StreamId> low, high;
+    for (int s = 0; s < 4; ++s) low.push_back(dev.create_stream(0));
+    for (int s = 0; s < 4; ++s) high.push_back(dev.create_stream(1));
+    // More kernels than the device can hold resident: admission order
+    // decides which queue wins each freed slot, so any order divergence
+    // changes the timeline.
+    for (int round = 0; round < 30; ++round) {
+      for (const gpusim::StreamId s : low) {
+        dev.launch_kernel(s, "low", cfg(32, 128), cost(5e5), {});
+      }
+      for (const gpusim::StreamId s : high) {
+        dev.launch_kernel(s, "high", cfg(32, 128), cost(5e5), {});
+      }
+    }
+    dev.synchronize();
+    // Interleave creation so the index must insert between existing
+    // priority groups, not just append.
+    const gpusim::StreamId mid = dev.create_stream(1);
+    const gpusim::StreamId late_low = dev.create_stream(0);
+    for (int round = 0; round < 10; ++round) {
+      dev.launch_kernel(mid, "mid", cfg(16, 128), cost(3e5), {});
+      dev.launch_kernel(late_low, "late", cfg(16, 128), cost(3e5), {});
+      dev.launch_kernel(low[0], "low0", cfg(16, 128), cost(3e5), {});
+    }
+  });
+}
+
+// Regression: stream destruction mid-program. The optimized engine's
+// admission index and release horizon must drop the stream, and the
+// residency-rate memo must keep answering correctly for resident sets
+// formed before and after the destroy.
+TEST(EngineEquivalence, StreamDestroyInvalidation) {
+  expect_program_equivalent([](gpusim::DeviceEngine& dev) {
+    for (int wave = 0; wave < 4; ++wave) {
+      std::vector<gpusim::StreamId> pool;
+      for (int s = 0; s < 3; ++s) pool.push_back(dev.create_stream(s));
+      for (int round = 0; round < 8; ++round) {
+        for (const gpusim::StreamId s : pool) {
+          // Same configs each wave: the rate memo sees repeat signatures
+          // across destroys and must replay identical rates.
+          dev.launch_kernel(s, "wave", cfg(24, 256, 40, 4096), cost(4e5), {});
+        }
+      }
+      // Destroy one stream while its siblings still hold queued work.
+      dev.destroy_stream(pool[1]);
+      for (int round = 0; round < 4; ++round) {
+        dev.launch_kernel(pool[0], "tail", cfg(24, 256, 40, 4096), cost(4e5), {});
+      }
+      dev.synchronize();
+      dev.destroy_stream(pool[0]);
+      dev.destroy_stream(pool[2]);
+    }
+  });
+}
+
+// Regression: host callbacks that create streams and submit work while
+// the engine is mid-drain (the reason the drain order is snapshotted).
+TEST(EngineEquivalence, HostCallbackReentrancy) {
+  expect_program_equivalent([](gpusim::DeviceEngine& dev) {
+    const gpusim::StreamId s1 = dev.create_stream(1);
+    for (int i = 0; i < 6; ++i) {
+      dev.launch_kernel(s1, "pre", cfg(16, 128), cost(2e5), {});
+      gpusim::DeviceEngine* d = &dev;
+      dev.host_callback(s1, [d] {
+        const gpusim::StreamId fresh = d->create_stream(2);
+        d->launch_kernel(fresh, "from_cb", cfg(8, 64), cost(1e5), {});
+        d->launch_kernel(gpusim::kDefaultStream, "cb_default", cfg(8, 64),
+                         cost(1e5), {});
+      });
+    }
+  });
+}
+
+// Events recorded and waited across streams, with wait ops queued before
+// the record drains (release horizon + event table interplay).
+TEST(EngineEquivalence, CrossStreamEventChains) {
+  expect_program_equivalent([](gpusim::DeviceEngine& dev) {
+    const gpusim::StreamId a = dev.create_stream(0);
+    const gpusim::StreamId b = dev.create_stream(0);
+    for (int i = 0; i < 20; ++i) {
+      dev.launch_kernel(a, "producer", cfg(32, 256), cost(8e5), {});
+      const gpusim::EventId ev = dev.record_event(a);
+      dev.wait_event(b, ev);
+      dev.launch_kernel(b, "consumer", cfg(32, 256), cost(8e5), {});
+      const gpusim::EventId back = dev.record_event(b);
+      dev.wait_event(a, back);
+      if (i % 5 == 0) {
+        EXPECT_EQ(dev.event_complete(ev), dev.event_complete(ev));
+        dev.synchronize_event(ev);
+      }
+    }
+  });
+}
+
+// --- timeline ring (bounded growth satellite) --------------------------------
+
+TEST(TimelineRing, DropsOldestAndStaysChronological) {
+  gpusim::Timeline tl;
+  tl.set_enabled(true);
+  tl.set_max_records(4);
+  for (int i = 0; i < 10; ++i) {
+    gpusim::KernelRecord r;
+    r.correlation_id = static_cast<std::uint64_t>(i);
+    r.end_ns = 100.0 * i;
+    tl.add_kernel(r);
+  }
+  ASSERT_EQ(tl.kernels().size(), 4u);
+  EXPECT_EQ(tl.dropped_kernels(), 6u);
+  EXPECT_EQ(tl.dropped_records(), 6u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tl.kernels()[i].correlation_id, 6u + i) << i;
+  }
+}
+
+TEST(TimelineRing, UnboundedByDefaultAndClearResets) {
+  gpusim::Timeline tl;
+  tl.set_enabled(true);
+  for (int i = 0; i < 100; ++i) {
+    gpusim::CopyRecord r;
+    r.correlation_id = static_cast<std::uint64_t>(i);
+    tl.add_copy(r);
+  }
+  EXPECT_EQ(tl.copies().size(), 100u);
+  EXPECT_EQ(tl.dropped_records(), 0u);
+  tl.set_max_records(10);
+  EXPECT_EQ(tl.copies().size(), 10u);
+  EXPECT_EQ(tl.copies().front().correlation_id, 90u);
+  tl.clear();
+  EXPECT_EQ(tl.copies().size(), 0u);
+  EXPECT_EQ(tl.dropped_records(), 0u);
+}
+
+TEST(TimelineRing, EngineRunsWithBoundedTimeline) {
+  auto dev = gpusim::make_device_engine(gpusim::DeviceTable::k40c(),
+                                        EngineKind::kOptimized);
+  dev->timeline().set_enabled(true);
+  dev->timeline().set_max_records(8);
+  const gpusim::StreamId s = dev->create_stream(0);
+  for (int i = 0; i < 32; ++i) {
+    dev->launch_kernel(s, "ring", cfg(8, 64), cost(1e5), {});
+  }
+  dev->synchronize();
+  EXPECT_EQ(dev->timeline().kernels().size(), 8u);
+  EXPECT_EQ(dev->timeline().dropped_kernels(), 24u);
+  // The survivors are the most recent completions, in order.
+  for (std::size_t i = 1; i < dev->timeline().kernels().size(); ++i) {
+    EXPECT_LE(dev->timeline().kernels()[i - 1].end_ns,
+              dev->timeline().kernels()[i].end_ns);
+  }
+}
+
+}  // namespace

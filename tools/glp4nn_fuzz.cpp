@@ -19,6 +19,10 @@
 //   --stream-fault-rate <p>   injected stream-creation failure probability
 //   --capture-loss-rate <p>   injected profiler record-loss probability
 //   --max-batch <n>      cap generated batch sizes (default 64)
+//   --engine-compare     instead of serial-vs-scheduler, run each case on
+//                        the optimized engine AND ReferenceEngine and
+//                        require bit-identical losses, parameters and
+//                        device timelines (the hot-path equivalence gate)
 //   --no-branches        linear nets only
 //   --no-timeline        skip timeline recording + race checking
 //   --trace <file>       Chrome trace of the last failing (or replayed)
@@ -73,7 +77,7 @@ int main(int argc, char** argv) {
 
   unsigned long long seed_arg = 1;
   std::string replay_arg;
-  bool no_branches = false, no_timeline = false;
+  bool no_branches = false, no_timeline = false, engine_compare = false;
 
   glp::Flags flags("glp4nn_fuzz",
                    "Differential fuzzer for the GLP4NN runtime scheduler "
@@ -88,6 +92,9 @@ int main(int argc, char** argv) {
       .opt("capture-loss-rate", &diff.faults.capture_loss_rate,
            "injected profiler record-loss probability")
       .opt("max-batch", &gen.max_batch, "cap generated batch sizes")
+      .flag("engine-compare", &engine_compare,
+            "compare optimized engine vs ReferenceEngine (bit-identical "
+            "losses, params and timelines) instead of serial-vs-scheduler")
       .flag("no-branches", &no_branches, "linear nets only")
       .flag("no-timeline", &no_timeline,
             "skip timeline recording + race checking")
@@ -128,6 +135,34 @@ int main(int argc, char** argv) {
   for (int i = 0; i < cases; ++i) {
     const std::uint64_t case_seed = seed + static_cast<std::uint64_t>(i);
     const glpfuzz::FuzzCase c = glpfuzz::make_case(case_seed, gen);
+
+    if (engine_compare) {
+      glpfuzz::EngineDiffResult er;
+      try {
+        er = glpfuzz::run_engine_differential(c, diff);
+      } catch (const std::exception& e) {
+        er.ok = false;
+        er.failure = std::string("exception: ") + e.what();
+      }
+      if (er.ok) {
+        ++stats.passed;
+        ++stats.bit_exact;
+        if (verbose) {
+          std::printf("PASS %s | engines bit-identical over %zu kernels, "
+                      "%zu copies\n",
+                      c.summary().c_str(), er.kernels_compared,
+                      er.copies_compared);
+        }
+      } else {
+        ++stats.failed;
+        std::printf("FAIL %s\n     %s\n", c.summary().c_str(),
+                    er.failure.c_str());
+        std::printf("     replay: %s --replay %llu --engine-compare\n",
+                    argv[0], static_cast<unsigned long long>(case_seed));
+      }
+      continue;
+    }
+
     glpfuzz::DiffResult r;
     std::string error;
     try {
