@@ -44,6 +44,7 @@ RunResult run_network(const mc::NetSpec& spec,
   ec.ctx = &ctx;
   ec.mode = config.compute;
   ec.fuse_conv_bias = config.fuse_conv_bias;
+  ec.dag_schedule = config.dag_schedule;
   switch (config.mode) {
     case Mode::kSerial:
       fixed = std::make_unique<kern::SerialDispatcher>(ctx);

@@ -36,6 +36,10 @@ struct RunConfig {
   kern::ComputeMode compute = kern::ComputeMode::kTimingOnly;
   bool register_penalty = true;   ///< simulator soft-constraint derating
   bool fuse_conv_bias = false;    ///< §6 future-work: fuse bias into GEMM
+  /// Inter-operator DAG scheduling (NetDag): overlap independent branch
+  /// ops on concurrent streams and fuse elementwise chains. Only
+  /// meaningful under Mode::kGlp4nn.
+  bool dag_schedule = false;
 };
 
 struct LayerTiming {

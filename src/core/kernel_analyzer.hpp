@@ -32,6 +32,26 @@ class KernelAnalyzer {
   /// Analyze (or fetch the cached decision for) a profiled scope.
   const ConcurrencyDecision& decide(const ScopeProfile& profile);
 
+  /// Joint solve for scopes that run *concurrently* on one device (DAG
+  /// scheduling of independent operators): the union of every member's
+  /// kernels enters ONE analytical solve, so the shared thread / shared-
+  /// memory / concurrency-degree budgets (Eqs. 4–6) are split across the
+  /// whole concurrent set instead of being granted to each scope in full.
+  /// Each member's stream count becomes the clamped sum of its own
+  /// kernels' solved instance counts, and its cached per-scope decision
+  /// is *overwritten* with the joint one (later begin_scope calls pick it
+  /// up). Joint solves are memoized by the concatenation of the members'
+  /// solve signatures. Requires ≥ 1 member; with exactly one member this
+  /// degenerates to decide(). Returns the per-member joint decisions in
+  /// input order. No-op returning nullptr-equivalent (empty vector) when
+  /// a custom model is installed — custom models may be scope-sensitive
+  /// in ways a union solve cannot capture.
+  std::vector<const ConcurrencyDecision*> decide_joint(
+      const std::vector<const ScopeProfile*>& group);
+
+  /// Joint concurrent-set solves actually run (fresh or memoized).
+  std::size_t joint_solves() const { return joint_solves_; }
+
   bool has_decision(const std::string& scope) const {
     return decisions_.count(scope) != 0;
   }
@@ -66,10 +86,14 @@ class KernelAnalyzer {
   /// Bypassed when a custom model is installed (it may be stateful or
   /// scope-sensitive in ways the signature cannot capture).
   std::map<std::vector<std::uint64_t>, ConcurrencyDecision> solve_memo_;
+  /// Joint-solve memo: framed member signatures → per-member decisions.
+  std::map<std::vector<std::uint64_t>, std::vector<ConcurrencyDecision>>
+      joint_memo_;
   double total_analysis_ms_ = 0.0;
   std::size_t solver_calls_ = 0;
   std::size_t solve_cache_hits_ = 0;
   std::size_t total_milp_nodes_ = 0;
+  std::size_t joint_solves_ = 0;
 };
 
 }  // namespace glp4nn

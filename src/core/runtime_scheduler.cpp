@@ -1,9 +1,11 @@
 #include "core/runtime_scheduler.hpp"
 
 #include <algorithm>
+#include <set>
 
 #include "common/check.hpp"
 #include "common/timer.hpp"
+#include "core/task_graph.hpp"
 
 namespace glp4nn {
 
@@ -50,19 +52,25 @@ void RuntimeScheduler::clear_tenant() {
   tenant_active_ = false;
 }
 
+gpusim::StreamId RuntimeScheduler::active_home() const {
+  if (dag_active_) return dag_.home_stream;
+  if (tenant_active_) return tenant_.home_stream;
+  return gpusim::kDefaultStream;
+}
+
 gpusim::StreamId RuntimeScheduler::serial_stream() const {
-  // A degraded scope stays serial *within the batch*: running it on the
-  // tenant's home stream (instead of the device-wide default stream)
-  // keeps other tenants' batches overlapping with it.
-  return tenant_active_ ? tenant_.home_stream : gpusim::kDefaultStream;
+  // A degraded scope stays serial *within its op or batch*: running it on
+  // the bound DAG op's chain stream (or the tenant's home stream) instead
+  // of the device-wide default stream keeps independent ops and other
+  // tenants' batches overlapping with it.
+  return active_home();
 }
 
 void RuntimeScheduler::fork_from_home() {
-  // Tenant fork: the scope's streams must observe everything already
-  // queued on the batch's home stream (the producer of its inputs). With
+  // Fork: the scope's streams must observe everything already queued on
+  // the op's / batch's home stream (the producer of its inputs). With
   // the default stream as home the legacy barrier already covers this.
-  if (!tenant_active_) return;
-  const gpusim::StreamId home = tenant_.home_stream;
+  const gpusim::StreamId home = active_home();
   if (home == gpusim::kDefaultStream) return;
   bool cross_stream = false;
   for (gpusim::StreamId s : pool_) cross_stream |= (s != home);
@@ -117,6 +125,24 @@ std::vector<gpusim::StreamId> RuntimeScheduler::acquire_pool(int count) {
 }
 
 std::vector<gpusim::StreamId> RuntimeScheduler::acquire_scope_pool(int count) {
+  if (dag_active_) {
+    // DAG op: the scope may only expand inside its op's slot slice, so
+    // scopes of concurrently running ops never hand out overlapping
+    // stream ranges (same argument as the tenant slices below). The
+    // strict-repro clamp keeps the pool a divisor of 32 even after the
+    // slice shrinks it, preserving the stream-stable gradient-slot order
+    // the bit-exact contract relies on.
+    const int num_slots = std::max(1, dag_.num_slots);
+    const int slice_width = std::max(1, max_lanes() / num_slots);
+    const int used = clamp_streams(std::min(std::max(1, count), slice_width));
+    try {
+      return streams_->acquire_slice(*ctx_, dag_.slot, slice_width, used,
+                                     /*priority=*/0);
+    } catch (const scuda::StreamCreateFailed&) {
+      serial_scopes_.insert(current_scope_);
+      return std::vector<gpusim::StreamId>(1, serial_stream());
+    }
+  }
   if (options_.policy == DispatchPolicy::kTenantSliced && tenant_active_) {
     // Slice geometry is uniform across scopes: slot s always owns
     // streams [s*W, (s+1)*W) with W = clamped device concurrency /
@@ -184,6 +210,9 @@ void RuntimeScheduler::end_scope() {
               ? options_.overhead_charge_ms
               : profile.profiling_ms + decision.analysis_ms;
       ctx_->device().host_advance(charge_ms * gpusim::kMs);
+      if (dag_active_ && !dag_.concurrent_scopes.empty()) {
+        maybe_joint_decide(profile);
+      }
     } else if (current_tasks_ > 0) {
       // The scope ran tasks but the capture came back empty (profiler
       // record loss). Retry on the next encounter a bounded number of
@@ -195,12 +224,12 @@ void RuntimeScheduler::end_scope() {
     }
     // An empty scope (zero tasks) yields no decision; it will profile
     // again next time it runs non-empty.
-  } else if (tenant_active_ &&
-             tenant_.home_stream != gpusim::kDefaultStream) {
-    // Tenant join: the batch's home stream waits for each slice stream,
-    // keeping the barrier local to this batch — a device-wide
-    // default-stream barrier would serialise concurrent tenants.
-    const gpusim::StreamId home = tenant_.home_stream;
+  } else if (active_home() != gpusim::kDefaultStream) {
+    // Local join: the op's / batch's home stream waits for each pool
+    // stream, keeping the barrier local to this op or batch — a
+    // device-wide default-stream barrier would serialise concurrent
+    // branches and tenants.
+    const gpusim::StreamId home = active_home();
     for (gpusim::StreamId s : pool_) {
       if (s == home) continue;
       const gpusim::EventId ev = ctx_->device().record_event(s);
@@ -212,6 +241,176 @@ void RuntimeScheduler::end_scope() {
   }
   mode_ = Mode::kIdle;
   current_scope_.clear();
+}
+
+void RuntimeScheduler::bind_dag_op(const kern::DagOpBinding& binding) {
+  GLP_REQUIRE(mode_ == Mode::kIdle, "cannot bind a DAG op mid-scope");
+  GLP_REQUIRE(binding.slot >= 0 && binding.num_slots >= 1 &&
+                  binding.slot < binding.num_slots,
+              "DAG op slot " << binding.slot << " outside [0, "
+                             << binding.num_slots << ")");
+  dag_ = binding;
+  dag_active_ = true;
+}
+
+void RuntimeScheduler::clear_dag_op() {
+  GLP_REQUIRE(mode_ == Mode::kIdle, "cannot clear a DAG op mid-scope");
+  dag_active_ = false;
+}
+
+void RuntimeScheduler::maybe_joint_decide(const ScopeProfile& profile) {
+  dag_profiles_[profile.scope] = profile;
+  // The op's concurrent group, in name order so the trigger is
+  // independent of which member finished profiling last.
+  std::set<std::string> members(dag_.concurrent_scopes.begin(),
+                                dag_.concurrent_scopes.end());
+  members.insert(profile.scope);
+  std::vector<const ScopeProfile*> group;
+  for (const std::string& scope : members) {
+    auto it = dag_profiles_.find(scope);
+    if (it == dag_profiles_.end()) return;  // a member has not profiled yet
+    group.push_back(&it->second);
+  }
+  const std::vector<const ConcurrencyDecision*> joint =
+      analyzer_->decide_joint(group);
+  if (joint.empty()) return;  // custom model: solo decisions stand
+  ++dag_joint_groups_;
+  // Charge the joint analysis to the simulated host clock like the solo
+  // analysis above (pinned charge keeps deterministic timelines). The
+  // whole-solve cost lives on the group's first member.
+  const double charge_ms = options_.overhead_charge_ms >= 0.0
+                               ? options_.overhead_charge_ms
+                               : joint.front()->analysis_ms;
+  ctx_->device().host_advance(charge_ms * gpusim::kMs);
+}
+
+std::vector<kern::DagPlacement> RuntimeScheduler::plan_dag(
+    const std::vector<kern::DagOp>& ops) {
+  GLP_REQUIRE(mode_ == Mode::kIdle, "cannot plan a DAG mid-scope");
+  const std::size_t n = ops.size();
+  std::vector<kern::DagPlacement> placements(n);
+  if (n == 0) return placements;
+
+  std::vector<std::vector<int>> deps(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    deps[i] = ops[i].deps;
+    std::sort(deps[i].begin(), deps[i].end());
+  }
+  task_consumers(deps);  // validates every edge points backwards
+
+  // 1. Chain decomposition: an op joins its highest-indexed dependency's
+  // chain when it is the first op to extend it (same-chain edges ride
+  // stream FIFO for free); otherwise it opens a new chain.
+  std::vector<int> chain_of(n, 0);
+  std::vector<int> chain_tail;  // last op appended to each chain
+  for (std::size_t i = 0; i < n; ++i) {
+    int chain = -1;
+    if (!deps[i].empty()) {
+      const int last = deps[i].back();
+      const int c = chain_of[static_cast<std::size_t>(last)];
+      if (chain_tail[static_cast<std::size_t>(c)] == last) chain = c;
+    }
+    if (chain < 0) {
+      chain = static_cast<int>(chain_tail.size());
+      chain_tail.push_back(static_cast<int>(i));
+    } else {
+      chain_tail[static_cast<std::size_t>(chain)] = static_cast<int>(i);
+    }
+    chain_of[i] = chain;
+  }
+  const int num_chains = static_cast<int>(chain_tail.size());
+
+  // 2. Which chains can overlap in time? Two ops are concurrent iff
+  // neither reaches the other; two chains conflict iff any of their ops
+  // are concurrent.
+  const std::vector<std::vector<bool>> reach = task_reachability(deps);
+  std::vector<std::vector<int>> chain_ops(
+      static_cast<std::size_t>(num_chains));
+  for (std::size_t i = 0; i < n; ++i) {
+    chain_ops[static_cast<std::size_t>(chain_of[i])].push_back(
+        static_cast<int>(i));
+  }
+  const auto concurrent = [&reach](int a, int b) {
+    const auto ua = static_cast<std::size_t>(a);
+    const auto ub = static_cast<std::size_t>(b);
+    return !reach[ua][ub] && !reach[ub][ua];
+  };
+  std::vector<std::vector<bool>> chain_conflict(
+      static_cast<std::size_t>(num_chains),
+      std::vector<bool>(static_cast<std::size_t>(num_chains), false));
+  for (int a = 0; a < num_chains; ++a) {
+    for (int b = a + 1; b < num_chains; ++b) {
+      bool conflict = false;
+      for (int x : chain_ops[static_cast<std::size_t>(a)]) {
+        for (int y : chain_ops[static_cast<std::size_t>(b)]) {
+          conflict = conflict || concurrent(x, y);
+        }
+      }
+      chain_conflict[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+          conflict;
+      chain_conflict[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] =
+          conflict;
+    }
+  }
+
+  // 3. Greedy coloring of the chain-conflict graph → slot per chain.
+  // Chains that never overlap may share a slot (and its stream slice).
+  std::vector<int> slot_of(static_cast<std::size_t>(num_chains), -1);
+  int num_slots = 0;
+  for (int c = 0; c < num_chains; ++c) {
+    std::vector<bool> taken(static_cast<std::size_t>(num_chains), false);
+    for (int other = 0; other < c; ++other) {
+      if (chain_conflict[static_cast<std::size_t>(c)]
+                        [static_cast<std::size_t>(other)]) {
+        taken[static_cast<std::size_t>(slot_of[static_cast<std::size_t>(
+            other)])] = true;
+      }
+    }
+    int slot = 0;
+    while (taken[static_cast<std::size_t>(slot)]) ++slot;
+    slot_of[static_cast<std::size_t>(c)] = slot;
+    num_slots = std::max(num_slots, slot + 1);
+  }
+
+  // 4. Home stream per chain: the first stream of its slot's slice. A
+  // stream-creation fault degrades the chain to the default stream —
+  // always ordering-safe (the host issues ops in topological order and
+  // the default stream is a two-sided barrier).
+  const int slice_width = std::max(1, max_lanes() / std::max(1, num_slots));
+  std::vector<gpusim::StreamId> chain_home(
+      static_cast<std::size_t>(num_chains), gpusim::kDefaultStream);
+  for (int c = 0; c < num_chains; ++c) {
+    const int slot = slot_of[static_cast<std::size_t>(c)];
+    try {
+      chain_home[static_cast<std::size_t>(c)] =
+          streams_->acquire_slice(*ctx_, slot, slice_width, 1,
+                                  /*priority=*/0)[0];
+    } catch (const scuda::StreamCreateFailed&) {
+      chain_home[static_cast<std::size_t>(c)] = gpusim::kDefaultStream;
+    }
+  }
+
+  // 5. Emit placements; scope ops additionally learn which other scopes
+  // can run concurrently with them (the analyzer's joint groups).
+  for (std::size_t i = 0; i < n; ++i) {
+    kern::DagPlacement& p = placements[i];
+    p.chain = chain_of[i];
+    p.slot = slot_of[static_cast<std::size_t>(chain_of[i])];
+    p.num_slots = num_slots;
+    p.stream = chain_home[static_cast<std::size_t>(chain_of[i])];
+    if (ops[i].scope.empty()) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i || ops[j].scope.empty()) continue;
+      if (concurrent(static_cast<int>(i), static_cast<int>(j))) {
+        p.concurrent_scopes.push_back(ops[j].scope);
+      }
+    }
+    std::sort(p.concurrent_scopes.begin(), p.concurrent_scopes.end());
+    p.concurrent_scopes.erase(
+        std::unique(p.concurrent_scopes.begin(), p.concurrent_scopes.end()),
+        p.concurrent_scopes.end());
+  }
+  return placements;
 }
 
 int RuntimeScheduler::stream_count(const std::string& scope) const {

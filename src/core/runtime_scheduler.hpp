@@ -88,6 +88,26 @@ class RuntimeScheduler final : public kern::KernelDispatcher {
   int max_lanes() const override;
   void end_scope() override;
 
+  // --- inter-operator DAG scheduling ---------------------------------------
+  /// Plan a whole op DAG onto concurrent stream chains: ops inherit their
+  /// last dependency's chain when possible (same-stream edges are free),
+  /// chains that may overlap in time are colored onto disjoint stream-pool
+  /// slices, and each scope op learns which other scopes can run
+  /// concurrently with it (feeds the analyzer's joint resource model).
+  std::vector<kern::DagPlacement> plan_dag(
+      const std::vector<kern::DagOp>& ops) override;
+  /// Route the next issued op's scopes: fork/join against the op's chain
+  /// home stream (instead of the device-wide default barrier) and expand
+  /// pools only within the op's slot slice.
+  void bind_dag_op(const kern::DagOpBinding& binding) override;
+  void clear_dag_op() override;
+  /// Binding of the DAG op currently being issued (nullptr when none).
+  const kern::DagOpBinding* dag_binding() const {
+    return dag_active_ ? &dag_ : nullptr;
+  }
+  /// Concurrent scope groups that completed a joint analyzer solve.
+  std::size_t dag_joint_groups() const { return dag_joint_groups_; }
+
   // --- introspection -----------------------------------------------------------
   /// Stream count the scheduler uses for a scope (0 if not yet decided).
   int stream_count(const std::string& scope) const;
@@ -141,12 +161,18 @@ class RuntimeScheduler final : public kern::KernelDispatcher {
   /// Pool for the current scope: the tenant's slice under kTenantSliced
   /// with an active tenant, the shared pool otherwise.
   std::vector<gpusim::StreamId> acquire_scope_pool(int count);
-  /// Stream a degraded (serial) scope runs on: the tenant's home stream
-  /// when one is active, else the default stream.
+  /// Stream a degraded (serial) scope runs on: the bound DAG op's or the
+  /// tenant's home stream when one is active, else the default stream.
   gpusim::StreamId serial_stream() const;
-  /// Make the scope's pool observe work already queued on the tenant's
-  /// home stream (begin_scope) — the fork half of the batch-local barrier.
+  /// Make the scope's pool observe work already queued on the active home
+  /// stream (begin_scope) — the fork half of the op/batch-local barrier.
   void fork_from_home();
+  /// Home stream of the active DAG op or tenant (default stream if none).
+  gpusim::StreamId active_home() const;
+  /// After a profiling end_scope under a DAG binding: stash the profile
+  /// and, once every member of the op's concurrent group has one, run the
+  /// analyzer's joint solve and charge its cost.
+  void maybe_joint_decide(const ScopeProfile& profile);
 
   scuda::Context* ctx_;
   ResourceTracker* tracker_;
@@ -164,6 +190,11 @@ class RuntimeScheduler final : public kern::KernelDispatcher {
   std::map<std::string, int> profile_attempts_;  ///< empty captures per scope
   TenantContext tenant_;
   bool tenant_active_ = false;
+  kern::DagOpBinding dag_;
+  bool dag_active_ = false;
+  /// Profiles stashed for concurrent-group members awaiting a joint solve.
+  std::map<std::string, ScopeProfile> dag_profiles_;
+  std::size_t dag_joint_groups_ = 0;
 };
 
 }  // namespace glp4nn

@@ -1,10 +1,112 @@
 #include "core/task_graph.hpp"
 
+#include <algorithm>
 #include <map>
 
 #include "common/check.hpp"
 
 namespace glp4nn {
+
+std::vector<std::vector<int>> task_consumers(
+    const std::vector<std::vector<int>>& deps) {
+  std::vector<std::vector<int>> consumers(deps.size());
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    for (int dep : deps[i]) {
+      GLP_REQUIRE(dep >= 0 && static_cast<std::size_t>(dep) < i,
+                  "node " << i << " depends on unknown/later node " << dep);
+      consumers[static_cast<std::size_t>(dep)].push_back(static_cast<int>(i));
+    }
+  }
+  return consumers;
+}
+
+bool is_topological_order(const std::vector<std::vector<int>>& deps,
+                          const std::vector<int>& order) {
+  if (order.size() != deps.size()) return false;
+  std::vector<int> position(deps.size(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const int node = order[i];
+    if (node < 0 || static_cast<std::size_t>(node) >= deps.size()) return false;
+    if (position[static_cast<std::size_t>(node)] != -1) return false;  // dup
+    position[static_cast<std::size_t>(node)] = static_cast<int>(i);
+  }
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    for (int dep : deps[i]) {
+      if (position[static_cast<std::size_t>(dep)] >= position[i]) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> wave_levels(const std::vector<std::vector<int>>& deps) {
+  std::vector<int> wave(deps.size(), 0);
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    for (int dep : deps[i]) {
+      wave[i] = std::max(wave[i], wave[static_cast<std::size_t>(dep)] + 1);
+    }
+  }
+  return wave;
+}
+
+std::vector<std::vector<bool>> task_reachability(
+    const std::vector<std::vector<int>>& deps) {
+  // reach[a][b]: path a → b (b depends, transitively, on a). Nodes are in
+  // topological order, so one forward sweep accumulating each node's
+  // ancestor rows suffices.
+  const std::size_t n = deps.size();
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (std::size_t b = 0; b < n; ++b) {
+    reach[b][b] = true;
+    for (int dep : deps[b]) {
+      const auto a = static_cast<std::size_t>(dep);
+      for (std::size_t r = 0; r <= a; ++r) {
+        if (reach[r][a]) reach[r][b] = true;
+      }
+    }
+  }
+  return reach;
+}
+
+ReadySet::ReadySet(const std::vector<std::vector<int>>& deps)
+    : consumers_(task_consumers(deps)),
+      pending_(deps.size(), 0),
+      complete_flag_(deps.size(), false) {
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    pending_[i] = static_cast<int>(deps[i].size());
+    if (pending_[i] == 0) ready_.push_back(static_cast<int>(i));
+  }
+}
+
+bool ReadySet::is_ready(int node) const {
+  GLP_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < pending_.size(),
+              "unknown node " << node);
+  return !complete_flag_[static_cast<std::size_t>(node)] &&
+         pending_[static_cast<std::size_t>(node)] == 0;
+}
+
+bool ReadySet::is_complete(int node) const {
+  GLP_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < pending_.size(),
+              "unknown node " << node);
+  return complete_flag_[static_cast<std::size_t>(node)];
+}
+
+std::vector<int> ReadySet::complete(int node) {
+  GLP_REQUIRE(is_ready(node), "node " << node << " is not ready");
+  const auto n = static_cast<std::size_t>(node);
+  complete_flag_[n] = true;
+  ++num_complete_;
+  ready_.erase(std::find(ready_.begin(), ready_.end(), node));
+  std::vector<int> newly_ready;
+  for (int consumer : consumers_[n]) {
+    if (--pending_[static_cast<std::size_t>(consumer)] == 0) {
+      newly_ready.push_back(consumer);
+    }
+  }
+  // Consumers are ascending and ready_ was sorted, so a merge keeps it so.
+  for (int r : newly_ready) ready_.push_back(r);
+  std::sort(ready_.begin(), ready_.end());
+  return newly_ready;
+}
 
 int TaskGraph::add_task(std::string name, TaskFn fn, std::vector<int> deps,
                         int tenant) {
@@ -37,6 +139,28 @@ int TaskGraph::tenant(int task) const {
   return tasks_[static_cast<std::size_t>(task)].tenant;
 }
 
+std::vector<int> TaskGraph::consumers(int task) const {
+  GLP_REQUIRE(task >= 0 && task < size(), "unknown task " << task);
+  std::vector<int> out;
+  for (std::size_t id = static_cast<std::size_t>(task) + 1; id < tasks_.size();
+       ++id) {
+    const auto& deps = tasks_[id].deps;
+    if (std::find(deps.begin(), deps.end(), task) != deps.end()) {
+      out.push_back(static_cast<int>(id));
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> TaskGraph::dep_lists() const {
+  std::vector<std::vector<int>> deps;
+  deps.reserve(tasks_.size());
+  for (const Task& task : tasks_) deps.push_back(task.deps);
+  return deps;
+}
+
+std::vector<int> TaskGraph::waves() const { return wave_levels(dep_lists()); }
+
 std::vector<gpusim::StreamId> TaskGraph::run(
     scuda::Context& ctx, const std::vector<gpusim::StreamId>& pool,
     kern::ComputeMode mode) {
@@ -45,6 +169,15 @@ std::vector<gpusim::StreamId> TaskGraph::run(
   // Event recorded after each task, created lazily on first cross-stream use.
   std::vector<gpusim::EventId> done_event(tasks_.size(), 0);
   std::vector<bool> has_event(tasks_.size(), false);
+  // Tasks with at least one consumer might feed a cross-stream edge and
+  // get a completion event recorded right after their kernels; sinks
+  // never need one.
+  std::vector<bool> has_consumer(tasks_.size(), false);
+  for (const Task& task : tasks_) {
+    for (int dep : task.deps) {
+      has_consumer[static_cast<std::size_t>(dep)] = true;
+    }
+  }
   std::size_t next_rr = 0;
   const int ambient_tenant = ctx.device().current_tenant();
 
@@ -83,12 +216,13 @@ std::vector<gpusim::StreamId> TaskGraph::run(
     task.fn(launcher);
     ctx.device().set_current_tenant(ambient_tenant);
 
-    // Record a completion event only if a later task on another stream
-    // might need it. We cannot know yet, so record for every task that has
-    // at least one consumer... consumers are not known either (edges point
-    // backwards). Record unconditionally — event records are cheap ops.
-    done_event[id] = ctx.device().record_event(stream);
-    has_event[id] = true;
+    // Record a completion event only for tasks some later task consumes —
+    // a consumer placed on another stream will wait on it; sinks (and the
+    // graph's last tasks) skip the record entirely.
+    if (has_consumer[id]) {
+      done_event[id] = ctx.device().record_event(stream);
+      has_event[id] = true;
+    }
   }
   return placement;
 }

@@ -19,6 +19,59 @@
 
 namespace glp4nn {
 
+// --- DAG utilities ----------------------------------------------------------
+// Free functions over an adjacency list `deps` (deps[i] lists the
+// predecessors of node i, each < i — the build-in-topological-order
+// representation TaskGraph and the DAG planner share).
+
+/// Consumer (forward) adjacency: consumers(deps)[p] lists every node that
+/// depends on p, in ascending order.
+std::vector<std::vector<int>> task_consumers(
+    const std::vector<std::vector<int>>& deps);
+
+/// Is `order` a permutation of [0, n) that visits every node after all of
+/// its dependencies?
+bool is_topological_order(const std::vector<std::vector<int>>& deps,
+                          const std::vector<int>& order);
+
+/// Longest-path level of each node (roots are wave 0). Nodes in the same
+/// wave are pairwise independent along the longest-path axis and give the
+/// classic wavefront schedule.
+std::vector<int> wave_levels(const std::vector<std::vector<int>>& deps);
+
+/// Dense transitive closure: reach[a][b] is true iff a == b or there is a
+/// directed path a → b. Quadratic memory — DAGs here are layer graphs
+/// (tens of nodes), not kernel graphs.
+std::vector<std::vector<bool>> task_reachability(
+    const std::vector<std::vector<int>>& deps);
+
+/// Incremental ready-set tracker: feed completions, read which nodes have
+/// every dependency satisfied. The runtime scheduler uses it to validate
+/// issue orders; tests use it to enumerate legal schedules.
+class ReadySet {
+ public:
+  explicit ReadySet(const std::vector<std::vector<int>>& deps);
+
+  /// Nodes whose dependencies are all complete and which have not been
+  /// completed themselves, in ascending order.
+  const std::vector<int>& ready() const { return ready_; }
+  bool is_ready(int node) const;
+  bool is_complete(int node) const;
+  std::size_t num_complete() const { return num_complete_; }
+  bool all_complete() const { return num_complete_ == pending_.size(); }
+
+  /// Mark `node` complete (must be ready). Returns the nodes that became
+  /// ready as a result, in ascending order.
+  std::vector<int> complete(int node);
+
+ private:
+  std::vector<std::vector<int>> consumers_;
+  std::vector<int> pending_;  ///< outstanding dependency count per node
+  std::vector<bool> complete_flag_;
+  std::vector<int> ready_;
+  std::size_t num_complete_ = 0;
+};
+
 class TaskGraph {
  public:
   /// A task launches its kernels through the provided launcher.
@@ -37,6 +90,14 @@ class TaskGraph {
   const std::vector<int>& deps(int task) const;
   /// Tenant tag the task was added with (-1: untagged).
   int tenant(int task) const;
+
+  /// Tasks that depend on `task` (cross-layer edges point forward here).
+  std::vector<int> consumers(int task) const;
+  /// Dependency adjacency for the whole graph (deps(i) for every i) — the
+  /// shape the free DAG utilities above consume.
+  std::vector<std::vector<int>> dep_lists() const;
+  /// Longest-path wave of each task (see wave_levels).
+  std::vector<int> waves() const;
 
   /// Execute the graph over `pool` (stream ids on `ctx`). Tasks are issued
   /// in id order; edges are enforced with events. Returns the stream each

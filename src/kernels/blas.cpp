@@ -68,6 +68,60 @@ std::uint64_t sgemm_bias_fused(const Launcher& launcher, int m, int n, int k,
   });
 }
 
+std::uint64_t sgemm_bias_relu_fused(const Launcher& launcher, int m, int n,
+                                    int k, const float* a, int lda,
+                                    const float* b, int ldb, const float* bias,
+                                    float* c, int ldc, float negative_slope) {
+  const GemmTile tile = select_gemm_tile(m, n);
+  LaunchConfig cfg;
+  cfg.grid = Dim3{blocks_for(static_cast<std::uint64_t>(n), static_cast<unsigned>(tile.tile_n)),
+                  blocks_for(static_cast<std::uint64_t>(m), static_cast<unsigned>(tile.tile_m)), 1};
+  cfg.block = Dim3{tile.threads, 1, 1};
+  cfg.regs_per_thread = tile.regs + 6;  // bias + activation epilogue
+  cfg.smem_static_bytes = tile.smem;
+
+  KernelCost cost;
+  cost.flops = 2.0 * m * n * k + 2.0 * static_cast<double>(m) * n;
+  cost.bytes = 4.0 * (static_cast<double>(m) * k + static_cast<double>(k) * n +
+                      static_cast<double>(m) + 2.0 * static_cast<double>(m) * n);
+
+  const std::string name =
+      glp::strformat("sgemm_bias_relu_fused_%s_nn", tile.tag);
+  const std::size_t count = static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
+  return launcher.launch(name, cfg, cost, [=] {
+    cpu::gemm(false, false, m, n, k, 1.0f, a, lda, b, ldb, 0.0f, c, ldc);
+    cpu::add_bias(m, n, bias, c);
+    cpu::relu_forward(count, c, c, negative_slope);
+  });
+}
+
+std::uint64_t ip_bias_relu_fused(const Launcher& launcher, int m, int n, int k,
+                                 const float* a, int lda, const float* b,
+                                 int ldb, const float* ones, const float* bias,
+                                 float* c, int ldc, float negative_slope) {
+  const GemmTile tile = select_gemm_tile(m, n);
+  LaunchConfig cfg;
+  cfg.grid = Dim3{blocks_for(static_cast<std::uint64_t>(n), static_cast<unsigned>(tile.tile_n)),
+                  blocks_for(static_cast<std::uint64_t>(m), static_cast<unsigned>(tile.tile_m)), 1};
+  cfg.block = Dim3{tile.threads, 1, 1};
+  cfg.regs_per_thread = tile.regs + 6;  // bias + activation epilogue
+  cfg.smem_static_bytes = tile.smem;
+
+  KernelCost cost;
+  cost.flops = 2.0 * m * n * k + 3.0 * static_cast<double>(m) * n;
+  cost.bytes = 4.0 * (static_cast<double>(m) * k + static_cast<double>(k) * n +
+                      static_cast<double>(m) + static_cast<double>(n) +
+                      2.0 * static_cast<double>(m) * n);
+
+  const std::string name = glp::strformat("ip_bias_relu_fused_%s_tn", tile.tag);
+  const std::size_t count = static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
+  return launcher.launch(name, cfg, cost, [=] {
+    cpu::gemm(false, true, m, n, k, 1.0f, a, lda, b, ldb, 0.0f, c, ldc);
+    cpu::gemm(false, false, m, n, 1, 1.0f, ones, 1, bias, n, 1.0f, c, ldc);
+    cpu::relu_forward(count, c, c, negative_slope);
+  });
+}
+
 std::uint64_t sgemv(const Launcher& launcher, bool trans_a, int m, int n,
                     float alpha, const float* a, int lda, const float* x,
                     float beta, float* y) {

@@ -56,6 +56,28 @@ std::uint64_t sgemm_bias_fused(const Launcher& launcher, int m, int n, int k,
                                const float* a, int lda, const float* b, int ldb,
                                const float* bias, float* c, int ldc);
 
+/// sgemm_bias_fused with a ReLU epilogue: C = relu(A·B + bias), where
+/// relu keeps `negative_slope`·x for negative x (leaky variant). Used by
+/// the DAG scheduler's elementwise-fusion pass to absorb an in-place
+/// activation that immediately follows a conv/fc GEMM. The epilogue is
+/// elementwise, so applying it per GEMM region produces bit-identical
+/// results to a separate whole-blob activation kernel. Assumes the C
+/// region is contiguous (ldc == n), like the bias epilogue.
+std::uint64_t sgemm_bias_relu_fused(const Launcher& launcher, int m, int n,
+                                    int k, const float* a, int lda,
+                                    const float* b, int ldb, const float* bias,
+                                    float* c, int ldc, float negative_slope);
+
+/// Fused inner-product forward with ReLU epilogue, one launch for
+/// C = relu(A·Bᵀ + ones·bias): the batched fc GEMM, its rank-1 bias
+/// GEMM, and the following in-place activation. The functor runs the
+/// exact same three host ops the unfused path runs, in the same order,
+/// so results are bit-identical.
+std::uint64_t ip_bias_relu_fused(const Launcher& launcher, int m, int n, int k,
+                                 const float* a, int lda, const float* b,
+                                 int ldb, const float* ones, const float* bias,
+                                 float* c, int ldc, float negative_slope);
+
 /// SGD with momentum: h = momentum*h + lr*grad; param -= h.
 std::uint64_t sgd_update(const Launcher& launcher, std::size_t count, float lr,
                          float momentum, const float* grad, float* history,

@@ -17,6 +17,7 @@
 //    then round-robins.
 
 #include <string>
+#include <vector>
 
 #include "simcuda/context.hpp"
 
@@ -34,6 +35,45 @@ enum class ComputeMode {
 struct Lane {
   gpusim::StreamId stream = gpusim::kDefaultStream;
   int lane = 0;
+};
+
+/// One node of an inter-operator dependency DAG handed to plan_dag().
+/// Ops are listed in the order the host will issue them (a topological
+/// order by construction); `deps` reference earlier ops only.
+struct DagOp {
+  /// Dispatch-scope name the op will open ("" for ops that launch their
+  /// kernels directly, e.g. whole-batch elementwise layers). Used by
+  /// DAG-aware schedulers to plan concurrent scope groups.
+  std::string scope;
+  std::vector<int> deps;
+};
+
+/// Where plan_dag() placed one op. `chain` groups ops that share a home
+/// stream (same-chain edges are free — stream FIFO covers them); `slot`
+/// and `num_slots` describe the stream-pool slice the op's scope may
+/// expand into without colliding with concurrently running scopes.
+struct DagPlacement {
+  gpusim::StreamId stream = gpusim::kDefaultStream;
+  int chain = 0;
+  int slot = 0;
+  int num_slots = 1;
+  /// Scope names of other ops that may execute concurrently with this
+  /// one (neither reaches the other in the DAG). Empty for non-scope ops
+  /// and under serial planning.
+  std::vector<std::string> concurrent_scopes;
+};
+
+/// Ambient binding for the DAG op the host is about to issue. Set with
+/// bind_dag_op() before the op's launches, cleared with clear_dag_op()
+/// after: scoped layers then fork from / join to `home_stream` instead of
+/// the device-wide default barrier, and expand into slot-sliced pools.
+struct DagOpBinding {
+  gpusim::StreamId home_stream = gpusim::kDefaultStream;
+  int slot = 0;
+  int num_slots = 1;
+  /// Scope names of ops that may run concurrently with this one (used by
+  /// DAG-aware schedulers to size heterogeneous concurrent pools jointly).
+  std::vector<std::string> concurrent_scopes;
 };
 
 class KernelDispatcher {
@@ -54,6 +94,24 @@ class KernelDispatcher {
   /// Close the scope, enforcing that later work (on any stream) observes
   /// all of the scope's kernels. Asynchronous — no host round trip.
   virtual void end_scope() = 0;
+
+  // --- inter-operator DAG scheduling (optional capability) -----------------
+  // Dispatchers that cannot overlap independent operators keep the serial
+  // defaults: every op lands on the default stream in issue order, which
+  // trivially respects every edge (the host issues ops in topological
+  // order and the default stream is FIFO).
+
+  /// Plan stream placement for a whole op DAG. Returns one placement per
+  /// op. The default places everything on one default-stream chain.
+  virtual std::vector<DagPlacement> plan_dag(const std::vector<DagOp>& ops) {
+    return std::vector<DagPlacement>(ops.size());
+  }
+
+  /// Install the ambient binding for the next issued op. No-op by default.
+  virtual void bind_dag_op(const DagOpBinding& binding) { (void)binding; }
+
+  /// Drop the ambient DAG-op binding. No-op by default.
+  virtual void clear_dag_op() {}
 };
 
 /// Naive-Caffe baseline: a single in-order queue (the default stream).

@@ -14,11 +14,32 @@
 
 namespace kern {
 
+/// Staging buffer for transparent launch coalescing (the DAG scheduler's
+/// elementwise-chain fusion pass). While armed on a Launcher, launch()
+/// *stages* each kernel instead of submitting it; the owner then merges
+/// the staged entries into one combined launch whose functor runs every
+/// staged functor in order. Running the same functors in the same order
+/// on the same buffers is bit-identical to the unfused FIFO execution —
+/// only the number of simulated launches (and their overhead) changes.
+struct FusionStager {
+  struct Staged {
+    std::string name;
+    gpusim::LaunchConfig config;
+    gpusim::KernelCost cost;
+    gpusim::DeviceEngine::WorkFn work;
+  };
+  bool armed = false;
+  std::vector<Staged> staged;
+};
+
 struct Launcher {
   scuda::Context* ctx = nullptr;
   gpusim::StreamId stream = gpusim::kDefaultStream;
   ComputeMode mode = ComputeMode::kNumeric;
   std::string name_prefix;
+  /// When set and armed, launches are staged for coalescing instead of
+  /// being submitted (see FusionStager).
+  FusionStager* fuser = nullptr;
 
   Launcher with_stream(gpusim::StreamId s) const {
     Launcher l = *this;
@@ -46,6 +67,13 @@ struct Launcher {
                        gpusim::DeviceEngine::WorkFn work) const {
     const std::string full =
         name_prefix.empty() ? kernel_name : name_prefix + "/" + kernel_name;
+    if (fuser != nullptr && fuser->armed) {
+      fuser->staged.push_back(
+          {full, config, cost,
+           mode == ComputeMode::kNumeric ? std::move(work)
+                                         : gpusim::DeviceEngine::WorkFn()});
+      return 0;  // no correlation id — the merged launch gets one
+    }
     const gpusim::StreamId target =
         ctx->faults().should_fail_launch() ? gpusim::kDefaultStream : stream;
     return ctx->device().launch_kernel(

@@ -6,6 +6,9 @@
 // "GLP4NN-Caffe vs naive-Caffe" comparisons are run — everything else is
 // bit-identical.
 
+#include <map>
+#include <string>
+
 #include "common/rng.hpp"
 #include "kernels/dispatch.hpp"
 #include "kernels/launcher.hpp"
@@ -31,7 +34,30 @@ struct ExecContext {
   /// launched on. Serving gives each in-flight batch its own home stream
   /// so batches overlap; training keeps the legacy default stream.
   gpusim::StreamId home_stream = gpusim::kDefaultStream;
+  /// Inter-operator DAG scheduling: Net::forward/backward route through a
+  /// NetDag that overlaps independent layer ops (inception branches) on
+  /// concurrent stream chains instead of issuing layers serially.
+  bool dag_schedule = false;
+  /// Elementwise-chain fusion pass of the DAG scheduler: absorb in-place
+  /// activations into the producing GEMM (ReLU epilogue) and coalesce
+  /// runs of single-launch elementwise layers into one launch. Only read
+  /// when dag_schedule is set.
+  bool dag_fusion = true;
+  /// Armed by the NetDag fusion pass around a coalesced elementwise chain
+  /// (see kern::FusionStager). Layers stay oblivious.
+  kern::FusionStager* fuser = nullptr;
+  /// Producer layers whose GEMM absorbs the following in-place ReLU
+  /// (layer name → the ReLU's negative_slope). Owned by the NetDag.
+  const std::map<std::string, float>* fused_relu_epilogues = nullptr;
   glp::Rng rng{0x5eedULL};
+
+  /// Negative slope of the ReLU this layer's GEMM should apply as an
+  /// epilogue, or nullptr when none was fused in.
+  const float* relu_epilogue(const std::string& layer) const {
+    if (fused_relu_epilogues == nullptr) return nullptr;
+    auto it = fused_relu_epilogues->find(layer);
+    return it == fused_relu_epilogues->end() ? nullptr : &it->second;
+  }
 
   kern::Launcher launcher() const { return launcher(home_stream); }
 
@@ -40,6 +66,7 @@ struct ExecContext {
     l.ctx = ctx;
     l.stream = stream;
     l.mode = mode;
+    l.fuser = fuser;
     return l;
   }
 

@@ -78,6 +78,12 @@ void ConvolutionLayer::forward(const std::vector<Blob*>& bottom,
   const int spatial = out_h_ * out_w_;
   const std::size_t bottom_stride = bottom[0]->sample_size();
   const std::size_t top_stride = top[0]->sample_size();
+  // DAG fusion pass: the in-place ReLU that consumes this layer's top is
+  // absorbed as a GEMM epilogue (its own forward is skipped). The
+  // epilogue is elementwise over each per-sample, per-group output
+  // region, and those regions tile the top blob exactly once — so the
+  // result is bit-identical to a separate whole-blob activation kernel.
+  const float* relu_slope = ec_->relu_epilogue(spec_.name);
 
   ec_->dispatcher->begin_scope(spec_.name + "/fwd", static_cast<std::size_t>(num_));
   for (int n = 0; n < num_; ++n) {
@@ -96,7 +102,12 @@ void ConvolutionLayer::forward(const std::vector<Blob*>& bottom,
       const float* col_g = col + static_cast<std::size_t>(g) * kernel_dim_ * spatial;
       float* top_g = top_data + static_cast<std::size_t>(n) * top_stride +
                      static_cast<std::size_t>(g) * group_out * spatial;
-      if (ec_->fuse_conv_bias && p.bias_term) {
+      if (relu_slope != nullptr && p.bias_term) {
+        kern::sgemm_bias_relu_fused(
+            L, group_out, spatial, kernel_dim_, w_g, kernel_dim_, col_g,
+            spatial, bias + static_cast<std::size_t>(g) * group_out, top_g,
+            spatial, *relu_slope);
+      } else if (ec_->fuse_conv_bias && p.bias_term) {
         kern::sgemm_bias_fused(L, group_out, spatial, kernel_dim_, w_g,
                                kernel_dim_, col_g, spatial,
                                bias + static_cast<std::size_t>(g) * group_out,

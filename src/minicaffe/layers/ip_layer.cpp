@@ -66,6 +66,17 @@ void InnerProductLayer::forward(const std::vector<Blob*>& bottom,
   }
 
   const kern::Launcher L = launcher("fwd");
+  // DAG fusion pass: absorb the following in-place ReLU (and the bias
+  // GEMM) into one launch; the functor runs the identical host ops in the
+  // identical order, so the results are bit-exact.
+  const float* relu_slope = ec_->relu_epilogue(spec_.name);
+  if (relu_slope != nullptr && p.bias_term) {
+    kern::ip_bias_relu_fused(L, num_, p.num_output, dim_, bottom[0]->data(),
+                             dim_, param_blobs_[0]->data(), dim_, ones_.data(),
+                             param_blobs_[1]->data(), top[0]->mutable_data(),
+                             p.num_output, *relu_slope);
+    return;
+  }
   // top [N x Co] = bottom [N x dim] * W^T ([Co x dim] transposed)
   kern::sgemm(L, false, true, num_, p.num_output, dim_, 1.0f, bottom[0]->data(),
               dim_, param_blobs_[0]->data(), dim_, 0.0f, top[0]->mutable_data(),

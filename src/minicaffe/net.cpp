@@ -8,6 +8,7 @@
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "kernels/cpu_math.hpp"
+#include "minicaffe/net_dag.hpp"
 
 namespace mc {
 
@@ -15,7 +16,10 @@ Net::Net(NetSpec spec, ExecContext& ec) : spec_(std::move(spec)), ec_(&ec) {
   GLP_REQUIRE(ec_->ctx != nullptr && ec_->dispatcher != nullptr,
               "ExecContext must provide a device context and a dispatcher");
   build();
+  if (ec_->dag_schedule) dag_ = std::make_unique<NetDag>(*this);
 }
+
+Net::~Net() = default;
 
 void Net::build() {
   std::map<std::string, std::shared_ptr<Blob>> shared_params;
@@ -143,12 +147,20 @@ void Net::check_consumer_contract() const {
 }
 
 void Net::forward() {
+  if (dag_ != nullptr) {
+    dag_->forward();
+    return;
+  }
   for (std::size_t li = 0; li < layers_.size(); ++li) {
     layers_[li]->forward(bottoms_[li], tops_[li]);
   }
 }
 
 void Net::backward() {
+  if (dag_ != nullptr) {
+    dag_->backward();
+    return;
+  }
   GLP_REQUIRE(!ec_->inference,
               "Net::backward is unavailable in inference mode: the net was "
               "built forward-only (no gradient buffers)");

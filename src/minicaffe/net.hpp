@@ -16,6 +16,8 @@
 
 namespace mc {
 
+class NetDag;
+
 struct NetSpec {
   std::string name;
   std::vector<LayerSpec> layers;
@@ -24,14 +26,19 @@ struct NetSpec {
 class Net {
  public:
   Net(NetSpec spec, ExecContext& ec);
+  ~Net();
   Net(const Net&) = delete;
   Net& operator=(const Net&) = delete;
 
-  /// Launch the whole forward pass (asynchronous — no host sync).
+  /// Launch the whole forward pass (asynchronous — no host sync). Routes
+  /// through the DAG executor when ExecContext::dag_schedule is set.
   void forward();
   /// Launch the backward pass. Synchronises the device first so host-side
   /// gradient zeroing cannot race pending kernels.
   void backward();
+
+  /// DAG executor, or nullptr when ExecContext::dag_schedule is off.
+  NetDag* dag() { return dag_.get(); }
 
   /// Synchronises, then returns Σ loss_weight · loss over loss layers.
   float total_loss();
@@ -63,6 +70,8 @@ class Net {
   std::string summary() const;
 
  private:
+  friend class NetDag;
+
   void build();
   void check_consumer_contract() const;
 
@@ -76,6 +85,7 @@ class Net {
   std::map<std::string, bool> blob_needs_grad_;
   std::vector<std::shared_ptr<Blob>> learnable_params_;
   std::vector<std::pair<Layer*, float>> loss_layers_;
+  std::unique_ptr<NetDag> dag_;
 };
 
 }  // namespace mc

@@ -7,6 +7,7 @@
 #include "core/glp4nn.hpp"
 #include "kernels/dispatch.hpp"
 #include "minicaffe/net.hpp"
+#include "minicaffe/net_dag.hpp"
 #include "minicaffe/solver.hpp"
 #include "simcuda/context.hpp"
 
@@ -296,6 +297,7 @@ EngineDiffResult run_engine_differential(const FuzzCase& c,
     mc::ExecContext ec;
     ec.ctx = &ctx;
     ec.dispatcher = &engine.scheduler_for(ctx);
+    ec.dag_schedule = opts.dag_schedule;
     out[run] = train(ec, c);
     timelines[run] = ctx.device().timeline();
   }
@@ -342,6 +344,192 @@ EngineDiffResult run_engine_differential(const FuzzCase& c,
   }
   r.kernels_compared = timelines[0].kernels().size();
   r.copies_compared = timelines[0].copies().size();
+  return r;
+}
+
+namespace {
+
+std::vector<ScheduledOp> to_checker_ops(
+    const std::vector<mc::NetDag::ScheduledOp>& in) {
+  std::vector<ScheduledOp> out;
+  out.reserve(in.size());
+  for (const mc::NetDag::ScheduledOp& op : in) {
+    out.push_back(ScheduledOp{op.prefix, op.stream, op.deps});
+  }
+  return out;
+}
+
+}  // namespace
+
+DagDiffResult run_dag_differential(const FuzzCase& c, const DiffOptions& opts) {
+  DagDiffResult r;
+  r.bit_exact_expected = bit_exact_contract(c.net, c.options);
+
+  const bool arm = opts.faults.launch_failure_rate > 0.0 ||
+                   opts.faults.stream_create_failure_rate > 0.0 ||
+                   opts.faults.capture_loss_rate > 0.0;
+
+  // --- serial baseline (fault-free serial dispatch, serial issue) -------
+  RunOutput serial;
+  {
+    scuda::Context ctx(c.device);
+    kern::SerialDispatcher dispatcher(ctx);
+    mc::ExecContext ec;
+    ec.ctx = &ctx;
+    ec.dispatcher = &dispatcher;
+    serial = train(ec, c);
+  }
+
+  // --- chain-only GLP run (faults armed, DAG issue off) -----------------
+  RunOutput chain;
+  {
+    scuda::Context ctx(c.device);
+    if (arm) {
+      scuda::FaultConfig faults = opts.faults;
+      faults.seed ^= c.seed * 0x9e3779b97f4a7c15ULL;
+      ctx.faults().arm(faults);
+    }
+    glp4nn::Glp4nnEngine engine(c.options);
+    mc::ExecContext ec;
+    ec.ctx = &ctx;
+    ec.dispatcher = &engine.scheduler_for(ctx);
+    chain = train(ec, c);
+  }
+
+  // --- DAG GLP run (same derived fault seed, DAG scheduling + fusion) ---
+  RunOutput dag;
+  {
+    scuda::Context ctx(c.device);
+    if (arm) {
+      scuda::FaultConfig faults = opts.faults;
+      faults.seed ^= c.seed * 0x9e3779b97f4a7c15ULL;
+      ctx.faults().arm(faults);
+    }
+    if (opts.check_timeline) ctx.device().timeline().set_enabled(true);
+
+    glp4nn::Glp4nnEngine engine(c.options);
+    mc::ExecContext ec;
+    ec.ctx = &ctx;
+    ec.dispatcher = &engine.scheduler_for(ctx);
+    ec.dag_schedule = true;
+
+    mc::Net net(c.net, ec);
+    mc::SgdSolver solver(net, {});
+    solver.step(c.iters,
+                [&](int, float loss) { dag.losses.push_back(loss); });
+    ctx.device().synchronize();
+    for (const auto& p : net.learnable_params()) {
+      const float* d = p->data();
+      dag.params.insert(dag.params.end(), d, d + p->count());
+    }
+
+    r.launch_faults = ctx.faults().launch_faults();
+    r.stream_faults = ctx.faults().stream_create_faults();
+    r.serial_fallback_scopes =
+        engine.scheduler_for(ctx).serial_fallback_count();
+
+    const std::vector<mc::NetDag::Op>& fops = net.dag()->forward_ops();
+    for (std::size_t i = 0; i < fops.size(); ++i) {
+      if (fops[i].absorbed) ++r.relu_epilogues;
+      if (fops[i].fused_head == static_cast<int>(i)) ++r.fused_chains;
+    }
+
+    if (opts.check_timeline) {
+      r.races = check_timeline(ctx.device().timeline(), c.device);
+      // Replay one clean pass at a time on an emptied timeline: spans from
+      // different training iterations would otherwise aggregate, and every
+      // edge whose consumer ran in iteration 0 before the producer's last
+      // iteration ended would look violated.
+      gpusim::Timeline& tl = ctx.device().timeline();
+      tl.clear();
+      net.forward();
+      ctx.device().synchronize();
+      r.forward_schedule =
+          check_op_schedule(tl, to_checker_ops(net.dag()->forward_schedule()));
+      tl.clear();
+      net.backward();
+      ctx.device().synchronize();
+      r.backward_schedule =
+          check_op_schedule(tl, to_checker_ops(net.dag()->backward_schedule()));
+    }
+  }
+
+  r.serial_losses = serial.losses;
+  r.chain_losses = chain.losses;
+  r.dag_losses = dag.losses;
+
+  auto fail = [&](const std::string& what) {
+    if (r.ok) {
+      r.ok = false;
+      r.failure = what;
+    }
+  };
+
+  if (serial.losses.size() != dag.losses.size() ||
+      chain.losses.size() != dag.losses.size() ||
+      serial.params.size() != dag.params.size() ||
+      chain.params.size() != dag.params.size()) {
+    std::ostringstream os;
+    os << "shape mismatch: losses " << serial.losses.size() << "/"
+       << chain.losses.size() << "/" << dag.losses.size() << ", params "
+       << serial.params.size() << "/" << chain.params.size() << "/"
+       << dag.params.size();
+    fail(os.str());
+    return r;
+  }
+
+  auto compare = [&](const RunOutput& base, const char* label, bool& bits,
+                     double& max_param_diff) {
+    bits = true;
+    for (std::size_t i = 0; i < base.losses.size(); ++i) {
+      bits = bits && same_bits(base.losses[i], dag.losses[i]);
+      if (!r.bit_exact_expected &&
+          !close_enough(base.losses[i], dag.losses[i], opts.loss_rtol,
+                        opts.loss_atol)) {
+        std::ostringstream os;
+        os << "loss diverged vs " << label << " at iter " << i << ": "
+           << base.losses[i] << " vs dag=" << dag.losses[i];
+        fail(os.str());
+      }
+    }
+    for (std::size_t i = 0; i < base.params.size(); ++i) {
+      const double diff =
+          std::abs(static_cast<double>(base.params[i]) - dag.params[i]);
+      if (diff == diff) max_param_diff = std::max(max_param_diff, diff);
+      bits = bits && same_bits(base.params[i], dag.params[i]);
+    }
+    if (r.bit_exact_expected && !bits) {
+      std::ostringstream os;
+      os << "bit-exact contract violated vs " << label << " (max param diff "
+         << max_param_diff << ")";
+      fail(os.str());
+    }
+    if (!r.bit_exact_expected && max_param_diff > opts.param_tol) {
+      std::ostringstream os;
+      os << "parameters diverged vs " << label << ": max diff "
+         << max_param_diff << " > " << opts.param_tol;
+      fail(os.str());
+    }
+  };
+  compare(serial, "serial", r.serial_bits_match, r.max_param_diff_serial);
+  compare(chain, "chain-only", r.chain_bits_match, r.max_param_diff_chain);
+
+  if (!r.races.clean()) {
+    std::ostringstream os;
+    os << r.races.violations.size()
+       << " timeline ordering violation(s); first: ["
+       << kind_name(r.races.violations.front().kind) << "] "
+       << r.races.violations.front().detail;
+    fail(os.str());
+  }
+  if (!r.forward_schedule.clean()) {
+    fail("forward op-schedule violated: " +
+         r.forward_schedule.violations.front().detail);
+  }
+  if (!r.backward_schedule.clean()) {
+    fail("backward op-schedule violated: " +
+         r.backward_schedule.violations.front().detail);
+  }
   return r;
 }
 

@@ -36,6 +36,11 @@ struct DiffOptions {
   double loss_rtol = 1e-2;
   double loss_atol = 1e-4;
   double param_tol = 5e-2;
+  /// Route the GLP runs of run_engine_differential through the NetDag
+  /// executor (inter-operator DAG scheduling + fusion) instead of the
+  /// serial layer loop. run_dag_differential ignores this — it always
+  /// compares DAG against both non-DAG baselines.
+  bool dag_schedule = false;
 };
 
 struct DiffResult {
@@ -94,5 +99,45 @@ struct EngineDiffResult {
 /// optimized loop must not change the simulation, only its wall-clock.
 EngineDiffResult run_engine_differential(const FuzzCase& c,
                                          const DiffOptions& opts = {});
+
+struct DagDiffResult {
+  bool ok = true;
+  std::string failure;  ///< first failure, human-readable ("" when ok)
+
+  bool bit_exact_expected = false;
+  bool serial_bits_match = false;  ///< serial baseline vs DAG run
+  bool chain_bits_match = false;   ///< chain-only GLP vs DAG run
+  double max_param_diff_serial = 0.0;
+  double max_param_diff_chain = 0.0;
+  std::vector<float> serial_losses;
+  std::vector<float> chain_losses;
+  std::vector<float> dag_losses;
+
+  RaceReport races;  ///< stream-ordering invariants, full DAG-run timeline
+  /// One clean (post-training) forward / backward pass replayed against
+  /// the NetDag's op DAG: no op's kernel may start before every producer
+  /// op's kernel ended.
+  OpScheduleReport forward_schedule;
+  OpScheduleReport backward_schedule;
+
+  // Fusion accounting (DAG run, forward pass).
+  std::size_t relu_epilogues = 0;  ///< ReLUs absorbed into producer GEMMs
+  std::size_t fused_chains = 0;    ///< coalesced elementwise chains
+
+  // Fault accounting (DAG run).
+  std::size_t launch_faults = 0;
+  std::size_t stream_faults = 0;
+  std::size_t serial_fallback_scopes = 0;
+};
+
+/// Three-way DAG differential: trains the case (1) under serial dispatch,
+/// fault-free; (2) under the GLP scheduler with chain-only (non-DAG)
+/// issue, faults armed; (3) under the GLP scheduler with DAG scheduling
+/// and fusion, same faults armed. Requires DAG == serial AND DAG ==
+/// chain-only — bit-identical when the bit-exact contract applies,
+/// within tolerance otherwise — plus a clean race report and a clean
+/// op-schedule replay (when opts.check_timeline).
+DagDiffResult run_dag_differential(const FuzzCase& c,
+                                   const DiffOptions& opts = {});
 
 }  // namespace glpfuzz

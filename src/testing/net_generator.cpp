@@ -100,6 +100,37 @@ std::string add_activation(Builder& b, glp::Rng& rng, const std::string& bottom,
   return in_place ? bottom : name;
 }
 
+/// A stride-1, same-padded conv for inception branches: spatial size is
+/// preserved so any set of sibling branches can merge afterwards.
+std::string add_branch_conv(Builder& b, glp::Rng& rng, const std::string& bottom,
+                            Shape& shape, int num_output) {
+  const std::string name = b.fresh("bconv");
+  mc::LayerSpec& layer = b.add("Convolution", name, {bottom}, {name});
+  mc::LayerParams& p = layer.params;
+  p.num_output = num_output;
+  p.kernel_size = shape.h >= 3 && shape.w >= 3 && chance(rng, 0.6) ? 3 : 1;
+  p.pad = p.kernel_size / 2;
+  p.stride = 1;
+  p.weight_filler = random_weight_filler(rng);
+  p.bias_filler = mc::FillerSpec::constant(chance(rng, 0.5) ? 0.0f : 0.05f);
+  shape.c = num_output;
+  return name;
+}
+
+/// An in-place ReLU directly after a conv — the GEMM-epilogue fusion shape.
+std::string add_relu(Builder& b, glp::Rng& rng, const std::string& bottom) {
+  const std::string name = b.fresh("relu");
+  mc::LayerSpec& layer = b.add("ReLU", name, {bottom}, {bottom});
+  if (chance(rng, 0.3)) layer.params.negative_slope = 0.1f;
+  return bottom;
+}
+
+/// A run of stacked elementwise activations — chain-coalescing fodder.
+std::string add_act_chain(Builder& b, glp::Rng& rng, std::string cur, int len) {
+  for (int i = 0; i < len; ++i) cur = add_activation(b, rng, cur, true);
+  return cur;
+}
+
 }  // namespace
 
 mc::NetSpec random_net(glp::Rng& rng, const NetGenOptions& options) {
@@ -303,6 +334,112 @@ mc::NetSpec random_inference_net(glp::Rng& rng, const NetGenOptions& options) {
   return std::move(b.spec);
 }
 
+mc::NetSpec random_dag_net(glp::Rng& rng, const NetGenOptions& options) {
+  Builder b;
+  b.spec.name = "dag_fuzz";
+
+  // --- data ---------------------------------------------------------------
+  mc::DatasetSpec dataset;
+  dataset.name = "random";
+  dataset.num_classes = pick(rng, {2, 3, 5, 10});
+  dataset.channels = pick(rng, {1, 3});
+  dataset.height = pick(rng, {6, 8, 10});
+  dataset.width = chance(rng, 0.8) ? dataset.height : pick(rng, {6, 8, 10});
+  dataset.train_size = 128;
+  dataset.noise = 0.3f;
+  dataset.shuffle = chance(rng, 0.25);
+
+  const int batch = std::min(options.max_batch,
+                             pick(rng, {4, 8, 12, 16, 24, 32, 33, 40, 48}));
+  mc::LayerSpec& data = b.add("Data", "data", {}, {"data", "label"});
+  data.params.dataset = dataset;
+  data.params.batch_size = batch;
+
+  Shape shape{dataset.channels, dataset.height, dataset.width};
+  std::string cur = "data";
+
+  // --- stem: a conv (with optional epilogue-shaped ReLU) so even the
+  // narrowest sample has scoped, fusable layers before the first fan-out.
+  cur = add_branch_conv(b, rng, cur, shape, pick(rng, {4, 6, 8}));
+  if (chance(rng, 0.6)) cur = add_relu(b, rng, cur);
+
+  // --- inception units ----------------------------------------------------
+  const int units = chance(rng, 0.6) ? 2 : 1;
+  std::string aux_tap;
+  for (int u = 0; u < units; ++u) {
+    const int max_b = std::clamp(options.max_branches, 2, 6);
+    const int width =
+        2 + static_cast<int>(rng.next_below(
+                static_cast<std::uint64_t>(max_b - 1)));
+    if (width == 2 && chance(rng, 0.35)) {
+      // Diamond skip: Eltwise(cur, f(cur)). The transformed path keeps the
+      // channel count so the sum always shapes; the pass-through edge makes
+      // `cur` a two-consumer blob, which the conflict tracker must fan out.
+      Shape sb = shape;
+      std::string tr = add_branch_conv(b, rng, cur, sb, shape.c);
+      if (chance(rng, 0.7)) tr = add_relu(b, rng, tr);
+      if (chance(rng, 0.4)) tr = add_act_chain(b, rng, tr, pick(rng, {2, 3}));
+      const std::string merged = b.fresh("sum");
+      mc::LayerSpec& merge = b.add("Eltwise", merged, {cur, tr}, {merged});
+      merge.params.eltwise = mc::EltwiseOp::kSum;
+      cur = merged;
+    } else {
+      // Wide fan-out: `width` independent conv branches merged by Concat.
+      std::vector<std::string> tops;
+      int channels = 0;
+      for (int br = 0; br < width; ++br) {
+        Shape sb = shape;
+        std::string t = add_branch_conv(b, rng, cur, sb, pick(rng, {4, 6, 8}));
+        if (chance(rng, 0.65)) t = add_relu(b, rng, t);
+        if (chance(rng, 0.3)) {
+          t = add_branch_conv(b, rng, t, sb, sb.c);
+          if (chance(rng, 0.5)) t = add_relu(b, rng, t);
+        }
+        if (chance(rng, 0.3)) t = add_act_chain(b, rng, t, pick(rng, {2, 3}));
+        tops.push_back(t);
+        channels += sb.c;
+      }
+      const std::string merged = b.fresh("cat");
+      mc::LayerSpec& merge = b.add("Concat", merged, std::move(tops), {merged});
+      merge.params.axis = 1;
+      shape.c = channels;
+      cur = merged;
+    }
+    // Post-merge elementwise chain: the producer (Concat/Eltwise) is not an
+    // epilogue host, so this exercises pure launch coalescing.
+    if (chance(rng, 0.3)) cur = add_act_chain(b, rng, cur, pick(rng, {2, 3}));
+    if (u + 1 < units && shape.h >= 4 && shape.w >= 4 && chance(rng, 0.5)) {
+      const std::string name = b.fresh("pool");
+      mc::LayerSpec& layer = b.add("Pooling", name, {cur}, {name});
+      layer.params.pool =
+          chance(rng, 0.5) ? mc::PoolMethod::kMax : mc::PoolMethod::kAve;
+      layer.params.kernel_size = 2;
+      layer.params.stride = 2;
+      shape.h = (shape.h - 2 + 1) / 2 + 1;
+      shape.w = (shape.w - 2 + 1) / 2 + 1;
+      cur = name;
+    }
+    if (u == 0) aux_tap = cur;
+  }
+
+  // --- heads: main classifier plus (sometimes) a GoogLeNet-style auxiliary
+  // loss from the first unit — two loss ops with no dependency between
+  // them, i.e. parallel sinks in the backward DAG.
+  if (chance(rng, 0.4)) {
+    mc::LayerSpec& aip = b.add("InnerProduct", "aux_ip", {aux_tap}, {"aux_ip"});
+    aip.params.num_output = dataset.num_classes;
+    aip.params.weight_filler = random_weight_filler(rng);
+    mc::LayerSpec& aloss =
+        b.add("SoftmaxWithLoss", "aux_loss", {"aux_ip", "label"}, {"aux_loss"});
+    aloss.params.loss_weight = 0.3f;
+  }
+  mc::LayerSpec& ip = b.add("InnerProduct", "ip_head", {cur}, {"ip_head"});
+  ip.params.num_output = dataset.num_classes;
+  ip.params.weight_filler = random_weight_filler(rng);
+  b.add("SoftmaxWithLoss", "loss", {"ip_head", "label"}, {"loss"});
+  return std::move(b.spec);
+}
+
 gpusim::DeviceProps random_device(glp::Rng& rng) {
   const std::vector<gpusim::DeviceProps> catalogue = gpusim::DeviceTable::all();
   gpusim::DeviceProps d =
@@ -343,8 +480,9 @@ FuzzCase make_case(std::uint64_t seed, const NetGenOptions& options) {
   glp::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x1234567ULL);
   FuzzCase c;
   c.seed = seed;
-  c.net = random_net(rng, options);
-  c.net.name = "fuzz_" + std::to_string(seed);
+  c.dag = options.dag_corpus;
+  c.net = c.dag ? random_dag_net(rng, options) : random_net(rng, options);
+  c.net.name = (c.dag ? "dagfuzz_" : "fuzz_") + std::to_string(seed);
   c.device = random_device(rng);
   c.options = random_scheduler_options(rng);
   c.iters = chance(rng, 0.7) ? 2 : 3;
@@ -364,7 +502,7 @@ std::string FuzzCase::summary() const {
      << (options.policy == glp4nn::DispatchPolicy::kRoundRobin ? "rr" : "bc")
      << " strict=" << (options.strict_repro ? 1 : 0)
      << " fixed=" << options.fixed_streams << " max=" << options.max_streams
-     << " iters=" << iters;
+     << " iters=" << iters << (dag ? " dag=1" : "");
   return os.str();
 }
 

@@ -25,6 +25,11 @@ struct NetGenOptions {
   bool allow_branches = true;  ///< inception-style branch + Concat/Eltwise
   bool allow_deconv = true;
   int max_batch = 64;
+  /// DAG-scheduling corpus: generate with random_dag_net (wide inception
+  /// fan-outs, diamond skips, elementwise chains, auxiliary losses)
+  /// instead of the mostly-linear random_net body.
+  bool dag_corpus = false;
+  int max_branches = 4;  ///< inception fan-out width (dag corpus only)
 };
 
 /// A random, valid, topologically-sorted training net: Data → random
@@ -40,6 +45,15 @@ mc::NetSpec random_net(glp::Rng& rng, const NetGenOptions& options = {});
 /// it per replica anyway, but partial batches get exercised either way.
 mc::NetSpec random_inference_net(glp::Rng& rng,
                                  const NetGenOptions& options = {});
+
+/// A random *branchy* training net for the DAG scheduler: GoogLeNet-style
+/// inception units (2..max_branches parallel conv branches merged by
+/// Concat), diamond skips (Eltwise sum of a transformed and a pass-through
+/// path), in-place ReLUs directly after convs (GEMM-epilogue fusion
+/// candidates), runs of stacked elementwise activations (chain-coalescing
+/// candidates), and sometimes an auxiliary loss head (parallel losses).
+/// Always topologically sorted; batch sizes straddle the 32-slot boundary.
+mc::NetSpec random_dag_net(glp::Rng& rng, const NetGenOptions& options = {});
 
 /// A random device: one of the catalogue GPUs with perturbed SM count,
 /// per-SM thread/smem/block limits, concurrency degree, bandwidths and
@@ -58,6 +72,7 @@ struct FuzzCase {
   gpusim::DeviceProps device;
   glp4nn::SchedulerOptions options;
   int iters = 2;  ///< training iterations per run
+  bool dag = false;  ///< sampled from the dag corpus (random_dag_net)
 
   /// One-line human-readable description for logs.
   std::string summary() const;

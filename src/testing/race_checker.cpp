@@ -34,6 +34,7 @@ const char* kind_name(RaceViolation::Kind kind) {
     case RaceViolation::Kind::kDefaultBarrierBefore: return "default-barrier-before";
     case RaceViolation::Kind::kDefaultBarrierAfter: return "default-barrier-after";
     case RaceViolation::Kind::kConcurrencyCap: return "concurrency-cap";
+    case RaceViolation::Kind::kDagOrderViolation: return "dag-order";
   }
   return "unknown";
 }
@@ -161,6 +162,105 @@ RaceReport check_timeline(const gpusim::Timeline& timeline,
         << props.name << "' allows " << props.max_concurrent_kernels;
       flag(RaceViolation::Kind::kConcurrencyCap, *e.op, e.ts, d.str());
     }
+  }
+
+  return report;
+}
+
+std::string OpScheduleReport::to_string() const {
+  std::ostringstream os;
+  for (const RaceViolation& v : violations) {
+    os << "[" << kind_name(v.kind) << "] corr=" << v.correlation_id
+       << " stream=" << v.stream << " t=" << v.ts_ns << "ns: " << v.detail
+       << "\n";
+  }
+  return os.str();
+}
+
+OpScheduleReport check_op_schedule(const gpusim::Timeline& timeline,
+                                   const std::vector<ScheduledOp>& ops) {
+  OpScheduleReport report;
+
+  // Attribute every kernel to the (single) op whose prefix it carries.
+  struct Span {
+    bool any = false;
+    double min_start = 0.0;
+    double max_end = 0.0;
+    // Earliest-starting kernel, for violation reporting.
+    std::uint64_t first_corr = 0;
+    gpusim::StreamId first_stream = gpusim::kDefaultStream;
+    const std::string* first_name = nullptr;
+  };
+  std::vector<Span> spans(ops.size());
+  auto belongs = [](const std::string& name, const std::string& prefix) {
+    if (prefix.empty()) return false;
+    if (name.size() < prefix.size()) return false;
+    if (name.compare(0, prefix.size(), prefix) != 0) return false;
+    return name.size() == prefix.size() || name[prefix.size()] == '/';
+  };
+  for (const gpusim::KernelRecord& k : timeline.kernels()) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (!belongs(k.name, ops[i].prefix)) continue;
+      Span& s = spans[i];
+      if (!s.any || k.start_ns < s.min_start) {
+        s.first_corr = k.correlation_id;
+        s.first_stream = k.stream;
+        s.first_name = &k.name;
+        s.min_start = s.any ? std::min(s.min_start, k.start_ns) : k.start_ns;
+      }
+      s.max_end = s.any ? std::max(s.max_end, k.end_ns) : k.end_ns;
+      s.any = true;
+      break;  // prefixes are per-layer-pass and thus disjoint
+    }
+  }
+  for (const Span& s : spans) {
+    if (s.any) ++report.ops_matched;
+  }
+
+  // Edge check: the consumer's earliest kernel start must not precede any
+  // producer kernel's end. Vacuous when either side has no kernels.
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (!spans[i].any) continue;
+    for (int d : ops[i].deps) {
+      if (d < 0 || static_cast<std::size_t>(d) >= ops.size()) continue;
+      if (!spans[static_cast<std::size_t>(d)].any) continue;
+      ++report.edges_checked;
+      const Span& prod = spans[static_cast<std::size_t>(d)];
+      const Span& cons = spans[i];
+      if (cons.min_start < prod.max_end - kEpsNs) {
+        std::ostringstream det;
+        det << "op '" << ops[i].prefix << "' (" << *cons.first_name
+            << ") started at " << cons.min_start << " before producer op '"
+            << ops[static_cast<std::size_t>(d)].prefix << "' ended at "
+            << prod.max_end;
+        report.violations.push_back(
+            RaceViolation{RaceViolation::Kind::kDagOrderViolation,
+                          cons.first_corr, cons.first_stream, cons.min_start,
+                          det.str()});
+      }
+    }
+  }
+
+  // Op-level concurrency: how many op spans overlap at once. This is the
+  // branch parallelism the DAG scheduler achieved — a report, not a race.
+  struct Edge {
+    double ts;
+    int delta;
+  };
+  std::vector<Edge> sweep;
+  for (const Span& s : spans) {
+    if (!s.any) continue;
+    sweep.push_back(Edge{s.min_start, +1});
+    sweep.push_back(Edge{s.max_end, -1});
+  }
+  std::sort(sweep.begin(), sweep.end(), [](const Edge& a, const Edge& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    return a.delta < b.delta;
+  });
+  int resident = 0;
+  for (const Edge& e : sweep) {
+    resident += e.delta;
+    report.peak_op_concurrency = std::max(report.peak_op_concurrency, resident);
   }
 
   return report;

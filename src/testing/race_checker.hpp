@@ -17,6 +17,14 @@
 // Since per-sample task-lane work is serialised onto one stream by the
 // scheduler, invariant 3 subsumes "every kernel starts after its
 // same-sample predecessors".
+//
+// DAG-scheduled runs additionally tag kernels with their layer-op prefix
+// ("conv1/fwd/..."). check_op_schedule() replays a timeline against an
+// explicit op DAG: every kernel of a consumer op must start at or after
+// every kernel of each producer op ended. Concurrent sibling branches
+// overlap legitimately — overlap across ops is *concurrency*, reported
+// as peak_op_concurrency, not flagged as a race; only an edge violation
+// (consumer kernel starting before a producer kernel ended) is an error.
 
 #include <cstdint>
 #include <string>
@@ -36,6 +44,8 @@ struct RaceViolation {
     kDefaultBarrierBefore,  ///< stream-0 op started before earlier work ended
     kDefaultBarrierAfter,   ///< op started before preceding stream-0 op ended
     kConcurrencyCap,        ///< resident kernels exceeded the device limit
+    kDagOrderViolation,     ///< consumer-op kernel started before a producer
+                            ///< op's kernel ended
   };
 
   Kind kind;
@@ -65,5 +75,37 @@ RaceReport check_timeline(const gpusim::Timeline& timeline,
 
 /// One Chrome-trace instant marker per violation, for visual triage.
 std::vector<gpusim::TraceMarker> violation_markers(const RaceReport& report);
+
+/// One node of the op DAG a timeline is checked against. A kernel belongs
+/// to the op when its name equals `prefix` or starts with `prefix + "/"`
+/// (fused-chain kernels carry the head op's prefix; a ReLU absorbed as a
+/// GEMM epilogue contributes no kernels of its own and its span is
+/// vacuously ordered). `deps` index earlier entries of the same vector.
+struct ScheduledOp {
+  std::string prefix;
+  gpusim::StreamId stream = gpusim::kDefaultStream;
+  std::vector<int> deps;
+};
+
+struct OpScheduleReport {
+  std::vector<RaceViolation> violations;
+  std::size_t ops_matched = 0;  ///< ops with at least one kernel on the trace
+  std::size_t edges_checked = 0;
+  /// Max DAG ops simultaneously resident (both spans overlapping) — the
+  /// legitimate branch concurrency the DAG scheduler achieved.
+  int peak_op_concurrency = 0;
+
+  bool clean() const { return violations.empty(); }
+  std::string to_string() const;
+};
+
+/// Check a DAG-scheduled run: for every edge producer -> consumer, every
+/// consumer kernel must start at or after every producer kernel ended
+/// (regardless of which stream a kernel landed on — launch faults reroute
+/// kernels to the default stream, which is still ordering-safe). Ops with
+/// no kernels on the trace (data layers, absorbed/fused members) pass
+/// vacuously.
+OpScheduleReport check_op_schedule(const gpusim::Timeline& timeline,
+                                   const std::vector<ScheduledOp>& ops);
 
 }  // namespace glpfuzz

@@ -107,6 +107,51 @@ TEST(ConvergenceInvariance, ForwardPassBitIdenticalAnyStreams) {
   }
 }
 
+TEST(ConvergenceInvariance, GoogLeNetDagBitIdenticalUnderBothEngines) {
+  // Inter-operator DAG scheduling (branch overlap + fused elementwise
+  // chains) must leave training bit-identical to the serial baseline, on
+  // the optimized engine AND on ReferenceEngine (batch 8 ≤ 32 → the
+  // bit-exact branch of the contract applies unconditionally).
+  Env serial;
+  std::vector<float> serial_losses;
+  const auto serial_w = train_and_snapshot(
+      serial.ec, mc::models::googlenet_tail(8), 3, &serial_losses);
+
+  for (const gpusim::EngineKind kind :
+       {gpusim::EngineKind::kOptimized, gpusim::EngineKind::kReference}) {
+    scuda::Context ctx(gpusim::DeviceTable::p100(), kind);
+    glp4nn::Glp4nnEngine engine{glp4nn::SchedulerOptions{}};
+    mc::ExecContext ec;
+    ec.ctx = &ctx;
+    ec.dispatcher = &engine.scheduler_for(ctx);
+    ec.dag_schedule = true;
+    std::vector<float> dag_losses;
+    const auto dag_w = train_and_snapshot(
+        ec, mc::models::googlenet_tail(8), 3, &dag_losses);
+    EXPECT_EQ(serial_losses, dag_losses)
+        << (kind == gpusim::EngineKind::kOptimized ? "optimized" : "reference");
+    EXPECT_EQ(glptest::max_abs_diff(serial_w, dag_w), 0.0);
+  }
+}
+
+TEST(ConvergenceInvariance, DagFusionOffStillBitIdentical) {
+  // dag_fusion=false isolates the scheduling change from the fusion pass:
+  // plain DAG issue (no epilogues, no coalesced chains) must also match.
+  Env serial;
+  std::vector<float> serial_losses;
+  const auto serial_w = train_and_snapshot(
+      serial.ec, mc::models::googlenet_tail(8), 2, &serial_losses);
+
+  GlpEnv glp;
+  glp.ec.dag_schedule = true;
+  glp.ec.dag_fusion = false;
+  std::vector<float> dag_losses;
+  const auto dag_w = train_and_snapshot(
+      glp.ec, mc::models::googlenet_tail(8), 2, &dag_losses);
+  EXPECT_EQ(serial_losses, dag_losses);
+  EXPECT_EQ(glptest::max_abs_diff(serial_w, dag_w), 0.0);
+}
+
 TEST(Determinism, Glp4nnRunsAreRepeatable) {
   auto run = [] {
     GlpEnv glp;

@@ -137,6 +137,86 @@ TEST(RaceChecker, MarkersMirrorViolations) {
   EXPECT_NE(markers[0].name.find("stream-fifo"), std::string::npos);
 }
 
+gpusim::KernelRecord named_kernel(const std::string& name, std::uint64_t corr,
+                                  gpusim::StreamId stream, double start,
+                                  double end) {
+  gpusim::KernelRecord k = kernel(corr, stream, start, start, end);
+  k.name = name;
+  return k;
+}
+
+TEST(RaceChecker, OpScheduleAcceptsConcurrentSiblingBranches) {
+  // A diamond: a -> {b, c} -> d. b and c fully overlap on different
+  // streams — legitimate DAG concurrency, NOT a race.
+  gpusim::Timeline t;
+  t.set_enabled(true);
+  t.add_kernel(named_kernel("a/fwd/k0", 1, 1, 0, 100));
+  t.add_kernel(named_kernel("b/fwd/k0", 2, 1, 100, 200));
+  t.add_kernel(named_kernel("c/fwd/k0", 3, 2, 100, 210));
+  t.add_kernel(named_kernel("d/fwd/k0", 4, 1, 210, 300));
+  const std::vector<glpfuzz::ScheduledOp> ops = {
+      {"a/fwd", 1, {}},
+      {"b/fwd", 1, {0}},
+      {"c/fwd", 2, {0}},
+      {"d/fwd", 1, {1, 2}},
+  };
+  const glpfuzz::OpScheduleReport report = glpfuzz::check_op_schedule(t, ops);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_EQ(report.ops_matched, 4u);
+  EXPECT_EQ(report.edges_checked, 4u);
+  EXPECT_EQ(report.peak_op_concurrency, 2);  // b and c overlap
+}
+
+TEST(RaceChecker, OpScheduleFlagsConsumerStartingBeforeProducerEnded) {
+  gpusim::Timeline t;
+  t.set_enabled(true);
+  t.add_kernel(named_kernel("a/fwd/k0", 1, 1, 0, 100));
+  t.add_kernel(named_kernel("b/fwd/k0", 2, 2, 50, 150));  // a -> b violated
+  const std::vector<glpfuzz::ScheduledOp> ops = {
+      {"a/fwd", 1, {}},
+      {"b/fwd", 2, {0}},
+  };
+  const glpfuzz::OpScheduleReport report = glpfuzz::check_op_schedule(t, ops);
+  ASSERT_FALSE(report.clean());
+  EXPECT_EQ(report.violations.front().kind,
+            RaceViolation::Kind::kDagOrderViolation);
+  EXPECT_EQ(report.violations.front().correlation_id, 2u);
+}
+
+TEST(RaceChecker, OpScheduleKernellessOpsPassVacuously) {
+  // Absorbed / fused-away ops contribute no kernels; edges touching them
+  // are skipped, and a multi-kernel op's span is its min-start/max-end.
+  gpusim::Timeline t;
+  t.set_enabled(true);
+  t.add_kernel(named_kernel("a/fwd/k0", 1, 1, 0, 100));
+  t.add_kernel(named_kernel("a/fwd/k1", 2, 2, 10, 120));
+  t.add_kernel(named_kernel("c/fwd/k0", 3, 1, 120, 200));
+  const std::vector<glpfuzz::ScheduledOp> ops = {
+      {"a/fwd", 1, {}},
+      {"b/fwd", 1, {0}},  // no kernels on the trace
+      {"c/fwd", 1, {0, 1}},
+  };
+  const glpfuzz::OpScheduleReport report = glpfuzz::check_op_schedule(t, ops);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_EQ(report.ops_matched, 2u);
+  EXPECT_EQ(report.edges_checked, 1u);  // only a -> c is checkable
+}
+
+TEST(RaceChecker, OpSchedulePrefixMatchRespectsBoundaries) {
+  // "conv1/fwd" must not claim "conv10/fwd/..." kernels.
+  gpusim::Timeline t;
+  t.set_enabled(true);
+  t.add_kernel(named_kernel("conv10/fwd/k0", 1, 1, 0, 100));
+  t.add_kernel(named_kernel("conv1/fwd/k0", 2, 1, 100, 200));
+  const std::vector<glpfuzz::ScheduledOp> ops = {
+      {"conv1/fwd", 1, {}},
+  };
+  const glpfuzz::OpScheduleReport report = glpfuzz::check_op_schedule(t, ops);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.ops_matched, 1u);
+  EXPECT_EQ(report.peak_op_concurrency, 1);
+}
+
 TEST(RaceChecker, RealSchedulerTimelineIsClean) {
   // A real multi-stream training run must satisfy every invariant.
   glp4nn::SchedulerOptions opts;

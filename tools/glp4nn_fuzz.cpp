@@ -23,6 +23,13 @@
 //                        the optimized engine AND ReferenceEngine and
 //                        require bit-identical losses, parameters and
 //                        device timelines (the hot-path equivalence gate)
+//   --dag                sample the branchy DAG corpus (inception fan-outs,
+//                        diamond skips, fused elementwise chains) and run
+//                        the three-way DAG differential: DAG-vs-serial AND
+//                        DAG-vs-chain-only, plus an op-schedule replay of
+//                        one clean forward/backward pass. Combined with
+//                        --engine-compare, runs the engine-equivalence gate
+//                        with DAG scheduling enabled on both engines.
 //   --no-branches        linear nets only
 //   --no-timeline        skip timeline recording + race checking
 //   --trace <file>       Chrome trace of the last failing (or replayed)
@@ -62,6 +69,10 @@ struct Stats {
   std::size_t capture_drops = 0;
   std::size_t fallback_scopes = 0;
   int peak_concurrency = 0;
+  // DAG-mode accumulators.
+  std::size_t relu_epilogues = 0;
+  std::size_t fused_chains = 0;
+  int peak_op_concurrency = 0;
 };
 
 }  // namespace
@@ -78,6 +89,7 @@ int main(int argc, char** argv) {
   unsigned long long seed_arg = 1;
   std::string replay_arg;
   bool no_branches = false, no_timeline = false, engine_compare = false;
+  bool dag = false;
 
   glp::Flags flags("glp4nn_fuzz",
                    "Differential fuzzer for the GLP4NN runtime scheduler "
@@ -95,6 +107,9 @@ int main(int argc, char** argv) {
       .flag("engine-compare", &engine_compare,
             "compare optimized engine vs ReferenceEngine (bit-identical "
             "losses, params and timelines) instead of serial-vs-scheduler")
+      .flag("dag", &dag,
+            "branchy DAG corpus + three-way DAG differential (DAG vs "
+            "serial AND DAG vs chain-only, with op-schedule replay)")
       .flag("no-branches", &no_branches, "linear nets only")
       .flag("no-timeline", &no_timeline,
             "skip timeline recording + race checking")
@@ -122,6 +137,11 @@ int main(int argc, char** argv) {
   }
   if (no_branches) gen.allow_branches = false;
   if (no_timeline) diff.check_timeline = false;
+  if (dag) {
+    gen.dag_corpus = true;
+    // Under --engine-compare the DAG path runs inside the engine gate.
+    if (engine_compare) diff.dag_schedule = true;
+  }
   if (cases <= 0) fail(flags, "--cases must be positive");
   for (double rate : {diff.faults.launch_failure_rate,
                       diff.faults.stream_create_failure_rate,
@@ -157,8 +177,86 @@ int main(int argc, char** argv) {
         ++stats.failed;
         std::printf("FAIL %s\n     %s\n", c.summary().c_str(),
                     er.failure.c_str());
-        std::printf("     replay: %s --replay %llu --engine-compare\n",
-                    argv[0], static_cast<unsigned long long>(case_seed));
+        std::printf("     replay: %s --replay %llu --engine-compare%s\n",
+                    argv[0], static_cast<unsigned long long>(case_seed),
+                    dag ? " --dag" : "");
+      }
+      continue;
+    }
+
+    if (dag) {
+      glpfuzz::DagDiffResult dr;
+      try {
+        dr = glpfuzz::run_dag_differential(c, diff);
+      } catch (const std::exception& e) {
+        dr.ok = false;
+        dr.failure = std::string("exception: ") + e.what();
+      }
+
+      stats.launch_faults += dr.launch_faults;
+      stats.stream_faults += dr.stream_faults;
+      stats.fallback_scopes += dr.serial_fallback_scopes;
+      stats.relu_epilogues += dr.relu_epilogues;
+      stats.fused_chains += dr.fused_chains;
+      stats.peak_concurrency =
+          std::max(stats.peak_concurrency, dr.races.peak_concurrency);
+      stats.peak_op_concurrency =
+          std::max({stats.peak_op_concurrency,
+                    dr.forward_schedule.peak_op_concurrency,
+                    dr.backward_schedule.peak_op_concurrency});
+      (dr.bit_exact_expected ? stats.bit_exact : stats.tolerance) += 1;
+
+      if (dr.ok) {
+        ++stats.passed;
+        if (verbose) {
+          std::printf(
+              "PASS %s | %s, fused %zu chain(s) + %zu epilogue(s), "
+              "op-concurrency fwd=%d bwd=%d, %zu+%zu edges\n",
+              c.summary().c_str(),
+              dr.serial_bits_match && dr.chain_bits_match ? "bit-exact"
+                                                          : "tolerance",
+              dr.fused_chains, dr.relu_epilogues,
+              dr.forward_schedule.peak_op_concurrency,
+              dr.backward_schedule.peak_op_concurrency,
+              dr.forward_schedule.edges_checked,
+              dr.backward_schedule.edges_checked);
+        }
+      } else {
+        ++stats.failed;
+        std::printf("FAIL %s\n     %s\n", c.summary().c_str(),
+                    dr.failure.c_str());
+        if (!dr.races.clean()) std::fputs(dr.races.to_string().c_str(), stdout);
+        if (!dr.forward_schedule.clean()) {
+          std::fputs(dr.forward_schedule.to_string().c_str(), stdout);
+        }
+        if (!dr.backward_schedule.clean()) {
+          std::fputs(dr.backward_schedule.to_string().c_str(), stdout);
+        }
+        std::printf("     replay: %s --replay %llu --dag\n", argv[0],
+                    static_cast<unsigned long long>(case_seed));
+      }
+
+      // Trace dump of the DAG-scheduled run (same shape as the serial
+      // branch below, with ec.dag_schedule on).
+      if (!trace_path.empty() && (replay || !dr.ok)) {
+        const glpfuzz::FuzzCase again = glpfuzz::make_case(case_seed, gen);
+        scuda::Context ctx(again.device);
+        ctx.device().timeline().set_enabled(true);
+        glp4nn::Glp4nnEngine engine(again.options);
+        mc::ExecContext ec;
+        ec.ctx = &ctx;
+        ec.dispatcher = &engine.scheduler_for(ctx);
+        ec.dag_schedule = true;
+        mc::Net net(again.net, ec);
+        mc::SgdSolver solver(net, {});
+        solver.step(again.iters);
+        ctx.device().synchronize();
+        const glpfuzz::RaceReport report =
+            glpfuzz::check_timeline(ctx.device().timeline(), again.device);
+        gpusim::write_chrome_trace(ctx.device().timeline(),
+                                   glpfuzz::violation_markers(report),
+                                   trace_path);
+        std::printf("     trace written to %s\n", trace_path.c_str());
       }
       continue;
     }
@@ -232,6 +330,12 @@ int main(int argc, char** argv) {
         "%zu scope(s) degraded to serial\n",
         stats.launch_faults, stats.stream_faults, stats.capture_drops,
         stats.fallback_scopes);
+  }
+  if (dag && !engine_compare) {
+    std::printf(
+        "dag: %zu coalesced chain(s), %zu ReLU epilogue(s), peak op "
+        "concurrency %d\n",
+        stats.fused_chains, stats.relu_epilogues, stats.peak_op_concurrency);
   }
   return stats.failed == 0 ? 0 : 1;
 }
