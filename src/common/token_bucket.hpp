@@ -1,0 +1,58 @@
+#pragma once
+// Deterministic token bucket over an externally supplied clock. The
+// serving subsystem runs it on *simulated* nanoseconds, so QoS decisions
+// are reproducible: the same trace always sheds the same requests.
+//
+// Tokens refill continuously at `rate_per_sec` up to `burst` and each
+// admitted request costs one token. `try_take` is the whole API surface a
+// shed-first policy needs: a tenant whose bucket is dry is over its
+// contracted rate and loses first when the server is under pressure.
+
+#include "common/check.hpp"
+
+namespace glp {
+
+class TokenBucket {
+ public:
+  /// rate_per_sec <= 0 disables the bucket: try_take always succeeds.
+  TokenBucket(double rate_per_sec = 0.0, double burst = 1.0)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst) {
+    GLP_REQUIRE(burst_ >= 1.0, "token bucket burst must be >= 1");
+  }
+
+  bool enabled() const { return rate_ > 0.0; }
+  double rate_per_sec() const { return rate_; }
+  double burst() const { return burst_; }
+
+  /// Tokens available at time `now_ns` (clamped to the burst depth).
+  double available(double now_ns) {
+    refill(now_ns);
+    return tokens_;
+  }
+
+  /// Take one token if available. `now_ns` must be non-decreasing across
+  /// calls (a regressing clock would mint tokens twice).
+  bool try_take(double now_ns) {
+    if (!enabled()) return true;
+    refill(now_ns);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+ private:
+  void refill(double now_ns) {
+    if (now_ns > last_ns_) {
+      tokens_ += (now_ns - last_ns_) * 1e-9 * rate_;
+      if (tokens_ > burst_) tokens_ = burst_;
+      last_ns_ = now_ns;
+    }
+  }
+
+  double rate_ = 0.0;
+  double burst_ = 1.0;
+  double tokens_ = 1.0;
+  double last_ns_ = 0.0;
+};
+
+}  // namespace glp

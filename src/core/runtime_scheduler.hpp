@@ -87,6 +87,11 @@ class RuntimeScheduler final : public kern::KernelDispatcher {
   kern::Lane task_lane(std::size_t index) override;
   int max_lanes() const override;
   void end_scope() override;
+  /// Steady scopes may be lane-coalesced (kern::CoalescingDispatcher):
+  /// the pool decision is already cached and the tracker is not watching.
+  /// Profiling scopes must stay launch-for-launch visible so the
+  /// analytical model sees real per-kernel records.
+  bool scope_coalescable() const override { return mode_ == Mode::kSteady; }
 
   // --- inter-operator DAG scheduling ---------------------------------------
   /// Plan a whole op DAG onto concurrent stream chains: ops inherit their

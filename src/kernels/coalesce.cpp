@@ -1,0 +1,97 @@
+#include "kernels/coalesce.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace kern {
+
+namespace {
+
+/// Merged-launch functor: runs every staged functor in staging order —
+/// the same host ops on the same buffers in the same order as the
+/// unfused per-stream FIFO execution.
+struct LaneChainRunner {
+  std::vector<gpusim::DeviceEngine::WorkFn> fns;
+  void operator()() {
+    for (auto& fn : fns) {
+      if (fn) fn();
+    }
+  }
+};
+
+}  // namespace
+
+void CoalescingDispatcher::begin_scope(const std::string& scope,
+                                       std::size_t num_tasks) {
+  inner_->begin_scope(scope, num_tasks);
+  GLP_CHECK(!coalescer_.armed && coalescer_.groups.empty());
+  scope_ = scope;
+  // Ask *after* the inner begin_scope: the scheduler only knows whether
+  // this run profiles or runs steady once the scope is open.
+  coalescer_.armed = inner_->scope_coalescable();
+}
+
+void CoalescingDispatcher::flush() {
+  gpusim::DeviceEngine& dev = ctx_->device();
+  for (LaneCoalescer::Group& g : coalescer_.groups) {
+    GLP_CHECK(!g.staged.empty());
+    // Same degraded-launch semantics as kern::Launcher: a failed merged
+    // launch re-issues on the legacy default stream (a two-sided
+    // barrier), preserving global submission order.
+    const gpusim::StreamId target = ctx_->faults().should_fail_launch()
+                                        ? gpusim::kDefaultStream
+                                        : g.stream;
+    if (g.staged.size() == 1) {
+      FusionStager::Staged& s = g.staged.front();
+      dev.launch_kernel(target, std::move(s.name), s.config, s.cost,
+                        std::move(s.work));
+      ++merged_launches_;
+      ++coalesced_kernels_;
+      continue;
+    }
+    gpusim::LaunchConfig cfg;
+    gpusim::KernelCost cost;
+    cfg.regs_per_thread = 0;
+    std::vector<gpusim::DeviceEngine::WorkFn> fns;
+    fns.reserve(g.staged.size());
+    bool any_work = false;
+    for (FusionStager::Staged& s : g.staged) {
+      cfg.grid.x = std::max(cfg.grid.x, s.config.grid.x);
+      cfg.grid.y = std::max(cfg.grid.y, s.config.grid.y);
+      cfg.grid.z = std::max(cfg.grid.z, s.config.grid.z);
+      cfg.block.x = std::max(cfg.block.x, s.config.block.x);
+      cfg.block.y = std::max(cfg.block.y, s.config.block.y);
+      cfg.block.z = std::max(cfg.block.z, s.config.block.z);
+      cfg.regs_per_thread =
+          std::max(cfg.regs_per_thread, s.config.regs_per_thread);
+      cfg.smem_static_bytes =
+          std::max(cfg.smem_static_bytes, s.config.smem_static_bytes);
+      cfg.smem_dynamic_bytes =
+          std::max(cfg.smem_dynamic_bytes, s.config.smem_dynamic_bytes);
+      cost.flops += s.cost.flops;
+      cost.bytes += s.cost.bytes;
+      any_work = any_work || static_cast<bool>(s.work);
+      fns.push_back(std::move(s.work));
+    }
+    const std::string name =
+        scope_ + "/coalesced" + std::to_string(g.staged.size());
+    dev.launch_kernel(
+        target, name, cfg, cost,
+        any_work ? gpusim::DeviceEngine::WorkFn(LaneChainRunner{std::move(fns)})
+                 : gpusim::DeviceEngine::WorkFn());
+    ++merged_launches_;
+    coalesced_kernels_ += g.staged.size();
+  }
+  coalescer_.groups.clear();
+}
+
+void CoalescingDispatcher::end_scope() {
+  coalescer_.armed = false;
+  // Flush before the inner end_scope so the scope's join barrier (events
+  // recorded on every pool stream) covers the merged launches.
+  flush();
+  inner_->end_scope();
+}
+
+}  // namespace kern

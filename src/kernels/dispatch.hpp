@@ -95,6 +95,14 @@ class KernelDispatcher {
   /// all of the scope's kernels. Asynchronous — no host round trip.
   virtual void end_scope() = 0;
 
+  /// True while the *current* scope may have its per-lane kernel chains
+  /// coalesced into one merged launch per stream (see
+  /// kern::CoalescingDispatcher). Default false; the GLP4NN scheduler
+  /// returns true only for steady (already-profiled) scopes — profiling
+  /// scopes need their individual kernels visible to the tracker, and the
+  /// serial/fixed baselines stay launch-for-launch honest.
+  virtual bool scope_coalescable() const { return false; }
+
   // --- inter-operator DAG scheduling (optional capability) -----------------
   // Dispatchers that cannot overlap independent operators keep the serial
   // defaults: every op lands on the default stream in issue order, which

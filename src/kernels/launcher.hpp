@@ -32,6 +32,36 @@ struct FusionStager {
   std::vector<Staged> staged;
 };
 
+/// Per-stream staging buffer for *lane coalescing* inside a parallel
+/// scope (see kern::CoalescingDispatcher). While armed, launch() stages
+/// each kernel under its target stream instead of submitting it; at
+/// end_scope the owner merges every stream's staged kernels into one
+/// combined launch per stream. Each lane's per-sample chain runs the
+/// same host functors in the same per-stream order as the unfused
+/// execution, so outputs are bit-identical — only the number of
+/// simulated launches (and the serial host overhead each one charges)
+/// changes. Groups keep first-use order so the flush submits streams in
+/// the order the scope first touched them.
+struct LaneCoalescer {
+  struct Group {
+    gpusim::StreamId stream = gpusim::kDefaultStream;
+    std::vector<FusionStager::Staged> staged;
+  };
+  bool armed = false;
+  std::vector<Group> groups;
+
+  void stage(gpusim::StreamId stream, FusionStager::Staged s) {
+    for (Group& g : groups) {
+      if (g.stream == stream) {
+        g.staged.push_back(std::move(s));
+        return;
+      }
+    }
+    groups.push_back(Group{stream, {}});
+    groups.back().staged.push_back(std::move(s));
+  }
+};
+
 struct Launcher {
   scuda::Context* ctx = nullptr;
   gpusim::StreamId stream = gpusim::kDefaultStream;
@@ -40,6 +70,10 @@ struct Launcher {
   /// When set and armed, launches are staged for coalescing instead of
   /// being submitted (see FusionStager).
   FusionStager* fuser = nullptr;
+  /// When set and armed (inside a coalescable scope), launches are staged
+  /// per target stream and merged at end_scope (see LaneCoalescer).
+  /// Checked after `fuser` — DAG elementwise fusion takes precedence.
+  LaneCoalescer* coalescer = nullptr;
 
   Launcher with_stream(gpusim::StreamId s) const {
     Launcher l = *this;
@@ -72,6 +106,14 @@ struct Launcher {
           {full, config, cost,
            mode == ComputeMode::kNumeric ? std::move(work)
                                          : gpusim::DeviceEngine::WorkFn()});
+      return 0;  // no correlation id — the merged launch gets one
+    }
+    if (coalescer != nullptr && coalescer->armed) {
+      coalescer->stage(
+          stream, {full, config, cost,
+                   mode == ComputeMode::kNumeric
+                       ? std::move(work)
+                       : gpusim::DeviceEngine::WorkFn()});
       return 0;  // no correlation id — the merged launch gets one
     }
     const gpusim::StreamId target =

@@ -46,6 +46,10 @@ struct ExecContext {
   /// Armed by the NetDag fusion pass around a coalesced elementwise chain
   /// (see kern::FusionStager). Layers stay oblivious.
   kern::FusionStager* fuser = nullptr;
+  /// Armed by a kern::CoalescingDispatcher inside coalescable scopes:
+  /// per-lane kernel chains are staged per stream and merged into one
+  /// launch per stream at end_scope. Layers stay oblivious.
+  kern::LaneCoalescer* coalescer = nullptr;
   /// Producer layers whose GEMM absorbs the following in-place ReLU
   /// (layer name → the ReLU's negative_slope). Owned by the NetDag.
   const std::map<std::string, float>* fused_relu_epilogues = nullptr;
@@ -67,6 +71,7 @@ struct ExecContext {
     l.stream = stream;
     l.mode = mode;
     l.fuser = fuser;
+    l.coalescer = coalescer;
     return l;
   }
 

@@ -18,6 +18,10 @@ struct InferenceRequest {
   /// Absolute deadline; requests still queued past it are dropped.
   /// 0 = no deadline.
   gpusim::SimTime deadline_ns = 0.0;
+  /// Deadline-aware admission downgraded this request: it is served
+  /// best-effort (never expired from the queue) but its original
+  /// deadline_ns is kept for SLO-attainment accounting.
+  bool downgraded = false;
   /// One input sample in the tenant model's shape. May be empty in
   /// timing-only replays.
   std::vector<float> input;
@@ -27,6 +31,7 @@ enum class Outcome {
   kServed,    ///< completed a forward pass
   kRejected,  ///< bounced at admission (queue full)
   kExpired,   ///< dropped from the queue at its deadline
+  kShed,      ///< dropped at admission by SLO-aware load shedding
 };
 
 inline const char* outcome_name(Outcome o) {
@@ -34,6 +39,7 @@ inline const char* outcome_name(Outcome o) {
     case Outcome::kServed: return "served";
     case Outcome::kRejected: return "rejected";
     case Outcome::kExpired: return "expired";
+    case Outcome::kShed: return "shed";
   }
   return "?";
 }
@@ -48,6 +54,7 @@ struct RequestRecord {
   gpusim::SimTime completion_ns = 0.0;  ///< batch completion event (served only)
   std::uint64_t batch_id = 0;
   int batch_size = 0;
+  bool downgraded = false;  ///< admitted best-effort past its SLO
   /// The request's output sample (numeric mode with keep_outputs only).
   std::vector<float> output;
 

@@ -1,5 +1,7 @@
 #include "serving/request_queue.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace serving {
@@ -8,48 +10,139 @@ RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
   GLP_REQUIRE(capacity_ >= 1, "request queue capacity must be positive");
 }
 
+std::uint32_t RequestQueue::alloc_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    return idx;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void RequestQueue::recycle_slot(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  s.live = false;
+  s.seq = 0;
+  s.req = InferenceRequest{};  // drop any input payload eagerly
+  free_.push_back(idx);
+}
+
 bool RequestQueue::push(InferenceRequest r) {
-  if (q_.size() >= capacity_) return false;
-  q_.push_back(std::move(r));
+  if (size_ >= capacity_) return false;
+  const std::uint32_t idx = alloc_slot();
+  Slot& s = slots_[idx];
+  s.seq = next_seq_++;
+  s.live = true;
+  const int tenant = r.tenant;
+  const gpusim::SimTime deadline = r.downgraded ? 0.0 : r.deadline_ns;
+  s.req = std::move(r);
+  TenantQ& tq = tenants_[tenant];
+  tq.handles.push_back(idx);
+  ++tq.live;
+  if (deadline > 0.0) deadlines_.push({deadline, s.seq, idx});
+  ++size_;
   return true;
 }
 
 std::size_t RequestQueue::count(int tenant) const {
-  std::size_t n = 0;
-  for (const InferenceRequest& r : q_) n += (r.tenant == tenant) ? 1 : 0;
-  return n;
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.live;
+}
+
+void RequestQueue::clean_front(TenantQ& tq) {
+  while (!tq.handles.empty() && !slots_[tq.handles.front()].live) {
+    recycle_slot(tq.handles.front());
+    tq.handles.pop_front();
+  }
+}
+
+const InferenceRequest* RequestQueue::oldest(int tenant) {
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || it->second.live == 0) return nullptr;
+  clean_front(it->second);
+  GLP_CHECK(!it->second.handles.empty());
+  return &slots_[it->second.handles.front()].req;
+}
+
+std::vector<int> RequestQueue::tenants_by_oldest() {
+  std::vector<std::pair<std::uint64_t, int>> order;
+  order.reserve(tenants_.size());
+  for (auto& [tenant, tq] : tenants_) {
+    if (tq.live == 0) continue;
+    clean_front(tq);
+    order.emplace_back(slots_[tq.handles.front()].seq, tenant);
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<int> out;
+  out.reserve(order.size());
+  for (const auto& [seq, tenant] : order) out.push_back(tenant);
+  return out;
+}
+
+void RequestQueue::clean_heap() const {
+  while (!deadlines_.empty()) {
+    const DeadlineEntry& top = deadlines_.top();
+    const Slot& s = slots_[top.slot];
+    if (s.live && s.seq == top.seq) return;
+    deadlines_.pop();
+  }
+}
+
+gpusim::SimTime RequestQueue::next_deadline() const {
+  clean_heap();
+  if (deadlines_.empty()) {
+    return std::numeric_limits<gpusim::SimTime>::infinity();
+  }
+  return deadlines_.top().deadline;
 }
 
 std::vector<InferenceRequest> RequestQueue::expire(gpusim::SimTime now) {
   std::vector<InferenceRequest> dropped;
-  for (auto it = q_.begin(); it != q_.end();) {
-    if (it->deadline_ns > 0.0 && it->deadline_ns <= now) {
-      dropped.push_back(std::move(*it));
-      it = q_.erase(it);
-    } else {
-      ++it;
-    }
+  for (;;) {
+    clean_heap();
+    if (deadlines_.empty() || deadlines_.top().deadline > now) break;
+    const DeadlineEntry top = deadlines_.top();
+    deadlines_.pop();
+    Slot& s = slots_[top.slot];
+    // Kill the slot but leave its tenant-deque handle in place; the
+    // handle is reclaimed lazily when the deque front reaches it.
+    s.live = false;
+    TenantQ& tq = tenants_[s.req.tenant];
+    GLP_CHECK(tq.live > 0);
+    --tq.live;
+    --size_;
+    dropped.push_back(std::move(s.req));
   }
+  // Heap pop order is (deadline, seq); cross-tenant deadline offsets can
+  // differ, so enforce arrival order explicitly.
+  std::sort(dropped.begin(), dropped.end(),
+            [](const InferenceRequest& a, const InferenceRequest& b) {
+              if (a.arrival_ns != b.arrival_ns) {
+                return a.arrival_ns < b.arrival_ns;
+              }
+              return a.id < b.id;
+            });
   return dropped;
 }
 
-gpusim::SimTime RequestQueue::next_deadline() const {
-  gpusim::SimTime t = std::numeric_limits<gpusim::SimTime>::infinity();
-  for (const InferenceRequest& r : q_) {
-    if (r.deadline_ns > 0.0 && r.deadline_ns < t) t = r.deadline_ns;
-  }
-  return t;
-}
-
-std::vector<InferenceRequest> RequestQueue::pop(int tenant, std::size_t max_n) {
+std::vector<InferenceRequest> RequestQueue::pop(int tenant,
+                                                std::size_t max_n) {
   std::vector<InferenceRequest> out;
-  for (auto it = q_.begin(); it != q_.end() && out.size() < max_n;) {
-    if (it->tenant == tenant) {
-      out.push_back(std::move(*it));
-      it = q_.erase(it);
-    } else {
-      ++it;
-    }
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return out;
+  TenantQ& tq = it->second;
+  while (out.size() < max_n && tq.live > 0) {
+    clean_front(tq);
+    const std::uint32_t idx = tq.handles.front();
+    tq.handles.pop_front();
+    Slot& s = slots_[idx];
+    GLP_CHECK(s.live);
+    s.live = false;
+    out.push_back(std::move(s.req));
+    recycle_slot(idx);
+    --tq.live;
+    --size_;
   }
   return out;
 }

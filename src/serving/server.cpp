@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <set>
 
 #include "common/check.hpp"
@@ -13,12 +14,25 @@ namespace {
 constexpr gpusim::SimTime kInf = std::numeric_limits<gpusim::SimTime>::infinity();
 }  // namespace
 
+double percentile_nearest_rank(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t n = sorted.size();
+  std::size_t rank =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
 InferenceServer::InferenceServer(scuda::Context& ctx,
                                  std::vector<TenantModel> models,
                                  ServerOptions opts)
     : ctx_(&ctx), opts_(std::move(opts)), models_(std::move(models)) {
   GLP_REQUIRE(!models_.empty(), "server needs at least one tenant model");
   GLP_REQUIRE(opts_.slots >= 1, "server needs at least one batch slot");
+  GLP_REQUIRE(opts_.admission.headroom > 0.0, "admission headroom must be > 0");
+  GLP_REQUIRE(opts_.admission.est_ewma > 0.0 && opts_.admission.est_ewma <= 1.0,
+              "admission est_ewma must be in (0,1]");
   // Slot assignment is stable (tenant % slots) to preserve per-tenant
   // FIFO, so slots beyond the tenant count can never be occupied — clamp
   // them away or they would needlessly shrink every tenant's pool slice.
@@ -48,12 +62,37 @@ InferenceServer::InferenceServer(scuda::Context& ctx,
     SessionOptions so;
     so.mode = opts_.mode;
     so.weights_path = models_[t].weights;
+    so.coalesce_lanes = opts_.coalesce_lanes;
     if (models_.size() > 1) so.name_prefix = "t" + std::to_string(t) + ":";
     sessions_.push_back(std::make_unique<InferenceSession>(
         *ctx_, *dispatcher_, models_[t].spec, so));
   }
 
+  build_shards();
+
   if (opts_.record_timeline) ctx_->device().timeline().set_enabled(true);
+}
+
+void InferenceServer::build_shards() {
+  const std::uint64_t stride = static_cast<std::uint64_t>(models_.size());
+  shards_.clear();
+  shards_.reserve(models_.size());
+  for (std::size_t t = 0; t < models_.size(); ++t) {
+    Shard sh;
+    sh.queue = std::make_unique<RequestQueue>(opts_.queue_capacity);
+    // Strided batch ids keep ids globally unique across per-tenant
+    // batchers (shard t mints t, t+T, t+2T, ...).
+    sh.batcher = std::make_unique<DynamicBatcher>(
+        opts_.batch, static_cast<std::uint64_t>(t), stride);
+    const TenantQos& qos = models_[t].qos;
+    if (qos.rate_rps > 0.0) {
+      const double burst = qos.burst > 0.0
+                               ? qos.burst
+                               : 2.0 * static_cast<double>(opts_.batch.max_batch);
+      sh.bucket = glp::TokenBucket(qos.rate_rps, burst);
+    }
+    shards_.push_back(std::move(sh));
+  }
 }
 
 std::size_t InferenceServer::total_replicas() const {
@@ -62,17 +101,20 @@ std::size_t InferenceServer::total_replicas() const {
   return n;
 }
 
+double InferenceServer::service_estimate_ns(int tenant) const {
+  return shards_.at(static_cast<std::size_t>(tenant)).est_ns;
+}
+
 void InferenceServer::warmup() {
   std::vector<int> sizes{1};
-  if (opts_.batch.enabled) {
-    const int top = replica_batch_for(opts_.batch.max_batch);
-    for (int b = 2; b <= top; b <<= 1) sizes.push_back(b);
-  }
+  const int top =
+      opts_.batch.enabled ? replica_batch_for(opts_.batch.max_batch) : 1;
+  for (int b = 2; b <= top; b <<= 1) sizes.push_back(b);
   gpusim::DeviceEngine& dev = ctx_->device();
   for (int t = 0; t < tenants(); ++t) {
     const int slot = t % opts_.slots;
     const gpusim::StreamId home = homes_[static_cast<std::size_t>(slot)].id();
-    for (int b : sizes) {
+    const auto run_once = [&](int b) {
       InferenceSession::Replica& r = sessions_[static_cast<std::size_t>(t)]
                                          ->checkout(b);
       if (sched_) {
@@ -85,8 +127,45 @@ void InferenceServer::warmup() {
       if (sched_) sched_->clear_tenant();
       dev.synchronize();
       sessions_[static_cast<std::size_t>(t)]->release(r);
+    };
+    for (int b : sizes) run_once(b);
+    // One extra steady run of the largest replica, timed on the simulated
+    // clock, seeds the admission feasibility estimate — the profiled
+    // first runs above include the one-time analysis charge and would
+    // wildly overestimate steady service.
+    const gpusim::SimTime before = dev.host_now();
+    run_once(top);
+    const gpusim::SimTime elapsed = dev.host_now() - before;
+    shards_[static_cast<std::size_t>(t)].est_ns =
+        elapsed / static_cast<double>(top);
+  }
+}
+
+std::optional<Outcome> InferenceServer::admit(Shard& shard, InferenceRequest& r,
+                                              gpusim::SimTime now) {
+  // 1. Rate contract: a dry bucket marks the tenant over budget; under
+  // queue pressure its requests shed first.
+  const bool in_budget = shard.bucket.try_take(now);
+  if (!in_budget) {
+    const double fill = static_cast<double>(shard.queue->size()) /
+                        static_cast<double>(shard.queue->capacity());
+    if (fill >= opts_.admission.shed_pressure) return Outcome::kShed;
+  }
+  // 2. SLO feasibility: predicted completion = backlog drained at the
+  // tenant's per-request service estimate, padded by the headroom factor.
+  if (opts_.admission.slo_aware && r.deadline_ns > 0.0 && shard.est_ns > 0.0) {
+    const double backlog = static_cast<double>(shard.queue->size() +
+                                               shard.inflight_reqs + 1);
+    const gpusim::SimTime predicted =
+        now + opts_.admission.headroom * shard.est_ns * backlog;
+    if (predicted > r.deadline_ns) {
+      if (!(opts_.admission.downgrade && in_budget)) return Outcome::kShed;
+      r.downgraded = true;  // served best-effort; never expires
     }
   }
+  // 3. Bounded queue.
+  if (!shard.queue->push(std::move(r))) return Outcome::kRejected;
+  return std::nullopt;
 }
 
 void InferenceServer::issue(Batch batch, gpusim::SimTime now) {
@@ -150,6 +229,7 @@ bool InferenceServer::reap(std::vector<RequestRecord>& records) {
       rec.outcome = Outcome::kServed;
       rec.arrival_ns = req.arrival_ns - t0_;
       rec.deadline_ns = req.deadline_ns > 0.0 ? req.deadline_ns - t0_ : 0.0;
+      rec.downgraded = req.downgraded;
       rec.issue_ns = it->issue_ns - t0_;
       rec.completion_ns = completion - t0_;
       rec.batch_id = it->batch.id;
@@ -160,6 +240,17 @@ bool InferenceServer::reap(std::vector<RequestRecord>& records) {
       }
       records.push_back(std::move(rec));
     }
+    // Feed the admission estimator: per-request service within this batch.
+    Shard& shard = shards_[static_cast<std::size_t>(it->batch.tenant)];
+    const std::size_t n = it->batch.requests.size();
+    GLP_CHECK(shard.inflight_reqs >= n);
+    shard.inflight_reqs -= n;
+    const double per_req =
+        (completion - it->issue_ns) / static_cast<double>(it->batch.size());
+    shard.est_ns = shard.est_ns <= 0.0
+                       ? per_req
+                       : shard.est_ns +
+                             opts_.admission.est_ewma * (per_req - shard.est_ns);
     sess.release(*it->replica);
     slot_busy_[static_cast<std::size_t>(it->slot)] = false;
     it = inflight_.erase(it);
@@ -206,10 +297,14 @@ std::vector<RequestRecord> InferenceServer::replay(
     if (r.deadline_ns > 0.0) r.deadline_ns += t0_;
   }
 
-  RequestQueue queue(opts_.queue_capacity);
-  DynamicBatcher batcher(opts_.batch);
   const auto slot_free = [this](int tenant) {
     return !slot_busy_[static_cast<std::size_t>(tenant % opts_.slots)];
+  };
+  const auto pending = [this]() {
+    for (const Shard& sh : shards_) {
+      if (!sh.queue->empty()) return true;
+    }
+    return false;
   };
 
   std::vector<RequestRecord> records;
@@ -217,7 +312,7 @@ std::vector<RequestRecord> InferenceServer::replay(
   std::size_t next = 0;
   int stalls = 0;
 
-  while (next < trace.size() || !queue.empty() || !inflight_.empty()) {
+  while (next < trace.size() || pending() || !inflight_.empty()) {
     const gpusim::SimTime now = dev.host_now();
     dev.advance_device_to(now);
     bool progressed = reap(records);
@@ -229,47 +324,73 @@ std::vector<RequestRecord> InferenceServer::replay(
       const int tenant = r.tenant;
       const gpusim::SimTime arrival = r.arrival_ns;
       const gpusim::SimTime deadline = r.deadline_ns;
-      if (!queue.push(std::move(r))) {
+      GLP_REQUIRE(tenant >= 0 && tenant < tenants(),
+                  "request " << id << " names unknown tenant " << tenant);
+      Shard& shard = shards_[static_cast<std::size_t>(tenant)];
+      if (const auto dropped = admit(shard, r, now)) {
         RequestRecord rec;
         rec.id = id;
         rec.tenant = tenant;
-        rec.outcome = Outcome::kRejected;
+        rec.outcome = *dropped;
         rec.arrival_ns = arrival - t0_;
         rec.deadline_ns = deadline > 0.0 ? deadline - t0_ : 0.0;
         records.push_back(std::move(rec));
       }
     }
 
-    for (InferenceRequest& r : queue.expire(now)) {
-      progressed = true;
-      RequestRecord rec;
-      rec.id = r.id;
-      rec.tenant = r.tenant;
-      rec.outcome = Outcome::kExpired;
-      rec.arrival_ns = r.arrival_ns - t0_;
-      rec.deadline_ns = r.deadline_ns > 0.0 ? r.deadline_ns - t0_ : 0.0;
-      records.push_back(std::move(rec));
+    for (Shard& shard : shards_) {
+      for (InferenceRequest& r : shard.queue->expire(now)) {
+        progressed = true;
+        RequestRecord rec;
+        rec.id = r.id;
+        rec.tenant = r.tenant;
+        rec.outcome = Outcome::kExpired;
+        rec.arrival_ns = r.arrival_ns - t0_;
+        rec.deadline_ns = r.deadline_ns > 0.0 ? r.deadline_ns - t0_ : 0.0;
+        records.push_back(std::move(rec));
+      }
     }
 
-    while (auto b = batcher.try_form(queue, now, slot_free)) {
-      progressed = true;
-      issue(std::move(*b), now);
+    // Cut batches across shards, oldest pending head first, so a tenant
+    // that shares its slot never starves a longer-waiting peer.
+    for (bool formed = true; formed;) {
+      formed = false;
+      std::vector<std::pair<gpusim::SimTime, int>> order;
+      order.reserve(shards_.size());
+      for (int t = 0; t < tenants(); ++t) {
+        Shard& shard = shards_[static_cast<std::size_t>(t)];
+        if (const InferenceRequest* head = shard.queue->oldest(t)) {
+          order.emplace_back(head->arrival_ns, t);
+        }
+      }
+      std::sort(order.begin(), order.end());
+      for (const auto& [arrival, t] : order) {
+        Shard& shard = shards_[static_cast<std::size_t>(t)];
+        while (auto b = shard.batcher->try_form(*shard.queue, now, slot_free)) {
+          shard.inflight_reqs += b->requests.size();
+          issue(std::move(*b), now);
+          progressed = true;
+          formed = true;
+        }
+      }
     }
 
     if (progressed) {
       stalls = 0;
       continue;
     }
-    if (next >= trace.size() && queue.empty() && inflight_.empty()) break;
+    if (next >= trace.size() && !pending() && inflight_.empty()) break;
 
     // Next host wake-up: the earliest of (next arrival, next queue
     // deadline, next batcher timeout, earliest in-flight completion).
     gpusim::SimTime next_t = kInf;
     if (next < trace.size()) next_t = std::min(next_t, trace[next].arrival_ns);
-    const gpusim::SimTime dl = queue.next_deadline();
-    if (dl > now) next_t = std::min(next_t, dl);
-    const gpusim::SimTime cut = batcher.next_cut_ns(queue);
-    if (cut > now) next_t = std::min(next_t, cut);
+    for (Shard& shard : shards_) {
+      const gpusim::SimTime dl = shard.queue->next_deadline();
+      if (dl > now) next_t = std::min(next_t, dl);
+      const gpusim::SimTime cut = shard.batcher->next_cut_ns(*shard.queue);
+      if (cut > now) next_t = std::min(next_t, cut);
+    }
 
     gpusim::SimTime wake = next_t;
     if (!inflight_.empty()) {
@@ -287,63 +408,125 @@ std::vector<RequestRecord> InferenceServer::replay(
   return records;
 }
 
-ServingStats InferenceServer::summarize(
-    const std::vector<RequestRecord>& records) {
-  ServingStats s;
-  s.offered = records.size();
+namespace {
+
+/// Shared accumulation for the overall and per-tenant summaries.
+struct StatsCore {
+  std::size_t offered = 0, served = 0, rejected = 0, expired = 0, shed = 0;
+  std::size_t downgraded = 0, deadline_misses = 0;
+  std::size_t with_deadline = 0, on_time = 0;
+  double sum_ms = 0.0, max_ms = 0.0;
   std::vector<double> lat;
-  double sum = 0.0;
   gpusim::SimTime first_arrival = kInf, last_completion = 0.0;
-  // Distinct ids, not max+1: callers routinely summarize filtered record
-  // sets (e.g. one tenant's slice of a replay) whose batch ids are
-  // sparse.
   std::set<std::uint64_t> batch_ids;
-  std::size_t batched_requests = 0;
-  for (const RequestRecord& r : records) {
+
+  void add(const RequestRecord& r) {
+    ++offered;
     first_arrival = std::min(first_arrival, r.arrival_ns);
+    if (r.deadline_ns > 0.0) ++with_deadline;
     switch (r.outcome) {
       case Outcome::kRejected:
-        ++s.rejected;
-        continue;
+        ++rejected;
+        return;
       case Outcome::kExpired:
-        ++s.expired;
-        continue;
+        ++expired;
+        return;
+      case Outcome::kShed:
+        ++shed;
+        return;
       case Outcome::kServed:
         break;
     }
-    ++s.served;
-    ++batched_requests;
+    ++served;
+    if (r.downgraded) ++downgraded;
     batch_ids.insert(r.batch_id);
-    if (r.deadline_ns > 0.0 && r.completion_ns > r.deadline_ns) {
-      ++s.deadline_misses;
+    if (r.deadline_ns > 0.0) {
+      if (r.completion_ns > r.deadline_ns) {
+        ++deadline_misses;
+      } else {
+        ++on_time;
+      }
     }
     last_completion = std::max(last_completion, r.completion_ns);
     const double ms = r.latency_ms();
     lat.push_back(ms);
-    sum += ms;
-    s.max_ms = std::max(s.max_ms, ms);
+    sum_ms += ms;
+    max_ms = std::max(max_ms, ms);
   }
-  if (!lat.empty()) {
-    std::sort(lat.begin(), lat.end());
-    const auto rank = [&](double q) {
-      const std::size_t i = static_cast<std::size_t>(
-          std::ceil(q * static_cast<double>(lat.size()))) ;
-      return lat[std::min(i == 0 ? 0 : i - 1, lat.size() - 1)];
-    };
-    s.p50_ms = rank(0.50);
-    s.p95_ms = rank(0.95);
-    s.p99_ms = rank(0.99);
-    s.mean_ms = sum / static_cast<double>(lat.size());
+
+  double slo_attainment() const {
+    if (with_deadline == 0) return 1.0;
+    return static_cast<double>(on_time) / static_cast<double>(with_deadline);
   }
-  if (!batch_ids.empty()) {
-    s.batches = batch_ids.size();
+  double throughput_rps() const {
+    if (served == 0 || last_completion <= first_arrival) return 0.0;
+    return static_cast<double>(served) /
+           ((last_completion - first_arrival) / 1e9);
+  }
+};
+
+}  // namespace
+
+ServingStats InferenceServer::summarize(
+    const std::vector<RequestRecord>& records) {
+  StatsCore all;
+  std::map<int, StatsCore> per_tenant;
+  for (const RequestRecord& r : records) {
+    all.add(r);
+    per_tenant[r.tenant].add(r);
+  }
+
+  ServingStats s;
+  s.offered = all.offered;
+  s.served = all.served;
+  s.rejected = all.rejected;
+  s.expired = all.expired;
+  s.shed = all.shed;
+  s.downgraded = all.downgraded;
+  s.deadline_misses = all.deadline_misses;
+  s.slo_attainment = all.slo_attainment();
+  if (!all.lat.empty()) {
+    std::sort(all.lat.begin(), all.lat.end());
+    s.p50_ms = percentile_nearest_rank(all.lat, 0.50);
+    s.p95_ms = percentile_nearest_rank(all.lat, 0.95);
+    s.p99_ms = percentile_nearest_rank(all.lat, 0.99);
+    s.mean_ms = all.sum_ms / static_cast<double>(all.lat.size());
+    s.max_ms = all.max_ms;
+  }
+  // Distinct ids, not max+1: callers routinely summarize filtered record
+  // sets (e.g. one tenant's slice of a replay) whose batch ids are
+  // sparse — and sharded batchers mint strided ids by design.
+  if (!all.batch_ids.empty()) {
+    s.batches = all.batch_ids.size();
     s.mean_batch =
-        static_cast<double>(batched_requests) / static_cast<double>(s.batches);
+        static_cast<double>(all.served) / static_cast<double>(s.batches);
   }
-  if (s.served > 0 && last_completion > first_arrival) {
-    s.makespan_ms = (last_completion - first_arrival) / gpusim::kMs;
-    s.throughput_rps =
-        static_cast<double>(s.served) / (s.makespan_ms / 1e3);
+  if (all.served > 0 && all.last_completion > all.first_arrival) {
+    s.makespan_ms = (all.last_completion - all.first_arrival) / gpusim::kMs;
+    s.throughput_rps = all.throughput_rps();
+  }
+
+  for (auto& [tenant, core] : per_tenant) {
+    TenantStats ts;
+    ts.tenant = tenant;
+    ts.offered = core.offered;
+    ts.served = core.served;
+    ts.rejected = core.rejected;
+    ts.expired = core.expired;
+    ts.shed = core.shed;
+    ts.downgraded = core.downgraded;
+    ts.deadline_misses = core.deadline_misses;
+    ts.slo_attainment = core.slo_attainment();
+    if (!core.lat.empty()) {
+      std::sort(core.lat.begin(), core.lat.end());
+      ts.p50_ms = percentile_nearest_rank(core.lat, 0.50);
+      ts.p95_ms = percentile_nearest_rank(core.lat, 0.95);
+      ts.p99_ms = percentile_nearest_rank(core.lat, 0.99);
+      ts.mean_ms = core.sum_ms / static_cast<double>(core.lat.size());
+      ts.max_ms = core.max_ms;
+    }
+    ts.throughput_rps = core.throughput_rps();
+    s.tenants.push_back(std::move(ts));
   }
   return s;
 }

@@ -1,25 +1,42 @@
 #pragma once
 // InferenceServer: the multi-tenant serving front end. Owns one
-// InferenceSession per tenant model, a shared bounded RequestQueue, a
-// DynamicBatcher, and `slots` concurrent in-flight batch slots — each
-// slot a dedicated home stream. Under the GLP4NN scheduler
-// (DispatchPolicy::kTenantSliced) every in-flight batch runs its
-// per-sample scopes on a disjoint slice of the stream pool and
-// forks/joins against its slot's home stream, so batches from different
-// tenants overlap on the device; the serial baseline funnels everything
-// through the default stream.
+// InferenceSession per tenant model, one *shard* per tenant — a bounded
+// RequestQueue, a DynamicBatcher, a token-bucket QoS meter and a service
+// time estimate, so tenants never contend on a shared queue — and
+// `slots` concurrent in-flight batch slots, each a dedicated home
+// stream. Under the GLP4NN scheduler (DispatchPolicy::kTenantSliced)
+// every in-flight batch runs its per-sample scopes on a disjoint slice
+// of the stream pool and forks/joins against its slot's home stream, so
+// batches from different tenants overlap on the device; the serial
+// baseline funnels everything through the default stream.
+//
+// Admission pipeline (per request, at enqueue time):
+//   1. token bucket — a tenant whose bucket is dry is over its contracted
+//      rate; under queue pressure (fill >= shed_pressure) its requests
+//      are shed first (Outcome::kShed);
+//   2. SLO feasibility — with admission.slo_aware, a deadline-carrying
+//      request whose predicted completion (backlog x the tenant's EWMA
+//      service estimate, padded by `headroom`) exceeds its deadline is
+//      shed at admission instead of served late — or, with
+//      admission.downgrade, admitted best-effort with the deadline
+//      stripped from expiry (still counted against SLO attainment);
+//   3. bounded queue — a full shard queue bounces the request
+//      (Outcome::kRejected).
 //
 // replay() is a deterministic single-threaded discrete-event loop over
 // simulated time: it admits trace arrivals, expires deadlines, cuts
-// batches, and uses DeviceEngine::advance_device_to lookahead to find batch
+// batches (continuously or on the windowed policy — see BatchMode), and
+// uses DeviceEngine::advance_device_to lookahead to find batch
 // completions without disturbing the host clock. Identical inputs give
-// identical schedules and bit-identical outputs.
+// identical schedules, identical shed/downgrade decisions and
+// bit-identical outputs.
 
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/token_bucket.hpp"
 #include "core/glp4nn.hpp"
 #include "serving/batcher.hpp"
 #include "serving/session.hpp"
@@ -27,22 +44,47 @@
 
 namespace serving {
 
+/// Per-tenant rate contract for the admission token bucket.
+struct TenantQos {
+  double rate_rps = 0.0;  ///< sustained budget; 0 = no contract (never dry)
+  double burst = 0.0;     ///< bucket depth in requests; 0 → 2*max_batch
+};
+
 struct TenantModel {
   std::string name;
   mc::NetSpec spec;
   int priority = 0;      ///< stream priority for the tenant's slice
   std::string weights;   ///< optional checkpoint path
+  TenantQos qos;         ///< admission rate contract (optional)
+};
+
+/// Deadline-aware admission policy (see the class comment).
+struct AdmissionOptions {
+  bool slo_aware = false;  ///< shed/downgrade provably-late requests
+  bool downgrade = false;  ///< downgrade (serve best-effort) instead of shed
+  double headroom = 1.2;   ///< safety factor on the service estimate
+  /// Shard-queue fill fraction above which over-budget tenants (dry
+  /// token bucket) are shed outright, deadline or not.
+  double shed_pressure = 0.75;
+  double est_ewma = 0.25;  ///< EWMA weight for the service estimate update
 };
 
 struct ServerOptions {
   BatchPolicy batch;
+  AdmissionOptions admission;
   int slots = 4;                    ///< concurrent in-flight batch slots
-  std::size_t queue_capacity = 64;  ///< admission-control bound
+  std::size_t queue_capacity = 64;  ///< admission bound *per tenant shard*
   /// true: GLP4NN RuntimeScheduler (kTenantSliced); false: serial
   /// baseline (every kernel on the default stream).
   bool use_scheduler = true;
   glp4nn::SchedulerOptions scheduler;  ///< policy is forced to kTenantSliced
   kern::ComputeMode mode = kern::ComputeMode::kNumeric;
+  /// Merge each lane's per-sample kernel chain into one launch per
+  /// stream in steady scopes (kern::CoalescingDispatcher) — the serving
+  /// hot path's answer to per-launch host overhead. Inert under the
+  /// serial baseline (its scopes are never coalescable), so
+  /// scheduler-vs-serial comparisons stay honest.
+  bool coalesce_lanes = true;
   bool record_timeline = false;  ///< keep kernel/copy records (race checks)
   bool keep_outputs = false;     ///< copy each request's output into its record
   /// Run one forward per (tenant, replica batch size) before the trace so
@@ -51,19 +93,47 @@ struct ServerOptions {
   bool warmup = true;
 };
 
+/// Outcome/latency breakdown for one tenant's slice of a replay.
+struct TenantStats {
+  int tenant = -1;
+  std::size_t offered = 0;
+  std::size_t served = 0;
+  std::size_t rejected = 0;
+  std::size_t expired = 0;
+  std::size_t shed = 0;
+  std::size_t downgraded = 0;       ///< served best-effort past their SLO check
+  std::size_t deadline_misses = 0;  ///< served, but past their deadline
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  double mean_ms = 0.0, max_ms = 0.0;
+  /// Fraction of deadline-carrying offered requests served by their
+  /// deadline (1.0 when no request carried a deadline).
+  double slo_attainment = 1.0;
+  double throughput_rps = 0.0;
+};
+
 struct ServingStats {
   std::size_t offered = 0;
   std::size_t served = 0;
   std::size_t rejected = 0;
   std::size_t expired = 0;
+  std::size_t shed = 0;             ///< dropped by SLO-aware admission
+  std::size_t downgraded = 0;       ///< served best-effort past their SLO check
   std::size_t deadline_misses = 0;  ///< served, but past their deadline
   double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
   double mean_ms = 0.0, max_ms = 0.0;
+  double slo_attainment = 1.0;    ///< see TenantStats::slo_attainment
   double makespan_ms = 0.0;       ///< first arrival → last completion
   double throughput_rps = 0.0;    ///< served / makespan
   std::uint64_t batches = 0;
   double mean_batch = 0.0;
+  std::vector<TenantStats> tenants;  ///< one entry per tenant seen
 };
+
+/// Nearest-rank percentile over an ascending-sorted sample: the smallest
+/// element whose rank covers quantile `q` — an actual sample value, never
+/// an interpolation (which is biased for the small per-tenant record sets
+/// the per-tenant breakdown summarizes).
+double percentile_nearest_rank(const std::vector<double>& sorted, double q);
 
 class InferenceServer {
  public:
@@ -79,10 +149,22 @@ class InferenceServer {
   const ServerOptions& options() const { return opts_; }
   /// Activation arenas built across all tenants (replica high-water mark).
   std::size_t total_replicas() const;
+  /// Per-request service estimate the admission feasibility check uses
+  /// for `tenant` (simulated ns; 0 until warmed up or first reap).
+  double service_estimate_ns(int tenant) const;
 
   static ServingStats summarize(const std::vector<RequestRecord>& records);
 
  private:
+  /// One tenant's slice of the ingest path.
+  struct Shard {
+    std::unique_ptr<RequestQueue> queue;
+    std::unique_ptr<DynamicBatcher> batcher;
+    glp::TokenBucket bucket;
+    double est_ns = 0.0;           ///< EWMA per-request service estimate
+    std::size_t inflight_reqs = 0;
+  };
+
   struct InFlight {
     int slot = 0;
     Batch batch;
@@ -92,6 +174,11 @@ class InferenceServer {
   };
 
   void warmup();
+  void build_shards();
+  /// Admission pipeline; returns the terminal outcome for dropped
+  /// requests, or nullopt when the request was enqueued.
+  std::optional<Outcome> admit(Shard& shard, InferenceRequest& r,
+                               gpusim::SimTime now);
   void issue(Batch batch, gpusim::SimTime now);
   bool reap(std::vector<RequestRecord>& records);
   gpusim::SimTime earliest_completion(gpusim::SimTime from, gpusim::SimTime cap);
@@ -104,6 +191,7 @@ class InferenceServer {
   glp4nn::RuntimeScheduler* sched_ = nullptr;
   kern::KernelDispatcher* dispatcher_ = nullptr;
   std::vector<std::unique_ptr<InferenceSession>> sessions_;
+  std::vector<Shard> shards_;         ///< one per tenant
   std::vector<scuda::Stream> homes_;  ///< one home stream per slot
   std::vector<bool> slot_busy_;
   std::vector<InFlight> inflight_;

@@ -40,6 +40,12 @@ InferenceSession::Replica& InferenceSession::build_replica(int batch) {
   r->ec = std::make_unique<mc::ExecContext>();
   r->ec->ctx = ctx_;
   r->ec->dispatcher = dispatcher_;
+  if (opts_.coalesce_lanes) {
+    r->coalescing =
+        std::make_unique<kern::CoalescingDispatcher>(*ctx_, *dispatcher_);
+    r->ec->dispatcher = r->coalescing.get();
+    r->ec->coalescer = &r->coalescing->coalescer();
+  }
   r->ec->mode = opts_.mode;
   r->ec->train = false;
   r->ec->inference = true;

@@ -8,26 +8,91 @@
 namespace serving {
 namespace {
 
+constexpr double kPi = 3.14159265358979323846;
+
 /// Exponential gap at `rate` requests per second, in sim nanoseconds.
 double exp_gap_ns(glp::Rng& rng, double rate_rps) {
   const double u = rng.next_double();  // [0,1)
   return -std::log(1.0 - u) / rate_rps * 1e9;
 }
 
-/// Burst envelope: rate multiplier at absolute time t.
-double burst_rate(const TraceSpec& s, double t_ns) {
-  const double period = s.burst_period_ms * gpusim::kMs;
+/// Pareto gap with shape `alpha` and mean 1/rate, in sim nanoseconds.
+/// xm = mean*(alpha-1)/alpha is the scale that yields that mean.
+double pareto_gap_ns(glp::Rng& rng, double rate_rps, double alpha) {
+  const double mean_ns = 1e9 / rate_rps;
+  const double xm = mean_ns * (alpha - 1.0) / alpha;
+  const double u = 1.0 - rng.next_double();  // (0,1]
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+/// On/off envelope multiplier: `factor` during the first `duty` fraction
+/// of each period, normalized off-phase otherwise so the time-averaged
+/// multiplier is 1 (duty*factor + (1-duty)*off = 1).
+double on_off_mult(double t_ns, double period_ms, double duty, double factor) {
+  const double period = period_ms * gpusim::kMs;
   const double phase = std::fmod(t_ns, period) / period;
-  // Scale the off-phase so the time-averaged rate stays rate_rps:
-  //   duty*factor + (1-duty)*off = 1
-  const double off =
-      (1.0 - s.burst_duty * s.burst_factor) / (1.0 - s.burst_duty);
-  const double mult = (phase < s.burst_duty) ? s.burst_factor
-                                             : std::max(off, 0.05);
-  return s.rate_rps * mult;
+  const double off = (1.0 - duty * factor) / (1.0 - duty);
+  return (phase < duty) ? factor : std::max(off, 0.05);
+}
+
+/// Envelope multiplier at absolute time t for the modulated processes;
+/// 1.0 for the homogeneous ones.
+double envelope_mult(const TraceSpec& s, double t_ns) {
+  switch (s.arrival) {
+    case ArrivalProcess::kBursty:
+      return on_off_mult(t_ns, s.burst_period_ms, s.burst_duty, s.burst_factor);
+    case ArrivalProcess::kDiurnal: {
+      const double period = s.diurnal_period_ms * gpusim::kMs;
+      return 1.0 + s.diurnal_amplitude * std::sin(2.0 * kPi * t_ns / period);
+    }
+    case ArrivalProcess::kFlashCrowd:
+    case ArrivalProcess::kAdversarial:
+      return on_off_mult(t_ns, s.flash_period_ms, s.flash_duty, s.flash_factor);
+    default:
+      return 1.0;
+  }
+}
+
+/// Peak of the envelope (the thinning proposal rate's multiplier).
+double envelope_peak(const TraceSpec& s) {
+  switch (s.arrival) {
+    case ArrivalProcess::kBursty:
+      return s.burst_factor;
+    case ArrivalProcess::kDiurnal:
+      return 1.0 + s.diurnal_amplitude;
+    case ArrivalProcess::kFlashCrowd:
+    case ArrivalProcess::kAdversarial:
+      return s.flash_factor;
+    default:
+      return 1.0;
+  }
+}
+
+bool is_modulated(ArrivalProcess p) {
+  return p == ArrivalProcess::kBursty || p == ArrivalProcess::kDiurnal ||
+         p == ArrivalProcess::kFlashCrowd || p == ArrivalProcess::kAdversarial;
+}
+
+/// True when t falls inside an adversarial spike window.
+bool in_flash(const TraceSpec& s, double t_ns) {
+  const double period = s.flash_period_ms * gpusim::kMs;
+  return std::fmod(t_ns, period) / period < s.flash_duty;
 }
 
 }  // namespace
+
+const char* arrival_name(ArrivalProcess p) {
+  switch (p) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kBursty: return "bursty";
+    case ArrivalProcess::kUniform: return "uniform";
+    case ArrivalProcess::kDiurnal: return "diurnal";
+    case ArrivalProcess::kFlashCrowd: return "flash_crowd";
+    case ArrivalProcess::kHeavyTail: return "heavy_tail";
+    case ArrivalProcess::kAdversarial: return "adversarial";
+  }
+  return "?";
+}
 
 std::vector<InferenceRequest> make_trace(
     const TraceSpec& spec, const std::vector<std::size_t>& input_sizes) {
@@ -43,29 +108,61 @@ std::vector<InferenceRequest> make_trace(
                 "burst envelope leaves no off-phase budget "
                 "(duty*factor must be < 1)");
   }
+  if (spec.arrival == ArrivalProcess::kFlashCrowd ||
+      spec.arrival == ArrivalProcess::kAdversarial) {
+    GLP_REQUIRE(spec.flash_duty > 0.0 && spec.flash_duty < 1.0,
+                "flash_duty must be in (0,1)");
+    GLP_REQUIRE(spec.flash_duty * spec.flash_factor < 1.0,
+                "flash envelope leaves no off-phase budget "
+                "(duty*factor must be < 1)");
+  }
+  if (spec.arrival == ArrivalProcess::kDiurnal) {
+    GLP_REQUIRE(spec.diurnal_amplitude >= 0.0 && spec.diurnal_amplitude < 1.0,
+                "diurnal_amplitude must be in [0,1)");
+  }
+  if (spec.arrival == ArrivalProcess::kHeavyTail) {
+    GLP_REQUIRE(spec.pareto_alpha > 1.0,
+                "pareto_alpha must exceed 1 for the mean gap to exist");
+  }
+  if (spec.arrival == ArrivalProcess::kAdversarial) {
+    GLP_REQUIRE(spec.adversary_tenant >= 0 &&
+                    spec.adversary_tenant < spec.tenants,
+                "adversary_tenant out of range");
+  }
 
   glp::Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + 0xabcdefULL);
+  const bool modulated = is_modulated(spec.arrival);
+  const double peak_rps = spec.rate_rps * envelope_peak(spec);
+
   std::vector<InferenceRequest> trace;
   trace.reserve(static_cast<std::size_t>(spec.requests));
   double t = 0.0;
   for (int i = 0; i < spec.requests; ++i) {
-    switch (spec.arrival) {
-      case ArrivalProcess::kPoisson:
-        t += exp_gap_ns(rng, spec.rate_rps);
-        break;
-      case ArrivalProcess::kBursty:
-        t += exp_gap_ns(rng, burst_rate(spec, t));
-        break;
-      case ArrivalProcess::kUniform:
-        t += 1e9 / spec.rate_rps;
-        break;
+    if (modulated) {
+      // Thinning (Lewis–Shedler): propose at the peak rate, accept with
+      // probability rate(t)/peak — unbiased for any bounded envelope.
+      for (;;) {
+        t += exp_gap_ns(rng, peak_rps);
+        const double accept = envelope_mult(spec, t) / envelope_peak(spec);
+        if (rng.next_double() < accept) break;
+      }
+    } else if (spec.arrival == ArrivalProcess::kPoisson) {
+      t += exp_gap_ns(rng, spec.rate_rps);
+    } else if (spec.arrival == ArrivalProcess::kHeavyTail) {
+      t += pareto_gap_ns(rng, spec.rate_rps, spec.pareto_alpha);
+    } else {  // kUniform
+      t += 1e9 / spec.rate_rps;
     }
     InferenceRequest r;
     r.id = static_cast<std::uint64_t>(i);
-    r.tenant = (spec.tenants == 1)
-                   ? 0
-                   : static_cast<int>(rng.next_below(
-                         static_cast<std::uint64_t>(spec.tenants)));
+    if (spec.arrival == ArrivalProcess::kAdversarial && in_flash(spec, t)) {
+      r.tenant = spec.adversary_tenant;
+    } else {
+      r.tenant = (spec.tenants == 1)
+                     ? 0
+                     : static_cast<int>(rng.next_below(
+                           static_cast<std::uint64_t>(spec.tenants)));
+    }
     r.arrival_ns = t;
     if (spec.deadline_ms > 0.0) r.deadline_ns = t + spec.deadline_ms * gpusim::kMs;
     if (spec.fill_inputs) {

@@ -1,8 +1,25 @@
 #pragma once
-// Synthetic open-loop traffic generation: Poisson, bursty (two-state
-// modulated Poisson), and uniform arrival processes over one or more
-// tenants. Deterministic for a given spec (seeded xoshiro), so replays
-// and differential tests are reproducible.
+// Synthetic open-loop traffic generation over one or more tenants.
+// Deterministic for a given spec (seeded xoshiro), so replays and
+// differential tests are reproducible.
+//
+// Arrival processes:
+//   poisson     — homogeneous exponential inter-arrival gaps
+//   bursty      — Poisson modulated by an on/off burst envelope
+//   uniform     — fixed gaps at exactly rate_rps
+//   diurnal     — Poisson modulated by a sinusoidal day/night envelope
+//   flash_crowd — Poisson with short periodic spikes (flash_factor x)
+//   heavy_tail  — renewal process with Pareto(alpha) gaps: most gaps are
+//                 short but rare huge silences dominate the tail
+//   adversarial — flash-crowd envelope in which every spike's requests
+//                 come from ONE tenant (the adversary) hammering the
+//                 service while the rest arrive as normal background
+//
+// Every modulated envelope is normalized so the time-averaged rate stays
+// rate_rps, and modulated processes are sampled by *thinning* (generate
+// at the envelope peak, accept with probability rate(t)/peak), which is
+// the unbiased construction for an inhomogeneous Poisson process — the
+// realized rate converges to the offered rate for every pattern.
 
 #include <vector>
 
@@ -11,10 +28,16 @@
 namespace serving {
 
 enum class ArrivalProcess {
-  kPoisson,  ///< exponential inter-arrival gaps
-  kBursty,   ///< Poisson modulated by an on/off burst envelope
-  kUniform,  ///< fixed gaps at exactly rate_rps
+  kPoisson,     ///< exponential inter-arrival gaps
+  kBursty,      ///< Poisson modulated by an on/off burst envelope
+  kUniform,     ///< fixed gaps at exactly rate_rps
+  kDiurnal,     ///< sinusoidal envelope (day/night traffic shape)
+  kFlashCrowd,  ///< short periodic spikes over a calm baseline
+  kHeavyTail,   ///< Pareto inter-arrival gaps (rare long silences)
+  kAdversarial, ///< flash spikes attributed entirely to one tenant
 };
+
+const char* arrival_name(ArrivalProcess p);
 
 struct TraceSpec {
   int requests = 1000;
@@ -25,6 +48,20 @@ struct TraceSpec {
   double burst_factor = 3.0;
   double burst_duty = 0.25;    ///< fraction of time spent bursting
   double burst_period_ms = 20.0;
+  /// Diurnal: rate(t) = rate_rps * (1 + amplitude*sin(2*pi*t/period)).
+  double diurnal_amplitude = 0.8;  ///< in [0, 1)
+  double diurnal_period_ms = 200.0;
+  /// Flash crowd / adversarial: spike multiplier, spike duty cycle and
+  /// period; off-phase is normalized like bursty (duty*factor < 1).
+  double flash_factor = 10.0;
+  double flash_duty = 0.05;
+  double flash_period_ms = 100.0;
+  /// Heavy tail: Pareto shape; must be > 1 so the mean gap exists (> 2
+  /// for a finite variance; the 2.5 default has mean and variance but a
+  /// much heavier tail than the exponential).
+  double pareto_alpha = 2.5;
+  /// Adversarial: the tenant every spike's requests are attributed to.
+  int adversary_tenant = 0;
   int tenants = 1;             ///< requests assigned round-robin-free (random)
   double deadline_ms = 0.0;    ///< per-request deadline after arrival; 0 = none
   std::uint64_t seed = 42;

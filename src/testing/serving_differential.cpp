@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -55,15 +56,22 @@ ServeCase make_serving_case(std::uint64_t seed, const NetGenOptions& options) {
   c.device = random_device(rng);
 
   c.batch.enabled = true;
+  c.batch.mode = chance(rng, 0.5) ? serving::BatchMode::kContinuous
+                                  : serving::BatchMode::kWindowed;
   c.batch.max_batch = pick(rng, {2, 3, 4, 6, 8});
   c.batch.max_delay_us = pick(rng, {200.0, 500.0, 1000.0, 2000.0});
+  c.coalesce = chance(rng, 0.5);
   c.slots = pick(rng, {1, 2, 4});
 
   c.trace.requests = 16 + static_cast<int>(rng.next_below(33));  // 16..48
   c.trace.rate_rps = pick(rng, {1000.0, 3000.0, 8000.0, 20000.0});
   c.trace.arrival = pick(rng, {serving::ArrivalProcess::kPoisson,
                                serving::ArrivalProcess::kBursty,
-                               serving::ArrivalProcess::kUniform});
+                               serving::ArrivalProcess::kUniform,
+                               serving::ArrivalProcess::kDiurnal,
+                               serving::ArrivalProcess::kFlashCrowd,
+                               serving::ArrivalProcess::kHeavyTail,
+                               serving::ArrivalProcess::kAdversarial});
   c.trace.tenants = tenants;
   c.trace.deadline_ms = 0.0;  // the contract compares *served* outputs
   c.trace.seed = seed ^ 0xbadc0ffeULL;
@@ -78,9 +86,12 @@ std::string ServeCase::summary() const {
     os << (t ? "+" : "") << nets[t].layers.size();
   }
   os << " layers) batch<=" << batch.max_batch << "/"
-     << static_cast<int>(batch.max_delay_us) << "us slots=" << slots
+     << static_cast<int>(batch.max_delay_us) << "us "
+     << serving::batch_mode_name(batch.mode)
+     << (coalesce ? "+coalesce" : "") << " slots=" << slots
      << " trace=" << trace.requests << "@"
-     << static_cast<int>(trace.rate_rps) << "rps device=" << device.name
+     << static_cast<int>(trace.rate_rps) << "rps/"
+     << serving::arrival_name(trace.arrival) << " device=" << device.name
      << " (C=" << device.max_concurrent_kernels << ")";
   return os.str();
 }
@@ -108,24 +119,27 @@ ServeDiffResult run_serving_differential(const ServeCase& c,
   base.queue_capacity = trace.size() + 1;
   base.keep_outputs = true;
 
-  // Reference: serial dispatch, batcher off — every request is its own
-  // batch-1 forward on the default stream.
+  // Reference: serial dispatch, batcher off, no coalescing — every request
+  // is its own batch-1 forward on the default stream.
   std::vector<serving::RequestRecord> ref;
   {
     serving::ServerOptions opts = base;
     opts.batch.enabled = false;
     opts.use_scheduler = false;
+    opts.coalesce_lanes = false;
     scuda::Context ctx(c.device);
     serving::InferenceServer server(ctx, models, opts);
     ref = server.replay(trace);
   }
 
-  // Subject: tenant-sliced scheduler with dynamic batching.
+  // Subject: tenant-sliced scheduler with dynamic batching (windowed or
+  // continuous) and, on half the cases, lane coalescing.
   std::vector<serving::RequestRecord> sub;
   {
     serving::ServerOptions opts = base;
     opts.batch = c.batch;
     opts.use_scheduler = true;
+    opts.coalesce_lanes = c.coalesce;
     opts.record_timeline = check_timeline;
     scuda::Context ctx(c.device);
     serving::InferenceServer server(ctx, models, opts);
@@ -134,9 +148,11 @@ ServeDiffResult run_serving_differential(const ServeCase& c,
     if (check_timeline) {
       r.races = glpfuzz::check_timeline(ctx.device().timeline(), c.device);
     }
-    for (const serving::RequestRecord& rec : sub) {
-      r.subject_batches = std::max(r.subject_batches, rec.batch_id + 1);
-    }
+    // Sharded batchers mint strided ids, so count distinct ids rather
+    // than assuming a dense 0..N-1 range.
+    std::set<std::uint64_t> batch_ids;
+    for (const serving::RequestRecord& rec : sub) batch_ids.insert(rec.batch_id);
+    r.subject_batches = batch_ids.size();
   }
 
   const auto fail = [&](const std::string& why) {
@@ -242,6 +258,7 @@ ServeEngineDiffResult run_serving_engine_differential(const ServeCase& c) {
   opts.keep_outputs = true;
   opts.batch = c.batch;
   opts.use_scheduler = true;
+  opts.coalesce_lanes = c.coalesce;
   opts.record_timeline = true;
   // Pin the profiling/analysis charge so the simulated clock does not
   // absorb run-to-run wall-time noise (see run_engine_differential).
@@ -278,6 +295,7 @@ ServeEngineDiffResult run_serving_engine_differential(const ServeCase& c) {
     if (a.id != b.id) field = "id";
     else if (a.tenant != b.tenant) field = "tenant";
     else if (a.outcome != b.outcome) field = "outcome";
+    else if (a.downgraded != b.downgraded) field = "downgraded";
     else if (!same_time_bits(a.arrival_ns, b.arrival_ns)) field = "arrival_ns";
     else if (!same_time_bits(a.issue_ns, b.issue_ns)) field = "issue_ns";
     else if (!same_time_bits(a.completion_ns, b.completion_ns)) field = "completion_ns";

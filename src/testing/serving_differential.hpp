@@ -30,7 +30,8 @@ struct ServeCase {
   std::uint64_t seed = 0;
   std::vector<mc::NetSpec> nets;  ///< one tenant per net (1 or 2)
   gpusim::DeviceProps device;
-  serving::BatchPolicy batch;  ///< subject-side batching policy
+  serving::BatchPolicy batch;  ///< subject-side batching policy (mode too)
+  bool coalesce = false;       ///< subject-side lane coalescing
   int slots = 2;
   serving::TraceSpec trace;
 
