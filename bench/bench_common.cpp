@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <sstream>
+#include <thread>
 
 #include "common/strings.hpp"
 
@@ -128,6 +130,28 @@ void print_row(const std::vector<std::string>& cells,
     line += glp::strformat("%-*s", w, cells[i].c_str());
   }
   std::printf("%s\n", line.c_str());
+}
+
+std::string provenance_json(const std::string& device) {
+  std::string git = "unknown";
+#if !defined(_WIN32)
+  if (FILE* pipe = popen("git describe --always --dirty 2>/dev/null", "r")) {
+    char buf[128] = {};
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+      std::string line(buf);
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      if (!line.empty()) git = line;
+    }
+    pclose(pipe);
+  }
+#endif
+  std::ostringstream os;
+  os << "  \"provenance\": {\"device\": \"" << device
+     << "\", \"host_threads\": " << std::thread::hardware_concurrency()
+     << ", \"git\": \"" << git << "\"},\n";
+  return os.str();
 }
 
 }  // namespace bench

@@ -69,4 +69,12 @@ void print_header(const std::string& title);
 void print_row(const std::vector<std::string>& cells,
                const std::vector<int>& widths);
 
+/// Common provenance block every committed BENCH_*.json emitter stamps
+/// right after its schema line: the simulated device generation, the
+/// host's hardware thread count and the working tree's `git describe`
+/// (or "unknown" outside a repo). Returns one indented line ending in
+/// ",\n", ready to stream into the top-level JSON object:
+///   "provenance": {"device": "P100", "host_threads": 16, "git": "..."},
+std::string provenance_json(const std::string& device);
+
 }  // namespace bench

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/check.hpp"
 #include "common/cli.hpp"
 #include "gpusim/engine.hpp"
@@ -155,6 +156,7 @@ void write_json(const std::string& path, const std::vector<Record>& records) {
   GLP_REQUIRE(os.good(), "cannot open '" << path << "' for writing");
   os << "{\n"
      << "  \"schema\": \"glp4nn-bench-engine-v1\",\n"
+     << bench::provenance_json("P100")
      << "  \"device\": \"P100\",\n"
      << "  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {

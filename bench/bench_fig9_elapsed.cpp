@@ -87,6 +87,7 @@ void write_dag_json(const std::string& path,
   GLP_REQUIRE(os.good(), "cannot open '" << path << "' for writing");
   os << "{\n"
      << "  \"schema\": \"glp4nn-bench-dag-v1\",\n"
+     << bench::provenance_json(device_name)
      << "  \"device\": \"" << device_name << "\",\n"
      << "  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {

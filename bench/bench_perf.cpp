@@ -1,6 +1,8 @@
 #include "bench_perf.hpp"
 
 #include <cstdint>
+
+#include "bench_common.hpp"
 #include <fstream>
 #include <sstream>
 
@@ -26,7 +28,8 @@ std::string escape(const std::string& s) {
 
 void write_json(const std::string& path, const std::vector<PerfRecord>& records) {
   std::ostringstream os;
-  os << "{\n  \"schema\": \"glp4nn-bench-kernels-v1\",\n  \"records\": [\n";
+  os << "{\n  \"schema\": \"glp4nn-bench-kernels-v1\",\n"
+     << provenance_json("host") << "  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const PerfRecord& r = records[i];
     os << "    {\"kernel\": \"" << escape(r.kernel) << "\", \"config\": \""

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/check.hpp"
 #include "common/cli.hpp"
 #include "gpusim/device_props.hpp"
@@ -75,6 +76,7 @@ void write_json(const std::string& path,
   GLP_REQUIRE(os.good(), "cannot open '" << path << "' for writing");
   os << "{\n"
      << "  \"schema\": \"glp4nn-bench-serving-v2\",\n"
+     << bench::provenance_json(device)
      << "  \"device\": \"" << device << "\",\n"
      << "  \"models\": [\"tiny_cnn+small_cnn\", \"tiny_cnn+mlp\"],\n"
      << "  \"arrival\": \"poisson\",\n"

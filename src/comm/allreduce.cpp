@@ -1,0 +1,304 @@
+#include "comm/allreduce.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <iterator>
+#include <limits>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace comm {
+
+namespace {
+
+/// Chunk c of a `count`-float bucket split N ways: [lo, hi).
+std::pair<std::size_t, std::size_t> chunk_range(std::size_t count, int n,
+                                                int c) {
+  const auto lo = static_cast<std::size_t>(
+      static_cast<std::uint64_t>(count) * static_cast<std::uint64_t>(c) /
+      static_cast<std::uint64_t>(n));
+  const auto hi = static_cast<std::size_t>(
+      static_cast<std::uint64_t>(count) * static_cast<std::uint64_t>(c + 1) /
+      static_cast<std::uint64_t>(n));
+  return {lo, hi};
+}
+
+}  // namespace
+
+BucketPlan plan_buckets(const mc::Net& net, std::size_t bucket_bytes) {
+  const auto& params = net.learnable_params();
+  // Owning layer of each learnable param: the minimum layer index whose
+  // param_blobs() contain it. Backward runs layers in reverse, so the
+  // minimum owner is the last layer to accumulate into a shared param.
+  std::map<const mc::Blob*, std::size_t> owner;
+  const auto& layers = net.layers();
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    for (const auto& p : layers[li]->param_blobs()) {
+      auto it = owner.find(p.get());
+      if (it == owner.end()) {
+        owner.emplace(p.get(), li);
+      } else {
+        it->second = std::min(it->second, li);
+      }
+    }
+  }
+
+  // Param indices sorted by descending owner = backward completion order.
+  std::vector<std::size_t> order(params.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const std::size_t oa = owner.at(params[a].get());
+    const std::size_t ob = owner.at(params[b].get());
+    if (oa != ob) return oa > ob;
+    return a < b;
+  });
+
+  // Greedy packing: whole owner-groups per bucket, closing a bucket once
+  // it reaches `bucket_bytes` (a group larger than the budget stays one
+  // bucket — params of one layer are never split).
+  BucketPlan plan;
+  Bucket cur;
+  std::size_t cur_owner = 0;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const std::size_t i = order[k];
+    const std::size_t o = owner.at(params[i].get());
+    const bool group_boundary = cur.params.empty() || o != cur_owner;
+    if (group_boundary && !cur.params.empty() &&
+        cur.count * sizeof(float) >= bucket_bytes) {
+      plan.buckets.push_back(std::move(cur));
+      cur = Bucket{};
+    }
+    if (cur.params.empty()) cur.close_layer = o;
+    cur_owner = o;
+    cur.close_layer = std::min(cur.close_layer, o);
+    cur.params.push_back(i);
+    cur.count += params[i]->count();
+  }
+  if (!cur.params.empty()) plan.buckets.push_back(std::move(cur));
+  for (const auto& b : plan.buckets) plan.total_count += b.count;
+  return plan;
+}
+
+gpusim::SimTime advance_until_event(gpusim::DeviceEngine& dev,
+                                    gpusim::EventId ev) {
+  int spins = 0;
+  while (!dev.event_complete(ev)) {
+    const gpusim::SimTime next = dev.peek_next_event();
+    GLP_CHECK_MSG(next < std::numeric_limits<gpusim::SimTime>::infinity(),
+                  "awaited event can never complete (device idle)");
+    dev.advance_device_to(next);
+    GLP_CHECK_MSG(++spins < 1000000, "event co-sim loop is spinning");
+  }
+  return dev.event_time(ev);
+}
+
+void reference_ring_allreduce(const std::vector<float*>& grads,
+                              std::size_t count) {
+  const int n = static_cast<int>(grads.size());
+  GLP_REQUIRE(n >= 1, "reference_ring_allreduce needs at least one rank");
+  if (n == 1) return;
+  for (int c = 0; c < n; ++c) {
+    const auto [lo, hi] = chunk_range(count, n, c);
+    for (std::size_t k = lo; k < hi; ++k) {
+      // The ring's accumulation chain for chunk c: start at rank c, each
+      // successor adds its own term on the left (dst += staged is
+      // dst + acc with dst the new term) — replicated operation for
+      // operation so the sum is bit-identical to the fleet's.
+      float acc = grads[static_cast<std::size_t>(c)][k];
+      for (int s = 1; s < n; ++s) {
+        acc = grads[static_cast<std::size_t>((c + s) % n)][k] + acc;
+      }
+      for (int d = 0; d < n; ++d) grads[static_cast<std::size_t>(d)][k] = acc;
+    }
+  }
+}
+
+RingAllreduce::RingAllreduce(scuda::Fleet& fleet) : fleet_(&fleet) {
+  comm_streams_.reserve(static_cast<std::size_t>(fleet.size()));
+  for (int d = 0; d < fleet.size(); ++d) {
+    scuda::Context& ctx = fleet.device(d);
+    try {
+      comm_streams_.push_back(
+          scuda::Stream::create(ctx, /*priority=*/0, /*non_blocking=*/true));
+    } catch (const scuda::StreamCreateFailed&) {
+      // Injected fault: fall back to the default stream. Receives then
+      // serialize with compute — timing degrades, numerics are identical.
+      comm_streams_.push_back(scuda::Stream(ctx));
+    }
+  }
+  channel_free_.assign(
+      static_cast<std::size_t>(fleet.links().channel_count()), 0.0);
+}
+
+void RingAllreduce::reset() {
+  staging_.clear();
+  transfers_.clear();
+}
+
+float* RingAllreduce::stage(std::size_t count) {
+  staging_.push_back(std::make_unique<float[]>(count));
+  return staging_.back().get();
+}
+
+std::vector<gpusim::EventId> RingAllreduce::reduce(
+    const std::vector<float*>& flat, std::size_t count,
+    const std::vector<gpusim::SimTime>& ready_ns, bool numeric) {
+  const int n = fleet_->size();
+  GLP_REQUIRE(static_cast<int>(flat.size()) == n &&
+                  static_cast<int>(ready_ns.size()) == n,
+              "reduce: one flat buffer and ready time per device");
+
+  std::vector<gpusim::EventId> done(static_cast<std::size_t>(n));
+  if (n == 1) {
+    // Nothing to exchange; the ring sum of one rank is the rank itself.
+    gpusim::DeviceEngine& dev = fleet_->device(0).device();
+    done[0] = dev.record_event_at(
+        comm_streams_[0].id(), std::max(ready_ns[0], dev.device_now()));
+    return done;
+  }
+
+  gpusim::LinkModel& links = fleet_->links();
+
+  // The schedule must never land in a device's past. A profiling-mode
+  // scheduler scope synchronizes its device mid-backward, which drives
+  // that device's clock beyond the bucket-ready event timestamps; the
+  // engine clamps a peer copy's completion to its own clock, so a copy
+  // scheduled in the past would run its receive functor AFTER the
+  // staging snapshot below reads the destination buffer. Floor every
+  // ready time at the owning device's current clock instead — times
+  // already in the future are unchanged, so overlap is preserved.
+  std::vector<gpusim::SimTime> ready0(static_cast<std::size_t>(n));
+  for (int d = 0; d < n; ++d) {
+    ready0[static_cast<std::size_t>(d)] =
+        std::max(ready_ns[static_cast<std::size_t>(d)],
+                 fleet_->device(d).device().device_now());
+  }
+
+  // `ready[d]` — time device d's chunk-in-flight became valid: the pack
+  // time for step 0, thereafter the end of its previous receive.
+  std::vector<gpusim::SimTime> ready = ready0;
+
+  // Marker event trailing device d's most recent receive in its comm
+  // stream (kNoMarker before the first wave: step-0 chunks come from the
+  // caller's host-side pack, which needs no device progress).
+  constexpr gpusim::EventId kNoMarker =
+      std::numeric_limits<gpusim::EventId>::max();
+  std::vector<gpusim::EventId> recv_marker(static_cast<std::size_t>(n),
+                                           kNoMarker);
+
+  // One wave per ring step: reduce-scatter steps 0..n-2, then all-gather
+  // steps n-1..2n-3. At step s (< n-1) device i forwards chunk (i-s)%n
+  // and its successor accumulates; at all-gather step s' = s-(n-1) it
+  // forwards chunk (i+1-s')%n and its successor overwrites.
+  for (int step = 0; step < 2 * (n - 1); ++step) {
+    const bool gather = step >= n - 1;
+    const int s = gather ? step - (n - 1) : step;
+
+    struct Wave {
+      std::uint64_t id = 0;
+      int src = 0;
+      int dst = 0;
+      int chunk = 0;
+      std::size_t lo = 0, hi = 0;
+    };
+    std::vector<Wave> wave;
+    wave.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Wave w;
+      w.src = i;
+      w.dst = (i + 1) % n;
+      w.chunk = gather ? (i + 1 - s + n) % n : (i - s + n) % n;
+      std::tie(w.lo, w.hi) = chunk_range(count, n, w.chunk);
+      const std::size_t bytes = (w.hi - w.lo) * sizeof(float);
+      // Request = data ready on the source, the receiver's own bucket
+      // ready (it must hold its local term to accumulate into), and the
+      // channel free of the previous wave (per-channel FIFO).
+      const int ch = links.channel_for(w.src, w.dst);
+      gpusim::SimTime req = std::max(ready[static_cast<std::size_t>(w.src)],
+                                     channel_free_[static_cast<std::size_t>(ch)]);
+      if (!gather) {
+        req = std::max(req, ready0[static_cast<std::size_t>(w.dst)]);
+      }
+      w.id = links.begin(w.src, w.dst, bytes, req);
+      wave.push_back(w);
+    }
+    links.finalize_all();
+    std::vector<gpusim::TransferRecord> recs = links.take_completed();
+    GLP_CHECK(recs.size() == wave.size());
+
+    std::vector<gpusim::SimTime> next_ready = ready;
+    for (const Wave& w : wave) {
+      const gpusim::TransferRecord* rec = nullptr;
+      for (const auto& r : recs) {
+        if (r.id == w.id) {
+          rec = &r;
+          break;
+        }
+      }
+      GLP_CHECK(rec != nullptr);
+      // Max, not assignment: on a shared channel (kPcieHost) the whole
+      // wave lands on one channel and its transfers end at different
+      // times, so the channel is only free once the LATEST of them
+      // completes — otherwise the next wave's finalize batch would
+      // overlap this wave's tail and oversubscribe the link.
+      channel_free_[static_cast<std::size_t>(rec->channel)] = std::max(
+          channel_free_[static_cast<std::size_t>(rec->channel)], rec->end_ns);
+
+      const std::size_t chunk_count = w.hi - w.lo;
+      gpusim::DeviceEngine::WorkFn work;
+      if (numeric && chunk_count > 0) {
+        // Snapshot the source chunk at issue time. After step 0 the
+        // staged value is produced by the source's previous receive, so
+        // drive the source device past that receive's marker event first.
+        // Event-based (not a time-based advance): an op can complete
+        // later than the link schedule says — a fallback comm stream
+        // serializes receives behind the default-stream barrier — and
+        // the snapshot must chase the functor, wherever it lands.
+        if (recv_marker[static_cast<std::size_t>(w.src)] != kNoMarker) {
+          advance_until_event(fleet_->device(w.src).device(),
+                              recv_marker[static_cast<std::size_t>(w.src)]);
+        }
+        float* staged = stage(chunk_count);
+        std::memcpy(staged, flat[static_cast<std::size_t>(w.src)] + w.lo,
+                    chunk_count * sizeof(float));
+        float* dst = flat[static_cast<std::size_t>(w.dst)] + w.lo;
+        if (gather) {
+          work = [dst, staged, chunk_count] {
+            std::memcpy(dst, staged, chunk_count * sizeof(float));
+          };
+        } else {
+          work = [dst, staged, chunk_count] {
+            for (std::size_t k = 0; k < chunk_count; ++k) dst[k] += staged[k];
+          };
+        }
+      }
+      gpusim::DeviceEngine& dst_dev = fleet_->device(w.dst).device();
+      dst_dev.memcpy_peer(
+          comm_streams_[static_cast<std::size_t>(w.dst)].id(),
+          (w.hi - w.lo) * sizeof(float), w.src, rec->start_ns, rec->end_ns,
+          std::move(work));
+      // Marker right behind the receive in the comm stream's FIFO: it
+      // completes when the receive's functor has actually run, which is
+      // what the next wave's snapshot (and the caller's unpack) gate on.
+      recv_marker[static_cast<std::size_t>(w.dst)] = dst_dev.record_event_at(
+          comm_streams_[static_cast<std::size_t>(w.dst)].id(), rec->end_ns);
+      next_ready[static_cast<std::size_t>(w.dst)] = rec->end_ns;
+    }
+    ready = std::move(next_ready);
+    transfers_.insert(transfers_.end(),
+                      std::make_move_iterator(recs.begin()),
+                      std::make_move_iterator(recs.end()));
+  }
+
+  // In a ring every device receives during the final wave, so its last
+  // marker doubles as the bucket-done event.
+  for (int d = 0; d < n; ++d) {
+    GLP_CHECK(recv_marker[static_cast<std::size_t>(d)] != kNoMarker);
+    done[static_cast<std::size_t>(d)] =
+        recv_marker[static_cast<std::size_t>(d)];
+  }
+  return done;
+}
+
+}  // namespace comm

@@ -1,0 +1,128 @@
+#pragma once
+// Bucketed ring all-reduce over a simulated fleet's interconnect.
+//
+// The classic two-phase ring runs over N devices: N-1 reduce-scatter
+// steps (each device forwards a chunk to its ring successor, which
+// accumulates it into its local gradient) followed by N-1 all-gather
+// steps (the fully reduced chunks circulate and overwrite). Every
+// transfer is timed on the fleet's LinkModel — PCIe fleets contend on
+// the shared host channel, NVLink rings use dedicated per-neighbour
+// links — and materializes as a memcpy_peer op on the *destination*
+// device's communication stream, where it overlaps default-stream
+// compute through the ordinary event-horizon machinery.
+//
+// Numerics are deterministic by construction: chunk c's value is the
+// single accumulation chain f[c] → +f[c+1] → ... → +f[c+N-1] (indices
+// mod N, fixed association), finished on device (c+N-1)%N and then
+// copied verbatim. reference_ring_allreduce() replays the identical
+// float operations on the host, which is what makes the fleet
+// differential suite's bit-exactness contract checkable.
+//
+// Timing discipline is wave-synchronous: the N transfers of one ring
+// step are requested together and finalized together, and each channel
+// carries at most one wave at a time (per-channel FIFO across waves —
+// the destination comm stream would serialize the receives anyway).
+// Under this issuance order the LinkModel's finalize-on-quiescence
+// contention resolution is exact.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "gpusim/interconnect.hpp"
+#include "minicaffe/net.hpp"
+#include "simcuda/fleet.hpp"
+
+namespace comm {
+
+/// One gradient bucket: a contiguous run of learnable parameters that
+/// finish their backward accumulation together.
+struct Bucket {
+  std::vector<std::size_t> params;  ///< indices into net.learnable_params()
+  std::size_t count = 0;            ///< total floats in the bucket
+  /// Layer index (spec order) whose backward completes the bucket: the
+  /// minimum owning-layer index over the bucket's params. The backward
+  /// per-layer hook fires bucket-ready events when it reaches this layer.
+  std::size_t close_layer = 0;
+};
+
+/// Buckets in backward completion order (bucket 0 closes first).
+struct BucketPlan {
+  std::vector<Bucket> buckets;
+  std::size_t total_count = 0;  ///< floats across all buckets
+};
+
+/// Partition a net's learnable parameters into buckets of at least
+/// `bucket_bytes`, ordered by backward completion. Parameters owned by
+/// the same layer are never split across buckets (shared parameters are
+/// owned by their *minimum* layer index — the last to accumulate in
+/// backward order).
+BucketPlan plan_buckets(const mc::Net& net, std::size_t bucket_bytes);
+
+/// Drive `dev` forward until `ev` has completed and return its
+/// timestamp. Unlike synchronize_event this never joins the host clock
+/// to the device — it is the fleet co-simulator peeking, not the
+/// dispatch thread blocking.
+gpusim::SimTime advance_until_event(gpusim::DeviceEngine& dev,
+                                    gpusim::EventId ev);
+
+/// Host replica of the fleet reduction: applies the exact per-chunk
+/// accumulation chains RingAllreduce produces to N gradient arrays of
+/// `count` floats, leaving every array holding the (unscaled) ring sum.
+void reference_ring_allreduce(const std::vector<float*>& grads,
+                              std::size_t count);
+
+class RingAllreduce {
+ public:
+  /// Creates one communication stream per device: non-blocking (the
+  /// cudaStreamNonBlocking analog) so receives are exempt from the
+  /// default-stream barrier and overlap compute. When stream creation is
+  /// fault-injected the device falls back to its default stream —
+  /// numerics are unaffected, communication merely stops overlapping.
+  explicit RingAllreduce(scuda::Fleet& fleet);
+
+  /// Discard staging buffers from the previous iteration. Call only
+  /// after every device has synchronized past the iteration's receives
+  /// (their work functors borrow the staging memory).
+  void reset();
+
+  /// Reduce one bucket: `flat[d]` is device d's packed gradient of
+  /// `count` floats, valid once `ready[d]` (an event on d's default
+  /// stream) completes; `ready_ns[d]` is that event's timestamp. Queues
+  /// every receive on the comm streams and returns per-device events
+  /// that complete when the device holds the full ring sum. When
+  /// `numeric` is false only timing is modelled (no host math).
+  std::vector<gpusim::EventId> reduce(const std::vector<float*>& flat,
+                                      std::size_t count,
+                                      const std::vector<gpusim::SimTime>& ready_ns,
+                                      bool numeric);
+
+  gpusim::StreamId comm_stream(int d) const {
+    return comm_streams_[static_cast<std::size_t>(d)].id();
+  }
+  /// True when device d's comm stream fell back to the default stream.
+  bool fallback(int d) const {
+    return comm_streams_[static_cast<std::size_t>(d)].is_default();
+  }
+
+  /// Every finalized TransferRecord since the last reset(), in completion
+  /// order — the fleet race-checker's input (check_fleet_transfers).
+  const std::vector<gpusim::TransferRecord>& transfers() const {
+    return transfers_;
+  }
+
+ private:
+  float* stage(std::size_t count);
+
+  scuda::Fleet* fleet_;
+  std::vector<scuda::Stream> comm_streams_;
+  /// Link-channel availability: a channel carries one wave at a time.
+  std::vector<gpusim::SimTime> channel_free_;
+  /// Finalized transfers since the last reset(), for auditing.
+  std::vector<gpusim::TransferRecord> transfers_;
+  /// Snapshot buffers owned until reset(); receive functors read them at
+  /// simulated completion time.
+  std::vector<std::unique_ptr<float[]>> staging_;
+};
+
+}  // namespace comm

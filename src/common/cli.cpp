@@ -37,6 +37,17 @@ Flags& Flags::opt(const std::string& name, unsigned long long* t,
 Flags& Flags::opt(const std::string& name, std::string* t, std::string help) {
   return add(name, Kind::kString, t, std::move(help));
 }
+Flags& Flags::opt_list(const std::string& name,
+                       std::vector<std::string>* t, std::string help) {
+  return add(name, Kind::kStringList, t, std::move(help));
+}
+
+Flags::Spec* Flags::find(const std::string& name) {
+  for (Spec& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
 
 const Flags::Spec* Flags::find(const std::string& name) const {
   for (const Spec& s : specs_) {
@@ -45,7 +56,7 @@ const Flags::Spec* Flags::find(const std::string& name) const {
   return nullptr;
 }
 
-bool Flags::assign(const Spec& spec, const std::string& value) {
+bool Flags::assign(Spec& spec, const std::string& value) {
   try {
     std::size_t pos = 0;
     switch (spec.kind) {
@@ -67,6 +78,26 @@ bool Flags::assign(const Spec& spec, const std::string& value) {
       case Kind::kString:
         *static_cast<std::string*>(spec.target) = value;
         return true;
+      case Kind::kStringList: {
+        auto* list = static_cast<std::vector<std::string>*>(spec.target);
+        if (!spec.seen) list->clear();  // drop caller-preloaded defaults
+        spec.seen = true;
+        // One occurrence may carry a comma-separated list; repeated
+        // occurrences keep appending. Empty elements are rejected.
+        std::size_t start = 0;
+        while (start <= value.size()) {
+          const std::size_t comma = value.find(',', start);
+          const std::string item =
+              value.substr(start, comma == std::string::npos
+                                      ? std::string::npos
+                                      : comma - start);
+          if (item.empty()) return false;
+          list->push_back(item);
+          if (comma == std::string::npos) break;
+          start = comma + 1;
+        }
+        return !value.empty();
+      }
     }
     return pos == value.size() && !value.empty();
   } catch (const std::exception&) {
@@ -95,6 +126,16 @@ std::string Flags::default_of(const Spec& spec) {
       const auto& s = *static_cast<const std::string*>(spec.target);
       if (s.empty()) return "";
       os << s;
+      break;
+    }
+    case Kind::kStringList: {
+      const auto& list =
+          *static_cast<const std::vector<std::string>*>(spec.target);
+      if (list.empty()) return "";
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (i != 0) os << ',';
+        os << list[i];
+      }
       break;
     }
   }
@@ -139,7 +180,7 @@ Flags::Status Flags::parse(int argc, char* const* argv, std::ostream& out,
       name = name.substr(0, eq);
       has_value = true;
     }
-    const Spec* spec = find(name);
+    Spec* spec = find(name);
     if (spec == nullptr) {
       err << "error: unknown flag '--" << name << "'\n\n" << usage();
       return Status::kError;

@@ -26,6 +26,14 @@ class Flags {
   Flags& opt(const std::string& name, unsigned long long* target,
              std::string help);
   Flags& opt(const std::string& name, std::string* target, std::string help);
+  /// Repeatable list option: every occurrence appends (and a single
+  /// occurrence may carry a comma-separated list), so
+  /// `--device-gen=P100 --device-gen=TitanXP` and
+  /// `--device-gen=P100,TitanXP` both yield {"P100", "TitanXP"}. The
+  /// target is cleared the first time the flag is seen, so defaults the
+  /// caller pre-loaded are replaced, not extended.
+  Flags& opt_list(const std::string& name, std::vector<std::string>* target,
+                  std::string help);
 
   enum class Status {
     kOk,    ///< all flags parsed
@@ -41,17 +49,19 @@ class Flags {
   std::string usage() const;
 
  private:
-  enum class Kind { kBool, kInt, kFloat, kDouble, kU64, kString };
+  enum class Kind { kBool, kInt, kFloat, kDouble, kU64, kString, kStringList };
   struct Spec {
     std::string name;  // without leading "--"
     Kind kind;
     void* target;
     std::string help;
+    bool seen = false;  // kStringList: first occurrence clears the target
   };
 
   Flags& add(std::string name, Kind kind, void* target, std::string help);
+  Spec* find(const std::string& name);
   const Spec* find(const std::string& name) const;
-  static bool assign(const Spec& spec, const std::string& value);
+  static bool assign(Spec& spec, const std::string& value);
   static std::string default_of(const Spec& spec);
 
   std::string prog_;

@@ -114,12 +114,13 @@ SimDevice::SimDevice(DeviceProps props) : DeviceEngine(std::move(props)) {
   copy_min_end_ = kInf;
 }
 
-StreamId SimDevice::create_stream(int priority) {
+StreamId SimDevice::create_stream(int priority, bool non_blocking) {
   const StreamId id = next_stream_++;
   GLP_CHECK(static_cast<std::size_t>(id) == streams_.size());
   StreamState st;
   st.priority = priority;
   st.live = true;
+  st.non_blocking = non_blocking;
   streams_.push_back(std::move(st));
   ++live_streams_;
   // Keep the admission index ordered by (priority desc, id asc): the new
@@ -183,6 +184,28 @@ std::uint64_t SimDevice::memcpy_async(StreamId stream, std::size_t bytes,
   return correlation;
 }
 
+std::uint64_t SimDevice::memcpy_peer(StreamId stream, std::size_t bytes,
+                                     int peer_device, SimTime start_ns,
+                                     SimTime end_ns, WorkFn work) {
+  GLP_REQUIRE(peer_device >= 0, "memcpy_peer needs a peer device index");
+  GLP_REQUIRE(end_ns >= start_ns, "memcpy_peer span must be non-negative");
+  Op op;
+  op.kind = OpKind::kCopy;
+  op.stream = stream;
+  op.bytes = bytes;
+  op.peer = peer_device;
+  op.peer_start = start_ns;
+  op.peer_end = end_ns;
+  op.work = std::move(work);
+  op.correlation = next_correlation_++;
+  const std::uint64_t correlation = op.correlation;
+  // Zero host cost: peer copies are issued by the fleet's communication
+  // driver (a modelled dedicated thread), not the compute dispatch thread.
+  submit(std::move(op), 0.0);
+  ++stats_.copies_issued;
+  return correlation;
+}
+
 EventId SimDevice::record_event(StreamId stream) {
   Op op;
   op.kind = OpKind::kEventRecord;
@@ -192,6 +215,22 @@ EventId SimDevice::record_event(StreamId stream) {
   GLP_CHECK(static_cast<std::size_t>(id) == events_.size());
   events_.push_back(EventSlot{0.0, EventState::kPending});
   submit(std::move(op), 0.3 * kUs);
+  return id;
+}
+
+EventId SimDevice::record_event_at(StreamId stream, SimTime issue_ns) {
+  GLP_REQUIRE(issue_ns >= 0.0, "record_event_at needs a non-negative time");
+  Op op;
+  op.kind = OpKind::kEventRecord;
+  op.stream = stream;
+  op.event = next_event_++;
+  op.issue_at = issue_ns;
+  const EventId id = op.event;
+  GLP_CHECK(static_cast<std::size_t>(id) == events_.size());
+  events_.push_back(EventSlot{0.0, EventState::kPending});
+  // Zero host cost: issued by the fleet's communication driver, like
+  // memcpy_peer.
+  submit(std::move(op), 0.0);
   return id;
 }
 
@@ -221,7 +260,18 @@ void SimDevice::submit(Op op, SimTime host_cost_ns) {
   op.seq = next_seq_++;
   op.release = host_time_;
   op.tenant = current_tenant_;
+  op.non_blocking = st.non_blocking;
   host_time_ += host_cost_ns;
+  if (op.kind == OpKind::kCopy && op.peer >= 0) {
+    // Peer copies release at the link-granted start time: the fleet comm
+    // driver stands in for a dedicated communication thread, so the
+    // compute dispatch clock must not gate (or be charged for) them.
+    op.release = op.peer_start;
+  }
+  if (op.issue_at >= 0.0) {
+    // Same dedicated-thread semantics for comm-driver event records.
+    op.release = op.issue_at;
+  }
   // In-stream FIFO: each op waits for the completion of its predecessor
   // in the same stream (ops are admitted for execution the moment they
   // reach the queue head, so this dependency is what serialises a
@@ -235,9 +285,13 @@ void SimDevice::submit(Op op, SimTime host_cost_ns) {
     last_default_seq_ = op.seq;
     op.default_dep = 0;
   } else {
-    op.default_dep = last_default_seq_;
+    // Non-blocking streams opt out of legacy default-stream ordering in
+    // both directions (cudaStreamNonBlocking).
+    op.default_dep = op.non_blocking ? 0 : last_default_seq_;
   }
   incomplete_.insert(op.seq);
+  barrier_window_.insert(op.seq);
+  if (op.non_blocking) barrier_window_.complete(op.seq);
   const bool becomes_head = st.queue.empty();
   st.queue.push_back(std::move(op));
   ++queued_ops_;
@@ -279,9 +333,10 @@ SimTime SimDevice::peek_release() const {
 bool SimDevice::op_ready(const Op& op) const {
   if (op.release > now_) return false;
   if (op.barrier) {
-    // Ready only when every earlier-submitted op has completed.
-    GLP_CHECK(!incomplete_.empty());
-    if (incomplete_.min_incomplete() != op.seq) return false;
+    // Ready only when every earlier-submitted *blocking* op has completed
+    // (non-blocking streams are exempt from the legacy barrier).
+    GLP_CHECK(!barrier_window_.empty());
+    if (barrier_window_.min_incomplete() != op.seq) return false;
   } else if (op.default_dep != 0 && incomplete_.contains(op.default_dep)) {
     return false;
   }
@@ -295,8 +350,11 @@ bool SimDevice::op_ready(const Op& op) const {
   return true;
 }
 
-void SimDevice::complete_op_bookkeeping(std::uint64_t seq) {
+void SimDevice::complete_op_bookkeeping(std::uint64_t seq, bool non_blocking) {
   incomplete_.complete(seq);
+  // Non-blocking ops were marked complete in the barrier window at
+  // submission; completing them twice would corrupt its count.
+  if (!non_blocking) barrier_window_.complete(seq);
 }
 
 bool SimDevice::start_ready_ops() {
@@ -331,27 +389,36 @@ bool SimDevice::start_ready_ops() {
         case OpKind::kCopy: {
           ActiveCopy copy;
           copy.op = std::move(head);
-          const int dir = copy.op.host_to_device ? 0 : 1;
-          copy.start_ns = std::max(now_, copy_engine_free_[dir]);
-          copy.end_ns = copy.start_ns +
-                        static_cast<double>(copy.op.bytes) / props_.pcie_bandwidth_gbs;
-          copy_engine_free_[dir] = copy.end_ns;
+          if (copy.op.peer >= 0) {
+            // Cross-device transfer: the span was fixed by the link model.
+            // The end is clamped to `now` so an op that becomes runnable
+            // after its link span (stream backlog) completes immediately
+            // instead of handing advance_to a past-time event.
+            copy.start_ns = copy.op.peer_start;
+            copy.end_ns = std::max(copy.op.peer_end, now_);
+          } else {
+            const int dir = copy.op.host_to_device ? 0 : 1;
+            copy.start_ns = std::max(now_, copy_engine_free_[dir]);
+            copy.end_ns = copy.start_ns + static_cast<double>(copy.op.bytes) /
+                                              props_.pcie_bandwidth_gbs;
+            copy_engine_free_[dir] = copy.end_ns;
+          }
           copy_min_end_ = std::min(copy_min_end_, copy.end_ns);
           copies_.push_back(std::move(copy));
           break;
         }
         case OpKind::kEventRecord: {
           events_[head.event] = EventSlot{now_, EventState::kRecorded};
-          complete_op_bookkeeping(head.seq);
+          complete_op_bookkeeping(head.seq, head.non_blocking);
           break;
         }
         case OpKind::kWaitEvent: {
-          complete_op_bookkeeping(head.seq);
+          complete_op_bookkeeping(head.seq, head.non_blocking);
           break;
         }
         case OpKind::kHostFn: {
           if (head.work) head.work();
-          complete_op_bookkeeping(head.seq);
+          complete_op_bookkeeping(head.seq, head.non_blocking);
           break;
         }
       }
@@ -534,9 +601,10 @@ void SimDevice::advance_to(SimTime t) {
         rec.start_ns = done.start_ns;
         rec.end_ns = done.end_ns;
         rec.tenant = done.op.tenant;
+        rec.peer = done.op.peer;
         timeline_.add_copy(rec);
         if (copy_cb_) copy_cb_(rec);
-        complete_op_bookkeeping(done.op.seq);
+        complete_op_bookkeeping(done.op.seq, done.op.non_blocking);
       } else {
         ++i;
       }
@@ -566,7 +634,7 @@ void SimDevice::finish_kernel(std::size_t idx) {
   timeline_.add_kernel(rec);
   if (kernel_cb_) kernel_cb_(rec);
 
-  complete_op_bookkeeping(done.op.seq);
+  complete_op_bookkeeping(done.op.seq, done.op.non_blocking);
   recompute_rates();
 }
 

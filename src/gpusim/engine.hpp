@@ -96,7 +96,14 @@ class DeviceEngine {
   /// Higher `priority` wins ties for admission when the concurrency
   /// degree is saturated (CUDA's cudaStreamCreateWithPriority; CUDA uses
   /// lower-is-higher, we use higher-is-higher for readability).
-  virtual StreamId create_stream(int priority = 0) = 0;
+  /// `non_blocking` mirrors cudaStreamNonBlocking: ops on the stream do
+  /// not synchronise with the legacy default stream in either direction —
+  /// they neither wait for preceding default-stream ops nor hold up a
+  /// default-stream barrier. Fleet communication streams use this so
+  /// cross-device transfers overlap compute issued on the default stream.
+  /// Device-wide synchronize() still waits for them.
+  virtual StreamId create_stream(int priority = 0,
+                                 bool non_blocking = false) = 0;
   /// Priority a stream was created with (0 for the default stream).
   virtual int stream_priority(StreamId stream) const = 0;
   /// Destroy a stream; pending work must have completed.
@@ -113,9 +120,28 @@ class DeviceEngine {
   /// Enqueue an async copy over the PCIe copy engine for `dir`.
   virtual std::uint64_t memcpy_async(StreamId stream, std::size_t bytes,
                                      bool host_to_device, WorkFn work = {}) = 0;
+  /// Enqueue a cross-device (peer) copy whose [start_ns, end_ns] span was
+  /// computed externally by the fleet interconnect model (gpusim::LinkModel
+  /// accounts link latency, bandwidth and contention). The op flows
+  /// through the ordinary copy event machinery — `work` runs at end_ns in
+  /// completion order, the record lands on the timeline tagged with
+  /// `peer_device` — but it does not occupy the device's own PCIe copy
+  /// engines and its release is the link-granted start time rather than
+  /// the submitting host clock (the issuing driver models a dedicated
+  /// communication thread). In-stream FIFO order still applies, so a
+  /// driver must submit peer copies per stream in start-time order.
+  virtual std::uint64_t memcpy_peer(StreamId stream, std::size_t bytes,
+                                    int peer_device, SimTime start_ns,
+                                    SimTime end_ns, WorkFn work = {}) = 0;
   /// Record an event in `stream`; completes when prior work in the stream
   /// has finished.
   virtual EventId record_event(StreamId stream) = 0;
+  /// Record an event issued by the fleet's communication driver (a
+  /// modelled dedicated thread, like memcpy_peer): zero host cost, and it
+  /// becomes visible to the device at `issue_ns` instead of the dispatch
+  /// thread's clock. Without this, a comm-stream marker submitted late in
+  /// host time would block later link-scheduled copies queued behind it.
+  virtual EventId record_event_at(StreamId stream, SimTime issue_ns) = 0;
   /// Make `stream` wait until `event` has been recorded.
   virtual void wait_event(StreamId stream, EventId event) = 0;
   /// Run a host function inside the stream's FIFO order.
@@ -251,7 +277,7 @@ class SimDevice final : public DeviceEngine {
  public:
   explicit SimDevice(DeviceProps props);
 
-  StreamId create_stream(int priority = 0) override;
+  StreamId create_stream(int priority = 0, bool non_blocking = false) override;
   int stream_priority(StreamId stream) const override;
   void destroy_stream(StreamId stream) override;
   int stream_count() const override { return live_streams_; }
@@ -261,7 +287,11 @@ class SimDevice final : public DeviceEngine {
                               WorkFn work) override;
   std::uint64_t memcpy_async(StreamId stream, std::size_t bytes,
                              bool host_to_device, WorkFn work = {}) override;
+  std::uint64_t memcpy_peer(StreamId stream, std::size_t bytes, int peer_device,
+                            SimTime start_ns, SimTime end_ns,
+                            WorkFn work = {}) override;
   EventId record_event(StreamId stream) override;
+  EventId record_event_at(StreamId stream, SimTime issue_ns) override;
   void wait_event(StreamId stream, EventId event) override;
   void host_callback(StreamId stream, WorkFn fn) override;
 
@@ -291,6 +321,7 @@ class SimDevice final : public DeviceEngine {
     std::uint64_t default_dep = 0;  ///< last default-stream op before us
     std::uint64_t stream_dep = 0;   ///< previous op in the same stream
     bool barrier = false;        ///< default-stream op: waits for ALL prior
+    bool non_blocking = false;   ///< submitted to a non-blocking stream
     int tenant = -1;             ///< ambient tenant tag at submission
 
     // kKernel
@@ -303,9 +334,13 @@ class SimDevice final : public DeviceEngine {
     // kCopy
     std::size_t bytes = 0;
     bool host_to_device = true;
+    int peer = -1;               ///< peer device of a cross-device copy
+    SimTime peer_start = 0.0;    ///< link-granted start (peer copies only)
+    SimTime peer_end = 0.0;      ///< link-computed completion (peer copies only)
 
     // kEventRecord / kWaitEvent
     EventId event = 0;
+    SimTime issue_at = -1.0;     ///< comm-driver release override (< 0: host)
   };
 
   struct ActiveKernel {
@@ -331,6 +366,7 @@ class SimDevice final : public DeviceEngine {
     std::uint64_t last_seq = 0;  ///< seq of the newest op ever submitted
     int priority = 0;
     bool live = false;
+    bool non_blocking = false;   ///< exempt from default-stream ordering
   };
 
   enum class EventState : std::uint8_t { kUnknown = 0, kPending, kRecorded };
@@ -360,11 +396,12 @@ class SimDevice final : public DeviceEngine {
 
   void submit(Op op, SimTime host_cost_ns);
   void run_until(const std::function<bool()>& pred);
+
   /// Start every op that can start at the current sim time. Returns true
   /// if anything changed.
   bool start_ready_ops();
   bool op_ready(const Op& op) const;
-  void complete_op_bookkeeping(std::uint64_t seq);
+  void complete_op_bookkeeping(std::uint64_t seq, bool non_blocking);
   void recompute_rates();
   SimTime next_event_time() const;
   SimTime peek_release() const;
@@ -392,6 +429,11 @@ class SimDevice final : public DeviceEngine {
   std::size_t queued_ops_ = 0;         ///< total ops across all queues
 
   SeqWindow incomplete_;               ///< submitted-not-finished ops
+  /// Mirror of incomplete_ that treats non-blocking-stream ops as already
+  /// complete (they are inserted and completed in the same breath), so
+  /// the default-stream barrier test — min incomplete *blocking* seq —
+  /// stays O(1) and never waits on fleet communication traffic.
+  SeqWindow barrier_window_;
   std::vector<EventSlot> events_;      ///< indexed by EventId (slot 0 unused)
 
   std::vector<ActiveKernel> resident_;

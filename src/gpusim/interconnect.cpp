@@ -1,0 +1,151 @@
+#include "gpusim/interconnect.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace gpusim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Residual-byte tolerance: after draining fluid up to an exactly
+/// computed completion instant the finishing transfer's remainder is
+/// zero up to rounding; anything under a micro-byte counts as done.
+constexpr double kEpsBytes = 1e-6;
+
+}  // namespace
+
+LinkModel::LinkModel(int devices, LinkTopology topology, LinkProps props)
+    : devices_(devices), topology_(topology), props_(props) {
+  GLP_CHECK(devices >= 1);
+  GLP_CHECK(props.bandwidth_gbps > 0.0);
+  GLP_CHECK(props.latency_ns >= 0.0);
+  const int channels = topology == LinkTopology::kPcieHost
+                           ? 1
+                           : 2 * devices;  // forward + backward per device
+  channels_.resize(static_cast<std::size_t>(channels));
+}
+
+int LinkModel::channel_for(int src, int dst) const {
+  GLP_CHECK(src >= 0 && src < devices_);
+  GLP_CHECK(dst >= 0 && dst < devices_);
+  GLP_CHECK(src != dst);
+  if (topology_ == LinkTopology::kPcieHost) return 0;
+  // Ring: channel `src` is the directed forward link src -> src+1,
+  // channel `devices_ + src` the backward link src -> src-1. With two
+  // devices both neighbours coincide; forward wins deterministically.
+  if (dst == (src + 1) % devices_) return src;
+  GLP_CHECK_MSG(dst == (src + devices_ - 1) % devices_,
+                "nvlink ring carries neighbour traffic only");
+  return devices_ + src;
+}
+
+std::uint64_t LinkModel::begin(int src, int dst, std::size_t bytes,
+                               SimTime request_ns) {
+  const int channel = channel_for(src, dst);
+  Pending p;
+  p.rec.id = next_id_++;
+  p.rec.src = src;
+  p.rec.dst = dst;
+  p.rec.bytes = bytes;
+  p.rec.request_ns = request_ns;
+  p.rec.start_ns = request_ns + props_.latency_ns;
+  p.rec.channel = channel;
+  p.remaining = static_cast<double>(bytes);
+  channels_[static_cast<std::size_t>(channel)].pending.push_back(std::move(p));
+  return next_id_ - 1;
+}
+
+void LinkModel::finalize_all() {
+  for (auto& ch : channels_) finalize_channel(ch);
+  std::sort(completed_.begin(), completed_.end(),
+            [](const TransferRecord& a, const TransferRecord& b) {
+              if (a.end_ns != b.end_ns) return a.end_ns < b.end_ns;
+              return a.id < b.id;
+            });
+}
+
+void LinkModel::finalize_channel(Channel& ch) {
+  if (ch.pending.empty()) return;
+  const double bandwidth = props_.bytes_per_ns();
+
+  // Arrivals in (start_ns, id) order; `active` holds indices into
+  // ch.pending of transfers currently sharing the channel.
+  std::vector<std::size_t> order(ch.pending.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (ch.pending[a].rec.start_ns != ch.pending[b].rec.start_ns)
+      return ch.pending[a].rec.start_ns < ch.pending[b].rec.start_ns;
+    return ch.pending[a].rec.id < ch.pending[b].rec.id;
+  });
+
+  std::size_t next_arrival = 0;
+  std::vector<std::size_t> active;
+  SimTime now = ch.pending[order.front()].rec.start_ns;
+
+  while (next_arrival < order.size() || !active.empty()) {
+    const SimTime arrival_t = next_arrival < order.size()
+                                  ? ch.pending[order[next_arrival]].rec.start_ns
+                                  : kInf;
+    SimTime done_t = kInf;
+    if (!active.empty()) {
+      double min_remaining = kInf;
+      for (std::size_t idx : active)
+        min_remaining = std::min(min_remaining, ch.pending[idx].remaining);
+      done_t = now + min_remaining * static_cast<double>(active.size()) /
+                         bandwidth;
+    }
+    const SimTime t = std::min(arrival_t, done_t);
+    GLP_CHECK(t >= now);
+
+    // Drain fluid [now, t): each active transfer holds an equal share.
+    if (t > now && !active.empty()) {
+      const double rate = bandwidth / static_cast<double>(active.size());
+      const double moved = (t - now) * rate;
+      for (std::size_t idx : active) {
+        Pending& p = ch.pending[idx];
+        p.remaining = std::max(0.0, p.remaining - moved);
+        p.rec.segments.push_back(RateSegment{now, t, rate});
+      }
+    }
+    now = t;
+
+    // Completions first at a shared instant: the finisher got its old
+    // share up to `now`; a coincident arrival shares only afterwards.
+    if (done_t <= arrival_t && !active.empty()) {
+      for (auto it = active.begin(); it != active.end();) {
+        Pending& p = ch.pending[*it];
+        if (p.remaining <= kEpsBytes) {
+          p.remaining = 0.0;
+          p.rec.end_ns = now;
+          completed_.push_back(std::move(p.rec));
+          it = active.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    } else {
+      while (next_arrival < order.size() &&
+             ch.pending[order[next_arrival]].rec.start_ns <= now) {
+        const std::size_t idx = order[next_arrival++];
+        if (ch.pending[idx].remaining <= kEpsBytes) {
+          // Zero-byte message: delivered after latency, no fluid needed.
+          ch.pending[idx].rec.end_ns = now;
+          completed_.push_back(std::move(ch.pending[idx].rec));
+        } else {
+          active.push_back(idx);
+        }
+      }
+    }
+  }
+  ch.pending.clear();
+}
+
+std::vector<TransferRecord> LinkModel::take_completed() {
+  std::vector<TransferRecord> out;
+  out.swap(completed_);
+  return out;
+}
+
+}  // namespace gpusim

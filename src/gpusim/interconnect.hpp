@@ -1,0 +1,126 @@
+#pragma once
+// Fleet interconnect model: explicit links between simulated devices.
+//
+// A LinkModel owns a set of *channels* (independent bandwidth domains)
+// derived from a topology:
+//
+//   kPcieHost   — every device hangs off one host PCIe switch, so every
+//                 cross-device transfer shares a single channel and all
+//                 concurrent transfers contend.
+//   kNvlinkRing — each device has a dedicated directed link to each ring
+//                 neighbour; transfers on different links never interfere.
+//
+// Contention follows an exact processor-sharing (PS) fluid model: at any
+// instant the n transfers active on a channel each progress at B/n
+// bytes/ns. Completion times are computed event-by-event (arrival and
+// completion instants), so they are exact, deterministic, and identical
+// no matter which engine (SimDevice or ReferenceEngine) consumes them.
+// Each transfer also records its piecewise-constant rate profile
+// (RateSegments) so the fleet race-checker can verify that no channel
+// ever exceeds its physical bandwidth and that every transfer moved
+// exactly its byte count (tests/fleet_test.cpp).
+//
+// The model is *finalize-on-quiescence*: begin() registers arrivals, and
+// finalize_all() resolves every in-flight transfer assuming no further
+// arrivals. That assumption is exact under the fleet drivers'
+// wave-synchronous issuance (comm/allreduce.cpp): all transfers of a wave
+// are requested before any is consumed, and the next wave's requests are
+// ordered after this wave's completions.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/types.hpp"
+
+namespace gpusim {
+
+/// Physical properties of one link generation. With SimTime in
+/// nanoseconds, 1 GB/s (1e9 bytes / 1e9 ns) is exactly 1 byte/ns, so
+/// `bandwidth_gbps` doubles as the channel's bytes-per-nanosecond rate.
+struct LinkProps {
+  double bandwidth_gbps = 12.0;  ///< GB/s of one channel
+  SimTime latency_ns = 5 * kUs;  ///< per-message latency before first byte
+
+  double bytes_per_ns() const { return bandwidth_gbps; }
+
+  /// PCIe-class host interconnect (~12 GB/s effective, 5 us latency).
+  static LinkProps pcie() { return {12.0, 5 * kUs}; }
+  /// NVLink-class direct links (~60 GB/s per link, 1 us latency).
+  static LinkProps nvlink() { return {60.0, 1 * kUs}; }
+};
+
+enum class LinkTopology {
+  kPcieHost,    ///< one shared channel; all pairs contend
+  kNvlinkRing,  ///< dedicated directed channel per ring neighbour
+};
+
+/// One constant-rate span of a transfer's PS fluid profile.
+struct RateSegment {
+  SimTime start_ns = 0.0;
+  SimTime end_ns = 0.0;
+  double rate = 0.0;  ///< bytes/ns granted during [start_ns, end_ns)
+};
+
+/// A finalized cross-device transfer.
+struct TransferRecord {
+  std::uint64_t id = 0;
+  int src = -1;
+  int dst = -1;
+  std::size_t bytes = 0;
+  SimTime request_ns = 0.0;  ///< source data ready, message handed to link
+  SimTime start_ns = 0.0;    ///< request_ns + latency: first byte on wire
+  SimTime end_ns = 0.0;      ///< last byte delivered under PS sharing
+  int channel = -1;
+  std::vector<RateSegment> segments;  ///< piecewise rate profile
+};
+
+/// Fleet-level interconnect: maps (src, dst) pairs onto channels and
+/// resolves exact PS completion times for the transfers on each.
+class LinkModel {
+ public:
+  LinkModel(int devices, LinkTopology topology, LinkProps props);
+
+  int device_count() const { return devices_; }
+  int channel_count() const { return static_cast<int>(channels_.size()); }
+  LinkTopology topology() const { return topology_; }
+  const LinkProps& props() const { return props_; }
+
+  /// Channel carrying src -> dst traffic. On kNvlinkRing, src and dst
+  /// must be ring neighbours (the ring drivers only ever talk to
+  /// neighbours); kPcieHost accepts any distinct pair.
+  int channel_for(int src, int dst) const;
+
+  /// Register a transfer whose payload is ready at `request_ns`. Returns
+  /// its id. The transfer starts at request_ns + latency and completes
+  /// under PS sharing with everything else on its channel.
+  std::uint64_t begin(int src, int dst, std::size_t bytes,
+                      SimTime request_ns);
+
+  /// Resolve every registered transfer, assuming no further begin()
+  /// calls precede their completions (wave-synchronous issuance).
+  void finalize_all();
+
+  /// Drain finalized transfers, ordered by (end_ns, id).
+  std::vector<TransferRecord> take_completed();
+
+ private:
+  struct Pending {
+    TransferRecord rec;
+    double remaining = 0.0;  ///< bytes still to move
+  };
+  struct Channel {
+    std::vector<Pending> pending;  ///< registered, not yet finalized
+  };
+
+  void finalize_channel(Channel& ch);
+
+  int devices_ = 0;
+  LinkTopology topology_ = LinkTopology::kPcieHost;
+  LinkProps props_;
+  std::vector<Channel> channels_;
+  std::vector<TransferRecord> completed_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace gpusim

@@ -18,10 +18,11 @@ ReferenceEngine::ReferenceEngine(DeviceProps props)
   queues_[kDefaultStream];  // the default stream always exists
 }
 
-StreamId ReferenceEngine::create_stream(int priority) {
+StreamId ReferenceEngine::create_stream(int priority, bool non_blocking) {
   const StreamId id = next_stream_++;
   queues_[id];
   stream_priority_[id] = priority;
+  if (non_blocking) non_blocking_streams_.insert(id);
   return id;
 }
 
@@ -37,6 +38,7 @@ void ReferenceEngine::destroy_stream(StreamId stream) {
   synchronize_stream(stream);
   queues_.erase(it);
   stream_priority_.erase(stream);
+  non_blocking_streams_.erase(stream);
   last_seq_in_stream_.erase(stream);
 }
 
@@ -74,6 +76,28 @@ std::uint64_t ReferenceEngine::memcpy_async(StreamId stream, std::size_t bytes,
   return correlation;
 }
 
+std::uint64_t ReferenceEngine::memcpy_peer(StreamId stream, std::size_t bytes,
+                                           int peer_device, SimTime start_ns,
+                                           SimTime end_ns, WorkFn work) {
+  GLP_REQUIRE(peer_device >= 0, "memcpy_peer needs a peer device index");
+  GLP_REQUIRE(end_ns >= start_ns, "memcpy_peer span must be non-negative");
+  Op op;
+  op.kind = OpKind::kCopy;
+  op.stream = stream;
+  op.bytes = bytes;
+  op.peer = peer_device;
+  op.peer_start = start_ns;
+  op.peer_end = end_ns;
+  op.work = std::move(work);
+  op.correlation = next_correlation_++;
+  const std::uint64_t correlation = op.correlation;
+  // Zero host cost: peer copies are issued by the fleet's communication
+  // driver (a modelled dedicated thread), not the compute dispatch thread.
+  submit(std::move(op), 0.0);
+  ++stats_.copies_issued;
+  return correlation;
+}
+
 EventId ReferenceEngine::record_event(StreamId stream) {
   Op op;
   op.kind = OpKind::kEventRecord;
@@ -82,6 +106,21 @@ EventId ReferenceEngine::record_event(StreamId stream) {
   const EventId id = op.event;
   events_pending_.insert(id);
   submit(std::move(op), 0.3 * kUs);
+  return id;
+}
+
+EventId ReferenceEngine::record_event_at(StreamId stream, SimTime issue_ns) {
+  GLP_REQUIRE(issue_ns >= 0.0, "record_event_at needs a non-negative time");
+  Op op;
+  op.kind = OpKind::kEventRecord;
+  op.stream = stream;
+  op.event = next_event_++;
+  op.issue_at = issue_ns;
+  const EventId id = op.event;
+  events_pending_.insert(id);
+  // Zero host cost: issued by the fleet's communication driver, like
+  // memcpy_peer.
+  submit(std::move(op), 0.0);
   return id;
 }
 
@@ -109,7 +148,18 @@ void ReferenceEngine::submit(Op op, SimTime host_cost_ns) {
   op.seq = next_seq_++;
   op.release = host_time_;
   op.tenant = current_tenant_;
+  op.non_blocking = non_blocking_streams_.count(op.stream) != 0;
   host_time_ += host_cost_ns;
+  if (op.kind == OpKind::kCopy && op.peer >= 0) {
+    // Peer copies release at the link-granted start time: the fleet comm
+    // driver stands in for a dedicated communication thread, so the
+    // compute dispatch clock must not gate (or be charged for) them.
+    op.release = op.peer_start;
+  }
+  if (op.issue_at >= 0.0) {
+    // Same dedicated-thread semantics for comm-driver event records.
+    op.release = op.issue_at;
+  }
   // In-stream FIFO: each op waits for the completion of its predecessor
   // in the same stream (ops are admitted for execution the moment they
   // reach the queue head, so this dependency is what serialises a
@@ -123,18 +173,22 @@ void ReferenceEngine::submit(Op op, SimTime host_cost_ns) {
     last_default_seq_ = op.seq;
     op.default_dep = 0;
   } else {
-    op.default_dep = last_default_seq_;
+    // Non-blocking streams opt out of legacy default-stream ordering in
+    // both directions (cudaStreamNonBlocking).
+    op.default_dep = op.non_blocking ? 0 : last_default_seq_;
   }
   incomplete_.insert(op.seq);
+  if (!op.non_blocking) blocking_incomplete_.insert(op.seq);
   it->second.push_back(std::move(op));
 }
 
 bool ReferenceEngine::op_ready(const Op& op) const {
   if (op.release > now_) return false;
   if (op.barrier) {
-    // Ready only when every earlier-submitted op has completed.
-    GLP_CHECK(!incomplete_.empty());
-    if (*incomplete_.begin() != op.seq) return false;
+    // Ready only when every earlier-submitted *blocking* op has completed
+    // (non-blocking streams are exempt from the legacy barrier).
+    GLP_CHECK(!blocking_incomplete_.empty());
+    if (*blocking_incomplete_.begin() != op.seq) return false;
   } else if (op.default_dep != 0 && incomplete_.count(op.default_dep) != 0) {
     return false;
   }
@@ -148,9 +202,14 @@ bool ReferenceEngine::op_ready(const Op& op) const {
   return true;
 }
 
-void ReferenceEngine::complete_op_bookkeeping(std::uint64_t seq) {
+void ReferenceEngine::complete_op_bookkeeping(std::uint64_t seq,
+                                              bool non_blocking) {
   const auto erased = incomplete_.erase(seq);
   GLP_CHECK(erased == 1);
+  if (!non_blocking) {
+    const auto berased = blocking_incomplete_.erase(seq);
+    GLP_CHECK(berased == 1);
+  }
 }
 
 bool ReferenceEngine::start_ready_ops() {
@@ -187,11 +246,20 @@ bool ReferenceEngine::start_ready_ops() {
         case OpKind::kCopy: {
           ActiveCopy copy;
           copy.op = std::move(head);
-          const int dir = copy.op.host_to_device ? 0 : 1;
-          copy.start_ns = std::max(now_, copy_engine_free_[dir]);
-          copy.end_ns = copy.start_ns +
-                        static_cast<double>(copy.op.bytes) / props_.pcie_bandwidth_gbs;
-          copy_engine_free_[dir] = copy.end_ns;
+          if (copy.op.peer >= 0) {
+            // Cross-device transfer: the span was fixed by the link model.
+            // The end is clamped to `now` so an op that becomes runnable
+            // after its link span (stream backlog) completes immediately
+            // instead of handing advance_to a past-time event.
+            copy.start_ns = copy.op.peer_start;
+            copy.end_ns = std::max(copy.op.peer_end, now_);
+          } else {
+            const int dir = copy.op.host_to_device ? 0 : 1;
+            copy.start_ns = std::max(now_, copy_engine_free_[dir]);
+            copy.end_ns = copy.start_ns + static_cast<double>(copy.op.bytes) /
+                                              props_.pcie_bandwidth_gbs;
+            copy_engine_free_[dir] = copy.end_ns;
+          }
           copies_.push_back(std::move(copy));
           queue.pop_front();
           break;
@@ -199,18 +267,18 @@ bool ReferenceEngine::start_ready_ops() {
         case OpKind::kEventRecord: {
           event_times_[head.event] = now_;
           events_pending_.erase(head.event);
-          complete_op_bookkeeping(head.seq);
+          complete_op_bookkeeping(head.seq, head.non_blocking);
           queue.pop_front();
           break;
         }
         case OpKind::kWaitEvent: {
-          complete_op_bookkeeping(head.seq);
+          complete_op_bookkeeping(head.seq, head.non_blocking);
           queue.pop_front();
           break;
         }
         case OpKind::kHostFn: {
           if (head.work) head.work();
-          complete_op_bookkeeping(head.seq);
+          complete_op_bookkeeping(head.seq, head.non_blocking);
           queue.pop_front();
           break;
         }
@@ -347,9 +415,10 @@ void ReferenceEngine::advance_to(SimTime t) {
       rec.start_ns = done.start_ns;
       rec.end_ns = done.end_ns;
       rec.tenant = done.op.tenant;
+      rec.peer = done.op.peer;
       timeline_.add_copy(rec);
       if (copy_cb_) copy_cb_(rec);
-      complete_op_bookkeeping(done.op.seq);
+      complete_op_bookkeeping(done.op.seq, done.op.non_blocking);
     } else {
       ++i;
     }
@@ -374,7 +443,7 @@ void ReferenceEngine::finish_kernel(std::size_t idx) {
   timeline_.add_kernel(rec);
   if (kernel_cb_) kernel_cb_(rec);
 
-  complete_op_bookkeeping(done.op.seq);
+  complete_op_bookkeeping(done.op.seq, done.op.non_blocking);
   recompute_rates();
 }
 

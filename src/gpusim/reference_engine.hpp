@@ -25,7 +25,7 @@ class ReferenceEngine final : public DeviceEngine {
  public:
   explicit ReferenceEngine(DeviceProps props);
 
-  StreamId create_stream(int priority = 0) override;
+  StreamId create_stream(int priority = 0, bool non_blocking = false) override;
   int stream_priority(StreamId stream) const override;
   void destroy_stream(StreamId stream) override;
   int stream_count() const override { return static_cast<int>(queues_.size()); }
@@ -35,7 +35,11 @@ class ReferenceEngine final : public DeviceEngine {
                               WorkFn work) override;
   std::uint64_t memcpy_async(StreamId stream, std::size_t bytes,
                              bool host_to_device, WorkFn work = {}) override;
+  std::uint64_t memcpy_peer(StreamId stream, std::size_t bytes, int peer_device,
+                            SimTime start_ns, SimTime end_ns,
+                            WorkFn work = {}) override;
   EventId record_event(StreamId stream) override;
+  EventId record_event_at(StreamId stream, SimTime issue_ns) override;
   void wait_event(StreamId stream, EventId event) override;
   void host_callback(StreamId stream, WorkFn fn) override;
 
@@ -65,6 +69,7 @@ class ReferenceEngine final : public DeviceEngine {
     std::uint64_t default_dep = 0;
     std::uint64_t stream_dep = 0;
     bool barrier = false;
+    bool non_blocking = false;
     int tenant = -1;
 
     // kKernel
@@ -77,9 +82,13 @@ class ReferenceEngine final : public DeviceEngine {
     // kCopy
     std::size_t bytes = 0;
     bool host_to_device = true;
+    int peer = -1;             ///< peer device of a cross-device copy
+    SimTime peer_start = 0.0;  ///< link-granted start (peer copies only)
+    SimTime peer_end = 0.0;    ///< link-computed completion (peer copies only)
 
     // kEventRecord / kWaitEvent
     EventId event = 0;
+    SimTime issue_at = -1.0;   ///< comm-driver release override (< 0: host)
   };
 
   struct ActiveKernel {
@@ -102,7 +111,7 @@ class ReferenceEngine final : public DeviceEngine {
   void run_until(const std::function<bool()>& pred);
   bool start_ready_ops();
   bool op_ready(const Op& op) const;
-  void complete_op_bookkeeping(std::uint64_t seq);
+  void complete_op_bookkeeping(std::uint64_t seq, bool non_blocking);
   void recompute_rates();
   SimTime next_event_time() const;
   void advance_to(SimTime t);
@@ -110,8 +119,12 @@ class ReferenceEngine final : public DeviceEngine {
 
   std::map<StreamId, std::deque<Op>> queues_;
   std::map<StreamId, int> stream_priority_;
+  std::set<StreamId> non_blocking_streams_;
   std::map<StreamId, std::uint64_t> last_seq_in_stream_;
   std::set<std::uint64_t> incomplete_;
+  /// Incomplete ops on *blocking* streams only — the set the legacy
+  /// default-stream barrier consults (non-blocking streams are exempt).
+  std::set<std::uint64_t> blocking_incomplete_;
   std::map<EventId, SimTime> event_times_;
   std::set<EventId> events_pending_;
   std::vector<ActiveKernel> resident_;

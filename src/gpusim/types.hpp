@@ -83,6 +83,10 @@ struct CopyRecord {
   SimTime start_ns = 0.0;
   SimTime end_ns = 0.0;
   int tenant = -1;  ///< serving tenant tag (-1: untagged)
+  /// Peer device index for cross-device (fleet) transfers; -1 for the
+  /// ordinary H2D/D2H copies of a single device. Peer copies ride the
+  /// interconnect model, not the PCIe copy engines (see memcpy_peer).
+  int peer = -1;
 };
 
 }  // namespace gpusim

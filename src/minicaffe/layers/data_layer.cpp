@@ -60,7 +60,8 @@ void DataLayer::forward(const std::vector<Blob*>& bottom,
       }
     }
   }
-  cursor_ += static_cast<std::uint64_t>(batch);
+  cursor_ += shard_stride_ != 0 ? shard_stride_
+                                : static_cast<std::uint64_t>(batch);
 
   // Upload through the simulated copy engine on the context's home
   // stream (the default stream outside serving).
@@ -84,5 +85,16 @@ void DataLayer::forward(const std::vector<Blob*>& bottom,
 
 void DataLayer::backward(const std::vector<Blob*>&, const std::vector<bool>&,
                          const std::vector<Blob*>&) {}
+
+void DataLayer::configure_shard(std::uint64_t offset, std::uint64_t stride) {
+  const LayerParams& p = spec_.params;
+  GLP_REQUIRE(!p.pair_data,
+              "sharding is unavailable in pair mode: pair sampling draws "
+              "from the shared RNG and diverges across replicas");
+  GLP_REQUIRE(stride >= static_cast<std::uint64_t>(p.batch_size),
+              "shard stride must cover at least one batch");
+  cursor_ = offset;
+  shard_stride_ = stride;
+}
 
 }  // namespace mc

@@ -26,9 +26,21 @@ class DataLayer final : public Layer {
   std::uint64_t cursor() const { return cursor_; }
   const SyntheticDataset& dataset() const { return *dataset_; }
 
+  /// Data-parallel sharding: this replica reads batches starting at
+  /// sample `offset`, advancing the cursor by `stride` (= fleet size ×
+  /// batch) per iteration instead of by its own batch size. Device d of
+  /// an N-device fleet uses offset = d·batch, stride = N·batch, so the
+  /// fleet's iteration k consumes exactly the samples a single device
+  /// with the same batch would consume in micro-batches kN..kN+N-1 —
+  /// the sample partition the bit-exactness contract fixes. Rejected in
+  /// pair mode (pair sampling draws from the shared ExecContext RNG,
+  /// which diverges across replicas).
+  void configure_shard(std::uint64_t offset, std::uint64_t stride);
+
  private:
   std::unique_ptr<SyntheticDataset> dataset_;
   std::uint64_t cursor_ = 0;
+  std::uint64_t shard_stride_ = 0;  ///< 0: unsharded (advance by batch)
   // Host staging buffers; uploaded asynchronously each forward.
   std::vector<float> staging_images_;
   std::vector<float> staging_images_p_;

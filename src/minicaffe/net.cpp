@@ -157,6 +157,8 @@ void Net::forward() {
 }
 
 void Net::backward() {
+  GLP_REQUIRE(backward_layer_hook_ == nullptr || dag_ == nullptr,
+              "the backward layer hook requires the plain (non-DAG) path");
   if (dag_ != nullptr) {
     dag_->backward();
     return;
@@ -174,8 +176,10 @@ void Net::backward() {
     }
   }
   for (std::size_t li = layers_.size(); li-- > 0;) {
-    if (!layers_[li]->has_backward()) continue;
-    layers_[li]->backward(tops_[li], propagate_[li], bottoms_[li]);
+    if (layers_[li]->has_backward()) {
+      layers_[li]->backward(tops_[li], propagate_[li], bottoms_[li]);
+    }
+    if (backward_layer_hook_) backward_layer_hook_(li);
   }
 }
 

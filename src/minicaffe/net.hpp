@@ -7,6 +7,7 @@
 // them at the start of backward (layers accumulate), and verifies the
 // accumulate/assign consumer contract (see Layer::accumulates_bottom_diff).
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -56,6 +57,16 @@ class Net {
   /// Host-side zero of all parameter diffs (call only while synchronised).
   void zero_param_diffs();
 
+  /// Data-parallel hook: fires once per layer index (spec order) as the
+  /// plain backward pass walks the layers in reverse, right after the
+  /// layer's backward launch. The fleet trainer records bucket-ready
+  /// events here so the bucketed all-reduce starts while later layers'
+  /// backward is still being issued. Unsupported on the DAG path
+  /// (ExecContext::dag_schedule must be off to use it).
+  void set_backward_layer_hook(std::function<void(std::size_t)> hook) {
+    backward_layer_hook_ = std::move(hook);
+  }
+
   /// Adopt every parameter blob from `donor` (a net built from the same
   /// spec): each layer's params are re-pointed at the donor's blobs and
   /// this net's own copies are released. Serving replicas use this so N
@@ -85,6 +96,7 @@ class Net {
   std::map<std::string, bool> blob_needs_grad_;
   std::vector<std::shared_ptr<Blob>> learnable_params_;
   std::vector<std::pair<Layer*, float>> loss_layers_;
+  std::function<void(std::size_t)> backward_layer_hook_;
   std::unique_ptr<NetDag> dag_;
 };
 

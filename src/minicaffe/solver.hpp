@@ -50,9 +50,17 @@ class SgdSolver {
   /// match (same parameters and shapes).
   void restore(const std::string& path);
 
- private:
+  /// Fleet data-parallel entry points: the FleetTrainer replays step()'s
+  /// zero→forward→backward phases itself (inserting the bucketed
+  /// all-reduce between backward and update), then applies the update
+  /// and advances the iteration counter directly.
   void apply_update(float lr);
+  void note_step(float loss) {
+    last_loss_ = loss;
+    ++iter_;
+  }
 
+ private:
   Net* net_;
   SolverParams params_;
   int iter_ = 0;

@@ -16,6 +16,11 @@ constexpr gpusim::SimTime kInf = std::numeric_limits<gpusim::SimTime>::infinity(
 
 double percentile_nearest_rank(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
+  // Clamp the quantile before the size_t cast: converting a negative (or
+  // NaN) double to an unsigned integer is undefined behaviour, and for a
+  // 0- or 1-element sample any q degenerates to an endpoint anyway.
+  if (!(q > 0.0)) return sorted.front();
+  if (q >= 1.0) return sorted.back();
   const std::size_t n = sorted.size();
   std::size_t rank =
       static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
@@ -103,6 +108,12 @@ std::size_t InferenceServer::total_replicas() const {
 
 double InferenceServer::service_estimate_ns(int tenant) const {
   return shards_.at(static_cast<std::size_t>(tenant)).est_ns;
+}
+
+void InferenceServer::prewarm() {
+  if (warmed_) return;
+  warmup();
+  warmed_ = true;
 }
 
 void InferenceServer::warmup() {
@@ -287,7 +298,7 @@ std::vector<RequestRecord> InferenceServer::replay(
                    [](const InferenceRequest& a, const InferenceRequest& b) {
                      return a.arrival_ns < b.arrival_ns;
                    });
-  if (opts_.warmup) warmup();
+  if (opts_.warmup) prewarm();
 
   gpusim::DeviceEngine& dev = ctx_->device();
   t0_ = dev.host_now();

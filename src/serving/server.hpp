@@ -153,6 +153,12 @@ class InferenceServer {
   /// for `tenant` (simulated ns; 0 until warmed up or first reap).
   double service_estimate_ns(int tenant) const;
 
+  /// Run the warmup pass now instead of at replay() time. Idempotent —
+  /// a later replay() will not warm up again — so a fleet front end can
+  /// warm every shard server up front, read the seeded service
+  /// estimates to route a trace, and then replay the routed slices.
+  void prewarm();
+
   static ServingStats summarize(const std::vector<RequestRecord>& records);
 
  private:
@@ -195,6 +201,7 @@ class InferenceServer {
   std::vector<scuda::Stream> homes_;  ///< one home stream per slot
   std::vector<bool> slot_busy_;
   std::vector<InFlight> inflight_;
+  bool warmed_ = false;       ///< prewarm/warmup already ran
   gpusim::SimTime t0_ = 0.0;  ///< replay epoch (absolute sim time)
 };
 

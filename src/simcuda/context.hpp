@@ -75,13 +75,17 @@ class Stream {
   /// View of the legacy default stream (does not own anything).
   explicit Stream(Context& ctx) : ctx_(&ctx), id_(kDefaultStream), owned_(false) {}
 
-  static Stream create(Context& ctx, int priority = 0) {
+  /// `non_blocking` is the cudaStreamNonBlocking analog: the stream is
+  /// exempt from the legacy default-stream barrier (fleet communication
+  /// traffic must overlap default-stream compute).
+  static Stream create(Context& ctx, int priority = 0,
+                       bool non_blocking = false) {
     if (ctx.faults().should_fail_stream_create()) {
       throw StreamCreateFailed("injected stream-creation failure on device " +
                                ctx.props().name);
     }
     Stream s(ctx);
-    s.id_ = ctx.device().create_stream(priority);
+    s.id_ = ctx.device().create_stream(priority, non_blocking);
     s.owned_ = true;
     return s;
   }

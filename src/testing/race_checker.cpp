@@ -1,6 +1,8 @@
 #include "testing/race_checker.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <map>
 #include <sstream>
 #include <unordered_map>
 
@@ -35,6 +37,8 @@ const char* kind_name(RaceViolation::Kind kind) {
     case RaceViolation::Kind::kDefaultBarrierAfter: return "default-barrier-after";
     case RaceViolation::Kind::kConcurrencyCap: return "concurrency-cap";
     case RaceViolation::Kind::kDagOrderViolation: return "dag-order";
+    case RaceViolation::Kind::kLinkOversubscribed: return "link-oversubscribed";
+    case RaceViolation::Kind::kTransferAccounting: return "transfer-accounting";
   }
   return "unknown";
 }
@@ -261,6 +265,120 @@ OpScheduleReport check_op_schedule(const gpusim::Timeline& timeline,
   for (const Edge& e : sweep) {
     resident += e.delta;
     report.peak_op_concurrency = std::max(report.peak_op_concurrency, resident);
+  }
+
+  return report;
+}
+
+std::string FleetTransferReport::to_string() const {
+  std::ostringstream os;
+  for (const RaceViolation& v : violations) {
+    os << "[" << kind_name(v.kind) << "] transfer=" << v.correlation_id
+       << " channel=" << v.stream << " t=" << v.ts_ns << "ns: " << v.detail
+       << "\n";
+  }
+  return os.str();
+}
+
+FleetTransferReport check_fleet_transfers(
+    const std::vector<gpusim::TransferRecord>& transfers,
+    const gpusim::LinkProps& props) {
+  FleetTransferReport report;
+  report.transfers_checked = transfers.size();
+  const double bandwidth = props.bytes_per_ns();
+  // Conservation tolerance: the PS fluid drain works in double bytes, so
+  // residuals stay far below one byte even across many segments.
+  constexpr double kEpsBytes = 1e-3;
+  // Rate tolerance absorbs division noise when n transfers share B/n.
+  const double eps_rate = bandwidth * 1e-9 + 1e-12;
+
+  auto flag = [&](RaceViolation::Kind kind, const gpusim::TransferRecord& t,
+                  double ts, const std::string& detail) {
+    report.violations.push_back(RaceViolation{
+        kind, t.id, static_cast<gpusim::StreamId>(t.channel), ts, detail});
+  };
+
+  // --- per-record sanity + conservation ---------------------------------
+  for (const gpusim::TransferRecord& t : transfers) {
+    if (t.start_ns < t.request_ns - kEpsNs || t.end_ns < t.start_ns - kEpsNs) {
+      std::ostringstream d;
+      d << "request=" << t.request_ns << " start=" << t.start_ns
+        << " end=" << t.end_ns;
+      flag(RaceViolation::Kind::kTransferAccounting, t, t.start_ns, d.str());
+      continue;
+    }
+    double moved = 0.0;
+    double cursor = t.start_ns;
+    bool profile_ok = true;
+    for (const gpusim::RateSegment& seg : t.segments) {
+      // The PS fluid profile must tile [start, end] exactly: an active
+      // transfer always holds a positive share, so gaps are as illegal
+      // as overlaps.
+      if (std::abs(seg.start_ns - cursor) > kEpsNs ||
+          seg.end_ns < seg.start_ns || seg.end_ns > t.end_ns + kEpsNs ||
+          seg.rate < 0.0) {
+        std::ostringstream d;
+        d << "segment [" << seg.start_ns << ", " << seg.end_ns << ") rate "
+          << seg.rate << " leaves [" << cursor << ", " << t.end_ns << ")";
+        flag(RaceViolation::Kind::kTransferAccounting, t, seg.start_ns,
+             d.str());
+        profile_ok = false;
+        break;
+      }
+      moved += seg.rate * (seg.end_ns - seg.start_ns);
+      cursor = seg.end_ns;
+    }
+    if (!profile_ok) continue;
+    if (std::abs(cursor - t.end_ns) > kEpsNs) {
+      std::ostringstream d;
+      d << "rate profile stops at " << cursor << " short of end "
+        << t.end_ns;
+      flag(RaceViolation::Kind::kTransferAccounting, t, cursor, d.str());
+      continue;
+    }
+    if (std::abs(moved - static_cast<double>(t.bytes)) > kEpsBytes) {
+      std::ostringstream d;
+      d << "rate profile moved " << moved << " bytes of " << t.bytes;
+      flag(RaceViolation::Kind::kTransferAccounting, t, t.end_ns, d.str());
+    }
+  }
+
+  // --- per-channel capacity sweep ---------------------------------------
+  // Rate-delta events over every channel's segments; at equal timestamps
+  // rate removals land before additions (back-to-back waves touch).
+  struct RateEvent {
+    double ts;
+    double delta;
+    const gpusim::TransferRecord* transfer;
+  };
+  std::map<int, std::vector<RateEvent>> by_channel;
+  for (const gpusim::TransferRecord& t : transfers) {
+    for (const gpusim::RateSegment& seg : t.segments) {
+      if (seg.rate <= 0.0 || seg.end_ns <= seg.start_ns) continue;
+      by_channel[t.channel].push_back(RateEvent{seg.start_ns, seg.rate, &t});
+      by_channel[t.channel].push_back(RateEvent{seg.end_ns, -seg.rate, &t});
+    }
+  }
+  report.channels_used = by_channel.size();
+  for (auto& [channel, events] : by_channel) {
+    std::sort(events.begin(), events.end(),
+              [](const RateEvent& a, const RateEvent& b) {
+                if (a.ts != b.ts) return a.ts < b.ts;
+                return a.delta < b.delta;
+              });
+    double rate = 0.0;
+    for (const RateEvent& e : events) {
+      rate += e.delta;
+      report.peak_channel_rate = std::max(report.peak_channel_rate, rate);
+      if (e.delta > 0.0 && rate > bandwidth + eps_rate) {
+        std::ostringstream d;
+        d << "channel " << channel << " carries " << rate
+          << " bytes/ns at t=" << e.ts << " but the link provides "
+          << bandwidth;
+        flag(RaceViolation::Kind::kLinkOversubscribed, *e.transfer, e.ts,
+             d.str());
+      }
+    }
   }
 
   return report;

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "gpusim/device_props.hpp"
+#include "gpusim/interconnect.hpp"
 #include "gpusim/timeline.hpp"
 #include "gpusim/trace_export.hpp"
 
@@ -46,6 +47,10 @@ struct RaceViolation {
     kConcurrencyCap,        ///< resident kernels exceeded the device limit
     kDagOrderViolation,     ///< consumer-op kernel started before a producer
                             ///< op's kernel ended
+    kLinkOversubscribed,    ///< concurrent transfers on one channel summed
+                            ///< past its physical bandwidth
+    kTransferAccounting,    ///< a transfer's rate profile is inconsistent
+                            ///< (gaps, bad bounds, or ∫rate dt ≠ bytes)
   };
 
   Kind kind;
@@ -107,5 +112,36 @@ struct OpScheduleReport {
 /// vacuously.
 OpScheduleReport check_op_schedule(const gpusim::Timeline& timeline,
                                    const std::vector<ScheduledOp>& ops);
+
+struct FleetTransferReport {
+  std::vector<RaceViolation> violations;
+  std::size_t transfers_checked = 0;
+  /// Max instantaneous aggregate rate observed on any one channel
+  /// (bytes/ns == GB/s) — at most props.bandwidth_gbps when clean.
+  double peak_channel_rate = 0.0;
+  /// Channels that carried at least one transfer.
+  std::size_t channels_used = 0;
+
+  bool clean() const { return violations.empty(); }
+  std::string to_string() const;
+};
+
+/// Check a fleet run's cross-device transfers against the interconnect
+/// model's physical contract (docs/FLEET.md):
+///
+///   1. per-record sanity — request ≤ start, start ≤ end, and the
+///      RateSegment profile tiles [start, end] exactly (contiguous,
+///      in-bounds, non-negative rates);
+///   2. conservation — every transfer's ∫rate dt equals its byte count;
+///   3. capacity — at every instant, the rates of all transfers sharing
+///      a channel sum to at most the link bandwidth, so contending
+///      transfers each see a reduced share while transfers on disjoint
+///      channels keep the full link to themselves.
+///
+/// The RaceViolation's `stream` field carries the channel index and
+/// `correlation_id` the transfer id.
+FleetTransferReport check_fleet_transfers(
+    const std::vector<gpusim::TransferRecord>& transfers,
+    const gpusim::LinkProps& props);
 
 }  // namespace glpfuzz

@@ -400,4 +400,51 @@ TEST(Flags, RejectsBadAndMissingValues) {
   }
 }
 
+TEST(Flags, ListOptionAppendsAcrossOccurrencesAndSplitsCommas) {
+  std::vector<std::string> gens;
+  glp::Flags flags("t", "test");
+  flags.opt_list("device-gen", &gens, "device generations");
+  std::ostringstream out, err;
+  EXPECT_EQ(parse_argv(flags,
+                       {"--device-gen=P100,TitanXP", "--device-gen", "K40C"},
+                       out, err),
+            glp::Flags::Status::kOk);
+  EXPECT_EQ(gens, (std::vector<std::string>{"P100", "TitanXP", "K40C"}));
+}
+
+TEST(Flags, ListOptionFirstOccurrenceDropsPreloadedDefaults) {
+  std::vector<std::string> gens = {"default-a", "default-b"};
+  glp::Flags flags("t", "test");
+  flags.opt_list("device-gen", &gens, "device generations");
+  std::ostringstream out, err;
+  EXPECT_EQ(parse_argv(flags, {"--device-gen=P100"}, out, err),
+            glp::Flags::Status::kOk);
+  EXPECT_EQ(gens, std::vector<std::string>{"P100"});
+}
+
+TEST(Flags, ListOptionKeepsDefaultsWhenAbsent) {
+  std::vector<std::string> gens = {"keep"};
+  int i = 0;
+  glp::Flags flags("t", "test");
+  flags.opt_list("device-gen", &gens, "device generations").opt("int", &i, "x");
+  std::ostringstream out, err;
+  EXPECT_EQ(parse_argv(flags, {"--int", "1"}, out, err),
+            glp::Flags::Status::kOk);
+  EXPECT_EQ(gens, std::vector<std::string>{"keep"});
+}
+
+TEST(Flags, ListOptionRejectsEmptyElements) {
+  std::vector<std::string> gens;
+  glp::Flags flags("t", "test");
+  flags.opt_list("device-gen", &gens, "device generations");
+  for (const char* bad : {"--device-gen=", "--device-gen=a,,b",
+                          "--device-gen=a,", "--device-gen=,a"}) {
+    std::vector<std::string> reset;
+    gens = reset;
+    std::ostringstream out, err;
+    EXPECT_EQ(parse_argv(flags, {bad}, out, err), glp::Flags::Status::kError)
+        << bad;
+  }
+}
+
 }  // namespace

@@ -1,0 +1,395 @@
+// Fleet tests: the interconnect model's exact processor-sharing
+// contention (halving on a shared PCIe channel, non-interference of
+// disjoint NVLink links), the transfer race-checker (clean audits and
+// synthetic capacity/conservation/profile violations), the engine
+// semantics the fleet drivers lean on (non-blocking streams escaping the
+// default-stream barrier, comm-driver events releasing at their issue
+// time — identically on both engines), multi-device data-parallel
+// training held bit-identical to the single-device reference (both
+// engines, both link kinds, with and without overlap, clean and under
+// injected faults), and replica-group routing in the sharded fleet
+// server (placement containment, determinism, health-aware failover).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "gpusim/engine.hpp"
+#include "gpusim/interconnect.hpp"
+#include "serving/fleet_server.hpp"
+#include "serving/model_zoo.hpp"
+#include "serving/trace_gen.hpp"
+#include "simcuda/fleet.hpp"
+#include "test_helpers.hpp"
+#include "testing/fleet_differential.hpp"
+#include "testing/race_checker.hpp"
+
+namespace {
+
+using gpusim::kDefaultStream;
+using gpusim::LinkModel;
+using gpusim::LinkProps;
+using gpusim::LinkTopology;
+using gpusim::SimTime;
+using gpusim::TransferRecord;
+
+gpusim::LaunchConfig cfg(unsigned blocks, unsigned threads) {
+  gpusim::LaunchConfig c;
+  c.grid = {blocks, 1, 1};
+  c.block = {threads, 1, 1};
+  return c;
+}
+
+gpusim::KernelCost flops(double f) { return gpusim::KernelCost{f, f}; }
+
+// --- interconnect model ----------------------------------------------------
+
+TEST(LinkModel, SoloTransferRunsAtFullBandwidth) {
+  LinkModel links(2, LinkTopology::kPcieHost, LinkProps::pcie());
+  links.begin(0, 1, 120000, 0.0);
+  links.finalize_all();
+  const auto recs = links.take_completed();
+  ASSERT_EQ(recs.size(), 1u);
+  // 5 us latency, then 120000 B at 12 B/ns.
+  EXPECT_DOUBLE_EQ(recs[0].start_ns, 5000.0);
+  EXPECT_DOUBLE_EQ(recs[0].end_ns, 15000.0);
+  ASSERT_EQ(recs[0].segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(recs[0].segments[0].rate, 12.0);
+}
+
+TEST(LinkModel, ConcurrentTransfersOnSharedPcieChannelHalveExactly) {
+  LinkModel links(4, LinkTopology::kPcieHost, LinkProps::pcie());
+  EXPECT_EQ(links.channel_count(), 1);
+  EXPECT_EQ(links.channel_for(0, 1), links.channel_for(2, 3));
+  links.begin(0, 1, 120000, 0.0);
+  links.begin(2, 3, 120000, 0.0);
+  links.finalize_all();
+  const auto recs = links.take_completed();
+  ASSERT_EQ(recs.size(), 2u);
+  for (const TransferRecord& r : recs) {
+    // Both share the one host channel for their whole lifetime, so each
+    // progresses at exactly B/2 = 6 bytes/ns: end = 5000 + 120000/6.
+    EXPECT_DOUBLE_EQ(r.start_ns, 5000.0);
+    EXPECT_DOUBLE_EQ(r.end_ns, 25000.0);
+    ASSERT_EQ(r.segments.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.segments[0].rate, 6.0);
+  }
+}
+
+TEST(LinkModel, DisjointNvlinkLinksDoNotInterfere) {
+  LinkModel links(4, LinkTopology::kNvlinkRing, LinkProps::nvlink());
+  EXPECT_NE(links.channel_for(0, 1), links.channel_for(2, 3));
+  EXPECT_NE(links.channel_for(0, 1), links.channel_for(1, 0));  // directed
+  links.begin(0, 1, 60000, 0.0);
+  links.begin(2, 3, 60000, 0.0);
+  links.finalize_all();
+  const auto recs = links.take_completed();
+  ASSERT_EQ(recs.size(), 2u);
+  for (const TransferRecord& r : recs) {
+    // Dedicated directed link: full 60 B/ns as if alone.
+    EXPECT_DOUBLE_EQ(r.start_ns, 1000.0);
+    EXPECT_DOUBLE_EQ(r.end_ns, 2000.0);
+  }
+}
+
+TEST(LinkModel, SameNvlinkLinkContends) {
+  LinkModel links(4, LinkTopology::kNvlinkRing, LinkProps::nvlink());
+  links.begin(0, 1, 60000, 0.0);
+  links.begin(0, 1, 60000, 0.0);
+  links.finalize_all();
+  const auto recs = links.take_completed();
+  ASSERT_EQ(recs.size(), 2u);
+  for (const TransferRecord& r : recs) {
+    EXPECT_DOUBLE_EQ(r.end_ns, 3000.0);  // 1000 + 60000/(60/2)
+  }
+}
+
+// --- transfer race checker -------------------------------------------------
+
+TEST(FleetTransfers, CleanAuditOfContendedModelOutput) {
+  LinkModel links(4, LinkTopology::kPcieHost, LinkProps::pcie());
+  // Staggered arrivals so the PS profiles have several rate segments.
+  links.begin(0, 1, 120000, 0.0);
+  links.begin(1, 2, 60000, 2000.0);
+  links.begin(2, 3, 30000, 9000.0);
+  links.finalize_all();
+  const auto report =
+      glpfuzz::check_fleet_transfers(links.take_completed(), LinkProps::pcie());
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_EQ(report.transfers_checked, 3u);
+  EXPECT_LE(report.peak_channel_rate, LinkProps::pcie().bandwidth_gbps + 1e-9);
+  EXPECT_EQ(report.channels_used, 1u);
+}
+
+TEST(FleetTransfers, FlagsCapacityAndConservationViolations) {
+  TransferRecord bad;
+  bad.id = 1;
+  bad.src = 0;
+  bad.dst = 1;
+  bad.bytes = 1200;
+  bad.request_ns = 0.0;
+  bad.start_ns = 5000.0;
+  bad.end_ns = 5100.0;
+  bad.channel = 0;
+  // 24 B/ns on a 12 B/ns channel, and the integral (2400 B) is double
+  // the declared byte count: capacity AND conservation must both fire.
+  bad.segments = {{5000.0, 5100.0, 24.0}};
+  const auto report = glpfuzz::check_fleet_transfers({bad}, LinkProps::pcie());
+  EXPECT_FALSE(report.clean());
+  EXPECT_GE(report.violations.size(), 2u);
+}
+
+TEST(FleetTransfers, FlagsGappyRateProfile) {
+  TransferRecord bad;
+  bad.id = 2;
+  bad.src = 1;
+  bad.dst = 0;
+  bad.bytes = 960;
+  bad.request_ns = 0.0;
+  bad.start_ns = 5000.0;
+  bad.end_ns = 5100.0;
+  bad.channel = 0;
+  // Conserves bytes but leaves [5040, 5060) uncovered — an active PS
+  // transfer always holds a positive share, so gaps are malformed.
+  bad.segments = {{5000.0, 5040.0, 12.0}, {5060.0, 5100.0, 12.0}};
+  const auto report = glpfuzz::check_fleet_transfers({bad}, LinkProps::pcie());
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(FleetTransfers, FlagsProfileStoppingShortOfEnd) {
+  TransferRecord bad;
+  bad.id = 3;
+  bad.src = 0;
+  bad.dst = 1;
+  bad.bytes = 480;
+  bad.request_ns = 0.0;
+  bad.start_ns = 5000.0;
+  bad.end_ns = 5100.0;
+  bad.channel = 0;
+  bad.segments = {{5000.0, 5040.0, 12.0}};
+  const auto report = glpfuzz::check_fleet_transfers({bad}, LinkProps::pcie());
+  EXPECT_FALSE(report.clean());
+}
+
+// --- engine semantics the fleet drivers depend on --------------------------
+
+TEST(FleetEngine, NonBlockingStreamEscapesDefaultBarrierOnBothEngines) {
+  std::map<gpusim::EngineKind, std::pair<SimTime, SimTime>> times;
+  for (const auto kind :
+       {gpusim::EngineKind::kOptimized, gpusim::EngineKind::kReference}) {
+    scuda::Context ctx(gpusim::DeviceTable::p100(), kind);
+    auto& dev = ctx.device();
+    // Long default-stream kernel, then one link-scheduled peer copy on a
+    // non-blocking stream and one on an ordinary (blocking) stream.
+    dev.launch_kernel(kDefaultStream, "busy", cfg(64, 256), flops(1e10), {});
+    const auto nb = dev.create_stream(0, /*non_blocking=*/true);
+    const auto bl = dev.create_stream(0, /*non_blocking=*/false);
+    SimTime nb_done = -1.0, bl_done = -1.0;
+    dev.memcpy_peer(nb, 64, 1, 1000.0, 2000.0,
+                    [&] { nb_done = dev.device_now(); });
+    dev.memcpy_peer(bl, 64, 1, 1000.0, 2000.0,
+                    [&] { bl_done = dev.device_now(); });
+    dev.synchronize();
+    // The non-blocking copy keeps its link-granted span; the blocking one
+    // is admitted only after the default-stream barrier and completes no
+    // earlier than the kernel.
+    EXPECT_DOUBLE_EQ(nb_done, 2000.0);
+    EXPECT_GT(bl_done, 2000.0);
+    times[kind] = {nb_done, bl_done};
+  }
+  // Bit-identical across engines.
+  EXPECT_EQ(times.at(gpusim::EngineKind::kOptimized),
+            times.at(gpusim::EngineKind::kReference));
+}
+
+TEST(FleetEngine, CommDriverEventReleasesAtIssueTimeOnBothEngines) {
+  for (const auto kind :
+       {gpusim::EngineKind::kOptimized, gpusim::EngineKind::kReference}) {
+    scuda::Context ctx(gpusim::DeviceTable::p100(), kind);
+    auto& dev = ctx.device();
+    const SimTime host_before = dev.host_now();
+    const auto marker = dev.record_event_at(kDefaultStream, 7777.0);
+    // Zero host cost: the dispatch thread's clock must not move.
+    EXPECT_DOUBLE_EQ(dev.host_now(), host_before);
+    dev.synchronize();
+    EXPECT_DOUBLE_EQ(dev.event_time(marker), 7777.0);
+  }
+}
+
+TEST(Fleet, SynchronizeAllDrainsEveryDevice) {
+  scuda::Fleet fleet = scuda::Fleet::homogeneous(3, gpusim::DeviceTable::p100());
+  ASSERT_EQ(fleet.size(), 3);
+  fleet.device(1).device().launch_kernel(kDefaultStream, "k", cfg(32, 256),
+                                         flops(1e9), {});
+  fleet.synchronize_all();
+  EXPECT_GT(fleet.device(1).device().device_now(), 0.0);
+  EXPECT_DOUBLE_EQ(fleet.max_device_now(),
+                   fleet.device(1).device().device_now());
+  for (int d = 0; d < fleet.size(); ++d) {
+    EXPECT_TRUE(fleet.device(d).device().stream_idle(kDefaultStream));
+  }
+}
+
+// --- data-parallel training bit-exactness ----------------------------------
+
+TEST(FleetTraining, TwoDevicesBitExactOnBothEngines) {
+  const std::uint64_t seed = glptest::test_seed(3);
+  GLP_SCOPED_SEED(seed);
+  const glpfuzz::FuzzCase c = glpfuzz::make_fleet_case(seed);
+  for (const auto kind :
+       {gpusim::EngineKind::kOptimized, gpusim::EngineKind::kReference}) {
+    glpfuzz::FleetDiffOptions opts;
+    opts.devices = 2;
+    opts.engine = kind;
+    const auto r = glpfuzz::run_fleet_differential(c, opts);
+    EXPECT_TRUE(r.ok) << r.failure;
+    EXPECT_GT(r.params_compared, 0u);
+    EXPECT_GT(r.transfers.transfers_checked, 0u);
+  }
+}
+
+TEST(FleetTraining, FourDevicesOverPcieBitExact) {
+  const std::uint64_t seed = glptest::test_seed(4);
+  GLP_SCOPED_SEED(seed);
+  const glpfuzz::FuzzCase c = glpfuzz::make_fleet_case(seed);
+  glpfuzz::FleetDiffOptions opts;
+  opts.devices = 4;
+  opts.topology = LinkTopology::kPcieHost;
+  const auto r = glpfuzz::run_fleet_differential(c, opts);
+  EXPECT_TRUE(r.ok) << r.failure;
+  EXPECT_GT(r.buckets, 0u);
+}
+
+TEST(FleetTraining, SerializeThenReduceBaselineAlsoBitExact) {
+  const std::uint64_t seed = glptest::test_seed(5);
+  GLP_SCOPED_SEED(seed);
+  const glpfuzz::FuzzCase c = glpfuzz::make_fleet_case(seed);
+  glpfuzz::FleetDiffOptions opts;
+  opts.devices = 2;
+  opts.overlap = false;
+  const auto r = glpfuzz::run_fleet_differential(c, opts);
+  EXPECT_TRUE(r.ok) << r.failure;
+}
+
+TEST(FleetTraining, BitExactUnderInjectedFaults) {
+  const std::uint64_t seed = glptest::test_seed(8);
+  GLP_SCOPED_SEED(seed);
+  const glpfuzz::FuzzCase c = glpfuzz::make_fleet_case(seed);
+  glpfuzz::FleetDiffOptions opts;
+  opts.devices = 2;
+  opts.faults.launch_failure_rate = 0.05;
+  opts.faults.stream_create_failure_rate = 0.05;
+  opts.faults.capture_loss_rate = 0.05;
+  opts.faults.seed = seed;
+  const auto r = glpfuzz::run_fleet_differential(c, opts);
+  EXPECT_TRUE(r.ok) << r.failure;
+}
+
+// --- sharded serving -------------------------------------------------------
+
+std::vector<serving::TenantModel> fleet_tenants() {
+  serving::TenantModel a;
+  a.name = "tiny_cnn";
+  a.spec = serving::tiny_cnn(1);
+  serving::TenantModel b;
+  b.name = "mlp";
+  b.spec = serving::mlp(1);
+  return {std::move(a), std::move(b)};
+}
+
+std::vector<std::size_t> input_sizes(
+    const std::vector<serving::TenantModel>& models) {
+  std::vector<std::size_t> sizes;
+  for (const auto& m : models) {
+    const auto& d = m.spec.layers.front().params.dataset;
+    sizes.push_back(static_cast<std::size_t>(d.channels) * d.height * d.width);
+  }
+  return sizes;
+}
+
+std::vector<serving::InferenceRequest> fleet_trace(std::uint64_t seed,
+                                                   int requests = 60) {
+  serving::TraceSpec ts;
+  ts.requests = requests;
+  ts.rate_rps = 6000.0;
+  ts.tenants = 2;
+  ts.seed = seed;
+  return serving::make_trace(ts, input_sizes(fleet_tenants()));
+}
+
+TEST(FleetServer, RoutesStayInsideReplicaGroups) {
+  const std::uint64_t seed = glptest::test_seed(21);
+  GLP_SCOPED_SEED(seed);
+  const auto trace = fleet_trace(seed);
+  scuda::Fleet fleet = scuda::Fleet::homogeneous(3, gpusim::DeviceTable::p100());
+  serving::FleetServerOptions opts;
+  opts.replicas = 2;
+  serving::FleetServer server(fleet, fleet_tenants(), opts);
+  const auto records = server.replay(trace);
+  EXPECT_EQ(records.size(), trace.size());
+
+  std::map<std::uint64_t, int> tenant_of;
+  for (const auto& req : trace) tenant_of[req.id] = req.tenant;
+  ASSERT_FALSE(server.last_routes().empty());
+  for (const auto& [id, device] : server.last_routes()) {
+    const auto& group = server.replica_group(tenant_of.at(id));
+    EXPECT_NE(std::find(group.begin(), group.end(), device), group.end())
+        << "request " << id << " routed off its replica group";
+  }
+}
+
+TEST(FleetServer, IdenticalInputsRouteIdentically) {
+  const std::uint64_t seed = glptest::test_seed(22);
+  GLP_SCOPED_SEED(seed);
+  const auto trace = fleet_trace(seed);
+  std::vector<std::vector<std::pair<std::uint64_t, int>>> routes;
+  for (int run = 0; run < 2; ++run) {
+    scuda::Fleet fleet =
+        scuda::Fleet::homogeneous(3, gpusim::DeviceTable::p100());
+    serving::FleetServerOptions opts;
+    opts.replicas = 2;
+    // Routing tie-breaks consult warmed service estimates, which include
+    // the scheduler's one-time overhead charge; pin it so the two
+    // instances warm bit-identical estimates (the default charges
+    // *measured* wall time).
+    opts.server.scheduler.overhead_charge_ms = 0.05;
+    serving::FleetServer server(fleet, fleet_tenants(), opts);
+    server.replay(trace);
+    routes.push_back(server.last_routes());
+  }
+  EXPECT_EQ(routes[0], routes[1]);
+}
+
+TEST(FleetServer, UnhealthyDeviceReceivesNoTraffic) {
+  const std::uint64_t seed = glptest::test_seed(23);
+  GLP_SCOPED_SEED(seed);
+  const auto trace = fleet_trace(seed);
+  scuda::Fleet fleet = scuda::Fleet::homogeneous(3, gpusim::DeviceTable::p100());
+  serving::FleetServerOptions opts;
+  opts.replicas = 2;
+  serving::FleetServer server(fleet, fleet_tenants(), opts);
+  server.set_healthy(0, false);
+  const auto records = server.replay(trace);
+  EXPECT_EQ(records.size(), trace.size());
+  for (const auto& [id, device] : server.last_routes()) {
+    EXPECT_NE(device, 0) << "request " << id << " routed to unhealthy device";
+  }
+}
+
+TEST(FleetServer, ThrowsWhenATenantLosesEveryReplica) {
+  const std::uint64_t seed = glptest::test_seed(24);
+  GLP_SCOPED_SEED(seed);
+  const auto trace = fleet_trace(seed, 10);
+  scuda::Fleet fleet = scuda::Fleet::homogeneous(2, gpusim::DeviceTable::p100());
+  serving::FleetServerOptions opts;
+  opts.replicas = 1;
+  serving::FleetServer server(fleet, fleet_tenants(), opts);
+  // With replicas=1 each tenant lives on exactly one device; killing it
+  // leaves that tenant unroutable.
+  server.set_healthy(server.replica_group(0).front(), false);
+  EXPECT_THROW(server.replay(trace), glp::Error);
+}
+
+}  // namespace

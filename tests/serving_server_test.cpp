@@ -483,4 +483,39 @@ TEST(InferenceServer, SchedulerBeatsSerialAtSaturatingLoad) {
       << serial.throughput_rps;
 }
 
+// --- nearest-rank percentiles ----------------------------------------------
+
+TEST(Percentile, EmptySampleIsZero) {
+  EXPECT_EQ(serving::percentile_nearest_rank({}, 0.50), 0.0);
+  EXPECT_EQ(serving::percentile_nearest_rank({}, 0.99), 0.0);
+}
+
+TEST(Percentile, SingleRecordDegeneratesToThatRecord) {
+  const std::vector<double> one = {3.5};
+  for (const double q : {0.0, 0.01, 0.50, 0.99, 1.0}) {
+    EXPECT_EQ(serving::percentile_nearest_rank(one, q), 3.5) << "q=" << q;
+  }
+}
+
+TEST(Percentile, DegenerateQuantilesClampToEndpoints) {
+  const std::vector<double> s = {1.0, 2.0, 3.0, 4.0};
+  // q <= 0 (including NaN, which fails every comparison) must not reach
+  // the unsigned cast; it degenerates to the minimum.
+  EXPECT_EQ(serving::percentile_nearest_rank(s, 0.0), 1.0);
+  EXPECT_EQ(serving::percentile_nearest_rank(s, -0.5), 1.0);
+  EXPECT_EQ(serving::percentile_nearest_rank(
+                s, std::numeric_limits<double>::quiet_NaN()),
+            1.0);
+  EXPECT_EQ(serving::percentile_nearest_rank(s, 1.0), 4.0);
+  EXPECT_EQ(serving::percentile_nearest_rank(s, 2.0), 4.0);
+}
+
+TEST(Percentile, NearestRankOnSmallSamples) {
+  const std::vector<double> s = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(serving::percentile_nearest_rank(s, 0.25), 1.0);  // ceil(1.0) = 1
+  EXPECT_EQ(serving::percentile_nearest_rank(s, 0.50), 2.0);
+  EXPECT_EQ(serving::percentile_nearest_rank(s, 0.51), 3.0);
+  EXPECT_EQ(serving::percentile_nearest_rank(s, 0.99), 4.0);
+}
+
 }  // namespace

@@ -30,6 +30,21 @@
 //                        one clean forward/backward pass. Combined with
 //                        --engine-compare, runs the engine-equivalence gate
 //                        with DAG scheduling enabled on both engines.
+//   --fleet              fleet corpus (Dropout-stripped, bit-exact regime):
+//                        train each case on an N-device fleet (bucketed
+//                        ring all-reduce, eager overlap, per-device GLP4NN
+//                        schedulers) and on the single-device reference,
+//                        and require bit-identical losses and parameters
+//                        plus a clean link-contract audit of every
+//                        cross-device transfer
+//   --fleet-devices <n>  fleet width (default 2)
+//   --links <kind>       fleet interconnect: nvlink (ring) or pcie
+//                        (shared host channel); default nvlink
+//   --fleet-engine <e>   engine the fleet devices run on: optimized
+//                        (default) or reference — the latter doubles as
+//                        a cross-engine differential over the fleet path
+//   --no-overlap         fleet: serialize-then-reduce baseline instead of
+//                        eager bucketed overlap
 //   --no-branches        linear nets only
 //   --no-timeline        skip timeline recording + race checking
 //   --trace <file>       Chrome trace of the last failing (or replayed)
@@ -49,6 +64,7 @@
 #include "gpusim/trace_export.hpp"
 #include "minicaffe/solver.hpp"
 #include "testing/differential_runner.hpp"
+#include "testing/fleet_differential.hpp"
 #include "testing/net_generator.hpp"
 
 namespace {
@@ -90,6 +106,10 @@ int main(int argc, char** argv) {
   std::string replay_arg;
   bool no_branches = false, no_timeline = false, engine_compare = false;
   bool dag = false;
+  bool fleet = false, no_overlap = false;
+  glpfuzz::FleetDiffOptions fleet_opts;
+  std::string links = "nvlink";
+  std::string fleet_engine = "optimized";
 
   glp::Flags flags("glp4nn_fuzz",
                    "Differential fuzzer for the GLP4NN runtime scheduler "
@@ -110,6 +130,16 @@ int main(int argc, char** argv) {
       .flag("dag", &dag,
             "branchy DAG corpus + three-way DAG differential (DAG vs "
             "serial AND DAG vs chain-only, with op-schedule replay)")
+      .flag("fleet", &fleet,
+            "fleet corpus: N-device data-parallel training vs the "
+            "single-device reference (bit-identical) + link-contract audit")
+      .opt("fleet-devices", &fleet_opts.devices, "fleet width")
+      .opt("links", &links, "fleet interconnect: nvlink or pcie")
+      .opt("fleet-engine", &fleet_engine,
+           "engine the fleet devices run on: optimized or reference "
+           "(reference doubles as a cross-engine fleet differential)")
+      .flag("no-overlap", &no_overlap,
+            "fleet: serialize-then-reduce instead of eager bucketed overlap")
       .flag("no-branches", &no_branches, "linear nets only")
       .flag("no-timeline", &no_timeline,
             "skip timeline recording + race checking")
@@ -137,6 +167,27 @@ int main(int argc, char** argv) {
   }
   if (no_branches) gen.allow_branches = false;
   if (no_timeline) diff.check_timeline = false;
+  if (fleet) {
+    if (engine_compare || dag) fail(flags, "--fleet excludes the other modes");
+    if (fleet_opts.devices < 1) fail(flags, "--fleet-devices must be >= 1");
+    if (links == "nvlink") {
+      fleet_opts.topology = gpusim::LinkTopology::kNvlinkRing;
+    } else if (links == "pcie") {
+      fleet_opts.topology = gpusim::LinkTopology::kPcieHost;
+    } else {
+      fail(flags, "--links must be nvlink or pcie");
+    }
+    if (fleet_engine == "optimized") {
+      fleet_opts.engine = gpusim::EngineKind::kOptimized;
+    } else if (fleet_engine == "reference") {
+      fleet_opts.engine = gpusim::EngineKind::kReference;
+    } else {
+      fail(flags, "--fleet-engine must be optimized or reference");
+    }
+    fleet_opts.overlap = !no_overlap;
+    fleet_opts.faults = diff.faults;
+    fleet_opts.check_transfers = !no_timeline;
+  }
   if (dag) {
     gen.dag_corpus = true;
     // Under --engine-compare the DAG path runs inside the engine gate.
@@ -154,7 +205,43 @@ int main(int argc, char** argv) {
   Stats stats;
   for (int i = 0; i < cases; ++i) {
     const std::uint64_t case_seed = seed + static_cast<std::uint64_t>(i);
-    const glpfuzz::FuzzCase c = glpfuzz::make_case(case_seed, gen);
+    const glpfuzz::FuzzCase c = fleet ? glpfuzz::make_fleet_case(case_seed, gen)
+                                      : glpfuzz::make_case(case_seed, gen);
+
+    if (fleet) {
+      glpfuzz::FleetDiffResult fr;
+      try {
+        fr = glpfuzz::run_fleet_differential(c, fleet_opts);
+      } catch (const std::exception& e) {
+        fr.ok = false;
+        fr.failure = std::string("exception: ") + e.what();
+      }
+      stats.launch_faults += fr.launch_faults;
+      stats.stream_faults += fr.stream_faults;
+      stats.fallback_scopes += static_cast<std::size_t>(fr.comm_fallbacks);
+      ++stats.bit_exact;
+      if (fr.ok) {
+        ++stats.passed;
+        if (verbose) {
+          std::printf(
+              "PASS %s | %d device(s) bit-identical over %zu params, "
+              "%zu bucket(s), %zu transfer(s), peak link %.1f GB/s\n",
+              c.summary().c_str(), fleet_opts.devices, fr.params_compared,
+              fr.buckets, fr.transfers.transfers_checked,
+              fr.transfers.peak_channel_rate);
+        }
+      } else {
+        ++stats.failed;
+        std::printf("FAIL %s\n     %s\n", c.summary().c_str(),
+                    fr.failure.c_str());
+        std::printf("     replay: %s --replay %llu --fleet --fleet-devices "
+                    "%d --links %s --fleet-engine %s%s\n",
+                    argv[0], static_cast<unsigned long long>(case_seed),
+                    fleet_opts.devices, links.c_str(), fleet_engine.c_str(),
+                    no_overlap ? " --no-overlap" : "");
+      }
+      continue;
+    }
 
     if (engine_compare) {
       glpfuzz::EngineDiffResult er;

@@ -17,6 +17,12 @@
 // duplicated, and the drained trace is then replayed deterministically on
 // the simulated clock. Everything else in the tool is simulated-time and
 // bit-reproducible for a given seed.
+//
+// --fleet-devices N shards the tenants across an N-device fleet
+// (serving/fleet_server.hpp): tenants land on --replicas-wide replica
+// groups and a deterministic least-busy router splits the trace.
+// --device-gen picks each device's generation (repeatable or
+// comma-separated, cycled to the fleet width; default --device).
 
 #include <algorithm>
 #include <atomic>
@@ -32,8 +38,10 @@
 #include "common/strings.hpp"
 #include "gpusim/device_props.hpp"
 #include "gpusim/trace_export.hpp"
+#include "serving/fleet_server.hpp"
 #include "serving/model_zoo.hpp"
 #include "serving/server.hpp"
+#include "simcuda/fleet.hpp"
 
 namespace {
 
@@ -126,6 +134,8 @@ int main(int argc, char** argv) {
   std::string trace_path, json_path;
   int requests = 1000, max_batch = 8, slots = 4, queue_cap = 64;
   int ingest_threads = 0;
+  int fleet_devices = 1, replicas = 1;
+  std::vector<std::string> device_gens;
   double rate = 2000.0, max_delay_us = 2000.0, deadline_ms = 0.0;
   double headroom = 1.2;
   unsigned long long seed = 42;
@@ -161,6 +171,12 @@ int main(int argc, char** argv) {
       .opt("queue", &queue_cap, "per-tenant admission queue capacity")
       .opt("ingest-threads", &ingest_threads,
            "wall-clock MPMC ingest producers (0 = direct handoff)")
+      .opt("fleet-devices", &fleet_devices,
+           "shard tenants across this many devices (1 = single device)")
+      .opt("replicas", &replicas, "replica-group size per tenant (fleet mode)")
+      .opt_list("device-gen", &device_gens,
+                "per-device generation, repeatable/comma-separated, cycled "
+                "to the fleet width (default: --device everywhere)")
       .opt("seed", &seed, "trace seed")
       .flag("timing-only", &timing_only, "skip numerics; timing simulation only")
       .flag("compare", &compare, "replay under both glp4nn and serial")
@@ -180,6 +196,25 @@ int main(int argc, char** argv) {
     if (!props) fail(flags, "unknown device '" + device + "'");
     if (mode != "glp4nn" && mode != "serial") {
       fail(flags, "unknown mode '" + mode + "'");
+    }
+    if (fleet_devices < 1) fail(flags, "--fleet-devices must be >= 1");
+    if (replicas < 1) fail(flags, "--replicas must be >= 1");
+    const bool fleet_mode = fleet_devices > 1;
+    if (fleet_mode && !trace_path.empty()) {
+      fail(flags, "--trace exports a single device timeline; "
+                  "it is not supported in fleet mode");
+    }
+    std::vector<gpusim::DeviceProps> fleet_props;
+    for (int d = 0; d < fleet_devices; ++d) {
+      if (device_gens.empty()) {
+        fleet_props.push_back(*props);
+      } else {
+        const std::string& gen = device_gens[static_cast<std::size_t>(d) %
+                                             device_gens.size()];
+        const auto p = gpusim::DeviceTable::by_name(gen);
+        if (!p) fail(flags, "unknown device '" + gen + "'");
+        fleet_props.push_back(*p);
+      }
     }
     serving::TraceSpec ts;
     ts.requests = requests;
@@ -250,11 +285,20 @@ int main(int argc, char** argv) {
     base.mode = timing_only ? kern::ComputeMode::kTimingOnly
                             : kern::ComputeMode::kNumeric;
 
-    std::printf("serving %zu tenant(s) [%s] on %s: %d requests @ %.0f req/s "
-                "(%s arrivals, %s batching)\n",
-                models.size(), models_csv.c_str(), props->name.c_str(),
-                requests, rate, arrival.c_str(),
-                serving::batch_mode_name(base.batch.mode));
+    if (fleet_mode) {
+      std::printf("serving %zu tenant(s) [%s] on a %d-device %s fleet "
+                  "(%d replica(s) per tenant): %d requests @ %.0f req/s "
+                  "(%s arrivals, %s batching)\n",
+                  models.size(), models_csv.c_str(), fleet_devices,
+                  fleet_props.front().name.c_str(), replicas, requests, rate,
+                  arrival.c_str(), serving::batch_mode_name(base.batch.mode));
+    } else {
+      std::printf("serving %zu tenant(s) [%s] on %s: %d requests @ %.0f req/s "
+                  "(%s arrivals, %s batching)\n",
+                  models.size(), models_csv.c_str(), props->name.c_str(),
+                  requests, rate, arrival.c_str(),
+                  serving::batch_mode_name(base.batch.mode));
+    }
 
     std::vector<std::size_t> sizes;
     for (const auto& m : models) {
@@ -268,6 +312,21 @@ int main(int argc, char** argv) {
     }
 
     const auto run = [&](bool use_scheduler) -> RunResult {
+      RunResult r;
+      if (fleet_mode) {
+        scuda::Fleet fleet(fleet_props, {});
+        serving::FleetServerOptions fo;
+        fo.server = base;
+        fo.server.use_scheduler = use_scheduler;
+        fo.replicas = replicas;
+        serving::FleetServer server(fleet, models, fo);
+        const auto records = server.replay(trace);
+        r.stats = serving::InferenceServer::summarize(records);
+        for (int d = 0; d < server.devices(); ++d) {
+          r.replicas += server.server(d).total_replicas();
+        }
+        return r;
+      }
       scuda::Context gpu(*props);
       serving::ServerOptions opts = base;
       opts.use_scheduler = use_scheduler;
@@ -277,7 +336,6 @@ int main(int argc, char** argv) {
       if (!trace_path.empty()) {
         gpusim::write_chrome_trace(gpu.device().timeline(), trace_path);
       }
-      RunResult r;
       r.stats = serving::InferenceServer::summarize(records);
       r.replicas = server.total_replicas();
       return r;

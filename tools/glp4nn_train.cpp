@@ -21,11 +21,23 @@
 //   --trace <file>      write a Chrome trace of the final iteration
 //   --summary           print the layer table before training
 //   --profile           print an nvprof-style kernel summary at the end
+//
+// Fleet (data-parallel) training:
+//   --fleet-devices <n> train on an n-device fleet with the bucketed ring
+//                       all-reduce (default 1 = single device)
+//   --device-gen <g>    per-device generation, repeatable or
+//                       comma-separated, cycled to the fleet width
+//                       (default: --device everywhere)
+//   --links <kind>      fleet interconnect: nvlink | pcie
+//   --no-overlap        serialize-then-reduce instead of eager overlap
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "comm/data_parallel.hpp"
 #include "common/cli.hpp"
 #include "core/glp4nn.hpp"
 #include "gpusim/profile_report.hpp"
@@ -33,6 +45,7 @@
 #include "minicaffe/models.hpp"
 #include "minicaffe/net_parser.hpp"
 #include "minicaffe/solver.hpp"
+#include "simcuda/fleet.hpp"
 
 namespace {
 
@@ -59,6 +72,10 @@ int main(int argc, char** argv) {
   int iters = 10, display = 1;
   float lr = 0.01f, momentum = 0.9f;
   bool timing_only = false, want_summary = false, want_profile = false;
+  int fleet_devices = 1;
+  std::vector<std::string> device_gens;
+  std::string links = "nvlink";
+  bool no_overlap = false;
 
   glp::Flags flags("glp4nn_train",
                    "Train a network on the simulated GPU (the `caffe` "
@@ -79,7 +96,15 @@ int main(int argc, char** argv) {
       .opt("display", &display, "print loss every N iterations")
       .opt("trace", &trace_path, "write Chrome trace of the final iteration")
       .flag("summary", &want_summary, "print the layer table before training")
-      .flag("profile", &want_profile, "print a kernel summary at the end");
+      .flag("profile", &want_profile, "print a kernel summary at the end")
+      .opt("fleet-devices", &fleet_devices,
+           "data-parallel fleet width (1 = single device)")
+      .opt_list("device-gen", &device_gens,
+                "per-device generation, repeatable/comma-separated, cycled "
+                "to the fleet width (default: --device everywhere)")
+      .opt("links", &links, "fleet interconnect: nvlink or pcie")
+      .flag("no-overlap", &no_overlap,
+            "fleet: serialize-then-reduce instead of eager bucketed overlap");
   switch (flags.parse(argc, argv)) {
     case glp::Flags::Status::kHelp:
       return 0;
@@ -95,6 +120,111 @@ int main(int argc, char** argv) {
 
     const mc::NetSpec spec =
         net_file.empty() ? builtin_model(model) : mc::parse_net_file(net_file);
+
+    mc::SolverParams sp;
+    sp.base_lr = lr;
+    sp.momentum = momentum;
+    if (solver_name == "nesterov") {
+      sp.type = mc::SolverType::kNesterov;
+    } else if (solver_name == "adagrad") {
+      sp.type = mc::SolverType::kAdaGrad;
+    } else if (solver_name != "sgd") {
+      fail(flags, "unknown solver '" + solver_name + "'");
+    }
+
+    const auto report_iteration = [&](int iter, float loss) {
+      if (display > 0 && iter % display == 0) {
+        if (timing_only) {
+          std::printf("iter %4d\n", iter);
+        } else {
+          std::printf("iter %4d  loss %.4f\n", iter, loss);
+        }
+      }
+    };
+
+    if (fleet_devices < 1) fail(flags, "--fleet-devices must be >= 1");
+    if (fleet_devices > 1) {
+      // --- data-parallel fleet training ---------------------------------
+      if (!snapshot_path.empty() || !restore_path.empty() ||
+          !trace_path.empty() || want_profile) {
+        fail(flags,
+             "--snapshot/--restore/--trace/--profile are single-device only");
+      }
+      scuda::FleetOptions fopts;
+      if (links == "nvlink") {
+        fopts.topology = gpusim::LinkTopology::kNvlinkRing;
+        fopts.link = gpusim::LinkProps::nvlink();
+      } else if (links == "pcie") {
+        fopts.topology = gpusim::LinkTopology::kPcieHost;
+        fopts.link = gpusim::LinkProps::pcie();
+      } else {
+        fail(flags, "--links must be nvlink or pcie");
+      }
+      std::vector<gpusim::DeviceProps> fleet_props;
+      for (int d = 0; d < fleet_devices; ++d) {
+        const std::string& name =
+            device_gens.empty()
+                ? device
+                : device_gens[static_cast<std::size_t>(d) % device_gens.size()];
+        const auto p = gpusim::DeviceTable::by_name(name);
+        if (!p) fail(flags, "unknown device '" + name + "'");
+        fleet_props.push_back(*p);
+      }
+      scuda::Fleet fleet(fleet_props, fopts);
+
+      std::vector<std::unique_ptr<kern::KernelDispatcher>> dispatchers;
+      std::vector<std::unique_ptr<glp4nn::Glp4nnEngine>> engines;
+      std::vector<std::unique_ptr<mc::ExecContext>> ecs;
+      std::vector<mc::ExecContext*> ec_ptrs;
+      for (int d = 0; d < fleet_devices; ++d) {
+        scuda::Context& ctx = fleet.device(d);
+        auto ec = std::make_unique<mc::ExecContext>();
+        ec->ctx = &ctx;
+        ec->mode = timing_only ? kern::ComputeMode::kTimingOnly
+                               : kern::ComputeMode::kNumeric;
+        if (mode == "serial") {
+          dispatchers.push_back(std::make_unique<kern::SerialDispatcher>(ctx));
+          ec->dispatcher = dispatchers.back().get();
+        } else if (mode.rfind("fixed:", 0) == 0) {
+          dispatchers.push_back(std::make_unique<kern::FixedStreamDispatcher>(
+              ctx, std::stoi(mode.substr(6))));
+          ec->dispatcher = dispatchers.back().get();
+        } else if (mode == "glp4nn" || mode == "strict") {
+          glp4nn::SchedulerOptions opts;
+          opts.strict_repro = mode == "strict";
+          engines.push_back(std::make_unique<glp4nn::Glp4nnEngine>(opts));
+          ec->dispatcher = &engines.back()->scheduler_for(ctx);
+        } else {
+          fail(flags, "unknown mode '" + mode + "'");
+        }
+        ec_ptrs.push_back(ec.get());
+        ecs.push_back(std::move(ec));
+      }
+
+      comm::FleetTrainerOptions topts;
+      topts.solver = sp;
+      topts.overlap = !no_overlap;
+      comm::FleetTrainer trainer(fleet, ec_ptrs, spec, topts);
+      std::printf(
+          "net '%s': %zu layers on a %d-device %s fleet (%s links, %s, "
+          "%zu bucket(s))%s\n",
+          spec.name.c_str(), spec.layers.size(), fleet_devices,
+          fleet_props.front().name.c_str(), links.c_str(),
+          no_overlap ? "serialize-then-reduce" : "eager overlap",
+          trainer.plan().buckets.size(), timing_only ? " (timing only)" : "");
+      if (want_summary) std::printf("%s", trainer.net(0).summary().c_str());
+
+      const double t0 = fleet.max_device_now();
+      trainer.step(iters, report_iteration);
+      fleet.synchronize_all();
+      const double ms = (fleet.max_device_now() - t0) / 1e6;
+      std::printf(
+          "trained %d iterations on %d devices in %.2f simulated ms "
+          "(%.2f ms/iter, %zu cross-device transfer(s))\n",
+          iters, fleet_devices, ms, ms / std::max(iters, 1),
+          trainer.ring().transfers().size());
+      return 0;
+    }
 
     scuda::Context gpu(*props);
     std::unique_ptr<kern::KernelDispatcher> fixed;
@@ -126,32 +256,12 @@ int main(int argc, char** argv) {
     if (want_summary) std::printf("%s", net.summary().c_str());
     if (want_profile) gpu.device().timeline().set_enabled(true);
 
-    mc::SolverParams sp;
-    sp.base_lr = lr;
-    sp.momentum = momentum;
-    if (solver_name == "nesterov") {
-      sp.type = mc::SolverType::kNesterov;
-    } else if (solver_name == "adagrad") {
-      sp.type = mc::SolverType::kAdaGrad;
-    } else if (solver_name != "sgd") {
-      fail(flags, "unknown solver '" + solver_name + "'");
-    }
     mc::SgdSolver solver(net, sp);
     if (!restore_path.empty()) {
       solver.restore(restore_path);
       std::printf("restored snapshot '%s' (iteration %d)\n",
                   restore_path.c_str(), solver.iter());
     }
-
-    const auto report_iteration = [&](int iter, float loss) {
-      if (display > 0 && iter % display == 0) {
-        if (timing_only) {
-          std::printf("iter %4d\n", iter);
-        } else {
-          std::printf("iter %4d  loss %.4f\n", iter, loss);
-        }
-      }
-    };
 
     const double t0 = gpu.device().host_now();
     if (trace_path.empty()) {
