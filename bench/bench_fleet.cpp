@@ -10,12 +10,20 @@
 //   * serving: FleetServer sharding a four-tenant mix across 1/2/4
 //     devices at a saturating offered rate — served throughput and p99
 //     per fleet width, speedup vs the single device.
+//   * collectives: CollectiveEngine micro-sweep — one bucket reduced in
+//     isolation per (algorithm, topology, width, wire, chunking) point,
+//     simulated makespan only. This is where the topology-aware
+//     algorithm choice shows up directly: tree/hier vs flat ring on the
+//     shared PCIe channel, chunk pipelining vs whole-bucket waves on
+//     NVLink, and fp16-on-the-wire vs fp32.
 //
 // Writes the committed BENCH_fleet.json baseline (schema
-// glp4nn-bench-fleet-v1, documented in docs/FLEET.md). The CI perf-smoke
+// glp4nn-bench-fleet-v2, documented in docs/FLEET.md). The CI perf-smoke
 // floors read it: >=3.0x training throughput at 4 NVLink devices,
 // overlap beating serialize-then-reduce wherever there is communication
-// (devices >= 2), and fleet serving >=2x a single device.
+// (devices >= 2), fleet serving >=2x a single device, tree and hier
+// beating flat ring on PCIe at 4 and 8 devices, chunk pipelining beating
+// whole-bucket waves on NVLink, and fp16 wire beating fp32.
 //
 // Usage: bench_fleet [--quick] [--out FILE]
 
@@ -45,6 +53,7 @@ struct TrainRecord {
   int devices = 1;
   std::string links;  ///< "nvlink" or "pcie"
   bool overlap = true;
+  std::string collective;       ///< algorithm chosen for the largest bucket
   double iter_ms = 0.0;         ///< simulated makespan per iteration
   double throughput_sps = 0.0;  ///< samples/s across the whole fleet
   double scaling_x = 0.0;       ///< vs the 1-device overlap run
@@ -94,6 +103,13 @@ TrainRecord train_point(const mc::NetSpec& spec, int batch, int devices,
   topts.overlap = overlap;
   comm::FleetTrainer trainer(fleet, ec_ptrs, spec, topts);
   r.buckets = trainer.plan().buckets.size();
+  std::size_t largest = 0;
+  for (const auto& b : trainer.plan().buckets)
+    largest = std::max(largest, b.count);
+  r.collective =
+      devices > 1 && largest > 0
+          ? comm::to_string(trainer.collectives().algo_for(largest))
+          : "none";
 
   trainer.step(warmup);
   fleet.synchronize_all();
@@ -107,8 +123,8 @@ TrainRecord train_point(const mc::NetSpec& spec, int batch, int devices,
   r.iter_ms = span_ns / 1e6 / measured;
   r.throughput_sps = static_cast<double>(devices) * batch * measured /
                      (span_ns * 1e-9);
-  // The ring keeps records since its last reset, i.e. one iteration.
-  r.transfers = trainer.ring().transfers().size();
+  // The engine keeps records since its last reset, i.e. one iteration.
+  r.transfers = trainer.collectives().transfers().size();
   return r;
 }
 
@@ -173,18 +189,72 @@ ServeRecord serve_point(int devices, int replicas, double rate, int requests) {
   return r;
 }
 
+struct CollectiveRecord {
+  std::string choice;  ///< requested: auto | ring | tree | hier
+  std::string algo;    ///< algorithm the cost model actually ran
+  std::string links;
+  int devices = 1;
+  std::size_t count = 0;
+  std::string wire;        ///< "fp32" or "fp16"
+  std::size_t chunk = 0;   ///< pipeline_chunk_bytes (0 = whole bucket)
+  double makespan_ms = 0.0;
+  std::size_t transfers = 0;
+};
+
+/// One collective point: a fresh fleet reduces a single `count`-element
+/// bucket (timing only) and the record keeps the simulated makespan —
+/// the pure all-reduce cost with no training compute around it.
+CollectiveRecord collective_point(comm::CollectiveChoice choice,
+                                  gpusim::LinkTopology topo, int devices,
+                                  std::size_t count, comm::WireFormat wire,
+                                  std::size_t chunk_bytes) {
+  CollectiveRecord r;
+  r.choice = comm::to_string(choice);
+  r.links = topo == gpusim::LinkTopology::kNvlinkRing ? "nvlink" : "pcie";
+  r.devices = devices;
+  r.count = count;
+  r.wire = wire == comm::WireFormat::kFp16 ? "fp16" : "fp32";
+  r.chunk = chunk_bytes;
+
+  scuda::FleetOptions fopts;
+  fopts.topology = topo;
+  fopts.link = topo == gpusim::LinkTopology::kNvlinkRing
+                   ? gpusim::LinkProps::nvlink()
+                   : gpusim::LinkProps::pcie();
+  scuda::Fleet fleet =
+      scuda::Fleet::homogeneous(devices, gpusim::DeviceTable::p100(), fopts);
+
+  comm::CollectiveOptions copts;
+  copts.collective = choice;
+  copts.wire = wire;
+  copts.pipeline_chunk_bytes = chunk_bytes;
+  comm::CollectiveEngine engine(fleet, copts);
+  r.algo = comm::to_string(engine.algo_for(count));
+
+  const std::vector<float*> flat(static_cast<std::size_t>(devices), nullptr);
+  const std::vector<gpusim::SimTime> ready(static_cast<std::size_t>(devices),
+                                           0.0);
+  engine.reduce(flat, count, ready, /*numeric=*/false);
+  fleet.synchronize_all();
+  r.makespan_ms = fleet.max_device_now() / 1e6;
+  r.transfers = engine.transfers().size();
+  return r;
+}
+
 void write_json(const std::string& path, const std::vector<TrainRecord>& train,
-                const std::vector<ServeRecord>& serve) {
+                const std::vector<ServeRecord>& serve,
+                const std::vector<CollectiveRecord>& coll) {
   std::ofstream os(path);
   GLP_REQUIRE(os.good(), "cannot open '" << path << "' for writing");
   os << "{\n"
-     << "  \"schema\": \"glp4nn-bench-fleet-v1\",\n"
+     << "  \"schema\": \"glp4nn-bench-fleet-v2\",\n"
      << bench::provenance_json("P100") << "  \"training\": [\n";
   for (std::size_t i = 0; i < train.size(); ++i) {
     const TrainRecord& r = train[i];
     os << "    {\"net\": \"" << r.net << "\", \"batch\": " << r.batch
        << ", \"devices\": " << r.devices << ", \"links\": \"" << r.links
        << "\", \"mode\": \"" << (r.overlap ? "overlap" : "serialize")
+       << "\", \"collective\": \"" << r.collective
        << "\", \"iter_ms\": " << r.iter_ms
        << ", \"throughput_sps\": " << r.throughput_sps
        << ", \"scaling_x\": " << r.scaling_x << ", \"buckets\": " << r.buckets
@@ -204,6 +274,17 @@ void write_json(const std::string& path, const std::vector<TrainRecord>& train,
        << ", \"slo_attainment\": " << s.slo_attainment
        << ", \"speedup_x\": " << r.speedup_x << "}"
        << (i + 1 < serve.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"collectives\": [\n";
+  for (std::size_t i = 0; i < coll.size(); ++i) {
+    const CollectiveRecord& r = coll[i];
+    os << "    {\"choice\": \"" << r.choice << "\", \"algo\": \"" << r.algo
+       << "\", \"links\": \"" << r.links << "\", \"devices\": " << r.devices
+       << ", \"count\": " << r.count << ", \"wire\": \"" << r.wire
+       << "\", \"chunk_bytes\": " << r.chunk
+       << ", \"makespan_ms\": " << r.makespan_ms
+       << ", \"transfers\": " << r.transfers << "}"
+       << (i + 1 < coll.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
   GLP_REQUIRE(os.good(), "failed writing '" << path << "'");
@@ -259,11 +340,12 @@ int main(int argc, char** argv) {
             if (n == 1) base_sps = r.throughput_sps;
             r.scaling_x = base_sps > 0.0 ? r.throughput_sps / base_sps : 0.0;
             std::printf(
-                "train %-13s %dx%-6s %-9s | iter %8.3f ms | %9.0f "
+                "train %-13s %dx%-6s %-9s %-4s | iter %8.3f ms | %9.0f "
                 "samples/s | %4.2fx | %zu bucket(s), %zu transfer(s)\n",
                 r.net.c_str(), r.devices, r.links.c_str(),
-                r.overlap ? "overlap" : "serialize", r.iter_ms,
-                r.throughput_sps, r.scaling_x, r.buckets, r.transfers);
+                r.overlap ? "overlap" : "serialize", r.collective.c_str(),
+                r.iter_ms, r.throughput_sps, r.scaling_x, r.buckets,
+                r.transfers);
             train.push_back(std::move(r));
           }
         }
@@ -289,9 +371,42 @@ int main(int argc, char** argv) {
       serve.push_back(std::move(r));
     }
 
-    write_json(out, train, serve);
-    std::printf("wrote %s (%zu training + %zu serving records)\n", out.c_str(),
-                train.size(), serve.size());
+    // Collective micro-sweep: one 1M-element (4 MB fp32) bucket.
+    const std::size_t cnt = std::size_t{1} << 20;
+    std::vector<CollectiveRecord> coll;
+    auto run_coll = [&](comm::CollectiveChoice choice,
+                        gpusim::LinkTopology topo, int n,
+                        comm::WireFormat wire, std::size_t chunk) {
+      CollectiveRecord r = collective_point(choice, topo, n, cnt, wire, chunk);
+      std::printf(
+          "coll  %-4s (ran %-4s) %dx%-6s %s chunk %6zu | makespan %8.3f ms "
+          "| %zu transfer(s)\n",
+          r.choice.c_str(), r.algo.c_str(), r.devices, r.links.c_str(),
+          r.wire.c_str(), r.chunk, r.makespan_ms, r.transfers);
+      coll.push_back(std::move(r));
+    };
+    // Algorithm face-off on the shared PCIe channel (whole bucket).
+    for (const int n : {4, 8}) {
+      for (const comm::CollectiveChoice c :
+           {comm::CollectiveChoice::kRing, comm::CollectiveChoice::kTree,
+            comm::CollectiveChoice::kHier, comm::CollectiveChoice::kAuto}) {
+        run_coll(c, gpusim::LinkTopology::kPcieHost, n,
+                 comm::WireFormat::kFp32, 0);
+      }
+    }
+    // Chunk pipelining vs whole-bucket waves on the NVLink ring.
+    for (const std::size_t chunk : {std::size_t{0}, std::size_t{256} << 10}) {
+      run_coll(comm::CollectiveChoice::kRing, gpusim::LinkTopology::kNvlinkRing,
+               4, comm::WireFormat::kFp32, chunk);
+    }
+    // fp16 on the wire halves every message.
+    run_coll(comm::CollectiveChoice::kRing, gpusim::LinkTopology::kPcieHost, 4,
+             comm::WireFormat::kFp16, 0);
+
+    write_json(out, train, serve, coll);
+    std::printf("wrote %s (%zu training + %zu serving + %zu collective "
+                "records)\n",
+                out.c_str(), train.size(), serve.size(), coll.size());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -114,191 +114,4 @@ void reference_ring_allreduce(const std::vector<float*>& grads,
   }
 }
 
-RingAllreduce::RingAllreduce(scuda::Fleet& fleet) : fleet_(&fleet) {
-  comm_streams_.reserve(static_cast<std::size_t>(fleet.size()));
-  for (int d = 0; d < fleet.size(); ++d) {
-    scuda::Context& ctx = fleet.device(d);
-    try {
-      comm_streams_.push_back(
-          scuda::Stream::create(ctx, /*priority=*/0, /*non_blocking=*/true));
-    } catch (const scuda::StreamCreateFailed&) {
-      // Injected fault: fall back to the default stream. Receives then
-      // serialize with compute — timing degrades, numerics are identical.
-      comm_streams_.push_back(scuda::Stream(ctx));
-    }
-  }
-  channel_free_.assign(
-      static_cast<std::size_t>(fleet.links().channel_count()), 0.0);
-}
-
-void RingAllreduce::reset() {
-  staging_.clear();
-  transfers_.clear();
-}
-
-float* RingAllreduce::stage(std::size_t count) {
-  staging_.push_back(std::make_unique<float[]>(count));
-  return staging_.back().get();
-}
-
-std::vector<gpusim::EventId> RingAllreduce::reduce(
-    const std::vector<float*>& flat, std::size_t count,
-    const std::vector<gpusim::SimTime>& ready_ns, bool numeric) {
-  const int n = fleet_->size();
-  GLP_REQUIRE(static_cast<int>(flat.size()) == n &&
-                  static_cast<int>(ready_ns.size()) == n,
-              "reduce: one flat buffer and ready time per device");
-
-  std::vector<gpusim::EventId> done(static_cast<std::size_t>(n));
-  if (n == 1) {
-    // Nothing to exchange; the ring sum of one rank is the rank itself.
-    gpusim::DeviceEngine& dev = fleet_->device(0).device();
-    done[0] = dev.record_event_at(
-        comm_streams_[0].id(), std::max(ready_ns[0], dev.device_now()));
-    return done;
-  }
-
-  gpusim::LinkModel& links = fleet_->links();
-
-  // The schedule must never land in a device's past. A profiling-mode
-  // scheduler scope synchronizes its device mid-backward, which drives
-  // that device's clock beyond the bucket-ready event timestamps; the
-  // engine clamps a peer copy's completion to its own clock, so a copy
-  // scheduled in the past would run its receive functor AFTER the
-  // staging snapshot below reads the destination buffer. Floor every
-  // ready time at the owning device's current clock instead — times
-  // already in the future are unchanged, so overlap is preserved.
-  std::vector<gpusim::SimTime> ready0(static_cast<std::size_t>(n));
-  for (int d = 0; d < n; ++d) {
-    ready0[static_cast<std::size_t>(d)] =
-        std::max(ready_ns[static_cast<std::size_t>(d)],
-                 fleet_->device(d).device().device_now());
-  }
-
-  // `ready[d]` — time device d's chunk-in-flight became valid: the pack
-  // time for step 0, thereafter the end of its previous receive.
-  std::vector<gpusim::SimTime> ready = ready0;
-
-  // Marker event trailing device d's most recent receive in its comm
-  // stream (kNoMarker before the first wave: step-0 chunks come from the
-  // caller's host-side pack, which needs no device progress).
-  constexpr gpusim::EventId kNoMarker =
-      std::numeric_limits<gpusim::EventId>::max();
-  std::vector<gpusim::EventId> recv_marker(static_cast<std::size_t>(n),
-                                           kNoMarker);
-
-  // One wave per ring step: reduce-scatter steps 0..n-2, then all-gather
-  // steps n-1..2n-3. At step s (< n-1) device i forwards chunk (i-s)%n
-  // and its successor accumulates; at all-gather step s' = s-(n-1) it
-  // forwards chunk (i+1-s')%n and its successor overwrites.
-  for (int step = 0; step < 2 * (n - 1); ++step) {
-    const bool gather = step >= n - 1;
-    const int s = gather ? step - (n - 1) : step;
-
-    struct Wave {
-      std::uint64_t id = 0;
-      int src = 0;
-      int dst = 0;
-      int chunk = 0;
-      std::size_t lo = 0, hi = 0;
-    };
-    std::vector<Wave> wave;
-    wave.reserve(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i) {
-      Wave w;
-      w.src = i;
-      w.dst = (i + 1) % n;
-      w.chunk = gather ? (i + 1 - s + n) % n : (i - s + n) % n;
-      std::tie(w.lo, w.hi) = chunk_range(count, n, w.chunk);
-      const std::size_t bytes = (w.hi - w.lo) * sizeof(float);
-      // Request = data ready on the source, the receiver's own bucket
-      // ready (it must hold its local term to accumulate into), and the
-      // channel free of the previous wave (per-channel FIFO).
-      const int ch = links.channel_for(w.src, w.dst);
-      gpusim::SimTime req = std::max(ready[static_cast<std::size_t>(w.src)],
-                                     channel_free_[static_cast<std::size_t>(ch)]);
-      if (!gather) {
-        req = std::max(req, ready0[static_cast<std::size_t>(w.dst)]);
-      }
-      w.id = links.begin(w.src, w.dst, bytes, req);
-      wave.push_back(w);
-    }
-    links.finalize_all();
-    std::vector<gpusim::TransferRecord> recs = links.take_completed();
-    GLP_CHECK(recs.size() == wave.size());
-
-    std::vector<gpusim::SimTime> next_ready = ready;
-    for (const Wave& w : wave) {
-      const gpusim::TransferRecord* rec = nullptr;
-      for (const auto& r : recs) {
-        if (r.id == w.id) {
-          rec = &r;
-          break;
-        }
-      }
-      GLP_CHECK(rec != nullptr);
-      // Max, not assignment: on a shared channel (kPcieHost) the whole
-      // wave lands on one channel and its transfers end at different
-      // times, so the channel is only free once the LATEST of them
-      // completes — otherwise the next wave's finalize batch would
-      // overlap this wave's tail and oversubscribe the link.
-      channel_free_[static_cast<std::size_t>(rec->channel)] = std::max(
-          channel_free_[static_cast<std::size_t>(rec->channel)], rec->end_ns);
-
-      const std::size_t chunk_count = w.hi - w.lo;
-      gpusim::DeviceEngine::WorkFn work;
-      if (numeric && chunk_count > 0) {
-        // Snapshot the source chunk at issue time. After step 0 the
-        // staged value is produced by the source's previous receive, so
-        // drive the source device past that receive's marker event first.
-        // Event-based (not a time-based advance): an op can complete
-        // later than the link schedule says — a fallback comm stream
-        // serializes receives behind the default-stream barrier — and
-        // the snapshot must chase the functor, wherever it lands.
-        if (recv_marker[static_cast<std::size_t>(w.src)] != kNoMarker) {
-          advance_until_event(fleet_->device(w.src).device(),
-                              recv_marker[static_cast<std::size_t>(w.src)]);
-        }
-        float* staged = stage(chunk_count);
-        std::memcpy(staged, flat[static_cast<std::size_t>(w.src)] + w.lo,
-                    chunk_count * sizeof(float));
-        float* dst = flat[static_cast<std::size_t>(w.dst)] + w.lo;
-        if (gather) {
-          work = [dst, staged, chunk_count] {
-            std::memcpy(dst, staged, chunk_count * sizeof(float));
-          };
-        } else {
-          work = [dst, staged, chunk_count] {
-            for (std::size_t k = 0; k < chunk_count; ++k) dst[k] += staged[k];
-          };
-        }
-      }
-      gpusim::DeviceEngine& dst_dev = fleet_->device(w.dst).device();
-      dst_dev.memcpy_peer(
-          comm_streams_[static_cast<std::size_t>(w.dst)].id(),
-          (w.hi - w.lo) * sizeof(float), w.src, rec->start_ns, rec->end_ns,
-          std::move(work));
-      // Marker right behind the receive in the comm stream's FIFO: it
-      // completes when the receive's functor has actually run, which is
-      // what the next wave's snapshot (and the caller's unpack) gate on.
-      recv_marker[static_cast<std::size_t>(w.dst)] = dst_dev.record_event_at(
-          comm_streams_[static_cast<std::size_t>(w.dst)].id(), rec->end_ns);
-      next_ready[static_cast<std::size_t>(w.dst)] = rec->end_ns;
-    }
-    ready = std::move(next_ready);
-    transfers_.insert(transfers_.end(),
-                      std::make_move_iterator(recs.begin()),
-                      std::make_move_iterator(recs.end()));
-  }
-
-  // In a ring every device receives during the final wave, so its last
-  // marker doubles as the bucket-done event.
-  for (int d = 0; d < n; ++d) {
-    GLP_CHECK(recv_marker[static_cast<std::size_t>(d)] != kNoMarker);
-    done[static_cast<std::size_t>(d)] =
-        recv_marker[static_cast<std::size_t>(d)];
-  }
-  return done;
-}
-
 }  // namespace comm

@@ -1,29 +1,16 @@
 #pragma once
-// Bucketed ring all-reduce over a simulated fleet's interconnect.
+// Gradient bucketing and shared fleet co-simulation helpers for the
+// collective engine (comm/collectives.hpp), plus the classic ring
+// all-reduce host oracle.
 //
-// The classic two-phase ring runs over N devices: N-1 reduce-scatter
-// steps (each device forwards a chunk to its ring successor, which
-// accumulates it into its local gradient) followed by N-1 all-gather
-// steps (the fully reduced chunks circulate and overwrite). Every
-// transfer is timed on the fleet's LinkModel — PCIe fleets contend on
-// the shared host channel, NVLink rings use dedicated per-neighbour
-// links — and materializes as a memcpy_peer op on the *destination*
-// device's communication stream, where it overlaps default-stream
-// compute through the ordinary event-horizon machinery.
-//
-// Numerics are deterministic by construction: chunk c's value is the
-// single accumulation chain f[c] → +f[c+1] → ... → +f[c+N-1] (indices
-// mod N, fixed association), finished on device (c+N-1)%N and then
-// copied verbatim. reference_ring_allreduce() replays the identical
-// float operations on the host, which is what makes the fleet
-// differential suite's bit-exactness contract checkable.
-//
-// Timing discipline is wave-synchronous: the N transfers of one ring
-// step are requested together and finalized together, and each channel
-// carries at most one wave at a time (per-channel FIFO across waves —
-// the destination comm stream would serialize the receives anyway).
-// Under this issuance order the LinkModel's finalize-on-quiescence
-// contention resolution is exact.
+// reference_ring_allreduce replays the two-phase ring's accumulation
+// chains on the host: chunk c's value is the single chain
+// f[c] → +f[c+1] → ... → +f[c+N-1] (indices mod N, fixed association),
+// finished on device (c+N-1)%N and then copied verbatim. It is
+// bit-identical to replaying the ring wave program with
+// reference_collective_allreduce (dst += staged applies the new term on
+// the left, exactly as the chain does) and is kept as the direct,
+// program-free spelling of the PR-9 determinism contract.
 
 #include <cstddef>
 #include <memory>
@@ -66,63 +53,11 @@ BucketPlan plan_buckets(const mc::Net& net, std::size_t bucket_bytes);
 gpusim::SimTime advance_until_event(gpusim::DeviceEngine& dev,
                                     gpusim::EventId ev);
 
-/// Host replica of the fleet reduction: applies the exact per-chunk
-/// accumulation chains RingAllreduce produces to N gradient arrays of
-/// `count` floats, leaving every array holding the (unscaled) ring sum.
+/// Host replica of the classic fleet reduction: applies the exact
+/// per-chunk accumulation chains the ring wave program produces to N
+/// gradient arrays of `count` floats, leaving every array holding the
+/// (unscaled) ring sum.
 void reference_ring_allreduce(const std::vector<float*>& grads,
                               std::size_t count);
-
-class RingAllreduce {
- public:
-  /// Creates one communication stream per device: non-blocking (the
-  /// cudaStreamNonBlocking analog) so receives are exempt from the
-  /// default-stream barrier and overlap compute. When stream creation is
-  /// fault-injected the device falls back to its default stream —
-  /// numerics are unaffected, communication merely stops overlapping.
-  explicit RingAllreduce(scuda::Fleet& fleet);
-
-  /// Discard staging buffers from the previous iteration. Call only
-  /// after every device has synchronized past the iteration's receives
-  /// (their work functors borrow the staging memory).
-  void reset();
-
-  /// Reduce one bucket: `flat[d]` is device d's packed gradient of
-  /// `count` floats, valid once `ready[d]` (an event on d's default
-  /// stream) completes; `ready_ns[d]` is that event's timestamp. Queues
-  /// every receive on the comm streams and returns per-device events
-  /// that complete when the device holds the full ring sum. When
-  /// `numeric` is false only timing is modelled (no host math).
-  std::vector<gpusim::EventId> reduce(const std::vector<float*>& flat,
-                                      std::size_t count,
-                                      const std::vector<gpusim::SimTime>& ready_ns,
-                                      bool numeric);
-
-  gpusim::StreamId comm_stream(int d) const {
-    return comm_streams_[static_cast<std::size_t>(d)].id();
-  }
-  /// True when device d's comm stream fell back to the default stream.
-  bool fallback(int d) const {
-    return comm_streams_[static_cast<std::size_t>(d)].is_default();
-  }
-
-  /// Every finalized TransferRecord since the last reset(), in completion
-  /// order — the fleet race-checker's input (check_fleet_transfers).
-  const std::vector<gpusim::TransferRecord>& transfers() const {
-    return transfers_;
-  }
-
- private:
-  float* stage(std::size_t count);
-
-  scuda::Fleet* fleet_;
-  std::vector<scuda::Stream> comm_streams_;
-  /// Link-channel availability: a channel carries one wave at a time.
-  std::vector<gpusim::SimTime> channel_free_;
-  /// Finalized transfers since the last reset(), for auditing.
-  std::vector<gpusim::TransferRecord> transfers_;
-  /// Snapshot buffers owned until reset(); receive functors read them at
-  /// simulated completion time.
-  std::vector<std::unique_ptr<float[]>> staging_;
-};
 
 }  // namespace comm

@@ -14,7 +14,7 @@ FleetTrainer::FleetTrainer(scuda::Fleet& fleet,
     : fleet_(&fleet),
       ec_(std::move(contexts)),
       options_(options),
-      ring_(fleet) {
+      collectives_(fleet, options.collective) {
   const int n = fleet.size();
   GLP_REQUIRE(static_cast<int>(ec_.size()) == n,
               "need one ExecContext per fleet device");
@@ -83,7 +83,7 @@ void FleetTrainer::train_one_iteration() {
 
   // Every device synchronized at the previous iteration's end, so the
   // staging buffers and unpack jobs borrowed by functors are reclaimable.
-  ring_.reset();
+  collectives_.reset();
   jobs_.clear();
   ready_events_.assign(nb * static_cast<std::size_t>(n), 0);
   std::fill(next_bucket_.begin(), next_bucket_.end(), 0);
@@ -130,7 +130,7 @@ void FleetTrainer::train_one_iteration() {
     }
 
     const std::vector<gpusim::EventId> done =
-        ring_.reduce(flat_ptrs, bucket.count, ready_ns, numeric);
+        collectives_.reduce(flat_ptrs, bucket.count, ready_ns, numeric);
 
     // Chain the update behind the reduction: the default stream waits on
     // the comm-done event, then a host callback scatters the averaged

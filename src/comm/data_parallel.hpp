@@ -1,8 +1,9 @@
 #pragma once
 // Data-parallel training across a simulated fleet: one net + solver
-// replica per device, sample-sharded data layers, and a bucketed ring
-// all-reduce (comm/allreduce.hpp) that averages gradients between
-// backward and the solver update.
+// replica per device, sample-sharded data layers, and a bucketed
+// all-reduce (comm/collectives.hpp — ring/tree/hierarchical, selected
+// per bucket by the collective cost model) that averages gradients
+// between backward and the solver update.
 //
 // The trainer is *eager* by default: buckets of parameters are
 // all-reduced as soon as their backward accumulation completes (a
@@ -16,14 +17,19 @@
 // Bit-exactness contract (tests/fleet_test.cpp, fleet differential
 // suite): training on N devices is bit-identical to a single device
 // consuming the same samples in N sequential micro-batches and reducing
-// with reference_ring_allreduce — same sample partition, same fixed
-// association order, same 1/N scaling, one solver update per iteration.
+// with the selected algorithm's reference oracle (its wave program
+// replayed by reference_collective_allreduce) — same sample partition,
+// same fixed association order, same 1/N scaling, one solver update per
+// iteration. With fp16-on-the-wire the fleet is still bit-identical to
+// its fp16 oracle; equivalence to single-device fp32 training weakens
+// to a loss-trajectory tolerance.
 
 #include <cstddef>
 #include <memory>
 #include <vector>
 
 #include "comm/allreduce.hpp"
+#include "comm/collectives.hpp"
 #include "minicaffe/exec_context.hpp"
 #include "minicaffe/net.hpp"
 #include "minicaffe/solver.hpp"
@@ -37,6 +43,8 @@ struct FleetTrainerOptions {
   std::size_t bucket_bytes = 1 << 20;
   /// Eager bucketed overlap (true) vs serialize-then-reduce baseline.
   bool overlap = true;
+  /// Collective algorithm selection, wire precision, pipelining, lanes.
+  CollectiveOptions collective;
 };
 
 class FleetTrainer {
@@ -61,7 +69,7 @@ class FleetTrainer {
     return *solvers_.at(static_cast<std::size_t>(d));
   }
   const BucketPlan& plan() const { return plan_; }
-  RingAllreduce& ring() { return ring_; }
+  CollectiveEngine& collectives() { return collectives_; }
 
  private:
   struct UnpackJob {
@@ -80,7 +88,7 @@ class FleetTrainer {
   std::vector<std::unique_ptr<mc::Net>> nets_;
   std::vector<std::unique_ptr<mc::SgdSolver>> solvers_;
   BucketPlan plan_;
-  RingAllreduce ring_;
+  CollectiveEngine collectives_;
 
   /// flat_[b][d]: device d's packed gradient for bucket b.
   std::vector<std::vector<std::vector<float>>> flat_;

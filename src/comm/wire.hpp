@@ -1,0 +1,97 @@
+#pragma once
+// Software fp16 ("half") conversion for the fp16-on-the-wire gradient
+// compression mode (comm/collectives.hpp). IEEE 754 binary16 with
+// round-to-nearest-even, implemented bit-exactly in integer arithmetic —
+// no hardware half support or external dependency needed, and the exact
+// same function runs in the scheduled executor and the host oracle, so
+// the fleet-vs-reference differential stays bit-exact even in fp16 mode.
+//
+// Key property the collectives rely on: float16_to_float32 is exact
+// (every half value is representable as a float), so
+//   float32_to_float16(float16_to_float32(h)) == h
+// for every half bit pattern h — re-quantizing an already-quantized
+// value is the identity, which is what keeps all replicas bit-identical
+// when fully-reduced chunks are re-sent along an all-gather chain.
+
+#include <cstdint>
+#include <cstring>
+
+namespace comm {
+
+/// Round-to-nearest-even binary32 -> binary16. Overflow saturates to
+/// +/-inf; NaNs map to a quiet half NaN preserving the sign.
+inline std::uint16_t float32_to_float16(float value) {
+  std::uint32_t f;
+  std::memcpy(&f, &value, sizeof(f));
+  const std::uint16_t sign = static_cast<std::uint16_t>((f >> 16) & 0x8000u);
+  const std::uint32_t exp = (f >> 23) & 0xFFu;
+  std::uint32_t mant = f & 0x7FFFFFu;
+
+  if (exp == 0xFFu) {  // inf / NaN
+    return static_cast<std::uint16_t>(sign | 0x7C00u | (mant ? 0x200u : 0u));
+  }
+  // Unbiased exponent; half bias is 15, float bias 127.
+  const int e = static_cast<int>(exp) - 127 + 15;
+  if (e >= 0x1F) {  // overflow -> inf
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (e <= 0) {  // subnormal half (or underflow to zero)
+    if (e < -10) return sign;  // magnitude < 2^-24 rounds to zero
+    // Implicit leading 1, then shift into subnormal position with RNE.
+    mant |= 0x800000u;
+    const int shift = 14 - e;  // 14..24
+    const std::uint32_t kept = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t half_ulp = 1u << (shift - 1);
+    std::uint32_t rounded = kept;
+    if (rem > half_ulp || (rem == half_ulp && (kept & 1u))) ++rounded;
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+  // Normal half: keep 10 mantissa bits with RNE on the dropped 13.
+  std::uint32_t kept = mant >> 13;
+  const std::uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (kept & 1u))) ++kept;
+  std::uint32_t out = (static_cast<std::uint32_t>(e) << 10) + kept;
+  // Mantissa carry bumps the exponent (kept overflowed 10 bits); the
+  // addition above already propagated it. e==30 carrying to 31 is inf,
+  // encoded correctly by the same propagation.
+  return static_cast<std::uint16_t>(sign | out);
+}
+
+/// Exact binary16 -> binary32.
+inline float float16_to_float32(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  std::uint32_t mant = h & 0x3FFu;
+  std::uint32_t f;
+  if (exp == 0) {
+    if (mant == 0) {
+      f = sign;  // signed zero
+    } else {
+      // Subnormal half: normalize into a float exponent.
+      int e = -1;
+      std::uint32_t m = mant;
+      while ((m & 0x400u) == 0) {
+        m <<= 1;
+        ++e;
+      }
+      const std::uint32_t fexp =
+          static_cast<std::uint32_t>(127 - 15 - e) << 23;
+      f = sign | fexp | ((m & 0x3FFu) << 13);
+    }
+  } else if (exp == 0x1Fu) {
+    f = sign | 0x7F800000u | (mant << 13);  // inf / NaN
+  } else {
+    f = sign | ((exp + 127 - 15) << 23) | (mant << 13);
+  }
+  float out;
+  std::memcpy(&out, &f, sizeof(out));
+  return out;
+}
+
+/// value as it appears after a trip over an fp16 wire.
+inline float quantize_fp16(float value) {
+  return float16_to_float32(float32_to_float16(value));
+}
+
+}  // namespace comm

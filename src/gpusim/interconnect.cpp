@@ -21,10 +21,9 @@ LinkModel::LinkModel(int devices, LinkTopology topology, LinkProps props)
   GLP_CHECK(devices >= 1);
   GLP_CHECK(props.bandwidth_gbps > 0.0);
   GLP_CHECK(props.latency_ns >= 0.0);
-  const int channels = topology == LinkTopology::kPcieHost
-                           ? 1
-                           : 2 * devices;  // forward + backward per device
-  channels_.resize(static_cast<std::size_t>(channels));
+  channel_count_ = topology == LinkTopology::kPcieHost
+                       ? 1
+                       : 2 * devices;  // forward + backward per device
 }
 
 int LinkModel::channel_for(int src, int dst) const {
@@ -43,103 +42,241 @@ int LinkModel::channel_for(int src, int dst) const {
 
 std::uint64_t LinkModel::begin(int src, int dst, std::size_t bytes,
                                SimTime request_ns) {
+  return begin_after(src, dst, bytes, request_ns, 0, 0);
+}
+
+std::uint64_t LinkModel::begin_after(int src, int dst, std::size_t bytes,
+                                     SimTime request_floor_ns,
+                                     std::uint64_t dep_a,
+                                     std::uint64_t dep_b) {
+  std::vector<std::uint64_t> deps;
+  if (dep_a != 0) deps.push_back(dep_a);
+  if (dep_b != 0) deps.push_back(dep_b);
+  return begin_after(src, dst, bytes, request_floor_ns, deps);
+}
+
+std::uint64_t LinkModel::begin_after(int src, int dst, std::size_t bytes,
+                                     SimTime request_floor_ns,
+                                     const std::vector<std::uint64_t>& deps) {
   const int channel = channel_for(src, dst);
   Pending p;
   p.rec.id = next_id_++;
   p.rec.src = src;
   p.rec.dst = dst;
   p.rec.bytes = bytes;
-  p.rec.request_ns = request_ns;
-  p.rec.start_ns = request_ns + props_.latency_ns;
   p.rec.channel = channel;
   p.remaining = static_cast<double>(bytes);
-  channels_[static_cast<std::size_t>(channel)].pending.push_back(std::move(p));
+  p.floor_ns = request_floor_ns;
+  // Dependencies on transfers finalized in an earlier batch fold into
+  // the floor immediately; same-batch dependencies resolve during
+  // finalize_all.
+  for (std::uint64_t dep : deps) {
+    if (dep == 0) continue;
+    auto it = end_ns_.find(dep);
+    if (it != end_ns_.end()) {
+      p.floor_ns = std::max(p.floor_ns, it->second);
+    } else {
+      p.deps.push_back(dep);
+    }
+  }
+  pending_.push_back(std::move(p));
   return next_id_ - 1;
 }
 
+SimTime LinkModel::end_of(std::uint64_t id) const {
+  auto it = end_ns_.find(id);
+  GLP_CHECK_MSG(it != end_ns_.end(), "end_of: transfer " << id
+                                                         << " not finalized");
+  return it->second;
+}
+
 void LinkModel::finalize_all() {
-  for (auto& ch : channels_) finalize_channel(ch);
+  if (pending_.empty()) return;
+  const double bandwidth = props_.bytes_per_ns();
+
+  // Same-batch dependency ids -> pending indices (and sanity: a dep must
+  // be either already finalized — folded into the floor at begin — or a
+  // member of this batch).
+  std::unordered_map<std::uint64_t, std::size_t> by_id;
+  by_id.reserve(pending_.size());
+  for (std::size_t i = 0; i < pending_.size(); ++i)
+    by_id.emplace(pending_[i].rec.id, i);
+  std::vector<std::vector<std::size_t>> dependents(pending_.size());
+  std::vector<int> deps_left(pending_.size(), 0);
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    for (std::uint64_t dep : pending_[i].deps) {
+      auto it = by_id.find(dep);
+      GLP_CHECK_MSG(it != by_id.end(),
+                    "begin_after: dependency " << dep << " never registered");
+      GLP_CHECK_MSG(it->second < i, "begin_after: dependency must precede");
+      dependents[it->second].push_back(i);
+      ++deps_left[i];
+    }
+  }
+
+  auto release = [&](std::size_t i) {
+    Pending& p = pending_[i];
+    p.rec.request_ns = p.floor_ns;
+    p.rec.start_ns = p.rec.request_ns + props_.latency_ns;
+    p.released = true;
+  };
+  for (std::size_t i = 0; i < pending_.size(); ++i)
+    if (deps_left[i] == 0) release(i);
+
+  // Global event loop. Channels drain their PS fluid lazily — only when
+  // an event (arrival or completion) lands on them — so a channel's
+  // fluid history, and therefore every transfer's RateSegments, is
+  // bit-identical to the original single-channel resolution whenever no
+  // cross-channel dependencies exist.
+  //
+  // Within one directed (src, dst) pair the copy engine is a FIFO: one
+  // message in flight at a time, the next admitted the instant its
+  // predecessor's last byte lands (its latency overlaps the queue
+  // wait). PS sharing applies across pairs on a channel, never within
+  // one. This is what makes chunk pipelining pay: queued chunks of a
+  // bucket stream back-to-back on the wire instead of advancing in PS
+  // lockstep, hiding every inter-wave latency gap but the first.
+  std::vector<std::vector<std::size_t>> active(
+      static_cast<std::size_t>(channel_count_));
+  std::vector<SimTime> ch_now(static_cast<std::size_t>(channel_count_), 0.0);
+  const std::size_t pair_count =
+      static_cast<std::size_t>(devices_) * static_cast<std::size_t>(devices_);
+  std::vector<char> pair_busy(pair_count, 0);
+  std::vector<SimTime> pair_free(pair_count, 0.0);
+  auto pair_of = [&](const Pending& p) {
+    return static_cast<std::size_t>(p.rec.src) *
+               static_cast<std::size_t>(devices_) +
+           static_cast<std::size_t>(p.rec.dst);
+  };
+  std::size_t done_count = 0;
+
+  while (done_count < pending_.size()) {
+    // Next arrival: earliest released-but-unstarted admission instant
+    // max(start, pair free) over idle pairs (ties by id — registration
+    // order — for determinism).
+    SimTime arrival_t = kInf;
+    for (const Pending& p : pending_) {
+      if (!p.released || p.started) continue;
+      const std::size_t pair = pair_of(p);
+      if (pair_busy[pair]) continue;
+      arrival_t =
+          std::min(arrival_t, std::max(p.rec.start_ns, pair_free[pair]));
+    }
+    // Next completion over all channels.
+    SimTime done_t = kInf;
+    for (int ch = 0; ch < channel_count_; ++ch) {
+      const auto& act = active[static_cast<std::size_t>(ch)];
+      if (act.empty()) continue;
+      double min_remaining = kInf;
+      for (std::size_t idx : act)
+        min_remaining = std::min(min_remaining, pending_[idx].remaining);
+      done_t = std::min(done_t,
+                        ch_now[static_cast<std::size_t>(ch)] +
+                            min_remaining * static_cast<double>(act.size()) /
+                                bandwidth);
+    }
+    const SimTime t = std::min(arrival_t, done_t);
+    GLP_CHECK_MSG(t < kInf,
+                  "link finalize stalled: dependency cycle or unreleased "
+                  "transfers");
+
+    // Completions first at a shared instant: the finisher got its old
+    // share up to `t`; a coincident arrival shares only afterwards.
+    if (done_t <= arrival_t) {
+      for (int ch = 0; ch < channel_count_; ++ch) {
+        auto& act = active[static_cast<std::size_t>(ch)];
+        if (act.empty()) continue;
+        SimTime& now = ch_now[static_cast<std::size_t>(ch)];
+        // Would this channel complete something at t? Drain only then,
+        // so untouched channels keep their fluid history unsplit.
+        double min_remaining = kInf;
+        for (std::size_t idx : act)
+          min_remaining = std::min(min_remaining, pending_[idx].remaining);
+        const SimTime ch_done =
+            now + min_remaining * static_cast<double>(act.size()) / bandwidth;
+        if (ch_done > t) continue;
+        if (t > now) {
+          const double rate = bandwidth / static_cast<double>(act.size());
+          const double moved = (t - now) * rate;
+          for (std::size_t idx : act) {
+            Pending& p = pending_[idx];
+            p.remaining = std::max(0.0, p.remaining - moved);
+            p.rec.segments.push_back(RateSegment{now, t, rate});
+          }
+        }
+        now = t;
+        for (auto it = act.begin(); it != act.end();) {
+          Pending& p = pending_[*it];
+          if (p.remaining <= kEpsBytes) {
+            p.remaining = 0.0;
+            p.rec.end_ns = now;
+            end_ns_.emplace(p.rec.id, now);
+            const std::size_t pair = pair_of(p);
+            pair_busy[pair] = 0;
+            pair_free[pair] = std::max(pair_free[pair], now);
+            for (std::size_t dep_idx : dependents[*it]) {
+              Pending& d = pending_[dep_idx];
+              d.floor_ns = std::max(d.floor_ns, now);
+              if (--deps_left[dep_idx] == 0) release(dep_idx);
+            }
+            completed_.push_back(std::move(p.rec));
+            ++done_count;
+            it = act.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < pending_.size(); ++i) {
+        Pending& p = pending_[i];
+        if (!p.released || p.started) continue;
+        const std::size_t pair = pair_of(p);
+        if (pair_busy[pair]) continue;
+        if (std::max(p.rec.start_ns, pair_free[pair]) > t) continue;
+        p.started = true;
+        // A queued message's first byte lands when its predecessor on
+        // the pair frees the engine; the wire-start reflects that.
+        p.rec.start_ns = std::max(p.rec.start_ns, t);
+        const int ch = p.rec.channel;
+        SimTime& now = ch_now[static_cast<std::size_t>(ch)];
+        auto& act = active[static_cast<std::size_t>(ch)];
+        // Drain the joining channel up to the arrival instant.
+        if (!act.empty() && t > now) {
+          const double rate = bandwidth / static_cast<double>(act.size());
+          const double moved = (t - now) * rate;
+          for (std::size_t idx : act) {
+            Pending& q = pending_[idx];
+            q.remaining = std::max(0.0, q.remaining - moved);
+            q.rec.segments.push_back(RateSegment{now, t, rate});
+          }
+        }
+        now = std::max(now, t);
+        if (p.remaining <= kEpsBytes) {
+          // Zero-byte message: delivered after latency, no fluid needed.
+          p.rec.end_ns = p.rec.start_ns;
+          end_ns_.emplace(p.rec.id, p.rec.end_ns);
+          for (std::size_t dep_idx : dependents[i]) {
+            Pending& d = pending_[dep_idx];
+            d.floor_ns = std::max(d.floor_ns, p.rec.end_ns);
+            if (--deps_left[dep_idx] == 0) release(dep_idx);
+          }
+          completed_.push_back(std::move(p.rec));
+          ++done_count;
+        } else {
+          pair_busy[pair] = 1;
+          act.push_back(i);
+        }
+      }
+    }
+  }
+
+  pending_.clear();
   std::sort(completed_.begin(), completed_.end(),
             [](const TransferRecord& a, const TransferRecord& b) {
               if (a.end_ns != b.end_ns) return a.end_ns < b.end_ns;
               return a.id < b.id;
             });
-}
-
-void LinkModel::finalize_channel(Channel& ch) {
-  if (ch.pending.empty()) return;
-  const double bandwidth = props_.bytes_per_ns();
-
-  // Arrivals in (start_ns, id) order; `active` holds indices into
-  // ch.pending of transfers currently sharing the channel.
-  std::vector<std::size_t> order(ch.pending.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (ch.pending[a].rec.start_ns != ch.pending[b].rec.start_ns)
-      return ch.pending[a].rec.start_ns < ch.pending[b].rec.start_ns;
-    return ch.pending[a].rec.id < ch.pending[b].rec.id;
-  });
-
-  std::size_t next_arrival = 0;
-  std::vector<std::size_t> active;
-  SimTime now = ch.pending[order.front()].rec.start_ns;
-
-  while (next_arrival < order.size() || !active.empty()) {
-    const SimTime arrival_t = next_arrival < order.size()
-                                  ? ch.pending[order[next_arrival]].rec.start_ns
-                                  : kInf;
-    SimTime done_t = kInf;
-    if (!active.empty()) {
-      double min_remaining = kInf;
-      for (std::size_t idx : active)
-        min_remaining = std::min(min_remaining, ch.pending[idx].remaining);
-      done_t = now + min_remaining * static_cast<double>(active.size()) /
-                         bandwidth;
-    }
-    const SimTime t = std::min(arrival_t, done_t);
-    GLP_CHECK(t >= now);
-
-    // Drain fluid [now, t): each active transfer holds an equal share.
-    if (t > now && !active.empty()) {
-      const double rate = bandwidth / static_cast<double>(active.size());
-      const double moved = (t - now) * rate;
-      for (std::size_t idx : active) {
-        Pending& p = ch.pending[idx];
-        p.remaining = std::max(0.0, p.remaining - moved);
-        p.rec.segments.push_back(RateSegment{now, t, rate});
-      }
-    }
-    now = t;
-
-    // Completions first at a shared instant: the finisher got its old
-    // share up to `now`; a coincident arrival shares only afterwards.
-    if (done_t <= arrival_t && !active.empty()) {
-      for (auto it = active.begin(); it != active.end();) {
-        Pending& p = ch.pending[*it];
-        if (p.remaining <= kEpsBytes) {
-          p.remaining = 0.0;
-          p.rec.end_ns = now;
-          completed_.push_back(std::move(p.rec));
-          it = active.erase(it);
-        } else {
-          ++it;
-        }
-      }
-    } else {
-      while (next_arrival < order.size() &&
-             ch.pending[order[next_arrival]].rec.start_ns <= now) {
-        const std::size_t idx = order[next_arrival++];
-        if (ch.pending[idx].remaining <= kEpsBytes) {
-          // Zero-byte message: delivered after latency, no fluid needed.
-          ch.pending[idx].rec.end_ns = now;
-          completed_.push_back(std::move(ch.pending[idx].rec));
-        } else {
-          active.push_back(idx);
-        }
-      }
-    }
-  }
-  ch.pending.clear();
 }
 
 std::vector<TransferRecord> LinkModel::take_completed() {

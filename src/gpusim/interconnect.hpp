@@ -12,23 +12,32 @@
 //
 // Contention follows an exact processor-sharing (PS) fluid model: at any
 // instant the n transfers active on a channel each progress at B/n
-// bytes/ns. Completion times are computed event-by-event (arrival and
-// completion instants), so they are exact, deterministic, and identical
-// no matter which engine (SimDevice or ReferenceEngine) consumes them.
+// bytes/ns. Within one directed (src, dst) pair, though, the copy
+// engine is a FIFO — one message in flight at a time; a queued message
+// starts the instant its predecessor's last byte lands, its per-message
+// latency hidden behind the queue wait. Completion times are computed
+// event-by-event (arrival and completion instants), so they are exact,
+// deterministic, and identical no matter which engine (SimDevice or
+// ReferenceEngine) consumes them.
 // Each transfer also records its piecewise-constant rate profile
 // (RateSegments) so the fleet race-checker can verify that no channel
 // ever exceeds its physical bandwidth and that every transfer moved
 // exactly its byte count (tests/fleet_test.cpp).
 //
-// The model is *finalize-on-quiescence*: begin() registers arrivals, and
-// finalize_all() resolves every in-flight transfer assuming no further
-// arrivals. That assumption is exact under the fleet drivers'
-// wave-synchronous issuance (comm/allreduce.cpp): all transfers of a wave
-// are requested before any is consumed, and the next wave's requests are
-// ordered after this wave's completions.
+// The model is *finalize-on-batch*: begin()/begin_after() register a
+// batch of transfers and finalize_all() resolves the whole batch exactly
+// in one global event-driven pass. A transfer may depend on earlier
+// transfers of the same batch (begin_after): its request time is the
+// maximum of its floor and its dependencies' completion times, so a comm
+// driver can hand the model an entire collective program — every wave of
+// every pipelined chunk — and get exact PS times with cross-wave overlap
+// wherever the dependency structure allows it (comm/collectives.cpp).
+// Dependency-free usage degenerates to the original finalize-on-
+// quiescence behaviour bit-for-bit.
 
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "gpusim/types.hpp"
@@ -82,7 +91,7 @@ class LinkModel {
   LinkModel(int devices, LinkTopology topology, LinkProps props);
 
   int device_count() const { return devices_; }
-  int channel_count() const { return static_cast<int>(channels_.size()); }
+  int channel_count() const { return channel_count_; }
   LinkTopology topology() const { return topology_; }
   const LinkProps& props() const { return props_; }
 
@@ -97,9 +106,34 @@ class LinkModel {
   std::uint64_t begin(int src, int dst, std::size_t bytes,
                       SimTime request_ns);
 
-  /// Resolve every registered transfer, assuming no further begin()
-  /// calls precede their completions (wave-synchronous issuance).
+  /// Register a transfer whose payload is additionally gated on earlier
+  /// transfers: its request time is max(request_floor_ns, end of every
+  /// dependency). A dependency id of 0 means "none"; otherwise it must
+  /// name a transfer already finalized or registered in the current
+  /// batch (finalize_all checks). This is how a collective program
+  /// expresses "chunk j's wave k+1 sends the value wave k produced"
+  /// without serializing unrelated chunks behind a wave barrier. A
+  /// transfer may name several producers: a tree all-gather send covers
+  /// a range assembled from its own reduced chunk plus ranges received
+  /// in earlier doubling rounds, each a distinct producing transfer.
+  std::uint64_t begin_after(int src, int dst, std::size_t bytes,
+                            SimTime request_floor_ns, std::uint64_t dep_a,
+                            std::uint64_t dep_b = 0);
+  std::uint64_t begin_after(int src, int dst, std::size_t bytes,
+                            SimTime request_floor_ns,
+                            const std::vector<std::uint64_t>& deps);
+
+  /// Resolve every registered transfer exactly: one global event-driven
+  /// pass interleaving all channels, releasing dependent transfers the
+  /// instant their dependencies complete. No arrivals may be registered
+  /// for instants preceding completions already resolved in an earlier
+  /// batch on the same channel (the comm drivers keep per-channel floors
+  /// across batches).
   void finalize_all();
+
+  /// Completion time of a finalized transfer (retained across
+  /// take_completed); CHECK-fails for unknown ids.
+  SimTime end_of(std::uint64_t id) const;
 
   /// Drain finalized transfers, ordered by (end_ns, id).
   std::vector<TransferRecord> take_completed();
@@ -107,20 +141,23 @@ class LinkModel {
  private:
   struct Pending {
     TransferRecord rec;
-    double remaining = 0.0;  ///< bytes still to move
+    double remaining = 0.0;     ///< bytes still to move
+    SimTime floor_ns = 0.0;     ///< request floor (before dependencies)
+    std::vector<std::uint64_t> deps;  ///< unresolved same-batch deps
+    bool released = false;      ///< deps resolved, start_ns known
+    bool started = false;       ///< joined its channel's active set
   };
-  struct Channel {
-    std::vector<Pending> pending;  ///< registered, not yet finalized
-  };
-
-  void finalize_channel(Channel& ch);
 
   int devices_ = 0;
   LinkTopology topology_ = LinkTopology::kPcieHost;
   LinkProps props_;
-  std::vector<Channel> channels_;
+  std::vector<Pending> pending_;  ///< current batch, registration order
   std::vector<TransferRecord> completed_;
+  /// End times of every finalized transfer (kept across take_completed
+  /// so later batches may depend on earlier ones).
+  std::unordered_map<std::uint64_t, SimTime> end_ns_;
   std::uint64_t next_id_ = 1;
+  int channel_count_ = 0;
 };
 
 }  // namespace gpusim

@@ -32,4 +32,18 @@ void write_chrome_trace(const Timeline& timeline,
                         const std::vector<TraceMarker>& markers,
                         const std::string& path);
 
+/// Fleet export: merge per-device timelines into one trace. Device d's
+/// records land on pid d (a "device d" process row via process_name
+/// metadata events) with streams as tids, so an N-device training
+/// iteration reads as N aligned swim-lane groups. Cross-device
+/// memcpy_peer spans (CopyRecord.peer >= 0) are named "memcpy peer->P"
+/// and categorised "memcpy_peer" so collective waves stand out from the
+/// local H2D/D2H traffic. `names[d]`, when provided, labels the row
+/// (e.g. "device 0 (P100)").
+std::string to_chrome_trace_fleet(const std::vector<const Timeline*>& timelines,
+                                  const std::vector<std::string>& names = {});
+void write_chrome_trace_fleet(const std::vector<const Timeline*>& timelines,
+                              const std::string& path,
+                              const std::vector<std::string>& names = {});
+
 }  // namespace gpusim

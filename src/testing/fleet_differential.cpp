@@ -32,9 +32,13 @@ struct RunOutput {
 
 /// The single-device reference: each fleet iteration is N sequential
 /// micro-batch passes whose captured gradients are combined with the
-/// ring's exact accumulation chains, scaled by 1/N, scattered back and
-/// consumed by ONE solver update. Fault-free by construction.
-RunOutput reference_train(const FuzzCase& c, int n, std::size_t bucket_bytes) {
+/// selected collective's exact wave program (the same one the fleet
+/// schedules — same algorithm, pipelining split, wire format), scaled
+/// by 1/N, scattered back and consumed by ONE solver update.
+/// Fault-free by construction.
+RunOutput reference_train(const FuzzCase& c, const FleetDiffOptions& opts) {
+  const int n = opts.devices;
+  const std::size_t bucket_bytes = opts.bucket_bytes;
   RunOutput out;
   scuda::Context ctx(c.device);
   glp4nn::Glp4nnEngine engine(c.options);
@@ -46,6 +50,25 @@ RunOutput reference_train(const FuzzCase& c, int n, std::size_t bucket_bytes) {
   const comm::BucketPlan plan = comm::plan_buckets(net, bucket_bytes);
   const auto nn = static_cast<std::size_t>(n);
   const float inv_n = 1.0f / static_cast<float>(n);
+
+  // Mirror the fleet's link properties so plan_collective resolves kAuto
+  // (and the pipelining split) to the exact program the fleet runs.
+  const gpusim::LinkProps props =
+      opts.topology == gpusim::LinkTopology::kNvlinkRing
+          ? gpusim::LinkProps::nvlink()
+          : gpusim::LinkProps::pcie();
+  // One plan per bucket size: buckets share counts often, so memoize.
+  std::map<std::size_t, comm::CollectiveProgram> programs;
+  auto program_for = [&](std::size_t count) -> const comm::CollectiveProgram& {
+    auto it = programs.find(count);
+    if (it == programs.end()) {
+      it = programs
+               .emplace(count, comm::plan_collective(n, opts.topology, props,
+                                                     opts.collective, count))
+               .first;
+    }
+    return it->second;
+  };
 
   // grads[b][r]: micro-batch r's packed gradient for bucket b.
   std::vector<std::vector<std::vector<float>>> grads(plan.buckets.size());
@@ -76,7 +99,9 @@ RunOutput reference_train(const FuzzCase& c, int n, std::size_t bucket_bytes) {
     std::vector<float*> ptrs(nn);
     for (std::size_t b = 0; b < plan.buckets.size(); ++b) {
       for (std::size_t r = 0; r < nn; ++r) ptrs[r] = grads[b][r].data();
-      comm::reference_ring_allreduce(ptrs, plan.buckets[b].count);
+      comm::reference_collective_allreduce(program_for(plan.buckets[b].count),
+                                           ptrs, plan.buckets[b].count,
+                                           opts.collective.wire);
       std::size_t off = 0;
       for (const std::size_t pi : plan.buckets[b].params) {
         mc::Blob& p = *net.learnable_params()[pi];
@@ -157,7 +182,7 @@ FleetDiffResult run_fleet_differential(const FuzzCase& c,
   const int n = opts.devices;
   GLP_REQUIRE(n >= 1, "fleet differential needs at least one device");
 
-  const RunOutput single = reference_train(c, n, opts.bucket_bytes);
+  const RunOutput single = reference_train(c, opts);
 
   // --- fleet run --------------------------------------------------------
   scuda::FleetOptions fopts;
@@ -193,6 +218,7 @@ FleetDiffResult run_fleet_differential(const FuzzCase& c,
   comm::FleetTrainerOptions topts;
   topts.bucket_bytes = opts.bucket_bytes;
   topts.overlap = opts.overlap;
+  topts.collective = opts.collective;
   comm::FleetTrainer trainer(fleet, ec_ptrs, c.net, topts);
   r.buckets = trainer.plan().buckets.size();
 
@@ -200,7 +226,7 @@ FleetDiffResult run_fleet_differential(const FuzzCase& c,
     r.fleet_losses.push_back(loss);
     if (opts.check_transfers) {
       merge_transfer_report(
-          r.transfers, check_fleet_transfers(trainer.ring().transfers(),
+          r.transfers, check_fleet_transfers(trainer.collectives().transfers(),
                                              fleet.links().props()));
     }
   });
@@ -209,7 +235,7 @@ FleetDiffResult run_fleet_differential(const FuzzCase& c,
   for (int d = 0; d < n; ++d) {
     r.launch_faults += fleet.device(d).faults().launch_faults();
     r.stream_faults += fleet.device(d).faults().stream_create_faults();
-    if (trainer.ring().fallback(d)) ++r.comm_fallbacks;
+    if (trainer.collectives().fallback(d)) ++r.comm_fallbacks;
   }
 
   // --- compare ----------------------------------------------------------

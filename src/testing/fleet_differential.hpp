@@ -5,8 +5,10 @@
 //
 // The reference run trains one net on one device, consuming each fleet
 // iteration's N micro-batches sequentially, capturing each micro-batch's
-// gradients, combining them with reference_ring_allreduce (the exact
-// per-chunk accumulation chains the fleet's ring produces), scaling by
+// gradients, combining them with the *selected collective's* reference
+// oracle — the same wave program the fleet schedules (ring, tree or
+// hierarchical, with the same pipelining split and wire format),
+// replayed on the host by reference_collective_allreduce — scaling by
 // 1/N and applying ONE solver update. The fleet run trains the same
 // spec through FleetTrainer over a real Fleet (link contention, eager
 // bucketed overlap, non-blocking comm streams, per-device GLP4NN
@@ -23,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/collectives.hpp"
 #include "gpusim/interconnect.hpp"
 #include "simcuda/fault_injection.hpp"
 #include "testing/net_generator.hpp"
@@ -50,6 +53,11 @@ struct FleetDiffOptions {
   /// Audit the iteration's TransferRecords against the link contract
   /// (capacity, conservation, profile sanity) via check_fleet_transfers.
   bool check_transfers = true;
+  /// Collective algorithm / wire format / pipelining under test. The
+  /// reference oracle replays whatever program these options select —
+  /// including fp16-on-the-wire, which stays bit-exact against its own
+  /// fp16 oracle (the fp32-tolerance contract is a separate test).
+  comm::CollectiveOptions collective;
 };
 
 struct FleetDiffResult {

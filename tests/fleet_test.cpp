@@ -94,16 +94,20 @@ TEST(LinkModel, DisjointNvlinkLinksDoNotInterfere) {
   }
 }
 
-TEST(LinkModel, SameNvlinkLinkContends) {
+TEST(LinkModel, SameNvlinkLinkQueuesFifo) {
   LinkModel links(4, LinkTopology::kNvlinkRing, LinkProps::nvlink());
   links.begin(0, 1, 60000, 0.0);
   links.begin(0, 1, 60000, 0.0);
   links.finalize_all();
   const auto recs = links.take_completed();
   ASSERT_EQ(recs.size(), 2u);
-  for (const TransferRecord& r : recs) {
-    EXPECT_DOUBLE_EQ(r.end_ns, 3000.0);  // 1000 + 60000/(60/2)
-  }
+  // One message in flight per directed pair: the first runs alone at
+  // the full 60 B/ns; the second streams right behind it, its latency
+  // hidden behind the queue wait.
+  EXPECT_DOUBLE_EQ(recs[0].start_ns, 1000.0);
+  EXPECT_DOUBLE_EQ(recs[0].end_ns, 2000.0);
+  EXPECT_DOUBLE_EQ(recs[1].start_ns, 2000.0);
+  EXPECT_DOUBLE_EQ(recs[1].end_ns, 3000.0);
 }
 
 // --- transfer race checker -------------------------------------------------

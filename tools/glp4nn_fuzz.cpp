@@ -45,6 +45,14 @@
 //                        a cross-engine differential over the fleet path
 //   --no-overlap         fleet: serialize-then-reduce baseline instead of
 //                        eager bucketed overlap
+//   --collective <c>     fleet all-reduce algorithm: auto (cost model,
+//                        default) | ring | tree | hier | sample (rotate
+//                        deterministically per case seed). The reference
+//                        oracle replays whichever program is selected, so
+//                        every algorithm is held to its own bit-exactness
+//                        contract
+//   --fp16-wire          fleet: fp16 gradient compression on the wire
+//                        (still bit-identical to the fp16 oracle)
 //   --no-branches        linear nets only
 //   --no-timeline        skip timeline recording + race checking
 //   --trace <file>       Chrome trace of the last failing (or replayed)
@@ -110,6 +118,8 @@ int main(int argc, char** argv) {
   glpfuzz::FleetDiffOptions fleet_opts;
   std::string links = "nvlink";
   std::string fleet_engine = "optimized";
+  std::string collective = "auto";
+  bool collective_sample = false, fp16_wire = false;
 
   glp::Flags flags("glp4nn_fuzz",
                    "Differential fuzzer for the GLP4NN runtime scheduler "
@@ -140,6 +150,10 @@ int main(int argc, char** argv) {
            "(reference doubles as a cross-engine fleet differential)")
       .flag("no-overlap", &no_overlap,
             "fleet: serialize-then-reduce instead of eager bucketed overlap")
+      .opt("collective", &collective,
+           "fleet all-reduce: auto|ring|tree|hier|sample (per case)")
+      .flag("fp16-wire", &fp16_wire,
+            "fleet: fp16 gradient compression on the wire")
       .flag("no-branches", &no_branches, "linear nets only")
       .flag("no-timeline", &no_timeline,
             "skip timeline recording + race checking")
@@ -187,6 +201,15 @@ int main(int argc, char** argv) {
     fleet_opts.overlap = !no_overlap;
     fleet_opts.faults = diff.faults;
     fleet_opts.check_transfers = !no_timeline;
+    if (collective == "sample") {
+      collective_sample = true;
+    } else if (const auto choice = comm::parse_collective(collective)) {
+      fleet_opts.collective.collective = *choice;
+    } else {
+      fail(flags, "--collective must be auto|ring|tree|hier|sample");
+    }
+    fleet_opts.collective.wire =
+        fp16_wire ? comm::WireFormat::kFp16 : comm::WireFormat::kFp32;
   }
   if (dag) {
     gen.dag_corpus = true;
@@ -209,6 +232,14 @@ int main(int argc, char** argv) {
                                       : glpfuzz::make_case(case_seed, gen);
 
     if (fleet) {
+      if (collective_sample) {
+        // Rotate through the choices deterministically so a failing seed
+        // replays with the same algorithm via an explicit --collective.
+        static const comm::CollectiveChoice kRotation[] = {
+            comm::CollectiveChoice::kAuto, comm::CollectiveChoice::kRing,
+            comm::CollectiveChoice::kTree, comm::CollectiveChoice::kHier};
+        fleet_opts.collective.collective = kRotation[case_seed % 4];
+      }
       glpfuzz::FleetDiffResult fr;
       try {
         fr = glpfuzz::run_fleet_differential(c, fleet_opts);
@@ -224,20 +255,24 @@ int main(int argc, char** argv) {
         ++stats.passed;
         if (verbose) {
           std::printf(
-              "PASS %s | %d device(s) bit-identical over %zu params, "
-              "%zu bucket(s), %zu transfer(s), peak link %.1f GB/s\n",
-              c.summary().c_str(), fleet_opts.devices, fr.params_compared,
-              fr.buckets, fr.transfers.transfers_checked,
-              fr.transfers.peak_channel_rate);
+              "PASS %s | %d device(s), %s all-reduce%s bit-identical over "
+              "%zu params, %zu bucket(s), %zu transfer(s), peak link "
+              "%.1f GB/s\n",
+              c.summary().c_str(), fleet_opts.devices,
+              comm::to_string(fleet_opts.collective.collective),
+              fp16_wire ? " (fp16 wire)" : "", fr.params_compared, fr.buckets,
+              fr.transfers.transfers_checked, fr.transfers.peak_channel_rate);
         }
       } else {
         ++stats.failed;
         std::printf("FAIL %s\n     %s\n", c.summary().c_str(),
                     fr.failure.c_str());
         std::printf("     replay: %s --replay %llu --fleet --fleet-devices "
-                    "%d --links %s --fleet-engine %s%s\n",
+                    "%d --links %s --fleet-engine %s --collective %s%s%s\n",
                     argv[0], static_cast<unsigned long long>(case_seed),
                     fleet_opts.devices, links.c_str(), fleet_engine.c_str(),
+                    comm::to_string(fleet_opts.collective.collective),
+                    fp16_wire ? " --fp16-wire" : "",
                     no_overlap ? " --no-overlap" : "");
       }
       continue;

@@ -23,13 +23,21 @@
 //   --profile           print an nvprof-style kernel summary at the end
 //
 // Fleet (data-parallel) training:
-//   --fleet-devices <n> train on an n-device fleet with the bucketed ring
-//                       all-reduce (default 1 = single device)
+//   --fleet-devices <n> train on an n-device fleet with the bucketed
+//                       collective all-reduce (default 1 = single device)
 //   --device-gen <g>    per-device generation, repeatable or
 //                       comma-separated, cycled to the fleet width
 //                       (default: --device everywhere)
 //   --links <kind>      fleet interconnect: nvlink | pcie
 //   --no-overlap        serialize-then-reduce instead of eager overlap
+//   --collective <c>    all-reduce algorithm: auto (cost model, default) |
+//                       ring | tree | hier
+//   --fp16-wire         compress gradients to fp16 on the wire (fp32
+//                       accumulation; loss-trajectory tolerance contract)
+//
+// --trace works in fleet mode too: it writes a merged Chrome trace of the
+// final iteration with one process row per device, cross-device
+// memcpy_peer spans included.
 
 #include <cstdio>
 #include <cstring>
@@ -76,6 +84,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> device_gens;
   std::string links = "nvlink";
   bool no_overlap = false;
+  std::string collective = "auto";
+  bool fp16_wire = false;
 
   glp::Flags flags("glp4nn_train",
                    "Train a network on the simulated GPU (the `caffe` "
@@ -104,7 +114,11 @@ int main(int argc, char** argv) {
                 "to the fleet width (default: --device everywhere)")
       .opt("links", &links, "fleet interconnect: nvlink or pcie")
       .flag("no-overlap", &no_overlap,
-            "fleet: serialize-then-reduce instead of eager bucketed overlap");
+            "fleet: serialize-then-reduce instead of eager bucketed overlap")
+      .opt("collective", &collective,
+           "fleet all-reduce algorithm: auto|ring|tree|hier")
+      .flag("fp16-wire", &fp16_wire,
+            "fleet: compress gradients to fp16 on the wire");
   switch (flags.parse(argc, argv)) {
     case glp::Flags::Status::kHelp:
       return 0;
@@ -145,10 +159,8 @@ int main(int argc, char** argv) {
     if (fleet_devices < 1) fail(flags, "--fleet-devices must be >= 1");
     if (fleet_devices > 1) {
       // --- data-parallel fleet training ---------------------------------
-      if (!snapshot_path.empty() || !restore_path.empty() ||
-          !trace_path.empty() || want_profile) {
-        fail(flags,
-             "--snapshot/--restore/--trace/--profile are single-device only");
+      if (!snapshot_path.empty() || !restore_path.empty() || want_profile) {
+        fail(flags, "--snapshot/--restore/--profile are single-device only");
       }
       scuda::FleetOptions fopts;
       if (links == "nvlink") {
@@ -204,25 +216,57 @@ int main(int argc, char** argv) {
       comm::FleetTrainerOptions topts;
       topts.solver = sp;
       topts.overlap = !no_overlap;
+      const auto choice = comm::parse_collective(collective);
+      if (!choice) fail(flags, "--collective must be auto|ring|tree|hier");
+      topts.collective.collective = *choice;
+      topts.collective.wire = fp16_wire ? comm::WireFormat::kFp16
+                                        : comm::WireFormat::kFp32;
       comm::FleetTrainer trainer(fleet, ec_ptrs, spec, topts);
+      std::size_t largest = 0;
+      for (const auto& b : trainer.plan().buckets) {
+        largest = std::max(largest, b.count);
+      }
       std::printf(
           "net '%s': %zu layers on a %d-device %s fleet (%s links, %s, "
-          "%zu bucket(s))%s\n",
+          "%zu bucket(s), %s all-reduce%s)%s\n",
           spec.name.c_str(), spec.layers.size(), fleet_devices,
           fleet_props.front().name.c_str(), links.c_str(),
           no_overlap ? "serialize-then-reduce" : "eager overlap",
-          trainer.plan().buckets.size(), timing_only ? " (timing only)" : "");
+          trainer.plan().buckets.size(),
+          comm::to_string(trainer.collectives().algo_for(largest)),
+          fp16_wire ? ", fp16 wire" : "", timing_only ? " (timing only)" : "");
       if (want_summary) std::printf("%s", trainer.net(0).summary().c_str());
 
       const double t0 = fleet.max_device_now();
-      trainer.step(iters, report_iteration);
+      if (trace_path.empty()) {
+        trainer.step(iters, report_iteration);
+      } else {
+        // Train normally, recording every device's final iteration and
+        // merging them into one per-device-process Chrome trace.
+        if (iters > 1) trainer.step(iters - 1, report_iteration);
+        for (int d = 0; d < fleet_devices; ++d) {
+          fleet.device(d).device().timeline().set_enabled(true);
+        }
+        trainer.step(1, report_iteration);
+        fleet.synchronize_all();
+        std::vector<const gpusim::Timeline*> timelines;
+        std::vector<std::string> names;
+        for (int d = 0; d < fleet_devices; ++d) {
+          timelines.push_back(&fleet.device(d).device().timeline());
+          names.push_back("device " + std::to_string(d) + " (" +
+                          fleet_props[static_cast<std::size_t>(d)].name + ")");
+          fleet.device(d).device().timeline().set_enabled(false);
+        }
+        gpusim::write_chrome_trace_fleet(timelines, trace_path, names);
+        std::printf("fleet trace written to '%s'\n", trace_path.c_str());
+      }
       fleet.synchronize_all();
       const double ms = (fleet.max_device_now() - t0) / 1e6;
       std::printf(
           "trained %d iterations on %d devices in %.2f simulated ms "
           "(%.2f ms/iter, %zu cross-device transfer(s))\n",
           iters, fleet_devices, ms, ms / std::max(iters, 1),
-          trainer.ring().transfers().size());
+          trainer.collectives().transfers().size());
       return 0;
     }
 
